@@ -1,0 +1,64 @@
+// Command broker runs one node of a networked multi-stage event broker
+// hierarchy (Section 4's architecture over TCP).
+//
+// A three-node hierarchy on one machine:
+//
+//	broker -id root -stage 2 -listen 127.0.0.1:7001
+//	broker -id N1.1 -stage 1 -listen 127.0.0.1:7002 -parent 127.0.0.1:7001
+//	broker -id N1.2 -stage 1 -listen 127.0.0.1:7003 -parent 127.0.0.1:7001
+//
+// Publishers and subscribers connect with the pubsub command.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"eventsys/internal/broker"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "broker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("broker", flag.ContinueOnError)
+	id := fs.String("id", "", "broker identity (required, e.g. N2.1)")
+	stage := fs.Int("stage", 1, "filtering stage (1 = closest to subscribers)")
+	listen := fs.String("listen", "127.0.0.1:7001", "TCP listen address")
+	parent := fs.String("parent", "", "parent broker address (empty = root)")
+	ttl := fs.Duration("ttl", time.Minute, "subscription lease TTL (0 = never expire)")
+	counting := fs.Bool("counting", false, "use the counting matching engine")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv, err := broker.Serve(broker.ServerConfig{
+		ID:          *id,
+		Stage:       *stage,
+		ListenAddr:  *listen,
+		ParentAddr:  *parent,
+		TTL:         *ttl,
+		UseCounting: *counting,
+		Logger:      logger,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("broker %s (stage %d) listening on %s\n", *id, *stage, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}
+
+func TestRunMissingID(t *testing.T) {
+	if err := run([]string{"-listen", "127.0.0.1:0"}); err == nil {
+		t.Error("missing -id should fail")
+	}
+}
+
+func TestRunBadStage(t *testing.T) {
+	if err := run([]string{"-id", "x", "-stage", "0", "-listen", "127.0.0.1:0"}); err == nil {
+		t.Error("stage 0 should fail")
+	}
+}
+
+func TestRunUnreachableParent(t *testing.T) {
+	if err := run([]string{"-id", "x", "-stage", "1",
+		"-listen", "127.0.0.1:0", "-parent", "127.0.0.1:1"}); err == nil {
+		t.Error("unreachable parent should fail")
+	}
+}

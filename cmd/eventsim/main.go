@@ -1,0 +1,59 @@
+// Command eventsim reproduces the paper's evaluation (Section 5): the
+// RLC table, the Figure 7 matching-rate series, the global-RLC and
+// baseline comparisons, and the ablations listed in DESIGN.md.
+//
+// Usage:
+//
+//	eventsim -experiment table1           # one experiment
+//	eventsim -experiment all              # everything, in report order
+//	eventsim -list                        # available experiments
+//	eventsim -experiment fig7 -seed 42    # different population
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eventsys/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "eventsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("eventsim", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all", "experiment id or 'all'")
+	seed := fs.Uint64("seed", 1, "random seed for the population")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, name := range sim.Experiments() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+	names := sim.Experiments()
+	if *experiment != "all" {
+		names = []string{*experiment}
+	}
+	for i, name := range names {
+		out, err := sim.RunExperiment(name, *seed)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			fmt.Println()
+			fmt.Println("────────────────────────────────────────────────────────")
+			fmt.Println()
+		}
+		fmt.Print(out)
+	}
+	return nil
+}

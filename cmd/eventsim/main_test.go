@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are slow")
+	}
+	if err := run([]string{"-experiment", "fig7", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "nosuch"}); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

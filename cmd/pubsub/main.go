@@ -1,0 +1,171 @@
+// Command pubsub is a client for networked brokers: publish events, or
+// subscribe and print deliveries.
+//
+// Subscribe (walks the placement protocol from the root broker):
+//
+//	pubsub sub -root 127.0.0.1:7001 -id alice \
+//	    -filter 'class = "Stock" && symbol = "ACME" && price < 10'
+//
+// Publish (one event per -attr list):
+//
+//	pubsub pub -root 127.0.0.1:7001 -class Stock \
+//	    -attr 'symbol="ACME"' -attr 'price=9.5'
+//
+// Advertise a schema (enables filter weakening in the hierarchy):
+//
+//	pubsub advertise -root 127.0.0.1:7001 -class Stock -attrs symbol,price -stages 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"eventsys/internal/broker"
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/typing"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pubsub:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: pubsub <sub|pub|advertise> [flags]")
+	}
+	switch args[0] {
+	case "sub":
+		return runSub(args[1:])
+	case "pub":
+		return runPub(args[1:])
+	case "advertise":
+		return runAdvertise(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want sub, pub or advertise)", args[0])
+	}
+}
+
+func runSub(args []string) error {
+	fs := flag.NewFlagSet("pubsub sub", flag.ContinueOnError)
+	root := fs.String("root", "127.0.0.1:7001", "root broker address")
+	id := fs.String("id", "subscriber", "subscriber identity")
+	filterText := fs.String("filter", "", "subscription filter (required)")
+	renew := fs.Duration("renew", 20*time.Second, "lease renewal period (0 = never)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *filterText == "" {
+		return fmt.Errorf("-filter is required")
+	}
+	f, err := filter.ParseFilter(*filterText)
+	if err != nil {
+		return err
+	}
+	sub, err := broker.DialSubscriber(*root, *id, f,
+		broker.SubscriberOptions{RenewEvery: *renew},
+		func(e *event.Event) { fmt.Println(e) })
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+	fmt.Fprintf(os.Stderr, "subscribed as %s; stored filter: %s\n", *id, sub.StoredFilter())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	received, delivered := sub.Stats()
+	fmt.Fprintf(os.Stderr, "received %d, delivered %d (MR %.2f)\n",
+		received, delivered, ratio(delivered, received))
+	return nil
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// attrList collects repeated -attr flags of the form name=literal.
+type attrList []string
+
+func (a *attrList) String() string     { return strings.Join(*a, ",") }
+func (a *attrList) Set(v string) error { *a = append(*a, v); return nil }
+
+func runPub(args []string) error {
+	fs := flag.NewFlagSet("pubsub pub", flag.ContinueOnError)
+	root := fs.String("root", "127.0.0.1:7001", "root broker address")
+	id := fs.String("id", "publisher", "publisher identity")
+	class := fs.String("class", "", "event class (required)")
+	count := fs.Int("count", 1, "number of copies to publish")
+	var attrs attrList
+	fs.Var(&attrs, "attr", `attribute as name=literal, e.g. symbol="ACME" (repeatable)`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *class == "" {
+		return fmt.Errorf("-class is required")
+	}
+	b := event.NewBuilder(*class)
+	for _, kv := range attrs {
+		name, lit, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("bad -attr %q, want name=literal", kv)
+		}
+		v, err := event.ParseValue(lit)
+		if err != nil {
+			return err
+		}
+		b.Val(strings.TrimSpace(name), v)
+	}
+	e := b.Build()
+	pub, err := broker.DialPublisher(*root, *id)
+	if err != nil {
+		return err
+	}
+	defer pub.Close()
+	for i := 0; i < *count; i++ {
+		if err := pub.Publish(e.Clone()); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "published %d × %s\n", *count, e)
+	return nil
+}
+
+func runAdvertise(args []string) error {
+	fs := flag.NewFlagSet("pubsub advertise", flag.ContinueOnError)
+	root := fs.String("root", "127.0.0.1:7001", "root broker address")
+	class := fs.String("class", "", "event class (required)")
+	attrCSV := fs.String("attrs", "", "comma-separated attributes, most general first")
+	stages := fs.Int("stages", 3, "stage count of the hierarchy (brokers + subscriber stage)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *class == "" || *attrCSV == "" {
+		return fmt.Errorf("-class and -attrs are required")
+	}
+	ad, err := typing.NewAdvertisement(*class, *stages, strings.Split(*attrCSV, ",")...)
+	if err != nil {
+		return err
+	}
+	pub, err := broker.DialPublisher(*root, "advertiser")
+	if err != nil {
+		return err
+	}
+	defer pub.Close()
+	if err := pub.Advertise(ad); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "advertised %s\n", ad)
+	return nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"eventsys/internal/broker"
+)
+
+func startTestBroker(t *testing.T) *broker.Server {
+	t.Helper()
+	srv, err := broker.Serve(broker.ServerConfig{
+		ID: "root", Stage: 1, ListenAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRunSubcommandDispatch(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args should fail")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand should fail")
+	}
+}
+
+func TestRunPubAgainstBroker(t *testing.T) {
+	srv := startTestBroker(t)
+	err := run([]string{"pub", "-root", srv.Addr(), "-class", "Stock",
+		"-attr", `symbol="ACME"`, "-attr", "price=9.5", "-count", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for srv.Stats().Received < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("broker received %d events, want 3", srv.Stats().Received)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRunPubValidation(t *testing.T) {
+	srv := startTestBroker(t)
+	if err := run([]string{"pub", "-root", srv.Addr()}); err == nil {
+		t.Error("missing -class should fail")
+	}
+	if err := run([]string{"pub", "-root", srv.Addr(), "-class", "X", "-attr", "noequals"}); err == nil {
+		t.Error("malformed -attr should fail")
+	}
+	if err := run([]string{"pub", "-root", srv.Addr(), "-class", "X", "-attr", "a=@@"}); err == nil {
+		t.Error("bad literal should fail")
+	}
+}
+
+func TestRunAdvertiseAgainstBroker(t *testing.T) {
+	srv := startTestBroker(t)
+	err := run([]string{"advertise", "-root", srv.Addr(),
+		"-class", "Stock", "-attrs", "symbol,price", "-stages", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAdvertiseValidation(t *testing.T) {
+	srv := startTestBroker(t)
+	if err := run([]string{"advertise", "-root", srv.Addr()}); err == nil {
+		t.Error("missing class/attrs should fail")
+	}
+}
+
+func TestRunSubValidation(t *testing.T) {
+	if err := run([]string{"sub"}); err == nil {
+		t.Error("missing -filter should fail")
+	}
+	if err := run([]string{"sub", "-filter", "class <"}); err == nil {
+		t.Error("bad filter should fail")
+	}
+}

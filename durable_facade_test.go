@@ -1,0 +1,78 @@
+package eventsys
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDurableSubscriptionFacade(t *testing.T) {
+	sys := newSystem(t, Options{Seed: 30})
+	if err := sys.Advertise("Job", "queue", "priority"); err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	var mu sync.Mutex
+	record := func(e *Event) {
+		v, _ := e.Lookup("priority")
+		mu.Lock()
+		got = append(got, v.IntVal())
+		mu.Unlock()
+	}
+	sub, err := sys.SubscribeDurable("worker", `class = "Job" && queue = "builds"`, record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := func(prio int64) {
+		e := NewEvent("Job").Str("queue", "builds").Int("priority", prio).Build()
+		if err := sys.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pub(1)
+	sys.Flush()
+
+	// Worker goes offline; jobs accumulate.
+	if err := sub.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	pub(2)
+	pub(3)
+	sys.Flush()
+	if sub.Backlog() != 2 {
+		t.Fatalf("backlog = %d, want 2", sub.Backlog())
+	}
+	mu.Lock()
+	if len(got) != 1 {
+		t.Fatalf("delivered while detached: %v", got)
+	}
+	mu.Unlock()
+
+	// Worker reconnects: backlog drains in order, then live delivery.
+	if err := sub.Resume(record); err != nil {
+		t.Fatal(err)
+	}
+	pub(4)
+	sys.Flush()
+	mu.Lock()
+	defer mu.Unlock()
+	want := []int64{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDurableDetachNonDurableFacade(t *testing.T) {
+	sys := newSystem(t, Options{Seed: 31})
+	sub, err := sys.Subscribe("plain", `class = "E"`, func(*Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Detach(); err == nil {
+		t.Error("Detach on plain subscription should fail")
+	}
+}

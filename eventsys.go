@@ -1,0 +1,304 @@
+// Package eventsys is a content-based publish/subscribe library with
+// multi-stage filtering, reproducing "Event Systems: How to Have Your
+// Cake and Eat It Too" (Eugster, Felber, Guerraoui, Handurukande; IEEE
+// DEBS 2002).
+//
+// The library reconciles three properties the paper shows to be in
+// tension:
+//
+//   - Event safety: events are application-defined Go types. Brokers
+//     never execute application code or inspect object internals; the
+//     subscriber runtime decodes and type-checks delivered objects.
+//   - Subscription expressiveness: filters range over any exposed member
+//     — equality, ordering, string patterns, existence — plus arbitrary
+//     stateful Go predicates evaluated only at the subscriber.
+//   - Filtering scalability: a hierarchy of broker stages pre-filters
+//     events with automatically weakened (covering) filters, so no node
+//     evaluates every subscription against every event.
+//
+// # Quick start
+//
+//	sys, _ := eventsys.New(eventsys.Options{})
+//	defer sys.Close()
+//	sys.Advertise("Stock", "symbol", "price")
+//
+//	type Stock struct{ Symbol string; Price float64 }
+//	sub, _ := eventsys.SubscribeObject(sys, "me",
+//	    `class = "Stock" && symbol = "ACME" && price < 10`,
+//	    func(s Stock) { fmt.Println("buy!", s) })
+//	defer sub.Unsubscribe()
+//
+//	eventsys.PublishObject(sys, "Stock", Stock{Symbol: "ACME", Price: 9.5})
+package eventsys
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/metrics"
+	"eventsys/internal/object"
+	"eventsys/internal/overlay"
+	"eventsys/internal/typing"
+)
+
+// Event is the property-set representation of a published event: a class
+// name, attributes, and an opaque payload for object events.
+type Event = event.Event
+
+// Value is a typed attribute value.
+type Value = event.Value
+
+// NodeStats is a per-node metrics snapshot (LC, RLC and MR derive from
+// it; see the paper's Section 5.1).
+type NodeStats = metrics.NodeStats
+
+// Re-exported value constructors for building untyped events.
+var (
+	String = event.String
+	Int    = event.Int
+	Float  = event.Float
+	Bool   = event.Bool
+)
+
+// NewEvent starts building an untyped event of the given class.
+func NewEvent(class string) *event.Builder { return event.NewBuilder(class) }
+
+// Options configure a System.
+type Options struct {
+	// Fanouts lists broker counts per stage, top down. Default {1, 4, 16}
+	// (three broker stages plus the subscriber stage). The paper's
+	// evaluation topology is {1, 10, 100}.
+	Fanouts []int
+	// TTL is the subscription lease period (Section 4.3); leases lapse
+	// after 3×TTL without renewal. 0 means subscriptions never expire.
+	TTL time.Duration
+	// AutoMaintain renews and sweeps leases in the background (TTL > 0).
+	AutoMaintain bool
+	// UseCounting selects the counting matching engine at brokers
+	// instead of the naive table of the paper's Figure 6.
+	UseCounting bool
+	// Seed makes subscription placement deterministic.
+	Seed uint64
+}
+
+// System is an in-process multi-stage event system: a broker hierarchy
+// run on goroutines connected by channels. Create with New, stop with
+// Close.
+type System struct {
+	ov  *overlay.System
+	reg *typing.Registry
+
+	mu     sync.Mutex
+	orders map[string][]string // class -> advertised attribute order
+	stages int
+}
+
+// New starts a System.
+func New(opts Options) (*System, error) {
+	if opts.Fanouts == nil {
+		opts.Fanouts = []int{1, 4, 16}
+	}
+	reg := typing.NewRegistry()
+	ov, err := overlay.New(overlay.Config{
+		Fanouts:      opts.Fanouts,
+		TTL:          opts.TTL,
+		AutoMaintain: opts.AutoMaintain,
+		Registry:     reg,
+		UseCounting:  opts.UseCounting,
+		Seed:         opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		ov:     ov,
+		reg:    reg,
+		orders: make(map[string][]string),
+		stages: len(opts.Fanouts) + 1,
+	}, nil
+}
+
+// Close shuts the system down and waits for all of its goroutines.
+func (s *System) Close() { s.ov.Close() }
+
+// RegisterType places an event class in the type hierarchy. Subscribing
+// to a class then also matches events of its (transitive) subtypes —
+// type-based publish/subscribe. An empty parent attaches the class below
+// the implicit root.
+func (s *System) RegisterType(name, parent string) error {
+	return s.reg.Register(name, parent)
+}
+
+// Advertise announces an event class with its attributes ordered from
+// most general to least general (the order drives automated filter
+// weakening per stage — Section 4.1's attribute-stage association G_c,
+// in its canonical drop-one-attribute-per-stage form).
+func (s *System) Advertise(class string, attrs ...string) error {
+	ad, err := typing.NewAdvertisement(class, s.stages, attrs...)
+	if err != nil {
+		return err
+	}
+	return s.AdvertiseCustom(ad)
+}
+
+// AdvertiseCustom announces a class with an explicit attribute-stage
+// association (set Advertisement.StageAttrs before calling).
+func (s *System) AdvertiseCustom(ad *typing.Advertisement) error {
+	if err := s.ov.Advertise(ad); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.orders[ad.Class] = append([]string(nil), ad.Attrs...)
+	s.mu.Unlock()
+	return nil
+}
+
+// attrOrder returns the advertised attribute order for a class.
+func (s *System) attrOrder(class string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.orders[class]
+}
+
+// Publish injects an untyped event at the root of the hierarchy.
+func (s *System) Publish(e *Event) error { return s.ov.Publish(e) }
+
+// Subscription is a live subscription handle.
+type Subscription struct {
+	h *overlay.Handle
+}
+
+// Subscribe registers an untyped subscription. The subscription text is
+// a disjunction of conjunctive filters, e.g.
+//
+//	class = "Stock" && symbol = "ACME" && price < 10 || class = "Bond"
+//
+// The handler runs on a dedicated goroutine and receives each matching
+// event exactly once.
+func (s *System) Subscribe(id, subscription string, handler func(*Event)) (*Subscription, error) {
+	sub, err := filter.Parse(subscription)
+	if err != nil {
+		return nil, err
+	}
+	h, err := s.ov.Subscribe(id, sub, overlay.Handler(handler))
+	if err != nil {
+		return nil, err
+	}
+	return &Subscription{h: h}, nil
+}
+
+// SubscribeDurable is Subscribe with durable semantics (Section 2.1 of
+// the paper: brokers store events for temporarily disconnected
+// subscribers). Detach pauses delivery while the hierarchy keeps routing
+// and buffering; Resume drains the backlog in order and goes live again.
+func (s *System) SubscribeDurable(id, subscription string, handler func(*Event)) (*Subscription, error) {
+	sub, err := filter.Parse(subscription)
+	if err != nil {
+		return nil, err
+	}
+	h, err := s.ov.SubscribeDurable(id, sub, overlay.Handler(handler))
+	if err != nil {
+		return nil, err
+	}
+	return &Subscription{h: h}, nil
+}
+
+// SubscribeWhere is Subscribe with an additional local predicate applied
+// at the subscriber runtime after perfect filtering. The predicate may be
+// stateful (the paper's BuyFilter example): it runs only at the edge,
+// never at brokers.
+func (s *System) SubscribeWhere(id, subscription string, pred func(*Event) bool, handler func(*Event)) (*Subscription, error) {
+	if pred == nil {
+		return nil, fmt.Errorf("eventsys: nil predicate")
+	}
+	return s.Subscribe(id, subscription, func(e *Event) {
+		if pred(e) {
+			handler(e)
+		}
+	})
+}
+
+// Unsubscribe cancels the subscription.
+func (sub *Subscription) Unsubscribe() error { return sub.h.Unsubscribe() }
+
+// Detach pauses a durable subscription; its events accumulate at the
+// subscriber runtime until Resume.
+func (sub *Subscription) Detach() error { return sub.h.Detach() }
+
+// Resume re-attaches a detached durable subscription: the backlog drains
+// in FIFO order into the new handler, then live delivery continues.
+func (sub *Subscription) Resume(handler func(*Event)) error {
+	return sub.h.Resume(overlay.Handler(handler))
+}
+
+// Backlog reports events stored for a detached durable subscription.
+func (sub *Subscription) Backlog() int { return sub.h.Backlog() }
+
+// Broker returns the ID of the broker that accepted the subscription
+// (a stage-1 node normally; higher for wildcard subscriptions).
+func (sub *Subscription) Broker() string { return sub.h.Node() }
+
+// Delivered reports how many events passed perfect filtering and reached
+// the handler.
+func (sub *Subscription) Delivered() uint64 { return sub.h.Delivered() }
+
+// Received reports how many events reached the subscriber runtime before
+// perfect filtering (Received - Delivered is the residual imprecision of
+// pre-filtering; the paper's MR at the subscriber is Delivered/Received).
+func (sub *Subscription) Received() uint64 { return sub.h.Received() }
+
+// PublishObject publishes an application object as an event of the given
+// class. Attributes are extracted by reflection (exported fields and
+// Get*-prefixed accessors, Section 3.4) into routing meta-data; the
+// object itself travels as an opaque payload that only subscriber
+// runtimes decode — brokers never see inside it.
+func PublishObject[T any](s *System, class string, obj T) error {
+	e, err := object.ToEvent(class, obj, s.attrOrder(class))
+	if err != nil {
+		return err
+	}
+	return s.Publish(e)
+}
+
+// SubscribeObject registers a type-safe subscription: the handler
+// receives decoded T values. Events whose payload does not decode as T
+// are dropped (a subscriber asking for a type never sees another).
+func SubscribeObject[T any](s *System, id, subscription string, handler func(T)) (*Subscription, error) {
+	return SubscribeObjectWhere(s, id, subscription, nil, handler)
+}
+
+// SubscribeObjectWhere is SubscribeObject with a typed local predicate
+// evaluated at the subscriber runtime — arbitrary, possibly stateful Go
+// code the brokers never run (the paper's end-to-end event safety).
+func SubscribeObjectWhere[T any](s *System, id, subscription string, pred func(T) bool, handler func(T)) (*Subscription, error) {
+	if handler == nil {
+		return nil, fmt.Errorf("eventsys: nil handler")
+	}
+	return s.Subscribe(id, subscription, func(e *Event) {
+		obj, err := object.Decode[T](e.Payload)
+		if err != nil {
+			return
+		}
+		if pred != nil && !pred(obj) {
+			return
+		}
+		handler(obj)
+	})
+}
+
+// Stats snapshots per-node metrics for every broker and subscriber:
+// stored filters, events received/matched/forwarded/delivered. The
+// paper's LC, RLC and MR metrics derive from these via the methods on
+// NodeStats.
+func (s *System) Stats() []NodeStats { return s.ov.Stats() }
+
+// Maintain runs one synchronous lease renewal and sweep round at the
+// given time (AutoMaintain does this continuously).
+func (s *System) Maintain(now time.Time) { s.ov.Maintain(now) }
+
+// Flush blocks until every previously published event has been fully
+// processed and delivered. Useful in tests and batch pipelines.
+func (s *System) Flush() { s.ov.Flush() }

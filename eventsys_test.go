@@ -1,0 +1,275 @@
+package eventsys
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Stock mirrors the paper's running example with accessor-based
+// encapsulation: unexported state, Get-prefixed access methods.
+type Stock struct {
+	Symbol string
+	Price  float64
+}
+
+func newSystem(t *testing.T, opts Options) *System {
+	t.Helper()
+	sys, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	return sys
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	sys := newSystem(t, Options{Seed: 1})
+	if err := sys.Advertise("Stock", "symbol", "price"); err != nil {
+		t.Fatal(err)
+	}
+	var got []Stock
+	var mu sync.Mutex
+	sub, err := SubscribeObject(sys, "me",
+		`class = "Stock" && symbol = "ACME" && price < 10`,
+		func(s Stock) {
+			mu.Lock()
+			got = append(got, s)
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{9.5, 12.0, 3.2} {
+		if err := PublishObject(sys, "Stock", Stock{Symbol: "ACME", Price: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := PublishObject(sys, "Stock", Stock{Symbol: "OTHER", Price: 1}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Flush()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("handler got %v, want 2 stocks", got)
+	}
+	for _, s := range got {
+		if s.Symbol != "ACME" || s.Price >= 10 {
+			t.Errorf("wrong object delivered: %+v", s)
+		}
+	}
+	if sub.Delivered() != 2 {
+		t.Errorf("Delivered = %d", sub.Delivered())
+	}
+	if sub.Broker() == "" {
+		t.Error("Broker() empty")
+	}
+}
+
+func TestUntypedSubscribe(t *testing.T) {
+	sys := newSystem(t, Options{Seed: 2})
+	var count atomic.Uint64
+	_, err := sys.Subscribe("u1", `class = "Reading" && celsius > 30`, func(e *Event) {
+		count.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Publish(NewEvent("Reading").Float("celsius", 35).Build())
+	sys.Publish(NewEvent("Reading").Float("celsius", 20).Build())
+	sys.Flush()
+	if count.Load() != 1 {
+		t.Errorf("count = %d, want 1", count.Load())
+	}
+}
+
+func TestDisjunctionSubscription(t *testing.T) {
+	sys := newSystem(t, Options{Seed: 3})
+	var count atomic.Uint64
+	_, err := sys.Subscribe("d1",
+		`class = "A" && x = 1 || class = "B"`,
+		func(*Event) { count.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Publish(NewEvent("A").Int("x", 1).Build())
+	sys.Publish(NewEvent("A").Int("x", 2).Build())
+	sys.Publish(NewEvent("B").Build())
+	sys.Flush()
+	if count.Load() != 2 {
+		t.Errorf("count = %d, want 2", count.Load())
+	}
+}
+
+func TestTypeHierarchySubscription(t *testing.T) {
+	sys := newSystem(t, Options{Seed: 4})
+	if err := sys.RegisterType("Quote", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterType("Stock", "Quote"); err != nil {
+		t.Fatal(err)
+	}
+	var count atomic.Uint64
+	if _, err := sys.Subscribe("t1", `class = "Quote"`, func(*Event) { count.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	sys.Publish(NewEvent("Stock").Str("symbol", "X").Build()) // subtype
+	sys.Publish(NewEvent("Quote").Build())                    // exact
+	sys.Publish(NewEvent("Auction").Build())                  // unrelated
+	sys.Flush()
+	if count.Load() != 2 {
+		t.Errorf("count = %d, want 2 (subtype polymorphism)", count.Load())
+	}
+}
+
+// buyPredicate reimplements the paper's BuyFilter as a stateful local
+// predicate: match when the price dropped below threshold × last match.
+func TestStatefulLocalPredicate(t *testing.T) {
+	sys := newSystem(t, Options{Seed: 5})
+	if err := sys.Advertise("Stock", "symbol", "price"); err != nil {
+		t.Fatal(err)
+	}
+	last := 0.0
+	var matches []float64
+	var mu sync.Mutex
+	_, err := SubscribeObjectWhere(sys, "buyer",
+		`class = "Stock" && symbol = "Foo" && price < 10.0`, // f1: weakened broker-side form
+		func(s Stock) bool { // BuyFilter.match: stateful, edge-only
+			match := last != 0 && s.Price <= last*0.95
+			last = s.Price
+			return match
+		},
+		func(s Stock) {
+			mu.Lock()
+			matches = append(matches, s.Price)
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{9.0, 8.9, 8.0, 9.9, 8.0} {
+		if err := PublishObject(sys, "Stock", Stock{Symbol: "Foo", Price: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Flush()
+	mu.Lock()
+	defer mu.Unlock()
+	// 8.0 <= 8.9*0.95 and 8.0 <= 9.9*0.95 match; others do not.
+	if len(matches) != 2 || matches[0] != 8.0 || matches[1] != 8.0 {
+		t.Errorf("matches = %v, want [8 8]", matches)
+	}
+}
+
+func TestObjectTypeMismatchDropped(t *testing.T) {
+	sys := newSystem(t, Options{Seed: 6})
+	type Alert struct{ Level int64 }
+	var count atomic.Uint64
+	if _, err := SubscribeObject(sys, "o1", `class = "Any"`, func(a Alert) { count.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	// An untyped event with no payload cannot decode into Alert.
+	sys.Publish(NewEvent("Any").Int("level", 3).Build())
+	// A properly typed object decodes.
+	if err := PublishObject(sys, "Any", Alert{Level: 2}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Flush()
+	if count.Load() != 1 {
+		t.Errorf("count = %d, want 1 (undecodable payload dropped)", count.Load())
+	}
+}
+
+func TestSubscribeErrors(t *testing.T) {
+	sys := newSystem(t, Options{Seed: 7})
+	if _, err := sys.Subscribe("e1", `class <`, func(*Event) {}); err == nil {
+		t.Error("bad filter text should fail")
+	}
+	if _, err := sys.SubscribeWhere("e2", `x = 1`, nil, func(*Event) {}); err == nil {
+		t.Error("nil predicate should fail")
+	}
+	if _, err := SubscribeObject[Stock](sys, "e3", `x = 1`, nil); err == nil {
+		t.Error("nil handler should fail")
+	}
+	if err := sys.Advertise("", "a"); err == nil {
+		t.Error("empty class advert should fail")
+	}
+}
+
+func TestUnsubscribeViaFacade(t *testing.T) {
+	sys := newSystem(t, Options{Seed: 8})
+	var count atomic.Uint64
+	sub, err := sys.Subscribe("u1", `class = "E"`, func(*Event) { count.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Publish(NewEvent("E").Build())
+	sys.Flush()
+	if err := sub.Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Publish(NewEvent("E").Build())
+	sys.Flush()
+	if count.Load() != 1 {
+		t.Errorf("count = %d, want 1", count.Load())
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	sys := newSystem(t, Options{Seed: 9, Fanouts: []int{1, 2}})
+	if _, err := sys.Subscribe("s1", `class = "E"`, func(*Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	for range 5 {
+		sys.Publish(NewEvent("E").Build())
+	}
+	sys.Flush()
+	stats := sys.Stats()
+	var rootReceived uint64
+	for _, st := range stats {
+		if st.Stage == 2 {
+			rootReceived = st.Received
+		}
+	}
+	if rootReceived != 5 {
+		t.Errorf("root received = %d, want 5", rootReceived)
+	}
+}
+
+func TestMaintainViaFacade(t *testing.T) {
+	sys := newSystem(t, Options{Seed: 10, TTL: time.Minute})
+	var count atomic.Uint64
+	if _, err := sys.Subscribe("m1", `class = "E"`, func(*Event) { count.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	sys.Maintain(time.Now().Add(2 * time.Minute))
+	sys.Publish(NewEvent("E").Build())
+	sys.Flush()
+	if count.Load() != 1 {
+		t.Errorf("count = %d after maintain, want 1", count.Load())
+	}
+}
+
+func TestWildcardSubscriptionViaFacade(t *testing.T) {
+	sys := newSystem(t, Options{Seed: 11})
+	if err := sys.Advertise("Stock", "symbol", "price"); err != nil {
+		t.Fatal(err)
+	}
+	var count atomic.Uint64
+	// price unspecified: a wildcard subscription (Section 4.4); it
+	// attaches above stage 1 and still receives everything it wants.
+	sub, err := sys.Subscribe("w1", `class = "Stock" && symbol = "A"`, func(*Event) { count.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Publish(NewEvent("Stock").Str("symbol", "A").Float("price", 1).Build())
+	sys.Publish(NewEvent("Stock").Str("symbol", "A").Float("price", 99).Build())
+	sys.Publish(NewEvent("Stock").Str("symbol", "B").Float("price", 1).Build())
+	sys.Flush()
+	if count.Load() != 2 {
+		t.Errorf("count = %d, want 2", count.Load())
+	}
+	_ = sub
+}

@@ -1,0 +1,100 @@
+package eventsys_test
+
+import (
+	"fmt"
+
+	"eventsys"
+)
+
+// Quote is an application-defined event type; only its extracted
+// meta-data (symbol, price) is visible to brokers.
+type Quote struct {
+	Symbol string
+	Price  float64
+}
+
+// ExampleSystem demonstrates the end-to-end object flow: advertise,
+// subscribe with a content filter, publish typed events.
+func ExampleSystem() {
+	sys, err := eventsys.New(eventsys.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	defer sys.Close()
+	if err := sys.Advertise("Quote", "symbol", "price"); err != nil {
+		panic(err)
+	}
+
+	done := make(chan Quote, 1)
+	if _, err := eventsys.SubscribeObject(sys, "trader",
+		`class = "Quote" && symbol = "ACME" && price < 10`,
+		func(q Quote) { done <- q }); err != nil {
+		panic(err)
+	}
+
+	eventsys.PublishObject(sys, "Quote", Quote{Symbol: "ACME", Price: 12.0}) // filtered out
+	eventsys.PublishObject(sys, "Quote", Quote{Symbol: "ACME", Price: 9.5})  // delivered
+	sys.Flush()
+
+	q := <-done
+	fmt.Printf("%s at %.2f\n", q.Symbol, q.Price)
+	// Output: ACME at 9.50
+}
+
+// ExampleSystem_Subscribe shows the untyped property-set API and the
+// subscription text syntax, including disjunction.
+func ExampleSystem_Subscribe() {
+	sys, err := eventsys.New(eventsys.Options{Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	defer sys.Close()
+
+	hits := make(chan string, 2)
+	if _, err := sys.Subscribe("ops",
+		`class = "Alert" && level >= 3 || class = "Outage"`,
+		func(e *eventsys.Event) { hits <- e.Type }); err != nil {
+		panic(err)
+	}
+
+	sys.Publish(eventsys.NewEvent("Alert").Int("level", 1).Build()) // below threshold
+	sys.Publish(eventsys.NewEvent("Alert").Int("level", 4).Build())
+	sys.Publish(eventsys.NewEvent("Outage").Str("region", "eu").Build())
+	sys.Flush()
+
+	fmt.Println(<-hits)
+	fmt.Println(<-hits)
+	// The two filters of the disjunction travel independent broker
+	// paths, so cross-event arrival order is not guaranteed.
+	// Unordered output:
+	// Alert
+	// Outage
+}
+
+// ExampleSystem_RegisterType shows type-based publish/subscribe: a
+// subscription to a supertype receives all subtypes.
+func ExampleSystem_RegisterType() {
+	sys, err := eventsys.New(eventsys.Options{Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	defer sys.Close()
+	sys.RegisterType("Instrument", "")
+	sys.RegisterType("Stock", "Instrument")
+	sys.RegisterType("Bond", "Instrument")
+
+	types := make(chan string, 2)
+	if _, err := sys.Subscribe("any-instrument", `class = "Instrument"`,
+		func(e *eventsys.Event) { types <- e.Type }); err != nil {
+		panic(err)
+	}
+	sys.Publish(eventsys.NewEvent("Stock").Str("symbol", "X").Build())
+	sys.Publish(eventsys.NewEvent("Bond").Str("issuer", "Y").Build())
+	sys.Flush()
+
+	fmt.Println(<-types)
+	fmt.Println(<-types)
+	// Output:
+	// Stock
+	// Bond
+}

@@ -1,0 +1,86 @@
+// Mesh demonstrates the non-hierarchical broker configuration the paper
+// mentions in Section 4 (footnote 1): an acyclic peer-to-peer graph with
+// reverse-path forwarding and hop-distance filter weakening.
+//
+// Topology (a small federation of three sites):
+//
+//	geneva ─ zurich ─ lausanne
+//	            │
+//	         basel
+//
+// A subscription at lausanne floods weakened filters outward: zurich
+// (1 hop) stores a stage-1 filter, geneva and basel (2 hops) stage-2
+// filters. Events published anywhere reach exactly the interested
+// subscribers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/mesh"
+	"eventsys/internal/typing"
+)
+
+func main() {
+	var ads typing.AdvertisementSet
+	ad, err := typing.NewAdvertisement("Stock", 3, "symbol", "price")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ad.StageAttrs = []int{2, 2, 1}
+	if err := ads.Put(ad); err != nil {
+		log.Fatal(err)
+	}
+
+	m := mesh.New(mesh.Config{Ads: &ads, MaxStage: 2})
+	for _, id := range []mesh.BrokerID{"geneva", "zurich", "lausanne", "basel"} {
+		if err := m.AddBroker(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, link := range [][2]mesh.BrokerID{
+		{"geneva", "zurich"}, {"zurich", "lausanne"}, {"zurich", "basel"},
+	} {
+		if err := m.Connect(link[0], link[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// A cycle is structurally impossible:
+	if err := m.Connect("geneva", "lausanne"); err != nil {
+		fmt.Println("rejected:", err)
+	}
+
+	if err := m.Subscribe("lausanne", "trader-lau",
+		filter.MustParseFilter(`class = "Stock" && symbol = "NESN" && price < 100`)); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Subscribe("basel", "trader-bas",
+		filter.MustParseFilter(`class = "Stock" && symbol = "ROG"`)); err != nil {
+		log.Fatal(err)
+	}
+
+	quotes := []struct {
+		sym   string
+		price float64
+	}{
+		{"NESN", 95.0}, {"NESN", 120.0}, {"ROG", 250.0}, {"UBSG", 27.0},
+	}
+	for _, q := range quotes {
+		e := event.NewBuilder("Stock").Str("symbol", q.sym).Float("price", q.price).Build()
+		got, err := m.Publish("geneva", e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s @ %.2f -> %v\n", q.sym, q.price, got)
+	}
+
+	fmt.Println("\nper-broker statistics:")
+	for _, st := range m.Stats() {
+		fmt.Printf("  %-9s filters %-2d received %-2d forwarded %-2d delivered %d\n",
+			st.NodeID, st.Filters, st.Received, st.Forwarded, st.Delivered)
+	}
+	fmt.Printf("total stored filters: %d\n", m.StoredFilters())
+}

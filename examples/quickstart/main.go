@@ -1,0 +1,62 @@
+// Quickstart: publish typed events through a multi-stage broker
+// hierarchy and receive them with a type-safe subscription.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eventsys"
+)
+
+// Reading is an application-defined event type. Brokers never see this
+// struct — only the meta-data attributes extracted from it.
+type Reading struct {
+	Sensor  string
+	Celsius float64
+}
+
+func main() {
+	// A hierarchy with three broker stages (1 root, 4 mid, 16 leaf
+	// brokers) plus the subscriber stage.
+	sys, err := eventsys.New(eventsys.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Advertise the event class: attributes ordered most general first.
+	// This drives automatic filter weakening per stage.
+	if err := sys.Advertise("Reading", "sensor", "celsius"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Subscribe with a content-based filter; the handler receives
+	// decoded Reading values.
+	done := make(chan struct{})
+	sub, err := eventsys.SubscribeObject(sys, "alarm",
+		`class = "Reading" && sensor = "boiler" && celsius > 90`,
+		func(r Reading) {
+			fmt.Printf("ALERT: %s at %.1f°C\n", r.Sensor, r.Celsius)
+			close(done)
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Publish a mix of events; only the hot boiler reading is delivered.
+	for _, r := range []Reading{
+		{Sensor: "boiler", Celsius: 71.0},
+		{Sensor: "intake", Celsius: 99.0},
+		{Sensor: "boiler", Celsius: 93.5},
+	} {
+		if err := eventsys.PublishObject(sys, "Reading", r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sys.Flush()
+	<-done
+
+	fmt.Printf("delivered %d of %d events reaching the subscriber (accepted at broker %s)\n",
+		sub.Delivered(), sub.Received(), sub.Broker())
+}

@@ -1,0 +1,115 @@
+// Package baseline implements the two non-overlay architectures of
+// Section 2.1 against which multi-stage filtering is evaluated:
+//
+//   - Centralized: a single server stores every subscription and filters
+//     every event. By construction its relative load complexity is 1 —
+//     the normalization point of the paper's RLC metric.
+//   - Broadcast: every event reaches every subscriber, which filters
+//     locally. Total filtering work is (#events × #subscribers) spread
+//     across the edge, and per-subscriber load grows with the global
+//     event rate — the paper's argument for why broadcast does not scale.
+//
+// Both deliver exactly the same event sets as the multi-stage system,
+// which the simulator uses as a cross-validation oracle.
+package baseline
+
+import (
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/index"
+	"eventsys/internal/metrics"
+)
+
+// Centralized is the single-server architecture.
+type Centralized struct {
+	table    index.Engine
+	conf     filter.Conformance
+	counters *metrics.Counters
+	subs     int
+}
+
+// NewCentralized builds a centralized server with the given matching
+// engine (nil selects the naive table).
+func NewCentralized(conf filter.Conformance, engine index.Engine) *Centralized {
+	if engine == nil {
+		engine = index.NewNaiveTable(conf)
+	}
+	return &Centralized{table: engine, conf: conf, counters: &metrics.Counters{}}
+}
+
+// Subscribe registers a subscriber's filter at the server.
+func (c *Centralized) Subscribe(id string, f *filter.Filter) {
+	c.table.Insert(f, id)
+	c.subs++
+	c.counters.SetFilters(c.table.Len())
+}
+
+// Publish filters the event against every subscription and returns the
+// subscriber IDs to deliver to.
+func (c *Centralized) Publish(e *event.Event) []string {
+	c.counters.AddReceived(1)
+	ids, matched := c.table.Match(e)
+	if matched > 0 {
+		c.counters.AddMatched(1)
+	}
+	c.counters.AddForwarded(uint64(len(ids)))
+	return ids
+}
+
+// Stats snapshots the server's counters.
+func (c *Centralized) Stats() metrics.NodeStats {
+	return c.counters.Stats("central", 0)
+}
+
+// Subscribers returns the number of registered subscriptions.
+func (c *Centralized) Subscribers() int { return c.subs }
+
+// Broadcast is the flooding architecture: group-communication delivery of
+// every event to every subscriber, with purely local filtering.
+type Broadcast struct {
+	conf      filter.Conformance
+	collector *metrics.Collector
+	order     []string
+	filters   map[string]*filter.Filter
+}
+
+// NewBroadcast builds an empty broadcast group.
+func NewBroadcast(conf filter.Conformance) *Broadcast {
+	return &Broadcast{
+		conf:      conf,
+		collector: &metrics.Collector{},
+		filters:   make(map[string]*filter.Filter),
+	}
+}
+
+// Subscribe adds a member with its local filter.
+func (b *Broadcast) Subscribe(id string, f *filter.Filter) {
+	if _, ok := b.filters[id]; !ok {
+		b.order = append(b.order, id)
+	}
+	b.filters[id] = f
+	c := b.collector.Counters(id, 0)
+	c.SetFilters(1)
+}
+
+// Publish floods the event to every member and returns the IDs whose
+// local filters matched (the delivered set).
+func (b *Broadcast) Publish(e *event.Event) []string {
+	var delivered []string
+	for _, id := range b.order {
+		c := b.collector.Counters(id, 0)
+		c.AddReceived(1)
+		if b.filters[id].Matches(e, b.conf) {
+			c.AddMatched(1)
+			c.AddDelivered(1)
+			delivered = append(delivered, id)
+		}
+	}
+	return delivered
+}
+
+// Stats snapshots every member's counters.
+func (b *Broadcast) Stats() []metrics.NodeStats { return b.collector.Snapshot() }
+
+// Members returns the number of group members.
+func (b *Broadcast) Members() int { return len(b.order) }

@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/workload"
+)
+
+func TestCentralizedRLCIsOne(t *testing.T) {
+	c := NewCentralized(nil, nil)
+	stocks, err := workload.NewStocks(1, workload.DefaultStocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const subs, events = 40, 500
+	for i := 0; i < subs; i++ {
+		c.Subscribe(fmt.Sprintf("s%d", i), stocks.Subscription(workload.SubscriptionOptions{}))
+	}
+	for i := 0; i < events; i++ {
+		c.Publish(stocks.Event())
+	}
+	stats := c.Stats()
+	if got := stats.RLC(events, subs); got != 1 {
+		t.Errorf("centralized RLC = %v, want exactly 1", got)
+	}
+	if c.Subscribers() != subs {
+		t.Errorf("Subscribers = %d", c.Subscribers())
+	}
+}
+
+func TestCentralizedDelivery(t *testing.T) {
+	c := NewCentralized(nil, nil)
+	c.Subscribe("a", filter.MustParseFilter(`class = "Stock" && symbol = "X"`))
+	c.Subscribe("b", filter.MustParseFilter(`class = "Stock" && price < 5`))
+	e := event.NewBuilder("Stock").Str("symbol", "X").Float("price", 3).Build()
+	got := c.Publish(e)
+	if fmt.Sprint(got) != "[a b]" {
+		t.Errorf("delivered = %v, want [a b]", got)
+	}
+	miss := event.NewBuilder("Stock").Str("symbol", "Y").Float("price", 9).Build()
+	if got := c.Publish(miss); len(got) != 0 {
+		t.Errorf("delivered = %v, want none", got)
+	}
+}
+
+func TestBroadcastEveryoneReceives(t *testing.T) {
+	b := NewBroadcast(nil)
+	b.Subscribe("a", filter.MustParseFilter(`class = "Stock" && symbol = "X"`))
+	b.Subscribe("c", filter.MustParseFilter(`class = "Bond"`))
+	const events = 100
+	stocks, _ := workload.NewStocks(2, workload.DefaultStocks())
+	for i := 0; i < events; i++ {
+		b.Publish(stocks.Event())
+	}
+	for _, s := range b.Stats() {
+		if s.Received != events {
+			t.Errorf("%s received %d, want %d (broadcast must flood)", s.NodeID, s.Received, events)
+		}
+	}
+	if b.Members() != 2 {
+		t.Errorf("Members = %d", b.Members())
+	}
+}
+
+func TestBroadcastAndCentralizedAgree(t *testing.T) {
+	c := NewCentralized(nil, nil)
+	b := NewBroadcast(nil)
+	stocks, _ := workload.NewStocks(3, workload.DefaultStocks())
+	for i := 0; i < 30; i++ {
+		f := stocks.Subscription(workload.SubscriptionOptions{WildcardProb: 0.2})
+		id := fmt.Sprintf("s%d", i)
+		c.Subscribe(id, f)
+		b.Subscribe(id, f)
+	}
+	for i := 0; i < 500; i++ {
+		e := stocks.Event()
+		cd, bd := c.Publish(e), b.Publish(e)
+		sort.Strings(cd)
+		sort.Strings(bd)
+		if got, want := fmt.Sprint(cd), fmt.Sprint(bd); got != want {
+			t.Fatalf("event %d: centralized %s vs broadcast %s", i, got, want)
+		}
+	}
+}
+
+func TestBroadcastResubscribeReplacesFilter(t *testing.T) {
+	b := NewBroadcast(nil)
+	b.Subscribe("a", filter.MustParseFilter(`x = 1`))
+	b.Subscribe("a", filter.MustParseFilter(`x = 2`))
+	if b.Members() != 1 {
+		t.Fatalf("Members = %d, want 1", b.Members())
+	}
+	e := event.NewBuilder("T").Int("x", 2).Build()
+	if got := b.Publish(e); len(got) != 1 {
+		t.Errorf("delivered = %v", got)
+	}
+}

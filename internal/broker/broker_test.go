@@ -1,0 +1,347 @@
+package broker
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/typing"
+)
+
+// cluster spins up a root (stage len(layout)) with layout[i] brokers per
+// lower stage on loopback sockets, e.g. layout {2} = 1 root + 2 leaves.
+type cluster struct {
+	root    *Server
+	brokers []*Server
+}
+
+func startCluster(t *testing.T, leafs int, ttl time.Duration) *cluster {
+	t.Helper()
+	root, err := Serve(ServerConfig{ID: "root", Stage: 2, ListenAddr: "127.0.0.1:0", TTL: ttl, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &cluster{root: root}
+	t.Cleanup(func() {
+		for _, b := range cl.brokers {
+			b.Close()
+		}
+		root.Close()
+	})
+	for i := 0; i < leafs; i++ {
+		leaf, err := Serve(ServerConfig{
+			ID: fmt.Sprintf("N1.%d", i+1), Stage: 1, ListenAddr: "127.0.0.1:0",
+			ParentAddr: root.Addr(), TTL: ttl, Seed: uint64(i + 2),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.brokers = append(cl.brokers, leaf)
+	}
+	// Await topology readiness: the root must see every leaf.
+	deadline := time.Now().Add(5 * time.Second)
+	for root.ChildBrokers() < leafs {
+		if time.Now().After(deadline) {
+			t.Fatalf("root saw %d children, want %d", root.ChildBrokers(), leafs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cl
+}
+
+func stockAd(t *testing.T) *typing.Advertisement {
+	t.Helper()
+	ad, err := typing.NewAdvertisement("Stock", 3, "symbol", "price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad.StageAttrs = []int{2, 2, 0}
+	if err := ad.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return ad
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestNetworkedPublishSubscribe(t *testing.T) {
+	cl := startCluster(t, 2, 0)
+
+	pub, err := DialPublisher(cl.root.Addr(), "pub1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Advertise(stockAd(t)); err != nil {
+		t.Fatal(err)
+	}
+	// Let the advertisement reach the leaves before subscribing.
+	time.Sleep(50 * time.Millisecond)
+
+	var count atomic.Uint64
+	sub, err := DialSubscriber(cl.root.Addr(), "s1",
+		filter.MustParseFilter(`class = "Stock" && symbol = "Foo" && price < 10`),
+		SubscriberOptions{}, func(e *event.Event) { count.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	for _, p := range []float64{5, 9.5, 12} {
+		e := event.NewBuilder("Stock").Str("symbol", "Foo").Float("price", p).Build()
+		if err := pub.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pub.Publish(event.NewBuilder("Stock").Str("symbol", "Bar").Float("price", 1).Build()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "2 deliveries", func() bool { return count.Load() == 2 })
+	received, delivered := sub.Stats()
+	if delivered != 2 {
+		t.Errorf("delivered = %d, want 2", delivered)
+	}
+	// Pre-filtering: with the Stock advert, the leaf stores
+	// (symbol, price) filters, so only symbol=Foo price<10 traffic
+	// reaches the client.
+	if received != delivered {
+		t.Logf("received %d > delivered %d (weaker pre-filter at the edge)", received, delivered)
+	}
+}
+
+func TestSubscriberRedirectedToLeaf(t *testing.T) {
+	cl := startCluster(t, 2, 0)
+	pub, err := DialPublisher(cl.root.Addr(), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Advertise(stockAd(t)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	sub, err := DialSubscriber(cl.root.Addr(), "s1",
+		filter.MustParseFilter(`class = "Stock" && symbol = "A" && price < 5`),
+		SubscriberOptions{}, func(*event.Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	// The accepting broker must be one of the leaves: exactly one leaf
+	// stores one filter.
+	waitFor(t, "leaf stores the filter", func() bool {
+		total := 0
+		for _, b := range cl.brokers {
+			total += b.Stats().Filters
+		}
+		return total == 1
+	})
+	// The req-Insert to the root is asynchronous in the TCP runtime.
+	waitFor(t, "root stores the propagated filter", func() bool {
+		return cl.root.Stats().Filters == 1
+	})
+}
+
+func TestSimilarSubscriptionsShareLeaf(t *testing.T) {
+	cl := startCluster(t, 2, 0)
+	pub, err := DialPublisher(cl.root.Addr(), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Advertise(stockAd(t)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	mk := func(id, src string) *Subscriber {
+		s, err := DialSubscriber(cl.root.Addr(), id, filter.MustParseFilter(src),
+			SubscriberOptions{}, func(*event.Event) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+	mk("s1", `class = "Stock" && symbol = "DEF" && price < 10`)
+	mk("s2", `class = "Stock" && symbol = "DEF" && price < 11`)
+	// Both filters land on the same leaf (covering search at the root),
+	// so one leaf holds 2 filters and the other none.
+	waitFor(t, "clustered placement", func() bool {
+		counts := []int{cl.brokers[0].Stats().Filters, cl.brokers[1].Stats().Filters}
+		return counts[0]+counts[1] == 2 && (counts[0] == 0 || counts[1] == 0)
+	})
+}
+
+func TestUnsubscribeNetworked(t *testing.T) {
+	cl := startCluster(t, 1, 0)
+	pub, err := DialPublisher(cl.root.Addr(), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	var count atomic.Uint64
+	sub, err := DialSubscriber(cl.root.Addr(), "s1",
+		filter.MustParseFilter(`class = "Stock" && symbol = "A"`),
+		SubscriberOptions{}, func(*event.Event) { count.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubE := func() {
+		e := event.NewBuilder("Stock").Str("symbol", "A").Float("price", 1).Build()
+		if err := pub.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pubE()
+	waitFor(t, "first delivery", func() bool { return count.Load() == 1 })
+	if err := sub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "leaf drops the filter", func() bool {
+		return cl.brokers[0].Stats().Filters == 0
+	})
+	pubE()
+	time.Sleep(50 * time.Millisecond)
+	if count.Load() != 1 {
+		t.Errorf("delivered after unsubscribe: %d", count.Load())
+	}
+}
+
+func TestLeaseExpiryNetworked(t *testing.T) {
+	const ttl = 60 * time.Millisecond
+	cl := startCluster(t, 1, ttl)
+	var count atomic.Uint64
+	// RenewEvery 0: the client never renews, so the broker expires the
+	// lease after 3×TTL and sweeps it.
+	sub, err := DialSubscriber(cl.root.Addr(), "s1",
+		filter.MustParseFilter(`class = "Stock" && symbol = "A"`),
+		SubscriberOptions{}, func(*event.Event) { count.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	waitFor(t, "lease expiry", func() bool {
+		return cl.brokers[0].Stats().Filters == 0 && cl.root.Stats().Filters == 0
+	})
+}
+
+func TestRenewalKeepsNetworkedLeaseAlive(t *testing.T) {
+	const ttl = 80 * time.Millisecond
+	cl := startCluster(t, 1, ttl)
+	pub, err := DialPublisher(cl.root.Addr(), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	var count atomic.Uint64
+	sub, err := DialSubscriber(cl.root.Addr(), "s1",
+		filter.MustParseFilter(`class = "Stock" && symbol = "A"`),
+		SubscriberOptions{RenewEvery: ttl / 2}, func(*event.Event) { count.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	// Live well past 3×TTL thanks to renewals.
+	time.Sleep(6 * ttl)
+	e := event.NewBuilder("Stock").Str("symbol", "A").Float("price", 1).Build()
+	if err := pub.Publish(e); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "delivery after renewals", func() bool { return count.Load() == 1 })
+}
+
+func TestConcurrentNetworkedTraffic(t *testing.T) {
+	cl := startCluster(t, 2, 0)
+	pub, err := DialPublisher(cl.root.Addr(), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	const subs = 10
+	var total atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < subs; i++ {
+		sub, err := DialSubscriber(cl.root.Addr(), fmt.Sprintf("s%d", i),
+			filter.MustParseFilter(fmt.Sprintf(`class = "Stock" && symbol = "S%d"`, i%3)),
+			SubscriberOptions{}, func(*event.Event) { total.Add(1) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sub.Close() })
+	}
+	const events = 90
+	want := uint64(0)
+	for i := 0; i < events; i++ {
+		sym := fmt.Sprintf("S%d", i%3)
+		for j := 0; j < subs; j++ {
+			if fmt.Sprintf("S%d", j%3) == sym {
+				want++
+			}
+		}
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < events; i++ {
+			e := event.NewBuilder("Stock").Str("symbol", fmt.Sprintf("S%d", i%3)).Float("price", 1).Build()
+			if err := pub.Publish(e); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	waitFor(t, "all deliveries", func() bool { return total.Load() == want })
+}
+
+func TestServeValidation(t *testing.T) {
+	if _, err := Serve(ServerConfig{Stage: 1, ListenAddr: "127.0.0.1:0"}); err == nil {
+		t.Error("missing ID should fail")
+	}
+	if _, err := Serve(ServerConfig{ID: "x", Stage: 0, ListenAddr: "127.0.0.1:0"}); err == nil {
+		t.Error("stage 0 should fail")
+	}
+	if _, err := Serve(ServerConfig{ID: "x", Stage: 1, ListenAddr: "256.0.0.1:99999"}); err == nil {
+		t.Error("bad address should fail")
+	}
+	if _, err := Serve(ServerConfig{ID: "x", Stage: 1, ListenAddr: "127.0.0.1:0", ParentAddr: "127.0.0.1:1"}); err == nil {
+		t.Error("unreachable parent should fail")
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	cl := startCluster(t, 1, 0)
+	if _, err := DialSubscriber(cl.root.Addr(), "x", nil, SubscriberOptions{}, func(*event.Event) {}); err == nil {
+		t.Error("nil filter should fail")
+	}
+	if _, err := DialSubscriber(cl.root.Addr(), "x",
+		filter.MustParseFilter(`a = 1`), SubscriberOptions{}, nil); err == nil {
+		t.Error("nil handler should fail")
+	}
+	pub, err := DialPublisher(cl.root.Addr(), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish(nil); err == nil {
+		t.Error("nil event should fail")
+	}
+}

@@ -1,0 +1,239 @@
+package broker
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/transport"
+	"eventsys/internal/typing"
+)
+
+// Publisher is a client that injects events (and advertisements) at a
+// broker, normally the root. Safe for concurrent use.
+type Publisher struct {
+	mu   sync.Mutex
+	conn net.Conn
+	seq  uint64
+}
+
+// DialPublisher connects a publisher to the broker at addr.
+func DialPublisher(addr, id string) (*Publisher, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("broker: dial %s: %w", addr, err)
+	}
+	if err := transport.WriteFrame(c, transport.Hello{Kind: transport.PeerPublisher, ID: id}); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("broker: publisher handshake: %w", err)
+	}
+	return &Publisher{conn: c}, nil
+}
+
+// Publish sends one event. The event receives a publisher-local sequence
+// ID when it has none.
+func (p *Publisher) Publish(e *event.Event) error {
+	if e == nil {
+		return fmt.Errorf("broker: nil event")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e.ID == 0 {
+		p.seq++
+		e.ID = p.seq
+	}
+	return transport.WriteFrame(p.conn, transport.Publish{Event: e})
+}
+
+// Advertise announces an event class schema; the broker disseminates it
+// down the tree.
+func (p *Publisher) Advertise(ad *typing.Advertisement) error {
+	if err := ad.Validate(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return transport.WriteFrame(p.conn, transport.Advertise{Ad: ad})
+}
+
+// Close terminates the connection.
+func (p *Publisher) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conn.Close()
+}
+
+// SubscriberOptions tune a subscriber client.
+type SubscriberOptions struct {
+	// RenewEvery sends lease renewals at this period; 0 disables them
+	// (use with brokers running without TTL).
+	RenewEvery time.Duration
+	// Conformance is used for the client-side perfect filtering; nil
+	// means exact type matching.
+	Conformance filter.Conformance
+	// MaxRedirects bounds the join-At walk (default 8).
+	MaxRedirects int
+}
+
+// Subscriber is a client subscription: it walks the placement protocol
+// from the root, stays connected to the accepting broker, applies the
+// original filter end-to-end and hands matching events to the handler.
+type Subscriber struct {
+	id       string
+	original *filter.Filter
+	stored   *filter.Filter
+	conn     net.Conn
+	opts     SubscriberOptions
+
+	wg      sync.WaitGroup
+	closed  chan struct{}
+	once    sync.Once
+	writeMu sync.Mutex
+
+	mu        sync.Mutex
+	delivered uint64
+	received  uint64
+}
+
+// DialSubscriber subscribes via the broker at rootAddr, following
+// redirects to the accepting node, and starts delivering matching events
+// to handler on a dedicated goroutine.
+func DialSubscriber(rootAddr, id string, f *filter.Filter, opts SubscriberOptions, handler func(*event.Event)) (*Subscriber, error) {
+	if f == nil {
+		return nil, fmt.Errorf("broker: nil filter")
+	}
+	if handler == nil {
+		return nil, fmt.Errorf("broker: nil handler")
+	}
+	if opts.MaxRedirects <= 0 {
+		opts.MaxRedirects = 8
+	}
+	sub := &Subscriber{id: id, original: f, opts: opts, closed: make(chan struct{})}
+
+	addr := rootAddr
+	for hop := 0; hop < opts.MaxRedirects; hop++ {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("broker: dial %s: %w", addr, err)
+		}
+		if err := transport.WriteFrame(c, transport.Hello{Kind: transport.PeerSubscriber, ID: id}); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("broker: subscriber handshake: %w", err)
+		}
+		if err := transport.WriteFrame(c, transport.Subscribe{SubscriberID: id, Filter: f}); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("broker: subscribe: %w", err)
+		}
+		reply, err := readReply(c)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if reply.Accepted {
+			sub.conn = c
+			sub.stored = reply.Stored
+			sub.wg.Add(1)
+			go sub.readLoop(handler)
+			if opts.RenewEvery > 0 {
+				sub.wg.Add(1)
+				go sub.renewLoop()
+			}
+			return sub, nil
+		}
+		c.Close()
+		if reply.TargetAddr == "" {
+			return nil, fmt.Errorf("broker: subscription rejected without redirect target")
+		}
+		addr = reply.TargetAddr
+	}
+	return nil, fmt.Errorf("broker: too many redirects (last target %s)", addr)
+}
+
+// readReply reads frames until the subscribe reply arrives (events for
+// an earlier incarnation of this subscriber ID may interleave).
+func readReply(c net.Conn) (transport.SubscribeReply, error) {
+	deadline := time.Now().Add(10 * time.Second)
+	_ = c.SetReadDeadline(deadline)
+	defer c.SetReadDeadline(time.Time{})
+	for {
+		m, err := transport.ReadFrame(c)
+		if err != nil {
+			return transport.SubscribeReply{}, fmt.Errorf("broker: awaiting subscribe reply: %w", err)
+		}
+		if rep, ok := m.(transport.SubscribeReply); ok {
+			return rep, nil
+		}
+	}
+}
+
+func (s *Subscriber) readLoop(handler func(*event.Event)) {
+	defer s.wg.Done()
+	for {
+		m, err := transport.ReadFrame(s.conn)
+		if err != nil {
+			return
+		}
+		d, ok := m.(transport.Deliver)
+		if !ok || d.Event == nil {
+			continue
+		}
+		s.mu.Lock()
+		s.received++
+		s.mu.Unlock()
+		// Perfect end-to-end filtering with the original filter.
+		if !s.original.Matches(d.Event, s.opts.Conformance) {
+			continue
+		}
+		s.mu.Lock()
+		s.delivered++
+		s.mu.Unlock()
+		handler(d.Event)
+	}
+}
+
+func (s *Subscriber) renewLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.RenewEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+			s.writeMu.Lock()
+			err := transport.WriteFrame(s.conn, transport.Renew{ID: s.id, Filter: s.stored})
+			s.writeMu.Unlock()
+			if err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Stats returns (received, delivered) counts: events reaching the client
+// and events passing perfect filtering.
+func (s *Subscriber) Stats() (received, delivered uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received, s.delivered
+}
+
+// StoredFilter returns the weakened filter the accepting broker stores.
+func (s *Subscriber) StoredFilter() *filter.Filter { return s.stored }
+
+// Close unsubscribes and tears the connection down.
+func (s *Subscriber) Close() error {
+	var err error
+	s.once.Do(func() {
+		close(s.closed)
+		s.writeMu.Lock()
+		err = transport.WriteFrame(s.conn, transport.Unsubscribe{ID: s.id, Filter: s.stored})
+		s.writeMu.Unlock()
+		s.conn.Close()
+		s.wg.Wait()
+	})
+	return err
+}

@@ -1,0 +1,475 @@
+// Package broker implements the networked deployment of the multi-stage
+// event system: each broker node is a TCP server owning a routing.Node
+// core. Child brokers dial their parents (announcing their own listen
+// address), publishers inject events at the root, and subscribers walk
+// the Figure 5 placement protocol by following join-At redirects from
+// broker to broker.
+//
+// Concurrency model mirrors the in-process overlay: one core goroutine
+// owns the routing state; a reader goroutine per connection feeds it; a
+// writer goroutine per connection drains a buffered outbound queue so a
+// slow peer cannot stall the core (messages to a saturated peer are
+// dropped — TCP-level buffering makes this rare, and lease renewal
+// recovers subscriptions if it ever hits control traffic).
+package broker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+
+	"eventsys/internal/filter"
+	"eventsys/internal/index"
+	"eventsys/internal/metrics"
+	"eventsys/internal/routing"
+	"eventsys/internal/transport"
+	"eventsys/internal/typing"
+	"eventsys/internal/weaken"
+)
+
+// ServerConfig configures one broker process.
+type ServerConfig struct {
+	// ID is the broker's identity in the hierarchy (e.g. "N2.1").
+	ID string
+	// Stage is the broker's filtering stage (1 = leaf).
+	Stage int
+	// ListenAddr is the TCP address to listen on (":0" for ephemeral).
+	ListenAddr string
+	// ParentAddr is the parent broker's address; empty at the root.
+	ParentAddr string
+	// TTL is the lease period (Section 4.3); 0 disables expiry.
+	TTL time.Duration
+	// Registry resolves type conformance; nil = exact names.
+	Registry *typing.Registry
+	// UseCounting selects the counting matching engine.
+	UseCounting bool
+	// Seed drives placement randomness.
+	Seed uint64
+	// Logger receives operational logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// Server is a running broker node.
+type Server struct {
+	cfg  ServerConfig
+	log  *slog.Logger
+	node *routing.Node
+	ads  *typing.AdvertisementSet
+	rng  *rand.Rand
+
+	ln     net.Listener
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	coreCh chan coreEvent
+	parent *peerConn
+
+	mu    sync.Mutex
+	conns map[*peerConn]struct{}
+
+	// core-owned state (no locking needed):
+	byID     map[routing.NodeID]*peerConn
+	counters *metrics.Counters
+}
+
+type coreEvent struct {
+	pc    *peerConn
+	msg   transport.Message
+	gone  bool
+	tick  tickKind
+	query chan int // ChildBrokers snapshot request
+}
+
+type tickKind int
+
+const (
+	tickNone tickKind = iota
+	tickRenew
+	tickSweep
+)
+
+// peerConn is one TCP connection with its outbound queue.
+type peerConn struct {
+	kind transport.PeerKind
+	id   string
+	addr string // child broker's advertised listen address
+
+	c    net.Conn
+	out  chan transport.Message
+	once sync.Once
+}
+
+// Serve starts a broker and returns once it is listening.
+func Serve(cfg ServerConfig) (*Server, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("broker: ID required")
+	}
+	if cfg.Stage < 1 {
+		return nil, fmt.Errorf("broker: stage must be >= 1, got %d", cfg.Stage)
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("broker: listen %s: %w", cfg.ListenAddr, err)
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	s := &Server{
+		cfg:    cfg,
+		log:    logger.With("broker", cfg.ID, "stage", cfg.Stage),
+		ads:    &typing.AdvertisementSet{},
+		rng:    rand.New(rand.NewPCG(cfg.Seed, uint64(cfg.Stage))),
+		ln:     ln,
+		coreCh: make(chan coreEvent, 1024),
+		conns:  make(map[*peerConn]struct{}),
+		byID:   make(map[routing.NodeID]*peerConn),
+	}
+	var conf filter.Conformance = filter.ExactTypes{}
+	if cfg.Registry != nil {
+		conf = cfg.Registry
+	}
+	var engine index.Engine
+	if cfg.UseCounting {
+		engine = index.NewCountingTable(conf)
+	}
+	s.counters = &metrics.Counters{}
+	parentID := routing.NodeID("")
+	if cfg.ParentAddr != "" {
+		parentID = "parent" // real ID unknown until dial; only IsRoot matters
+	}
+	s.node = routing.NewNode(routing.Config{
+		ID:       routing.NodeID(cfg.ID),
+		Stage:    cfg.Stage,
+		Parent:   parentID,
+		TTL:      cfg.TTL,
+		Conf:     conf,
+		Weakener: weaken.New(s.ads, conf),
+		Counters: s.counters,
+		Engine:   engine,
+	})
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+
+	if cfg.ParentAddr != "" {
+		pc, err := s.dialParent()
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		s.parent = pc
+	}
+
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.core()
+	if cfg.TTL > 0 {
+		s.wg.Add(1)
+		go s.ticker()
+	}
+	s.log.Info("broker listening", "addr", s.Addr())
+	return s, nil
+}
+
+// Addr returns the broker's bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats snapshots the broker's counters.
+func (s *Server) Stats() metrics.NodeStats {
+	return s.counters.Stats(s.cfg.ID, s.cfg.Stage)
+}
+
+// Close shuts the broker down and waits for all goroutines.
+func (s *Server) Close() {
+	s.cancel()
+	s.ln.Close()
+	s.mu.Lock()
+	for pc := range s.conns {
+		pc.close()
+	}
+	if s.parent != nil {
+		s.parent.close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) dialParent() (*peerConn, error) {
+	c, err := net.Dial("tcp", s.cfg.ParentAddr)
+	if err != nil {
+		return nil, fmt.Errorf("broker: dial parent %s: %w", s.cfg.ParentAddr, err)
+	}
+	pc := &peerConn{kind: transport.PeerChildBroker, id: "parent", c: c,
+		out: make(chan transport.Message, 1024)}
+	hello := transport.Hello{Kind: transport.PeerChildBroker, ID: s.cfg.ID, Addr: s.Addr()}
+	if err := transport.WriteFrame(c, hello); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("broker: parent handshake: %w", err)
+	}
+	s.wg.Add(2)
+	go s.readLoop(pc)
+	go s.writeLoop(pc)
+	return pc, nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			if s.ctx.Err() != nil {
+				return
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.log.Warn("accept failed", "err", err)
+			continue
+		}
+		pc := &peerConn{c: c, out: make(chan transport.Message, 1024)}
+		s.mu.Lock()
+		s.conns[pc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(2)
+		go s.readLoop(pc)
+		go s.writeLoop(pc)
+	}
+}
+
+func (s *Server) readLoop(pc *peerConn) {
+	defer s.wg.Done()
+	for {
+		m, err := transport.ReadFrame(pc.c)
+		if err != nil {
+			s.post(coreEvent{pc: pc, gone: true})
+			return
+		}
+		s.post(coreEvent{pc: pc, msg: m})
+	}
+}
+
+func (s *Server) writeLoop(pc *peerConn) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case m, ok := <-pc.out:
+			if !ok {
+				return
+			}
+			if err := transport.WriteFrame(pc.c, m); err != nil {
+				pc.close()
+				return
+			}
+		}
+	}
+}
+
+// post hands an event to the core, dropping it only on shutdown.
+func (s *Server) post(ev coreEvent) {
+	select {
+	case s.coreCh <- ev:
+	case <-s.ctx.Done():
+	}
+}
+
+// sendTo enqueues a message for a peer without blocking the core.
+func (s *Server) sendTo(pc *peerConn, m transport.Message) {
+	select {
+	case pc.out <- m:
+	default:
+		s.log.Warn("outbound queue full; dropping", "peer", pc.id, "type", fmt.Sprintf("%T", m))
+	}
+}
+
+func (pc *peerConn) close() {
+	pc.once.Do(func() { pc.c.Close() })
+}
+
+func (s *Server) ticker() {
+	defer s.wg.Done()
+	renew := time.NewTicker(s.cfg.TTL / 2)
+	sweep := time.NewTicker(s.cfg.TTL)
+	defer renew.Stop()
+	defer sweep.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-renew.C:
+			s.post(coreEvent{tick: tickRenew})
+		case <-sweep.C:
+			s.post(coreEvent{tick: tickSweep})
+		}
+	}
+}
+
+// core is the single goroutine owning routing state.
+func (s *Server) core() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case ev := <-s.coreCh:
+			s.handleCore(ev)
+		}
+	}
+}
+
+func (s *Server) handleCore(ev coreEvent) {
+	switch {
+	case ev.query != nil:
+		n := 0
+		for _, pc := range s.byID {
+			if pc.kind == transport.PeerChildBroker {
+				n++
+			}
+		}
+		ev.query <- n
+	case ev.tick == tickRenew:
+		if s.parent != nil {
+			for _, f := range s.node.RenewalsDue() {
+				s.sendTo(s.parent, transport.Renew{ID: s.cfg.ID, Filter: f})
+			}
+		}
+	case ev.tick == tickSweep:
+		if n := s.node.Sweep(time.Now()); n > 0 {
+			s.log.Info("leases expired", "removed", n)
+		}
+	case ev.gone:
+		s.dropPeer(ev.pc)
+	default:
+		s.handleMessage(ev.pc, ev.msg)
+	}
+}
+
+func (s *Server) dropPeer(pc *peerConn) {
+	pc.close()
+	s.mu.Lock()
+	delete(s.conns, pc)
+	s.mu.Unlock()
+	if pc == s.parent {
+		s.log.Warn("parent link lost")
+		return
+	}
+	if pc.id != "" {
+		if cur, ok := s.byID[routing.NodeID(pc.id)]; ok && cur == pc {
+			delete(s.byID, routing.NodeID(pc.id))
+			if pc.kind == transport.PeerChildBroker {
+				s.node.RemoveChild(routing.NodeID(pc.id))
+			}
+		}
+	}
+}
+
+func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
+	switch msg := m.(type) {
+	case transport.Hello:
+		pc.kind, pc.id, pc.addr = msg.Kind, msg.ID, msg.Addr
+		if msg.ID != "" {
+			s.byID[routing.NodeID(msg.ID)] = pc
+		}
+		if msg.Kind == transport.PeerChildBroker {
+			s.node.AddChild(routing.NodeID(msg.ID))
+			s.log.Info("child broker joined", "child", msg.ID, "addr", msg.Addr)
+		}
+	case transport.Publish:
+		if msg.Event == nil {
+			return
+		}
+		for _, id := range s.node.HandleEvent(msg.Event) {
+			dst, ok := s.byID[id]
+			if !ok {
+				continue // disconnected peer; leases will clean up
+			}
+			if dst.kind == transport.PeerChildBroker {
+				s.sendTo(dst, transport.Publish{Event: msg.Event})
+			} else {
+				s.sendTo(dst, transport.Deliver{Event: msg.Event})
+			}
+		}
+	case transport.Subscribe:
+		if msg.Filter == nil {
+			return
+		}
+		res := s.node.HandleSubscribe(msg.Filter, routing.NodeID(msg.SubscriberID), s.rng, time.Now())
+		if res.Action == routing.ActionAccept {
+			s.sendTo(pc, transport.SubscribeReply{Accepted: true, Stored: res.Stored})
+			if res.Up != nil && s.parent != nil {
+				s.sendTo(s.parent, transport.ReqInsert{ChildID: s.cfg.ID, Filter: res.Up})
+			}
+			return
+		}
+		target, ok := s.byID[res.Target]
+		if !ok || target.addr == "" {
+			// Child vanished between covering search and reply: accept
+			// locally rather than strand the subscriber.
+			acc := s.node.HandleSubscribe(msg.Filter, routing.NodeID(msg.SubscriberID), s.rng, time.Now())
+			if acc.Action == routing.ActionAccept {
+				s.sendTo(pc, transport.SubscribeReply{Accepted: true, Stored: acc.Stored})
+			} else {
+				s.sendTo(pc, transport.SubscribeReply{Accepted: false, TargetAddr: ""})
+			}
+			return
+		}
+		s.sendTo(pc, transport.SubscribeReply{Accepted: false, TargetAddr: target.addr})
+	case transport.ReqInsert:
+		if msg.Filter == nil {
+			return
+		}
+		up := s.node.HandleReqInsert(msg.Filter, routing.NodeID(msg.ChildID), time.Now())
+		if up != nil && s.parent != nil {
+			s.sendTo(s.parent, transport.ReqInsert{ChildID: s.cfg.ID, Filter: up})
+		}
+	case transport.Renew:
+		if msg.Filter == nil {
+			return
+		}
+		s.node.HandleRenew(msg.Filter, routing.NodeID(msg.ID), time.Now())
+	case transport.Unsubscribe:
+		if msg.Filter == nil {
+			return
+		}
+		s.node.HandleUnsubscribe(msg.Filter, routing.NodeID(msg.ID))
+	case transport.Advertise:
+		if msg.Ad == nil {
+			return
+		}
+		if err := s.ads.Put(msg.Ad); err != nil {
+			s.log.Warn("rejecting advertisement", "class", msg.Ad.Class, "err", err)
+			return
+		}
+		// Disseminate down the tree (Section 4.1: advertisements reach
+		// every node).
+		for _, dst := range s.byID {
+			if dst.kind == transport.PeerChildBroker {
+				s.sendTo(dst, msg)
+			}
+		}
+	}
+}
+
+// ChildBrokers reports the currently connected child broker count via a
+// round-trip through the core goroutine (used by tests and orchestration
+// to await topology readiness).
+func (s *Server) ChildBrokers() int {
+	done := make(chan int, 1)
+	select {
+	case s.coreCh <- coreEvent{query: done}:
+	case <-s.ctx.Done():
+		return 0
+	}
+	select {
+	case n := <-done:
+		return n
+	case <-s.ctx.Done():
+		return 0
+	}
+}

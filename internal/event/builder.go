@@ -1,0 +1,48 @@
+package event
+
+// Builder assembles events fluently. The zero Builder is not usable; start
+// with NewBuilder, which fixes the event type.
+type Builder struct {
+	ev *Event
+}
+
+// NewBuilder starts building an event of the given type.
+func NewBuilder(eventType string) *Builder {
+	return &Builder{ev: &Event{Type: eventType}}
+}
+
+// Str adds a string attribute.
+func (b *Builder) Str(name, v string) *Builder { return b.attr(name, String(v)) }
+
+// Int adds an integer attribute.
+func (b *Builder) Int(name string, v int64) *Builder { return b.attr(name, Int(v)) }
+
+// Float adds a floating-point attribute.
+func (b *Builder) Float(name string, v float64) *Builder { return b.attr(name, Float(v)) }
+
+// Bool adds a boolean attribute.
+func (b *Builder) Bool(name string, v bool) *Builder { return b.attr(name, Bool(v)) }
+
+// Val adds an attribute with an already-constructed value.
+func (b *Builder) Val(name string, v Value) *Builder { return b.attr(name, v) }
+
+// Payload attaches the opaque serialized object payload.
+func (b *Builder) Payload(p []byte) *Builder {
+	b.ev.Payload = p
+	return b
+}
+
+// ID sets the publisher-assigned sequence identifier.
+func (b *Builder) ID(id uint64) *Builder {
+	b.ev.ID = id
+	return b
+}
+
+func (b *Builder) attr(name string, v Value) *Builder {
+	b.ev.Attrs = append(b.ev.Attrs, Attribute{Name: name, Value: v})
+	return b
+}
+
+// Build returns the assembled event. The builder must not be reused after
+// Build.
+func (b *Builder) Build() *Event { return b.ev }

@@ -1,0 +1,147 @@
+package event
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TypeAttr is the reserved attribute carrying the event's type (class)
+// name. It is always the most general attribute: filtering on it alone
+// degenerates to topic-based addressing (Section 3.4, filter g3).
+const TypeAttr = "class"
+
+// Attribute is a single name-value pair of an event.
+type Attribute struct {
+	Name  string
+	Value Value
+}
+
+// Event is the low-level property-set representation of an event: an event
+// type (class) name, an ordered attribute list, and an opaque payload
+// carrying the original encapsulated object, if any.
+//
+// Attribute order is meaningful: publishers advertise attributes ordered
+// from most general to least general (Section 4.1), and weakening keeps
+// prefixes of that order. Events preserve the advertised order.
+type Event struct {
+	// Type is the event class name, also exposed as the TypeAttr attribute.
+	Type string
+	// Attrs are the exposed attributes, excluding TypeAttr.
+	Attrs []Attribute
+	// Payload is the opaque serialized application object. Brokers never
+	// inspect it; only the subscriber runtime deserializes it.
+	Payload []byte
+	// ID is a publisher-assigned sequence identifier, used by the
+	// evaluation harness to track duplicate-free delivery.
+	ID uint64
+}
+
+// New constructs an event of the given type with a copy of the given
+// attributes.
+func New(eventType string, attrs ...Attribute) *Event {
+	e := &Event{Type: eventType, Attrs: make([]Attribute, len(attrs))}
+	copy(e.Attrs, attrs)
+	return e
+}
+
+// Lookup returns the value of the named attribute. The reserved TypeAttr
+// name resolves to the event type as a string value.
+func (e *Event) Lookup(name string) (Value, bool) {
+	if name == TypeAttr {
+		return String(e.Type), true
+	}
+	for _, a := range e.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return Value{}, false
+}
+
+// Has reports whether the event carries the named attribute.
+func (e *Event) Has(name string) bool {
+	_, ok := e.Lookup(name)
+	return ok
+}
+
+// Set replaces the named attribute value, appending it if absent. Setting
+// TypeAttr updates the event type.
+func (e *Event) Set(name string, v Value) {
+	if name == TypeAttr {
+		e.Type = v.Str()
+		return
+	}
+	for i, a := range e.Attrs {
+		if a.Name == name {
+			e.Attrs[i].Value = v
+			return
+		}
+	}
+	e.Attrs = append(e.Attrs, Attribute{Name: name, Value: v})
+}
+
+// Project returns a new event keeping only the attributes whose names are
+// in keep (the event type and payload reference are always preserved).
+// This is the event transformation of Section 3.3: the projected event
+// covers the original for every filter expressed over the kept attributes.
+func (e *Event) Project(keep func(name string) bool) *Event {
+	p := &Event{Type: e.Type, Payload: e.Payload, ID: e.ID}
+	for _, a := range e.Attrs {
+		if keep(a.Name) {
+			p.Attrs = append(p.Attrs, a)
+		}
+	}
+	return p
+}
+
+// Clone returns a deep copy of the event (the payload bytes are shared, as
+// they are immutable by convention).
+func (e *Event) Clone() *Event {
+	c := *e
+	c.Attrs = make([]Attribute, len(e.Attrs))
+	copy(c.Attrs, e.Attrs)
+	return &c
+}
+
+// Names returns the attribute names in event order.
+func (e *Event) Names() []string {
+	names := make([]string, len(e.Attrs))
+	for i, a := range e.Attrs {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// String renders the event in the paper's tuple notation:
+// (class,"Stock") (symbol,"Foo") (price,10).
+func (e *Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "(%s,%q)", TypeAttr, e.Type)
+	for _, a := range e.Attrs {
+		fmt.Fprintf(&b, " (%s,%s)", a.Name, a.Value)
+	}
+	return b.String()
+}
+
+// Equal reports structural equality of two events, ignoring payload and ID
+// and treating attribute order as irrelevant.
+func (e *Event) Equal(o *Event) bool {
+	if e.Type != o.Type || len(e.Attrs) != len(o.Attrs) {
+		return false
+	}
+	ea, oa := sortedAttrs(e.Attrs), sortedAttrs(o.Attrs)
+	for i := range ea {
+		if ea[i].Name != oa[i].Name || !ea[i].Value.Equal(oa[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedAttrs(attrs []Attribute) []Attribute {
+	s := make([]Attribute, len(attrs))
+	copy(s, attrs)
+	sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
+	return s
+}

@@ -1,0 +1,130 @@
+package event
+
+import (
+	"testing"
+)
+
+func stockEvent() *Event {
+	return NewBuilder("Stock").Str("symbol", "Foo").Float("price", 10.0).Int("volume", 32300).Build()
+}
+
+func TestLookup(t *testing.T) {
+	e := stockEvent()
+	tests := []struct {
+		name  string
+		want  Value
+		found bool
+	}{
+		{"symbol", String("Foo"), true},
+		{"price", Float(10.0), true},
+		{"volume", Int(32300), true},
+		{TypeAttr, String("Stock"), true},
+		{"missing", Value{}, false},
+	}
+	for _, tt := range tests {
+		got, ok := e.Lookup(tt.name)
+		if ok != tt.found {
+			t.Errorf("Lookup(%q) found=%v, want %v", tt.name, ok, tt.found)
+			continue
+		}
+		if ok && !got.Equal(tt.want) {
+			t.Errorf("Lookup(%q) = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestSet(t *testing.T) {
+	e := stockEvent()
+	e.Set("price", Float(12.5))
+	if v, _ := e.Lookup("price"); !v.Equal(Float(12.5)) {
+		t.Errorf("Set existing: got %v", v)
+	}
+	e.Set("exchange", String("NYSE"))
+	if v, _ := e.Lookup("exchange"); !v.Equal(String("NYSE")) {
+		t.Errorf("Set new: got %v", v)
+	}
+	e.Set(TypeAttr, String("Quote"))
+	if e.Type != "Quote" {
+		t.Errorf("Set class: got %q", e.Type)
+	}
+	if len(e.Attrs) != 4 {
+		t.Errorf("attribute count = %d, want 4", len(e.Attrs))
+	}
+}
+
+func TestProject(t *testing.T) {
+	e := stockEvent()
+	e.Payload = []byte("opaque")
+	e.ID = 7
+	keep := map[string]bool{"symbol": true}
+	p := e.Project(func(n string) bool { return keep[n] })
+	if p.Type != "Stock" || p.ID != 7 || string(p.Payload) != "opaque" {
+		t.Fatalf("projection lost type/id/payload: %+v", p)
+	}
+	if len(p.Attrs) != 1 || p.Attrs[0].Name != "symbol" {
+		t.Fatalf("projection attrs = %v", p.Attrs)
+	}
+	// Original untouched.
+	if len(e.Attrs) != 3 {
+		t.Fatalf("original mutated: %v", e.Attrs)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	e := stockEvent()
+	c := e.Clone()
+	c.Set("price", Float(99))
+	if v, _ := e.Lookup("price"); !v.Equal(Float(10.0)) {
+		t.Fatalf("clone mutation leaked into original: %v", v)
+	}
+	if !e.Equal(stockEvent()) {
+		t.Fatal("original changed")
+	}
+}
+
+func TestEqualIgnoresOrder(t *testing.T) {
+	a := NewBuilder("T").Str("x", "1").Int("y", 2).Build()
+	b := NewBuilder("T").Int("y", 2).Str("x", "1").Build()
+	if !a.Equal(b) {
+		t.Error("attribute order should not affect equality")
+	}
+	c := NewBuilder("T").Str("x", "1").Int("y", 3).Build()
+	if a.Equal(c) {
+		t.Error("different values compared equal")
+	}
+	d := NewBuilder("U").Str("x", "1").Int("y", 2).Build()
+	if a.Equal(d) {
+		t.Error("different types compared equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	e := New("Stock", Attribute{"symbol", String("Foo")}, Attribute{"price", Float(10)})
+	got := e.String()
+	want := `(class,"Stock") (symbol,"Foo") (price,10)`
+	if got != want {
+		t.Errorf("String() = %s, want %s", got, want)
+	}
+}
+
+func TestNames(t *testing.T) {
+	e := stockEvent()
+	names := e.Names()
+	want := []string{"symbol", "price", "volume"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestBuilderAllKinds(t *testing.T) {
+	e := NewBuilder("T").Str("s", "v").Int("i", 1).Float("f", 2.5).Bool("b", true).
+		Val("v", Int(9)).Payload([]byte{1}).ID(3).Build()
+	if len(e.Attrs) != 5 || e.ID != 3 || len(e.Payload) != 1 {
+		t.Fatalf("builder produced %+v", e)
+	}
+}

@@ -1,0 +1,82 @@
+package event
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// TestProjectPreservesKeptAttributes (testing/quick): projection keeps
+// exactly the requested attributes with unchanged values.
+func TestProjectPreservesKeptAttributes(t *testing.T) {
+	f := func(a, b, c int64, keepA, keepB, keepC bool) bool {
+		e := NewBuilder("T").Int("a", a).Int("b", b).Int("c", c).Build()
+		keep := map[string]bool{"a": keepA, "b": keepB, "c": keepC}
+		p := e.Project(func(n string) bool { return keep[n] })
+		for name, kept := range keep {
+			v, ok := p.Lookup(name)
+			if kept != ok {
+				return false
+			}
+			if kept {
+				orig, _ := e.Lookup(name)
+				if !v.Equal(orig) {
+					return false
+				}
+			}
+		}
+		return p.Type == e.Type
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSetLookupRoundTrip (testing/quick): Set followed by Lookup returns
+// the stored value, for every supported kind. Integers are exercised
+// within the documented exact range (±2⁵³, the float64-backed numeric
+// family's precision).
+func TestSetLookupRoundTrip(t *testing.T) {
+	f := func(s string, i int64, fl float64, b bool) bool {
+		e := New("T")
+		e.Set("s", String(s))
+		i %= 1 << 53
+		e.Set("i", Int(i))
+		e.Set("b", Bool(b))
+		if fl != fl { // skip NaN: Compare is undefined there by design
+			return true
+		}
+		e.Set("f", Float(fl))
+		vs, _ := e.Lookup("s")
+		vi, _ := e.Lookup("i")
+		vf, _ := e.Lookup("f")
+		vb, _ := e.Lookup("b")
+		return vs.Str() == s && vi.IntVal() == i && vf.Num() == fl && vb.BoolVal() == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEqualIsEquivalenceRelation (testing/quick): event equality is
+// reflexive and symmetric over randomly built events.
+func TestEqualIsEquivalenceRelation(t *testing.T) {
+	build := func(seed uint64) *Event {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		b := NewBuilder([]string{"A", "B"}[rng.IntN(2)])
+		for i := 0; i < rng.IntN(4); i++ {
+			b.Int(string(rune('a'+rng.IntN(3))), int64(rng.IntN(3)))
+		}
+		return b.Build()
+	}
+	f := func(s1, s2 uint64) bool {
+		e1, e2 := build(s1), build(s2)
+		if !e1.Equal(e1) || !e2.Equal(e2) {
+			return false // reflexivity
+		}
+		return e1.Equal(e2) == e2.Equal(e1) // symmetry
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Value
+		kind Kind
+	}{
+		{"string", String("x"), KindString},
+		{"int", Int(42), KindInt},
+		{"float", Float(3.5), KindFloat},
+		{"bool", Bool(true), KindBool},
+		{"zero", Value{}, KindInvalid},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.Kind(); got != tt.kind {
+				t.Fatalf("Kind() = %v, want %v", got, tt.kind)
+			}
+			if tt.kind == KindInvalid && tt.v.IsValid() {
+				t.Fatalf("zero value reported valid")
+			}
+		})
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{"int lt int", Int(1), Int(2), -1, true},
+		{"int eq int", Int(5), Int(5), 0, true},
+		{"int gt int", Int(7), Int(2), 1, true},
+		{"int vs float", Int(2), Float(2.5), -1, true},
+		{"float vs int equal", Float(3), Int(3), 0, true},
+		{"string order", String("abc"), String("abd"), -1, true},
+		{"string eq", String("x"), String("x"), 0, true},
+		{"bool order", Bool(false), Bool(true), -1, true},
+		{"string vs int", String("1"), Int(1), 0, false},
+		{"bool vs int", Bool(true), Int(1), 0, false},
+		{"invalid vs invalid", Value{}, Value{}, 0, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cmp, ok := tt.a.Compare(tt.b)
+			if ok != tt.ok || (ok && cmp != tt.cmp) {
+				t.Fatalf("Compare(%v,%v) = (%d,%v), want (%d,%v)", tt.a, tt.b, cmp, ok, tt.cmp, tt.ok)
+			}
+		})
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Int(3).Equal(Float(3)) {
+		t.Error("Int(3) should equal Float(3)")
+	}
+	if String("3").Equal(Int(3)) {
+		t.Error("String should not equal Int")
+	}
+	if (Value{}).Equal(Value{}) {
+		t.Error("invalid values must not compare equal")
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	tests := []Value{
+		String("hello"), String(`with "quotes"`), String(""),
+		Int(0), Int(-12), Int(1 << 40),
+		Float(3.25), Float(-0.5),
+		Bool(true), Bool(false),
+	}
+	for _, v := range tests {
+		t.Run(v.String(), func(t *testing.T) {
+			got, err := ParseValue(v.String())
+			if err != nil {
+				t.Fatalf("ParseValue(%s): %v", v.String(), err)
+			}
+			if !got.Equal(v) || got.Kind() != v.Kind() {
+				t.Fatalf("round trip %s -> %v (kind %v)", v, got, got.Kind())
+			}
+		})
+	}
+}
+
+func TestParseValueErrors(t *testing.T) {
+	for _, s := range []string{"", `"unterminated`, "abc", "1.2.3", "NaN", "Inf"} {
+		if _, err := ParseValue(s); err == nil {
+			t.Errorf("ParseValue(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		c1, ok1 := Int(a).Compare(Int(b))
+		c2, ok2 := Int(b).Compare(Int(a))
+		return ok1 && ok2 && c1 == -c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareStringProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		c, ok := String(a).Compare(String(b))
+		if !ok {
+			return false
+		}
+		switch {
+		case a < b:
+			return c == -1
+		case a > b:
+			return c == 1
+		default:
+			return c == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

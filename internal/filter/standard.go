@@ -1,0 +1,82 @@
+package filter
+
+// Schema describes the advertised attribute order of an event class,
+// most general first. typing.Advertisement provides it; the indirection
+// keeps this package free of upward dependencies.
+type Schema interface {
+	// AttrOrder returns the advertised attribute names, most general first.
+	AttrOrder() []string
+}
+
+// schemaFunc adapts a plain attribute list to Schema.
+type schemaFunc []string
+
+func (s schemaFunc) AttrOrder() []string { return s }
+
+// SchemaOf wraps an ordered attribute list as a Schema.
+func SchemaOf(attrs ...string) Schema { return schemaFunc(attrs) }
+
+// Standardize converts the filter to the standard subscription filter
+// format of Section 4.4: every advertised attribute appears, in advertised
+// (generality) order; attributes the subscriber left unspecified become
+// wildcard attribute filters (Attr, "ALL", =). Constraints on attributes
+// outside the schema are preserved after the schema-ordered ones, in their
+// original order.
+//
+// The conversion assumes the paper's event model: every published event of
+// the class carries all advertised attributes, so adding presence-only
+// wildcards does not change which events match.
+func (f *Filter) Standardize(schema Schema) *Filter {
+	std := &Filter{Class: f.Class}
+	inSchema := make(map[string]bool)
+	for _, attr := range schema.AttrOrder() {
+		inSchema[attr] = true
+		cs := f.ConstraintsOn(attr)
+		if len(cs) == 0 {
+			std.Constraints = append(std.Constraints, Wild(attr))
+			continue
+		}
+		std.Constraints = append(std.Constraints, cs...)
+	}
+	for _, c := range f.Constraints {
+		if !inSchema[c.Attr] {
+			std.Constraints = append(std.Constraints, c)
+		}
+	}
+	return std
+}
+
+// IsStandard reports whether the filter already follows the standard
+// format for the schema: one leading run of constraints per schema
+// attribute, in schema order, with every schema attribute present.
+func (f *Filter) IsStandard(schema Schema) bool {
+	order := schema.AttrOrder()
+	i := 0
+	for _, attr := range order {
+		cs := f.ConstraintsOn(attr)
+		if len(cs) == 0 {
+			return false
+		}
+		for range cs {
+			if i >= len(f.Constraints) || f.Constraints[i].Attr != attr {
+				return false
+			}
+			i++
+		}
+	}
+	return true
+}
+
+// Project returns a copy of the filter keeping only the class and the
+// constraints on attributes accepted by keep. This is the attribute-
+// removal half of filter weakening (Section 4, Stage-2: "the least
+// general set of attributes ... are removed").
+func (f *Filter) Project(keep func(attr string) bool) *Filter {
+	p := &Filter{Class: f.Class}
+	for _, c := range f.Constraints {
+		if keep(c.Attr) {
+			p.Constraints = append(p.Constraints, c)
+		}
+	}
+	return p
+}

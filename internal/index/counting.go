@@ -1,0 +1,261 @@
+package index
+
+import (
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+)
+
+// CountingTable implements the counting algorithm: each filter is broken
+// into its constraints, constraints are indexed per attribute (equality
+// constraints by value hash, others in per-attribute scan lists), and an
+// event matches a filter when it satisfies all of the filter's
+// constraints. Matching cost is proportional to the number of satisfied
+// constraints, not to the number of filters, which is the scalability
+// lever for large subscription populations.
+type CountingTable struct {
+	conf  filter.Conformance
+	slots []*countSlot
+	free  []int
+	byKey map[string]int // filter key -> slot
+	attrs map[string]*attrIndex
+	// classOnly holds slots whose filters have zero attribute
+	// constraints; they are candidates for every event.
+	classOnly map[int]struct{}
+	counts    []int // scratch, reused across Match calls
+	stamp     []int
+	curStamp  int
+}
+
+type countSlot struct {
+	f     *filter.Filter
+	need  int // number of attribute constraints
+	ids   map[string]struct{}
+	alive bool
+}
+
+type attrIndex struct {
+	// eq maps value keys to slots needing that equality, with the number
+	// of identical constraints (duplicate constraints in one filter each
+	// count).
+	eq map[string][]slotCount
+	// other holds non-equality constraints for linear evaluation.
+	other []otherConstraint
+}
+
+type slotCount struct {
+	slot int
+	n    int
+}
+
+type otherConstraint struct {
+	c    filter.Constraint
+	slot int
+}
+
+var _ Engine = (*CountingTable)(nil)
+
+// NewCountingTable returns an empty counting index using conf for class
+// conformance (nil means exact type matching).
+func NewCountingTable(conf filter.Conformance) *CountingTable {
+	return &CountingTable{
+		conf:      conf,
+		byKey:     make(map[string]int),
+		attrs:     make(map[string]*attrIndex),
+		classOnly: make(map[int]struct{}),
+	}
+}
+
+// Insert implements Engine.
+func (t *CountingTable) Insert(f *filter.Filter, id string) {
+	key := f.Key()
+	if slot, ok := t.byKey[key]; ok {
+		t.slots[slot].ids[id] = struct{}{}
+		return
+	}
+	var slot int
+	if n := len(t.free); n > 0 {
+		slot = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.slots[slot] = &countSlot{}
+	} else {
+		slot = len(t.slots)
+		t.slots = append(t.slots, &countSlot{})
+		t.counts = append(t.counts, 0)
+		t.stamp = append(t.stamp, 0)
+	}
+	s := t.slots[slot]
+	s.f = f.Clone()
+	s.need = len(f.Constraints)
+	s.ids = map[string]struct{}{id: {}}
+	s.alive = true
+	t.byKey[key] = slot
+	if s.need == 0 {
+		t.classOnly[slot] = struct{}{}
+	}
+	for _, c := range f.Constraints {
+		ai, ok := t.attrs[c.Attr]
+		if !ok {
+			ai = &attrIndex{eq: make(map[string][]slotCount)}
+			t.attrs[c.Attr] = ai
+		}
+		if c.Op == filter.OpEq {
+			k := valueKey(c.Operand)
+			found := false
+			for i := range ai.eq[k] {
+				if ai.eq[k][i].slot == slot {
+					ai.eq[k][i].n++
+					found = true
+					break
+				}
+			}
+			if !found {
+				ai.eq[k] = append(ai.eq[k], slotCount{slot: slot, n: 1})
+			}
+		} else {
+			ai.other = append(ai.other, otherConstraint{c: c, slot: slot})
+		}
+	}
+}
+
+// Remove implements Engine.
+func (t *CountingTable) Remove(f *filter.Filter, id string) {
+	key := f.Key()
+	slot, ok := t.byKey[key]
+	if !ok {
+		return
+	}
+	s := t.slots[slot]
+	delete(s.ids, id)
+	if len(s.ids) == 0 {
+		t.dropSlot(key, slot)
+	}
+}
+
+// RemoveID implements Engine.
+func (t *CountingTable) RemoveID(id string) {
+	for key, slot := range t.byKey {
+		s := t.slots[slot]
+		delete(s.ids, id)
+		if len(s.ids) == 0 {
+			t.dropSlot(key, slot)
+		}
+	}
+}
+
+// dropSlot tombstones a slot. Constraint entries pointing at it are
+// filtered lazily during Match; the slot is recycled for the next insert.
+func (t *CountingTable) dropSlot(key string, slot int) {
+	s := t.slots[slot]
+	s.alive = false
+	delete(t.byKey, key)
+	delete(t.classOnly, slot)
+	for _, c := range s.f.Constraints {
+		ai := t.attrs[c.Attr]
+		if ai == nil {
+			continue
+		}
+		if c.Op == filter.OpEq {
+			k := valueKey(c.Operand)
+			scs := ai.eq[k]
+			for i := 0; i < len(scs); i++ {
+				if scs[i].slot == slot {
+					scs[i] = scs[len(scs)-1]
+					scs = scs[:len(scs)-1]
+					break
+				}
+			}
+			if len(scs) == 0 {
+				delete(ai.eq, k)
+			} else {
+				ai.eq[k] = scs
+			}
+		} else {
+			for i := 0; i < len(ai.other); i++ {
+				if ai.other[i].slot == slot {
+					ai.other[i] = ai.other[len(ai.other)-1]
+					ai.other = ai.other[:len(ai.other)-1]
+					i--
+				}
+			}
+		}
+	}
+	t.free = append(t.free, slot)
+}
+
+// Match implements Engine using constraint counting.
+func (t *CountingTable) Match(e *event.Event) ([]string, int) {
+	t.curStamp++
+	bump := func(slot, n int) {
+		if t.stamp[slot] != t.curStamp {
+			t.stamp[slot] = t.curStamp
+			t.counts[slot] = 0
+		}
+		t.counts[slot] += n
+	}
+	consider := func(v event.Value, ai *attrIndex) {
+		for _, sc := range ai.eq[valueKey(v)] {
+			bump(sc.slot, sc.n)
+		}
+		for _, oc := range ai.other {
+			if oc.c.MatchesValue(v) {
+				bump(oc.slot, 1)
+			}
+		}
+	}
+	for _, a := range e.Attrs {
+		if ai, ok := t.attrs[a.Name]; ok {
+			consider(a.Value, ai)
+		}
+	}
+	// The synthetic class attribute can also carry constraints when a
+	// filter tests it as a plain string attribute.
+	if ai, ok := t.attrs[event.TypeAttr]; ok {
+		consider(event.String(e.Type), ai)
+	}
+	var ids []string
+	matched := 0
+	collect := func(slot int) {
+		s := t.slots[slot]
+		if !s.alive {
+			return
+		}
+		if !classOK(s.f, e, t.conf) {
+			return
+		}
+		matched++
+		for id := range s.ids {
+			ids = append(ids, id)
+		}
+	}
+	for slot, cnt := range t.counts {
+		if t.stamp[slot] == t.curStamp && cnt >= t.slots[slot].need && t.slots[slot].need > 0 {
+			collect(slot)
+		}
+	}
+	for slot := range t.classOnly {
+		collect(slot)
+	}
+	return dedupSorted(ids), matched
+}
+
+func classOK(f *filter.Filter, e *event.Event, conf filter.Conformance) bool {
+	if f.Class == "" || f.Class == filter.RootType {
+		return true
+	}
+	if conf == nil {
+		conf = filter.ExactTypes{}
+	}
+	return conf.Conforms(e.Type, f.Class)
+}
+
+// Filters implements Engine.
+func (t *CountingTable) Filters() []*filter.Filter {
+	out := make([]*filter.Filter, 0, len(t.byKey))
+	for _, slot := range t.byKey {
+		out = append(out, t.slots[slot].f)
+	}
+	return out
+}
+
+// Len implements Engine.
+func (t *CountingTable) Len() int { return len(t.byKey) }

@@ -1,0 +1,75 @@
+// Package index provides event-to-subscription matching engines for
+// broker nodes.
+//
+// NaiveTable is the algorithm of Figure 6: a table of <filter, id-list>
+// entries scanned linearly per event. CountingTable implements the
+// classic counting algorithm the paper alludes to ("efficient indexing and
+// matching techniques can be used"): per-attribute inverted indexes with
+// hash lookup for equality constraints, so matching cost scales with the
+// number of satisfied constraints instead of the number of filters.
+//
+// Both engines implement Engine and behave identically; the benchmark
+// suite (A3 in DESIGN.md) quantifies the difference.
+package index
+
+import (
+	"sort"
+	"strconv"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+)
+
+// Engine matches events against a mutable set of filters, each associated
+// with one or more opaque IDs (child node or subscriber identities).
+type Engine interface {
+	// Insert associates id with the filter, deduplicating by filter
+	// identity: inserting an equal filter twice yields one entry with two
+	// IDs (step 2 of the Figure 6 algorithm).
+	Insert(f *filter.Filter, id string)
+	// Remove dissociates id from the filter; the entry disappears with
+	// its last ID.
+	Remove(f *filter.Filter, id string)
+	// RemoveID dissociates id from every filter.
+	RemoveID(id string)
+	// Match returns the IDs of all filters matching e, sorted and
+	// deduplicated, and the number of distinct filters evaluated to true.
+	Match(e *event.Event) (ids []string, matched int)
+	// Filters returns the distinct stored filters.
+	Filters() []*filter.Filter
+	// Len reports the number of distinct stored filters.
+	Len() int
+}
+
+// dedupSorted sorts and deduplicates an ID slice in place.
+func dedupSorted(ids []string) []string {
+	if len(ids) < 2 {
+		return ids
+	}
+	sort.Strings(ids)
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// valueKey returns a hashable identity for a value such that Equal values
+// (including Int/Float cross-kind equality) share a key.
+func valueKey(v event.Value) string {
+	switch v.Kind() {
+	case event.KindString:
+		return "s:" + v.Str()
+	case event.KindBool:
+		if v.BoolVal() {
+			return "b:1"
+		}
+		return "b:0"
+	case event.KindInt, event.KindFloat:
+		return "n:" + strconv.FormatFloat(v.Num(), 'g', -1, 64)
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,115 @@
+package index
+
+import (
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+)
+
+// NaiveTable is the filtering and forwarding table of Figure 6: a list of
+// <filter, id-list> entries, each event evaluated against every filter.
+type NaiveTable struct {
+	conf    filter.Conformance
+	entries []*naiveEntry
+	byKey   map[string]*naiveEntry
+}
+
+type naiveEntry struct {
+	f   *filter.Filter
+	ids map[string]struct{}
+}
+
+var _ Engine = (*NaiveTable)(nil)
+
+// NewNaiveTable returns an empty table using conf for class conformance
+// (nil means exact type matching).
+func NewNaiveTable(conf filter.Conformance) *NaiveTable {
+	return &NaiveTable{conf: conf, byKey: make(map[string]*naiveEntry)}
+}
+
+// Insert implements Engine.
+func (t *NaiveTable) Insert(f *filter.Filter, id string) {
+	key := f.Key()
+	e, ok := t.byKey[key]
+	if !ok {
+		e = &naiveEntry{f: f.Clone(), ids: make(map[string]struct{})}
+		t.byKey[key] = e
+		t.entries = append(t.entries, e)
+	}
+	e.ids[id] = struct{}{}
+}
+
+// Remove implements Engine.
+func (t *NaiveTable) Remove(f *filter.Filter, id string) {
+	key := f.Key()
+	e, ok := t.byKey[key]
+	if !ok {
+		return
+	}
+	delete(e.ids, id)
+	if len(e.ids) == 0 {
+		t.drop(key, e)
+	}
+}
+
+// RemoveID implements Engine.
+func (t *NaiveTable) RemoveID(id string) {
+	for key, e := range t.byKey {
+		delete(e.ids, id)
+		if len(e.ids) == 0 {
+			t.drop(key, e)
+		}
+	}
+}
+
+func (t *NaiveTable) drop(key string, e *naiveEntry) {
+	delete(t.byKey, key)
+	for i, x := range t.entries {
+		if x == e {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// Match implements Engine: for each event, evaluate all filters in the
+// table and collect the IDs of those that match (Figure 6).
+func (t *NaiveTable) Match(e *event.Event) ([]string, int) {
+	var ids []string
+	matched := 0
+	for _, entry := range t.entries {
+		if entry.f.Matches(e, t.conf) {
+			matched++
+			for id := range entry.ids {
+				ids = append(ids, id)
+			}
+		}
+	}
+	return dedupSorted(ids), matched
+}
+
+// Filters implements Engine.
+func (t *NaiveTable) Filters() []*filter.Filter {
+	out := make([]*filter.Filter, len(t.entries))
+	for i, e := range t.entries {
+		out[i] = e.f
+	}
+	return out
+}
+
+// Len implements Engine.
+func (t *NaiveTable) Len() int { return len(t.entries) }
+
+// IDs returns the IDs associated with a filter (for tests and the
+// subscription protocol, which must follow the child associated with a
+// covering filter).
+func (t *NaiveTable) IDs(f *filter.Filter) []string {
+	e, ok := t.byKey[f.Key()]
+	if !ok {
+		return nil
+	}
+	ids := make([]string, 0, len(e.ids))
+	for id := range e.ids {
+		ids = append(ids, id)
+	}
+	return dedupSorted(ids)
+}

@@ -1,0 +1,296 @@
+package index
+
+import (
+	"sort"
+
+	"eventsys/internal/filter"
+)
+
+// Poset maintains filters under the covering partial order (Definition 2)
+// as a DAG: parents cover children. It answers the placement protocol's
+// central query — "the strongest stored filter covering f" (Figure 5) —
+// by descending from the roots instead of scanning linearly, which is
+// the standard scalable structure for subscription management in
+// content-based systems (the paper's "collapsing subscriptions" relies
+// on exactly this order).
+//
+// Poset is not safe for concurrent use.
+type Poset struct {
+	conf  filter.Conformance
+	byKey map[string]*posetNode
+	roots map[*posetNode]struct{}
+}
+
+type posetNode struct {
+	key      string
+	f        *filter.Filter
+	ids      map[string]struct{}
+	parents  map[*posetNode]struct{}
+	children map[*posetNode]struct{}
+}
+
+// NewPoset returns an empty poset using conf for class conformance (nil
+// means exact type matching).
+func NewPoset(conf filter.Conformance) *Poset {
+	return &Poset{
+		conf:  conf,
+		byKey: make(map[string]*posetNode),
+		roots: make(map[*posetNode]struct{}),
+	}
+}
+
+// Len reports the number of distinct stored filters.
+func (p *Poset) Len() int { return len(p.byKey) }
+
+// Insert associates id with f, placing f at its position in the covering
+// order.
+func (p *Poset) Insert(f *filter.Filter, id string) {
+	key := f.Key()
+	if n, ok := p.byKey[key]; ok {
+		n.ids[id] = struct{}{}
+		return
+	}
+	n := &posetNode{
+		key:      key,
+		f:        f.Clone(),
+		ids:      map[string]struct{}{id: {}},
+		parents:  make(map[*posetNode]struct{}),
+		children: make(map[*posetNode]struct{}),
+	}
+	// Minimal coverers of f become parents; maximal covered become
+	// children; direct parent→child edges shortcut by n are removed.
+	preds := p.minimalCoverers(n.f)
+	succs := p.maximalCovered(n.f, preds)
+	for _, pred := range preds {
+		for _, succ := range succs {
+			delete(pred.children, succ)
+			delete(succ.parents, pred)
+		}
+	}
+	for _, pred := range preds {
+		pred.children[n] = struct{}{}
+		n.parents[pred] = struct{}{}
+	}
+	for _, succ := range succs {
+		if len(succ.parents) == 0 {
+			delete(p.roots, succ)
+		}
+		n.children[succ] = struct{}{}
+		succ.parents[n] = struct{}{}
+	}
+	if len(n.parents) == 0 {
+		p.roots[n] = struct{}{}
+	}
+	p.byKey[key] = n
+}
+
+// minimalCoverers returns the stored filters covering f that have no
+// child also covering f (the tightest enclosing layer).
+func (p *Poset) minimalCoverers(f *filter.Filter) []*posetNode {
+	var out []*posetNode
+	seen := make(map[*posetNode]bool)
+	var visit func(n *posetNode)
+	visit = func(n *posetNode) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if !filter.Covers(n.f, f, p.conf) {
+			return
+		}
+		deeper := false
+		for c := range n.children {
+			if filter.Covers(c.f, f, p.conf) {
+				deeper = true
+				visit(c)
+			}
+		}
+		if !deeper {
+			out = append(out, n)
+		}
+	}
+	for r := range p.roots {
+		visit(r)
+	}
+	return dedupNodes(out)
+}
+
+// maximalCovered returns the stored filters covered by f that are not
+// below another covered filter, searching beneath the given predecessor
+// layer (and the roots, when f has no predecessors). Nodes equivalent to
+// f (mutual covering) are excluded: key-identical filters were handled
+// by Insert, and linking equivalents both ways would create a cycle.
+func (p *Poset) maximalCovered(f *filter.Filter, preds []*posetNode) []*posetNode {
+	start := make([]*posetNode, 0, len(preds))
+	if len(preds) == 0 {
+		for r := range p.roots {
+			start = append(start, r)
+		}
+	} else {
+		for _, pr := range preds {
+			for c := range pr.children {
+				start = append(start, c)
+			}
+		}
+	}
+	var out []*posetNode
+	seen := make(map[*posetNode]bool)
+	var visit func(n *posetNode)
+	visit = func(n *posetNode) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if filter.Covers(f, n.f, p.conf) && !filter.Covers(n.f, f, p.conf) {
+			out = append(out, n)
+			return // maximal along this branch; do not descend
+		}
+		for c := range n.children {
+			visit(c)
+		}
+	}
+	for _, s := range start {
+		visit(s)
+	}
+	return dedupNodes(out)
+}
+
+func dedupNodes(in []*posetNode) []*posetNode {
+	seen := make(map[*posetNode]bool, len(in))
+	out := in[:0:0]
+	for _, n := range in {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Remove dissociates id from f; the node disappears (re-linking its
+// parents to its children) with its last id.
+func (p *Poset) Remove(f *filter.Filter, id string) {
+	n, ok := p.byKey[f.Key()]
+	if !ok {
+		return
+	}
+	delete(n.ids, id)
+	if len(n.ids) > 0 {
+		return
+	}
+	delete(p.byKey, n.key)
+	delete(p.roots, n)
+	for parent := range n.parents {
+		delete(parent.children, n)
+	}
+	for child := range n.children {
+		delete(child.parents, n)
+	}
+	// Reconnect: each orphaned child attaches under n's parents (which
+	// cover it transitively), unless another path already covers it.
+	for child := range n.children {
+		for parent := range n.parents {
+			if !p.reachable(parent, child) {
+				parent.children[child] = struct{}{}
+				child.parents[parent] = struct{}{}
+			}
+		}
+		if len(child.parents) == 0 {
+			p.roots[child] = struct{}{}
+		}
+	}
+}
+
+// reachable reports whether b is reachable strictly below a.
+func (p *Poset) reachable(a, b *posetNode) bool {
+	for c := range a.children {
+		if c == b || p.reachable(c, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// StrongestCovering returns the strongest stored filter covering f —
+// i.e. a covering filter with no stored child that also covers f — with
+// its associated IDs (sorted). Ties break deterministically by filter
+// key. ok is false when nothing covers f.
+func (p *Poset) StrongestCovering(f *filter.Filter) (match *filter.Filter, ids []string, ok bool) {
+	cands := p.minimalCoverers(f)
+	if len(cands) == 0 {
+		return nil, nil, false
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].key < cands[j].key })
+	best := cands[0]
+	out := make([]string, 0, len(best.ids))
+	for id := range best.ids {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return best.f.Clone(), out, true
+}
+
+// Filters returns all stored filters in deterministic (key) order.
+func (p *Poset) Filters() []*filter.Filter {
+	keys := make([]string, 0, len(p.byKey))
+	for k := range p.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*filter.Filter, len(keys))
+	for i, k := range keys {
+		out[i] = p.byKey[k].f
+	}
+	return out
+}
+
+// validate checks the structural invariants (tests only): acyclicity,
+// edge symmetry, parents covering children, and root consistency.
+func (p *Poset) validate() error {
+	state := make(map[*posetNode]int) // 0 unvisited, 1 in stack, 2 done
+	var dfs func(n *posetNode) error
+	dfs = func(n *posetNode) error {
+		switch state[n] {
+		case 1:
+			return errCycle
+		case 2:
+			return nil
+		}
+		state[n] = 1
+		for c := range n.children {
+			if _, ok := c.parents[n]; !ok {
+				return errEdge
+			}
+			if !filter.Covers(n.f, c.f, p.conf) {
+				return errOrder
+			}
+			if err := dfs(c); err != nil {
+				return err
+			}
+		}
+		state[n] = 2
+		return nil
+	}
+	for _, n := range p.byKey {
+		if len(n.parents) == 0 {
+			if _, ok := p.roots[n]; !ok {
+				return errRoot
+			}
+		}
+		if err := dfs(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type posetErr string
+
+func (e posetErr) Error() string { return string(e) }
+
+const (
+	errCycle posetErr = "index: poset cycle"
+	errEdge  posetErr = "index: asymmetric poset edge"
+	errOrder posetErr = "index: parent does not cover child"
+	errRoot  posetErr = "index: orphan node missing from roots"
+)

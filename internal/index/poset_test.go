@@ -1,0 +1,227 @@
+package index
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+)
+
+func TestPosetBasicOrder(t *testing.T) {
+	p := NewPoset(nil)
+	top := filter.MustParseFilter(`class = "Stock"`)
+	mid := filter.MustParseFilter(`class = "Stock" && symbol = "A"`)
+	bot := filter.MustParseFilter(`class = "Stock" && symbol = "A" && price < 10`)
+	p.Insert(top, "t")
+	p.Insert(bot, "b")
+	p.Insert(mid, "m") // inserted between existing top and bottom
+	if err := p.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	sub := filter.MustParseFilter(`class = "Stock" && symbol = "A" && price < 5`)
+	got, ids, ok := p.StrongestCovering(sub)
+	if !ok || fmt.Sprint(ids) != "[b]" {
+		t.Fatalf("StrongestCovering = %s %v %v, want bot [b]", got, ids, ok)
+	}
+	// A filter only the class filter covers.
+	sub2 := filter.MustParseFilter(`class = "Stock" && symbol = "Z"`)
+	_, ids, ok = p.StrongestCovering(sub2)
+	if !ok || fmt.Sprint(ids) != "[t]" {
+		t.Fatalf("StrongestCovering = %v %v, want [t]", ids, ok)
+	}
+	// Nothing covers an Auction filter.
+	if _, _, ok := p.StrongestCovering(filter.MustParseFilter(`class = "Auction"`)); ok {
+		t.Fatal("uncovered filter reported as covered")
+	}
+}
+
+func TestPosetDuplicateInsert(t *testing.T) {
+	p := NewPoset(nil)
+	f := filter.MustParseFilter(`x = 1`)
+	p.Insert(f, "a")
+	p.Insert(f.Clone(), "b")
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	_, ids, ok := p.StrongestCovering(filter.MustParseFilter(`x = 1`))
+	if !ok || fmt.Sprint(ids) != "[a b]" {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestPosetRemoveRelinks(t *testing.T) {
+	p := NewPoset(nil)
+	top := filter.MustParseFilter(`class = "Stock"`)
+	mid := filter.MustParseFilter(`class = "Stock" && symbol = "A"`)
+	bot := filter.MustParseFilter(`class = "Stock" && symbol = "A" && price < 10`)
+	p.Insert(top, "t")
+	p.Insert(mid, "m")
+	p.Insert(bot, "b")
+	p.Remove(mid, "m")
+	if err := p.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	// bot must now hang directly under top.
+	sub := filter.MustParseFilter(`class = "Stock" && symbol = "A" && price < 5`)
+	_, ids, ok := p.StrongestCovering(sub)
+	if !ok || fmt.Sprint(ids) != "[b]" {
+		t.Fatalf("after removal: %v %v", ids, ok)
+	}
+	// Removing an id that leaves others keeps the node.
+	p.Insert(bot, "b2")
+	p.Remove(bot, "b")
+	_, ids, _ = p.StrongestCovering(sub)
+	if fmt.Sprint(ids) != "[b2]" {
+		t.Fatalf("ids = %v", ids)
+	}
+	// Removing an unknown filter is a no-op.
+	p.Remove(filter.MustParseFilter(`zz = 1`), "x")
+}
+
+func TestPosetRootRemoval(t *testing.T) {
+	p := NewPoset(nil)
+	top := filter.MustParseFilter(`class = "Stock"`)
+	bot := filter.MustParseFilter(`class = "Stock" && symbol = "A"`)
+	p.Insert(top, "t")
+	p.Insert(bot, "b")
+	p.Remove(top, "t")
+	if err := p.validate(); err != nil {
+		t.Fatal(err)
+	}
+	// bot is now a root and still findable.
+	_, ids, ok := p.StrongestCovering(filter.MustParseFilter(`class = "Stock" && symbol = "A" && price < 1`))
+	if !ok || fmt.Sprint(ids) != "[b]" {
+		t.Fatalf("after root removal: %v %v", ids, ok)
+	}
+}
+
+func TestPosetEquivalentFilters(t *testing.T) {
+	// Semantically equivalent but syntactically different filters must
+	// not create a cycle.
+	p := NewPoset(nil)
+	a := filter.MustParseFilter(`x >= 5 && x <= 5`)
+	b := filter.MustParseFilter(`x = 5`)
+	p.Insert(a, "a")
+	p.Insert(b, "b")
+	if err := p.validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, ok := p.StrongestCovering(filter.MustParseFilter(`x = 5`))
+	if !ok {
+		t.Fatal("equivalent filters not found")
+	}
+}
+
+// TestPosetAgreesWithLinearProperty cross-validates the poset's
+// strongest-covering answer against the linear search on random filter
+// populations, including interleaved removals.
+func TestPosetAgreesWithLinearProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(111, 112))
+	for round := 0; round < 60; round++ {
+		p := NewPoset(nil)
+		var live []*filter.Filter
+		var ids []string
+		next := 0
+		for i := 0; i < 30; i++ {
+			if len(live) > 0 && rng.IntN(4) == 0 {
+				j := rng.IntN(len(live))
+				p.Remove(live[j], ids[j])
+				live = append(live[:j], live[j+1:]...)
+				ids = append(ids[:j], ids[j+1:]...)
+				continue
+			}
+			f := randomPosetFilter(rng)
+			id := fmt.Sprintf("id%d", next)
+			next++
+			p.Insert(f, id)
+			live = append(live, f)
+			ids = append(ids, id)
+		}
+		if err := p.validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for probe := 0; probe < 20; probe++ {
+			q := randomPosetFilter(rng)
+			got, _, ok := p.StrongestCovering(q)
+			wantIdx := filter.StrongestCovering(live, q, nil)
+			if ok != (wantIdx >= 0) {
+				t.Fatalf("round %d: coverage disagreement for %s: poset=%v linear=%d",
+					round, q, ok, wantIdx)
+			}
+			if !ok {
+				continue
+			}
+			// The poset answer must cover q and be minimal: no live
+			// filter covering q may be strictly below it.
+			if !filter.Covers(got, q, nil) {
+				t.Fatalf("round %d: poset answer %s does not cover %s", round, got, q)
+			}
+			for _, f := range live {
+				if filter.Covers(f, q, nil) &&
+					filter.Covers(got, f, nil) && !filter.Covers(f, got, nil) {
+					t.Fatalf("round %d: %s is a strictly stronger coverer of %s than %s",
+						round, f, q, got)
+				}
+			}
+		}
+	}
+}
+
+func randomPosetFilter(rng *rand.Rand) *filter.Filter {
+	f := &filter.Filter{Class: []string{"A", "B"}[rng.IntN(2)]}
+	attrs := []string{"x", "y", "z"}
+	for _, a := range attrs {
+		switch rng.IntN(4) {
+		case 0: // absent
+		case 1:
+			f.Constraints = append(f.Constraints,
+				filter.C(a, filter.OpEq, event.Int(int64(rng.IntN(4)))))
+		case 2:
+			f.Constraints = append(f.Constraints,
+				filter.C(a, filter.OpLt, event.Int(int64(rng.IntN(8)))))
+		default:
+			f.Constraints = append(f.Constraints,
+				filter.C(a, filter.OpGe, event.Int(int64(rng.IntN(8)))))
+		}
+	}
+	return f
+}
+
+func BenchmarkPosetVsLinearPlacement(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		rng := rand.New(rand.NewPCG(7, uint64(n)))
+		var live []*filter.Filter
+		poset := NewPoset(nil)
+		for i := 0; i < n; i++ {
+			f := randomPosetFilter(rng)
+			live = append(live, f)
+			poset.Insert(f, fmt.Sprintf("id%d", i))
+		}
+		probes := make([]*filter.Filter, 64)
+		for i := range probes {
+			probes[i] = randomPosetFilter(rng)
+		}
+		b.Run(fmt.Sprintf("linear/n=%d", n), func(b *testing.B) {
+			i := 0
+			for b.Loop() {
+				filter.StrongestCovering(live, probes[i%len(probes)], nil)
+				i++
+			}
+		})
+		b.Run(fmt.Sprintf("poset/n=%d", n), func(b *testing.B) {
+			i := 0
+			for b.Loop() {
+				poset.StrongestCovering(probes[i%len(probes)])
+				i++
+			}
+		})
+	}
+}

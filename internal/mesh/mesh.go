@@ -1,0 +1,308 @@
+// Package mesh implements the non-hierarchical broker configuration the
+// paper mentions but does not develop (Section 4, footnote 1:
+// "Non-hierarchical configurations can also be used, but they have a
+// higher complexity"). Brokers form an acyclic peer-to-peer graph;
+// subscriptions flood outward from their home broker with reverse-path
+// state, and events follow the reverse paths back — the classic
+// server-to-server protocol of SIENA-style systems [CRW00], which the
+// paper cites as the scalable architecture class.
+//
+// Multi-stage weakening generalizes to distance: a subscription
+// propagated h hops from its subscriber is stored in its stage-h
+// weakened form (clamped to the advertisement's top stage), so remote
+// brokers hold cheap, broad filters and precision increases as events
+// approach the subscriber — the same gradient the hierarchy builds, on
+// an arbitrary acyclic topology. Covering-based pruning suppresses
+// propagation of filters already covered by what a link carries.
+//
+// The implementation is deterministic and synchronous (like the
+// simulator): Publish walks the graph in the calling goroutine. A Mesh
+// is safe for concurrent use through a single mutex; throughput-oriented
+// deployments should shard by class or wrap brokers in actors as
+// internal/overlay does for the hierarchy.
+package mesh
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/metrics"
+	"eventsys/internal/typing"
+	"eventsys/internal/weaken"
+)
+
+// BrokerID identifies a mesh broker.
+type BrokerID string
+
+// Mesh is an acyclic graph of brokers.
+type Mesh struct {
+	mu       sync.Mutex
+	conf     filter.Conformance
+	weak     *weaken.Weakener
+	maxStage int
+	brokers  map[BrokerID]*broker
+	// parentOf implements union-find for acyclicity checking.
+	parentOf  map[BrokerID]BrokerID
+	collector *metrics.Collector
+	seq       uint64
+	delivered uint64
+}
+
+type broker struct {
+	id        BrokerID
+	neighbors []BrokerID
+	// interests[n] holds the filters received from neighbor n: an event
+	// matching any of them is forwarded to n (reverse-path forwarding).
+	interests map[BrokerID][]*filter.Filter
+	// sent[n] holds the filters this broker has propagated to neighbor
+	// n, for covering-based pruning.
+	sent map[BrokerID][]*filter.Filter
+	// locals are this broker's own subscribers with their original
+	// (perfect) filters.
+	locals   map[string]*filter.Filter
+	counters *metrics.Counters
+}
+
+// Config parameterizes a Mesh.
+type Config struct {
+	// Conformance resolves type subtyping; nil = exact names.
+	Conformance filter.Conformance
+	// Ads supplies advertisements for distance-based weakening; nil
+	// disables weakening (full filters everywhere).
+	Ads *typing.AdvertisementSet
+	// MaxStage clamps the hop-distance weakening stage (defaults to the
+	// advertisement stage count when Ads is set; otherwise 0 = off).
+	MaxStage int
+}
+
+// New creates an empty mesh.
+func New(cfg Config) *Mesh {
+	conf := cfg.Conformance
+	if conf == nil {
+		conf = filter.ExactTypes{}
+	}
+	m := &Mesh{
+		conf:      conf,
+		maxStage:  cfg.MaxStage,
+		brokers:   make(map[BrokerID]*broker),
+		parentOf:  make(map[BrokerID]BrokerID),
+		collector: &metrics.Collector{},
+	}
+	if cfg.Ads != nil {
+		m.weak = weaken.New(cfg.Ads, conf)
+	}
+	return m
+}
+
+// AddBroker registers a broker.
+func (m *Mesh) AddBroker(id BrokerID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id == "" {
+		return fmt.Errorf("mesh: empty broker id")
+	}
+	if _, dup := m.brokers[id]; dup {
+		return fmt.Errorf("mesh: broker %q already exists", id)
+	}
+	m.brokers[id] = &broker{
+		id:        id,
+		interests: make(map[BrokerID][]*filter.Filter),
+		sent:      make(map[BrokerID][]*filter.Filter),
+		locals:    make(map[string]*filter.Filter),
+		counters:  m.collector.Counters(string(id), 1),
+	}
+	m.parentOf[id] = id
+	return nil
+}
+
+// find is union-find root lookup with path compression.
+func (m *Mesh) find(id BrokerID) BrokerID {
+	for m.parentOf[id] != id {
+		m.parentOf[id] = m.parentOf[m.parentOf[id]]
+		id = m.parentOf[id]
+	}
+	return id
+}
+
+// Connect links two brokers. Connections that would close a cycle are
+// rejected: reverse-path forwarding requires an acyclic graph.
+func (m *Mesh) Connect(a, b BrokerID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ba, ok := m.brokers[a]
+	if !ok {
+		return fmt.Errorf("mesh: unknown broker %q", a)
+	}
+	bb, ok := m.brokers[b]
+	if !ok {
+		return fmt.Errorf("mesh: unknown broker %q", b)
+	}
+	if a == b {
+		return fmt.Errorf("mesh: cannot connect %q to itself", a)
+	}
+	ra, rb := m.find(a), m.find(b)
+	if ra == rb {
+		return fmt.Errorf("mesh: connecting %q-%q would create a cycle", a, b)
+	}
+	m.parentOf[ra] = rb
+	ba.neighbors = append(ba.neighbors, b)
+	bb.neighbors = append(bb.neighbors, a)
+	return nil
+}
+
+// Subscribe attaches a subscriber with its original filter at a broker
+// and floods the (progressively weakened) filter through the mesh.
+func (m *Mesh) Subscribe(at BrokerID, subscriberID string, f *filter.Filter) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	home, ok := m.brokers[at]
+	if !ok {
+		return fmt.Errorf("mesh: unknown broker %q", at)
+	}
+	if f == nil {
+		return fmt.Errorf("mesh: nil filter")
+	}
+	if _, dup := home.locals[subscriberID]; dup {
+		return fmt.Errorf("mesh: subscriber %q already attached at %q", subscriberID, at)
+	}
+	home.locals[subscriberID] = f.Clone()
+	home.counters.SetFilters(home.filterCount())
+	// Flood to every neighbor with hop distance 1.
+	for _, n := range home.neighbors {
+		m.propagate(home, n, f, 1)
+	}
+	return nil
+}
+
+// propagate sends filter f (weakened for hop distance h) from broker src
+// to its neighbor dst, recursing onward. Covering pruning: skip when a
+// filter already sent on that link covers the new one.
+func (m *Mesh) propagate(src *broker, dstID BrokerID, f *filter.Filter, hops int) {
+	wf := m.weakenFor(f, hops)
+	for _, g := range src.sent[dstID] {
+		if filter.Covers(g, wf, m.conf) {
+			return // link already carries a superset toward src
+		}
+	}
+	src.sent[dstID] = append(src.sent[dstID], wf)
+	dst := m.brokers[dstID]
+	dst.interests[src.id] = append(dst.interests[src.id], wf)
+	dst.counters.SetFilters(dst.filterCount())
+	for _, n := range dst.neighbors {
+		if n == src.id {
+			continue
+		}
+		m.propagate(dst, n, f, hops+1)
+	}
+}
+
+// weakenFor returns the filter weakened for hop distance h.
+func (m *Mesh) weakenFor(f *filter.Filter, hops int) *filter.Filter {
+	if m.weak == nil || m.maxStage <= 0 {
+		return f.Clone()
+	}
+	stage := hops
+	if stage > m.maxStage {
+		stage = m.maxStage
+	}
+	return m.weak.Filter(f, stage)
+}
+
+// filterCount reports the broker's total stored filters (local + per
+// link), the quantity LC counts.
+func (b *broker) filterCount() int {
+	n := len(b.locals)
+	for _, fs := range b.interests {
+		n += len(fs)
+	}
+	return n
+}
+
+// Publish injects an event at a broker and returns the IDs of
+// subscribers it was delivered to (after perfect filtering), sorted.
+func (m *Mesh) Publish(at BrokerID, e *event.Event) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	src, ok := m.brokers[at]
+	if !ok {
+		return nil, fmt.Errorf("mesh: unknown broker %q", at)
+	}
+	m.seq++
+	e.ID = m.seq
+	var delivered []string
+	m.walk(src, "", e, &delivered)
+	sort.Strings(delivered)
+	m.delivered += uint64(len(delivered))
+	return delivered, nil
+}
+
+// walk processes the event at broker b, having arrived from neighbor
+// `from` ("" for the publishing broker), and forwards along matching
+// links.
+func (m *Mesh) walk(b *broker, from BrokerID, e *event.Event, delivered *[]string) {
+	b.counters.AddReceived(1)
+	matchedAny := false
+	// Local subscribers: perfect filtering with original filters.
+	for id, f := range b.locals {
+		if f.Matches(e, m.conf) {
+			matchedAny = true
+			b.counters.AddDelivered(1)
+			*delivered = append(*delivered, id)
+		}
+	}
+	// Reverse-path forwarding: neighbor n gets the event when any filter
+	// received from n matches.
+	for _, n := range b.neighbors {
+		if n == from {
+			continue
+		}
+		match := false
+		for _, f := range b.interests[n] {
+			if f.Matches(e, m.conf) {
+				match = true
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		matchedAny = true
+		b.counters.AddForwarded(1)
+		m.walk(m.brokers[n], b.id, e, delivered)
+	}
+	if matchedAny {
+		b.counters.AddMatched(1)
+	}
+}
+
+// Stats snapshots every broker's counters.
+func (m *Mesh) Stats() []metrics.NodeStats {
+	return m.collector.Snapshot()
+}
+
+// StoredFilters returns the total number of filters stored across all
+// brokers (pruning effectiveness metric).
+func (m *Mesh) StoredFilters() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := 0
+	for _, b := range m.brokers {
+		total += b.filterCount()
+	}
+	return total
+}
+
+// Brokers returns the broker IDs, sorted.
+func (m *Mesh) Brokers() []BrokerID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]BrokerID, 0, len(m.brokers))
+	for id := range m.brokers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

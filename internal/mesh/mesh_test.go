@@ -1,0 +1,316 @@
+package mesh
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"eventsys/internal/baseline"
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/typing"
+	"eventsys/internal/workload"
+)
+
+// lineMesh builds A - B - C.
+func lineMesh(t *testing.T, cfg Config) *Mesh {
+	t.Helper()
+	m := New(cfg)
+	for _, id := range []BrokerID{"A", "B", "C"} {
+		if err := m.AddBroker(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Connect("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Connect("B", "C"); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMeshBasicRouting(t *testing.T) {
+	m := lineMesh(t, Config{})
+	if err := m.Subscribe("C", "carol", filter.MustParseFilter(`class = "Stock" && symbol = "X"`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Publish("A", event.NewBuilder("Stock").Str("symbol", "X").Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[carol]" {
+		t.Errorf("delivered = %v, want [carol]", got)
+	}
+	got, err = m.Publish("A", event.NewBuilder("Stock").Str("symbol", "Y").Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("delivered = %v, want none", got)
+	}
+}
+
+func TestMeshPublishAnywhere(t *testing.T) {
+	m := lineMesh(t, Config{})
+	if err := m.Subscribe("B", "bob", filter.MustParseFilter(`x = 1`)); err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []BrokerID{"A", "B", "C"} {
+		got, err := m.Publish(at, event.NewBuilder("T").Int("x", 1).Build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got) != "[bob]" {
+			t.Errorf("publish at %s delivered %v", at, got)
+		}
+	}
+}
+
+func TestMeshNoEchoToOrigin(t *testing.T) {
+	m := lineMesh(t, Config{})
+	if err := m.Subscribe("A", "alice", filter.MustParseFilter(`x = 1`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Subscribe("C", "carol", filter.MustParseFilter(`x = 1`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Publish("B", event.NewBuilder("T").Int("x", 1).Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[alice carol]" {
+		t.Errorf("delivered = %v", got)
+	}
+	// Each broker received the event exactly once (acyclic graph).
+	for _, st := range m.Stats() {
+		if st.Received > 1 {
+			t.Errorf("broker %s received %d copies", st.NodeID, st.Received)
+		}
+	}
+}
+
+func TestMeshCycleRejected(t *testing.T) {
+	m := lineMesh(t, Config{})
+	if err := m.Connect("A", "C"); err == nil {
+		t.Fatal("cycle A-B-C-A should be rejected")
+	}
+	if err := m.Connect("A", "A"); err == nil {
+		t.Fatal("self loop should be rejected")
+	}
+	if err := m.Connect("A", "Z"); err == nil {
+		t.Fatal("unknown broker should be rejected")
+	}
+}
+
+func TestMeshValidation(t *testing.T) {
+	m := New(Config{})
+	if err := m.AddBroker(""); err == nil {
+		t.Error("empty id should fail")
+	}
+	if err := m.AddBroker("A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddBroker("A"); err == nil {
+		t.Error("duplicate broker should fail")
+	}
+	if err := m.Subscribe("Z", "s", filter.MustParseFilter(`x = 1`)); err == nil {
+		t.Error("unknown broker should fail")
+	}
+	if err := m.Subscribe("A", "s", nil); err == nil {
+		t.Error("nil filter should fail")
+	}
+	if err := m.Subscribe("A", "s", filter.MustParseFilter(`x = 1`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Subscribe("A", "s", filter.MustParseFilter(`x = 2`)); err == nil {
+		t.Error("duplicate subscriber should fail")
+	}
+	if _, err := m.Publish("Z", event.New("T")); err == nil {
+		t.Error("publish at unknown broker should fail")
+	}
+}
+
+func TestMeshCoveringPruning(t *testing.T) {
+	m := lineMesh(t, Config{})
+	// A broad filter first, then a covered narrower one at the same
+	// broker: the narrow filter must not propagate (pruned).
+	if err := m.Subscribe("C", "broad", filter.MustParseFilter(`class = "Stock" && price < 100`)); err != nil {
+		t.Fatal(err)
+	}
+	before := m.StoredFilters()
+	if err := m.Subscribe("C", "narrow", filter.MustParseFilter(`class = "Stock" && price < 10`)); err != nil {
+		t.Fatal(err)
+	}
+	after := m.StoredFilters()
+	// Only the local filter is added; no per-link state grows.
+	if after-before != 1 {
+		t.Errorf("narrow subscription added %d filters, want 1 (pruned remotes)", after-before)
+	}
+	// Both still receive what they want.
+	got, err := m.Publish("A", event.NewBuilder("Stock").Float("price", 5).Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[broad narrow]" {
+		t.Errorf("delivered = %v", got)
+	}
+}
+
+// biblioAds builds the evaluation advertisement for weakening tests.
+func biblioAds(t *testing.T, stages int) *typing.AdvertisementSet {
+	t.Helper()
+	var ads typing.AdvertisementSet
+	ad, err := typing.NewAdvertisement("Biblio", stages, "year", "conference", "author", "title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ads.Put(ad); err != nil {
+		t.Fatal(err)
+	}
+	return &ads
+}
+
+func TestMeshDistanceWeakening(t *testing.T) {
+	ads := biblioAds(t, 4)
+	m := lineMesh(t, Config{Ads: ads, MaxStage: 3})
+	f := filter.MustParseFilter(`class = "Biblio" && year = 2002 && conference = "ICDCS" && author = "Eugster" && title = "Cake"`)
+	if err := m.Subscribe("C", "carol", f); err != nil {
+		t.Fatal(err)
+	}
+	// B is 1 hop from carol: it stores the stage-1 weakening (title
+	// dropped). A is 2 hops: stage-2 (author dropped too).
+	// Publish events differing only in dropped attributes: they travel
+	// toward C and are rejected only near/at the edge.
+	e := event.NewBuilder("Biblio").Int("year", 2002).Str("conference", "ICDCS").
+		Str("author", "Eugster").Str("title", "OtherTitle").Build()
+	got, err := m.Publish("A", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("delivered = %v, want none (title mismatch)", got)
+	}
+	// The event crossed A and B (their weakened filters match) but died
+	// at C's perfect filter.
+	for _, st := range m.Stats() {
+		if st.Received != 1 {
+			t.Errorf("broker %s received %d, want 1", st.NodeID, st.Received)
+		}
+	}
+	// A fully matching event is delivered.
+	e2 := event.NewBuilder("Biblio").Int("year", 2002).Str("conference", "ICDCS").
+		Str("author", "Eugster").Str("title", "Cake").Build()
+	got, err = m.Publish("A", e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[carol]" {
+		t.Errorf("delivered = %v", got)
+	}
+	// An event differing in a near-edge attribute (author) is dropped at
+	// B (stage-1 filter still has author), never reaching C.
+	e3 := event.NewBuilder("Biblio").Int("year", 2002).Str("conference", "ICDCS").
+		Str("author", "Other").Str("title", "Cake").Build()
+	if got, _ := m.Publish("A", e3); len(got) != 0 {
+		t.Errorf("delivered = %v, want none", got)
+	}
+	var cReceived uint64
+	for _, st := range m.Stats() {
+		if st.NodeID == "C" {
+			cReceived = st.Received
+		}
+	}
+	if cReceived != 2 {
+		t.Errorf("C received %d events, want 2 (e3 pre-filtered at B)", cReceived)
+	}
+}
+
+// TestMeshOracleProperty cross-validates random topologies and workloads
+// against the centralized baseline.
+func TestMeshOracleProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(91, 92))
+	for round := 0; round < 30; round++ {
+		ads := biblioAds(t, 4)
+		maxStage := rng.IntN(4) // 0 disables weakening
+		m := New(Config{Ads: ads, MaxStage: maxStage})
+		central := baseline.NewCentralized(nil, nil)
+
+		// Random tree of 2–10 brokers.
+		n := 2 + rng.IntN(9)
+		ids := make([]BrokerID, n)
+		for i := range ids {
+			ids[i] = BrokerID(fmt.Sprintf("B%d", i))
+			if err := m.AddBroker(ids[i]); err != nil {
+				t.Fatal(err)
+			}
+			if i > 0 {
+				if err := m.Connect(ids[i], ids[rng.IntN(i)]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		bib, err := workload.NewBiblio(uint64(round), workload.DefaultBiblio())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 10; s++ {
+			f := bib.Subscription(0.2, true)
+			id := fmt.Sprintf("sub%d", s)
+			if err := m.Subscribe(ids[rng.IntN(n)], id, f); err != nil {
+				t.Fatal(err)
+			}
+			central.Subscribe(id, f)
+		}
+		for e := 0; e < 60; e++ {
+			ev := bib.Event()
+			got, err := m.Publish(ids[rng.IntN(n)], ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := central.Publish(ev)
+			sort.Strings(want)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("round %d event %d: mesh %v vs oracle %v\n  event %s",
+					round, e, got, want, ev)
+			}
+		}
+	}
+}
+
+func TestMeshStarTopology(t *testing.T) {
+	m := New(Config{})
+	hub := BrokerID("hub")
+	if err := m.AddBroker(hub); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		id := BrokerID(fmt.Sprintf("leaf%d", i))
+		if err := m.AddBroker(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Connect(hub, id); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Subscribe(id, fmt.Sprintf("s%d", i),
+			filter.MustParseFilter(fmt.Sprintf(`x = %d`, i%2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := m.Publish("leaf0", event.NewBuilder("T").Int("x", 0).Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[s0 s2 s4]" {
+		t.Errorf("delivered = %v", got)
+	}
+}
+
+func TestMeshBrokersListing(t *testing.T) {
+	m := lineMesh(t, Config{})
+	got := m.Brokers()
+	if fmt.Sprint(got) != "[A B C]" {
+		t.Errorf("Brokers = %v", got)
+	}
+}

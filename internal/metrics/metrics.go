@@ -1,0 +1,265 @@
+// Package metrics implements the evaluation metrics of Section 5.1:
+//
+//   - Load Complexity: LC = (#events received) × (#filters stored),
+//     the per-node filtering work.
+//   - Relative Load Complexity: RLC = LC / (total #events × total #subs),
+//     the per-node share of the work a centralized server would perform
+//     (a centralized server scores RLC = 1).
+//   - Matching Rate: MR = matched events / received events, the fraction
+//     of traffic reaching a node that it actually wants.
+//
+// Counters are updated with atomics so the concurrent overlay runtime and
+// the single-threaded simulator share one collector.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counters accumulates per-node event statistics. All methods are safe
+// for concurrent use.
+type Counters struct {
+	received  atomic.Uint64
+	matched   atomic.Uint64
+	forwarded atomic.Uint64
+	delivered atomic.Uint64
+	filters   atomic.Int64
+}
+
+// AddReceived records n events received for filtering.
+func (c *Counters) AddReceived(n uint64) { c.received.Add(n) }
+
+// AddMatched records n events that matched at least one local filter.
+func (c *Counters) AddMatched(n uint64) { c.matched.Add(n) }
+
+// AddForwarded records n event messages sent to children (one per child
+// per event).
+func (c *Counters) AddForwarded(n uint64) { c.forwarded.Add(n) }
+
+// AddDelivered records n events delivered to a local subscriber.
+func (c *Counters) AddDelivered(n uint64) { c.delivered.Add(n) }
+
+// SetFilters records the current number of filters stored at the node.
+func (c *Counters) SetFilters(n int) { c.filters.Store(int64(n)) }
+
+// Received returns the events-received count.
+func (c *Counters) Received() uint64 { return c.received.Load() }
+
+// Matched returns the events-matched count.
+func (c *Counters) Matched() uint64 { return c.matched.Load() }
+
+// Forwarded returns the forwarded-copies count.
+func (c *Counters) Forwarded() uint64 { return c.forwarded.Load() }
+
+// Delivered returns the delivered-events count.
+func (c *Counters) Delivered() uint64 { return c.delivered.Load() }
+
+// Filters returns the recorded stored-filter count.
+func (c *Counters) Filters() int { return int(c.filters.Load()) }
+
+// Stats assembles a snapshot of the counters under the given identity.
+func (c *Counters) Stats(nodeID string, stage int) NodeStats {
+	return NodeStats{
+		NodeID:    nodeID,
+		Stage:     stage,
+		Filters:   c.Filters(),
+		Received:  c.Received(),
+		Matched:   c.Matched(),
+		Forwarded: c.Forwarded(),
+		Delivered: c.Delivered(),
+	}
+}
+
+// NodeStats is an immutable snapshot of one node's counters.
+type NodeStats struct {
+	NodeID    string
+	Stage     int
+	Filters   int
+	Received  uint64
+	Matched   uint64
+	Forwarded uint64
+	Delivered uint64
+}
+
+// LC returns the load complexity of the node (Section 5.1).
+func (s NodeStats) LC() float64 { return float64(s.Received) * float64(s.Filters) }
+
+// RLC returns the relative load complexity given the system-wide totals.
+// It reports 0 when either total is zero.
+func (s NodeStats) RLC(totalEvents, totalSubs uint64) float64 {
+	denom := float64(totalEvents) * float64(totalSubs)
+	if denom == 0 {
+		return 0
+	}
+	return s.LC() / denom
+}
+
+// MR returns the matching rate; nodes that received nothing report 0.
+func (s NodeStats) MR() float64 {
+	if s.Received == 0 {
+		return 0
+	}
+	return float64(s.Matched) / float64(s.Received)
+}
+
+// Collector tracks counters for a set of nodes. The zero value is ready
+// to use; it is safe for concurrent use.
+type Collector struct {
+	mu    sync.Mutex
+	nodes map[string]*entry
+}
+
+type entry struct {
+	stage    int
+	counters Counters
+}
+
+// Counters returns (creating if needed) the counters of the identified
+// node at the given stage.
+func (c *Collector) Counters(nodeID string, stage int) *Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nodes == nil {
+		c.nodes = make(map[string]*entry)
+	}
+	e, ok := c.nodes[nodeID]
+	if !ok {
+		e = &entry{stage: stage}
+		c.nodes[nodeID] = e
+	}
+	return &e.counters
+}
+
+// Snapshot returns the current statistics of every node, ordered by stage
+// descending (top of the hierarchy first) then node ID.
+func (c *Collector) Snapshot() []NodeStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]NodeStats, 0, len(c.nodes))
+	for id, e := range c.nodes {
+		out = append(out, NodeStats{
+			NodeID:    id,
+			Stage:     e.stage,
+			Filters:   int(e.counters.filters.Load()),
+			Received:  e.counters.received.Load(),
+			Matched:   e.counters.matched.Load(),
+			Forwarded: e.counters.forwarded.Load(),
+			Delivered: e.counters.delivered.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stage != out[j].Stage {
+			return out[i].Stage > out[j].Stage
+		}
+		return out[i].NodeID < out[j].NodeID
+	})
+	return out
+}
+
+// StageSummary aggregates statistics over all nodes of one stage, in the
+// shape of the paper's Section 5.3 table: the node average of RLC and the
+// stage total ("total node avg of RLC" = average × node count = stage sum).
+//
+// AvgMR averages the matching rate over active nodes only (nodes that
+// received at least one event): MR is undefined for idle nodes, and the
+// clustering placement deliberately leaves parts of the hierarchy idle.
+type StageSummary struct {
+	Stage       int
+	Nodes       int
+	ActiveNodes int
+	Filters     int
+	Received    uint64
+	Matched     uint64
+	AvgRLC      float64
+	TotalRLC    float64
+	AvgMR       float64
+}
+
+// Summarize groups node statistics by stage. totalEvents and totalSubs
+// are the system-wide denominators of RLC.
+func Summarize(stats []NodeStats, totalEvents, totalSubs uint64) []StageSummary {
+	byStage := make(map[int]*StageSummary)
+	mrSums := make(map[int]float64)
+	for _, s := range stats {
+		sum, ok := byStage[s.Stage]
+		if !ok {
+			sum = &StageSummary{Stage: s.Stage}
+			byStage[s.Stage] = sum
+		}
+		sum.Nodes++
+		sum.Filters += s.Filters
+		sum.Received += s.Received
+		sum.Matched += s.Matched
+		sum.TotalRLC += s.RLC(totalEvents, totalSubs)
+		if s.Received > 0 {
+			sum.ActiveNodes++
+			mrSums[s.Stage] += s.MR()
+		}
+	}
+	out := make([]StageSummary, 0, len(byStage))
+	for stage, sum := range byStage {
+		sum.AvgRLC = sum.TotalRLC / float64(sum.Nodes)
+		if sum.ActiveNodes > 0 {
+			sum.AvgMR = mrSums[stage] / float64(sum.ActiveNodes)
+		}
+		out = append(out, *sum)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
+}
+
+// GlobalRLC sums RLC over every node: the paper's global-total claim is
+// that this is ≈ 1, i.e. multi-stage filtering performs no more total
+// work than a centralized server.
+func GlobalRLC(stats []NodeStats, totalEvents, totalSubs uint64) float64 {
+	var total float64
+	for _, s := range stats {
+		total += s.RLC(totalEvents, totalSubs)
+	}
+	return total
+}
+
+// RenderRLCTable renders stage summaries in the layout of the paper's
+// Section 5.3 table.
+func RenderRLCTable(summaries []StageSummary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %8s %9s %16s %20s %10s\n",
+		"Stage", "Nodes", "Filters", "Node avg of RLC", "Total node avg RLC", "Avg MR")
+	for _, s := range summaries {
+		fmt.Fprintf(&b, "%-6d %8d %9d %16s %20s %10.3f\n",
+			s.Stage, s.Nodes, s.Filters, sci(s.AvgRLC), sci(s.TotalRLC), s.AvgMR)
+	}
+	return b.String()
+}
+
+// RenderMRSeries renders the per-node matching rate series of Figure 7:
+// one "processID  stage  MR" row per node, ordered by stage then ID.
+func RenderMRSeries(stats []NodeStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-6s %8s\n", "Process", "Stage", "MR")
+	sorted := make([]NodeStats, len(stats))
+	copy(sorted, stats)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Stage != sorted[j].Stage {
+			return sorted[i].Stage < sorted[j].Stage
+		}
+		return sorted[i].NodeID < sorted[j].NodeID
+	})
+	for _, s := range sorted {
+		fmt.Fprintf(&b, "%-10s %-6d %8.3f\n", s.NodeID, s.Stage, s.MR())
+	}
+	return b.String()
+}
+
+// sci formats small floats in compact scientific-style notation matching
+// the paper's table (e.g. 2e-07, 0.1).
+func sci(f float64) string {
+	if f != 0 && (f < 1e-3 || f >= 1e6) {
+		return fmt.Sprintf("%.1e", f)
+	}
+	return fmt.Sprintf("%.4g", f)
+}

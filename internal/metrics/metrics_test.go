@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNodeStatsDerived(t *testing.T) {
+	s := NodeStats{Filters: 10, Received: 100, Matched: 87}
+	if got := s.LC(); got != 1000 {
+		t.Errorf("LC = %v, want 1000", got)
+	}
+	if got := s.RLC(1000, 100); got != 0.01 {
+		t.Errorf("RLC = %v, want 0.01", got)
+	}
+	if got := s.MR(); math.Abs(got-0.87) > 1e-12 {
+		t.Errorf("MR = %v, want 0.87", got)
+	}
+}
+
+func TestNodeStatsZeroDenominators(t *testing.T) {
+	s := NodeStats{Filters: 10, Received: 0}
+	if s.MR() != 0 {
+		t.Error("MR with zero received should be 0")
+	}
+	if s.RLC(0, 10) != 0 || s.RLC(10, 0) != 0 {
+		t.Error("RLC with zero totals should be 0")
+	}
+}
+
+func TestCentralizedServerRLCIsOne(t *testing.T) {
+	// Sanity anchor from Section 5.1: a centralized server holding all
+	// subscriptions and receiving all events has RLC = 1.
+	const events, subs = 5000, 300
+	s := NodeStats{Filters: subs, Received: events}
+	if got := s.RLC(events, subs); got != 1 {
+		t.Errorf("centralized RLC = %v, want 1", got)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	var c Collector
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Counters("n1", 2).AddReceived(1)
+				c.Counters("n1", 2).AddMatched(1)
+			}
+		}()
+	}
+	wg.Wait()
+	stats := c.Snapshot()
+	if len(stats) != 1 {
+		t.Fatalf("nodes = %d, want 1", len(stats))
+	}
+	if stats[0].Received != 8000 || stats[0].Matched != 8000 {
+		t.Errorf("counters = %+v, want 8000/8000", stats[0])
+	}
+	if stats[0].Stage != 2 {
+		t.Errorf("stage = %d", stats[0].Stage)
+	}
+}
+
+func TestSnapshotOrdering(t *testing.T) {
+	var c Collector
+	c.Counters("b", 1)
+	c.Counters("a", 1)
+	c.Counters("root", 3)
+	c.Counters("mid", 2)
+	stats := c.Snapshot()
+	ids := make([]string, len(stats))
+	for i, s := range stats {
+		ids[i] = s.NodeID
+	}
+	want := "root mid a b"
+	if got := strings.Join(ids, " "); got != want {
+		t.Errorf("order = %q, want %q", got, want)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	stats := []NodeStats{
+		{NodeID: "r", Stage: 1, Filters: 2, Received: 100, Matched: 50},
+		{NodeID: "s", Stage: 1, Filters: 4, Received: 50, Matched: 50},
+		{NodeID: "t", Stage: 0, Filters: 1, Received: 10, Matched: 9},
+	}
+	sums := Summarize(stats, 100, 10)
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %v", sums)
+	}
+	if sums[0].Stage != 0 || sums[1].Stage != 1 {
+		t.Fatalf("stage order = %v", sums)
+	}
+	s1 := sums[1]
+	// Node r: LC=200, RLC=0.2. Node s: LC=200, RLC=0.2.
+	if math.Abs(s1.TotalRLC-0.4) > 1e-12 || math.Abs(s1.AvgRLC-0.2) > 1e-12 {
+		t.Errorf("stage1 RLC = avg %v total %v", s1.AvgRLC, s1.TotalRLC)
+	}
+	if math.Abs(s1.AvgMR-0.75) > 1e-12 { // (0.5 + 1.0)/2
+		t.Errorf("stage1 AvgMR = %v, want 0.75", s1.AvgMR)
+	}
+	if s1.Nodes != 2 || s1.Filters != 6 || s1.Received != 150 {
+		t.Errorf("stage1 aggregates = %+v", s1)
+	}
+}
+
+func TestGlobalRLC(t *testing.T) {
+	stats := []NodeStats{
+		{Filters: 10, Received: 100},
+		{Filters: 10, Received: 100},
+	}
+	got := GlobalRLC(stats, 100, 20)
+	if math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("GlobalRLC = %v, want 1", got)
+	}
+}
+
+func TestRenderRLCTable(t *testing.T) {
+	out := RenderRLCTable([]StageSummary{
+		{Stage: 0, Nodes: 1000, AvgRLC: 2e-7, TotalRLC: 2e-4, AvgMR: 0.87},
+		{Stage: 3, Nodes: 1, AvgRLC: 0.02, TotalRLC: 0.02, AvgMR: 0.5},
+	})
+	if !strings.Contains(out, "2.0e-07") {
+		t.Errorf("table missing scientific RLC:\n%s", out)
+	}
+	if !strings.Contains(out, "0.02") {
+		t.Errorf("table missing plain RLC:\n%s", out)
+	}
+	if !strings.Contains(out, "Stage") {
+		t.Errorf("table missing header:\n%s", out)
+	}
+}
+
+func TestRenderMRSeries(t *testing.T) {
+	out := RenderMRSeries([]NodeStats{
+		{NodeID: "n2", Stage: 1, Received: 10, Matched: 5},
+		{NodeID: "n1", Stage: 0, Received: 10, Matched: 9},
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !strings.HasPrefix(lines[1], "n1") || !strings.Contains(lines[1], "0.900") {
+		t.Errorf("first data row = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "n2") || !strings.Contains(lines[2], "0.500") {
+		t.Errorf("second data row = %q", lines[2])
+	}
+}
+
+func TestForwardedDeliveredCounters(t *testing.T) {
+	var c Collector
+	cnt := c.Counters("x", 0)
+	cnt.AddForwarded(3)
+	cnt.AddDelivered(2)
+	cnt.SetFilters(7)
+	s := c.Snapshot()[0]
+	if s.Forwarded != 3 || s.Delivered != 2 || s.Filters != 7 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}

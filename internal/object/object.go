@@ -1,0 +1,209 @@
+// Package object implements the event-safety layer of Section 3.4:
+// application-defined Go types become events without giving brokers
+// access to their internals.
+//
+// A published object is transformed into (1) meta-data — a property-set
+// view extracted through reflection following the paper's access-method
+// convention — used exclusively for routing, and (2) an opaque gob
+// payload carrying the full object, decoded only by the subscriber
+// runtime. Brokers never execute application code and never see more
+// than the extracted attributes, preserving encapsulation end to end.
+//
+// Attribute extraction convention (the Go rendering of the paper's
+// "getX" rule): an exported niladic method named GetX with a single
+// supported result contributes attribute "x"; an exported field X
+// contributes attribute "x" unless a getter for the same attribute
+// exists. Supported kinds are strings, booleans, all integer widths, and
+// floats.
+package object
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"eventsys/internal/event"
+)
+
+// Extract derives the property-set attributes of an application object.
+// Getter-derived attributes come first (alphabetically), then remaining
+// exported fields in declaration order. Passing a pointer exposes both
+// value- and pointer-receiver getters; a nil pointer or non-struct value
+// is an error.
+func Extract(v any) ([]event.Attribute, error) {
+	rv := reflect.ValueOf(v)
+	if !rv.IsValid() {
+		return nil, fmt.Errorf("object: cannot extract attributes from nil")
+	}
+	if rv.Kind() == reflect.Pointer {
+		if rv.IsNil() {
+			return nil, fmt.Errorf("object: cannot extract attributes from nil %s", rv.Type())
+		}
+	}
+	elem := rv
+	if elem.Kind() == reflect.Pointer {
+		elem = elem.Elem()
+	}
+	if elem.Kind() != reflect.Struct {
+		return nil, fmt.Errorf("object: %s is not a struct or pointer to struct", rv.Type())
+	}
+
+	var attrs []event.Attribute
+	seen := make(map[string]bool)
+
+	// Pass 1: Get*-prefixed accessor methods (the paper's convention).
+	mv := rv // method set of the value as given (pointer ⇒ superset)
+	mt := mv.Type()
+	var getterNames []string
+	for i := 0; i < mt.NumMethod(); i++ {
+		m := mt.Method(i)
+		if !strings.HasPrefix(m.Name, "Get") || len(m.Name) == 3 {
+			continue
+		}
+		// Niladic (beyond the receiver), single result of supported kind.
+		if m.Type.NumIn() != 1 || m.Type.NumOut() != 1 {
+			continue
+		}
+		if _, ok := kindOf(m.Type.Out(0)); !ok {
+			continue
+		}
+		getterNames = append(getterNames, m.Name)
+	}
+	sort.Strings(getterNames)
+	for _, name := range getterNames {
+		out := mv.MethodByName(name).Call(nil)[0]
+		val, _ := valueOf(out)
+		attr := attrName(name[len("Get"):])
+		attrs = append(attrs, event.Attribute{Name: attr, Value: val})
+		seen[attr] = true
+	}
+
+	// Pass 2: exported fields in declaration order.
+	et := elem.Type()
+	for i := 0; i < et.NumField(); i++ {
+		f := et.Field(i)
+		if !f.IsExported() || f.Anonymous {
+			continue
+		}
+		if _, ok := kindOf(f.Type); !ok {
+			continue
+		}
+		attr := attrName(f.Name)
+		if seen[attr] {
+			continue
+		}
+		val, _ := valueOf(elem.Field(i))
+		attrs = append(attrs, event.Attribute{Name: attr, Value: val})
+		seen[attr] = true
+	}
+	return attrs, nil
+}
+
+// attrName lowercases the leading rune: Symbol -> symbol, URL -> uRL
+// (initialisms keep their tail; attribute names are application-chosen).
+func attrName(s string) string {
+	r, size := utf8.DecodeRuneInString(s)
+	return string(unicode.ToLower(r)) + s[size:]
+}
+
+// kindOf maps a reflect type to the event value kind it extracts to.
+func kindOf(t reflect.Type) (event.Kind, bool) {
+	switch t.Kind() {
+	case reflect.String:
+		return event.KindString, true
+	case reflect.Bool:
+		return event.KindBool, true
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return event.KindInt, true
+	case reflect.Float32, reflect.Float64:
+		return event.KindFloat, true
+	default:
+		return event.KindInvalid, false
+	}
+}
+
+func valueOf(rv reflect.Value) (event.Value, bool) {
+	switch rv.Kind() {
+	case reflect.String:
+		return event.String(rv.String()), true
+	case reflect.Bool:
+		return event.Bool(rv.Bool()), true
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return event.Int(rv.Int()), true
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return event.Int(int64(rv.Uint())), true
+	case reflect.Float32, reflect.Float64:
+		return event.Float(rv.Float()), true
+	default:
+		return event.Value{}, false
+	}
+}
+
+// Encode serializes the object into the opaque payload carried by the
+// event. Brokers treat the payload as a black box.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("object: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode reconstructs a typed object from an event payload. It is the
+// only place application state is re-instantiated — at the subscriber
+// runtime, never at a broker (the end-to-end event safety property).
+func Decode[T any](payload []byte) (T, error) {
+	var out T
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&out); err != nil {
+		return out, fmt.Errorf("object: decode %T: %w", out, err)
+	}
+	return out, nil
+}
+
+// ToEvent assembles a routable event from an application object: class
+// name, extracted meta-data attributes, and the encoded payload. When
+// order is non-nil the attributes are arranged in that (generality)
+// order, with unlisted attributes appended.
+func ToEvent(class string, v any, order []string) (*event.Event, error) {
+	attrs, err := Extract(v)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := Encode(v)
+	if err != nil {
+		return nil, err
+	}
+	if order != nil {
+		attrs = reorder(attrs, order)
+	}
+	e := event.New(class, attrs...)
+	e.Payload = payload
+	return e, nil
+}
+
+func reorder(attrs []event.Attribute, order []string) []event.Attribute {
+	byName := make(map[string]event.Attribute, len(attrs))
+	for _, a := range attrs {
+		byName[a.Name] = a
+	}
+	out := make([]event.Attribute, 0, len(attrs))
+	taken := make(map[string]bool, len(attrs))
+	for _, name := range order {
+		if a, ok := byName[name]; ok {
+			out = append(out, a)
+			taken[name] = true
+		}
+	}
+	for _, a := range attrs {
+		if !taken[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

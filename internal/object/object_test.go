@@ -1,0 +1,222 @@
+package object
+
+import (
+	"strings"
+	"testing"
+
+	"eventsys/internal/event"
+)
+
+// Stock mirrors the paper's Section 3.4 example: private state with
+// Get-prefixed access methods.
+type Stock struct {
+	symbol string
+	price  float64
+}
+
+func NewStock(symbol string, price float64) *Stock { return &Stock{symbol: symbol, price: price} }
+
+// GetSymbol reports the ticker symbol (paper convention accessor).
+func (s *Stock) GetSymbol() string { return s.symbol }
+
+// GetPrice reports the quote price.
+func (s *Stock) GetPrice() float64 { return s.price }
+
+// plainFields uses exported fields instead of accessors.
+type plainFields struct {
+	Symbol string
+	Price  float64
+	Volume int
+	Hot    bool
+	hidden string
+	Fn     func() // unsupported kind: skipped
+}
+
+func TestExtractGetters(t *testing.T) {
+	attrs, err := Extract(NewStock("Foo", 10.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != 2 {
+		t.Fatalf("attrs = %v", attrs)
+	}
+	// Alphabetical getter order: price, symbol.
+	if attrs[0].Name != "price" || !attrs[0].Value.Equal(event.Float(10)) {
+		t.Errorf("attr 0 = %v", attrs[0])
+	}
+	if attrs[1].Name != "symbol" || !attrs[1].Value.Equal(event.String("Foo")) {
+		t.Errorf("attr 1 = %v", attrs[1])
+	}
+}
+
+func TestExtractFields(t *testing.T) {
+	attrs, err := Extract(plainFields{Symbol: "Bar", Price: 2.5, Volume: 100, Hot: true, hidden: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]event.Value{
+		"symbol": event.String("Bar"),
+		"price":  event.Float(2.5),
+		"volume": event.Int(100),
+		"hot":    event.Bool(true),
+	}
+	if len(attrs) != len(want) {
+		t.Fatalf("attrs = %v", attrs)
+	}
+	for _, a := range attrs {
+		w, ok := want[a.Name]
+		if !ok || !a.Value.Equal(w) {
+			t.Errorf("attr %s = %v, want %v", a.Name, a.Value, w)
+		}
+	}
+}
+
+// getterShadows has both a field and a getter for the same attribute; the
+// getter wins (encapsulation: the accessor is authoritative).
+type getterShadows struct {
+	Price float64
+}
+
+func (g getterShadows) GetPrice() float64 { return g.Price * 2 }
+
+func TestGetterShadowsField(t *testing.T) {
+	attrs, err := Extract(getterShadows{Price: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != 1 || !attrs[0].Value.Equal(event.Float(10)) {
+		t.Fatalf("attrs = %v, want getter value 10", attrs)
+	}
+}
+
+// oddGetters exercises signatures that must be ignored.
+type oddGetters struct{ X int }
+
+func (oddGetters) Get() int             { return 1 } // bare "Get"
+func (oddGetters) GetPair() (int, int)  { return 1, 2 }
+func (oddGetters) GetWithArg(n int) int { return n }
+func (oddGetters) GetSlice() []int      { return nil }
+func (oddGetters) Compute() int         { return 9 } // no Get prefix
+
+func TestExtractIgnoresOddSignatures(t *testing.T) {
+	attrs, err := Extract(oddGetters{X: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != 1 || attrs[0].Name != "x" {
+		t.Fatalf("attrs = %v, want only field x", attrs)
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	if _, err := Extract(nil); err == nil {
+		t.Error("nil should fail")
+	}
+	var p *Stock
+	if _, err := Extract(p); err == nil {
+		t.Error("nil pointer should fail")
+	}
+	if _, err := Extract(42); err == nil {
+		t.Error("non-struct should fail")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	type payload struct {
+		A string
+		B int
+		C []float64
+	}
+	in := payload{A: "x", B: 3, C: []float64{1, 2}}
+	raw, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode[payload](raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.A != in.A || out.B != in.B || len(out.C) != 2 {
+		t.Errorf("round trip = %+v", out)
+	}
+}
+
+func TestDecodeError(t *testing.T) {
+	if _, err := Decode[int]([]byte("garbage")); err == nil {
+		t.Error("garbage payload should fail to decode")
+	}
+}
+
+func TestToEvent(t *testing.T) {
+	type Quote struct {
+		Symbol string
+		Price  float64
+	}
+	e, err := ToEvent("Stock", Quote{Symbol: "Foo", Price: 9}, []string{"symbol", "price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Type != "Stock" {
+		t.Errorf("type = %q", e.Type)
+	}
+	if names := strings.Join(e.Names(), ","); names != "symbol,price" {
+		t.Errorf("names = %s", names)
+	}
+	if len(e.Payload) == 0 {
+		t.Error("payload missing")
+	}
+	// The subscriber runtime can reconstruct the object.
+	q, err := Decode[Quote](e.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Symbol != "Foo" || q.Price != 9 {
+		t.Errorf("decoded = %+v", q)
+	}
+}
+
+func TestToEventOrderAppendsUnlisted(t *testing.T) {
+	type V struct {
+		A int
+		B int
+		C int
+	}
+	e, err := ToEvent("T", V{1, 2, 3}, []string{"c", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := strings.Join(e.Names(), ","); names != "c,a,b" {
+		t.Errorf("names = %s", names)
+	}
+}
+
+// statefulPredicate mirrors BuyFilter of Section 3.4: a stateful local
+// filter that cannot be expressed declaratively and therefore runs only
+// at the subscriber runtime.
+type buyFilter struct {
+	last      float64
+	max       float64
+	threshold float64
+}
+
+func (b *buyFilter) match(price float64) bool {
+	if price >= b.max {
+		return false
+	}
+	match := b.last != 0 && price <= b.last*b.threshold
+	b.last = price
+	return match
+}
+
+func TestStatefulLocalFilterSemantics(t *testing.T) {
+	// Documents the intended division of labor: the broker-side filter
+	// f1 = price < 10 pre-filters; the stateful part runs locally.
+	b := &buyFilter{max: 10.0, threshold: 0.95}
+	prices := []float64{9.0, 8.9, 8.0, 9.9, 8.0}
+	want := []bool{false, false, true, false, true}
+	for i, p := range prices {
+		if got := b.match(p); got != want[i] {
+			t.Errorf("match(%v) = %v, want %v", p, got, want[i])
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package overlay
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+)
+
+func TestDurableDetachResume(t *testing.T) {
+	sys := newStockSystem(t, Config{Seed: 20})
+	var live []uint64
+	var mu sync.Mutex
+	record := func(e *event.Event) {
+		mu.Lock()
+		live = append(live, e.ID)
+		mu.Unlock()
+	}
+	h, err := sys.SubscribeDurable("d1",
+		filter.Subscription{filter.MustParseFilter(`class = "Stock" && symbol = "A"`)},
+		record)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: live delivery.
+	if err := sys.Publish(stockEvent("A", 1)); err != nil {
+		t.Fatal(err)
+	}
+	sys.Flush()
+	if h.Delivered() != 1 {
+		t.Fatalf("live delivery = %d", h.Delivered())
+	}
+
+	// Phase 2: detach; events buffer instead of delivering.
+	if err := h.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := sys.Publish(stockEvent("A", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Flush()
+	if h.Delivered() != 1 {
+		t.Fatalf("detached handle delivered %d, want 1", h.Delivered())
+	}
+	if h.Backlog() != 5 {
+		t.Fatalf("backlog = %d, want 5", h.Backlog())
+	}
+
+	// Phase 3: resume with a new handler; backlog drains in order, then
+	// live delivery continues.
+	if err := h.Resume(record); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Publish(stockEvent("A", 99)); err != nil {
+		t.Fatal(err)
+	}
+	sys.Flush()
+	if h.Delivered() != 7 {
+		t.Fatalf("total delivered = %d, want 7", h.Delivered())
+	}
+	if h.Backlog() != 0 {
+		t.Fatalf("backlog after resume = %d", h.Backlog())
+	}
+	// FIFO: IDs strictly increasing.
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(live); i++ {
+		if live[i] <= live[i-1] {
+			t.Fatalf("delivery order violated: %v", live)
+		}
+	}
+}
+
+func TestDurableBacklogBounded(t *testing.T) {
+	sys := newStockSystem(t, Config{Seed: 21, DurableBuffer: 3})
+	h, err := sys.SubscribeDurable("d1",
+		filter.Subscription{filter.MustParseFilter(`class = "Stock" && symbol = "A"`)},
+		func(*event.Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := sys.Publish(stockEvent("A", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Flush()
+	if h.Backlog() != 3 {
+		t.Errorf("backlog = %d, want bound 3", h.Backlog())
+	}
+	if h.Dropped() != 7 {
+		t.Errorf("dropped = %d, want 7", h.Dropped())
+	}
+	// The survivors are the newest three.
+	var got []uint64
+	var mu sync.Mutex
+	if err := h.Resume(func(e *event.Event) {
+		mu.Lock()
+		got = append(got, e.ID)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Flush()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("resumed deliveries = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("order violated: %v", got)
+		}
+	}
+}
+
+func TestNonDurableCannotDetach(t *testing.T) {
+	sys := newStockSystem(t, Config{Seed: 22})
+	h, err := sys.Subscribe("p1",
+		filter.Subscription{filter.MustParseFilter(`class = "Stock"`)},
+		func(*event.Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Detach(); err == nil {
+		t.Error("Detach on non-durable should fail")
+	}
+	if err := h.Resume(func(*event.Event) {}); err == nil {
+		t.Error("Resume on non-durable should fail")
+	}
+}
+
+func TestDurableResumeValidation(t *testing.T) {
+	sys := newStockSystem(t, Config{Seed: 23})
+	h, err := sys.SubscribeDurable("d1",
+		filter.Subscription{filter.MustParseFilter(`class = "Stock"`)},
+		func(*event.Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Resume(nil); err == nil {
+		t.Error("nil handler should fail")
+	}
+}
+
+func TestDurableSurvivesMaintain(t *testing.T) {
+	// A detached durable subscription keeps its leases alive through
+	// Maintain, so no events are lost during the detachment window.
+	sys := newStockSystem(t, Config{Seed: 24, TTL: minuteTTL})
+	var count atomic.Uint64
+	h, err := sys.SubscribeDurable("d1",
+		filter.Subscription{filter.MustParseFilter(`class = "Stock" && symbol = "A"`)},
+		func(*event.Event) { count.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	// Two maintenance rounds well past the original 3×TTL deadline.
+	sys.Maintain(timeNowPlus(2))
+	sys.Maintain(timeNowPlus(4))
+	if err := sys.Publish(stockEvent("A", 5)); err != nil {
+		t.Fatal(err)
+	}
+	sys.Flush()
+	if h.Backlog() != 1 {
+		t.Fatalf("backlog = %d; lease expired while detached?", h.Backlog())
+	}
+	if err := h.Resume(func(*event.Event) { count.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	sys.Flush()
+	if count.Load() != 1 {
+		t.Errorf("delivered = %d, want 1", count.Load())
+	}
+}
+
+// test clock helpers shared by the durable tests.
+const minuteTTL = time.Minute
+
+func timeNowPlus(minutes int) time.Time {
+	return time.Now().Add(time.Duration(minutes) * time.Minute)
+}

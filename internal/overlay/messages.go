@@ -1,0 +1,106 @@
+// Package overlay is the concurrent in-process runtime of the multi-stage
+// event system: every broker node runs as a goroutine owning a
+// routing.Node core, connected to its hierarchy neighbors by channels.
+// Publishers inject events at the root; events cascade down stage by
+// stage, filtered with progressively stronger (less weakened) filters;
+// subscriber runtimes apply the original subscription — and any stateful
+// application predicate — end to end (Figure 3).
+//
+// Concurrency model: one inbox channel per node, processed by exactly one
+// goroutine, so the routing core needs no locks. Inter-node sends select
+// on the system context, making shutdown deadlock-free. Delivery to
+// subscribers uses a buffered channel per subscriber drained by a
+// dedicated goroutine; a slow subscriber eventually exerts backpressure
+// on its stage-1 broker rather than dropping events.
+package overlay
+
+import (
+	"time"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/routing"
+)
+
+// message is the sum type processed by node actors.
+type message interface{ isMessage() }
+
+// pubMsg carries a published event down the tree. The full event travels
+// with the envelope; brokers match on it directly (equivalent to matching
+// the stage projection, Proposition 2) while subscribers need the full
+// attributes and payload for perfect filtering and object decoding.
+type pubMsg struct {
+	ev *event.Event
+}
+
+// subMsg runs one step of the Figure 5 placement protocol.
+type subMsg struct {
+	f     *filter.Filter
+	sid   routing.NodeID
+	reply chan routing.SubscribeResult
+}
+
+// reqInsertMsg propagates a weakened filter from child to parent. The
+// reply carries the further-weakened filter the parent wants propagated
+// (nil when propagation stops), letting the placement walk drive the
+// upward chain synchronously — a subscription is fully routable the
+// moment Subscribe returns.
+type reqInsertMsg struct {
+	f     *filter.Filter
+	child routing.NodeID
+	reply chan *filter.Filter
+}
+
+// renewMsg refreshes the lease of (f, id) as of now. Carrying the time
+// in the message keeps renewals and sweeps on one clock, so tests can
+// drive maintenance with a synthetic clock.
+type renewMsg struct {
+	f   *filter.Filter
+	id  routing.NodeID
+	now time.Time
+}
+
+// unsubMsg removes the (f, id) association immediately.
+type unsubMsg struct {
+	f  *filter.Filter
+	id routing.NodeID
+}
+
+// renewTickMsg makes a node renew its own filters with its parent as of
+// now.
+type renewTickMsg struct {
+	now time.Time
+}
+
+// sweepMsg expires stale leases as of now.
+type sweepMsg struct {
+	now time.Time
+}
+
+// flushMsg implements the tree barrier: a node forwards the flush to all
+// broker children and acknowledges. Because inboxes are FIFO and events
+// only flow parent-to-child, every event enqueued before the flush is
+// processed before the acknowledgment.
+type flushMsg struct {
+	ack chan struct{}
+}
+
+func (pubMsg) isMessage()       {}
+func (subMsg) isMessage()       {}
+func (reqInsertMsg) isMessage() {}
+func (renewMsg) isMessage()     {}
+func (unsubMsg) isMessage()     {}
+func (renewTickMsg) isMessage() {}
+func (sweepMsg) isMessage()     {}
+func (flushMsg) isMessage()     {}
+
+// delivery is the unit sent to subscriber runtimes.
+type delivery struct {
+	ev *event.Event
+	// flush, when non-nil, is a barrier token instead of an event.
+	flush chan struct{}
+	// resume, when true, is a control token making the runtime drain its
+	// durable backlog and go live again (FIFO order preserved: events
+	// queued between Detach and Resume sit in the backlog ahead of it).
+	resume bool
+}

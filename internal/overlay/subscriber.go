@@ -1,0 +1,357 @@
+package overlay
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/metrics"
+	"eventsys/internal/routing"
+)
+
+// Handler consumes delivered events at a subscriber runtime. Handlers run
+// on the subscriber's own goroutine; a slow handler backpressures its
+// stage-1 broker but never loses events.
+type Handler func(*event.Event)
+
+// Handle is a live subscription: the subscriber's identity, its original
+// filter (applied end-to-end), the broker that accepted it, and the
+// delivery pipeline.
+//
+// A durable handle (SubscribeDurable) may Detach: the subscription stays
+// registered in the hierarchy and its broker keeps forwarding, while the
+// runtime buffers events in a bounded backlog — the paper's "storing
+// events for temporarily disconnected subscribers with durable
+// subscriptions" (Section 2.1). Resume drains the backlog in FIFO order
+// and goes live again.
+type Handle struct {
+	id       routing.NodeID
+	original filter.Subscription
+	sys      *System
+	durable  bool
+
+	mu      sync.Mutex // guards node, stored, state, handler, backlog
+	node    routing.NodeID
+	stored  *filter.Filter
+	handler Handler
+	// detached marks a durable handle whose runtime buffers instead of
+	// delivering.
+	detached bool
+	backlog  []*event.Event
+	backCap  int
+
+	ch       chan delivery
+	stopOnce sync.Once
+	done     chan struct{}
+
+	received  atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// renewTarget returns the broker and filter to renew against.
+func (h *Handle) renewTarget() (routing.NodeID, *filter.Filter) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.node, h.stored
+}
+
+// Subscribe registers a subscriber with the given original subscription
+// (a disjunction of conjunctive filters). Each member filter is placed
+// independently through the Figure 5 protocol; the handler receives each
+// matching event exactly once per placement path.
+//
+// The returned Handle reports where the subscription landed and counts
+// deliveries. The handler runs until Unsubscribe or system Close.
+func (s *System) Subscribe(id string, sub filter.Subscription, handler Handler) (*Handle, error) {
+	return s.subscribe(id, sub, handler, false)
+}
+
+// SubscribeDurable is Subscribe with durable semantics: Detach keeps the
+// subscription alive while buffering events (bounded by DurableBuffer);
+// Resume drains the backlog and continues live delivery.
+func (s *System) SubscribeDurable(id string, sub filter.Subscription, handler Handler) (*Handle, error) {
+	return s.subscribe(id, sub, handler, true)
+}
+
+func (s *System) subscribe(id string, sub filter.Subscription, handler Handler, durable bool) (*Handle, error) {
+	if len(sub) == 0 {
+		return nil, fmt.Errorf("overlay: empty subscription")
+	}
+	if handler == nil {
+		return nil, fmt.Errorf("overlay: nil handler")
+	}
+	sid := routing.NodeID(id)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("overlay: system closed")
+	}
+	if _, dup := s.subs[sid]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("overlay: subscriber %q already registered", id)
+	}
+	h := &Handle{
+		id:       sid,
+		original: sub,
+		sys:      s,
+		durable:  durable,
+		handler:  handler,
+		backCap:  s.cfg.DurableBuffer,
+		ch:       make(chan delivery, s.cfg.DeliveryBuffer),
+		done:     make(chan struct{}),
+	}
+	s.subs[sid] = h
+	s.mu.Unlock()
+
+	// Place each member filter via the Figure 5 protocol. The current
+	// Handle supports a single stored filter per subscriber for renewal
+	// purposes; disjunctions place the first filter through the protocol
+	// and the rest directly at the accepting node, which keeps exactly-
+	// once delivery per node.
+	for i, f := range sub {
+		node, stored, err := s.place(sid, f)
+		if err != nil {
+			s.mu.Lock()
+			delete(s.subs, sid)
+			s.mu.Unlock()
+			return nil, err
+		}
+		if i == 0 {
+			h.mu.Lock()
+			h.node, h.stored = node, stored
+			h.mu.Unlock()
+		}
+	}
+
+	s.wg.Add(1)
+	go h.loop()
+	return h, nil
+}
+
+// place walks one filter down from the root (Figure 5), then drives the
+// req-Insert chain back up so the subscription is routable everywhere
+// before Subscribe returns.
+func (s *System) place(sid routing.NodeID, f *filter.Filter) (routing.NodeID, *filter.Filter, error) {
+	cur := s.root.node.ID()
+	for hop := 0; hop < len(s.cfg.Fanouts)+2; hop++ {
+		reply := make(chan routing.SubscribeResult, 1)
+		if err := s.send(cur, subMsg{f: f, sid: sid, reply: reply}); err != nil {
+			return "", nil, err
+		}
+		var res routing.SubscribeResult
+		select {
+		case res = <-reply:
+		case <-s.ctx.Done():
+			return "", nil, fmt.Errorf("overlay: system closed during placement")
+		}
+		if res.Action == routing.ActionRedirect {
+			cur = res.Target
+			continue
+		}
+		if err := s.propagateUp(cur, res.Up); err != nil {
+			return "", nil, err
+		}
+		return cur, res.Stored, nil
+	}
+	return "", nil, fmt.Errorf("overlay: placement did not terminate for %s", f)
+}
+
+// propagateUp walks a req-Insert chain from the accepting node to the
+// root, one synchronous hop at a time.
+func (s *System) propagateUp(from routing.NodeID, up *filter.Filter) error {
+	at := from
+	for up != nil {
+		parent := s.actors[at].node.Parent()
+		if parent == "" {
+			return nil
+		}
+		reply := make(chan *filter.Filter, 1)
+		if err := s.send(parent, reqInsertMsg{f: up, child: at, reply: reply}); err != nil {
+			return err
+		}
+		select {
+		case up = <-reply:
+		case <-s.ctx.Done():
+			return fmt.Errorf("overlay: system closed during propagation")
+		}
+		at = parent
+	}
+	return nil
+}
+
+// loop is the subscriber runtime: drain deliveries, apply the original
+// subscription (perfect end-to-end filtering, Figure 3), invoke the
+// handler — or, while detached, buffer into the durable backlog.
+func (h *Handle) loop() {
+	defer h.sys.wg.Done()
+	counters := h.sys.collector.Counters(string(h.id), 0)
+	counters.SetFilters(len(h.original))
+	for {
+		select {
+		case <-h.done:
+			return
+		case <-h.sys.ctx.Done():
+			return
+		case d := <-h.ch:
+			switch {
+			case d.flush != nil:
+				close(d.flush)
+			case d.resume:
+				h.drainBacklog(counters)
+			default:
+				h.consume(d.ev, counters)
+			}
+		}
+	}
+}
+
+// consume handles one incoming event: buffer when detached, otherwise
+// filter perfectly and deliver.
+func (h *Handle) consume(ev *event.Event, counters *metrics.Counters) {
+	h.mu.Lock()
+	if h.detached {
+		if h.backCap > 0 && len(h.backlog) >= h.backCap {
+			// Bounded store: oldest events give way (the paper leaves
+			// the durable store unbounded; production cannot).
+			h.backlog = h.backlog[1:]
+			h.dropped.Add(1)
+		}
+		h.backlog = append(h.backlog, ev)
+		h.mu.Unlock()
+		return
+	}
+	handler := h.handler
+	h.mu.Unlock()
+	h.deliverOne(ev, handler, counters)
+}
+
+// drainBacklog processes the durable backlog in FIFO order and goes live.
+func (h *Handle) drainBacklog(counters *metrics.Counters) {
+	h.mu.Lock()
+	backlog := h.backlog
+	h.backlog = nil
+	h.detached = false
+	handler := h.handler
+	h.mu.Unlock()
+	for _, ev := range backlog {
+		h.deliverOne(ev, handler, counters)
+	}
+}
+
+func (h *Handle) deliverOne(ev *event.Event, handler Handler, counters *metrics.Counters) {
+	h.received.Add(1)
+	counters.AddReceived(1)
+	if !h.original.Matches(ev, h.sys.conf) {
+		return
+	}
+	counters.AddMatched(1)
+	counters.AddDelivered(1)
+	h.delivered.Add(1)
+	handler(ev)
+}
+
+// ID returns the subscriber identity.
+func (h *Handle) ID() string { return string(h.id) }
+
+// Node returns the broker that accepted the (first) filter — stage 1 for
+// ordinary subscriptions, higher for wildcard ones (Section 4.4).
+func (h *Handle) Node() string {
+	node, _ := h.renewTarget()
+	return string(node)
+}
+
+// StoredFilter returns the weakened filter the accepting broker stores
+// for this subscriber.
+func (h *Handle) StoredFilter() *filter.Filter {
+	_, stored := h.renewTarget()
+	return stored.Clone()
+}
+
+// Received reports events that reached the subscriber runtime (before
+// perfect filtering); Delivered reports events passed to the handler.
+func (h *Handle) Received() uint64 { return h.received.Load() }
+
+// Delivered reports events that passed perfect filtering.
+func (h *Handle) Delivered() uint64 { return h.delivered.Load() }
+
+// Detach pauses a durable subscription: the hierarchy keeps routing its
+// events, which accumulate in a bounded backlog until Resume. Lease
+// renewal continues (Maintain/AutoMaintain still covers the handle), so
+// a detached durable subscription survives as long as the system renews
+// it. Detach on a non-durable handle is an error.
+func (h *Handle) Detach() error {
+	if !h.durable {
+		return fmt.Errorf("overlay: subscriber %q is not durable", h.id)
+	}
+	h.mu.Lock()
+	h.detached = true
+	h.mu.Unlock()
+	return nil
+}
+
+// Resume re-attaches a detached durable subscription with a (possibly
+// new) handler. Backlogged events are delivered first, in FIFO order,
+// then live delivery continues.
+func (h *Handle) Resume(handler Handler) error {
+	if !h.durable {
+		return fmt.Errorf("overlay: subscriber %q is not durable", h.id)
+	}
+	if handler == nil {
+		return fmt.Errorf("overlay: nil handler")
+	}
+	h.mu.Lock()
+	h.handler = handler
+	h.mu.Unlock()
+	// The resume token travels through the delivery queue, so events
+	// enqueued before it land in the backlog and drain ahead of later
+	// live events — FIFO preserved end to end.
+	select {
+	case h.ch <- delivery{resume: true}:
+		return nil
+	case <-h.done:
+		return fmt.Errorf("overlay: subscriber %q stopped", h.id)
+	case <-h.sys.ctx.Done():
+		return fmt.Errorf("overlay: system closed")
+	}
+}
+
+// Backlog reports the number of events currently stored for a detached
+// durable subscription.
+func (h *Handle) Backlog() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.backlog)
+}
+
+// Dropped reports events evicted from a full durable backlog.
+func (h *Handle) Dropped() uint64 { return h.dropped.Load() }
+
+// Renew refreshes the subscription lease once (AutoMaintain does this
+// periodically when enabled).
+func (h *Handle) Renew() error {
+	node, stored := h.renewTarget()
+	return h.sys.send(node, renewMsg{f: stored, id: h.id, now: time.Now()})
+}
+
+// Unsubscribe removes the subscription immediately at its broker and
+// stops the handler. Upstream routing state decays via lease expiry.
+func (h *Handle) Unsubscribe() error {
+	node, stored := h.renewTarget()
+	err := h.sys.send(node, unsubMsg{f: stored, id: h.id})
+	h.sys.mu.Lock()
+	delete(h.sys.subs, h.id)
+	h.sys.mu.Unlock()
+	h.stop()
+	// Wait for the broker to process the removal so no further
+	// deliveries race into a stopped runtime.
+	h.sys.Flush()
+	return err
+}
+
+func (h *Handle) stop() {
+	h.stopOnce.Do(func() { close(h.done) })
+}

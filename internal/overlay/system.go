@@ -1,0 +1,406 @@
+package overlay
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/index"
+	"eventsys/internal/metrics"
+	"eventsys/internal/routing"
+	"eventsys/internal/typing"
+	"eventsys/internal/weaken"
+)
+
+// Config parameterizes an overlay System.
+type Config struct {
+	// Fanouts lists broker counts per stage from the top down (the paper
+	// evaluates {1, 10, 100}). Required.
+	Fanouts []int
+	// TTL is the lease renewal period (Section 4.3); 0 disables expiry.
+	TTL time.Duration
+	// AutoMaintain runs a background renewal/sweep loop every TTL/2.
+	// Ignored when TTL is 0. Without it, call Maintain explicitly.
+	AutoMaintain bool
+	// Registry resolves event type conformance (type-based subscribing);
+	// nil means exact type names.
+	Registry *typing.Registry
+	// UseCounting selects the counting matching engine at brokers.
+	UseCounting bool
+	// InboxSize buffers node inboxes (default 256).
+	InboxSize int
+	// DeliveryBuffer buffers each subscriber's channel (default 64).
+	DeliveryBuffer int
+	// DurableBuffer bounds the per-subscriber backlog stored while a
+	// durable subscription is detached (default 4096; oldest events are
+	// evicted beyond it).
+	DurableBuffer int
+	// Seed drives placement randomness deterministically.
+	Seed uint64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.InboxSize <= 0 {
+		out.InboxSize = 256
+	}
+	if out.DeliveryBuffer <= 0 {
+		out.DeliveryBuffer = 64
+	}
+	if out.DurableBuffer <= 0 {
+		out.DurableBuffer = 4096
+	}
+	return out
+}
+
+// System is a running overlay. Create with New, stop with Close.
+type System struct {
+	cfg       Config
+	conf      filter.Conformance
+	ads       *typing.AdvertisementSet
+	weakener  *weaken.Weakener
+	collector *metrics.Collector
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	actors map[routing.NodeID]*actor
+	root   *actor
+
+	mu     sync.RWMutex
+	subs   map[routing.NodeID]*Handle
+	closed bool
+
+	pubSeq atomic.Uint64
+}
+
+// actor owns one routing.Node; only its goroutine touches the core.
+type actor struct {
+	sys   *System
+	node  *routing.Node
+	inbox chan message
+	rng   *rand.Rand
+}
+
+// New builds and starts the overlay.
+func New(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Fanouts) == 0 {
+		return nil, fmt.Errorf("overlay: Fanouts required")
+	}
+	for i, n := range cfg.Fanouts {
+		if n <= 0 {
+			return nil, fmt.Errorf("overlay: Fanouts[%d] = %d, want > 0", i, n)
+		}
+	}
+	var conf filter.Conformance = filter.ExactTypes{}
+	if cfg.Registry != nil {
+		conf = cfg.Registry
+	}
+	s := &System{
+		cfg:       cfg,
+		conf:      conf,
+		ads:       &typing.AdvertisementSet{},
+		collector: &metrics.Collector{},
+		actors:    make(map[routing.NodeID]*actor),
+		subs:      make(map[routing.NodeID]*Handle),
+	}
+	s.weakener = weaken.New(s.ads, conf)
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.buildActors()
+	for _, a := range s.actors {
+		s.wg.Add(1)
+		go a.run()
+	}
+	if cfg.TTL > 0 && cfg.AutoMaintain {
+		s.wg.Add(1)
+		go s.maintainLoop()
+	}
+	return s, nil
+}
+
+// buildActors instantiates the broker tree (same layout as the
+// simulator: children spread evenly under the level above).
+func (s *System) buildActors() {
+	stages := len(s.cfg.Fanouts)
+	ids := make([][]routing.NodeID, stages)
+	for level, count := range s.cfg.Fanouts {
+		stage := stages - level
+		ids[level] = make([]routing.NodeID, count)
+		for i := 0; i < count; i++ {
+			ids[level][i] = routing.NodeID(fmt.Sprintf("N%d.%d", stage, i+1))
+		}
+	}
+	seq := uint64(0)
+	for level, count := range s.cfg.Fanouts {
+		stage := stages - level
+		for i := 0; i < count; i++ {
+			id := ids[level][i]
+			var parent routing.NodeID
+			if level > 0 {
+				parent = ids[level-1][i*len(ids[level-1])/count]
+			}
+			var children []routing.NodeID
+			if level+1 < stages {
+				below := len(ids[level+1])
+				for j := 0; j < below; j++ {
+					if j*count/below == i {
+						children = append(children, ids[level+1][j])
+					}
+				}
+			}
+			var engine index.Engine
+			if s.cfg.UseCounting {
+				engine = index.NewCountingTable(s.conf)
+			}
+			node := routing.NewNode(routing.Config{
+				ID: id, Stage: stage, Parent: parent, Children: children,
+				TTL: s.cfg.TTL, Conf: s.conf, Weakener: s.weakener,
+				Counters: s.collector.Counters(string(id), stage),
+				Engine:   engine,
+			})
+			seq++
+			a := &actor{
+				sys:   s,
+				node:  node,
+				inbox: make(chan message, s.cfg.InboxSize),
+				rng:   rand.New(rand.NewPCG(s.cfg.Seed, seq)),
+			}
+			s.actors[id] = a
+			if parent == "" && stage == stages {
+				s.root = a
+			}
+		}
+	}
+}
+
+// send delivers a message to an actor, giving up when the system stops.
+func (s *System) send(to routing.NodeID, m message) error {
+	a, ok := s.actors[to]
+	if !ok {
+		return fmt.Errorf("overlay: unknown node %q", to)
+	}
+	if s.ctx.Err() != nil {
+		return fmt.Errorf("overlay: system closed")
+	}
+	select {
+	case a.inbox <- m:
+		return nil
+	case <-s.ctx.Done():
+		return fmt.Errorf("overlay: system closed")
+	}
+}
+
+// run is the actor loop: serialize all access to the routing core.
+func (a *actor) run() {
+	defer a.sys.wg.Done()
+	for {
+		select {
+		case <-a.sys.ctx.Done():
+			return
+		case m := <-a.inbox:
+			a.handle(m)
+		}
+	}
+}
+
+func (a *actor) handle(m message) {
+	switch msg := m.(type) {
+	case pubMsg:
+		for _, id := range a.node.HandleEvent(msg.ev) {
+			if _, ok := a.sys.actors[id]; ok {
+				_ = a.sys.send(id, msg)
+				continue
+			}
+			a.sys.deliver(id, msg.ev)
+		}
+	case subMsg:
+		res := a.node.HandleSubscribe(msg.f, msg.sid, a.rng, time.Now())
+		select {
+		case msg.reply <- res:
+		case <-a.sys.ctx.Done():
+		}
+	case reqInsertMsg:
+		up := a.node.HandleReqInsert(msg.f, msg.child, time.Now())
+		if a.node.IsRoot() {
+			up = nil
+		}
+		select {
+		case msg.reply <- up:
+		case <-a.sys.ctx.Done():
+		}
+	case renewMsg:
+		a.node.HandleRenew(msg.f, msg.id, msg.now)
+	case unsubMsg:
+		a.node.HandleUnsubscribe(msg.f, msg.id)
+	case renewTickMsg:
+		if !a.node.IsRoot() {
+			for _, f := range a.node.RenewalsDue() {
+				_ = a.sys.send(a.node.Parent(), renewMsg{f: f, id: a.node.ID(), now: msg.now})
+			}
+		}
+	case sweepMsg:
+		a.node.Sweep(msg.now)
+	case flushMsg:
+		for _, child := range a.node.Children() {
+			fm := flushMsg{ack: msg.ack}
+			_ = a.sys.send(child, fm)
+		}
+		select {
+		case msg.ack <- struct{}{}:
+		case <-a.sys.ctx.Done():
+		}
+	}
+}
+
+// deliver hands an event to a subscriber runtime.
+func (s *System) deliver(id routing.NodeID, ev *event.Event) {
+	s.mu.RLock()
+	h := s.subs[id]
+	s.mu.RUnlock()
+	if h == nil {
+		return // unsubscribed; residual routing state will expire
+	}
+	select {
+	case h.ch <- delivery{ev: ev}:
+	case <-h.done: // subscriber stopped mid-flight
+	case <-s.ctx.Done():
+	}
+}
+
+// Advertise registers an event class advertisement system-wide. In this
+// in-process runtime the advertisement set is shared by all brokers, so
+// one call makes the schema (and its attribute-stage association) visible
+// everywhere — modeling the paper's advertisement dissemination.
+func (s *System) Advertise(ad *typing.Advertisement) error {
+	want := len(s.cfg.Fanouts) + 1
+	if ad.Stages() != want {
+		return fmt.Errorf("overlay: advertisement for %q covers %d stages, hierarchy needs %d",
+			ad.Class, ad.Stages(), want)
+	}
+	return s.ads.Put(ad)
+}
+
+// Publish injects an event at the root (the top-most stage, Section 4).
+// The event is stamped with a system-wide sequence ID.
+func (s *System) Publish(e *event.Event) error {
+	if e == nil {
+		return fmt.Errorf("overlay: nil event")
+	}
+	e.ID = s.pubSeq.Add(1)
+	return s.send(s.root.node.ID(), pubMsg{ev: e})
+}
+
+// Flush blocks until every event published before the call has been
+// processed by every broker and delivered to subscriber handlers.
+func (s *System) Flush() {
+	// Phase 1: tree barrier over brokers.
+	ack := make(chan struct{}, len(s.actors))
+	if err := s.send(s.root.node.ID(), flushMsg{ack: ack}); err != nil {
+		return
+	}
+	for i := 0; i < len(s.actors); i++ {
+		select {
+		case <-ack:
+		case <-s.ctx.Done():
+			return
+		}
+	}
+	// Phase 2: barrier through each subscriber's delivery queue.
+	s.mu.RLock()
+	handles := make([]*Handle, 0, len(s.subs))
+	for _, h := range s.subs {
+		handles = append(handles, h)
+	}
+	s.mu.RUnlock()
+	for _, h := range handles {
+		done := make(chan struct{})
+		select {
+		case h.ch <- delivery{flush: done}:
+		case <-h.done:
+			continue
+		case <-s.ctx.Done():
+			return
+		}
+		select {
+		case <-done:
+		case <-h.done:
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// Maintain performs one synchronous renewal round followed by a sweep at
+// the given time. Tests drive it with a fake clock; AutoMaintain drives
+// it with the wall clock.
+func (s *System) Maintain(now time.Time) {
+	// Subscriber renewals first, then broker-to-parent renewals.
+	s.mu.RLock()
+	handles := make([]*Handle, 0, len(s.subs))
+	for _, h := range s.subs {
+		handles = append(handles, h)
+	}
+	s.mu.RUnlock()
+	for _, h := range handles {
+		node, stored := h.renewTarget()
+		if node != "" {
+			_ = s.send(node, renewMsg{f: stored, id: h.id, now: now})
+		}
+	}
+	for id := range s.actors {
+		_ = s.send(id, renewTickMsg{now: now})
+	}
+	s.Flush()
+	for id := range s.actors {
+		_ = s.send(id, sweepMsg{now: now})
+	}
+	s.Flush()
+}
+
+func (s *System) maintainLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.TTL / 2)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case now := <-ticker.C:
+			s.Maintain(now)
+		}
+	}
+}
+
+// Stats snapshots every broker's and subscriber's counters.
+func (s *System) Stats() []metrics.NodeStats { return s.collector.Snapshot() }
+
+// Conformance exposes the system's type conformance (for subscriber-side
+// perfect filtering).
+func (s *System) Conformance() filter.Conformance { return s.conf }
+
+// Close stops all goroutines and waits for them. Safe to call twice.
+func (s *System) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	handles := make([]*Handle, 0, len(s.subs))
+	for _, h := range s.subs {
+		handles = append(handles, h)
+	}
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+	for _, h := range handles {
+		h.stop()
+	}
+}

@@ -1,0 +1,94 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"eventsys/internal/filter"
+)
+
+func TestDynamicChildren(t *testing.T) {
+	n := NewNode(Config{ID: "p", Stage: 2, TTL: time.Minute, Weakener: nil})
+	if n.IsChild("c1") {
+		t.Error("no children yet")
+	}
+	n.AddChild("c1")
+	n.AddChild("c2")
+	n.AddChild("c1") // duplicate: no-op
+	kids := n.Children()
+	if len(kids) != 2 || kids[0] != "c1" || kids[1] != "c2" {
+		t.Fatalf("Children = %v", kids)
+	}
+	if !n.IsChild("c1") || !n.IsChild("c2") {
+		t.Error("IsChild false for registered children")
+	}
+	n.RemoveChild("c1")
+	n.RemoveChild("zz") // absent: no-op
+	kids = n.Children()
+	if len(kids) != 1 || kids[0] != "c2" {
+		t.Fatalf("after removal Children = %v", kids)
+	}
+	if n.IsChild("c1") {
+		t.Error("removed child still reported")
+	}
+}
+
+func TestDynamicChildUsedForPlacement(t *testing.T) {
+	// A stage-2 node with dynamically added children must use them for
+	// random descent.
+	n := NewNode(Config{ID: "p", Stage: 2, TTL: time.Minute})
+	n.AddChild("leaf")
+	rng := rand.New(rand.NewPCG(1, 1))
+	res := n.HandleSubscribe(filter.MustParseFilter(`x = 1`), "s1", rng, t0)
+	if res.Action != ActionRedirect || res.Target != "leaf" {
+		t.Fatalf("result = %+v, want redirect to leaf", res)
+	}
+}
+
+func TestTableIDsFor(t *testing.T) {
+	tab := NewTable(nil)
+	f := filter.MustParseFilter(`x = 1`)
+	tab.Insert(f, "b", t0.Add(time.Hour))
+	tab.Insert(f, "a", t0.Add(time.Hour))
+	ids := tab.IDsFor(f)
+	if fmt.Sprint(ids) != "[a b]" {
+		t.Errorf("IDsFor = %v", ids)
+	}
+	if got := tab.IDsFor(filter.MustParseFilter(`y = 2`)); got != nil {
+		t.Errorf("IDsFor absent filter = %v", got)
+	}
+}
+
+func TestStandardizeWithoutAdvertisement(t *testing.T) {
+	// Nodes without schema knowledge must pass filters through
+	// unmodified (both for classless filters and unadvertised classes).
+	n := NewNode(Config{ID: "n", Stage: 1, TTL: time.Minute})
+	rng := rand.New(rand.NewPCG(2, 2))
+	f := filter.MustParseFilter(`class = "Mystery" && a = 1`)
+	res := n.HandleSubscribe(f, "s1", rng, t0)
+	if res.Action != ActionAccept {
+		t.Fatalf("action = %v", res.Action)
+	}
+	// Stored filter keeps only the class above stage 0 for unadvertised
+	// classes; at stage 1 the weakener has no advert, so class-only.
+	if res.Stored.Class != "Mystery" {
+		t.Errorf("stored = %s", res.Stored)
+	}
+	g := filter.MustParseFilter(`b = 2`) // no class at all
+	res2 := n.HandleSubscribe(g, "s2", rng, t0)
+	if res2.Action != ActionAccept {
+		t.Fatalf("action = %v", res2.Action)
+	}
+}
+
+func TestWildcardInsertStageWithoutAds(t *testing.T) {
+	// Without advertisements the wildcard rule cannot apply; descent
+	// proceeds normally and terminates at stage 1.
+	h := newHierarchy(t, nil, time.Minute)
+	n := h.subscribe(t, "s1", filter.MustParseFilter(`class = "Stock" && symbol = ALL`))
+	if n.Stage() != 1 {
+		t.Errorf("landed at stage %d, want 1", n.Stage())
+	}
+}

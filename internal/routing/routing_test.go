@@ -1,0 +1,463 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/typing"
+	"eventsys/internal/weaken"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// hierarchy is a minimal in-memory assembly of routing Nodes mirroring
+// Figure 4: one stage-3 root, two stage-2 nodes, four stage-1 nodes.
+type hierarchy struct {
+	nodes map[NodeID]*Node
+	root  *Node
+	rng   *rand.Rand
+	now   time.Time
+	// delivered maps subscriber id -> events that reached it.
+	delivered map[NodeID][]*event.Event
+	// placed maps subscriber id -> the node that accepted it.
+	placed map[NodeID]*Node
+	// seq numbers published events for duplicate detection.
+	seq uint64
+	// original maps subscriber id -> original subscription filter.
+	original map[NodeID]*filter.Filter
+}
+
+func stockWeakener(t testing.TB) *weaken.Weakener {
+	t.Helper()
+	var ads typing.AdvertisementSet
+	stock, err := typing.NewAdvertisement("Stock", 4, "symbol", "price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stock.StageAttrs = []int{2, 2, 1, 0}
+	if err := ads.Put(stock); err != nil {
+		t.Fatal(err)
+	}
+	auction, err := typing.NewAdvertisement("Auction", 4, "product", "kind", "capacity", "price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ads.Put(auction); err != nil {
+		t.Fatal(err)
+	}
+	return weaken.New(&ads, nil)
+}
+
+func newHierarchy(t testing.TB, w *weaken.Weakener, ttl time.Duration) *hierarchy {
+	t.Helper()
+	h := &hierarchy{
+		nodes:     make(map[NodeID]*Node),
+		rng:       rand.New(rand.NewPCG(100, 200)),
+		now:       t0,
+		delivered: make(map[NodeID][]*event.Event),
+		placed:    make(map[NodeID]*Node),
+		original:  make(map[NodeID]*filter.Filter),
+	}
+	add := func(id NodeID, stage int, parent NodeID, children ...NodeID) *Node {
+		n := NewNode(Config{
+			ID: id, Stage: stage, Parent: parent, Children: children,
+			TTL: ttl, Weakener: w,
+		})
+		h.nodes[id] = n
+		return n
+	}
+	h.root = add("N3.1", 3, "", "N2.1", "N2.2")
+	add("N2.1", 2, "N3.1", "N1.1", "N1.2")
+	add("N2.2", 2, "N3.1", "N1.3", "N1.4")
+	for _, id := range []NodeID{"N1.1", "N1.2"} {
+		add(id, 1, "N2.1")
+	}
+	for _, id := range []NodeID{"N1.3", "N1.4"} {
+		add(id, 1, "N2.2")
+	}
+	return h
+}
+
+// subscribe runs the full Figure 5 protocol for a subscriber.
+func (h *hierarchy) subscribe(t testing.TB, sid NodeID, f *filter.Filter) *Node {
+	t.Helper()
+	h.original[sid] = f
+	cur := h.root
+	for hops := 0; ; hops++ {
+		if hops > 10 {
+			t.Fatalf("subscription for %s did not terminate", sid)
+		}
+		res := cur.HandleSubscribe(f, sid, h.rng, h.now)
+		switch res.Action {
+		case ActionRedirect:
+			next, ok := h.nodes[res.Target]
+			if !ok {
+				t.Fatalf("redirect to unknown node %q", res.Target)
+			}
+			cur = next
+		case ActionAccept:
+			h.placed[sid] = cur
+			// Propagate req-Insert up the chain.
+			up, at := res.Up, cur
+			for up != nil && !at.IsRoot() {
+				parent := h.nodes[at.Parent()]
+				up = parent.HandleReqInsert(up, at.ID(), h.now)
+				at = parent
+			}
+			return cur
+		default:
+			t.Fatalf("unexpected action %v", res.Action)
+		}
+	}
+}
+
+// publish drives an event from the root down to subscribers, applying
+// per-stage event transformation and end-to-end perfect filtering.
+func (h *hierarchy) publish(e *event.Event) {
+	h.seq++
+	e.ID = h.seq
+	var walk func(n *Node, ev *event.Event)
+	walk = func(n *Node, ev *event.Event) {
+		for _, id := range n.HandleEvent(ev) {
+			if child, ok := h.nodes[id]; ok {
+				walk(child, n.TransformEventFor(e, child.Stage()))
+				continue
+			}
+			// Direct subscriber: perfect end-to-end filtering with the
+			// original filter on the full event.
+			if f := h.original[id]; f != nil && f.Matches(e, nil) {
+				h.delivered[id] = append(h.delivered[id], e)
+			}
+		}
+	}
+	walk(h.root, e)
+}
+
+func TestPlacementClustersSimilarSubscriptions(t *testing.T) {
+	h := newHierarchy(t, stockWeakener(t), time.Minute)
+	f1 := filter.MustParseFilter(`class = "Stock" && symbol = "DEF" && price < 10.0`)
+	f2 := filter.MustParseFilter(`class = "Stock" && symbol = "DEF" && price < 11.0`)
+	n1 := h.subscribe(t, "s1", f1)
+	n2 := h.subscribe(t, "s2", f2)
+	if n1.Stage() != 1 {
+		t.Fatalf("s1 landed at stage %d", n1.Stage())
+	}
+	if n1.ID() != n2.ID() {
+		t.Errorf("similar subscriptions placed apart: %s vs %s", n1.ID(), n2.ID())
+	}
+	// The shared stage-1 node holds two filters; its parent only one
+	// (the covering weakened filter is shared).
+	parent := h.nodes[n1.Parent()]
+	if got := parent.Table().Len(); got != 1 {
+		t.Errorf("parent stores %d filters, want 1 (clustered)", got)
+	}
+	// Root holds one class filter pointing at the parent's subtree.
+	if got := h.root.Table().Len(); got != 1 {
+		t.Errorf("root stores %d filters, want 1", got)
+	}
+}
+
+func TestPlacementSameClassFunnelsThroughSubtree(t *testing.T) {
+	h := newHierarchy(t, stockWeakener(t), time.Minute)
+	n1 := h.subscribe(t, "s1", filter.MustParseFilter(`class = "Stock" && symbol = "DEF" && price < 10.0`))
+	n3 := h.subscribe(t, "s3", filter.MustParseFilter(`class = "Stock" && symbol = "GHI" && price < 8.0`))
+	// Both are Stock subscriptions: the root's class filter funnels the
+	// second into the same stage-2 subtree.
+	if h.nodes[n1.Parent()].ID() != h.nodes[n3.Parent()].ID() {
+		t.Errorf("same-class subscriptions in different subtrees: %s vs %s",
+			n1.Parent(), n3.Parent())
+	}
+}
+
+func TestEventForwardingEndToEnd(t *testing.T) {
+	h := newHierarchy(t, stockWeakener(t), time.Minute)
+	h.subscribe(t, "s1", filter.MustParseFilter(`class = "Stock" && symbol = "DEF" && price < 10.0`))
+	h.subscribe(t, "s2", filter.MustParseFilter(`class = "Stock" && symbol = "DEF" && price < 11.0`))
+	h.subscribe(t, "s3", filter.MustParseFilter(`class = "Stock" && symbol = "GHI" && price < 8.0`))
+
+	pub := func(sym string, price float64) *event.Event {
+		return event.NewBuilder("Stock").Str("symbol", sym).Float("price", price).Build()
+	}
+	h.publish(pub("DEF", 9.5))                                               // matches s1, s2
+	h.publish(pub("DEF", 10.5))                                              // matches s2 only
+	h.publish(pub("GHI", 7.0))                                               // matches s3 only
+	h.publish(pub("ZZZ", 1.0))                                               // matches nobody
+	h.publish(event.NewBuilder("Auction").Str("product", "Vehicle").Build()) // nobody
+
+	want := map[NodeID]int{"s1": 1, "s2": 2, "s3": 1}
+	for sid, n := range want {
+		if got := len(h.delivered[sid]); got != n {
+			t.Errorf("%s delivered %d, want %d", sid, got, n)
+		}
+	}
+	// No duplicates anywhere.
+	for sid, evs := range h.delivered {
+		seen := map[uint64]bool{}
+		for _, e := range evs {
+			if seen[e.ID] {
+				t.Errorf("%s received duplicate event %d", sid, e.ID)
+			}
+			seen[e.ID] = true
+		}
+	}
+}
+
+func TestPreFilteringLimitsTraffic(t *testing.T) {
+	h := newHierarchy(t, stockWeakener(t), time.Minute)
+	h.subscribe(t, "s1", filter.MustParseFilter(`class = "Stock" && symbol = "DEF" && price < 10.0`))
+	// Publish one matching and many irrelevant events.
+	h.publish(event.NewBuilder("Stock").Str("symbol", "DEF").Float("price", 5).Build())
+	for i := range 20 {
+		h.publish(event.NewBuilder("Auction").Str("product", "X").Int("capacity", int64(i)).Build())
+	}
+	// The root received everything; the stage-1 node only the match.
+	stage1 := h.placed["s1"]
+	if got := h.root.Counters().Received(); got != 21 {
+		t.Errorf("root received %d, want 21", got)
+	}
+	if got := stage1.Counters().Received(); got != 1 {
+		t.Errorf("stage-1 received %d, want 1 (pre-filtering failed)", got)
+	}
+}
+
+func TestRenewalKeepsSubscriptionAlive(t *testing.T) {
+	h := newHierarchy(t, stockWeakener(t), time.Minute)
+	f := filter.MustParseFilter(`class = "Stock" && symbol = "DEF" && price < 10.0`)
+	node := h.subscribe(t, "s1", f)
+	stored := node.Table().Filters()[0]
+
+	// Before 3×TTL the lease is alive.
+	h.now = t0.Add(2 * time.Minute)
+	if removed := node.Sweep(h.now); removed != 0 {
+		t.Fatalf("premature expiry: %d removed", removed)
+	}
+	// Renewal extends the lease past the original deadline.
+	if !node.HandleRenew(stored, "s1", h.now) {
+		t.Fatal("renewal rejected for live association")
+	}
+	h.now = t0.Add(4 * time.Minute) // original deadline (3m) passed
+	if removed := node.Sweep(h.now); removed != 0 {
+		t.Fatalf("renewed lease expired early: %d removed", removed)
+	}
+	// Without further renewals the association dies at 2m+3m.
+	h.now = t0.Add(6 * time.Minute)
+	if removed := node.Sweep(h.now); removed != 1 {
+		t.Fatalf("expired lease not removed: %d", removed)
+	}
+	if node.Table().Len() != 0 {
+		t.Error("table not empty after expiry")
+	}
+}
+
+func TestRenewalUnknownAssociation(t *testing.T) {
+	h := newHierarchy(t, stockWeakener(t), time.Minute)
+	f := filter.MustParseFilter(`class = "Stock" && symbol = "X"`)
+	if h.root.HandleRenew(f, "ghost", h.now) {
+		t.Error("renewing an unknown association should fail")
+	}
+}
+
+func TestRenewalsDue(t *testing.T) {
+	h := newHierarchy(t, stockWeakener(t), time.Minute)
+	h.subscribe(t, "s1", filter.MustParseFilter(`class = "Stock" && symbol = "DEF" && price < 10.0`))
+	node := h.placed["s1"]
+	due := node.RenewalsDue()
+	if len(due) != 1 {
+		t.Fatalf("RenewalsDue = %v", due)
+	}
+	want := filter.MustParseFilter(`class = "Stock" && symbol = "DEF"`)
+	if !filter.Covers(due[0], want, nil) || !filter.Covers(want, due[0], nil) {
+		t.Errorf("renewal filter = %s, want equivalent of %s", due[0], want)
+	}
+	if h.root.RenewalsDue() != nil {
+		t.Error("root should have no renewals due")
+	}
+}
+
+func TestExpiryCascadesUpward(t *testing.T) {
+	// When a stage-1 node stops renewing, the parent's lease expires and
+	// events stop flowing into the abandoned subtree.
+	h := newHierarchy(t, stockWeakener(t), time.Minute)
+	h.subscribe(t, "s1", filter.MustParseFilter(`class = "Stock" && symbol = "DEF" && price < 10.0`))
+	leaf := h.placed["s1"]
+	parent := h.nodes[leaf.Parent()]
+
+	// Simulate the leaf's renewal task running once at +2m.
+	h.now = t0.Add(2 * time.Minute)
+	for _, f := range leaf.RenewalsDue() {
+		if !parent.HandleRenew(f, leaf.ID(), h.now) {
+			t.Fatal("parent rejected renewal")
+		}
+	}
+	// At +4m the parent still holds the association (renewed until +5m);
+	// the root (never renewed) dropped its lease from +3m.
+	h.now = t0.Add(4 * time.Minute)
+	parent.Sweep(h.now)
+	h.root.Sweep(h.now)
+	if parent.Table().Len() != 1 {
+		t.Error("parent lost renewed association")
+	}
+	if h.root.Table().Len() != 0 {
+		t.Error("root kept unrenewed association")
+	}
+}
+
+func TestWildcardSubscriptionPlacement(t *testing.T) {
+	h := newHierarchy(t, stockWeakener(t), time.Minute)
+	// fx of Section 4.4: price unspecified. With the Example 5 Stock
+	// association (price used through stage 1), the subscriber attaches
+	// at stage 2.
+	fx := filter.MustParseFilter(`class = "Stock" && symbol = "DEF"`)
+	n := h.subscribe(t, "w1", fx)
+	if n.Stage() != 2 {
+		t.Errorf("wildcard subscription landed at stage %d, want 2", n.Stage())
+	}
+	// Events still reach the subscriber exactly once.
+	h.publish(event.NewBuilder("Stock").Str("symbol", "DEF").Float("price", 42).Build())
+	h.publish(event.NewBuilder("Stock").Str("symbol", "GHI").Float("price", 1).Build())
+	if got := len(h.delivered["w1"]); got != 1 {
+		t.Errorf("wildcard subscriber got %d events, want 1", got)
+	}
+}
+
+func TestWildcardOnMostGeneralAttributeGoesToRoot(t *testing.T) {
+	h := newHierarchy(t, stockWeakener(t), time.Minute)
+	// symbol is the most general Stock attribute (used through stage 2),
+	// so a subscription leaving it open attaches at stage 3 (the root).
+	fy := filter.MustParseFilter(`class = "Stock" && price < 100`)
+	n := h.subscribe(t, "w2", fy)
+	if n.Stage() != 3 {
+		t.Errorf("broad wildcard landed at stage %d, want 3 (root)", n.Stage())
+	}
+	h.publish(event.NewBuilder("Stock").Str("symbol", "ANY").Float("price", 5).Build())
+	if got := len(h.delivered["w2"]); got != 1 {
+		t.Errorf("delivered %d, want 1", got)
+	}
+}
+
+func TestSubscriberNeverUsedAsRedirectTarget(t *testing.T) {
+	h := newHierarchy(t, stockWeakener(t), time.Minute)
+	// A wildcard subscriber attaches at stage 2 with a broad filter.
+	h.subscribe(t, "w1", filter.MustParseFilter(`class = "Stock" && symbol = "DEF"`))
+	// A narrower subscription covered by w1's stored filter must not be
+	// redirected to the subscriber id; it must land at a broker.
+	n := h.subscribe(t, "s1", filter.MustParseFilter(`class = "Stock" && symbol = "DEF" && price < 10`))
+	if _, ok := h.nodes[n.ID()]; !ok {
+		t.Fatalf("subscription landed at non-broker %q", n.ID())
+	}
+	if n.Stage() != 1 {
+		t.Errorf("covered subscription landed at stage %d, want 1", n.Stage())
+	}
+}
+
+func TestUnsubscribeImmediate(t *testing.T) {
+	h := newHierarchy(t, stockWeakener(t), time.Minute)
+	f := filter.MustParseFilter(`class = "Stock" && symbol = "DEF" && price < 10.0`)
+	node := h.subscribe(t, "s1", f)
+	stored := node.Table().Filters()[0]
+	node.HandleUnsubscribe(stored, "s1")
+	if node.Table().Len() != 0 {
+		t.Error("unsubscribe left the filter behind")
+	}
+	h.publish(event.NewBuilder("Stock").Str("symbol", "DEF").Float("price", 5).Build())
+	if len(h.delivered["s1"]) != 0 {
+		t.Error("unsubscribed subscriber still received events")
+	}
+}
+
+func TestZeroTTLMeansNoExpiry(t *testing.T) {
+	h := newHierarchy(t, stockWeakener(t), 0)
+	node := h.subscribe(t, "s1", filter.MustParseFilter(`class = "Stock" && symbol = "DEF"`))
+	h.now = t0.Add(24 * 365 * time.Hour)
+	if removed := node.Sweep(h.now); removed != 0 {
+		t.Errorf("zero TTL expired %d associations", removed)
+	}
+}
+
+func TestDegenerateHierarchySingleNode(t *testing.T) {
+	w := stockWeakener(t)
+	root := NewNode(Config{ID: "only", Stage: 1, TTL: time.Minute, Weakener: w})
+	rng := rand.New(rand.NewPCG(1, 1))
+	res := root.HandleSubscribe(filter.MustParseFilter(`class = "Stock" && symbol = "A" && price < 1`), "s1", rng, t0)
+	if res.Action != ActionAccept {
+		t.Fatalf("single-node hierarchy should accept directly, got %v", res.Action)
+	}
+	if res.Up != nil {
+		t.Error("root must not propagate upward")
+	}
+	ids := root.HandleEvent(event.NewBuilder("Stock").Str("symbol", "A").Float("price", 0.5).Build())
+	if len(ids) != 1 || ids[0] != "s1" {
+		t.Errorf("forwarding = %v, want [s1]", ids)
+	}
+}
+
+func TestTableFindCoveringPrefersStrongest(t *testing.T) {
+	tab := NewTable(nil)
+	weakF := filter.MustParseFilter(`class = "Stock"`)
+	strongF := filter.MustParseFilter(`class = "Stock" && symbol = "A"`)
+	tab.Insert(weakF, "cWeak", t0.Add(time.Hour))
+	tab.Insert(strongF, "cStrong", t0.Add(time.Hour))
+	sub := filter.MustParseFilter(`class = "Stock" && symbol = "A" && price < 5`)
+	id, ok := tab.FindCovering(sub, nil, nil)
+	if !ok || id != "cStrong" {
+		t.Errorf("FindCovering = %q,%v; want cStrong", id, ok)
+	}
+	// validTarget masks the strong candidate.
+	id, ok = tab.FindCovering(sub, nil, func(n NodeID) bool { return n == "cWeak" })
+	if !ok || id != "cWeak" {
+		t.Errorf("FindCovering masked = %q,%v; want cWeak", id, ok)
+	}
+	// No candidate at all.
+	if _, ok := tab.FindCovering(filter.MustParseFilter(`class = "Auction"`), nil, nil); ok {
+		t.Error("FindCovering should fail for uncovered filter")
+	}
+}
+
+func TestTableSweepBoundary(t *testing.T) {
+	tab := NewTable(nil)
+	f := filter.MustParseFilter(`x = 1`)
+	tab.Insert(f, "a", t0.Add(time.Minute))
+	if n := tab.Sweep(t0.Add(time.Minute - time.Nanosecond)); n != 0 {
+		t.Errorf("swept %d before expiry", n)
+	}
+	if n := tab.Sweep(t0.Add(time.Minute)); n != 1 {
+		t.Errorf("sweep at expiry = %d, want 1", n)
+	}
+}
+
+func TestHandleEventCounters(t *testing.T) {
+	h := newHierarchy(t, stockWeakener(t), time.Minute)
+	h.subscribe(t, "s1", filter.MustParseFilter(`class = "Stock" && symbol = "DEF" && price < 10.0`))
+	h.publish(event.NewBuilder("Stock").Str("symbol", "DEF").Float("price", 5).Build())
+	h.publish(event.NewBuilder("Stock").Str("symbol", "OTHER").Float("price", 5).Build())
+	if got := h.root.Counters().Received(); got != 2 {
+		t.Errorf("root received = %d, want 2", got)
+	}
+	if got := h.root.Counters().Matched(); got != 2 {
+		// Root filters on class only: both Stock events match.
+		t.Errorf("root matched = %d, want 2", got)
+	}
+	leaf := h.placed["s1"]
+	if got := leaf.Counters().Matched(); got != 1 {
+		t.Errorf("leaf matched = %d, want 1", got)
+	}
+}
+
+func BenchmarkHandleSubscribePlacement(b *testing.B) {
+	w := stockWeakener(b)
+	h := newHierarchy(b, w, time.Minute)
+	rng := rand.New(rand.NewPCG(9, 9))
+	b.ResetTimer()
+	for i := 0; b.Loop(); i++ {
+		sym := fmt.Sprintf("S%d", rng.IntN(50))
+		f := filter.New("Stock",
+			filter.C("symbol", filter.OpEq, event.String(sym)),
+			filter.C("price", filter.OpLt, event.Float(float64(rng.IntN(100)))),
+		)
+		h.subscribe(b, NodeID(fmt.Sprintf("s%d", i)), f)
+	}
+}

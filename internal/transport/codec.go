@@ -1,0 +1,292 @@
+// Package transport defines the binary wire protocol spoken between
+// networked brokers, publishers and subscribers (internal/broker).
+//
+// Framing: every message is [4-byte big-endian body length][1-byte
+// message type][body]. Bodies use a compact binary encoding: uvarint
+// lengths, varint integers, IEEE-754 floats, length-prefixed strings.
+// Frames are capped at MaxFrame to bound memory at untrusted peers.
+//
+// The protocol carries exactly the interactions of Figures 5 and 6:
+// Subscribe/SubscribeReply (placement), ReqInsert (upward filter
+// propagation), Renew (leases), Publish/Deliver (event flow), Advertise
+// (schema dissemination), plus a Hello handshake identifying the peer.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+)
+
+// MaxFrame bounds a single message body (16 MiB).
+const MaxFrame = 16 << 20
+
+// buffer is a minimal append-based encoder.
+type buffer struct {
+	b []byte
+}
+
+func (w *buffer) u8(v uint8) { w.b = append(w.b, v) }
+func (w *buffer) uvarint(v uint64) {
+	w.b = binary.AppendUvarint(w.b, v)
+}
+func (w *buffer) varint(v int64) {
+	w.b = binary.AppendVarint(w.b, v)
+}
+func (w *buffer) f64(v float64) {
+	w.b = binary.BigEndian.AppendUint64(w.b, math.Float64bits(v))
+}
+func (w *buffer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.b = append(w.b, s...)
+}
+func (w *buffer) bytes(p []byte) {
+	w.uvarint(uint64(len(p)))
+	w.b = append(w.b, p...)
+}
+
+// reader is the matching decoder; it fails sticky on malformed input.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(msg string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("transport: %s at offset %d", msg, r.off)
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail("truncated u8")
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("bad varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail("truncated f64")
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.b)-r.off) < n {
+		r.fail("truncated string")
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *reader) bytesField() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.b)-r.off) < n {
+		r.fail("truncated bytes")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	p := make([]byte, n)
+	copy(p, r.b[r.off:r.off+int(n)])
+	r.off += int(n)
+	return p
+}
+
+// --- value, event, filter encodings ---
+
+func (w *buffer) value(v event.Value) {
+	w.u8(uint8(v.Kind()))
+	switch v.Kind() {
+	case event.KindString:
+		w.str(v.Str())
+	case event.KindInt:
+		w.varint(v.IntVal())
+	case event.KindFloat:
+		w.f64(v.Num())
+	case event.KindBool:
+		if v.BoolVal() {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	}
+}
+
+func (r *reader) value() event.Value {
+	switch event.Kind(r.u8()) {
+	case event.KindString:
+		return event.String(r.str())
+	case event.KindInt:
+		return event.Int(r.varint())
+	case event.KindFloat:
+		return event.Float(r.f64())
+	case event.KindBool:
+		return event.Bool(r.u8() == 1)
+	default:
+		if r.err == nil {
+			r.fail("unknown value kind")
+		}
+		return event.Value{}
+	}
+}
+
+func (w *buffer) event(e *event.Event) {
+	w.str(e.Type)
+	w.uvarint(e.ID)
+	w.uvarint(uint64(len(e.Attrs)))
+	for _, a := range e.Attrs {
+		w.str(a.Name)
+		w.value(a.Value)
+	}
+	w.bytes(e.Payload)
+}
+
+func (r *reader) event() *event.Event {
+	e := &event.Event{Type: r.str(), ID: r.uvarint()}
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)) {
+		r.fail("attribute count exceeds frame")
+		return nil
+	}
+	e.Attrs = make([]event.Attribute, 0, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		e.Attrs = append(e.Attrs, event.Attribute{Name: r.str(), Value: r.value()})
+	}
+	e.Payload = r.bytesField()
+	if r.err != nil {
+		return nil
+	}
+	return e
+}
+
+func (w *buffer) filter(f *filter.Filter) {
+	w.str(f.Class)
+	w.uvarint(uint64(len(f.Constraints)))
+	for _, c := range f.Constraints {
+		w.str(c.Attr)
+		w.u8(uint8(c.Op))
+		if c.Op.NeedsOperand() {
+			w.value(c.Operand)
+		}
+	}
+}
+
+func (r *reader) filter() *filter.Filter {
+	f := &filter.Filter{Class: r.str()}
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)) {
+		r.fail("constraint count exceeds frame")
+		return nil
+	}
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		c := filter.Constraint{Attr: r.str(), Op: filter.Op(r.u8())}
+		if c.Op.NeedsOperand() {
+			c.Operand = r.value()
+		}
+		f.Constraints = append(f.Constraints, c)
+	}
+	if r.err != nil {
+		return nil
+	}
+	return f
+}
+
+// WriteFrame writes one framed message.
+func WriteFrame(w io.Writer, m Message) error {
+	var body buffer
+	m.encode(&body)
+	if len(body.b) > MaxFrame {
+		return fmt.Errorf("transport: frame too large (%d bytes)", len(body.b))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body.b)))
+	hdr[4] = byte(m.Type())
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write header: %w", err)
+	}
+	if _, err := w.Write(body.b); err != nil {
+		return fmt.Errorf("transport: write body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one framed message.
+func ReadFrame(rd io.Reader) (Message, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(rd, body); err != nil {
+		return nil, fmt.Errorf("transport: read body: %w", err)
+	}
+	m, err := decodeMessage(MsgType(hdr[4]), body)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,225 @@
+package transport
+
+import (
+	"fmt"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/typing"
+)
+
+// MsgType tags a frame.
+type MsgType uint8
+
+// Wire message types.
+const (
+	TypeInvalid MsgType = iota
+	TypeHello
+	TypePublish
+	TypeDeliver
+	TypeSubscribe
+	TypeSubscribeReply
+	TypeReqInsert
+	TypeRenew
+	TypeUnsubscribe
+	TypeAdvertise
+)
+
+// PeerKind identifies what a connecting peer is.
+type PeerKind uint8
+
+// Peer kinds in the Hello handshake.
+const (
+	PeerInvalid PeerKind = iota
+	PeerPublisher
+	PeerSubscriber
+	PeerChildBroker
+)
+
+// Message is one wire protocol message.
+type Message interface {
+	Type() MsgType
+	encode(*buffer)
+}
+
+// Hello opens every connection: who the peer is, its identity, and — for
+// child brokers — the address it listens on (so subscription redirects
+// can name it).
+type Hello struct {
+	Kind PeerKind
+	ID   string
+	Addr string
+}
+
+// Publish injects an event (publisher → broker, parent → child).
+type Publish struct {
+	Event *event.Event
+}
+
+// Deliver hands an event to a subscriber (broker → subscriber).
+type Deliver struct {
+	Event *event.Event
+}
+
+// Subscribe runs one step of the Figure 5 placement protocol.
+type Subscribe struct {
+	SubscriberID string
+	Filter       *filter.Filter
+}
+
+// SubscribeReply answers Subscribe: join-At(Target) or accepted-At.
+type SubscribeReply struct {
+	Accepted bool
+	// TargetAddr is the address to re-send the subscription to when not
+	// accepted.
+	TargetAddr string
+	// Stored is the weakened filter the broker stored (renewal key).
+	Stored *filter.Filter
+}
+
+// ReqInsert propagates a weakened filter from child broker to parent.
+// Propagation up the broker chain is asynchronous: each broker inserts
+// and autonomously forwards the further-weakened filter to its own
+// parent (the in-process overlay offers a synchronous variant).
+type ReqInsert struct {
+	ChildID string
+	Filter  *filter.Filter
+}
+
+// Renew refreshes the lease on (Filter, ID).
+type Renew struct {
+	ID     string
+	Filter *filter.Filter
+}
+
+// Unsubscribe removes (Filter, ID) immediately.
+type Unsubscribe struct {
+	ID     string
+	Filter *filter.Filter
+}
+
+// Advertise disseminates an event class schema and its attribute-stage
+// association (Section 4.1).
+type Advertise struct {
+	Ad *typing.Advertisement
+}
+
+// Type implementations.
+func (Hello) Type() MsgType          { return TypeHello }
+func (Publish) Type() MsgType        { return TypePublish }
+func (Deliver) Type() MsgType        { return TypeDeliver }
+func (Subscribe) Type() MsgType      { return TypeSubscribe }
+func (SubscribeReply) Type() MsgType { return TypeSubscribeReply }
+func (ReqInsert) Type() MsgType      { return TypeReqInsert }
+func (Renew) Type() MsgType          { return TypeRenew }
+func (Unsubscribe) Type() MsgType    { return TypeUnsubscribe }
+func (Advertise) Type() MsgType      { return TypeAdvertise }
+
+func (m Hello) encode(w *buffer) {
+	w.u8(uint8(m.Kind))
+	w.str(m.ID)
+	w.str(m.Addr)
+}
+
+func (m Publish) encode(w *buffer) { w.event(m.Event) }
+func (m Deliver) encode(w *buffer) { w.event(m.Event) }
+
+func (m Subscribe) encode(w *buffer) {
+	w.str(m.SubscriberID)
+	w.filter(m.Filter)
+}
+
+func (m SubscribeReply) encode(w *buffer) {
+	if m.Accepted {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.str(m.TargetAddr)
+	if m.Stored != nil {
+		w.u8(1)
+		w.filter(m.Stored)
+	} else {
+		w.u8(0)
+	}
+}
+
+func (m ReqInsert) encode(w *buffer) {
+	w.str(m.ChildID)
+	w.filter(m.Filter)
+}
+
+func (m Renew) encode(w *buffer) {
+	w.str(m.ID)
+	w.filter(m.Filter)
+}
+
+func (m Unsubscribe) encode(w *buffer) {
+	w.str(m.ID)
+	w.filter(m.Filter)
+}
+
+func (m Advertise) encode(w *buffer) {
+	w.str(m.Ad.Class)
+	w.uvarint(uint64(len(m.Ad.Attrs)))
+	for _, a := range m.Ad.Attrs {
+		w.str(a)
+	}
+	w.uvarint(uint64(len(m.Ad.StageAttrs)))
+	for _, n := range m.Ad.StageAttrs {
+		w.uvarint(uint64(n))
+	}
+}
+
+func decodeMessage(t MsgType, body []byte) (Message, error) {
+	r := &reader{b: body}
+	var m Message
+	switch t {
+	case TypeHello:
+		m = Hello{Kind: PeerKind(r.u8()), ID: r.str(), Addr: r.str()}
+	case TypePublish:
+		m = Publish{Event: r.event()}
+	case TypeDeliver:
+		m = Deliver{Event: r.event()}
+	case TypeSubscribe:
+		m = Subscribe{SubscriberID: r.str(), Filter: r.filter()}
+	case TypeSubscribeReply:
+		rep := SubscribeReply{Accepted: r.u8() == 1, TargetAddr: r.str()}
+		if r.u8() == 1 {
+			rep.Stored = r.filter()
+		}
+		m = rep
+	case TypeReqInsert:
+		m = ReqInsert{ChildID: r.str(), Filter: r.filter()}
+	case TypeRenew:
+		m = Renew{ID: r.str(), Filter: r.filter()}
+	case TypeUnsubscribe:
+		m = Unsubscribe{ID: r.str(), Filter: r.filter()}
+	case TypeAdvertise:
+		ad := &typing.Advertisement{Class: r.str()}
+		na := r.uvarint()
+		if na > uint64(len(body)) {
+			return nil, fmt.Errorf("transport: advert attr count exceeds frame")
+		}
+		for i := uint64(0); i < na && r.err == nil; i++ {
+			ad.Attrs = append(ad.Attrs, r.str())
+		}
+		ns := r.uvarint()
+		if ns > uint64(len(body)) {
+			return nil, fmt.Errorf("transport: advert stage count exceeds frame")
+		}
+		for i := uint64(0); i < ns && r.err == nil; i++ {
+			ad.StageAttrs = append(ad.StageAttrs, int(r.uvarint()))
+		}
+		m = Advertise{Ad: ad}
+	default:
+		return nil, fmt.Errorf("transport: unknown message type %d", t)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("transport: %d trailing bytes in %d message", len(body)-r.off, t)
+	}
+	return m, nil
+}

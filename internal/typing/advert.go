@@ -1,0 +1,229 @@
+package typing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Advertisement describes an event class a publisher intends to publish:
+// its attribute schema ordered from most general to least general, and the
+// attribute-stage association G_c (Section 4.1) telling each broker stage
+// which attribute prefix its weakened filters keep.
+//
+// Gc is the sets {s_0 ... s_n} of the paper represented compactly: since
+// attributes are ordered by generality and every stage keeps a prefix,
+// StageAttrs[i] is the number of attributes kept by weakened filters at
+// stage i. Stage 0 keeps all attributes (perfect filtering); higher stages
+// keep fewer; the top stage typically keeps none beyond the class.
+type Advertisement struct {
+	// Class is the advertised event type name.
+	Class string
+	// Attrs is the attribute schema, most general first. The implicit
+	// class attribute is not listed; it precedes Attrs[0] in generality.
+	Attrs []string
+	// StageAttrs[i] is the number of leading attributes retained by
+	// weakened filters at stage i. StageAttrs[0] == len(Attrs).
+	StageAttrs []int
+}
+
+// NewAdvertisement builds an advertisement for the given class and
+// generality-ordered attributes, with the canonical stage association: a
+// hierarchy of `stages` stages where stage i drops the i least-general
+// attributes (never dropping below zero). This mirrors Example 6: with 4
+// stages and attributes (1..5), s_0 keeps 5, s_1 keeps 4, s_2 keeps 3, and
+// the top stage keeps only the class. A custom association can be set by
+// assigning StageAttrs directly.
+func NewAdvertisement(class string, stages int, attrs ...string) (*Advertisement, error) {
+	if class == "" {
+		return nil, fmt.Errorf("typing: advertisement needs a class name")
+	}
+	if stages < 1 {
+		return nil, fmt.Errorf("typing: advertisement needs at least one stage, got %d", stages)
+	}
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("typing: empty attribute name in advertisement for %q", class)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("typing: duplicate attribute %q in advertisement for %q", a, class)
+		}
+		seen[a] = true
+	}
+	ad := &Advertisement{
+		Class:      class,
+		Attrs:      append([]string(nil), attrs...),
+		StageAttrs: make([]int, stages),
+	}
+	for i := range ad.StageAttrs {
+		ad.StageAttrs[i] = max(len(attrs)-i, 0)
+	}
+	if stages > 1 {
+		// The top stage filters on type only (Example 5, Stage-3).
+		ad.StageAttrs[stages-1] = 0
+	}
+	return ad, nil
+}
+
+// Validate checks internal consistency: stage attribute counts must be a
+// non-increasing sequence starting at len(Attrs).
+func (ad *Advertisement) Validate() error {
+	if ad.Class == "" {
+		return fmt.Errorf("typing: advertisement without class")
+	}
+	if len(ad.StageAttrs) == 0 {
+		return fmt.Errorf("typing: advertisement for %q without stages", ad.Class)
+	}
+	if ad.StageAttrs[0] != len(ad.Attrs) {
+		return fmt.Errorf("typing: advertisement for %q: stage 0 must keep all %d attributes, keeps %d",
+			ad.Class, len(ad.Attrs), ad.StageAttrs[0])
+	}
+	prev := ad.StageAttrs[0]
+	for i, n := range ad.StageAttrs {
+		if n < 0 || n > len(ad.Attrs) {
+			return fmt.Errorf("typing: advertisement for %q: stage %d keeps %d of %d attributes",
+				ad.Class, i, n, len(ad.Attrs))
+		}
+		if n > prev {
+			return fmt.Errorf("typing: advertisement for %q: stage %d keeps more attributes (%d) than stage %d (%d)",
+				ad.Class, i, n, i-1, prev)
+		}
+		prev = n
+	}
+	return nil
+}
+
+// Stages returns the number of stages covered by the association.
+func (ad *Advertisement) Stages() int { return len(ad.StageAttrs) }
+
+// KeptAt returns the attribute names retained at the given stage, in
+// generality order. Stages beyond the association keep only the class.
+func (ad *Advertisement) KeptAt(stage int) []string {
+	if stage < 0 || stage >= len(ad.StageAttrs) {
+		return nil
+	}
+	return ad.Attrs[:ad.StageAttrs[stage]]
+}
+
+// KeepsAt reports whether the named attribute survives weakening at the
+// given stage.
+func (ad *Advertisement) KeepsAt(stage int, attr string) bool {
+	for _, a := range ad.KeptAt(stage) {
+		if a == attr {
+			return true
+		}
+	}
+	return false
+}
+
+// TopStageFor returns the highest stage at which the named attribute is
+// still used, and ok=false when the attribute is not part of the schema.
+// This is the "top most Stage j at which Attr_mg is used" lookup of the
+// HANDLE-WILDCARD-SUBS procedure (Section 4.5).
+func (ad *Advertisement) TopStageFor(attr string) (stage int, ok bool) {
+	idx := -1
+	for i, a := range ad.Attrs {
+		if a == attr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0, false
+	}
+	top := -1
+	for s, n := range ad.StageAttrs {
+		if idx < n {
+			top = s
+		}
+	}
+	if top < 0 {
+		return 0, false
+	}
+	return top, true
+}
+
+// Generality returns the position of the attribute in the generality order
+// (0 = most general) and ok=false for unknown attributes. The class
+// attribute is more general than every listed attribute and reports -1.
+func (ad *Advertisement) Generality(attr string) (pos int, ok bool) {
+	if attr == "class" {
+		return -1, true
+	}
+	for i, a := range ad.Attrs {
+		if a == attr {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// String renders the association in the paper's notation.
+func (ad *Advertisement) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "G_%s = {", ad.Class)
+	for i := range ad.StageAttrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "<Stage-%d: %s>", i, strings.Join(ad.KeptAt(i), ","))
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// AdvertisementSet is a collection of advertisements keyed by class,
+// typically the union of everything advertised in the system. The zero
+// value is ready to use. It is safe for concurrent use; individual
+// Advertisement values are treated as immutable once Put.
+type AdvertisementSet struct {
+	mu      sync.RWMutex
+	byClass map[string]*Advertisement
+}
+
+// Put inserts or replaces the advertisement for its class.
+func (s *AdvertisementSet) Put(ad *Advertisement) error {
+	if err := ad.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.byClass == nil {
+		s.byClass = make(map[string]*Advertisement)
+	}
+	s.byClass[ad.Class] = ad
+	return nil
+}
+
+// Get returns the advertisement for a class.
+func (s *AdvertisementSet) Get(class string) (*Advertisement, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ad, ok := s.byClass[class]
+	return ad, ok
+}
+
+// Classes returns the advertised class names, sorted.
+func (s *AdvertisementSet) Classes() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byClass))
+	for c := range s.byClass {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a shallow copy sharing the (immutable) advertisements.
+func (s *AdvertisementSet) Clone() *AdvertisementSet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := &AdvertisementSet{byClass: make(map[string]*Advertisement, len(s.byClass))}
+	for k, v := range s.byClass {
+		c.byClass[k] = v
+	}
+	return c
+}

@@ -1,0 +1,67 @@
+package typing
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// quickRegistry builds a deterministic chain hierarchy T0 <- T1 <- ... so
+// conformance is decidable arithmetically for cross-checking.
+func quickRegistry(depth int) *Registry {
+	r := NewRegistry()
+	for i := 0; i < depth; i++ {
+		parent := ""
+		if i > 0 {
+			parent = fmt.Sprintf("T%d", i-1)
+		}
+		r.MustRegister(fmt.Sprintf("T%d", i), parent)
+	}
+	return r
+}
+
+// TestConformsMatchesChainArithmetic (testing/quick): in a chain
+// hierarchy, Conforms(Ti, Tj) holds exactly when i >= j.
+func TestConformsMatchesChainArithmetic(t *testing.T) {
+	const depth = 12
+	r := quickRegistry(depth)
+	f := func(i, j uint8) bool {
+		a, b := int(i)%depth, int(j)%depth
+		got := r.Conforms(fmt.Sprintf("T%d", a), fmt.Sprintf("T%d", b))
+		return got == (a >= b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConformsTransitiveProperty (testing/quick): conformance is
+// transitive over random triples in the chain.
+func TestConformsTransitiveProperty(t *testing.T) {
+	const depth = 10
+	r := quickRegistry(depth)
+	name := func(i uint8) string { return fmt.Sprintf("T%d", int(i)%depth) }
+	f := func(a, b, c uint8) bool {
+		if r.Conforms(name(a), name(b)) && r.Conforms(name(b), name(c)) {
+			return r.Conforms(name(a), name(c))
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChainLengthProperty (testing/quick): the inheritance chain of Ti
+// has exactly i+2 entries (Ti .. T0, root).
+func TestChainLengthProperty(t *testing.T) {
+	const depth = 10
+	r := quickRegistry(depth)
+	f := func(i uint8) bool {
+		a := int(i) % depth
+		return len(r.Chain(fmt.Sprintf("T%d", a))) == a+2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package typing implements the event type hierarchy and advertisement
+// machinery of the paper.
+//
+// Events are instances of application-defined abstract types arranged in a
+// single-inheritance hierarchy (Section 2.1, "Event Safety"): a subscriber
+// registering interest in a type receives events of that type and all its
+// subtypes. Publishers advertise event classes together with their attribute
+// schema and the attribute-stage association G_c (Section 4.1) that drives
+// automated filter weakening.
+package typing
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// RootType is the implicit ancestor of every registered event type.
+// Subscribing to it is equivalent to the always-true filter f_T.
+const RootType = "Event"
+
+// Registry maintains the event type hierarchy. The zero Registry is ready
+// to use; RootType is implicitly present. Registry is safe for concurrent
+// use.
+type Registry struct {
+	mu     sync.RWMutex
+	parent map[string]string // type name -> parent name
+}
+
+// NewRegistry returns an empty type registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds an event type below the given parent. Registering with an
+// empty parent attaches the type directly below RootType. It is an error
+// to register a type twice, to use an unregistered parent, or to shadow
+// RootType.
+func (r *Registry) Register(name, parent string) error {
+	if name == "" || name == RootType {
+		return fmt.Errorf("typing: invalid type name %q", name)
+	}
+	if parent == "" {
+		parent = RootType
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.parent == nil {
+		r.parent = make(map[string]string)
+	}
+	if _, dup := r.parent[name]; dup {
+		return fmt.Errorf("typing: type %q already registered", name)
+	}
+	if parent != RootType {
+		if _, ok := r.parent[parent]; !ok {
+			return fmt.Errorf("typing: parent type %q not registered", parent)
+		}
+	}
+	r.parent[name] = parent
+	return nil
+}
+
+// MustRegister is Register for static initialization; it panics on error.
+func (r *Registry) MustRegister(name, parent string) {
+	if err := r.Register(name, parent); err != nil {
+		panic(err)
+	}
+}
+
+// Known reports whether the type name is registered (RootType is always
+// known).
+func (r *Registry) Known(name string) bool {
+	if name == RootType {
+		return true
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.parent[name]
+	return ok
+}
+
+// Conforms reports whether sub is the same type as super or a (transitive)
+// subtype of it. Every known type conforms to RootType. Unknown types
+// conform only to themselves and RootType, so a registry-less deployment
+// degrades to exact-name matching.
+func (r *Registry) Conforms(sub, super string) bool {
+	if super == RootType || sub == super {
+		return true
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for cur := sub; ; {
+		p, ok := r.parent[cur]
+		if !ok {
+			return false
+		}
+		if p == super {
+			return true
+		}
+		cur = p
+	}
+}
+
+// Chain returns the inheritance chain of the type from itself up to (and
+// including) RootType.
+func (r *Registry) Chain(name string) []string {
+	chain := []string{name}
+	if name == RootType {
+		return chain
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for cur := name; ; {
+		p, ok := r.parent[cur]
+		if !ok {
+			chain = append(chain, RootType)
+			return chain
+		}
+		chain = append(chain, p)
+		if p == RootType {
+			return chain
+		}
+		cur = p
+	}
+}
+
+// Subtypes returns the names of all registered types conforming to super,
+// including super itself when registered, sorted for determinism.
+func (r *Registry) Subtypes(super string) []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.parent)+1)
+	for n := range r.parent {
+		names = append(names, n)
+	}
+	r.mu.RUnlock()
+	var out []string
+	if super == RootType {
+		out = append(out, RootType)
+	}
+	for _, n := range names {
+		if r.Conforms(n, super) {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered types (excluding RootType).
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.parent)
+}

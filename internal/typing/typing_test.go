@@ -1,0 +1,203 @@
+package typing
+
+import (
+	"strings"
+	"testing"
+)
+
+func newTestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	for _, reg := range []struct{ name, parent string }{
+		{"Quote", ""},
+		{"Stock", "Quote"},
+		{"TechStock", "Stock"},
+		{"Bond", "Quote"},
+		{"Auction", ""},
+	} {
+		if err := r.Register(reg.name, reg.parent); err != nil {
+			t.Fatalf("Register(%q,%q): %v", reg.name, reg.parent, err)
+		}
+	}
+	return r
+}
+
+func TestConforms(t *testing.T) {
+	r := newTestRegistry(t)
+	tests := []struct {
+		sub, super string
+		want       bool
+	}{
+		{"Stock", "Stock", true},
+		{"Stock", "Quote", true},
+		{"TechStock", "Quote", true},
+		{"TechStock", RootType, true},
+		{"Quote", "Stock", false},
+		{"Bond", "Stock", false},
+		{"Auction", "Quote", false},
+		{"Unknown", RootType, true},
+		{"Unknown", "Quote", false},
+		{"Unknown", "Unknown", true},
+	}
+	for _, tt := range tests {
+		if got := r.Conforms(tt.sub, tt.super); got != tt.want {
+			t.Errorf("Conforms(%q,%q) = %v, want %v", tt.sub, tt.super, got, tt.want)
+		}
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	r := newTestRegistry(t)
+	if err := r.Register("Stock", ""); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	if err := r.Register("X", "NoSuchParent"); err == nil {
+		t.Error("unknown parent should fail")
+	}
+	if err := r.Register("", ""); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := r.Register(RootType, ""); err == nil {
+		t.Error("shadowing RootType should fail")
+	}
+}
+
+func TestChain(t *testing.T) {
+	r := newTestRegistry(t)
+	got := r.Chain("TechStock")
+	want := []string{"TechStock", "Stock", "Quote", RootType}
+	if len(got) != len(want) {
+		t.Fatalf("Chain = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Chain = %v, want %v", got, want)
+		}
+	}
+	if c := r.Chain(RootType); len(c) != 1 || c[0] != RootType {
+		t.Fatalf("Chain(root) = %v", c)
+	}
+}
+
+func TestSubtypes(t *testing.T) {
+	r := newTestRegistry(t)
+	got := r.Subtypes("Quote")
+	want := []string{"Bond", "Quote", "Stock", "TechStock"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("Subtypes(Quote) = %v, want %v", got, want)
+	}
+	all := r.Subtypes(RootType)
+	if len(all) != r.Len()+1 {
+		t.Fatalf("Subtypes(root) = %v", all)
+	}
+}
+
+func TestAdvertisementCanonical(t *testing.T) {
+	// Example 6: auction with 5 attributes in a 4-stage hierarchy.
+	ad, err := NewAdvertisement("Auction", 4, "product", "kind", "capacity", "price", "color")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ad.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantCounts := []int{5, 4, 3, 0}
+	for i, w := range wantCounts {
+		if ad.StageAttrs[i] != w {
+			t.Errorf("StageAttrs[%d] = %d, want %d", i, ad.StageAttrs[i], w)
+		}
+	}
+	if !ad.KeepsAt(1, "price") || ad.KeepsAt(1, "color") {
+		t.Error("stage 1 should keep price but drop color")
+	}
+	if ad.KeepsAt(3, "product") {
+		t.Error("top stage keeps only the class")
+	}
+}
+
+func TestAdvertisementTopStageFor(t *testing.T) {
+	ad, err := NewAdvertisement("Biblio", 4, "year", "conference", "author", "title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		attr string
+		top  int
+		ok   bool
+	}{
+		{"year", 2, true}, // kept through stage 2 (counts 4,3,2,0)
+		{"conference", 2, true},
+		{"author", 1, true},
+		{"title", 0, true},
+		{"nosuch", 0, false},
+	}
+	for _, tt := range tests {
+		top, ok := ad.TopStageFor(tt.attr)
+		if ok != tt.ok || (ok && top != tt.top) {
+			t.Errorf("TopStageFor(%q) = (%d,%v), want (%d,%v)", tt.attr, top, ok, tt.top, tt.ok)
+		}
+	}
+}
+
+func TestAdvertisementValidateRejects(t *testing.T) {
+	ad := &Advertisement{Class: "X", Attrs: []string{"a", "b"}, StageAttrs: []int{2, 1, 2}}
+	if err := ad.Validate(); err == nil {
+		t.Error("increasing stage counts should fail validation")
+	}
+	ad2 := &Advertisement{Class: "X", Attrs: []string{"a"}, StageAttrs: []int{0}}
+	if err := ad2.Validate(); err == nil {
+		t.Error("stage 0 must keep all attributes")
+	}
+	if _, err := NewAdvertisement("", 3, "a"); err == nil {
+		t.Error("empty class should fail")
+	}
+	if _, err := NewAdvertisement("X", 0, "a"); err == nil {
+		t.Error("zero stages should fail")
+	}
+	if _, err := NewAdvertisement("X", 3, "a", "a"); err == nil {
+		t.Error("duplicate attrs should fail")
+	}
+}
+
+func TestAdvertisementSet(t *testing.T) {
+	var s AdvertisementSet
+	ad, _ := NewAdvertisement("Stock", 4, "symbol", "price")
+	if err := s.Put(ad); err != nil {
+		t.Fatal(err)
+	}
+	ad2, _ := NewAdvertisement("Auction", 4, "product")
+	if err := s.Put(ad2); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("Stock"); !ok || got.Class != "Stock" {
+		t.Fatalf("Get(Stock) = %v,%v", got, ok)
+	}
+	classes := s.Classes()
+	if len(classes) != 2 || classes[0] != "Auction" || classes[1] != "Stock" {
+		t.Fatalf("Classes = %v", classes)
+	}
+	c := s.Clone()
+	ad3, _ := NewAdvertisement("Bond", 4, "rating")
+	if err := c.Put(ad3); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("Bond"); ok {
+		t.Error("clone mutation leaked into original")
+	}
+}
+
+func TestAdvertisementGeneralityAndString(t *testing.T) {
+	ad, _ := NewAdvertisement("Stock", 3, "symbol", "price")
+	if pos, ok := ad.Generality("class"); !ok || pos != -1 {
+		t.Errorf("Generality(class) = %d,%v", pos, ok)
+	}
+	if pos, ok := ad.Generality("price"); !ok || pos != 1 {
+		t.Errorf("Generality(price) = %d,%v", pos, ok)
+	}
+	if _, ok := ad.Generality("zzz"); ok {
+		t.Error("unknown attribute should not have generality")
+	}
+	if s := ad.String(); !strings.Contains(s, "Stage-0: symbol,price") {
+		t.Errorf("String() = %s", s)
+	}
+}

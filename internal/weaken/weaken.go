@@ -1,0 +1,258 @@
+// Package weaken implements the filter and event transformations of
+// Section 3.3 and the automated, advertisement-driven weakening process of
+// Section 4.1.
+//
+// Filter weakening (Proposition 1) produces a covering filter usable for
+// pre-filtering at intermediate stages: attributes below the stage's
+// generality cut (per the advertised attribute-stage association G_c) are
+// dropped, and value bounds of same-shape sibling filters are relaxed to
+// the weakest bound when merging (Example 5, Stage-1: price<10 and
+// price<11 merge to price<11).
+//
+// Event transformation (Proposition 2) projects published events onto the
+// attribute set used at a stage, producing a covering event: every
+// weakened filter evaluates identically on the projection and on the full
+// event.
+package weaken
+
+import (
+	"strings"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/typing"
+)
+
+// Weakener derives stage-appropriate filters and events from the
+// advertised attribute-stage associations. The zero value weakens without
+// schema knowledge: it keeps full filters at stage 0 and class-only
+// filters above (always sound, maximally imprecise).
+type Weakener struct {
+	// Ads supplies per-class advertisements. May be nil.
+	Ads *typing.AdvertisementSet
+	// Conf supplies class conformance for covering checks during merging.
+	// May be nil (exact type matching).
+	Conf filter.Conformance
+}
+
+// New constructs a Weakener over the given advertisements and conformance.
+func New(ads *typing.AdvertisementSet, conf filter.Conformance) *Weakener {
+	return &Weakener{Ads: ads, Conf: conf}
+}
+
+// advert returns the advertisement for the filter's class, if any.
+func (w *Weakener) advert(class string) (*typing.Advertisement, bool) {
+	if w == nil || w.Ads == nil || class == "" {
+		return nil, false
+	}
+	return w.Ads.Get(class)
+}
+
+// Filter weakens f for use at the given stage. The result covers f
+// (Proposition 1): stage 0 returns the filter unchanged; higher stages
+// keep only the attributes the advertisement associates with the stage,
+// in generality order; stages past the association — or filters on
+// unadvertised classes — keep only the class constraint.
+func (w *Weakener) Filter(f *filter.Filter, stage int) *filter.Filter {
+	if stage <= 0 {
+		return f.Clone()
+	}
+	ad, ok := w.advert(f.Class)
+	if !ok {
+		return &filter.Filter{Class: f.Class}
+	}
+	if stage >= ad.Stages() {
+		return &filter.Filter{Class: f.Class}
+	}
+	std := f.Standardize(schemaAdapter{ad})
+	kept := make(map[string]bool)
+	for _, a := range ad.KeptAt(stage) {
+		kept[a] = true
+	}
+	// Off-schema constraints are dropped above stage 0: intermediate
+	// nodes cannot weaken what was never advertised.
+	return std.Project(func(attr string) bool { return kept[attr] })
+}
+
+// Event transforms e for matching at the given stage: attributes the
+// stage's filters cannot reference are projected away, which is the
+// meta-data "covering event" of Proposition 2. Stage 0 returns the event
+// unchanged (the subscriber runtime needs everything).
+func (w *Weakener) Event(e *event.Event, stage int) *event.Event {
+	if stage <= 0 {
+		return e
+	}
+	ad, ok := w.advert(e.Type)
+	if !ok {
+		return e.Project(func(string) bool { return false })
+	}
+	if stage >= ad.Stages() {
+		return e.Project(func(string) bool { return false })
+	}
+	kept := make(map[string]bool)
+	for _, a := range ad.KeptAt(stage) {
+		kept[a] = true
+	}
+	return e.Project(func(attr string) bool { return kept[attr] })
+}
+
+// schemaAdapter exposes a typing.Advertisement as a filter.Schema.
+type schemaAdapter struct{ ad *typing.Advertisement }
+
+func (s schemaAdapter) AttrOrder() []string { return s.ad.Attrs }
+
+// StageSet computes the filter table a stage-s node stores for the given
+// child subscriptions: each is weakened for the stage, same-shape filters
+// merge to their weakest bounds, and covered filters collapse away. The
+// result is the minimal pre-filter set that forwards every event any
+// child wants.
+func (w *Weakener) StageSet(subs []*filter.Filter, stage int) []*filter.Filter {
+	weakened := make([]*filter.Filter, len(subs))
+	for i, f := range subs {
+		weakened[i] = w.Filter(f, stage)
+	}
+	conf := w.conf()
+	return filter.Collapse(MergeSimilar(weakened), conf)
+}
+
+func (w *Weakener) conf() filter.Conformance {
+	if w == nil || w.Conf == nil {
+		return filter.ExactTypes{}
+	}
+	return w.Conf
+}
+
+// MergeSimilar merges filters that differ only in the bounds of their
+// ordering constraints into a single filter with the weakest bounds
+// (Section 4.1's "<"/">"-relation weakening). Filters with distinct
+// shapes pass through unchanged. The output order follows first
+// occurrence of each shape.
+func MergeSimilar(fs []*filter.Filter) []*filter.Filter {
+	type group struct {
+		merged *filter.Filter
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, f := range fs {
+		key := shapeKey(f)
+		g, ok := groups[key]
+		if !ok {
+			groups[key] = &group{merged: f.Clone()}
+			order = append(order, key)
+			continue
+		}
+		relaxInto(g.merged, f)
+	}
+	out := make([]*filter.Filter, 0, len(order))
+	for _, k := range order {
+		out = append(out, groups[k].merged)
+	}
+	return out
+}
+
+// shapeKey identifies the mergeable shape of a filter: class plus the
+// sequence of (attribute, operator category, and — for non-relaxable
+// operators — operand). Two filters with equal keys differ at most in the
+// bounds of <,<=,>,>= constraints of the same value family.
+func shapeKey(f *filter.Filter) string {
+	var b strings.Builder
+	b.WriteString(f.Class)
+	for _, c := range f.Constraints {
+		b.WriteByte(0)
+		b.WriteString(c.Attr)
+		b.WriteByte(1)
+		switch c.Op {
+		case filter.OpLt, filter.OpLe:
+			b.WriteString("<")
+			b.WriteString(familyTag(c.Operand))
+		case filter.OpGt, filter.OpGe:
+			b.WriteString(">")
+			b.WriteString(familyTag(c.Operand))
+		default:
+			b.WriteString(c.Op.String())
+			b.WriteByte(1)
+			if c.Op.NeedsOperand() {
+				b.WriteString(c.Operand.String())
+			}
+		}
+	}
+	return b.String()
+}
+
+func familyTag(v event.Value) string {
+	switch v.Kind() {
+	case event.KindString:
+		return "s"
+	case event.KindBool:
+		return "b"
+	default:
+		return "n"
+	}
+}
+
+// relaxInto widens dst's relaxable bounds to also admit everything src
+// admits. dst and src must share a shape key.
+func relaxInto(dst, src *filter.Filter) {
+	for i := range dst.Constraints {
+		dc := &dst.Constraints[i]
+		sc := src.Constraints[i]
+		switch dc.Op {
+		case filter.OpLt, filter.OpLe:
+			c, ok := sc.Operand.Compare(dc.Operand)
+			if !ok {
+				continue
+			}
+			srcLoose := sc.Op == filter.OpLe
+			dstLoose := dc.Op == filter.OpLe
+			if c > 0 || (c == 0 && srcLoose && !dstLoose) {
+				dc.Op, dc.Operand = sc.Op, sc.Operand
+			}
+		case filter.OpGt, filter.OpGe:
+			c, ok := sc.Operand.Compare(dc.Operand)
+			if !ok {
+				continue
+			}
+			srcLoose := sc.Op == filter.OpGe
+			dstLoose := dc.Op == filter.OpGe
+			if c < 0 || (c == 0 && srcLoose && !dstLoose) {
+				dc.Op, dc.Operand = sc.Op, sc.Operand
+			}
+		}
+	}
+}
+
+// InferOrder derives a generality ordering for the attributes observed in
+// a sample of events: attributes with fewer distinct values divide the
+// event space into fewer, larger sub-categories and are therefore more
+// general (Section 4.1, "Grouping the attributes"). Ties break
+// alphabetically for determinism. Attributes absent from every event are
+// not reported.
+func InferOrder(sample []*event.Event) []string {
+	distinct := make(map[string]map[string]struct{})
+	var order []string
+	for _, e := range sample {
+		for _, a := range e.Attrs {
+			set, ok := distinct[a.Name]
+			if !ok {
+				set = make(map[string]struct{})
+				distinct[a.Name] = set
+				order = append(order, a.Name)
+			}
+			set[a.Value.String()] = struct{}{}
+		}
+	}
+	// Insertion sort by (cardinality, name): sample sizes are small and
+	// stability is irrelevant given the total tie-break.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			ca, cb := len(distinct[a]), len(distinct[b])
+			if cb < ca || (cb == ca && b < a) {
+				order[j-1], order[j] = order[j], order[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	return order
+}

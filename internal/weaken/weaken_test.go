@@ -1,0 +1,356 @@
+package weaken
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/typing"
+)
+
+// example5Weakener reproduces the advertisement setup of Example 5: a
+// four-stage hierarchy with Stock (symbol, price; stage-1 keeps both) and
+// Auction (product, kind, capacity, price; canonical drop-one-per-stage).
+func example5Weakener(t *testing.T) *Weakener {
+	t.Helper()
+	var ads typing.AdvertisementSet
+	stock, err := typing.NewAdvertisement("Stock", 4, "symbol", "price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Example 5 keeps price at stage 1 (weakened by bound merging).
+	stock.StageAttrs = []int{2, 2, 1, 0}
+	if err := stock.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ads.Put(stock); err != nil {
+		t.Fatal(err)
+	}
+	auction, err := typing.NewAdvertisement("Auction", 4, "product", "kind", "capacity", "price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ads.Put(auction); err != nil {
+		t.Fatal(err)
+	}
+	return New(&ads, nil)
+}
+
+func example5Subscriptions() []*filter.Filter {
+	return []*filter.Filter{
+		filter.MustParseFilter(`class = "Stock" && symbol = "DEF" && price < 10.0`),
+		filter.MustParseFilter(`class = "Stock" && symbol = "DEF" && price < 11.0`),
+		filter.MustParseFilter(`class = "Stock" && symbol = "GHI" && price < 8.0`),
+		filter.MustParseFilter(`class = "Auction" && product = "Vehicle" && kind = "Car" && capacity < 2000 && price < 10000`),
+	}
+}
+
+func TestExample5Stage1(t *testing.T) {
+	w := example5Weakener(t)
+	got := w.StageSet(example5Subscriptions(), 1)
+	want := []*filter.Filter{
+		filter.MustParseFilter(`class = "Stock" && symbol = "DEF" && price < 11.0`),                           // g1
+		filter.MustParseFilter(`class = "Stock" && symbol = "GHI" && price < 8.0`),                            // g2
+		filter.MustParseFilter(`class = "Auction" && product = "Vehicle" && kind = "Car" && capacity < 2000`), // g3
+	}
+	assertFilterSet(t, got, want)
+}
+
+func TestExample5Stage2(t *testing.T) {
+	w := example5Weakener(t)
+	got := w.StageSet(example5Subscriptions(), 2)
+	want := []*filter.Filter{
+		filter.MustParseFilter(`class = "Stock" && symbol = "DEF"`),                        // h1
+		filter.MustParseFilter(`class = "Stock" && symbol = "GHI"`),                        // h2
+		filter.MustParseFilter(`class = "Auction" && product = "Vehicle" && kind = "Car"`), // h3
+	}
+	assertFilterSet(t, got, want)
+}
+
+func TestExample5Stage3(t *testing.T) {
+	w := example5Weakener(t)
+	got := w.StageSet(example5Subscriptions(), 3)
+	want := []*filter.Filter{
+		filter.MustParseFilter(`class = "Stock"`),   // i1
+		filter.MustParseFilter(`class = "Auction"`), // i2
+	}
+	assertFilterSet(t, got, want)
+}
+
+func assertFilterSet(t *testing.T, got, want []*filter.Filter) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d filters, want %d:\n got %v\nwant %v", len(got), len(want), got, want)
+	}
+	for i := range want {
+		// Compare semantically: mutual covering.
+		if !filter.Covers(got[i], want[i], nil) || !filter.Covers(want[i], got[i], nil) {
+			t.Errorf("filter %d:\n got  %s\n want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWeakenUnadvertisedClass(t *testing.T) {
+	w := New(nil, nil)
+	f := filter.MustParseFilter(`class = "Mystery" && x = 1`)
+	for stage := 1; stage <= 3; stage++ {
+		g := w.Filter(f, stage)
+		if g.Class != "Mystery" || len(g.Constraints) != 0 {
+			t.Errorf("stage %d: unadvertised weakening = %s, want class-only", stage, g)
+		}
+	}
+	if g := w.Filter(f, 0); !g.Equal(f) {
+		t.Errorf("stage 0 must be identity, got %s", g)
+	}
+}
+
+func TestWeakenBeyondStages(t *testing.T) {
+	w := example5Weakener(t)
+	f := example5Subscriptions()[0]
+	g := w.Filter(f, 99)
+	if g.Class != "Stock" || len(g.Constraints) != 0 {
+		t.Errorf("beyond-stages weakening = %s, want class-only", g)
+	}
+}
+
+func TestMergeSimilar(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []string
+		want []string
+	}{
+		{
+			"lt bounds",
+			[]string{`sym = "A" && p < 10`, `sym = "A" && p < 12`, `sym = "A" && p < 11`},
+			[]string{`sym = "A" && p < 12`},
+		},
+		{
+			"le beats lt at same bound",
+			[]string{`p < 10`, `p <= 10`},
+			[]string{`p <= 10`},
+		},
+		{
+			"gt bounds take min",
+			[]string{`p > 5`, `p > 3`},
+			[]string{`p > 3`},
+		},
+		{
+			"ge beats gt at same bound",
+			[]string{`p > 3`, `p >= 3`},
+			[]string{`p >= 3`},
+		},
+		{
+			"different eq not merged",
+			[]string{`sym = "A" && p < 10`, `sym = "B" && p < 12`},
+			[]string{`sym = "A" && p < 10`, `sym = "B" && p < 12`},
+		},
+		{
+			"different shape not merged",
+			[]string{`p < 10`, `p > 10`},
+			[]string{`p < 10`, `p > 10`},
+		},
+		{
+			"string bounds merge",
+			[]string{`s < "m"`, `s < "q"`},
+			[]string{`s < "q"`},
+		},
+		{
+			"family mismatch not merged",
+			[]string{`p < 10`, `p < "a"`},
+			[]string{`p < 10`, `p < "a"`},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			in := make([]*filter.Filter, len(tt.in))
+			for i, s := range tt.in {
+				in[i] = filter.MustParseFilter(s)
+			}
+			want := make([]*filter.Filter, len(tt.want))
+			for i, s := range tt.want {
+				want[i] = filter.MustParseFilter(s)
+			}
+			assertFilterSet(t, MergeSimilar(in), want)
+		})
+	}
+}
+
+func TestMergeDoesNotMutateInput(t *testing.T) {
+	f1 := filter.MustParseFilter(`p < 10`)
+	f2 := filter.MustParseFilter(`p < 12`)
+	MergeSimilar([]*filter.Filter{f1, f2})
+	if !f1.Equal(filter.MustParseFilter(`p < 10`)) {
+		t.Errorf("input filter mutated: %s", f1)
+	}
+}
+
+func TestInferOrder(t *testing.T) {
+	var sample []*event.Event
+	for i := range 20 {
+		sample = append(sample, event.NewBuilder("Biblio").
+			Int("year", int64(2000+i%2)).                    // 2 distinct
+			Str("conference", []string{"A", "B", "C"}[i%3]). // 3 distinct
+			Str("author", string(rune('a'+i%5))).            // 5 distinct
+			Str("title", string(rune('a'+i))).               // 20 distinct
+			Build())
+	}
+	got := InferOrder(sample)
+	want := []string{"year", "conference", "author", "title"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("InferOrder = %v, want %v", got, want)
+		}
+	}
+	if len(InferOrder(nil)) != 0 {
+		t.Error("InferOrder(nil) should be empty")
+	}
+}
+
+// --- property tests of Propositions 1 and 2 ---
+
+var biblioSchema = []string{"year", "conference", "author", "title"}
+
+func biblioWeakener(t testing.TB) *Weakener {
+	var ads typing.AdvertisementSet
+	ad, err := typing.NewAdvertisement("Biblio", 4, biblioSchema...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ads.Put(ad); err != nil {
+		t.Fatal(err)
+	}
+	return New(&ads, nil)
+}
+
+func randomBiblioEvent(rng *rand.Rand) *event.Event {
+	return event.NewBuilder("Biblio").
+		Int("year", int64(1995+rng.IntN(10))).
+		Str("conference", []string{"ICDCS", "SOSP", "OSDI", "PODC"}[rng.IntN(4)]).
+		Str("author", string(rune('a'+rng.IntN(6)))).
+		Str("title", string(rune('A'+rng.IntN(26)))).
+		Build()
+}
+
+func randomBiblioFilter(rng *rand.Rand) *filter.Filter {
+	f := &filter.Filter{Class: "Biblio"}
+	ops := []filter.Op{filter.OpEq, filter.OpLt, filter.OpLe, filter.OpGt, filter.OpGe, filter.OpNe}
+	for _, attr := range biblioSchema {
+		if rng.IntN(2) == 0 {
+			continue
+		}
+		op := ops[rng.IntN(len(ops))]
+		var v event.Value
+		switch attr {
+		case "year":
+			v = event.Int(int64(1995 + rng.IntN(10)))
+		case "conference":
+			v = event.String([]string{"ICDCS", "SOSP", "OSDI", "PODC"}[rng.IntN(4)])
+		case "author":
+			v = event.String(string(rune('a' + rng.IntN(6))))
+		default:
+			v = event.String(string(rune('A' + rng.IntN(26))))
+		}
+		f.Constraints = append(f.Constraints, filter.C(attr, op, v))
+	}
+	return f
+}
+
+// TestProposition1Property: the weakened filter covers the standardized
+// original, both by the conservative checker and semantically on sampled
+// full-schema events.
+func TestProposition1Property(t *testing.T) {
+	w := biblioWeakener(t)
+	ad, _ := w.Ads.Get("Biblio")
+	rng := rand.New(rand.NewPCG(11, 13))
+	for range 500 {
+		f := randomBiblioFilter(rng)
+		std := f.Standardize(filter.SchemaOf(ad.Attrs...))
+		for stage := 0; stage < 4; stage++ {
+			g := w.Filter(f, stage)
+			if !filter.Covers(g, std, nil) {
+				t.Fatalf("stage %d weakening does not cover original:\n  f %s\n  g %s", stage, std, g)
+			}
+			for range 50 {
+				e := randomBiblioEvent(rng)
+				if f.Matches(e, nil) && !g.Matches(e, nil) {
+					t.Fatalf("stage %d: event matches f but not weakened g:\n  f %s\n  g %s\n  e %s", stage, f, g, e)
+				}
+			}
+		}
+	}
+}
+
+// TestProposition2Property: the projected (covering) event is
+// indistinguishable from the original under every weakened filter of the
+// same stage.
+func TestProposition2Property(t *testing.T) {
+	w := biblioWeakener(t)
+	rng := rand.New(rand.NewPCG(17, 19))
+	for range 500 {
+		f := randomBiblioFilter(rng)
+		e := randomBiblioEvent(rng)
+		for stage := 0; stage < 4; stage++ {
+			g := w.Filter(f, stage)
+			ew := w.Event(e, stage)
+			if g.Matches(ew, nil) != g.Matches(e, nil) {
+				t.Fatalf("stage %d: projection changed matching:\n  g %s\n  e %s\n  e' %s", stage, g, e, ew)
+			}
+			if !filter.CoversEvent(g, ew, e, nil) {
+				t.Fatalf("stage %d: projected event does not cover original for %s", stage, g)
+			}
+		}
+	}
+}
+
+// TestStageSetForwardingInvariant: an event matching any original
+// subscription matches the stage set at every stage (no false negatives
+// in pre-filtering).
+func TestStageSetForwardingInvariant(t *testing.T) {
+	w := biblioWeakener(t)
+	rng := rand.New(rand.NewPCG(23, 29))
+	for range 100 {
+		var subs []*filter.Filter
+		for range 1 + rng.IntN(6) {
+			subs = append(subs, randomBiblioFilter(rng))
+		}
+		stageSets := make([][]*filter.Filter, 4)
+		for s := range stageSets {
+			stageSets[s] = w.StageSet(subs, s)
+		}
+		for range 100 {
+			e := randomBiblioEvent(rng)
+			matchesOriginal := filter.Subscription(subs).Matches(e, nil)
+			if !matchesOriginal {
+				continue
+			}
+			for s, set := range stageSets {
+				ew := w.Event(e, s)
+				if !filter.Subscription(set).Matches(ew, nil) {
+					t.Fatalf("stage %d dropped a wanted event:\n  subs %v\n  set %v\n  e %s", s, subs, set, e)
+				}
+			}
+		}
+	}
+}
+
+func TestStageSetShrinks(t *testing.T) {
+	w := biblioWeakener(t)
+	rng := rand.New(rand.NewPCG(31, 37))
+	var subs []*filter.Filter
+	for range 40 {
+		subs = append(subs, randomBiblioFilter(rng))
+	}
+	prev := len(w.StageSet(subs, 0))
+	for s := 1; s < 4; s++ {
+		cur := len(w.StageSet(subs, s))
+		if cur > prev {
+			t.Errorf("stage %d set grew: %d -> %d", s, prev, cur)
+		}
+		prev = cur
+	}
+	top := w.StageSet(subs, 3)
+	if len(top) != 1 { // all Biblio-class subs collapse to (class=Biblio)
+		t.Errorf("top stage set = %v, want single class filter", top)
+	}
+}

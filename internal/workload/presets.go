@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+)
+
+// BiblioConfig parameterizes the Section 5.2 bibliographic workload.
+type BiblioConfig struct {
+	// Years, Conferences, Authors set the discrete pool sizes. Attribute
+	// generality follows pool size: year (fewest values) is most general,
+	// matching the paper's stage assignment (year survives to stage 3).
+	Years, Conferences, Authors int
+	// TitleVariants is the expected number of distinct titles per
+	// (year, conference, author) combination. Titles are correlated with
+	// the other attributes — an author publishes ~1 title per venue and
+	// year — which is what gives subscribers a high matching rate. 1.3
+	// calibrates the subscriber-average MR near the paper's 0.87.
+	TitleVariants float64
+	// Skew applies popularity skew to conferences and authors.
+	Skew float64
+}
+
+// DefaultBiblio mirrors the scale implied by Section 5.2/5.3.
+func DefaultBiblio() BiblioConfig {
+	return BiblioConfig{Years: 5, Conferences: 10, Authors: 100, TitleVariants: 1.3, Skew: 0}
+}
+
+// Biblio is the paper's evaluation workload: events with attributes
+// (year, conference, author, title), most general first.
+type Biblio struct {
+	cfg BiblioConfig
+	gen *Generator
+	rng *rand.Rand
+}
+
+// NewBiblio constructs the bibliographic workload.
+func NewBiblio(seed uint64, cfg BiblioConfig) (*Biblio, error) {
+	if cfg.Years <= 0 || cfg.Conferences <= 0 || cfg.Authors <= 0 {
+		return nil, fmt.Errorf("workload: biblio pools must be positive: %+v", cfg)
+	}
+	if cfg.TitleVariants < 1 {
+		return nil, fmt.Errorf("workload: TitleVariants must be >= 1, got %v", cfg.TitleVariants)
+	}
+	gen, err := New("Biblio", seed,
+		AttrSpec{Name: "year", Values: intPool(1998, cfg.Years)},
+		AttrSpec{Name: "conference", Values: strPool("Conf-%02d", cfg.Conferences), Skew: cfg.Skew},
+		AttrSpec{Name: "author", Values: strPool("Author-%03d", cfg.Authors), Skew: cfg.Skew},
+		// The title spec exists for schema purposes; values are derived.
+		AttrSpec{Name: "title", Values: strPool("Title-%d", 1)},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &Biblio{cfg: cfg, gen: gen, rng: rand.New(rand.NewPCG(seed^0xabcdef, seed))}, nil
+}
+
+// Generator exposes the underlying generator (for advertisements and
+// attribute order).
+func (b *Biblio) Generator() *Generator { return b.gen }
+
+// Event draws a bibliographic event. The title is a deterministic
+// function of (year, conference, author) plus a small variant index, so
+// subscriptions anchored to events match future traffic.
+func (b *Biblio) Event() *event.Event {
+	e := b.gen.Event()
+	e.Set("title", b.titleFor(e))
+	return e
+}
+
+// titleFor derives the correlated title value. Whether a combination has
+// one or two title variants is a deterministic property of the
+// combination (hash-based), so the expected variant count holds per
+// combination, not per event.
+func (b *Biblio) titleFor(e *event.Event) event.Value {
+	year, _ := e.Lookup("year")
+	conf, _ := e.Lookup("conference")
+	author, _ := e.Lookup("author")
+	key := fmt.Sprintf("%d|%s|%s", year.IntVal(), conf.Str(), author.Str())
+	variant := 0
+	if p := b.cfg.TitleVariants - 1; p > 0 && comboHash(key) < p {
+		// This combination has two variants; events split between them.
+		variant = b.rng.IntN(2)
+	}
+	return event.String(fmt.Sprintf("%s @%s %d #%d", author.Str(), conf.Str(), year.IntVal(), variant))
+}
+
+// comboHash maps a combination key to [0, 1) deterministically (FNV-1a).
+func comboHash(key string) float64 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return float64(h%100000) / 100000
+}
+
+// Subscription draws a stage-0 subscription. With anchor=true the filter
+// is anchored to a fresh event (guaranteeing it matches real traffic),
+// reproducing the paper's implicit assumption that subscriptions are
+// about data that exists.
+func (b *Biblio) Subscription(wildcardProb float64, anchor bool) *filter.Filter {
+	var from *event.Event
+	if anchor {
+		from = b.Event()
+	}
+	f := b.gen.Subscription(SubscriptionOptions{WildcardProb: wildcardProb, FromEvent: from})
+	// Re-derive the title constraint from the anchor (the generic
+	// generator used the placeholder pool).
+	for i, c := range f.Constraints {
+		if c.Attr == "title" {
+			if from != nil {
+				v, _ := from.Lookup("title")
+				f.Constraints[i].Operand = v
+			} else {
+				// Unanchored title constraints reference variant 0 of a
+				// random combination.
+				anchorEv := b.Event()
+				anchorEv.Set("title", b.titleFor(anchorEv))
+				v, _ := anchorEv.Lookup("title")
+				f.Constraints[i].Operand = v
+			}
+		}
+	}
+	return f
+}
+
+// StocksConfig parameterizes the stock-quote workload of Section 3.
+type StocksConfig struct {
+	Symbols  int
+	MinPrice float64
+	MaxPrice float64
+	Skew     float64
+}
+
+// DefaultStocks returns a 50-symbol market.
+func DefaultStocks() StocksConfig {
+	return StocksConfig{Symbols: 50, MinPrice: 1, MaxPrice: 100, Skew: 1.2}
+}
+
+// NewStocks constructs the stock workload: events (symbol, price),
+// subscriptions symbol = S && price < t.
+func NewStocks(seed uint64, cfg StocksConfig) (*Generator, error) {
+	if cfg.Symbols <= 0 {
+		return nil, fmt.Errorf("workload: need at least one symbol")
+	}
+	return New("Stock", seed,
+		AttrSpec{Name: "symbol", Values: strPool("SYM%02d", cfg.Symbols), Skew: cfg.Skew},
+		AttrSpec{Name: "price", Min: cfg.MinPrice, Max: cfg.MaxPrice},
+	)
+}
+
+// NewAuctions constructs the auction workload of Section 4's Example 5:
+// events (product, kind, capacity, price).
+func NewAuctions(seed uint64) (*Generator, error) {
+	return New("Auction", seed,
+		AttrSpec{Name: "product", Values: []event.Value{
+			event.String("Vehicle"), event.String("Computer"), event.String("Furniture"),
+		}},
+		AttrSpec{Name: "kind", Values: []event.Value{
+			event.String("Car"), event.String("Truck"), event.String("Van"),
+			event.String("Laptop"), event.String("Desk"),
+		}},
+		AttrSpec{Name: "capacity", Min: 500, Max: 5000},
+		AttrSpec{Name: "price", Min: 1000, Max: 50000},
+	)
+}

@@ -1,0 +1,208 @@
+// Package workload generates the synthetic event and subscription
+// populations of the paper's evaluation (Section 5.2: bibliographic data
+// with attributes year, conference, author, title) and the stock and
+// auction domains of the worked examples (Sections 3–4).
+//
+// The paper describes its populations only as "pseudo randomly generated
+// dummy" sets; the generators here are seeded and fully parameterized so
+// every experiment in EXPERIMENTS.md is reproducible bit-for-bit.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/typing"
+)
+
+// AttrSpec describes one generated attribute. Exactly one of Values or
+// the continuous range [Min, Max) must be set (Values == nil selects the
+// continuous form, which draws float64 values).
+type AttrSpec struct {
+	// Name is the attribute name.
+	Name string
+	// Values is the finite value pool for discrete attributes.
+	Values []event.Value
+	// Min, Max bound continuous attributes (Values == nil).
+	Min, Max float64
+	// Skew selects a Zipf-like popularity skew over Values: 0 or 1 means
+	// uniform; larger values concentrate draws on early pool entries.
+	Skew float64
+}
+
+func (s AttrSpec) discrete() bool { return s.Values != nil }
+
+// Generator produces events and subscriptions for one event class. It is
+// deterministic for a given seed and not safe for concurrent use.
+type Generator struct {
+	class string
+	specs []AttrSpec
+	rng   *rand.Rand
+	cums  [][]float64 // per-spec cumulative weights for skewed draws
+	seq   uint64
+}
+
+// New constructs a generator for the class with the given attribute
+// specs, ordered most general first (the order becomes the advertised
+// generality order).
+func New(class string, seed uint64, specs ...AttrSpec) (*Generator, error) {
+	if class == "" {
+		return nil, fmt.Errorf("workload: class required")
+	}
+	g := &Generator{
+		class: class,
+		specs: append([]AttrSpec(nil), specs...),
+		rng:   rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		cums:  make([][]float64, len(specs)),
+	}
+	for i, s := range specs {
+		if s.Name == "" {
+			return nil, fmt.Errorf("workload: attribute %d of %q unnamed", i, class)
+		}
+		if !s.discrete() {
+			if !(s.Min < s.Max) {
+				return nil, fmt.Errorf("workload: attribute %q needs Min < Max", s.Name)
+			}
+			continue
+		}
+		if len(s.Values) == 0 {
+			return nil, fmt.Errorf("workload: attribute %q has an empty pool", s.Name)
+		}
+		if s.Skew > 1 {
+			cum := make([]float64, len(s.Values))
+			total := 0.0
+			for j := range s.Values {
+				total += 1 / math.Pow(float64(j+1), s.Skew)
+				cum[j] = total
+			}
+			g.cums[i] = cum
+		}
+	}
+	return g, nil
+}
+
+// MustNew is New for presets and tests; it panics on error.
+func MustNew(class string, seed uint64, specs ...AttrSpec) *Generator {
+	g, err := New(class, seed, specs...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Class returns the generated event class.
+func (g *Generator) Class() string { return g.class }
+
+// AttrNames returns the attribute names in generality order.
+func (g *Generator) AttrNames() []string {
+	names := make([]string, len(g.specs))
+	for i, s := range g.specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Advertisement builds the class advertisement for a hierarchy with the
+// given number of stages, using the canonical drop-one-per-stage
+// association. Use WithStageAttrs on the result for custom associations.
+func (g *Generator) Advertisement(stages int) (*typing.Advertisement, error) {
+	return typing.NewAdvertisement(g.class, stages, g.AttrNames()...)
+}
+
+// drawIndex picks a pool index for spec i, honoring skew.
+func (g *Generator) drawIndex(i int) int {
+	s := g.specs[i]
+	if cum := g.cums[i]; cum != nil {
+		u := g.rng.Float64() * cum[len(cum)-1]
+		return sort.SearchFloat64s(cum, u)
+	}
+	return g.rng.IntN(len(s.Values))
+}
+
+// drawValue samples a value for spec i.
+func (g *Generator) drawValue(i int) event.Value {
+	s := g.specs[i]
+	if s.discrete() {
+		return s.Values[g.drawIndex(i)]
+	}
+	return event.Float(s.Min + g.rng.Float64()*(s.Max-s.Min))
+}
+
+// Event generates the next event: one value per attribute, a fresh
+// sequence ID.
+func (g *Generator) Event() *event.Event {
+	b := event.NewBuilder(g.class)
+	for i, s := range g.specs {
+		b.Val(s.Name, g.drawValue(i))
+	}
+	g.seq++
+	return b.ID(g.seq).Build()
+}
+
+// SubscriptionOptions tune generated subscriptions.
+type SubscriptionOptions struct {
+	// WildcardProb is the probability that an attribute is left
+	// unspecified (a wildcard attribute filter, Section 4.4).
+	WildcardProb float64
+	// FromEvent, when non-nil, anchors equality constraints to this
+	// event's values, producing subscriptions correlated with traffic.
+	FromEvent *event.Event
+}
+
+// Subscription generates a stage-0 subscription filter in the evaluation
+// shape: equality constraints on discrete attributes and an upper bound
+// on continuous attributes.
+func (g *Generator) Subscription(opts SubscriptionOptions) *filter.Filter {
+	f := &filter.Filter{Class: g.class}
+	for i, s := range g.specs {
+		if opts.WildcardProb > 0 && g.rng.Float64() < opts.WildcardProb {
+			continue
+		}
+		if s.discrete() {
+			v := g.drawValueAnchored(i, opts.FromEvent)
+			f.Constraints = append(f.Constraints, filter.C(s.Name, filter.OpEq, v))
+			continue
+		}
+		// Continuous: subscribe to a prefix of the range (price < t),
+		// anchored above the event's value when correlated.
+		t := s.Min + g.rng.Float64()*(s.Max-s.Min)
+		if opts.FromEvent != nil {
+			if v, ok := opts.FromEvent.Lookup(s.Name); ok && v.IsNumeric() {
+				t = v.Num() + g.rng.Float64()*(s.Max-v.Num())
+			}
+		}
+		f.Constraints = append(f.Constraints, filter.C(s.Name, filter.OpLt, event.Float(t)))
+	}
+	return f
+}
+
+func (g *Generator) drawValueAnchored(i int, anchor *event.Event) event.Value {
+	if anchor != nil {
+		if v, ok := anchor.Lookup(g.specs[i].Name); ok {
+			return v
+		}
+	}
+	return g.drawValue(i)
+}
+
+// strPool builds a pool of formatted string values.
+func strPool(format string, n int) []event.Value {
+	out := make([]event.Value, n)
+	for i := range out {
+		out[i] = event.String(fmt.Sprintf(format, i))
+	}
+	return out
+}
+
+// intPool builds a pool of consecutive integer values starting at base.
+func intPool(base, n int) []event.Value {
+	out := make([]event.Value, n)
+	for i := range out {
+		out[i] = event.Int(int64(base + i))
+	}
+	return out
+}

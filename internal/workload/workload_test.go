@@ -1,0 +1,266 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+)
+
+func TestGeneratorDeterminism(t *testing.T) {
+	mk := func() *Generator {
+		return MustNew("T", 42,
+			AttrSpec{Name: "a", Values: intPool(0, 10)},
+			AttrSpec{Name: "b", Min: 0, Max: 1},
+		)
+	}
+	g1, g2 := mk(), mk()
+	for i := 0; i < 50; i++ {
+		e1, e2 := g1.Event(), g2.Event()
+		if !e1.Equal(e2) || e1.ID != e2.ID {
+			t.Fatalf("iteration %d: generators diverged: %s vs %s", i, e1, e2)
+		}
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := New("", 1); err == nil {
+		t.Error("empty class should fail")
+	}
+	if _, err := New("T", 1, AttrSpec{Name: ""}); err == nil {
+		t.Error("unnamed attribute should fail")
+	}
+	if _, err := New("T", 1, AttrSpec{Name: "a"}); err == nil {
+		t.Error("empty pool and empty range should fail")
+	}
+	if _, err := New("T", 1, AttrSpec{Name: "a", Min: 5, Max: 5}); err == nil {
+		t.Error("empty range should fail")
+	}
+	if _, err := New("T", 1, AttrSpec{Name: "a", Values: intPool(0, 3)}); err != nil {
+		t.Errorf("valid spec failed: %v", err)
+	}
+}
+
+func TestEventShape(t *testing.T) {
+	g := MustNew("Stock", 7,
+		AttrSpec{Name: "symbol", Values: strPool("S%d", 5)},
+		AttrSpec{Name: "price", Min: 1, Max: 10},
+	)
+	for i := 0; i < 100; i++ {
+		e := g.Event()
+		if e.Type != "Stock" {
+			t.Fatalf("type = %q", e.Type)
+		}
+		if e.ID != uint64(i+1) {
+			t.Fatalf("ID = %d, want %d", e.ID, i+1)
+		}
+		p, ok := e.Lookup("price")
+		if !ok || p.Num() < 1 || p.Num() >= 10 {
+			t.Fatalf("price out of range: %v", p)
+		}
+		if s, ok := e.Lookup("symbol"); !ok || s.Kind() != event.KindString {
+			t.Fatalf("symbol = %v", s)
+		}
+	}
+}
+
+func TestSkewConcentrates(t *testing.T) {
+	uniform := MustNew("T", 3, AttrSpec{Name: "a", Values: intPool(0, 100)})
+	skewed := MustNew("T", 3, AttrSpec{Name: "a", Values: intPool(0, 100), Skew: 2})
+	countTop := func(g *Generator) int {
+		top := 0
+		for i := 0; i < 2000; i++ {
+			v, _ := g.Event().Lookup("a")
+			if v.IntVal() < 5 {
+				top++
+			}
+		}
+		return top
+	}
+	u, s := countTop(uniform), countTop(skewed)
+	if s <= u*3 {
+		t.Errorf("skewed draws not concentrated: top-5 uniform=%d skewed=%d", u, s)
+	}
+}
+
+func TestSubscriptionShape(t *testing.T) {
+	g := MustNew("Stock", 7,
+		AttrSpec{Name: "symbol", Values: strPool("S%d", 5)},
+		AttrSpec{Name: "price", Min: 1, Max: 10},
+	)
+	f := g.Subscription(SubscriptionOptions{})
+	if f.Class != "Stock" || len(f.Constraints) != 2 {
+		t.Fatalf("subscription = %s", f)
+	}
+	if f.Constraints[0].Op != filter.OpEq {
+		t.Errorf("discrete attr op = %v, want =", f.Constraints[0].Op)
+	}
+	if f.Constraints[1].Op != filter.OpLt {
+		t.Errorf("continuous attr op = %v, want <", f.Constraints[1].Op)
+	}
+}
+
+func TestSubscriptionAnchoredMatchesAnchor(t *testing.T) {
+	g := MustNew("Stock", 7,
+		AttrSpec{Name: "symbol", Values: strPool("S%d", 5)},
+		AttrSpec{Name: "price", Min: 1, Max: 10},
+	)
+	for i := 0; i < 100; i++ {
+		e := g.Event()
+		f := g.Subscription(SubscriptionOptions{FromEvent: e})
+		if !f.Matches(e, nil) {
+			t.Fatalf("anchored subscription %s does not match its anchor %s", f, e)
+		}
+	}
+}
+
+func TestSubscriptionWildcards(t *testing.T) {
+	g := MustNew("T", 9,
+		AttrSpec{Name: "a", Values: intPool(0, 3)},
+		AttrSpec{Name: "b", Values: intPool(0, 3)},
+	)
+	sawWild, sawFull := false, false
+	for i := 0; i < 200; i++ {
+		f := g.Subscription(SubscriptionOptions{WildcardProb: 0.5})
+		switch len(f.Constraints) {
+		case 2:
+			sawFull = true
+		case 0, 1:
+			sawWild = true
+		}
+	}
+	if !sawWild || !sawFull {
+		t.Errorf("wildcard mix missing: wild=%v full=%v", sawWild, sawFull)
+	}
+	f := g.Subscription(SubscriptionOptions{WildcardProb: 0})
+	if len(f.Constraints) != 2 {
+		t.Errorf("prob 0 dropped constraints: %s", f)
+	}
+}
+
+func TestAdvertisement(t *testing.T) {
+	g := MustNew("T", 1,
+		AttrSpec{Name: "a", Values: intPool(0, 2)},
+		AttrSpec{Name: "b", Values: intPool(0, 5)},
+	)
+	ad, err := g.Advertisement(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.Class != "T" || len(ad.Attrs) != 2 {
+		t.Fatalf("advert = %+v", ad)
+	}
+}
+
+func TestBiblioTitleCorrelation(t *testing.T) {
+	b, err := NewBiblio(5, DefaultBiblio())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Titles must be a function of (year, conference, author) modulo the
+	// variant index: the same combination yields at most 2 titles.
+	titles := make(map[string]map[string]bool)
+	for i := 0; i < 5000; i++ {
+		e := b.Event()
+		y, _ := e.Lookup("year")
+		c, _ := e.Lookup("conference")
+		a, _ := e.Lookup("author")
+		key := y.String() + c.String() + a.String()
+		tl, _ := e.Lookup("title")
+		if titles[key] == nil {
+			titles[key] = make(map[string]bool)
+		}
+		titles[key][tl.Str()] = true
+		if len(titles[key]) > 2 {
+			t.Fatalf("combination %s has %d titles", key, len(titles[key]))
+		}
+	}
+}
+
+func TestBiblioSubscriptionMatchesTraffic(t *testing.T) {
+	b, err := NewBiblio(6, DefaultBiblio())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := b.Subscription(0, true)
+	if len(f.Constraints) != 4 {
+		t.Fatalf("subscription = %s", f)
+	}
+	// An anchored subscription matches some traffic within a bounded
+	// number of events (the title is correlated, not arbitrary).
+	matched := false
+	for i := 0; i < 200000 && !matched; i++ {
+		if f.Matches(b.Event(), nil) {
+			matched = true
+		}
+	}
+	if !matched {
+		t.Errorf("anchored subscription %s never matched traffic", f)
+	}
+}
+
+func TestBiblioValidation(t *testing.T) {
+	if _, err := NewBiblio(1, BiblioConfig{Years: 0, Conferences: 1, Authors: 1, TitleVariants: 1}); err == nil {
+		t.Error("zero pool should fail")
+	}
+	if _, err := NewBiblio(1, BiblioConfig{Years: 1, Conferences: 1, Authors: 1, TitleVariants: 0.5}); err == nil {
+		t.Error("TitleVariants < 1 should fail")
+	}
+}
+
+func TestBiblioVariantCalibration(t *testing.T) {
+	// With TitleVariants = 1.3 the share of single-variant combinations
+	// is 0.7, so a subscriber pinned to one title sees roughly
+	// 0.7 + 0.3/2 ≈ 0.85 of the events for its combination.
+	b, err := NewBiblio(8, DefaultBiblio())
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, total := 0, 0
+	seen := make(map[string]map[string]bool)
+	for i := 0; i < 20000; i++ {
+		e := b.Event()
+		y, _ := e.Lookup("year")
+		c, _ := e.Lookup("conference")
+		a, _ := e.Lookup("author")
+		tl, _ := e.Lookup("title")
+		key := y.String() + c.String() + a.String()
+		if seen[key] == nil {
+			seen[key] = make(map[string]bool)
+		}
+		seen[key][tl.Str()] = true
+	}
+	for _, variants := range seen {
+		total++
+		if len(variants) == 1 {
+			single++
+		}
+	}
+	frac := float64(single) / float64(total)
+	// Combinations observed many times expose their second variant with
+	// high probability; accept a broad band around the configured mix.
+	if math.Abs(frac-0.7) > 0.15 {
+		t.Errorf("single-variant fraction = %.2f, want ≈ 0.7", frac)
+	}
+}
+
+func TestStocksAndAuctionsPresets(t *testing.T) {
+	s, err := NewStocks(3, DefaultStocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := s.Event(); e.Type != "Stock" || len(e.Attrs) != 2 {
+		t.Errorf("stock event = %s", e)
+	}
+	if _, err := NewStocks(3, StocksConfig{}); err == nil {
+		t.Error("zero symbols should fail")
+	}
+	a, err := NewAuctions(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := a.Event(); e.Type != "Auction" || len(e.Attrs) != 4 {
+		t.Errorf("auction event = %s", e)
+	}
+}
