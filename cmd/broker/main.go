@@ -37,18 +37,35 @@ func run(args []string) error {
 	parent := fs.String("parent", "", "parent broker address (empty = root)")
 	ttl := fs.Duration("ttl", time.Minute, "subscription lease TTL (0 = never expire)")
 	counting := fs.Bool("counting", false, "use the counting matching engine")
+	dataDir := fs.String("data-dir", "", "durable event store directory (empty = no persistence)")
+	fsync := fs.String("fsync", "batched", "store fsync policy: batched, always, or never")
+	storeMax := fs.Int64("store-max-bytes", 0, "bound on the store's retained log (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var syncEvery int
+	switch *fsync {
+	case "batched":
+		syncEvery = 0
+	case "always":
+		syncEvery = 1
+	case "never":
+		syncEvery = -1
+	default:
+		return fmt.Errorf("unknown -fsync policy %q (want batched, always, or never)", *fsync)
+	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv, err := broker.Serve(broker.ServerConfig{
-		ID:          *id,
-		Stage:       *stage,
-		ListenAddr:  *listen,
-		ParentAddr:  *parent,
-		TTL:         *ttl,
-		UseCounting: *counting,
-		Logger:      logger,
+		ID:            *id,
+		Stage:         *stage,
+		ListenAddr:    *listen,
+		ParentAddr:    *parent,
+		TTL:           *ttl,
+		UseCounting:   *counting,
+		Logger:        logger,
+		DataDir:       *dataDir,
+		SyncEvery:     syncEvery,
+		StoreMaxBytes: *storeMax,
 	})
 	if err != nil {
 		return err

@@ -41,6 +41,7 @@ import (
 	"eventsys/internal/metrics"
 	"eventsys/internal/object"
 	"eventsys/internal/overlay"
+	"eventsys/internal/store"
 	"eventsys/internal/typing"
 )
 
@@ -82,7 +83,44 @@ type Options struct {
 	UseCounting bool
 	// Seed makes subscription placement deterministic.
 	Seed uint64
+	// DataDir, when non-empty, roots a durable event store there:
+	// durable-subscription backlogs (Section 2.1's "events stored for
+	// temporarily disconnected subscribers") are persisted to a segmented
+	// append-only log and survive a full process restart. Reopening a
+	// System on the same DataDir and re-subscribing with the same
+	// subscriber ID recovers the stored backlog; Resume replays it in
+	// order. Empty keeps backlogs in process memory only.
+	DataDir string
+	// Durability selects the store's fsync policy (DataDir only).
+	Durability Durability
+	// StoreMaxBytes bounds the durable store's retained log (DataDir
+	// only): beyond it the oldest segments are evicted even if
+	// unconsumed, keeping an abandoned backlog from pinning the disk.
+	// 0 means unbounded.
+	StoreMaxBytes int64
 }
+
+// Durability is the fsync policy of the durable event store.
+type Durability int
+
+const (
+	// DurabilityBatched groups fsyncs (every 64 appends or 100ms,
+	// whichever comes first): near-async throughput, with a bounded
+	// window in which a crash can lose the most recent stored events.
+	// The default.
+	DurabilityBatched Durability = iota
+	// DurabilityAlways fsyncs every append: a stored event is on stable
+	// storage before the runtime moves on. Strongest, slowest.
+	DurabilityAlways
+	// DurabilityOS never fsyncs explicitly; the operating system's page
+	// cache decides when bytes reach disk. A process crash loses
+	// nothing, a power failure may lose the tail — never the intact
+	// prefix.
+	DurabilityOS
+)
+
+// StoreStats is a snapshot of the durable event store's counters.
+type StoreStats = store.Stats
 
 // System is an in-process multi-stage event system: a broker hierarchy
 // run on goroutines connected by channels. Create with New, stop with
@@ -90,6 +128,7 @@ type Options struct {
 type System struct {
 	ov  *overlay.System
 	reg *typing.Registry
+	st  *store.Store
 
 	mu     sync.Mutex
 	orders map[string][]string // class -> advertised attribute order
@@ -101,6 +140,21 @@ func New(opts Options) (*System, error) {
 	if opts.Fanouts == nil {
 		opts.Fanouts = []int{1, 4, 16}
 	}
+	var st *store.Store
+	if opts.DataDir != "" {
+		sopts := store.Options{MaxBytes: opts.StoreMaxBytes}
+		switch opts.Durability {
+		case DurabilityAlways:
+			sopts.SyncEvery = 1
+		case DurabilityOS:
+			sopts.SyncEvery = -1
+		}
+		var err error
+		st, err = store.Open(opts.DataDir, sopts)
+		if err != nil {
+			return nil, err
+		}
+	}
 	reg := typing.NewRegistry()
 	ov, err := overlay.New(overlay.Config{
 		Fanouts:      opts.Fanouts,
@@ -108,21 +162,33 @@ func New(opts Options) (*System, error) {
 		AutoMaintain: opts.AutoMaintain,
 		Registry:     reg,
 		UseCounting:  opts.UseCounting,
+		Store:        st,
 		Seed:         opts.Seed,
 	})
 	if err != nil {
+		if st != nil {
+			st.Close()
+		}
 		return nil, err
 	}
 	return &System{
 		ov:     ov,
 		reg:    reg,
+		st:     st,
 		orders: make(map[string][]string),
 		stages: len(opts.Fanouts) + 1,
 	}, nil
 }
 
-// Close shuts the system down and waits for all of its goroutines.
-func (s *System) Close() { s.ov.Close() }
+// Close shuts the system down and waits for all of its goroutines. With a
+// DataDir, the durable store is flushed (outstanding appends and cursors)
+// and closed last, so a clean Close loses nothing.
+func (s *System) Close() {
+	s.ov.Close()
+	if s.st != nil {
+		s.st.Close()
+	}
+}
 
 // RegisterType places an event class in the type hierarchy. Subscribing
 // to a class then also matches events of its (transitive) subtypes —
@@ -194,6 +260,18 @@ func (s *System) Subscribe(id, subscription string, handler func(*Event)) (*Subs
 // the paper: brokers store events for temporarily disconnected
 // subscribers). Detach pauses delivery while the hierarchy keeps routing
 // and buffering; Resume drains the backlog in order and goes live again.
+//
+// Persistence: with Options.DataDir set, the detached-period backlog
+// lives in the durable event store and survives a full process restart —
+// close the System, reopen it on the same DataDir, call SubscribeDurable
+// with the same id, and the stored backlog is waiting; such a recovered
+// subscription starts detached, and Resume replays the backlog in
+// publish order before any live event. Limits: events delivered while
+// the subscription is attached (live) are not persisted, and under
+// DurabilityBatched a crash may lose events stored within the final
+// fsync-batching window (at most 64 events or 100ms; use
+// DurabilityAlways to close it). Without DataDir the backlog is
+// process-memory only and a restart loses it.
 func (s *System) SubscribeDurable(id, subscription string, handler func(*Event)) (*Subscription, error) {
 	sub, err := filter.Parse(subscription)
 	if err != nil {
@@ -225,16 +303,24 @@ func (s *System) SubscribeWhere(id, subscription string, pred func(*Event) bool,
 func (sub *Subscription) Unsubscribe() error { return sub.h.Unsubscribe() }
 
 // Detach pauses a durable subscription; its events accumulate at the
-// subscriber runtime until Resume.
+// subscriber runtime until Resume. With Options.DataDir they accumulate
+// in the durable store — fsynced per Options.Durability — and survive a
+// process restart; without it they accumulate in a bounded in-memory
+// backlog that a restart loses.
 func (sub *Subscription) Detach() error { return sub.h.Detach() }
 
 // Resume re-attaches a detached durable subscription: the backlog drains
-// in FIFO order into the new handler, then live delivery continues.
+// in FIFO order into the new handler, then live delivery continues. With
+// Options.DataDir the drain replays the persisted backlog — including
+// events stored by a previous process incarnation — exactly once per
+// clean shutdown (a crash between replay and the next cursor sync
+// redelivers from the last synced cursor: at-least-once, never loss).
 func (sub *Subscription) Resume(handler func(*Event)) error {
 	return sub.h.Resume(overlay.Handler(handler))
 }
 
-// Backlog reports events stored for a detached durable subscription.
+// Backlog reports events stored for a detached durable subscription
+// (persisted events when Options.DataDir is set).
 func (sub *Subscription) Backlog() int { return sub.h.Backlog() }
 
 // Broker returns the ID of the broker that accepted the subscription
@@ -290,10 +376,20 @@ func SubscribeObjectWhere[T any](s *System, id, subscription string, pred func(T
 }
 
 // Stats snapshots per-node metrics for every broker and subscriber:
-// stored filters, events received/matched/forwarded/delivered. The
-// paper's LC, RLC and MR metrics derive from these via the methods on
-// NodeStats.
+// stored filters, events received/matched/forwarded/delivered/dropped
+// and durable-store traffic. The paper's LC, RLC and MR metrics derive
+// from these via the methods on NodeStats.
 func (s *System) Stats() []NodeStats { return s.ov.Stats() }
+
+// StoreStats snapshots the durable event store's counters (segments,
+// bytes, appends, replays, evictions, pending backlog). ok is false when
+// the System runs without a DataDir.
+func (s *System) StoreStats() (st StoreStats, ok bool) {
+	if s.st == nil {
+		return StoreStats{}, false
+	}
+	return s.st.Stats(), true
+}
 
 // Maintain runs one synchronous lease renewal and sweep round at the
 // given time (AutoMaintain does this continuously).

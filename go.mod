@@ -1,0 +1,3 @@
+module eventsys
+
+go 1.24

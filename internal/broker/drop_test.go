@@ -1,0 +1,29 @@
+package broker
+
+import (
+	"log/slog"
+	"testing"
+
+	"eventsys/internal/metrics"
+	"eventsys/internal/transport"
+)
+
+// TestSendToCountsDrops: a message for a saturated peer is dropped and
+// the drop lands in the broker's counters (surfacing through Stats()).
+func TestSendToCountsDrops(t *testing.T) {
+	s := &Server{
+		cfg:      ServerConfig{ID: "b", Stage: 1},
+		log:      slog.New(slog.DiscardHandler),
+		counters: &metrics.Counters{},
+	}
+	pc := &peerConn{id: "slow", out: make(chan transport.Message, 1)}
+	s.sendTo(pc, transport.Renew{ID: "a"}) // fills the queue
+	if got := s.Stats().Dropped; got != 0 {
+		t.Fatalf("Dropped after successful send = %d, want 0", got)
+	}
+	s.sendTo(pc, transport.Renew{ID: "b"}) // queue full: dropped
+	s.sendTo(pc, transport.Renew{ID: "c"})
+	if got := s.Stats().Dropped; got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+}

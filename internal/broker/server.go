@@ -8,9 +8,13 @@
 // Concurrency model mirrors the in-process overlay: one core goroutine
 // owns the routing state; a reader goroutine per connection feeds it; a
 // writer goroutine per connection drains a buffered outbound queue so a
-// slow peer cannot stall the core (messages to a saturated peer are
-// dropped — TCP-level buffering makes this rare, and lease renewal
-// recovers subscriptions if it ever hits control traffic).
+// slow peer cannot stall the core. Messages to a saturated peer are
+// dropped and counted in NodeStats.Dropped — TCP-level buffering makes
+// this rare, and lease renewal recovers subscriptions if it ever hits
+// control traffic. With a DataDir, events for a saturated or
+// disconnected subscriber are persisted to the durable store instead and
+// replayed when the subscriber re-subscribes with the same ID — so a
+// leaf broker's undelivered backlog survives even its own restart.
 package broker
 
 import (
@@ -23,10 +27,12 @@ import (
 	"sync"
 	"time"
 
+	"eventsys/internal/event"
 	"eventsys/internal/filter"
 	"eventsys/internal/index"
 	"eventsys/internal/metrics"
 	"eventsys/internal/routing"
+	"eventsys/internal/store"
 	"eventsys/internal/transport"
 	"eventsys/internal/typing"
 	"eventsys/internal/weaken"
@@ -52,15 +58,28 @@ type ServerConfig struct {
 	Seed uint64
 	// Logger receives operational logs; nil discards them.
 	Logger *slog.Logger
+	// DataDir, when non-empty, roots a durable event store: events routed
+	// to a disconnected (or saturated) subscriber are persisted instead
+	// of dropped, survive a broker restart, and replay to the subscriber
+	// when it reconnects with the same ID. Empty disables the store.
+	DataDir string
+	// SyncEvery is the store's fsync batching (see store.Options): 0 for
+	// the default batch, 1 to fsync every append, negative to leave
+	// syncing to the OS.
+	SyncEvery int
+	// StoreMaxBytes bounds the store's retained log; oldest segments are
+	// evicted beyond it (0 = unbounded).
+	StoreMaxBytes int64
 }
 
 // Server is a running broker node.
 type Server struct {
-	cfg  ServerConfig
-	log  *slog.Logger
-	node *routing.Node
-	ads  *typing.AdvertisementSet
-	rng  *rand.Rand
+	cfg   ServerConfig
+	log   *slog.Logger
+	node  *routing.Node
+	ads   *typing.AdvertisementSet
+	rng   *rand.Rand
+	store *store.Store // nil without DataDir
 
 	ln     net.Listener
 	ctx    context.Context
@@ -154,12 +173,23 @@ func Serve(cfg ServerConfig) (*Server, error) {
 		Counters: s.counters,
 		Engine:   engine,
 	})
+	if cfg.DataDir != "" {
+		st, err := store.Open(cfg.DataDir, store.Options{SyncEvery: cfg.SyncEvery, MaxBytes: cfg.StoreMaxBytes})
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		s.store = st
+	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 
 	if cfg.ParentAddr != "" {
 		pc, err := s.dialParent()
 		if err != nil {
 			ln.Close()
+			if s.store != nil {
+				_ = s.store.Close() // release the flock for the next attempt
+			}
 			return nil, err
 		}
 		s.parent = pc
@@ -184,7 +214,8 @@ func (s *Server) Stats() metrics.NodeStats {
 	return s.counters.Stats(s.cfg.ID, s.cfg.Stage)
 }
 
-// Close shuts the broker down and waits for all goroutines.
+// Close shuts the broker down and waits for all goroutines. The durable
+// store (if any) is flushed and closed last.
 func (s *Server) Close() {
 	s.cancel()
 	s.ln.Close()
@@ -197,6 +228,9 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.store != nil {
+		_ = s.store.Close()
+	}
 }
 
 func (s *Server) dialParent() (*peerConn, error) {
@@ -279,12 +313,23 @@ func (s *Server) post(ev coreEvent) {
 	}
 }
 
-// sendTo enqueues a message for a peer without blocking the core.
+// sendTo enqueues a message for a peer without blocking the core. A drop
+// (saturated peer) is counted in the broker's NodeStats.
 func (s *Server) sendTo(pc *peerConn, m transport.Message) {
+	if !s.trySend(pc, m) {
+		s.counters.AddDropped(1)
+		s.log.Warn("outbound queue full; dropping", "peer", pc.id, "type", fmt.Sprintf("%T", m))
+	}
+}
+
+// trySend enqueues without blocking and reports success, letting callers
+// with a fallback (the durable store) handle saturation themselves.
+func (s *Server) trySend(pc *peerConn, m transport.Message) bool {
 	select {
 	case pc.out <- m:
+		return true
 	default:
-		s.log.Warn("outbound queue full; dropping", "peer", pc.id, "type", fmt.Sprintf("%T", m))
+		return false
 	}
 }
 
@@ -340,8 +385,22 @@ func (s *Server) handleCore(ev coreEvent) {
 			}
 		}
 	case ev.tick == tickSweep:
-		if n := s.node.Sweep(time.Now()); n > 0 {
-			s.log.Info("leases expired", "removed", n)
+		if removed := s.node.Sweep(time.Now()); len(removed) > 0 {
+			s.log.Info("leases expired", "removed", len(removed))
+			// An expired lease is the system's signal that the
+			// subscriber abandoned the subscription: drop its durable
+			// cursor too, or its stored backlog pins segments forever.
+			// Keep the cursor while the subscriber is still connected or
+			// still holds other live filters (only one lease lapsed).
+			// Forget is a no-op for IDs without cursors (child brokers).
+			if s.store != nil {
+				for _, id := range removed {
+					if _, connected := s.byID[id]; connected || s.node.Table().HasID(id) {
+						continue
+					}
+					s.store.Forget(string(id))
+				}
+			}
 		}
 	case ev.gone:
 		s.dropPeer(ev.pc)
@@ -387,12 +446,33 @@ func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
 		for _, id := range s.node.HandleEvent(msg.Event) {
 			dst, ok := s.byID[id]
 			if !ok {
-				continue // disconnected peer; leases will clean up
+				// Disconnected peer. A durable subscriber's events are
+				// persisted for redelivery on reconnect; anything else is
+				// left to lease expiry.
+				s.storeFor(string(id), msg.Event)
+				continue
 			}
 			if dst.kind == transport.PeerChildBroker {
 				s.sendTo(dst, transport.Publish{Event: msg.Event})
-			} else {
-				s.sendTo(dst, transport.Deliver{Event: msg.Event})
+				continue
+			}
+			// A connected subscriber with a stored backlog (persisted
+			// during a saturation spell) must drain it first, or later
+			// events overtake the stored ones. Skip the replay attempt
+			// while the queue is still full — scanning segments that
+			// cannot drain anywhere would stall the core for nothing.
+			if s.store != nil && s.store.Pending(string(id)) > 0 &&
+				(len(dst.out) == cap(dst.out) || s.replayStored(dst) > 0) {
+				// Still saturated: keep FIFO by storing the new event
+				// behind the backlog.
+				s.storeFor(string(id), msg.Event)
+			} else if !s.trySend(dst, transport.Deliver{Event: msg.Event}) {
+				// Saturated subscriber: persist rather than drop when the
+				// store knows it; count the drop otherwise.
+				if !s.storeFor(string(id), msg.Event) {
+					s.counters.AddDropped(1)
+					s.log.Warn("outbound queue full; dropping", "peer", dst.id, "type", "transport.Deliver")
+				}
 			}
 		}
 	case transport.Subscribe:
@@ -401,7 +481,16 @@ func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
 		}
 		res := s.node.HandleSubscribe(msg.Filter, routing.NodeID(msg.SubscriberID), s.rng, time.Now())
 		if res.Action == routing.ActionAccept {
+			if s.store != nil {
+				if _, _, err := s.store.Register(msg.SubscriberID); err != nil {
+					s.log.Warn("store register failed", "subscriber", msg.SubscriberID, "err", err)
+				}
+			}
 			s.sendTo(pc, transport.SubscribeReply{Accepted: true, Stored: res.Stored})
+			// Replay any backlog stored while this subscriber was away —
+			// after the reply (the client discards frames until it), and
+			// before any live event (the core enqueues both in order).
+			s.replayStored(pc)
 			if res.Up != nil && s.parent != nil {
 				s.sendTo(s.parent, transport.ReqInsert{ChildID: s.cfg.ID, Filter: res.Up})
 			}
@@ -438,6 +527,12 @@ func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
 			return
 		}
 		s.node.HandleUnsubscribe(msg.Filter, routing.NodeID(msg.ID))
+		// Drop the durable cursor only when this was the subscriber's
+		// last filter here — unsubscribing one of several must not
+		// destroy the backlog the others are still owed.
+		if s.store != nil && !s.node.Table().HasID(routing.NodeID(msg.ID)) {
+			s.store.Forget(msg.ID)
+		}
 	case transport.Advertise:
 		if msg.Ad == nil {
 			return
@@ -454,6 +549,52 @@ func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
 			}
 		}
 	}
+}
+
+// storeFor persists an event for a subscriber the broker cannot reach
+// right now (disconnected, or its outbound queue is saturated). It
+// reports whether the event was stored: false when the broker runs
+// without a store or the ID has no durable cursor (e.g. a child broker's
+// ID, or a subscriber that never subscribed at this broker).
+func (s *Server) storeFor(subID string, ev *event.Event) bool {
+	if s.store == nil || !s.store.Known(subID) {
+		return false
+	}
+	_, n, err := s.store.Append(subID, ev)
+	if err != nil {
+		s.log.Warn("store append failed", "subscriber", subID, "err", err)
+		s.counters.AddDropped(1)
+		return true // accounted for; don't double-count as a queue drop
+	}
+	s.counters.AddStoreAppended(1)
+	s.counters.AddStoredBytes(uint64(n))
+	return true
+}
+
+// replayStored redelivers a subscriber's stored backlog as Deliver
+// frames, in original order, ahead of any new live event (the core
+// goroutine enqueues both, so ordering holds). If the outbound queue
+// saturates mid-replay the remainder stays pending — returned to the
+// caller — until the next replay opportunity (another matching event, or
+// a reconnect).
+func (s *Server) replayStored(pc *peerConn) (remaining int) {
+	if s.store == nil || pc.id == "" {
+		return 0
+	}
+	if s.store.Pending(pc.id) == 0 {
+		return 0
+	}
+	n, err := s.store.Replay(pc.id, func(ev *event.Event) bool {
+		return s.trySend(pc, transport.Deliver{Event: ev})
+	})
+	if err != nil {
+		s.log.Warn("store replay failed", "subscriber", pc.id, "err", err)
+	}
+	if n > 0 {
+		s.counters.AddStoreReplayed(uint64(n))
+		s.log.Info("replayed stored backlog", "subscriber", pc.id, "events", n)
+	}
+	return s.store.Pending(pc.id)
 }
 
 // ChildBrokers reports the currently connected child broker count via a

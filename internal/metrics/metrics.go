@@ -28,6 +28,11 @@ type Counters struct {
 	forwarded atomic.Uint64
 	delivered atomic.Uint64
 	filters   atomic.Int64
+
+	dropped       atomic.Uint64
+	storeAppended atomic.Uint64
+	storeReplayed atomic.Uint64
+	storedBytes   atomic.Uint64
 }
 
 // AddReceived records n events received for filtering.
@@ -46,6 +51,20 @@ func (c *Counters) AddDelivered(n uint64) { c.delivered.Add(n) }
 // SetFilters records the current number of filters stored at the node.
 func (c *Counters) SetFilters(n int) { c.filters.Store(int64(n)) }
 
+// AddDropped records n messages dropped on the floor — e.g. events
+// enqueued for a saturated peer's outbound queue in the networked broker.
+func (c *Counters) AddDropped(n uint64) { c.dropped.Add(n) }
+
+// AddStoreAppended records n events appended to the durable store on
+// behalf of this node's subscription.
+func (c *Counters) AddStoreAppended(n uint64) { c.storeAppended.Add(n) }
+
+// AddStoreReplayed records n events replayed from the durable store.
+func (c *Counters) AddStoreReplayed(n uint64) { c.storeReplayed.Add(n) }
+
+// AddStoredBytes records n bytes written to the durable store.
+func (c *Counters) AddStoredBytes(n uint64) { c.storedBytes.Add(n) }
+
 // Received returns the events-received count.
 func (c *Counters) Received() uint64 { return c.received.Load() }
 
@@ -58,19 +77,35 @@ func (c *Counters) Forwarded() uint64 { return c.forwarded.Load() }
 // Delivered returns the delivered-events count.
 func (c *Counters) Delivered() uint64 { return c.delivered.Load() }
 
+// Dropped returns the dropped-messages count.
+func (c *Counters) Dropped() uint64 { return c.dropped.Load() }
+
+// StoreAppended returns the events-appended-to-store count.
+func (c *Counters) StoreAppended() uint64 { return c.storeAppended.Load() }
+
+// StoreReplayed returns the events-replayed-from-store count.
+func (c *Counters) StoreReplayed() uint64 { return c.storeReplayed.Load() }
+
+// StoredBytes returns the bytes-written-to-store count.
+func (c *Counters) StoredBytes() uint64 { return c.storedBytes.Load() }
+
 // Filters returns the recorded stored-filter count.
 func (c *Counters) Filters() int { return int(c.filters.Load()) }
 
 // Stats assembles a snapshot of the counters under the given identity.
 func (c *Counters) Stats(nodeID string, stage int) NodeStats {
 	return NodeStats{
-		NodeID:    nodeID,
-		Stage:     stage,
-		Filters:   c.Filters(),
-		Received:  c.Received(),
-		Matched:   c.Matched(),
-		Forwarded: c.Forwarded(),
-		Delivered: c.Delivered(),
+		NodeID:        nodeID,
+		Stage:         stage,
+		Filters:       c.Filters(),
+		Received:      c.Received(),
+		Matched:       c.Matched(),
+		Forwarded:     c.Forwarded(),
+		Delivered:     c.Delivered(),
+		Dropped:       c.Dropped(),
+		StoreAppended: c.StoreAppended(),
+		StoreReplayed: c.StoreReplayed(),
+		StoredBytes:   c.StoredBytes(),
 	}
 }
 
@@ -83,6 +118,17 @@ type NodeStats struct {
 	Matched   uint64
 	Forwarded uint64
 	Delivered uint64
+	// Dropped counts messages lost at this node: events bound for a
+	// saturated peer's outbound queue in the networked broker, or events
+	// evicted from a bounded in-memory durable backlog.
+	Dropped uint64
+	// StoreAppended, StoreReplayed and StoredBytes describe the node's
+	// durable-store traffic: events persisted for detached durable
+	// subscriptions, events replayed from the store on Resume or after a
+	// restart, and the bytes written doing so.
+	StoreAppended uint64
+	StoreReplayed uint64
+	StoredBytes   uint64
 }
 
 // LC returns the load complexity of the node (Section 5.1).
@@ -141,15 +187,7 @@ func (c *Collector) Snapshot() []NodeStats {
 	defer c.mu.Unlock()
 	out := make([]NodeStats, 0, len(c.nodes))
 	for id, e := range c.nodes {
-		out = append(out, NodeStats{
-			NodeID:    id,
-			Stage:     e.stage,
-			Filters:   int(e.counters.filters.Load()),
-			Received:  e.counters.received.Load(),
-			Matched:   e.counters.matched.Load(),
-			Forwarded: e.counters.forwarded.Load(),
-			Delivered: e.counters.delivered.Load(),
-		})
+		out = append(out, e.counters.Stats(id, e.stage))
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Stage != out[j].Stage {

@@ -1,0 +1,166 @@
+package overlay
+
+import (
+	"sync"
+	"testing"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/store"
+)
+
+// openStore opens a store at dir that outlives the overlay (closed by
+// cleanup, like the facade does after overlay shutdown).
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func TestDurableStorePersistsDetachedBacklog(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	sys := newStockSystem(t, Config{Seed: 25, Store: st})
+	h, err := sys.SubscribeDurable("d1",
+		filter.Subscription{filter.MustParseFilter(`class = "Stock" && symbol = "A"`)},
+		func(*event.Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := sys.Publish(stockEvent("A", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Flush()
+	if h.Backlog() != 4 {
+		t.Fatalf("backlog = %d, want 4", h.Backlog())
+	}
+	// The backlog lives in the store, not the handle.
+	if got := st.Pending("d1"); got != 4 {
+		t.Fatalf("store pending = %d, want 4", got)
+	}
+
+	var got []uint64
+	var mu sync.Mutex
+	if err := h.Resume(func(e *event.Event) {
+		mu.Lock()
+		got = append(got, e.ID)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Flush()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 4 {
+		t.Fatalf("resumed deliveries = %v, want 4", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("order violated: %v", got)
+		}
+	}
+	if st.Pending("d1") != 0 {
+		t.Fatalf("store pending after resume = %d", st.Pending("d1"))
+	}
+}
+
+// TestDroppedCounterSurfacesInStats: in-memory backlog evictions count
+// as drops in the per-node Stats snapshot (the durable store has no such
+// evictions short of retention pressure).
+func TestDroppedCounterSurfacesInStats(t *testing.T) {
+	sys := newStockSystem(t, Config{Seed: 27, DurableBuffer: 3})
+	h, err := sys.SubscribeDurable("d1",
+		filter.Subscription{filter.MustParseFilter(`class = "Stock" && symbol = "A"`)},
+		func(*event.Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := sys.Publish(stockEvent("A", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Flush()
+	var found bool
+	for _, st := range sys.Stats() {
+		if st.NodeID == "d1" {
+			found = true
+			if st.Dropped != 7 {
+				t.Fatalf("Dropped = %d, want 7", st.Dropped)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no stats entry for d1")
+	}
+}
+
+// TestDurableStoreRecoversAcrossOverlayRestart is the overlay-level
+// restart story: a second overlay on the same store sees the first one's
+// backlog and starts the re-subscription detached.
+func TestDurableStoreRecoversAcrossOverlayRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := newStockSystem(t, Config{Seed: 26, Store: st})
+	h, err := sys.SubscribeDurable("d1",
+		filter.Subscription{filter.MustParseFilter(`class = "Stock" && symbol = "A"`)},
+		func(*event.Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := sys.Publish(stockEvent("A", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Flush()
+	sys.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir)
+	sys2 := newStockSystem(t, Config{Seed: 26, Store: st2})
+	h2, err := sys2.SubscribeDurable("d1",
+		filter.Subscription{filter.MustParseFilter(`class = "Stock" && symbol = "A"`)},
+		func(*event.Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Backlog() != 3 {
+		t.Fatalf("recovered backlog = %d, want 3", h2.Backlog())
+	}
+	var count int
+	var mu sync.Mutex
+	if err := h2.Resume(func(*event.Event) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys2.Flush()
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 3 {
+		t.Fatalf("replayed %d, want 3", count)
+	}
+}

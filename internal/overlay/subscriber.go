@@ -27,6 +27,12 @@ type Handler func(*event.Event)
 // events for temporarily disconnected subscribers with durable
 // subscriptions" (Section 2.1). Resume drains the backlog in FIFO order
 // and goes live again.
+//
+// With a Config.Store, the backlog is persisted: detached-period events
+// are appended to the durable store and survive a process restart. A
+// SubscribeDurable whose ID has a stored backlog starts detached, so the
+// recovered events replay (in order, before any live event) on the next
+// Resume.
 type Handle struct {
 	id       routing.NodeID
 	original filter.Subscription
@@ -42,6 +48,11 @@ type Handle struct {
 	detached bool
 	backlog  []*event.Event
 	backCap  int
+	// storeBroken is set when a store append fails mid-detachment: all
+	// later events of this detachment go to the in-memory backlog so the
+	// drain (store first, then memory) still delivers in publish order.
+	// Cleared by the next successful drain.
+	storeBroken bool
 
 	ch       chan delivery
 	stopOnce sync.Once
@@ -103,6 +114,18 @@ func (s *System) subscribe(id string, sub filter.Subscription, handler Handler, 
 		backCap:  s.cfg.DurableBuffer,
 		ch:       make(chan delivery, s.cfg.DeliveryBuffer),
 		done:     make(chan struct{}),
+	}
+	if durable && s.cfg.Store != nil {
+		pending, existed, err := s.cfg.Store.Register(id)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		// A recovered subscription with a stored backlog starts detached:
+		// the backlog replays ahead of live traffic on the next Resume.
+		if existed && pending > 0 {
+			h.detached = true
+		}
 	}
 	s.subs[sid] = h
 	s.mu.Unlock()
@@ -209,18 +232,34 @@ func (h *Handle) loop() {
 	}
 }
 
-// consume handles one incoming event: buffer when detached, otherwise
-// filter perfectly and deliver.
+// consume handles one incoming event: buffer when detached (to the
+// durable store when configured, else process memory), otherwise filter
+// perfectly and deliver.
 func (h *Handle) consume(ev *event.Event, counters *metrics.Counters) {
 	h.mu.Lock()
 	if h.detached {
-		if h.backCap > 0 && len(h.backlog) >= h.backCap {
-			// Bounded store: oldest events give way (the paper leaves
-			// the durable store unbounded; production cannot).
-			h.backlog = h.backlog[1:]
-			h.dropped.Add(1)
+		// The Known guard stops an in-flight event racing Unsubscribe
+		// from resurrecting a just-Forgotten cursor (which nothing would
+		// ever Forget again, pinning segments forever).
+		if st := h.sys.cfg.Store; st != nil && !h.storeBroken && st.Known(string(h.id)) {
+			h.mu.Unlock()
+			if _, n, err := st.Append(string(h.id), ev); err == nil {
+				counters.AddStoreAppended(1)
+				counters.AddStoredBytes(uint64(n))
+			} else {
+				// The store failed (disk full, closed mid-shutdown):
+				// fall back to the in-memory backlog rather than lose
+				// the event while the process lives — and keep using it
+				// for the rest of this detachment, so the drain (store
+				// first, then memory) preserves publish order.
+				h.mu.Lock()
+				h.storeBroken = true
+				h.bufferLocked(ev, counters)
+				h.mu.Unlock()
+			}
+			return
 		}
-		h.backlog = append(h.backlog, ev)
+		h.bufferLocked(ev, counters)
 		h.mu.Unlock()
 		return
 	}
@@ -229,7 +268,21 @@ func (h *Handle) consume(ev *event.Event, counters *metrics.Counters) {
 	h.deliverOne(ev, handler, counters)
 }
 
-// drainBacklog processes the durable backlog in FIFO order and goes live.
+// bufferLocked appends to the bounded in-memory backlog; the caller holds
+// h.mu.
+func (h *Handle) bufferLocked(ev *event.Event, counters *metrics.Counters) {
+	if h.backCap > 0 && len(h.backlog) >= h.backCap {
+		// Bounded store: oldest events give way (the paper leaves
+		// the durable store unbounded; production cannot).
+		h.backlog = h.backlog[1:]
+		h.dropped.Add(1)
+		counters.AddDropped(1)
+	}
+	h.backlog = append(h.backlog, ev)
+}
+
+// drainBacklog processes the durable backlog — stored events first, then
+// any in-memory overflow — in FIFO order and goes live.
 func (h *Handle) drainBacklog(counters *metrics.Counters) {
 	h.mu.Lock()
 	backlog := h.backlog
@@ -237,9 +290,37 @@ func (h *Handle) drainBacklog(counters *metrics.Counters) {
 	h.detached = false
 	handler := h.handler
 	h.mu.Unlock()
+	if st := h.sys.cfg.Store; st != nil && h.durable {
+		// Replay the persisted backlog. Only this goroutine consumes for
+		// this handle, so no new events interleave until the drain ends;
+		// a failed replay leaves the rest pending for the next Resume.
+		n, err := st.Replay(string(h.id), func(ev *event.Event) bool {
+			h.deliverOne(ev, handler, counters)
+			return true
+		})
+		if n > 0 {
+			counters.AddStoreReplayed(uint64(n))
+		}
+		if err != nil {
+			// The drain failed partway: going live now would deliver new
+			// events ahead of the stranded older ones. Stay detached —
+			// the backlog keeps accumulating and the next Resume retries.
+			h.mu.Lock()
+			h.detached = true
+			h.backlog = append(backlog, h.backlog...)
+			h.mu.Unlock()
+			return
+		}
+	}
+	// Then any in-memory overflow from a store-failure window: those
+	// events are strictly newer than everything in the store (consume
+	// stops using the store for the rest of the detachment on failure).
 	for _, ev := range backlog {
 		h.deliverOne(ev, handler, counters)
 	}
+	h.mu.Lock()
+	h.storeBroken = false
+	h.mu.Unlock()
 }
 
 func (h *Handle) deliverOne(ev *event.Event, handler Handler, counters *metrics.Counters) {
@@ -320,11 +401,15 @@ func (h *Handle) Resume(handler Handler) error {
 }
 
 // Backlog reports the number of events currently stored for a detached
-// durable subscription.
+// durable subscription (persisted events plus any in-memory overflow).
 func (h *Handle) Backlog() int {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.backlog)
+	mem := len(h.backlog)
+	h.mu.Unlock()
+	if st := h.sys.cfg.Store; st != nil && h.durable {
+		return st.Pending(string(h.id)) + mem
+	}
+	return mem
 }
 
 // Dropped reports events evicted from a full durable backlog.
@@ -345,6 +430,11 @@ func (h *Handle) Unsubscribe() error {
 	h.sys.mu.Lock()
 	delete(h.sys.subs, h.id)
 	h.sys.mu.Unlock()
+	if st := h.sys.cfg.Store; st != nil && h.durable {
+		// Drop the durable cursor: an unsubscribed identity has no claim
+		// on its stored backlog, and forgetting it unpins compaction.
+		st.Forget(string(h.id))
+	}
 	h.stop()
 	// Wait for the broker to process the removal so no further
 	// deliveries race into a stopped runtime.

@@ -13,6 +13,7 @@ import (
 	"eventsys/internal/index"
 	"eventsys/internal/metrics"
 	"eventsys/internal/routing"
+	"eventsys/internal/store"
 	"eventsys/internal/typing"
 	"eventsys/internal/weaken"
 )
@@ -38,8 +39,15 @@ type Config struct {
 	DeliveryBuffer int
 	// DurableBuffer bounds the per-subscriber backlog stored while a
 	// durable subscription is detached (default 4096; oldest events are
-	// evicted beyond it).
+	// evicted beyond it). Ignored when Store is set: the store's own
+	// retention policy bounds the persisted backlog instead.
 	DurableBuffer int
+	// Store, when non-nil, persists durable-subscription backlogs to disk
+	// instead of process memory: events arriving while a durable handle
+	// is detached are appended to the store, survive a process restart,
+	// and replay in order on Resume. The caller owns the store and closes
+	// it after the overlay shuts down.
+	Store *store.Store
 	// Seed drives placement randomness deterministically.
 	Seed uint64
 }
@@ -246,7 +254,24 @@ func (a *actor) handle(m message) {
 			}
 		}
 	case sweepMsg:
-		a.node.Sweep(msg.now)
+		removed := a.node.Sweep(msg.now)
+		// Drop durable cursors of expired subscribers that no longer
+		// have a live handle — an abandoned subscription must not pin
+		// stored segments forever. Live handles keep their cursors (the
+		// subscriber may still Resume; Maintain renews it).
+		if st := a.sys.cfg.Store; st != nil && len(removed) > 0 {
+			var gone []routing.NodeID
+			a.sys.mu.RLock()
+			for _, id := range removed {
+				if _, live := a.sys.subs[id]; !live {
+					gone = append(gone, id)
+				}
+			}
+			a.sys.mu.RUnlock()
+			for _, id := range gone {
+				st.Forget(string(id))
+			}
+		}
 	case flushMsg:
 		for _, child := range a.node.Children() {
 			fm := flushMsg{ack: msg.ack}

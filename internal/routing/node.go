@@ -262,9 +262,9 @@ func (n *Node) HandleUnsubscribe(f *filter.Filter, id NodeID) {
 }
 
 // Sweep expires stale associations; it returns the number removed.
-func (n *Node) Sweep(now time.Time) int {
+func (n *Node) Sweep(now time.Time) []NodeID {
 	removed := n.table.Sweep(now)
-	if removed > 0 {
+	if len(removed) > 0 {
 		n.counters.SetFilters(n.table.Len())
 	}
 	return removed

@@ -232,21 +232,21 @@ func TestRenewalKeepsSubscriptionAlive(t *testing.T) {
 
 	// Before 3×TTL the lease is alive.
 	h.now = t0.Add(2 * time.Minute)
-	if removed := node.Sweep(h.now); removed != 0 {
-		t.Fatalf("premature expiry: %d removed", removed)
+	if removed := node.Sweep(h.now); len(removed) != 0 {
+		t.Fatalf("premature expiry: %v removed", removed)
 	}
 	// Renewal extends the lease past the original deadline.
 	if !node.HandleRenew(stored, "s1", h.now) {
 		t.Fatal("renewal rejected for live association")
 	}
 	h.now = t0.Add(4 * time.Minute) // original deadline (3m) passed
-	if removed := node.Sweep(h.now); removed != 0 {
-		t.Fatalf("renewed lease expired early: %d removed", removed)
+	if removed := node.Sweep(h.now); len(removed) != 0 {
+		t.Fatalf("renewed lease expired early: %v removed", removed)
 	}
 	// Without further renewals the association dies at 2m+3m.
 	h.now = t0.Add(6 * time.Minute)
-	if removed := node.Sweep(h.now); removed != 1 {
-		t.Fatalf("expired lease not removed: %d", removed)
+	if removed := node.Sweep(h.now); len(removed) != 1 {
+		t.Fatalf("expired lease not removed: %v", removed)
 	}
 	if node.Table().Len() != 0 {
 		t.Error("table not empty after expiry")
@@ -373,8 +373,8 @@ func TestZeroTTLMeansNoExpiry(t *testing.T) {
 	h := newHierarchy(t, stockWeakener(t), 0)
 	node := h.subscribe(t, "s1", filter.MustParseFilter(`class = "Stock" && symbol = "DEF"`))
 	h.now = t0.Add(24 * 365 * time.Hour)
-	if removed := node.Sweep(h.now); removed != 0 {
-		t.Errorf("zero TTL expired %d associations", removed)
+	if removed := node.Sweep(h.now); len(removed) != 0 {
+		t.Errorf("zero TTL expired %v associations", removed)
 	}
 }
 
@@ -421,11 +421,11 @@ func TestTableSweepBoundary(t *testing.T) {
 	tab := NewTable(nil)
 	f := filter.MustParseFilter(`x = 1`)
 	tab.Insert(f, "a", t0.Add(time.Minute))
-	if n := tab.Sweep(t0.Add(time.Minute - time.Nanosecond)); n != 0 {
-		t.Errorf("swept %d before expiry", n)
+	if n := tab.Sweep(t0.Add(time.Minute - time.Nanosecond)); len(n) != 0 {
+		t.Errorf("swept %v before expiry", n)
 	}
-	if n := tab.Sweep(t0.Add(time.Minute)); n != 1 {
-		t.Errorf("sweep at expiry = %d, want 1", n)
+	if n := tab.Sweep(t0.Add(time.Minute)); len(n) != 1 {
+		t.Errorf("sweep at expiry = %v, want 1", n)
 	}
 }
 

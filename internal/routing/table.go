@@ -89,16 +89,17 @@ func (t *Table) Remove(f *filter.Filter, id NodeID) {
 }
 
 // Sweep removes every association whose lease expired at or before now
-// and returns the number of associations removed.
-func (t *Table) Sweep(now time.Time) int {
-	removed := 0
+// and returns the IDs removed (with duplicates when an ID held several
+// filters).
+func (t *Table) Sweep(now time.Time) []NodeID {
+	var removed []NodeID
 	for key, ids := range t.leases {
 		f := t.filters[key]
 		for id, expiry := range ids {
 			if !expiry.After(now) {
 				delete(ids, id)
 				t.engine.Remove(f, string(id))
-				removed++
+				removed = append(removed, id)
 			}
 		}
 		if len(ids) == 0 {
@@ -137,6 +138,16 @@ func (t *Table) Filters() []*filter.Filter {
 
 // Len reports the number of distinct stored filters.
 func (t *Table) Len() int { return len(t.filters) }
+
+// HasID reports whether any stored filter is still associated with id.
+func (t *Table) HasID(id NodeID) bool {
+	for _, ids := range t.leases {
+		if _, ok := ids[id]; ok {
+			return true
+		}
+	}
+	return false
+}
 
 // IDsFor returns the IDs associated with the filter, sorted.
 func (t *Table) IDsFor(f *filter.Filter) []NodeID {

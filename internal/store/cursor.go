@@ -1,0 +1,111 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// cursorsFile holds the per-subscription durable cursors: for each
+// subscription id, the next sequence number to replay (everything below
+// it has been consumed). The file is rewritten atomically (temp file +
+// rename) and checksummed; a missing or corrupt file degrades to empty
+// cursors, i.e. replay from the start of the retained log —
+// at-least-once rather than data loss.
+const cursorsFile = "CURSORS"
+
+var cursorsMagic = []byte("EVCU")
+
+func encodeCursors(cursors map[string]uint64) []byte {
+	ids := make([]string, 0, len(cursors))
+	for id := range cursors {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	b := append([]byte(nil), cursorsMagic...)
+	b = binary.AppendUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		b = binary.AppendUvarint(b, uint64(len(id)))
+		b = append(b, id...)
+		b = binary.AppendUvarint(b, cursors[id])
+	}
+	return binary.BigEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
+}
+
+func decodeCursors(b []byte) (map[string]uint64, error) {
+	if len(b) < len(cursorsMagic)+4 || string(b[:4]) != string(cursorsMagic) {
+		return nil, fmt.Errorf("store: bad cursors header")
+	}
+	body, sum := b[:len(b)-4], binary.BigEndian.Uint32(b[len(b)-4:])
+	if crc32.Checksum(body, castagnoli) != sum {
+		return nil, fmt.Errorf("store: cursors CRC mismatch")
+	}
+	body = body[len(cursorsMagic):]
+	count, n := binary.Uvarint(body)
+	if n <= 0 {
+		return nil, fmt.Errorf("store: bad cursors count")
+	}
+	body = body[n:]
+	out := make(map[string]uint64, count)
+	for i := uint64(0); i < count; i++ {
+		idLen, n := binary.Uvarint(body)
+		if n <= 0 || uint64(len(body)-n) < idLen {
+			return nil, fmt.Errorf("store: bad cursor id")
+		}
+		id := string(body[n : n+int(idLen)])
+		body = body[n+int(idLen):]
+		seq, n := binary.Uvarint(body)
+		if n <= 0 {
+			return nil, fmt.Errorf("store: bad cursor seq")
+		}
+		body = body[n:]
+		out[id] = seq
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("store: %d trailing cursor bytes", len(body))
+	}
+	return out, nil
+}
+
+// loadCursors reads the cursor snapshot. ok reports whether a valid
+// snapshot was found; absence or corruption yields an empty map and
+// false, telling recovery to re-derive cursors from the log itself.
+func loadCursors(dir string) (cursors map[string]uint64, ok bool) {
+	b, err := os.ReadFile(filepath.Join(dir, cursorsFile))
+	if err != nil {
+		return map[string]uint64{}, false
+	}
+	cur, err := decodeCursors(b)
+	if err != nil {
+		return map[string]uint64{}, false
+	}
+	return cur, true
+}
+
+// saveCursors atomically replaces the cursor snapshot.
+func saveCursors(dir string, cursors map[string]uint64) error {
+	tmp := filepath.Join(dir, cursorsFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: write cursors: %w", err)
+	}
+	if _, err := f.Write(encodeCursors(cursors)); err != nil {
+		f.Close()
+		return fmt.Errorf("store: write cursors: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: sync cursors: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: close cursors: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, cursorsFile)); err != nil {
+		return fmt.Errorf("store: install cursors: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}

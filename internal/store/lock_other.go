@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// lockDir is a no-op on platforms without flock: the store still works,
+// but double-opening the same directory is not detected.
+func lockDir(dir string) (*os.File, error) { return nil, nil }

@@ -1,0 +1,316 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"eventsys/internal/event"
+)
+
+// segFiles returns the store directory's segment paths ordered by base.
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*"+segExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(files)
+	return files
+}
+
+// writeBacklog opens a store at dir, appends n events for sub "w" and
+// closes it cleanly without consuming anything.
+func writeBacklog(t *testing.T, dir string, n int, opts Options) {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Register("w"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, _, err := s.Append("w", testEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// replayAll reopens dir and returns the replayed "n" attribute values.
+func replayAll(t *testing.T, dir string) []int64 {
+	t.Helper()
+	s := openTest(t, dir, Options{})
+	var got []int64
+	if _, err := s.Replay("w", func(e *event.Event) bool {
+		v, _ := e.Lookup("n")
+		got = append(got, v.IntVal())
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestTornTailTruncatedAtEveryOffset simulates a crash mid-append at
+// every byte offset of the final segment: the reopened store must replay
+// exactly the intact record prefix, in order, and discard the torn tail.
+func TestTornTailTruncatedAtEveryOffset(t *testing.T) {
+	master := t.TempDir()
+	writeBacklog(t, master, 12, Options{})
+	segs := segFiles(t, master)
+	if len(segs) != 1 {
+		t.Fatalf("want a single segment, got %d", len(segs))
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record boundaries of the intact file.
+	boundaries := map[int64]int{} // offset -> records wholly before it
+	off, count := 0, 0
+	for off < len(data) {
+		boundaries[int64(off)] = count
+		_, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += n
+		count++
+	}
+	boundaries[int64(len(data))] = count
+
+	for cut := int64(0); cut <= int64(len(data)); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(segs[0])), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Intact records = records wholly before the largest boundary ≤ cut.
+		wantRecords := 0
+		for b, n := range boundaries {
+			if b <= cut && n > wantRecords {
+				wantRecords = n
+			}
+		}
+		got := replayAll(t, dir)
+		if len(got) != wantRecords {
+			t.Fatalf("cut at %d: replayed %d records, want %d", cut, len(got), wantRecords)
+		}
+		for i, v := range got {
+			if v != int64(i) {
+				t.Fatalf("cut at %d: replay out of order: %v", cut, got)
+			}
+		}
+	}
+}
+
+// TestCorruptedByteDiscardsSuffix flips one byte inside a record body:
+// recovery must keep the records before it and discard it and everything
+// after (the CRC catches the corruption).
+func TestCorruptedByteDiscardsSuffix(t *testing.T) {
+	dir := t.TempDir()
+	writeBacklog(t, dir, 10, Options{})
+	seg := segFiles(t, dir)[0]
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the 6th record's body and flip a byte in it.
+	off := 0
+	for i := 0; i < 5; i++ {
+		_, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	data[off+recordHeader] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, dir)
+	if len(got) != 5 {
+		t.Fatalf("replayed %d records after corruption, want the 5 intact ones", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("intact prefix out of order: %v", got)
+		}
+	}
+}
+
+// TestTornMiddleSegmentDropsLaterSegments: a torn record in a non-final
+// segment truncates there AND removes every later segment, keeping the
+// log a contiguous prefix.
+func TestTornMiddleSegmentDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	writeBacklog(t, dir, 60, Options{SegmentBytes: 256})
+	segs := segFiles(t, dir)
+	if len(segs) < 3 {
+		t.Fatalf("want ≥ 3 segments, got %d", len(segs))
+	}
+	// Tear the middle segment in half.
+	mid := segs[len(segs)/2]
+	data, err := os.ReadFile(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mid, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, dir)
+	if len(got) == 0 || len(got) >= 60 {
+		t.Fatalf("replayed %d records, want a proper prefix", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("prefix out of order: %v", got)
+		}
+	}
+	// Later segments are gone from disk.
+	for _, f := range segFiles(t, dir) {
+		if f > mid {
+			t.Fatalf("segment %s should have been removed", filepath.Base(f))
+		}
+	}
+}
+
+// TestRecoveryAcrossManySegments tears the final segment at several
+// offsets with a multi-segment log: earlier segments replay whole.
+func TestRecoveryAcrossManySegments(t *testing.T) {
+	master := t.TempDir()
+	writeBacklog(t, master, 60, Options{SegmentBytes: 512})
+	segs := segFiles(t, master)
+	if len(segs) < 2 {
+		t.Fatalf("want multiple segments, got %d", len(segs))
+	}
+	last := segs[len(segs)-1]
+	lastData, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0, 0.33, 0.71, 1} {
+		cut := int64(frac * float64(len(lastData)))
+		dir := t.TempDir()
+		for _, f := range segs[:len(segs)-1] {
+			b, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, filepath.Base(f)), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(last)), lastData[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := replayAll(t, dir)
+		if len(got) == 0 {
+			t.Fatalf("cut %.2f: nothing replayed", frac)
+		}
+		for i, v := range got {
+			if v != int64(i) {
+				t.Fatalf("cut %.2f: replay out of order: %v", frac, got)
+			}
+		}
+	}
+}
+
+// TestCursorBeyondTruncatedLogIsClamped: a cursor snapshot can outlive
+// the log tail it refers to (cursors fsync on save; segments may not,
+// under SyncEvery<0). Recovery must clamp such cursors to the recovered
+// end, or post-recovery appends land below the cursor — invisible to
+// Replay and eligible for compaction.
+func TestCursorBeyondTruncatedLogIsClamped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Register("w"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, _, err := s.Append("w", testEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Replay("w", func(*event.Event) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // cursor = 7 persisted
+		t.Fatal(err)
+	}
+	// Lose the last two records (power failure took the tail but the
+	// cursor snapshot survived).
+	seg := segFiles(t, dir)[0]
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := 0
+	for i := 0; i < 4; i++ {
+		_, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	if err := os.WriteFile(seg, data[:off], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openTest(t, dir, Options{})
+	// New appends must be replayable despite the stale high cursor.
+	if _, _, err := re.Append("w", testEvent(100)); err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	if _, err := re.Replay("w", func(e *event.Event) bool {
+		v, _ := e.Lookup("n")
+		got = append(got, v.IntVal())
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 100 {
+		t.Fatalf("replayed %v, want just the new event [100]", got)
+	}
+}
+
+// TestAppendsContinueAfterRecovery: a store that truncated a torn tail
+// keeps accepting appends, and the new records replay after the intact
+// prefix.
+func TestAppendsContinueAfterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	writeBacklog(t, dir, 6, Options{})
+	seg := segFiles(t, dir)[0]
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openTest(t, dir, Options{})
+	if _, _, err := s.Append("w", testEvent(100)); err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	if _, err := s.Replay("w", func(e *event.Event) bool {
+		v, _ := e.Lookup("n")
+		got = append(got, v.IntVal())
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 1, 2, 3, 4, 100}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+}

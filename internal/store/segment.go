@@ -1,0 +1,110 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// segExt is the segment file extension.
+const segExt = ".seg"
+
+// segment is one append-only log file. base is the sequence number of the
+// first record ever appended to it; records inside are strictly
+// ascending. The highest-based segment is the active one.
+type segment struct {
+	base  uint64
+	path  string
+	size  int64
+	count int    // intact records
+	last  uint64 // seq of the last intact record; base-1 when empty
+}
+
+func segmentPath(dir string, base uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%020d%s", base, segExt))
+}
+
+// listSegments returns the segments present in dir, ordered by base
+// sequence number. Sizes and record counts are filled in by scan.
+func listSegments(dir string) ([]*segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: read dir: %w", err)
+	}
+	var segs []*segment
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, segExt) {
+			continue
+		}
+		base, err := strconv.ParseUint(strings.TrimSuffix(name, segExt), 10, 64)
+		if err != nil {
+			continue // foreign file; leave it alone
+		}
+		segs = append(segs, &segment{base: base, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].base < segs[j].base })
+	return segs, nil
+}
+
+// scan reads every record of the segment, invoking fn for each intact
+// one, and returns the byte offset of the first torn or corrupt record
+// (== file size when the whole segment is intact). Read errors other
+// than decode failures are returned as err.
+func (s *segment) scan(fn func(Record)) (goodOff int64, err error) {
+	data, err := os.ReadFile(s.path)
+	if err != nil {
+		return 0, fmt.Errorf("store: read segment: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		rec, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			return int64(off), nil
+		}
+		if fn != nil {
+			fn(rec)
+		}
+		off += n
+	}
+	return int64(off), nil
+}
+
+// recover scans the segment, truncating a torn tail in place. It updates
+// size, count and last from the intact prefix, invoking fn per record.
+func (s *segment) recover(fn func(Record)) error {
+	s.count, s.last = 0, s.base-1
+	good, err := s.scan(func(r Record) {
+		s.count++
+		s.last = r.Seq
+		if fn != nil {
+			fn(r)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	info, err := os.Stat(s.path)
+	if err != nil {
+		return fmt.Errorf("store: stat segment: %w", err)
+	}
+	if good < info.Size() {
+		if err := os.Truncate(s.path, good); err != nil {
+			return fmt.Errorf("store: truncate torn tail: %w", err)
+		}
+	}
+	s.size = good
+	return nil
+}
+
+// syncDir fsyncs a directory so segment creations and removals are
+// durable. Best-effort: some platforms reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}

@@ -1,0 +1,595 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"eventsys/internal/event"
+)
+
+// Options tune a Store.
+type Options struct {
+	// SegmentBytes rolls the active segment to a fresh file once it
+	// exceeds this many bytes (default 4 MiB). Compaction removes whole
+	// segments, so smaller segments reclaim space sooner.
+	SegmentBytes int64
+	// SyncEvery fsyncs the active segment after this many appends:
+	// 1 syncs every append (strongest durability), 0 selects the default
+	// batch of 64, negative disables explicit fsync entirely (the OS page
+	// cache decides; a power failure may lose recent appends but never
+	// corrupts the intact prefix).
+	SyncEvery int
+	// SyncInterval bounds how long a batched append may stay unsynced
+	// before the background flusher forces an fsync (default 100ms;
+	// negative disables the flusher). Ignored when SyncEvery is 1.
+	SyncInterval time.Duration
+	// MaxBytes bounds the retained log size. When appends push the total
+	// past it, the oldest segments are evicted even if not fully
+	// consumed; affected cursors skip forward and the skipped records
+	// count as Evicted. 0 means unbounded.
+	MaxBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SyncEvery == 0 {
+		o.SyncEvery = 64
+	}
+	if o.SyncInterval == 0 {
+		o.SyncInterval = 100 * time.Millisecond
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of store-wide counters.
+type Stats struct {
+	// Segments and Bytes describe the retained log.
+	Segments int
+	Bytes    int64
+	// Appended and Replayed count records since Open.
+	Appended uint64
+	Replayed uint64
+	// Evicted counts unconsumed records lost to the MaxBytes bound.
+	Evicted uint64
+	// Pending is the total backlog over all cursors.
+	Pending int
+}
+
+// Store is a durable event store: one segmented append-only log shared by
+// all durable subscriptions of a process, plus a durable cursor per
+// subscription. All methods are safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu         sync.Mutex
+	segs       []*segment // ascending base; last is active
+	active     *os.File
+	nextSeq    uint64
+	cursors    map[string]uint64 // subID -> next seq to replay
+	pending    map[string]int    // subID -> appended but unconsumed records
+	unsynced   int
+	dirty      bool // cursors changed since last save
+	appended   uint64
+	replayed   uint64
+	evicted    uint64
+	totalBytes int64
+	closed     bool
+	// recoverUnknown is set when the cursor snapshot was missing or
+	// corrupt: recovery then re-derives a cursor for every subscription
+	// found in the log (redelivery over silent loss). With an intact
+	// snapshot, log records for unknown subscriptions belong to
+	// deliberately forgotten cursors and stay forgotten.
+	recoverUnknown bool
+
+	lock *os.File // exclusive flock on dir/LOCK (nil on non-unix)
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Open opens (creating if needed) the store rooted at dir and runs crash
+// recovery: every segment is scanned, CRC-checked, and the first torn or
+// corrupt record — a crashed append — truncates the log from that point.
+// The directory is guarded by an exclusive flock: a second Open of the
+// same dir (same or another process) fails instead of corrupting the
+// log, and the lock dies with the process.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	cursors, haveSnapshot := loadCursors(dir)
+	s := &Store{
+		dir:            dir,
+		opts:           opts,
+		cursors:        cursors,
+		recoverUnknown: !haveSnapshot,
+		pending:        map[string]int{},
+		lock:           lock,
+		done:           make(chan struct{}),
+	}
+	if err := s.recover(); err != nil {
+		if lock != nil {
+			lock.Close()
+		}
+		return nil, err
+	}
+	if opts.SyncEvery != 1 && opts.SyncInterval > 0 {
+		s.wg.Add(1)
+		go s.flushLoop()
+	}
+	return s, nil
+}
+
+// recover scans all segments in order, truncating at the first framing
+// violation: a torn tail in the newest segment is the expected trace of a
+// crashed append; one in an older segment additionally discards every
+// later segment (the log is a prefix or it is nothing).
+func (s *Store) recover() error {
+	segs, err := listSegments(s.dir)
+	if err != nil {
+		return err
+	}
+	s.nextSeq = 1
+	for i := 0; i < len(segs); i++ {
+		seg := segs[i]
+		sizeBefore, _ := fileSize(seg.path)
+		if err := seg.recover(func(r Record) {
+			cur, ok := s.cursors[r.SubID]
+			if !ok && s.recoverUnknown {
+				s.cursors[r.SubID] = r.Seq
+				s.dirty = true
+				cur, ok = r.Seq, true
+			}
+			if ok && r.Seq >= cur {
+				s.pending[r.SubID]++
+			}
+		}); err != nil {
+			return err
+		}
+		torn := seg.size < sizeBefore
+		s.segs = append(s.segs, seg)
+		s.totalBytes += seg.size
+		if seg.count > 0 {
+			s.nextSeq = seg.last + 1
+		} else if seg.base > s.nextSeq {
+			s.nextSeq = seg.base
+		}
+		if torn && i < len(segs)-1 {
+			for _, later := range segs[i+1:] {
+				_ = os.Remove(later.path)
+			}
+			syncDir(s.dir)
+			break
+		}
+	}
+	// Clamp cursors to the recovered log end: truncation can leave a
+	// snapshot cursor beyond nextSeq (e.g. cursors were fsynced but the
+	// segment tail was lost), and new appends would then land below the
+	// cursor — invisible to Replay and fatally attractive to compaction.
+	for id, cur := range s.cursors {
+		if cur > s.nextSeq {
+			s.cursors[id] = s.nextSeq
+			s.dirty = true
+		}
+	}
+	// Open (or create) the active segment for appending.
+	if len(s.segs) == 0 {
+		return s.rollLocked()
+	}
+	activePath := s.segs[len(s.segs)-1].path
+	f, err := os.OpenFile(activePath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: open active segment: %w", err)
+	}
+	s.active = f
+	return nil
+}
+
+func fileSize(path string) (int64, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// rollLocked closes the active segment and starts a fresh one based at
+// nextSeq. Callers hold s.mu (or are inside Open).
+func (s *Store) rollLocked() error {
+	if s.active != nil {
+		if err := s.active.Sync(); err != nil {
+			return fmt.Errorf("store: sync segment: %w", err)
+		}
+		if err := s.active.Close(); err != nil {
+			return fmt.Errorf("store: close segment: %w", err)
+		}
+		s.active = nil
+	}
+	seg := &segment{base: s.nextSeq, path: segmentPath(s.dir, s.nextSeq), last: s.nextSeq - 1}
+	f, err := os.OpenFile(seg.path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create segment: %w", err)
+	}
+	syncDir(s.dir)
+	s.active = f
+	s.segs = append(s.segs, seg)
+	return nil
+}
+
+// Register creates the durable cursor for a subscription, placed at the
+// end of the log so only future appends count as its backlog. When the
+// cursor already exists (a subscription recovered across a restart) it is
+// left where it was; existed reports which case occurred, and pending the
+// backlog awaiting replay.
+func (s *Store) Register(subID string) (pending int, existed bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, false, fmt.Errorf("store: closed")
+	}
+	if _, ok := s.cursors[subID]; ok {
+		return s.pending[subID], true, nil
+	}
+	s.cursors[subID] = s.nextSeq
+	s.dirty = true
+	return 0, false, nil
+}
+
+// Known reports whether the subscription has a durable cursor.
+func (s *Store) Known(subID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.cursors[subID]
+	return ok
+}
+
+// Pending reports the subscription's stored backlog (appended records not
+// yet replayed).
+func (s *Store) Pending(subID string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending[subID]
+}
+
+// Forget drops the subscription's cursor and backlog accounting (its
+// records become garbage for compaction to reclaim).
+func (s *Store) Forget(subID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return // a late Forget must not touch files a new Open now owns
+	}
+	if _, ok := s.cursors[subID]; !ok {
+		return
+	}
+	delete(s.cursors, subID)
+	delete(s.pending, subID)
+	s.dirty = true
+	s.compactLocked()
+}
+
+// Append durably stores one event for the subscription, returning its
+// store-wide sequence number and the bytes written. Durability follows
+// the fsync policy: with SyncEvery=1 the record is on stable storage when
+// Append returns; batched modes bound the exposure window by SyncEvery
+// and SyncInterval.
+func (s *Store) Append(subID string, ev *event.Event) (seq uint64, n int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, 0, fmt.Errorf("store: closed")
+	}
+	seq = s.nextSeq
+	buf, err := AppendRecord(nil, Record{Seq: seq, SubID: subID, Event: ev})
+	if err != nil {
+		return 0, 0, err
+	}
+	seg := s.segs[len(s.segs)-1]
+	if seg.size > 0 && seg.size+int64(len(buf)) > s.opts.SegmentBytes {
+		if err := s.rollLocked(); err != nil {
+			return 0, 0, err
+		}
+		seg = s.segs[len(s.segs)-1]
+	}
+	if _, err := s.active.Write(buf); err != nil {
+		// A partial write leaves torn bytes at the tail that would
+		// swallow every later append (scan stops at the first bad
+		// record). Cut the file back to the last good record; if even
+		// that fails, roll to a fresh segment so the log stays clean.
+		if terr := s.active.Truncate(seg.size); terr != nil {
+			if rerr := s.rollLocked(); rerr != nil {
+				return 0, 0, fmt.Errorf("store: append failed and segment unrecoverable: %w", err)
+			}
+		}
+		return 0, 0, fmt.Errorf("store: append: %w", err)
+	}
+	s.nextSeq++
+	seg.size += int64(len(buf))
+	seg.count++
+	seg.last = seq
+	s.totalBytes += int64(len(buf))
+	s.appended++
+	if _, ok := s.cursors[subID]; !ok {
+		// Implicit registration: the record must stay replayable.
+		s.cursors[subID] = seq
+		s.dirty = true
+	}
+	s.pending[subID]++
+	s.unsynced++
+	if s.opts.SyncEvery > 0 && s.unsynced >= s.opts.SyncEvery {
+		if err := s.syncLocked(); err != nil {
+			return 0, 0, err
+		}
+	}
+	if s.opts.MaxBytes > 0 && s.totalBytes > s.opts.MaxBytes {
+		s.enforceRetentionLocked()
+	}
+	return seq, len(buf), nil
+}
+
+// Replay delivers the subscription's stored backlog to fn in append
+// order, advances its cursor past everything delivered, and compacts any
+// segment that became fully consumed. fn returns whether to continue: on
+// false the replay stops and the undelivered remainder stays pending for
+// the next Replay. It returns the number of events replayed. Appends
+// racing with a replay are not delivered; they too remain pending.
+func (s *Store) Replay(subID string, fn func(*event.Event) bool) (int, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("store: closed")
+	}
+	cursor, ok := s.cursors[subID]
+	if !ok || s.pending[subID] == 0 {
+		s.mu.Unlock()
+		return 0, nil
+	}
+	end := s.nextSeq // replay [cursor, end)
+	var paths []string
+	for _, seg := range s.segs {
+		if seg.count > 0 && seg.last >= cursor {
+			paths = append(paths, seg.path)
+		}
+	}
+	// No pre-scan fsync needed: os.ReadFile goes through the page cache,
+	// which sees every same-process write immediately.
+	s.mu.Unlock()
+
+	var seqs []uint64 // delivered records, ascending
+	stopped := false
+	for _, path := range paths {
+		if stopped {
+			break
+		}
+		seg := &segment{path: path}
+		if _, err := seg.scan(func(r Record) {
+			if stopped || r.SubID != subID || r.Seq < cursor || r.Seq >= end {
+				return
+			}
+			if !fn(r.Event) {
+				stopped = true
+				return
+			}
+			seqs = append(seqs, r.Seq)
+		}); err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue // segment evicted mid-replay; its records are gone
+			}
+			return len(seqs), err
+		}
+	}
+	count := len(seqs)
+	newCursor := end
+	if stopped {
+		newCursor = cursor
+		if count > 0 {
+			newCursor = seqs[count-1] + 1
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		// Close raced the scan: the flock is released and another Open
+		// may own the directory now. The events were delivered, but the
+		// cursor cannot advance — they stay pending (at-least-once).
+		return count, nil
+	}
+	if cur, ok := s.cursors[subID]; ok && newCursor > cur {
+		// A concurrent MaxBytes eviction may have advanced the cursor
+		// and decremented pending for records we also delivered; only
+		// deliveries at or beyond the current cursor are ours to count.
+		mine := sort.Search(count, func(i int) bool { return seqs[i] >= cur })
+		s.cursors[subID] = newCursor
+		s.pending[subID] -= count - mine
+		if s.pending[subID] < 0 {
+			s.pending[subID] = 0
+		}
+		s.dirty = true
+	}
+	s.replayed += uint64(count)
+	s.compactLocked()
+	if s.opts.SyncEvery == 1 {
+		if err := s.syncLocked(); err != nil {
+			return count, err
+		}
+	}
+	return count, nil
+}
+
+// compactLocked removes leading segments every cursor has fully
+// consumed. The active segment always stays. A cursor with no pending
+// records owns nothing in [cursor, nextSeq), so it first advances to the
+// log end rather than pinning segments full of other subscriptions'
+// records.
+func (s *Store) compactLocked() {
+	for id, cur := range s.cursors {
+		if s.pending[id] == 0 && cur < s.nextSeq {
+			s.cursors[id] = s.nextSeq
+			s.dirty = true
+		}
+	}
+	min := s.nextSeq
+	for _, cur := range s.cursors {
+		if cur < min {
+			min = cur
+		}
+	}
+	removed := false
+	for len(s.segs) > 1 {
+		seg := s.segs[0]
+		if seg.count > 0 && seg.last >= min {
+			break
+		}
+		_ = os.Remove(seg.path)
+		s.totalBytes -= seg.size
+		s.segs = s.segs[1:]
+		removed = true
+	}
+	if removed {
+		syncDir(s.dir)
+	}
+}
+
+// enforceRetentionLocked evicts the oldest segments until the log fits
+// MaxBytes, skipping affected cursors forward over the records they lose.
+func (s *Store) enforceRetentionLocked() {
+	for len(s.segs) > 1 && s.totalBytes > s.opts.MaxBytes {
+		seg := s.segs[0]
+		_, _ = seg.scan(func(r Record) {
+			if cur, ok := s.cursors[r.SubID]; ok && r.Seq >= cur {
+				s.cursors[r.SubID] = r.Seq + 1
+				s.dirty = true
+				if s.pending[r.SubID] > 0 {
+					s.pending[r.SubID]--
+				}
+				s.evicted++
+			}
+		})
+		_ = os.Remove(seg.path)
+		s.totalBytes -= seg.size
+		s.segs = s.segs[1:]
+	}
+	syncDir(s.dir)
+}
+
+// syncLocked flushes the active segment (per policy) and persists dirty
+// cursors.
+func (s *Store) syncLocked() error {
+	if s.unsynced > 0 && s.opts.SyncEvery > 0 {
+		if err := s.active.Sync(); err != nil {
+			return fmt.Errorf("store: fsync: %w", err)
+		}
+	}
+	s.unsynced = 0
+	if s.dirty {
+		if err := saveCursors(s.dir, s.cursors); err != nil {
+			return err
+		}
+		s.dirty = false
+	}
+	return nil
+}
+
+// Sync forces an fsync of outstanding appends and a cursor snapshot,
+// regardless of the batching policy.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if s.unsynced > 0 {
+		if err := s.active.Sync(); err != nil {
+			return fmt.Errorf("store: fsync: %w", err)
+		}
+		s.unsynced = 0
+	}
+	if s.dirty {
+		if err := saveCursors(s.dir, s.cursors); err != nil {
+			return err
+		}
+		s.dirty = false
+	}
+	return nil
+}
+
+// flushLoop is the background fsync batcher: it bounds the window during
+// which an acknowledged append can be lost to a crash.
+func (s *Store) flushLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			if !s.closed && (s.unsynced > 0 || s.dirty) {
+				_ = s.syncLocked()
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Segments: len(s.segs),
+		Bytes:    s.totalBytes,
+		Appended: s.appended,
+		Replayed: s.replayed,
+		Evicted:  s.evicted,
+	}
+	for _, n := range s.pending {
+		st.Pending += n
+	}
+	return st
+}
+
+// Close flushes everything (appends and cursors) and releases the store.
+// A clean Close followed by Open loses nothing and replays nothing twice.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.done)
+	var err error
+	if s.unsynced > 0 {
+		err = s.active.Sync()
+		s.unsynced = 0
+	}
+	if s.dirty {
+		if e := saveCursors(s.dir, s.cursors); err == nil {
+			err = e
+		}
+		s.dirty = false
+	}
+	if e := s.active.Close(); err == nil {
+		err = e
+	}
+	if s.lock != nil {
+		_ = s.lock.Close() // releases the flock
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
