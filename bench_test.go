@@ -179,21 +179,27 @@ func BenchmarkPrefilterAblation(b *testing.B) {
 }
 
 // BenchmarkMatchingEngines contrasts the naive Figure 6 table with the
-// counting index across subscription populations (A3): matching cost per
-// event.
+// counting index and the sharded parallel engine across subscription
+// populations (A3): matching cost per event. The sharded engine is
+// measured on its batch path (batches of 64, its deployment shape; see
+// BenchmarkShardedMatch in internal/index for the shard-scaling curve).
 func BenchmarkMatchingEngines(b *testing.B) {
+	const batch = 64
 	for _, filters := range []int{100, 1000, 5000} {
-		for _, engineName := range []string{"naive", "counting"} {
+		for _, engineName := range []string{"naive", "counting", "sharded"} {
 			b.Run(fmt.Sprintf("%s/filters=%d", engineName, filters), func(b *testing.B) {
 				bib, err := workload.NewBiblio(7, workload.DefaultBiblio())
 				if err != nil {
 					b.Fatal(err)
 				}
 				var eng index.Engine
-				if engineName == "naive" {
+				switch engineName {
+				case "naive":
 					eng = index.NewNaiveTable(nil)
-				} else {
+				case "counting":
 					eng = index.NewCountingTable(nil)
+				default:
+					eng = index.NewSharded(nil, 0)
 				}
 				for i := 0; i < filters; i++ {
 					eng.Insert(bib.Subscription(0.1, true), fmt.Sprintf("id%d", i))
@@ -203,6 +209,16 @@ func BenchmarkMatchingEngines(b *testing.B) {
 					events[i] = bib.Event()
 				}
 				b.ResetTimer()
+				if engineName == "sharded" {
+					n := 0
+					for b.Loop() {
+						off := n % (len(events) - batch)
+						index.MatchEach(eng, events[off:off+batch])
+						n += batch
+					}
+					b.ReportMetric(float64(batch), "events/op")
+					return
+				}
 				i := 0
 				for b.Loop() {
 					eng.Match(events[i%len(events)])
@@ -397,6 +413,51 @@ func BenchmarkOverlayThroughput(b *testing.B) {
 		}
 	}
 	sys.Flush()
+}
+
+// BenchmarkOverlayBatchThroughput measures end-to-end events/sec through
+// the batched publish pipeline: sharded matching at every broker, 512
+// subscribers, publishes coalesced into batches of up to 256 as the
+// actors drain their mailboxes.
+func BenchmarkOverlayBatchThroughput(b *testing.B) {
+	sys, err := New(Options{
+		Fanouts:  []int{1, 4, 16},
+		Seed:     1,
+		Engine:   EngineSharded,
+		MaxBatch: 256,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.Advertise("Stock", "symbol", "price"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 512; i++ {
+		_, err := sys.Subscribe(fmt.Sprintf("s%d", i),
+			fmt.Sprintf(`class = "Stock" && symbol = "S%d"`, i%64),
+			func(*Event) {})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	b.ResetTimer()
+	for b.Loop() {
+		e := NewEvent("Stock").Str("symbol", fmt.Sprintf("S%d", rng.IntN(128))).
+			Float("price", rng.Float64()*100).Build()
+		if err := sys.Publish(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sys.Flush()
+	b.StopTimer()
+	// Report the achieved coalescing at the root broker.
+	for _, st := range sys.Stats() {
+		if st.Stage == 3 && st.BatchesMatched > 0 {
+			b.ReportMetric(float64(st.BatchSizeSum)/float64(st.BatchesMatched), "avgbatch")
+		}
+	}
 }
 
 // BenchmarkMeshRouting measures event routing through the

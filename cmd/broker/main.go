@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"eventsys/internal/broker"
+	"eventsys/internal/index"
 )
 
 func main() {
@@ -36,7 +37,10 @@ func run(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:7001", "TCP listen address")
 	parent := fs.String("parent", "", "parent broker address (empty = root)")
 	ttl := fs.Duration("ttl", time.Minute, "subscription lease TTL (0 = never expire)")
-	counting := fs.Bool("counting", false, "use the counting matching engine")
+	engine := fs.String("engine", "naive", "matching engine: naive, counting, or sharded")
+	counting := fs.Bool("counting", false, "use the counting matching engine (deprecated: use -engine counting)")
+	shards := fs.Int("shards", 0, "shard count for -engine sharded (0 = GOMAXPROCS)")
+	maxBatch := fs.Int("max-batch", 0, "events coalesced per matching pass (0 = default 64, 1 = no batching)")
 	dataDir := fs.String("data-dir", "", "durable event store directory (empty = no persistence)")
 	fsync := fs.String("fsync", "batched", "store fsync policy: batched, always, or never")
 	storeMax := fs.Int64("store-max-bytes", 0, "bound on the store's retained log (0 = unbounded)")
@@ -54,6 +58,11 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown -fsync policy %q (want batched, always, or never)", *fsync)
 	}
+	kind, err := index.ParseKind(*engine)
+	if err != nil {
+		return err
+	}
+	kind = index.KindFor(kind, *counting)
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv, err := broker.Serve(broker.ServerConfig{
 		ID:            *id,
@@ -61,7 +70,9 @@ func run(args []string) error {
 		ListenAddr:    *listen,
 		ParentAddr:    *parent,
 		TTL:           *ttl,
-		UseCounting:   *counting,
+		Engine:        kind,
+		Shards:        *shards,
+		MaxBatch:      *maxBatch,
 		Logger:        logger,
 		DataDir:       *dataDir,
 		SyncEvery:     syncEvery,

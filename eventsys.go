@@ -38,6 +38,7 @@ import (
 
 	"eventsys/internal/event"
 	"eventsys/internal/filter"
+	"eventsys/internal/index"
 	"eventsys/internal/metrics"
 	"eventsys/internal/object"
 	"eventsys/internal/overlay"
@@ -78,9 +79,26 @@ type Options struct {
 	TTL time.Duration
 	// AutoMaintain renews and sweeps leases in the background (TTL > 0).
 	AutoMaintain bool
+	// Engine selects the matching engine at brokers: EngineNaive (the
+	// paper's Figure 6 table, the default), EngineCounting (inverted
+	// constraint indexes), or EngineSharded (counting shards matched in
+	// parallel — the choice for large subscription populations on
+	// multi-core machines).
+	Engine EngineKind
 	// UseCounting selects the counting matching engine at brokers
 	// instead of the naive table of the paper's Figure 6.
+	//
+	// Deprecated: set Engine to EngineCounting instead. Honored only
+	// when Engine is left at its zero value.
 	UseCounting bool
+	// Shards is the shard count of the sharded engine (EngineSharded
+	// only); 0 means GOMAXPROCS.
+	Shards int
+	// MaxBatch caps how many queued events a broker coalesces into one
+	// matching pass (default 64; 1 disables coalescing). Larger batches
+	// amortize per-event overhead and give the sharded engine more
+	// parallel work per pass, at the cost of burstier delivery.
+	MaxBatch int
 	// Seed makes subscription placement deterministic.
 	Seed uint64
 	// DataDir, when non-empty, roots a durable event store there:
@@ -99,6 +117,23 @@ type Options struct {
 	// 0 means unbounded.
 	StoreMaxBytes int64
 }
+
+// EngineKind selects a matching-engine implementation at brokers.
+type EngineKind int
+
+const (
+	// EngineNaive is the Figure 6 table: every filter evaluated against
+	// every event. The default.
+	EngineNaive EngineKind = iota
+	// EngineCounting is the counting index: matching cost scales with
+	// satisfied constraints instead of stored filters.
+	EngineCounting
+	// EngineSharded partitions subscriptions across shards (see
+	// Options.Shards) and matches them in parallel, merging results
+	// deterministically — per-subscriber delivery order is identical for
+	// any shard count.
+	EngineSharded
+)
 
 // Durability is the fsync policy of the durable event store.
 type Durability int
@@ -161,7 +196,10 @@ func New(opts Options) (*System, error) {
 		TTL:          opts.TTL,
 		AutoMaintain: opts.AutoMaintain,
 		Registry:     reg,
+		Engine:       index.Kind(opts.Engine),
 		UseCounting:  opts.UseCounting,
+		Shards:       opts.Shards,
+		MaxBatch:     opts.MaxBatch,
 		Store:        st,
 		Seed:         opts.Seed,
 	})

@@ -48,6 +48,28 @@ func (p *Publisher) Publish(e *event.Event) error {
 	return transport.WriteFrame(p.conn, transport.Publish{Event: e})
 }
 
+// PublishBatch sends a run of events in one wire frame, amortizing
+// framing and syscall cost; the broker processes them in slice order, so
+// the batch is equivalent to (and faster than) publishing each event in
+// sequence. Events without an ID receive publisher-local sequence IDs.
+func (p *Publisher) PublishBatch(events []*event.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range events {
+		if e == nil {
+			return fmt.Errorf("broker: nil event in batch")
+		}
+		if e.ID == 0 {
+			p.seq++
+			e.ID = p.seq
+		}
+	}
+	return transport.WriteFrame(p.conn, transport.PublishBatch{Events: events})
+}
+
 // Advertise announces an event class schema; the broker disseminates it
 // down the tree.
 func (p *Publisher) Advertise(ad *typing.Advertisement) error {

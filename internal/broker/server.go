@@ -52,8 +52,20 @@ type ServerConfig struct {
 	TTL time.Duration
 	// Registry resolves type conformance; nil = exact names.
 	Registry *typing.Registry
+	// Engine selects the matching engine (naive, counting, or sharded).
+	// The zero value is the naive Figure 6 table.
+	Engine index.Kind
 	// UseCounting selects the counting matching engine.
+	//
+	// Deprecated: set Engine to index.KindCounting instead. Honored only
+	// when Engine is left at its zero value.
 	UseCounting bool
+	// Shards is the shard count of the sharded engine (Engine ==
+	// index.KindSharded); 0 means GOMAXPROCS.
+	Shards int
+	// MaxBatch caps how many queued publish events the core coalesces
+	// into one matching pass (default 64; 1 disables coalescing).
+	MaxBatch int
 	// Seed drives placement randomness.
 	Seed uint64
 	// Logger receives operational logs; nil discards them.
@@ -113,6 +125,10 @@ const (
 	tickSweep
 )
 
+// DefaultMaxBatch is the default cap on events coalesced per matching
+// pass in the broker core.
+const DefaultMaxBatch = 64
+
 // peerConn is one TCP connection with its outbound queue.
 type peerConn struct {
 	kind transport.PeerKind
@@ -150,14 +166,14 @@ func Serve(cfg ServerConfig) (*Server, error) {
 		conns:  make(map[*peerConn]struct{}),
 		byID:   make(map[routing.NodeID]*peerConn),
 	}
+	if s.cfg.MaxBatch <= 0 {
+		s.cfg.MaxBatch = DefaultMaxBatch
+	}
 	var conf filter.Conformance = filter.ExactTypes{}
 	if cfg.Registry != nil {
 		conf = cfg.Registry
 	}
-	var engine index.Engine
-	if cfg.UseCounting {
-		engine = index.NewCountingTable(conf)
-	}
+	engine := index.KindFor(cfg.Engine, cfg.UseCounting)
 	s.counters = &metrics.Counters{}
 	parentID := routing.NodeID("")
 	if cfg.ParentAddr != "" {
@@ -171,7 +187,7 @@ func Serve(cfg ServerConfig) (*Server, error) {
 		Conf:     conf,
 		Weakener: weaken.New(s.ads, conf),
 		Counters: s.counters,
-		Engine:   engine,
+		Engine:   index.Config{Kind: engine, Conf: conf, Shards: cfg.Shards},
 	})
 	if cfg.DataDir != "" {
 		st, err := store.Open(cfg.DataDir, store.Options{SyncEvery: cfg.SyncEvery, MaxBytes: cfg.StoreMaxBytes})
@@ -355,15 +371,62 @@ func (s *Server) ticker() {
 	}
 }
 
-// core is the single goroutine owning routing state.
+// core is the single goroutine owning routing state. Publish and
+// PublishBatch frames queued in coreCh are drained into batches (capped
+// at MaxBatch) and matched in one table pass; every other core event is
+// handled one at a time, in queue order.
 func (s *Server) core() {
 	defer s.wg.Done()
+	var batch []*event.Event
 	for {
 		select {
 		case <-s.ctx.Done():
 			return
 		case ev := <-s.coreCh:
+			batch = s.dispatchCore(ev, batch[:0])
+		}
+	}
+}
+
+// dispatchCore handles one dequeued core event, opportunistically
+// coalescing a run of queued publishes into one matching batch. It
+// returns the batch slice (emptied) so core can reuse its backing array.
+func (s *Server) dispatchCore(ev coreEvent, batch []*event.Event) []*event.Event {
+	for {
+		collected := false
+		if !ev.gone && ev.query == nil && ev.tick == tickNone {
+			switch m := ev.msg.(type) {
+			case transport.Publish:
+				if m.Event != nil {
+					batch = append(batch, m.Event)
+				}
+				collected = true
+			case transport.PublishBatch:
+				for _, e := range m.Events {
+					if e != nil {
+						batch = append(batch, e)
+					}
+				}
+				collected = true
+			}
+		}
+		if !collected {
+			// A non-publish event interleaved with publishes: flush what
+			// was coalesced so far, then handle it — queue order holds.
+			s.flushPublishBatch(batch)
+			batch = batch[:0]
 			s.handleCore(ev)
+			return batch
+		}
+		if len(batch) >= s.cfg.MaxBatch {
+			s.flushPublishBatch(batch)
+			batch = batch[:0]
+		}
+		select {
+		case ev = <-s.coreCh:
+		default:
+			s.flushPublishBatch(batch)
+			return batch[:0]
 		}
 	}
 }
@@ -440,41 +503,14 @@ func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
 			s.log.Info("child broker joined", "child", msg.ID, "addr", msg.Addr)
 		}
 	case transport.Publish:
+		// Publishes normally coalesce in dispatchCore before reaching
+		// handleMessage; this arm keeps direct calls correct.
 		if msg.Event == nil {
 			return
 		}
-		for _, id := range s.node.HandleEvent(msg.Event) {
-			dst, ok := s.byID[id]
-			if !ok {
-				// Disconnected peer. A durable subscriber's events are
-				// persisted for redelivery on reconnect; anything else is
-				// left to lease expiry.
-				s.storeFor(string(id), msg.Event)
-				continue
-			}
-			if dst.kind == transport.PeerChildBroker {
-				s.sendTo(dst, transport.Publish{Event: msg.Event})
-				continue
-			}
-			// A connected subscriber with a stored backlog (persisted
-			// during a saturation spell) must drain it first, or later
-			// events overtake the stored ones. Skip the replay attempt
-			// while the queue is still full — scanning segments that
-			// cannot drain anywhere would stall the core for nothing.
-			if s.store != nil && s.store.Pending(string(id)) > 0 &&
-				(len(dst.out) == cap(dst.out) || s.replayStored(dst) > 0) {
-				// Still saturated: keep FIFO by storing the new event
-				// behind the backlog.
-				s.storeFor(string(id), msg.Event)
-			} else if !s.trySend(dst, transport.Deliver{Event: msg.Event}) {
-				// Saturated subscriber: persist rather than drop when the
-				// store knows it; count the drop otherwise.
-				if !s.storeFor(string(id), msg.Event) {
-					s.counters.AddDropped(1)
-					s.log.Warn("outbound queue full; dropping", "peer", dst.id, "type", "transport.Deliver")
-				}
-			}
-		}
+		s.flushPublishBatch([]*event.Event{msg.Event})
+	case transport.PublishBatch:
+		s.flushPublishBatch(msg.Events)
 	case transport.Subscribe:
 		if msg.Filter == nil {
 			return
@@ -549,6 +585,117 @@ func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
 			}
 		}
 	}
+}
+
+// flushPublishBatch matches a coalesced run of events in one table pass
+// and fans the results out. Event copies bound for the same child broker
+// leave as one PublishBatch frame (amortizing framing and syscalls), and
+// events persisted for the same disconnected subscriber go to the store
+// as one AppendBatch (amortizing locking and fsyncs). Connected
+// subscribers are routed in event order, so per-subscriber FIFO — and
+// the stored-backlog-first replay invariant — hold exactly as on the
+// per-event path.
+func (s *Server) flushPublishBatch(events []*event.Event) {
+	if len(events) == 0 {
+		return
+	}
+	routes := s.node.HandleEventBatch(events)
+	var childOrder, storeOrder []routing.NodeID
+	var toChild, toStore map[routing.NodeID][]*event.Event
+	for i, ids := range routes {
+		ev := events[i]
+		if ev == nil {
+			continue
+		}
+		for _, id := range ids {
+			dst, ok := s.byID[id]
+			switch {
+			case !ok:
+				// Disconnected peer. A durable subscriber's events are
+				// persisted for redelivery on reconnect; anything else is
+				// left to lease expiry.
+				if toStore == nil {
+					toStore = make(map[routing.NodeID][]*event.Event)
+				}
+				if _, seen := toStore[id]; !seen {
+					storeOrder = append(storeOrder, id)
+				}
+				toStore[id] = append(toStore[id], ev)
+			case dst.kind == transport.PeerChildBroker:
+				if toChild == nil {
+					toChild = make(map[routing.NodeID][]*event.Event)
+				}
+				if _, seen := toChild[id]; !seen {
+					childOrder = append(childOrder, id)
+				}
+				toChild[id] = append(toChild[id], ev)
+			default:
+				s.routeToSubscriber(dst, id, ev)
+			}
+		}
+	}
+	for _, id := range childOrder {
+		evs := toChild[id]
+		dst := s.byID[id]
+		var m transport.Message
+		if len(evs) == 1 {
+			m = transport.Publish{Event: evs[0]}
+		} else {
+			m = transport.PublishBatch{Events: evs}
+		}
+		// A dropped batch loses every event it carries; count them all,
+		// as the per-event path would.
+		if !s.trySend(dst, m) {
+			s.counters.AddDropped(uint64(len(evs)))
+			s.log.Warn("outbound queue full; dropping", "peer", dst.id, "events", len(evs))
+		}
+	}
+	for _, id := range storeOrder {
+		s.storeBatchFor(string(id), toStore[id])
+	}
+}
+
+// routeToSubscriber delivers one event to a connected subscriber,
+// spilling to the durable store on saturation or behind a pending stored
+// backlog.
+func (s *Server) routeToSubscriber(dst *peerConn, id routing.NodeID, ev *event.Event) {
+	// A connected subscriber with a stored backlog (persisted during a
+	// saturation spell) must drain it first, or later events overtake the
+	// stored ones. Skip the replay attempt while the queue is still full —
+	// scanning segments that cannot drain anywhere would stall the core
+	// for nothing.
+	if s.store != nil && s.store.Pending(string(id)) > 0 &&
+		(len(dst.out) == cap(dst.out) || s.replayStored(dst) > 0) {
+		// Still saturated: keep FIFO by storing the new event behind the
+		// backlog.
+		s.storeFor(string(id), ev)
+	} else if !s.trySend(dst, transport.Deliver{Event: ev}) {
+		// Saturated subscriber: persist rather than drop when the store
+		// knows it; count the drop otherwise.
+		if !s.storeFor(string(id), ev) {
+			s.counters.AddDropped(1)
+			s.log.Warn("outbound queue full; dropping", "peer", dst.id, "type", "transport.Deliver")
+		}
+	}
+}
+
+// storeBatchFor persists a run of events for one unreachable subscriber
+// in a single store batch; it reports whether the run was stored (false
+// when the broker runs without a store or the ID has no durable cursor).
+func (s *Server) storeBatchFor(subID string, evs []*event.Event) bool {
+	if s.store == nil || !s.store.Known(subID) {
+		return false
+	}
+	n, bytes, err := s.store.AppendBatch(subID, evs)
+	if err != nil {
+		s.log.Warn("store append failed", "subscriber", subID, "err", err)
+		s.counters.AddDropped(uint64(len(evs) - n))
+	}
+	if n > 0 {
+		s.counters.AddStoreAppended(uint64(n))
+		s.counters.AddStoredBytes(uint64(bytes))
+	}
+	return true
 }
 
 // storeFor persists an event for a subscriber the broker cannot reach

@@ -1,0 +1,21 @@
+// Package filter implements the subscription language of the paper:
+// conjunctive filters over typed attributes (Definition 1), the covering
+// relations on filters and events (Definitions 2 and 3), wildcard
+// attribute filters and the standard subscription filter format
+// (Section 4.4), and a text parser for subscriptions.
+//
+// A filter is a conjunction of constraints, each of the paper's
+// name-value-operator tuple form, plus an optional event class constraint
+// with subtype (conformance) semantics. Disjunctions are represented one
+// level up as Subscription, a set of filters of which at least one must
+// match.
+//
+// Concurrency and ownership: Filter and Subscription values are
+// immutable after construction by convention — every consumer that
+// stores one long-term (routing tables, matching engines) clones it
+// first, so a caller may reuse or mutate its own copy freely. Matching
+// (Filter.Matches, Covers) reads shared state only and is safe to call
+// concurrently on the same filter; Conformance implementations injected
+// for class matching must themselves be concurrency-safe (the typing
+// registry is).
+package filter

@@ -1,14 +1,3 @@
-// Package filter implements the subscription language of the paper:
-// conjunctive filters over typed attributes (Definition 1), the covering
-// relations on filters and events (Definitions 2 and 3), wildcard
-// attribute filters and the standard subscription filter format
-// (Section 4.4), and a text parser for subscriptions.
-//
-// A filter is a conjunction of constraints, each of the paper's
-// name-value-operator tuple form, plus an optional event class constraint
-// with subtype (conformance) semantics. Disjunctions are represented one
-// level up as Subscription, a set of filters of which at least one must
-// match.
 package filter
 
 import (

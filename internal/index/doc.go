@@ -1,0 +1,32 @@
+// Package index provides event-to-subscription matching engines for
+// broker nodes — the filtering data structures behind the paper's
+// Section 4 filtering and forwarding tables.
+//
+// Three engines implement the Engine interface:
+//
+//   - NaiveTable is the algorithm of Figure 6: a table of <filter,
+//     id-list> entries scanned linearly per event.
+//   - CountingTable implements the classic counting algorithm the paper
+//     alludes to ("efficient indexing and matching techniques can be
+//     used"): per-attribute inverted indexes with hash lookup for
+//     equality constraints, so matching cost scales with the number of
+//     satisfied constraints instead of the number of filters.
+//   - ShardedEngine partitions associations across N shards by
+//     subscription-ID hash and matches shards in parallel, merging
+//     results deterministically — the scalability lever for multi-core
+//     brokers with very large subscription populations.
+//
+// Engine selection is explicit: construct through New with a Config
+// naming the Kind (the zero Config selects the naive table), so runtimes
+// share one selection path instead of duplicating engine-picking logic.
+//
+// Concurrency and ownership: NaiveTable and CountingTable are NOT safe
+// for concurrent use — each instance is owned by exactly one goroutine
+// (the broker core or actor that created it), and CountingTable
+// additionally mutates per-call scratch state during Match. ShardedEngine
+// IS safe for concurrent use: every shard carries its own mutex, mutating
+// calls lock only the owning shard, and Match/MatchBatch lock each shard
+// from its own worker goroutine. All engines return Match results sorted
+// and deduplicated, so identical inputs yield identical outputs
+// regardless of engine kind or shard count.
+package index

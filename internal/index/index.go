@@ -1,15 +1,3 @@
-// Package index provides event-to-subscription matching engines for
-// broker nodes.
-//
-// NaiveTable is the algorithm of Figure 6: a table of <filter, id-list>
-// entries scanned linearly per event. CountingTable implements the
-// classic counting algorithm the paper alludes to ("efficient indexing and
-// matching techniques can be used"): per-attribute inverted indexes with
-// hash lookup for equality constraints, so matching cost scales with the
-// number of satisfied constraints instead of the number of filters.
-//
-// Both engines implement Engine and behave identically; the benchmark
-// suite (A3 in DESIGN.md) quantifies the difference.
 package index
 
 import (

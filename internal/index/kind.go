@@ -1,0 +1,117 @@
+package index
+
+import (
+	"fmt"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+)
+
+// Kind names a matching-engine implementation.
+type Kind int
+
+const (
+	// KindNaive selects the Figure 6 table: every filter evaluated
+	// against every event. The default.
+	KindNaive Kind = iota
+	// KindCounting selects the counting index: matching cost scales with
+	// satisfied constraints instead of stored filters.
+	KindCounting
+	// KindSharded selects the sharded parallel engine: counting shards
+	// partitioned by subscription ID, matched concurrently.
+	KindSharded
+)
+
+// String returns the flag-friendly engine name.
+func (k Kind) String() string {
+	switch k {
+	case KindCounting:
+		return "counting"
+	case KindSharded:
+		return "sharded"
+	default:
+		return "naive"
+	}
+}
+
+// KindFor resolves an engine choice expressed through a Kind plus the
+// deprecated use-counting boolean the runtimes still accept: the boolean
+// upgrades the default (naive) choice to counting and never overrides an
+// explicit Kind. This is the single home of the compatibility shim —
+// delete it together with the deprecated fields.
+func KindFor(kind Kind, useCounting bool) Kind {
+	if useCounting && kind == KindNaive {
+		return KindCounting
+	}
+	return kind
+}
+
+// ParseKind maps a flag value ("naive", "counting", "sharded") to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "naive", "":
+		return KindNaive, nil
+	case "counting":
+		return KindCounting, nil
+	case "sharded":
+		return KindSharded, nil
+	default:
+		return 0, fmt.Errorf("index: unknown engine %q (want naive, counting, or sharded)", s)
+	}
+}
+
+// Config selects and parameterizes a matching engine. The zero value
+// explicitly selects the naive table with exact type matching — there is
+// no nil fallback; every runtime states its engine choice through New.
+type Config struct {
+	// Kind picks the engine implementation.
+	Kind Kind
+	// Conf resolves event class conformance (type-based subscribing);
+	// nil means exact type names.
+	Conf filter.Conformance
+	// Shards is the shard count for KindSharded; 0 means GOMAXPROCS.
+	// Ignored by the other kinds.
+	Shards int
+}
+
+// New constructs the engine cfg selects. This is the single engine
+// selection point shared by the overlay, the networked broker and the
+// simulator.
+func New(cfg Config) Engine {
+	switch cfg.Kind {
+	case KindCounting:
+		return NewCountingTable(cfg.Conf)
+	case KindSharded:
+		return NewSharded(cfg.Conf, cfg.Shards)
+	default:
+		return NewNaiveTable(cfg.Conf)
+	}
+}
+
+// MatchResult is one event's matching outcome: the associated IDs (sorted
+// and deduplicated) and the number of filters evaluated to true.
+type MatchResult struct {
+	IDs     []string
+	Matched int
+}
+
+// BatchMatcher is implemented by engines with a native batch path that
+// amortizes per-call overhead (and, for ShardedEngine, matches the whole
+// batch across shards in parallel).
+type BatchMatcher interface {
+	MatchBatch(events []*event.Event) []MatchResult
+}
+
+// MatchEach matches a batch of events through eng, using its native batch
+// path when it has one and falling back to per-event Match otherwise.
+// Results are positionally aligned with events.
+func MatchEach(eng Engine, events []*event.Event) []MatchResult {
+	if bm, ok := eng.(BatchMatcher); ok {
+		return bm.MatchBatch(events)
+	}
+	out := make([]MatchResult, len(events))
+	for i, e := range events {
+		out[i].IDs, out[i].Matched = eng.Match(e)
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package index
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+)
+
+// ShardedEngine partitions filter associations across N shards by a hash
+// of the subscription ID; each shard is an independent CountingTable
+// guarded by its own mutex. Match and MatchBatch evaluate every shard in
+// parallel — one goroutine per shard — and merge the per-shard results
+// into one sorted, deduplicated ID list per event, so the output is
+// identical for any shard count (each ID lives in exactly one shard).
+//
+// Unlike the single-threaded engines, a ShardedEngine is safe for
+// concurrent use: Insert, Remove and RemoveID lock only the owning shard,
+// and matching locks each shard from its own worker. Subscription churn
+// on one shard therefore never blocks matching on the others.
+//
+// Semantics note: Match's matched count sums per-shard counts, so a
+// filter stored in k shards (the same filter text subscribed by IDs
+// hashing to different shards) counts k times. The count is nonzero
+// exactly when at least one stored filter matched, which is the only
+// property the routing layer relies on.
+type ShardedEngine struct {
+	shards []*engineShard
+}
+
+type engineShard struct {
+	mu  sync.Mutex
+	eng *CountingTable
+}
+
+var (
+	_ Engine       = (*ShardedEngine)(nil)
+	_ BatchMatcher = (*ShardedEngine)(nil)
+)
+
+// NewSharded returns a sharded engine with the given shard count (0 or
+// negative means GOMAXPROCS) using conf for class conformance.
+func NewSharded(conf filter.Conformance, shards int) *ShardedEngine {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	t := &ShardedEngine{shards: make([]*engineShard, shards)}
+	for i := range t.shards {
+		t.shards[i] = &engineShard{eng: NewCountingTable(conf)}
+	}
+	return t
+}
+
+// Shards reports the shard count.
+func (t *ShardedEngine) Shards() int { return len(t.shards) }
+
+// shardFor hashes a subscription ID to its owning shard (FNV-1a).
+func (t *ShardedEngine) shardFor(id string) *engineShard {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return t.shards[h%uint64(len(t.shards))]
+}
+
+// Insert implements Engine.
+func (t *ShardedEngine) Insert(f *filter.Filter, id string) {
+	sh := t.shardFor(id)
+	sh.mu.Lock()
+	sh.eng.Insert(f, id)
+	sh.mu.Unlock()
+}
+
+// Remove implements Engine.
+func (t *ShardedEngine) Remove(f *filter.Filter, id string) {
+	sh := t.shardFor(id)
+	sh.mu.Lock()
+	sh.eng.Remove(f, id)
+	sh.mu.Unlock()
+}
+
+// RemoveID implements Engine.
+func (t *ShardedEngine) RemoveID(id string) {
+	sh := t.shardFor(id)
+	sh.mu.Lock()
+	sh.eng.RemoveID(id)
+	sh.mu.Unlock()
+}
+
+// Match implements Engine by matching a batch of one.
+func (t *ShardedEngine) Match(e *event.Event) ([]string, int) {
+	r := t.MatchBatch([]*event.Event{e})[0]
+	return r.IDs, r.Matched
+}
+
+// MatchBatch implements BatchMatcher: every shard matches the whole batch
+// on its own goroutine, then per-event results merge in shard order.
+// Shards hold disjoint ID sets, so the merged list is a plain sorted
+// union and the outcome is deterministic for any shard count.
+func (t *ShardedEngine) MatchBatch(events []*event.Event) []MatchResult {
+	out := make([]MatchResult, len(events))
+	if len(events) == 0 {
+		return out
+	}
+	if len(t.shards) == 1 {
+		sh := t.shards[0]
+		sh.mu.Lock()
+		for i, e := range events {
+			out[i].IDs, out[i].Matched = sh.eng.Match(e)
+		}
+		sh.mu.Unlock()
+		return out
+	}
+	if len(events) == 1 {
+		// The common un-coalesced case: a goroutine per shard costs more
+		// than the matching itself. Walk the shards serially instead.
+		var ids []string
+		matched := 0
+		for _, sh := range t.shards {
+			sh.mu.Lock()
+			shardIDs, m := sh.eng.Match(events[0])
+			sh.mu.Unlock()
+			matched += m
+			ids = append(ids, shardIDs...)
+		}
+		if len(ids) > 1 {
+			sort.Strings(ids)
+		}
+		out[0] = MatchResult{IDs: ids, Matched: matched}
+		return out
+	}
+	per := make([][]MatchResult, len(t.shards))
+	var wg sync.WaitGroup
+	for si, sh := range t.shards {
+		wg.Add(1)
+		go func(si int, sh *engineShard) {
+			defer wg.Done()
+			rs := make([]MatchResult, len(events))
+			sh.mu.Lock()
+			for i, e := range events {
+				rs[i].IDs, rs[i].Matched = sh.eng.Match(e)
+			}
+			sh.mu.Unlock()
+			per[si] = rs
+		}(si, sh)
+	}
+	wg.Wait()
+	for i := range events {
+		var ids []string
+		matched := 0
+		for si := range per {
+			r := per[si][i]
+			matched += r.Matched
+			ids = append(ids, r.IDs...)
+		}
+		if len(ids) > 1 {
+			sort.Strings(ids)
+		}
+		out[i] = MatchResult{IDs: ids, Matched: matched}
+	}
+	return out
+}
+
+// Filters implements Engine, deduplicating filters stored in several
+// shards by filter identity.
+func (t *ShardedEngine) Filters() []*filter.Filter {
+	seen := make(map[string]struct{})
+	var out []*filter.Filter
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		for _, f := range sh.eng.Filters() {
+			if _, ok := seen[f.Key()]; ok {
+				continue
+			}
+			seen[f.Key()] = struct{}{}
+			out = append(out, f)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Len implements Engine: the number of distinct filters across shards.
+func (t *ShardedEngine) Len() int {
+	seen := make(map[string]struct{})
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		for _, f := range sh.eng.Filters() {
+			seen[f.Key()] = struct{}{}
+		}
+		sh.mu.Unlock()
+	}
+	return len(seen)
+}

@@ -1,0 +1,208 @@
+package index
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"sync"
+	"testing"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/workload"
+)
+
+// population builds a reproducible subscription set and event stream.
+func population(t testing.TB, seed uint64, subs, events int) ([]*filter.Filter, []string, []*event.Event) {
+	t.Helper()
+	bib, err := workload.NewBiblio(seed, workload.DefaultBiblio())
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters := make([]*filter.Filter, subs)
+	ids := make([]string, subs)
+	for i := range filters {
+		filters[i] = bib.Subscription(0.1, true)
+		ids[i] = fmt.Sprintf("sub-%04d", i)
+	}
+	evs := make([]*event.Event, events)
+	for i := range evs {
+		evs[i] = bib.Event()
+	}
+	return filters, ids, evs
+}
+
+// TestShardedDeterministicMerge is the ordering contract of the batched
+// pipeline: the same subscription population and event set must yield
+// identical per-event (and therefore per-subscriber) results for 1, 2,
+// and 8 shards — and for the single-threaded counting engine.
+func TestShardedDeterministicMerge(t *testing.T) {
+	filters, ids, evs := population(t, 7, 500, 200)
+	want := NewCountingTable(nil)
+	for i, f := range filters {
+		want.Insert(f, ids[i])
+	}
+	wantRes := MatchEach(want, evs)
+	for _, shards := range []int{1, 2, 8} {
+		eng := NewSharded(nil, shards)
+		if eng.Shards() != shards {
+			t.Fatalf("Shards() = %d, want %d", eng.Shards(), shards)
+		}
+		for i, f := range filters {
+			eng.Insert(f, ids[i])
+		}
+		got := eng.MatchBatch(evs)
+		for i := range evs {
+			if !reflect.DeepEqual(got[i].IDs, wantRes[i].IDs) {
+				t.Fatalf("shards=%d event %d: IDs = %v, want %v", shards, i, got[i].IDs, wantRes[i].IDs)
+			}
+			if (got[i].Matched > 0) != (wantRes[i].Matched > 0) {
+				t.Fatalf("shards=%d event %d: matched = %d, counting says %d",
+					shards, i, got[i].Matched, wantRes[i].Matched)
+			}
+		}
+		// Per-event Match must agree with the batch path.
+		for i := 0; i < len(evs); i += 37 {
+			single, _ := eng.Match(evs[i])
+			if !reflect.DeepEqual(single, got[i].IDs) {
+				t.Fatalf("shards=%d event %d: Match = %v, MatchBatch = %v", shards, i, single, got[i].IDs)
+			}
+		}
+	}
+}
+
+// TestShardedRemoveAndLen exercises the mutation paths and the
+// deduplicating Len/Filters accounting across shards.
+func TestShardedRemoveAndLen(t *testing.T) {
+	eng := NewSharded(nil, 4)
+	f := filter.MustParseFilter(`class = "Stock" && symbol = "A"`)
+	g := filter.MustParseFilter(`class = "Stock" && price < 10`)
+	// The same filter under many IDs lands in several shards but counts
+	// once.
+	for i := 0; i < 16; i++ {
+		eng.Insert(f, fmt.Sprintf("id%d", i))
+	}
+	eng.Insert(g, "id0")
+	if n := eng.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+	if n := len(eng.Filters()); n != 2 {
+		t.Fatalf("Filters = %d entries, want 2", n)
+	}
+	e := event.NewBuilder("Stock").Str("symbol", "A").Float("price", 5).Build()
+	ids, matched := eng.Match(e)
+	if len(ids) != 16 || matched < 2 {
+		t.Fatalf("Match = %d ids, %d matched; want 16 ids, >= 2 matched", len(ids), matched)
+	}
+	for i := 0; i < 16; i++ {
+		eng.Remove(f, fmt.Sprintf("id%d", i))
+	}
+	if n := eng.Len(); n != 1 {
+		t.Fatalf("Len after removes = %d, want 1", n)
+	}
+	eng.RemoveID("id0")
+	if n := eng.Len(); n != 0 {
+		t.Fatalf("Len after RemoveID = %d, want 0", n)
+	}
+	if ids, _ := eng.Match(e); len(ids) != 0 {
+		t.Fatalf("Match after removal = %v, want none", ids)
+	}
+}
+
+// TestShardedConcurrentChurn races concurrent Subscribe/Unsubscribe
+// against batched matching; run under -race (the CI default) it verifies
+// the per-shard locking discipline, and the final sequential pass
+// verifies the engine is still consistent afterwards.
+func TestShardedConcurrentChurn(t *testing.T) {
+	filters, ids, evs := population(t, 11, 400, 64)
+	eng := NewSharded(nil, 8)
+	for i, f := range filters {
+		eng.Insert(f, ids[i])
+	}
+	const (
+		churners = 4
+		matchers = 4
+		rounds   = 200
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(c), 99))
+			for r := 0; r < rounds; r++ {
+				i := rng.IntN(len(filters))
+				switch r % 3 {
+				case 0:
+					eng.Insert(filters[i], ids[i])
+				case 1:
+					eng.Remove(filters[i], ids[i])
+				default:
+					eng.RemoveID(ids[i])
+				}
+			}
+		}(c)
+	}
+	for m := 0; m < matchers; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			for r := 0; r < rounds/10; r++ {
+				rs := eng.MatchBatch(evs)
+				if len(rs) != len(evs) {
+					t.Errorf("MatchBatch returned %d results for %d events", len(rs), len(evs))
+					return
+				}
+			}
+		}(m)
+	}
+	wg.Wait()
+	// Re-insert everything and cross-check against a fresh counting table.
+	for i, f := range filters {
+		eng.Insert(f, ids[i])
+	}
+	want := NewCountingTable(nil)
+	for i, f := range filters {
+		want.Insert(f, ids[i])
+	}
+	wantRes := MatchEach(want, evs)
+	for i, r := range eng.MatchBatch(evs) {
+		if !reflect.DeepEqual(r.IDs, wantRes[i].IDs) {
+			t.Fatalf("post-churn event %d: IDs = %v, want %v", i, r.IDs, wantRes[i].IDs)
+		}
+	}
+}
+
+// TestKindSelection covers the explicit engine constructor and flag
+// parsing.
+func TestKindSelection(t *testing.T) {
+	if _, ok := New(Config{}).(*NaiveTable); !ok {
+		t.Error("zero Config should select the naive table")
+	}
+	if _, ok := New(Config{Kind: KindCounting}).(*CountingTable); !ok {
+		t.Error("KindCounting should select the counting table")
+	}
+	eng, ok := New(Config{Kind: KindSharded, Shards: 3}).(*ShardedEngine)
+	if !ok || eng.Shards() != 3 {
+		t.Errorf("KindSharded/3 selected %T with %d shards", eng, eng.Shards())
+	}
+	for _, tc := range []struct {
+		in   string
+		want Kind
+		err  bool
+	}{
+		{"naive", KindNaive, false},
+		{"", KindNaive, false},
+		{"counting", KindCounting, false},
+		{"sharded", KindSharded, false},
+		{"quantum", 0, true},
+	} {
+		got, err := ParseKind(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v, err=%v", tc.in, got, err, tc.want, tc.err)
+		}
+		if err == nil && got.String() != tc.in && tc.in != "" {
+			t.Errorf("Kind(%v).String() = %q, want %q", got, got.String(), tc.in)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+// Package metrics implements the evaluation metrics of Section 5.1:
+//
+//   - Load Complexity: LC = (#events received) × (#filters stored),
+//     the per-node filtering work.
+//   - Relative Load Complexity: RLC = LC / (total #events × total #subs),
+//     the per-node share of the work a centralized server would perform
+//     (a centralized server scores RLC = 1).
+//   - Matching Rate: MR = matched events / received events, the fraction
+//     of traffic reaching a node that it actually wants.
+//
+// Beyond the paper's three, the counters track the production concerns
+// grown onto the reproduction: drops at saturated queues, durable-store
+// traffic (appends, replays, bytes), and batch efficiency —
+// BatchesMatched counts batched matching passes and BatchSizeSum the
+// events they carried, so BatchSizeSum/BatchesMatched is the observed
+// average coalescing of the publish pipeline (1.0 means batching never
+// kicked in).
+//
+// Concurrency and ownership: Counters methods are atomic and safe for
+// concurrent use — the concurrent overlay runtime, the networked broker
+// and the single-threaded simulator share one implementation. A
+// Collector hands out *Counters by node ID under its own mutex and
+// retains ownership; snapshots (Stats, Snapshot) are immutable copies
+// that never lock out writers.
+package metrics

@@ -1,15 +1,3 @@
-// Package metrics implements the evaluation metrics of Section 5.1:
-//
-//   - Load Complexity: LC = (#events received) × (#filters stored),
-//     the per-node filtering work.
-//   - Relative Load Complexity: RLC = LC / (total #events × total #subs),
-//     the per-node share of the work a centralized server would perform
-//     (a centralized server scores RLC = 1).
-//   - Matching Rate: MR = matched events / received events, the fraction
-//     of traffic reaching a node that it actually wants.
-//
-// Counters are updated with atomics so the concurrent overlay runtime and
-// the single-threaded simulator share one collector.
 package metrics
 
 import (
@@ -33,6 +21,9 @@ type Counters struct {
 	storeAppended atomic.Uint64
 	storeReplayed atomic.Uint64
 	storedBytes   atomic.Uint64
+
+	batchesMatched atomic.Uint64
+	batchSizeSum   atomic.Uint64
 }
 
 // AddReceived records n events received for filtering.
@@ -65,6 +56,14 @@ func (c *Counters) AddStoreReplayed(n uint64) { c.storeReplayed.Add(n) }
 // AddStoredBytes records n bytes written to the durable store.
 func (c *Counters) AddStoredBytes(n uint64) { c.storedBytes.Add(n) }
 
+// AddBatchesMatched records one batched matching pass over the node's
+// table (a batch of one still counts: BatchSizeSum/BatchesMatched is the
+// observed average coalescing).
+func (c *Counters) AddBatchesMatched(n uint64) { c.batchesMatched.Add(n) }
+
+// AddBatchSizeSum records the number of events carried by matched batches.
+func (c *Counters) AddBatchSizeSum(n uint64) { c.batchSizeSum.Add(n) }
+
 // Received returns the events-received count.
 func (c *Counters) Received() uint64 { return c.received.Load() }
 
@@ -89,23 +88,31 @@ func (c *Counters) StoreReplayed() uint64 { return c.storeReplayed.Load() }
 // StoredBytes returns the bytes-written-to-store count.
 func (c *Counters) StoredBytes() uint64 { return c.storedBytes.Load() }
 
+// BatchesMatched returns the batched-matching-pass count.
+func (c *Counters) BatchesMatched() uint64 { return c.batchesMatched.Load() }
+
+// BatchSizeSum returns the total events carried by matched batches.
+func (c *Counters) BatchSizeSum() uint64 { return c.batchSizeSum.Load() }
+
 // Filters returns the recorded stored-filter count.
 func (c *Counters) Filters() int { return int(c.filters.Load()) }
 
 // Stats assembles a snapshot of the counters under the given identity.
 func (c *Counters) Stats(nodeID string, stage int) NodeStats {
 	return NodeStats{
-		NodeID:        nodeID,
-		Stage:         stage,
-		Filters:       c.Filters(),
-		Received:      c.Received(),
-		Matched:       c.Matched(),
-		Forwarded:     c.Forwarded(),
-		Delivered:     c.Delivered(),
-		Dropped:       c.Dropped(),
-		StoreAppended: c.StoreAppended(),
-		StoreReplayed: c.StoreReplayed(),
-		StoredBytes:   c.StoredBytes(),
+		NodeID:         nodeID,
+		Stage:          stage,
+		Filters:        c.Filters(),
+		Received:       c.Received(),
+		Matched:        c.Matched(),
+		Forwarded:      c.Forwarded(),
+		Delivered:      c.Delivered(),
+		Dropped:        c.Dropped(),
+		StoreAppended:  c.StoreAppended(),
+		StoreReplayed:  c.StoreReplayed(),
+		StoredBytes:    c.StoredBytes(),
+		BatchesMatched: c.BatchesMatched(),
+		BatchSizeSum:   c.BatchSizeSum(),
 	}
 }
 
@@ -129,6 +136,11 @@ type NodeStats struct {
 	StoreAppended uint64
 	StoreReplayed uint64
 	StoredBytes   uint64
+	// BatchesMatched and BatchSizeSum describe the node's batched
+	// matching passes: BatchSizeSum/BatchesMatched is the average number
+	// of events coalesced per pass (1.0 means batching never kicked in).
+	BatchesMatched uint64
+	BatchSizeSum   uint64
 }
 
 // LC returns the load complexity of the node (Section 5.1).

@@ -1,0 +1,31 @@
+// Package overlay is the concurrent in-process runtime of the multi-stage
+// event system (Section 4's architecture on goroutines and channels):
+// every broker node runs as an actor owning a routing.Node core,
+// connected to its hierarchy neighbors by channels. Publishers inject
+// events at the root; events cascade down stage by stage, filtered with
+// progressively stronger (less weakened) filters; subscriber runtimes
+// apply the original subscription — and any stateful application
+// predicate — end to end (Figure 3).
+//
+// Concurrency and ownership invariants:
+//
+//   - One inbox channel per node, drained by exactly one goroutine, so
+//     the routing core needs no locks. Only that goroutine ever touches
+//     its routing.Node.
+//   - Actors drain queued publishes into batches (capped at
+//     Config.MaxBatch) and match each batch in one table pass; batches
+//     forward to child actors as a unit, so coalescing survives each hop
+//     down the tree. Control messages are handled singly, in mailbox
+//     order — the FIFO reasoning behind Flush's tree barrier is
+//     unaffected by batching.
+//   - Per-subscriber delivery order equals publish order: batches
+//     preserve mailbox order, per-destination grouping preserves
+//     intra-batch order, and each subscriber's buffered channel is
+//     drained by one dedicated goroutine. This holds for every engine
+//     kind and shard count.
+//   - Inter-node sends select on the system context, making shutdown
+//     deadlock-free. A slow subscriber eventually exerts backpressure on
+//     its stage-1 broker rather than dropping events.
+//   - The durable store (Config.Store) is owned by the caller; the
+//     overlay only appends/replays through its own handle goroutines.
+package overlay

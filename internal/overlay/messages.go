@@ -1,17 +1,3 @@
-// Package overlay is the concurrent in-process runtime of the multi-stage
-// event system: every broker node runs as a goroutine owning a
-// routing.Node core, connected to its hierarchy neighbors by channels.
-// Publishers inject events at the root; events cascade down stage by
-// stage, filtered with progressively stronger (less weakened) filters;
-// subscriber runtimes apply the original subscription — and any stateful
-// application predicate — end to end (Figure 3).
-//
-// Concurrency model: one inbox channel per node, processed by exactly one
-// goroutine, so the routing core needs no locks. Inter-node sends select
-// on the system context, making shutdown deadlock-free. Delivery to
-// subscribers uses a buffered channel per subscriber drained by a
-// dedicated goroutine; a slow subscriber eventually exerts backpressure
-// on its stage-1 broker rather than dropping events.
 package overlay
 
 import (
@@ -31,6 +17,16 @@ type message interface{ isMessage() }
 // attributes and payload for perfect filtering and object decoding.
 type pubMsg struct {
 	ev *event.Event
+}
+
+// pubBatchMsg carries a coalesced run of published events in mailbox
+// order. Actors produce it when forwarding a matched batch to a child:
+// the child appends the whole run to its own next batch, so coalescing
+// survives each hop down the tree. Order within the slice is exactly the
+// order the events were dequeued upstream — per-subscriber FIFO depends
+// on it.
+type pubBatchMsg struct {
+	evs []*event.Event
 }
 
 // subMsg runs one step of the Figure 5 placement protocol.
@@ -86,6 +82,7 @@ type flushMsg struct {
 }
 
 func (pubMsg) isMessage()       {}
+func (pubBatchMsg) isMessage()  {}
 func (subMsg) isMessage()       {}
 func (reqInsertMsg) isMessage() {}
 func (renewMsg) isMessage()     {}

@@ -31,8 +31,23 @@ type Config struct {
 	// Registry resolves event type conformance (type-based subscribing);
 	// nil means exact type names.
 	Registry *typing.Registry
+	// Engine selects the matching engine at brokers (naive, counting, or
+	// sharded). The zero value is the naive Figure 6 table.
+	Engine index.Kind
 	// UseCounting selects the counting matching engine at brokers.
+	//
+	// Deprecated: set Engine to index.KindCounting instead. Honored only
+	// when Engine is left at its zero value.
 	UseCounting bool
+	// Shards is the shard count of the sharded engine (Engine ==
+	// index.KindSharded); 0 means GOMAXPROCS.
+	Shards int
+	// MaxBatch caps how many queued events a broker actor coalesces into
+	// one matching pass (default 64; 1 disables coalescing). Larger
+	// batches amortize per-event actor overhead and give the sharded
+	// engine more parallel work per pass, at the cost of burstier
+	// downstream delivery.
+	MaxBatch int
 	// InboxSize buffers node inboxes (default 256).
 	InboxSize int
 	// DeliveryBuffer buffers each subscriber's channel (default 64).
@@ -63,8 +78,16 @@ func (c *Config) withDefaults() Config {
 	if out.DurableBuffer <= 0 {
 		out.DurableBuffer = 4096
 	}
+	if out.MaxBatch <= 0 {
+		out.MaxBatch = DefaultMaxBatch
+	}
+	out.Engine = index.KindFor(out.Engine, out.UseCounting)
 	return out
 }
+
+// DefaultMaxBatch is the default cap on events coalesced per matching
+// pass.
+const DefaultMaxBatch = 64
 
 // System is a running overlay. Create with New, stop with Close.
 type System struct {
@@ -163,15 +186,15 @@ func (s *System) buildActors() {
 					}
 				}
 			}
-			var engine index.Engine
-			if s.cfg.UseCounting {
-				engine = index.NewCountingTable(s.conf)
-			}
 			node := routing.NewNode(routing.Config{
 				ID: id, Stage: stage, Parent: parent, Children: children,
 				TTL: s.cfg.TTL, Conf: s.conf, Weakener: s.weakener,
 				Counters: s.collector.Counters(string(id), stage),
-				Engine:   engine,
+				Engine: index.Config{
+					Kind:   s.cfg.Engine,
+					Conf:   s.conf,
+					Shards: s.cfg.Shards,
+				},
 			})
 			seq++
 			a := &actor{
@@ -206,28 +229,102 @@ func (s *System) send(to routing.NodeID, m message) error {
 }
 
 // run is the actor loop: serialize all access to the routing core.
+// Publishes queued in the mailbox are drained into batches (capped at
+// Config.MaxBatch) and matched in one table pass; every other message
+// kind is handled one at a time, in mailbox order, so the FIFO reasoning
+// behind Flush still holds.
 func (a *actor) run() {
 	defer a.sys.wg.Done()
+	var batch []*event.Event
 	for {
 		select {
 		case <-a.sys.ctx.Done():
 			return
 		case m := <-a.inbox:
+			batch = a.dispatch(m, batch[:0])
+		}
+	}
+}
+
+// dispatch handles one dequeued message, opportunistically coalescing a
+// run of queued publishes into one matching batch. It returns the batch
+// slice (emptied) so run can reuse its backing array.
+func (a *actor) dispatch(m message, batch []*event.Event) []*event.Event {
+	for {
+		switch msg := m.(type) {
+		case pubMsg:
+			batch = append(batch, msg.ev)
+		case pubBatchMsg:
+			batch = append(batch, msg.evs...)
+		default:
+			// A control message interleaved with publishes: flush what
+			// was coalesced so far, then handle it — mailbox order holds.
+			a.flushBatch(batch)
+			batch = batch[:0]
 			a.handle(m)
+			return batch
+		}
+		if len(batch) >= a.sys.cfg.MaxBatch {
+			a.flushBatch(batch)
+			batch = batch[:0]
+		}
+		select {
+		case m = <-a.inbox:
+		default:
+			a.flushBatch(batch)
+			return batch[:0]
+		}
+	}
+}
+
+// flushBatch matches a coalesced batch in one table pass and fans the
+// results out: per-destination event runs forward to child actors as one
+// pubBatchMsg (order preserved), and deliveries to local subscribers
+// happen in event order — per-subscriber FIFO is never reordered.
+func (a *actor) flushBatch(events []*event.Event) {
+	if len(events) == 0 {
+		return
+	}
+	routes := a.node.HandleEventBatch(events)
+	if len(events) == 1 {
+		// Common un-coalesced case: skip the grouping allocations.
+		for _, id := range routes[0] {
+			if _, ok := a.sys.actors[id]; ok {
+				_ = a.sys.send(id, pubMsg{ev: events[0]})
+				continue
+			}
+			a.sys.deliver(id, events[0])
+		}
+		return
+	}
+	var order []routing.NodeID
+	byDest := make(map[routing.NodeID][]*event.Event)
+	for i, ids := range routes {
+		for _, id := range ids {
+			if _, ok := byDest[id]; !ok {
+				order = append(order, id)
+			}
+			byDest[id] = append(byDest[id], events[i])
+		}
+	}
+	for _, id := range order {
+		evs := byDest[id]
+		if _, ok := a.sys.actors[id]; ok {
+			if len(evs) == 1 {
+				_ = a.sys.send(id, pubMsg{ev: evs[0]})
+			} else {
+				_ = a.sys.send(id, pubBatchMsg{evs: evs})
+			}
+			continue
+		}
+		for _, ev := range evs {
+			a.sys.deliver(id, ev)
 		}
 	}
 }
 
 func (a *actor) handle(m message) {
 	switch msg := m.(type) {
-	case pubMsg:
-		for _, id := range a.node.HandleEvent(msg.ev) {
-			if _, ok := a.sys.actors[id]; ok {
-				_ = a.sys.send(id, msg)
-				continue
-			}
-			a.sys.deliver(id, msg.ev)
-		}
 	case subMsg:
 		res := a.node.HandleSubscribe(msg.f, msg.sid, a.rng, time.Now())
 		select {

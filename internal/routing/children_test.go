@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"eventsys/internal/filter"
+	"eventsys/internal/index"
 )
 
 func TestDynamicChildren(t *testing.T) {
@@ -48,7 +49,7 @@ func TestDynamicChildUsedForPlacement(t *testing.T) {
 }
 
 func TestTableIDsFor(t *testing.T) {
-	tab := NewTable(nil)
+	tab := NewTable(index.Config{})
 	f := filter.MustParseFilter(`x = 1`)
 	tab.Insert(f, "b", t0.Add(time.Hour))
 	tab.Insert(f, "a", t0.Add(time.Hour))

@@ -35,8 +35,10 @@ type Config struct {
 	// Counters receives the node's statistics; nil allocates private
 	// counters.
 	Counters *metrics.Counters
-	// Engine selects the matching engine; nil selects the naive table.
-	Engine index.Engine
+	// Engine selects and parameterizes the matching engine. The zero
+	// value explicitly names the naive Figure 6 table; Engine.Conf
+	// defaults to this node's Conf when left nil.
+	Engine index.Config
 }
 
 // Node is a broker in the multi-stage hierarchy. It is pure logic, not
@@ -75,11 +77,11 @@ func NewNode(cfg Config) *Node {
 	if n.counters == nil {
 		n.counters = &metrics.Counters{}
 	}
-	engine := cfg.Engine
-	if engine == nil {
-		engine = index.NewNaiveTable(n.conf)
+	ecfg := cfg.Engine
+	if ecfg.Conf == nil {
+		ecfg.Conf = n.conf
 	}
-	n.table = NewTable(engine)
+	n.table = NewTable(ecfg)
 	for _, c := range cfg.Children {
 		n.children[c] = true
 		n.childIDs = append(n.childIDs, c)
@@ -307,6 +309,33 @@ func (n *Node) HandleEvent(e *event.Event) []NodeID {
 		n.counters.AddMatched(1)
 	}
 	n.counters.AddForwarded(uint64(len(ids)))
+	return ids
+}
+
+// HandleEventBatch filters a batch of incoming events in one table pass
+// and returns, positionally aligned with events, the IDs to forward each
+// event to. Per-event counter semantics match HandleEvent exactly; in
+// addition the pass is recorded in the batch-efficiency counters
+// (BatchesMatched, BatchSizeSum). Runtimes that coalesce queued publishes
+// call this instead of per-event HandleEvent so the matching engine can
+// amortize — and, with the sharded engine, parallelize — the batch.
+func (n *Node) HandleEventBatch(events []*event.Event) [][]NodeID {
+	if len(events) == 0 {
+		return nil
+	}
+	ids, matched := n.table.MatchBatch(events)
+	var matchedEvents, forwarded uint64
+	for i := range events {
+		if matched[i] > 0 {
+			matchedEvents++
+		}
+		forwarded += uint64(len(ids[i]))
+	}
+	n.counters.AddReceived(uint64(len(events)))
+	n.counters.AddMatched(matchedEvents)
+	n.counters.AddForwarded(forwarded)
+	n.counters.AddBatchesMatched(1)
+	n.counters.AddBatchSizeSum(uint64(len(events)))
 	return ids
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"eventsys/internal/event"
 	"eventsys/internal/filter"
+	"eventsys/internal/index"
 	"eventsys/internal/typing"
 	"eventsys/internal/weaken"
 )
@@ -396,7 +397,7 @@ func TestDegenerateHierarchySingleNode(t *testing.T) {
 }
 
 func TestTableFindCoveringPrefersStrongest(t *testing.T) {
-	tab := NewTable(nil)
+	tab := NewTable(index.Config{})
 	weakF := filter.MustParseFilter(`class = "Stock"`)
 	strongF := filter.MustParseFilter(`class = "Stock" && symbol = "A"`)
 	tab.Insert(weakF, "cWeak", t0.Add(time.Hour))
@@ -418,7 +419,7 @@ func TestTableFindCoveringPrefersStrongest(t *testing.T) {
 }
 
 func TestTableSweepBoundary(t *testing.T) {
-	tab := NewTable(nil)
+	tab := NewTable(index.Config{})
 	f := filter.MustParseFilter(`x = 1`)
 	tab.Insert(f, "a", t0.Add(time.Minute))
 	if n := tab.Sweep(t0.Add(time.Minute - time.Nanosecond)); len(n) != 0 {

@@ -1,13 +1,3 @@
-// Package routing implements the broker-node core of the multi-stage
-// filtering architecture (Section 4): the filtering and forwarding table
-// (Figure 6), the subscription placement automaton (Figure 5), TTL-based
-// soft-state leases (Section 4.3), and wildcard subscription handling
-// (Sections 4.4–4.5).
-//
-// The package is pure logic: no I/O, no goroutines, no wall clock. Time
-// flows in through method parameters, randomness through injected
-// generators, so the deterministic simulator, the concurrent overlay and
-// the TCP broker runtime all share identical behavior.
 package routing
 
 import (
@@ -32,14 +22,14 @@ type Table struct {
 	leases  map[string]map[NodeID]time.Time
 }
 
-// NewTable creates a table backed by the given matching engine (nil
-// selects the naive Figure 6 table with exact type matching).
-func NewTable(engine index.Engine) *Table {
-	if engine == nil {
-		engine = index.NewNaiveTable(nil)
-	}
+// NewTable creates a table backed by the matching engine cfg selects.
+// The engine choice is explicit: the zero Config names the naive Figure 6
+// table with exact type matching, and overlay, broker and simulator all
+// state their choice through the same index.Config — there is no nil
+// fallback path.
+func NewTable(cfg index.Config) *Table {
 	return &Table{
-		engine:  engine,
+		engine:  index.New(cfg),
 		filters: make(map[string]*filter.Filter),
 		leases:  make(map[string]map[NodeID]time.Time),
 	}
@@ -119,6 +109,26 @@ func (t *Table) Match(e *event.Event) ([]NodeID, int) {
 		out[i] = NodeID(id)
 	}
 	return out, matched
+}
+
+// MatchBatch matches a batch of events in one engine pass, using the
+// engine's native batch path when it has one (the sharded engine matches
+// the whole batch across shards in parallel). Results align positionally
+// with events; each ID list is sorted and deduplicated, so per-event
+// output is identical to calling Match event by event.
+func (t *Table) MatchBatch(events []*event.Event) (ids [][]NodeID, matched []int) {
+	rs := index.MatchEach(t.engine, events)
+	ids = make([][]NodeID, len(rs))
+	matched = make([]int, len(rs))
+	for i, r := range rs {
+		out := make([]NodeID, len(r.IDs))
+		for j, id := range r.IDs {
+			out[j] = NodeID(id)
+		}
+		ids[i] = out
+		matched[i] = r.Matched
+	}
+	return ids, matched
 }
 
 // Filters returns the distinct stored filters in deterministic (key)

@@ -51,8 +51,16 @@ type Config struct {
 	// default reproduces Section 5.2: stage-1 drops title, stage-2 drops
 	// author, stage-3 keeps year only.
 	StageAttrs []int
+	// Engine selects the matching engine at brokers (identical results
+	// for every kind); the zero value is the naive Figure 6 table.
+	Engine index.Kind
+	// Shards is the shard count of the sharded engine; 0 = GOMAXPROCS.
+	Shards int
 	// UseCounting selects the counting matching engine at brokers
 	// instead of the naive Figure 6 table (identical results).
+	//
+	// Deprecated: set Engine to index.KindCounting instead. Honored only
+	// when Engine is left at its zero value.
 	UseCounting bool
 	// RandomPlacement disables the covering-search clustering of the
 	// Figure 5 protocol: subscribers descend randomly to a stage-1 node.
@@ -224,15 +232,15 @@ func (s *simulator) buildHierarchy() {
 					}
 				}
 			}
-			var engine index.Engine
-			if s.cfg.UseCounting {
-				engine = index.NewCountingTable(nil)
+			ecfg := index.Config{
+				Kind:   index.KindFor(s.cfg.Engine, s.cfg.UseCounting),
+				Shards: s.cfg.Shards,
 			}
 			n := routing.NewNode(routing.Config{
 				ID: id, Stage: stage, Parent: parent, Children: children,
 				Weakener: s.weakener,
 				Counters: s.collector.Counters(string(id), stage),
-				Engine:   engine,
+				Engine:   ecfg,
 			})
 			s.nodes[id] = n
 			if parent == "" && stage == stages {

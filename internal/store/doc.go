@@ -1,0 +1,36 @@
+// Package store implements the durable event store backing durable
+// subscriptions (the paper's Section 2.1: brokers "store events for
+// temporarily disconnected subscribers"). It is a segmented append-only
+// log of (subscription, event) records with CRC-framed entries,
+// configurable fsync batching, per-subscription durable cursors,
+// compaction of fully-consumed segments, bounded retention, and crash
+// recovery that truncates torn tails on open.
+//
+// On-disk layout of a store directory:
+//
+//	000000000000000001.seg   segment files, named by first sequence number
+//	000000000000004096.seg
+//	CURSORS                  per-subscription cursor snapshot (atomic rename)
+//	LOCK                     flock guard against double-open
+//
+// Each segment is a sequence of framed records:
+//
+//	[4-byte BE body length][4-byte BE CRC-32C of body][body]
+//	body := uvarint(seq) ++ uvarint(len(subID)) ++ subID ++ event
+//
+// The event bytes reuse the transport wire codec (transport.AppendEvent),
+// so a stored event is byte-identical to a Publish frame body. A record
+// whose frame is truncated or whose CRC mismatches marks the torn tail of
+// a crashed append: recovery keeps the intact prefix and discards the
+// rest.
+//
+// Concurrency and ownership: a Store is safe for concurrent use — one
+// mutex serializes all mutation (appends, cursor moves, compaction); the
+// background flush goroutine only syncs under that lock. AppendBatch
+// amortizes the lock acquisition and the fsync decision over a run of
+// events for one subscription, which is the broker's publish-batch spill
+// path. The store owns its directory exclusively (flock-guarded): open
+// the same DataDir twice and the second Open fails rather than
+// interleave segments. Callers own the *Store handle and must Close it;
+// events passed to Append are encoded immediately and never retained.
+package store

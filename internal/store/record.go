@@ -1,27 +1,3 @@
-// Package store implements the durable event store backing durable
-// subscriptions (the paper's Section 2.1: brokers "store events for
-// temporarily disconnected subscribers"). It is a segmented append-only
-// log of (subscription, event) records with CRC-framed entries,
-// configurable fsync batching, per-subscription durable cursors,
-// compaction of fully-consumed segments, and crash recovery that
-// truncates torn tails on open.
-//
-// On-disk layout of a store directory:
-//
-//	000000000000000001.seg   segment files, named by first sequence number
-//	000000000000004096.seg
-//	CURSORS                  per-subscription cursor snapshot (atomic rename)
-//
-// Each segment is a sequence of framed records:
-//
-//	[4-byte BE body length][4-byte BE CRC-32C of body][body]
-//	body := uvarint(seq) ++ uvarint(len(subID)) ++ subID ++ event
-//
-// The event bytes reuse the transport wire codec (transport.AppendEvent),
-// so a stored event is byte-identical to a Publish frame body. A record
-// whose frame is truncated or whose CRC mismatches marks the torn tail of
-// a crashed append: recovery keeps the intact prefix and discards the
-// rest.
 package store
 
 import (

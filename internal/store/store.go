@@ -290,6 +290,67 @@ func (s *Store) Append(subID string, ev *event.Event) (seq uint64, n int, err er
 	if s.closed {
 		return 0, 0, fmt.Errorf("store: closed")
 	}
+	return s.appendLocked(subID, ev)
+}
+
+// AppendBatch durably stores a run of events for one subscription,
+// returning the number appended and the bytes written. The batch
+// amortizes what Append pays per event: one lock acquisition, at most
+// one fsync, and one retention check. Durability follows the policy
+// exactly as for per-event Append: with SyncEvery=1 the whole batch is
+// fsynced once after its last record, so every event is on stable
+// storage before a successful AppendBatch returns; batched policies
+// (SyncEvery>1) keep their usual exposure window — the batch syncs only
+// when it pushes the unsynced count over the threshold. Events land in
+// slice order; on error the already-appended prefix stays stored (but
+// unsynced until the next sync trigger) and is reported in n.
+func (s *Store) AppendBatch(subID string, evs []*event.Event) (n int, bytes int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, 0, fmt.Errorf("store: closed")
+	}
+	for _, ev := range evs {
+		_, nb, err := s.appendRecordLocked(subID, ev)
+		if err != nil {
+			return n, bytes, err
+		}
+		n++
+		bytes += nb
+	}
+	if s.opts.SyncEvery > 0 && s.unsynced >= s.opts.SyncEvery {
+		if err := s.syncLocked(); err != nil {
+			return n, bytes, err
+		}
+	}
+	if s.opts.MaxBytes > 0 && s.totalBytes > s.opts.MaxBytes {
+		s.enforceRetentionLocked()
+	}
+	return n, bytes, nil
+}
+
+// appendLocked appends one record and applies the per-append fsync and
+// retention policies; the caller holds s.mu.
+func (s *Store) appendLocked(subID string, ev *event.Event) (seq uint64, n int, err error) {
+	seq, n, err = s.appendRecordLocked(subID, ev)
+	if err != nil {
+		return 0, 0, err
+	}
+	if s.opts.SyncEvery > 0 && s.unsynced >= s.opts.SyncEvery {
+		if err := s.syncLocked(); err != nil {
+			return 0, 0, err
+		}
+	}
+	if s.opts.MaxBytes > 0 && s.totalBytes > s.opts.MaxBytes {
+		s.enforceRetentionLocked()
+	}
+	return seq, n, nil
+}
+
+// appendRecordLocked writes one record to the active segment (rolling it
+// when full) without syncing or enforcing retention; the caller holds
+// s.mu.
+func (s *Store) appendRecordLocked(subID string, ev *event.Event) (seq uint64, n int, err error) {
 	seq = s.nextSeq
 	buf, err := AppendRecord(nil, Record{Seq: seq, SubID: subID, Event: ev})
 	if err != nil {
@@ -327,14 +388,6 @@ func (s *Store) Append(subID string, ev *event.Event) (seq uint64, n int, err er
 	}
 	s.pending[subID]++
 	s.unsynced++
-	if s.opts.SyncEvery > 0 && s.unsynced >= s.opts.SyncEvery {
-		if err := s.syncLocked(); err != nil {
-			return 0, 0, err
-		}
-	}
-	if s.opts.MaxBytes > 0 && s.totalBytes > s.opts.MaxBytes {
-		s.enforceRetentionLocked()
-	}
 	return seq, len(buf), nil
 }
 

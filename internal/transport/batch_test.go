@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"eventsys/internal/event"
+)
+
+func TestPublishBatchRoundTrip(t *testing.T) {
+	evs := []*event.Event{
+		event.NewBuilder("Stock").Str("symbol", "A").Float("price", 1.5).ID(1).Build(),
+		event.NewBuilder("Stock").Str("symbol", "B").Int("volume", 99).
+			Payload([]byte{1, 2, 3}).ID(2).Build(),
+		event.NewBuilder("Bond").Bool("junk", true).ID(3).Build(),
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, PublishBatch{Events: evs}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m.(PublishBatch)
+	if !ok {
+		t.Fatalf("decoded %T, want PublishBatch", m)
+	}
+	if len(got.Events) != len(evs) {
+		t.Fatalf("decoded %d events, want %d", len(got.Events), len(evs))
+	}
+	for i := range evs {
+		if !reflect.DeepEqual(got.Events[i], evs[i]) {
+			t.Errorf("event %d = %+v, want %+v", i, got.Events[i], evs[i])
+		}
+	}
+}
+
+func TestPublishBatchEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, PublishBatch{}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb, ok := m.(PublishBatch); !ok || len(pb.Events) != 0 {
+		t.Fatalf("decoded %#v, want empty PublishBatch", m)
+	}
+}
+
+// TestPublishBatchCountGuard rejects a frame whose declared event count
+// exceeds what the body could possibly hold.
+func TestPublishBatchCountGuard(t *testing.T) {
+	body := []byte{0xff, 0xff, 0xff, 0xff, 0x7f} // uvarint far above len(body)
+	if _, err := decodeMessage(TypePublishBatch, body); err == nil {
+		t.Fatal("want error for oversized batch count")
+	}
+}

@@ -1,15 +1,3 @@
-// Package transport defines the binary wire protocol spoken between
-// networked brokers, publishers and subscribers (internal/broker).
-//
-// Framing: every message is [4-byte big-endian body length][1-byte
-// message type][body]. Bodies use a compact binary encoding: uvarint
-// lengths, varint integers, IEEE-754 floats, length-prefixed strings.
-// Frames are capped at MaxFrame to bound memory at untrusted peers.
-//
-// The protocol carries exactly the interactions of Figures 5 and 6:
-// Subscribe/SubscribeReply (placement), ReqInsert (upward filter
-// propagation), Renew (leases), Publish/Deliver (event flow), Advertise
-// (schema dissemination), plus a Hello handshake identifying the peer.
 package transport
 
 import (

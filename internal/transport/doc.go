@@ -1,0 +1,28 @@
+// Package transport defines the binary wire protocol spoken between
+// networked brokers, publishers and subscribers (internal/broker) —
+// Section 4's broker interactions serialized for TCP.
+//
+// Framing: every message is [4-byte big-endian body length][1-byte
+// message type][body]. Bodies use a compact binary encoding: uvarint
+// lengths, varint integers, IEEE-754 floats, length-prefixed strings.
+// Frames are capped at MaxFrame to bound memory at untrusted peers, and
+// every count read from the wire is validated against the frame size
+// before allocation.
+//
+// The protocol carries exactly the interactions of Figures 5 and 6:
+// Subscribe/SubscribeReply (placement), ReqInsert (upward filter
+// propagation), Renew (leases), Publish/Deliver (event flow),
+// PublishBatch (a coalesced run of publishes in one frame, amortizing
+// framing and syscalls on the fast path — order within the batch is the
+// publisher's order), Advertise (schema dissemination), plus a Hello
+// handshake identifying the peer.
+//
+// Concurrency and ownership: encoders and decoders are stateless;
+// WriteFrame and ReadFrame are safe for concurrent use on distinct
+// writers/readers, but a single net.Conn needs external serialization
+// per direction (the broker gives each connection one reader and one
+// writer goroutine). Decoded messages own their memory — nothing
+// references the read buffer after ReadFrame returns. The durable store
+// reuses the event encoding (AppendEvent/DecodeEvent), so a stored event
+// and a wire event are byte-identical.
+package transport

@@ -1,0 +1,32 @@
+#!/bin/sh
+# check-links.sh — fail on broken relative links in README.md and
+# docs/*.md. External links (http/https/mailto) and pure #anchors are
+# skipped; a relative link's target must exist on disk (anchors within
+# a target file are not resolved).
+#
+# Usage: scripts/check-links.sh  (from the repository root)
+set -eu
+
+fail=0
+for f in README.md docs/*.md; do
+    [ -f "$f" ] || continue
+    dir=$(dirname "$f")
+    # Extract inline markdown link targets: [text](target)
+    links=$(grep -o '](\([^)]*\))' "$f" | sed 's/^](//; s/)$//') || true
+    for link in $links; do
+        case "$link" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        target=${link%%#*}
+        [ -n "$target" ] || continue
+        if [ ! -e "$dir/$target" ]; then
+            echo "BROKEN: $f -> $link"
+            fail=1
+        fi
+    done
+done
+if [ "$fail" -ne 0 ]; then
+    echo "docs link check failed"
+    exit 1
+fi
+echo "docs link check passed"
