@@ -8,6 +8,14 @@
 //	broker -id N1.2 -stage 1 -listen 127.0.0.1:7003 -parent 127.0.0.1:7001
 //
 // Publishers and subscribers connect with the pubsub command.
+//
+// Brokers can also federate as peers over an acyclic mesh instead of
+// (or in addition to) the hierarchy — each -peer edge is configured on
+// exactly one side, the other side only accepts:
+//
+//	broker -id geneva -listen 127.0.0.1:7001
+//	broker -id zurich -listen 127.0.0.1:7002 -peer 127.0.0.1:7001
+//	broker -id basel  -listen 127.0.0.1:7003 -peer 127.0.0.1:7002 -peer-max-stage 2
 package main
 
 import (
@@ -41,6 +49,12 @@ func run(args []string) error {
 	counting := fs.Bool("counting", false, "use the counting matching engine (deprecated: use -engine counting)")
 	shards := fs.Int("shards", 0, "shard count for -engine sharded (0 = GOMAXPROCS)")
 	maxBatch := fs.Int("max-batch", 0, "events coalesced per matching pass (0 = default 64, 1 = no batching)")
+	var peers []string
+	fs.Func("peer", "peer broker address to federate with (repeatable; each edge on one side only)", func(v string) error {
+		peers = append(peers, v)
+		return nil
+	})
+	peerMaxStage := fs.Int("peer-max-stage", 0, "clamp on hop-distance weakening of peer subscription state (0 = full filters)")
 	dataDir := fs.String("data-dir", "", "durable event store directory (empty = no persistence)")
 	fsync := fs.String("fsync", "batched", "store fsync policy: batched, always, or never")
 	storeMax := fs.Int64("store-max-bytes", 0, "bound on the store's retained log (0 = unbounded)")
@@ -69,6 +83,8 @@ func run(args []string) error {
 		Stage:         *stage,
 		ListenAddr:    *listen,
 		ParentAddr:    *parent,
+		Peers:         peers,
+		PeerMaxStage:  *peerMaxStage,
 		TTL:           *ttl,
 		Engine:        kind,
 		Shards:        *shards,

@@ -1,0 +1,207 @@
+package eventsys
+
+import (
+	"fmt"
+	"time"
+
+	"eventsys/internal/broker"
+	"eventsys/internal/filter"
+	"eventsys/internal/index"
+	"eventsys/internal/typing"
+)
+
+// This file is the networked-deployment facade: where New builds an
+// in-process hierarchy, ServeBroker runs one TCP broker node that can
+// join a parent/child hierarchy, federate with peer brokers over an
+// acyclic mesh (BrokerOptions.Peers), or both. DialPublisher and
+// DialSubscriber are the matching clients. The cmd/broker and cmd/pubsub
+// commands are thin wrappers over the same configuration surface.
+
+// BrokerOptions configure one networked broker node.
+type BrokerOptions struct {
+	// ID is the broker's identity (required, unique across the
+	// deployment, e.g. "zurich" or "N2.1").
+	ID string
+	// Stage is the broker's filtering stage (default 1 = closest to
+	// subscribers).
+	Stage int
+	// Listen is the TCP listen address; default "127.0.0.1:0"
+	// (ephemeral — read the bound address back with Broker.Addr).
+	Listen string
+	// Parent, when non-empty, attaches the broker under a parent in a
+	// multi-stage hierarchy.
+	Parent string
+	// Peers lists peer broker addresses to dial and keep dialed (with
+	// reconnect) for SIENA-style mesh federation. The federation graph
+	// must be acyclic, and each edge is configured on exactly one side —
+	// the other side only accepts.
+	Peers []string
+	// PeerMaxStage clamps hop-distance weakening of subscription state
+	// propagated to peers: a filter h hops from its home broker is
+	// stored in its stage-min(h, PeerMaxStage) weakened form. 0
+	// propagates full filters — always exact, most state.
+	PeerMaxStage int
+	// TTL is the subscription lease period; 0 disables expiry.
+	TTL time.Duration
+	// Engine, Shards and MaxBatch select the matching engine and the
+	// publish-batch ceiling, exactly as on the in-process Options.
+	Engine   EngineKind
+	Shards   int
+	MaxBatch int
+	// Seed drives subscription-placement randomness.
+	Seed uint64
+	// DataDir, Durability and StoreMaxBytes configure the durable event
+	// store, as on the in-process Options. With federation, the store
+	// additionally spools events for peer links that are down or
+	// saturated, and persists each link's learned interests for restart
+	// recovery.
+	DataDir       string
+	Durability    Durability
+	StoreMaxBytes int64
+}
+
+// Broker is a running networked broker node.
+type Broker struct {
+	srv *broker.Server
+}
+
+// PeerLinkStats is a point-in-time snapshot of one federation link (see
+// Broker.PeerStats).
+type PeerLinkStats = broker.PeerLinkStats
+
+// ServeBroker starts a networked broker node and returns once it is
+// listening.
+func ServeBroker(opts BrokerOptions) (*Broker, error) {
+	if opts.ID == "" {
+		return nil, fmt.Errorf("eventsys: BrokerOptions.ID is required")
+	}
+	if opts.Stage == 0 {
+		opts.Stage = 1
+	}
+	if opts.Listen == "" {
+		opts.Listen = "127.0.0.1:0"
+	}
+	var syncEvery int
+	switch opts.Durability {
+	case DurabilityAlways:
+		syncEvery = 1
+	case DurabilityOS:
+		syncEvery = -1
+	}
+	srv, err := broker.Serve(broker.ServerConfig{
+		ID:            opts.ID,
+		Stage:         opts.Stage,
+		ListenAddr:    opts.Listen,
+		ParentAddr:    opts.Parent,
+		Peers:         opts.Peers,
+		PeerMaxStage:  opts.PeerMaxStage,
+		TTL:           opts.TTL,
+		Engine:        index.Kind(opts.Engine),
+		Shards:        opts.Shards,
+		MaxBatch:      opts.MaxBatch,
+		Seed:          opts.Seed,
+		DataDir:       opts.DataDir,
+		SyncEvery:     syncEvery,
+		StoreMaxBytes: opts.StoreMaxBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Broker{srv: srv}, nil
+}
+
+// Addr returns the broker's bound listen address.
+func (b *Broker) Addr() string { return b.srv.Addr() }
+
+// Close shuts the broker down, flushing and closing its durable store.
+func (b *Broker) Close() { b.srv.Close() }
+
+// Stats snapshots the broker's node metrics (LC/RLC/MR inputs plus the
+// federation-plane counters).
+func (b *Broker) Stats() NodeStats { return b.srv.Stats() }
+
+// PeerStats snapshots every federation link: up/down, interests learned
+// and sent, covering-pruning economy, forwards, durable spool traffic
+// and resyncs.
+func (b *Broker) PeerStats() []PeerLinkStats { return b.srv.PeerStats() }
+
+// FederationFilters reports the broker's federation-plane filter count
+// (its own subscribers' originals plus per-link interests) — the
+// quantity the paper's LC counts for one mesh node.
+func (b *Broker) FederationFilters() int { return b.srv.FederationFilters() }
+
+// Advertised returns the event classes the broker holds advertisements
+// for (advertisements disseminate from publishers through the hierarchy
+// and across the federation).
+func (b *Broker) Advertised() []string { return b.srv.Advertised() }
+
+// RemotePublisher is a publisher client connected to a networked broker.
+type RemotePublisher struct {
+	pub    *broker.Publisher
+	stages int
+}
+
+// DialPublisher connects a publisher to the broker at addr.
+func DialPublisher(addr, id string) (*RemotePublisher, error) {
+	p, err := broker.DialPublisher(addr, id)
+	if err != nil {
+		return nil, err
+	}
+	return &RemotePublisher{pub: p, stages: 4}, nil
+}
+
+// Publish sends one event to the broker.
+func (p *RemotePublisher) Publish(e *Event) error { return p.pub.Publish(e) }
+
+// PublishBatch sends a run of events in one wire frame.
+func (p *RemotePublisher) PublishBatch(events []*Event) error {
+	return p.pub.PublishBatch(events)
+}
+
+// Advertise announces an event class with its attributes ordered from
+// most general to least general, exactly as System.Advertise does; the
+// advertisement disseminates through the hierarchy and across the
+// federation. The stage association uses the canonical four-stage depth
+// (three broker stages plus the subscriber stage), which accommodates
+// PeerMaxStage weakening up to 3.
+func (p *RemotePublisher) Advertise(class string, attrs ...string) error {
+	ad, err := typing.NewAdvertisement(class, p.stages, attrs...)
+	if err != nil {
+		return err
+	}
+	return p.pub.Advertise(ad)
+}
+
+// Close tears the publisher connection down.
+func (p *RemotePublisher) Close() error { return p.pub.Close() }
+
+// RemoteSubscription is a live subscription served by a networked
+// broker.
+type RemoteSubscription struct {
+	sub *broker.Subscriber
+}
+
+// DialSubscriber subscribes at the broker at addr (following placement
+// redirects in a hierarchy) and delivers matching events to handler on a
+// dedicated goroutine. The subscription text is one conjunctive filter
+// in the same language as System.Subscribe (dial once per disjunct for a
+// disjunction). In a federation, the interest propagates to peer brokers
+// in hop-weakened form, and matching events published anywhere in the
+// mesh are forwarded here.
+func DialSubscriber(addr, id, subscription string, handler func(*Event)) (*RemoteSubscription, error) {
+	f, err := filter.ParseFilter(subscription)
+	if err != nil {
+		return nil, err
+	}
+	s, err := broker.DialSubscriber(addr, id, f, broker.SubscriberOptions{}, handler)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteSubscription{sub: s}, nil
+}
+
+// Stats reports events received (pre perfect filtering) and delivered.
+func (s *RemoteSubscription) Stats() (received, delivered uint64) { return s.sub.Stats() }
+
+// Close unsubscribes and tears the connection down.
+func (s *RemoteSubscription) Close() error { return s.sub.Close() }

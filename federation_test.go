@@ -1,0 +1,139 @@
+package eventsys
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFederationFacade drives the networked facade end to end: three
+// federated brokers in a chain, a subscriber at each edge, publishes at
+// one edge — covering ServeBroker, DialPublisher/DialSubscriber, the
+// interest propagation across peer links, and the PeerStats surface.
+func TestFederationFacade(t *testing.T) {
+	a, err := ServeBroker(BrokerOptions{ID: "geneva", PeerMaxStage: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ServeBroker(BrokerOptions{ID: "zurich", PeerMaxStage: 2, Peers: []string{a.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	c, err := ServeBroker(BrokerOptions{ID: "basel", PeerMaxStage: 2, Peers: []string{b.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitForCond(t, "links up", func() bool {
+		up := 0
+		for _, br := range []*Broker{a, b, c} {
+			for _, ps := range br.PeerStats() {
+				if ps.Up {
+					up++
+				}
+			}
+		}
+		return up == 4 // two edges, seen from both sides
+	})
+
+	// Advertise first so subscription state propagates in its properly
+	// hop-weakened forms; the advertisement disseminates basel-ward.
+	pub, err := DialPublisher(c.Addr(), "ticker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Advertise("Stock", "symbol", "price"); err != nil {
+		t.Fatal(err)
+	}
+	waitForCond(t, "advertisement to flood", func() bool {
+		for _, br := range []*Broker{a, b, c} {
+			if len(br.Advertised()) != 1 {
+				return false
+			}
+		}
+		return true
+	})
+
+	var mu sync.Mutex
+	got := make(map[string][]uint64)
+	record := func(who string) func(*Event) {
+		return func(e *Event) {
+			mu.Lock()
+			got[who] = append(got[who], e.ID)
+			mu.Unlock()
+		}
+	}
+	subA, err := DialSubscriber(a.Addr(), "alice", `class = "Stock" && symbol = "ACME"`, record("alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subA.Close()
+	subB, err := DialSubscriber(b.Addr(), "bob", `class = "Stock" && price < 10`, record("bob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subB.Close()
+	// The publisher sits at basel, so the routing state that matters:
+	// zurich must hold alice's (hop-weakened) interest toward geneva,
+	// and basel at least one interest toward zurich — covering pruning
+	// may legitimately collapse alice's hop-2 and bob's hop-1 forms into
+	// one class-level interest there, so no exact global count is
+	// asserted.
+	waitForCond(t, "interests to flood", func() bool {
+		return b.FederationFilters() == 2 && c.FederationFilters() >= 1
+	})
+	events := []*Event{
+		NewEvent("Stock").Str("symbol", "ACME").Float("price", 12).ID(1).Build(),
+		NewEvent("Stock").Str("symbol", "OTHR").Float("price", 5).ID(2).Build(),
+		NewEvent("Stock").Str("symbol", "ACME").Float("price", 8).ID(3).Build(),
+	}
+	for _, e := range events[:2] {
+		if err := pub.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pub.PublishBatch(events[2:]); err != nil {
+		t.Fatal(err)
+	}
+
+	waitForCond(t, "deliveries to land", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got["alice"]) == 2 && len(got["bob"]) == 2
+	})
+	mu.Lock()
+	alice, bob := fmt.Sprint(got["alice"]), fmt.Sprint(got["bob"])
+	mu.Unlock()
+	if alice != "[1 3]" {
+		t.Errorf("alice delivered %s, want [1 3]", alice)
+	}
+	if bob != "[2 3]" {
+		t.Errorf("bob delivered %s, want [2 3]", bob)
+	}
+
+	// The middle broker forwarded toward geneva, and the covering
+	// economy is visible on the stats surface.
+	st := b.Stats()
+	if st.PeerForwarded == 0 {
+		t.Errorf("zurich forwarded no events; stats %+v", st)
+	}
+	if recvd, delivered := subA.Stats(); recvd == 0 || delivered != 2 {
+		t.Errorf("alice client stats: received=%d delivered=%d, want delivered 2", recvd, delivered)
+	}
+}
+
+// waitForCond polls cond until it holds or a deadline passes.
+func waitForCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

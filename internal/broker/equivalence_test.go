@@ -1,0 +1,203 @@
+package broker
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"time"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/mesh"
+	"eventsys/internal/typing"
+	"eventsys/internal/workload"
+)
+
+// TestFederationMeshEquivalence is the federation's correctness oracle:
+// on random acyclic topologies and random workloads, a TCP-federated set
+// of brokers must deliver exactly the same event set per subscriber as
+// the synchronous in-process mesh — which itself is oracle-checked
+// against the centralized baseline in internal/mesh. Both run the same
+// peering core; this test exercises the wire frames, the async SubUpdate
+// propagation, the SubSet resyncs on link establishment, and reverse-
+// path Forward routing on top of it.
+func TestFederationMeshEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process federation harness")
+	}
+	for _, tc := range []struct {
+		brokers, subs, events int
+		seed                  uint64
+	}{
+		{1, 6, 80, 101},
+		{3, 9, 100, 202},
+		{3, 9, 100, 203},
+		{5, 15, 120, 304},
+		{5, 15, 120, 305},
+	} {
+		t.Run(fmt.Sprintf("n%d_seed%d", tc.brokers, tc.seed), func(t *testing.T) {
+			runEquivalenceRound(t, tc.brokers, tc.subs, tc.events, tc.seed)
+		})
+	}
+}
+
+func runEquivalenceRound(t *testing.T, brokers, subs, events int, seed uint64) {
+	rng := rand.New(rand.NewPCG(seed, seed^0xfeed))
+	bib, err := workload.NewBiblio(seed, workload.DefaultBiblio())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := bib.Generator().Advertisement(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ads typing.AdvertisementSet
+	if err := ads.Put(ad); err != nil {
+		t.Fatal(err)
+	}
+
+	// Random tree topology: broker i attaches to a random earlier broker.
+	parent := make([]int, brokers)
+	for i := 1; i < brokers; i++ {
+		parent[i] = rng.IntN(i)
+	}
+	// Random placements and workload, shared by both systems.
+	type subscription struct {
+		id   string
+		home int
+		f    *filter.Filter
+	}
+	population := make([]subscription, subs)
+	for k := range population {
+		population[k] = subscription{
+			id:   fmt.Sprintf("sub%02d", k),
+			home: rng.IntN(brokers),
+			f:    bib.Subscription(0.2, true),
+		}
+	}
+	evs := make([]*event.Event, events)
+	pubAt := make([]int, events)
+	for i := range evs {
+		evs[i] = bib.Event()
+		pubAt[i] = rng.IntN(brokers)
+	}
+
+	// ---- In-process mesh reference (synchronous, deterministic). ----
+	ref := mesh.New(mesh.Config{Ads: &ads, MaxStage: 3})
+	ids := make([]mesh.BrokerID, brokers)
+	for i := range ids {
+		ids[i] = mesh.BrokerID(fmt.Sprintf("B%d", i))
+		if err := ref.AddBroker(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < brokers; i++ {
+		if err := ref.Connect(ids[parent[i]], ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// ---- TCP federation with the same shape. ----
+	servers := make([]*Server, brokers)
+	degree := make([]int, brokers) // up-links each broker must settle at
+	for i := range servers {
+		var peers []string
+		if i > 0 {
+			peers = []string{servers[parent[i]].Addr()} // edge dialed by the child side
+			degree[i]++
+			degree[parent[i]]++
+		}
+		servers[i] = startPeer(t, string(ids[i]), ServerConfig{PeerMaxStage: 3, Seed: seed + uint64(i)}, peers...)
+	}
+	for i := range servers {
+		waitPeersUp(t, servers[i], degree[i])
+	}
+	// Advertise once; dissemination floods the acyclic peer graph.
+	adPub, err := DialPublisher(servers[0].Addr(), "advertiser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := adPub.Advertise(ad); err != nil {
+		t.Fatal(err)
+	}
+	adPub.Close()
+	for _, srv := range servers {
+		s := srv
+		waitFor(t, "advertisement to reach "+s.cfg.ID, func() bool {
+			return len(s.Advertised()) == 1
+		})
+	}
+
+	// ---- Subscribe in lockstep: after each subscription, the federated
+	// filter state must settle to exactly the mesh's count (both sides
+	// run the same covering pruning over the same arrival order). ----
+	fedFilters := func() int {
+		n := 0
+		for _, srv := range servers {
+			n += srv.FederationFilters()
+		}
+		return n
+	}
+	collectors := make(map[string]*collector, subs)
+	for _, sub := range population {
+		if err := ref.Subscribe(ids[sub.home], sub.id, sub.f); err != nil {
+			t.Fatal(err)
+		}
+		col := &collector{}
+		collectors[sub.id] = col
+		h, err := DialSubscriber(servers[sub.home].Addr(), sub.id, sub.f, SubscriberOptions{}, col.add)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Close()
+		want := ref.StoredFilters()
+		waitFor(t, fmt.Sprintf("federation state to settle at %d after %s", want, sub.id), func() bool {
+			return fedFilters() == want
+		})
+	}
+
+	// ---- Publish the shared workload and collect the reference sets.
+	// The mesh assigns its own event IDs to clones; the generator IDs on
+	// the originals key the comparison. ----
+	expected := make(map[string][]uint64, subs)
+	pubs := make([]*Publisher, brokers)
+	for i := range pubs {
+		p, err := DialPublisher(servers[i].Addr(), fmt.Sprintf("pub%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		pubs[i] = p
+	}
+	for i, ev := range evs {
+		delivered, err := ref.Publish(ids[pubAt[i]], ev.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, subID := range delivered {
+			expected[subID] = append(expected[subID], ev.ID)
+		}
+		if err := pubs[pubAt[i]].Publish(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// ---- Every subscriber must converge on exactly the mesh's set. ----
+	deadline := time.Now().Add(30 * time.Second)
+	for _, sub := range population {
+		want := expected[sub.id]
+		col := collectors[sub.id]
+		for col.len() < len(want) && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		got := col.ids()
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		wantSorted := append([]uint64(nil), want...)
+		sort.Slice(wantSorted, func(i, j int) bool { return wantSorted[i] < wantSorted[j] })
+		if fmt.Sprint(got) != fmt.Sprint(wantSorted) {
+			t.Errorf("subscriber %s (home %s): delivered %v, mesh reference %v",
+				sub.id, ids[sub.home], got, wantSorted)
+		}
+	}
+}

@@ -1,0 +1,360 @@
+package broker
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/transport"
+)
+
+// collector accumulates delivered events behind a mutex.
+type collector struct {
+	mu     sync.Mutex
+	events []*event.Event
+}
+
+func (c *collector) add(e *event.Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+func (c *collector) ids() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]uint64, len(c.events))
+	for i, e := range c.events {
+		out[i] = e.ID
+	}
+	return out
+}
+
+func (c *collector) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// startPeer starts a stage-1 standalone broker that dials the given
+// peers.
+func startPeer(t *testing.T, id string, cfg ServerConfig, peers ...string) *Server {
+	t.Helper()
+	cfg.ID = id
+	cfg.Stage = 1
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	cfg.Peers = peers
+	srv, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// waitPeersUp polls until the broker reports n up peer links.
+func waitPeersUp(t *testing.T, s *Server, n int) {
+	t.Helper()
+	waitFor(t, fmt.Sprintf("%s to see %d peers up", s.cfg.ID, n), func() bool {
+		up := 0
+		for _, ps := range s.PeerStats() {
+			if ps.Up {
+				up++
+			}
+		}
+		return up == n
+	})
+}
+
+func TestFederationTwoBrokerDelivery(t *testing.T) {
+	a := startPeer(t, "A", ServerConfig{})
+	b := startPeer(t, "B", ServerConfig{}, a.Addr())
+	waitPeersUp(t, a, 1)
+	waitPeersUp(t, b, 1)
+
+	var got collector
+	sub, err := DialSubscriber(b.Addr(), "carol",
+		filter.MustParseFilter(`class = "Stock" && symbol = "X"`),
+		SubscriberOptions{}, got.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	// The subscription propagates A-ward; wait until A holds it.
+	waitFor(t, "A to learn carol's interest", func() bool {
+		return a.FederationFilters() == 1
+	})
+
+	pub, err := DialPublisher(a.Addr(), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish(event.NewBuilder("Stock").Str("symbol", "X").ID(1).Build()); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(event.NewBuilder("Stock").Str("symbol", "Y").ID(2).Build()); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(event.NewBuilder("Stock").Str("symbol", "X").ID(3).Build()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "matching events to arrive", func() bool { return got.len() == 2 })
+	if ids := got.ids(); fmt.Sprint(ids) != "[1 3]" {
+		t.Errorf("delivered IDs = %v, want [1 3]", ids)
+	}
+	// Reverse-path metrics: A forwarded the two matching events.
+	ps := a.PeerStats()
+	if len(ps) != 1 || ps[0].Forwards != 2 || !ps[0].Up {
+		t.Errorf("A peer stats = %+v, want 2 forwards on an up link", ps)
+	}
+}
+
+func TestFederationLineNoEcho(t *testing.T) {
+	// A - B - C; subscribers at A and C, publish at B: each edge broker
+	// delivers once, and nothing bounces back.
+	a := startPeer(t, "A", ServerConfig{})
+	b := startPeer(t, "B", ServerConfig{}, a.Addr())
+	c := startPeer(t, "C", ServerConfig{}, b.Addr())
+	waitPeersUp(t, b, 2)
+	waitPeersUp(t, c, 1)
+
+	var atA, atC collector
+	subA, err := DialSubscriber(a.Addr(), "alice", filter.MustParseFilter(`x = 1`), SubscriberOptions{}, atA.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subA.Close()
+	subC, err := DialSubscriber(c.Addr(), "carol", filter.MustParseFilter(`x = 1`), SubscriberOptions{}, atC.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subC.Close()
+	waitFor(t, "interests to flood", func() bool {
+		// alice: local at A, interest at B and C; carol: local at C,
+		// interest at B and A → 6 filters total.
+		return a.FederationFilters()+b.FederationFilters()+c.FederationFilters() == 6
+	})
+
+	pub, err := DialPublisher(b.Addr(), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish(event.NewBuilder("T").Int("x", 1).ID(9).Build()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "both subscribers to receive", func() bool {
+		return atA.len() == 1 && atC.len() == 1
+	})
+	// No echo: B forwarded one copy per link; A and C forwarded nothing.
+	time.Sleep(20 * time.Millisecond)
+	if atA.len() != 1 || atC.len() != 1 {
+		t.Errorf("duplicate delivery: A=%d C=%d", atA.len(), atC.len())
+	}
+	for _, srv := range []*Server{a, c} {
+		for _, ps := range srv.PeerStats() {
+			if ps.Forwards != 0 {
+				t.Errorf("%s forwarded %d events, want 0", srv.cfg.ID, ps.Forwards)
+			}
+		}
+	}
+}
+
+func TestFederationCoveringSuppression(t *testing.T) {
+	a := startPeer(t, "A", ServerConfig{})
+	b := startPeer(t, "B", ServerConfig{}, a.Addr())
+	waitPeersUp(t, b, 1)
+
+	var got collector
+	broad, err := DialSubscriber(b.Addr(), "broad",
+		filter.MustParseFilter(`class = "Stock" && price < 100`), SubscriberOptions{}, got.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broad.Close()
+	waitFor(t, "broad to propagate", func() bool { return a.FederationFilters() == 1 })
+
+	narrow, err := DialSubscriber(b.Addr(), "narrow",
+		filter.MustParseFilter(`class = "Stock" && price < 10`), SubscriberOptions{}, got.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer narrow.Close()
+
+	// The covered narrow filter must be suppressed, not propagated.
+	waitFor(t, "suppression to register", func() bool {
+		for _, ps := range b.PeerStats() {
+			if ps.Suppressed == 1 && ps.Propagated == 1 {
+				return true
+			}
+		}
+		return false
+	})
+	if n := a.FederationFilters(); n != 1 {
+		t.Errorf("A stores %d interests, want 1 (narrow pruned)", n)
+	}
+	// Both subscribers still receive through the covering filter.
+	pub, err := DialPublisher(a.Addr(), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish(event.NewBuilder("Stock").Float("price", 5).ID(1).Build()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "both to receive", func() bool { return got.len() == 2 })
+}
+
+func TestFederationReconnectResync(t *testing.T) {
+	// Without stores: a link drop loses nothing already learned, and a
+	// subscription added while the link is down arrives via resync.
+	a := startPeer(t, "A", ServerConfig{})
+	b := startPeer(t, "B", ServerConfig{}, a.Addr())
+	waitPeersUp(t, b, 1)
+	waitPeersUp(t, a, 1)
+
+	// Restart A on the same address: B's supervisor redials.
+	addr := a.Addr()
+	a.Close()
+	waitFor(t, "B to see the link down", func() bool {
+		ps := b.PeerStats()
+		return len(ps) == 1 && !ps[0].Up
+	})
+
+	var got collector
+	sub, err := DialSubscriber(b.Addr(), "carol", filter.MustParseFilter(`x = 1`), SubscriberOptions{}, got.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	a2 := startPeer(t, "A", ServerConfig{ListenAddr: addr})
+	waitPeersUp(t, b, 1)
+	// The resync must hand carol's interest to the fresh A.
+	waitFor(t, "resynced interest at A", func() bool { return a2.FederationFilters() == 1 })
+
+	pub, err := DialPublisher(a2.Addr(), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish(event.NewBuilder("T").Int("x", 1).ID(5).Build()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "delivery after resync", func() bool { return got.len() == 1 })
+}
+
+// TestFederationHierarchyBridge combines both deployment shapes: a
+// two-stage hierarchy (root R1, leaf L1) whose root federates with a
+// standalone peer R2. Interests from subscribers below L1 must cross
+// ReqInsert → federation plane so that events published at R2 route
+// R2 → R1 → L1; several subscribers below one child aggregate under one
+// federation key and must all survive (a later child filter must not
+// replace an earlier one).
+func TestFederationHierarchyBridge(t *testing.T) {
+	r1, err := Serve(ServerConfig{ID: "R1", Stage: 2, ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r1.Close)
+	l1, err := Serve(ServerConfig{ID: "L1", Stage: 1, ListenAddr: "127.0.0.1:0", ParentAddr: r1.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l1.Close)
+	r2 := startPeer(t, "R2", ServerConfig{}, r1.Addr()) // R2 dials the root
+	waitPeersUp(t, r2, 1)
+
+	// Two subscribers at the leaf with disjoint interests; both must
+	// reach R2 through the @child aggregate.
+	var atStock, atBond collector
+	subS, err := DialSubscriber(l1.Addr(), "stocker",
+		filter.MustParseFilter(`class = "Stock" && symbol = "ACME" && price < 10`),
+		SubscriberOptions{}, atStock.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subS.Close()
+	subB, err := DialSubscriber(l1.Addr(), "bonder",
+		filter.MustParseFilter(`class = "Bond" && rate < 3 && issuer = "CH"`),
+		SubscriberOptions{}, atBond.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subB.Close()
+	waitFor(t, "both subtree interests to reach R2", func() bool {
+		return r2.FederationFilters() == 2
+	})
+
+	pub, err := DialPublisher(r2.Addr(), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	for _, ev := range []*event.Event{
+		event.NewBuilder("Stock").Str("symbol", "ACME").Float("price", 5).ID(1).Build(),
+		event.NewBuilder("Bond").Float("rate", 2).Str("issuer", "CH").ID(2).Build(),
+		event.NewBuilder("Stock").Str("symbol", "ACME").Float("price", 50).ID(3).Build(),
+	} {
+		if err := pub.Publish(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "federated events to reach the leaf's subscribers", func() bool {
+		return atStock.len() == 1 && atBond.len() == 1
+	})
+	time.Sleep(20 * time.Millisecond)
+	if ids := atStock.ids(); fmt.Sprint(ids) != "[1]" {
+		t.Errorf("stocker delivered %v, want [1]", ids)
+	}
+	if ids := atBond.ids(); fmt.Sprint(ids) != "[2]" {
+		t.Errorf("bonder delivered %v, want [2]", ids)
+	}
+}
+
+// TestPeerQueueSalvagedOnDrop pins the dead-connection salvage path:
+// Forward frames that were enqueued on a peer link (consuming the
+// durable cursor when they came from a replay) but never written to the
+// socket must re-enter the durable spool when the link drops, not
+// vanish with the writer goroutine.
+func TestPeerQueueSalvagedOnDrop(t *testing.T) {
+	dir := t.TempDir()
+	a := startPeer(t, "A", ServerConfig{DataDir: filepath.Join(dir, "A")})
+	b := startPeer(t, "B", ServerConfig{DataDir: filepath.Join(dir, "B")}, a.Addr())
+	defer b.Close()
+	waitPeersUp(t, a, 1)
+
+	// Inside the core: tear the connection down (the writer exits and
+	// stops draining), then strand frames in the queue and drop the
+	// peer — exactly the state after a peer dies mid-replay.
+	const stranded = 3
+	ok := a.coreQuery(func() {
+		link := a.peerLinks["B"]
+		pc := link.pc
+		pc.close()
+		<-pc.writerDone
+		for i := 1; i <= stranded; i++ {
+			pc.out <- transport.Forward{Event: event.NewBuilder("T").ID(uint64(i)).Build()}
+		}
+		a.dropPeer(pc)
+	})
+	if !ok {
+		t.Fatal("core query failed")
+	}
+	var ps PeerLinkStats
+	for _, st := range a.PeerStats() {
+		if st.Peer == "B" {
+			ps = st
+		}
+	}
+	if ps.Spooled != stranded || ps.Dropped != 0 {
+		t.Fatalf("peer stats after drop = %+v, want %d salvaged into the spool", ps, stranded)
+	}
+}

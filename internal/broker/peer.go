@@ -1,0 +1,401 @@
+package broker
+
+import (
+	"net"
+	"sort"
+	"time"
+
+	"eventsys/internal/event"
+	"eventsys/internal/peering"
+	"eventsys/internal/transport"
+)
+
+// peerSpoolPrefix namespaces the durable-store cursors that back peer
+// links' spill queues; peerChildPrefix namespaces child brokers'
+// aggregate interests on the federation plane. Subscriber IDs starting
+// with "@" are rejected to keep both namespaces unaliasable.
+const (
+	peerSpoolPrefix = "@peer/"
+	peerChildPrefix = "@child/"
+)
+
+// spoolKey returns the durable-store cursor key of a peer link.
+func spoolKey(peerID string) string { return peerSpoolPrefix + peerID }
+
+// childFedKey returns the federation-plane local key aggregating a child
+// broker's subtree interests.
+func childFedKey(childID string) string { return peerChildPrefix + childID }
+
+// peerLink is one federation link's connection-independent state. It is
+// owned by the core goroutine; the subscription/interest state lives in
+// the shared peering.Core under the same ID.
+type peerLink struct {
+	id   string
+	addr string    // last advertised listen address (metadata)
+	pc   *peerConn // nil while the link is down
+
+	forwards uint64 // events enqueued to this link
+	spooled  uint64 // events spilled to the durable store for this link
+	dropped  uint64 // events lost (saturated queue, no store)
+	resyncs  uint64 // SubSet syncs sent on (re-)establishment
+}
+
+// PeerLinkStats is a point-in-time snapshot of one federation link.
+type PeerLinkStats struct {
+	// Peer is the remote broker's ID; Addr its last advertised address.
+	Peer string
+	Addr string
+	// Up reports whether a connection is currently attached.
+	Up bool
+	// Interests is the number of filters learned from the peer; Sent the
+	// number propagated to it (after covering pruning).
+	Interests int
+	Sent      int
+	// Propagated and Suppressed count subscription entries offered to
+	// the link: sent versus pruned by covering.
+	Propagated uint64
+	Suppressed uint64
+	// Forwards counts events enqueued to the link; Spooled events
+	// spilled to the durable store while the link was down or
+	// saturated; Dropped events lost with no store to spill to.
+	Forwards uint64
+	Spooled  uint64
+	Dropped  uint64
+	// Resyncs counts SubSet exchanges sent on link (re-)establishment.
+	Resyncs uint64
+	// Pending is the spooled backlog not yet replayed to the peer.
+	Pending int
+}
+
+// peerSupervisor dials one configured peer address and keeps it dialed:
+// on connection loss it backs off and redials. The PeerHello handshake
+// and all link state changes happen in the core goroutine; the
+// supervisor only owns the dial loop.
+func (s *Server) peerSupervisor(addr string) {
+	defer s.wg.Done()
+	const maxBackoff = 2 * time.Second
+	backoff := 50 * time.Millisecond
+	for {
+		if s.ctx.Err() != nil {
+			return
+		}
+		d := net.Dialer{Timeout: 3 * time.Second}
+		c, err := d.DialContext(s.ctx, "tcp", addr)
+		if err != nil {
+			select {
+			case <-s.ctx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			continue
+		}
+		backoff = 50 * time.Millisecond
+		pc := newPeerConn(c)
+		pc.kind, pc.dialed = transport.PeerMeshBroker, true
+		if err := transport.WriteFrame(c, transport.PeerHello{ID: s.cfg.ID, Addr: s.Addr()}); err != nil {
+			c.Close()
+			continue
+		}
+		s.mu.Lock()
+		s.conns[pc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(2)
+		go s.readLoop(pc)
+		go s.writeLoop(pc)
+		select {
+		case <-pc.done:
+		case <-s.ctx.Done():
+			return
+		}
+		// Brief pause before redial so a crashed peer's port can rebind.
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// handlePeerHello attaches a connection to its federation link (creating
+// the link on first contact), replies with this broker's own PeerHello
+// when the peer dialed us, resynchronizes subscription state with a full
+// SubSet, and replays any durable spool accumulated while the link was
+// down.
+func (s *Server) handlePeerHello(pc *peerConn, msg transport.PeerHello) {
+	if msg.ID == "" || msg.ID == s.cfg.ID {
+		s.log.Warn("rejecting peer hello", "peer", msg.ID)
+		pc.close()
+		return
+	}
+	link := s.ensurePeerLink(msg.ID)
+	link.addr = msg.Addr
+	if link.pc != nil && link.pc != pc {
+		// Latest handshake wins: a reconnecting peer may race its own
+		// half-dead previous connection, which would otherwise shadow
+		// the live one until a TCP timeout.
+		s.log.Warn("replacing duplicate peer connection", "peer", msg.ID)
+		link.pc.link = nil
+		link.pc.close()
+	}
+	link.pc = pc
+	pc.link = link
+	pc.kind = transport.PeerMeshBroker
+	pc.id = msg.ID
+	if !pc.dialed {
+		s.sendTo(pc, transport.PeerHello{ID: s.cfg.ID, Addr: s.Addr()})
+	}
+	entries := s.fed.Sync(peering.LinkID(msg.ID))
+	s.sendCtrl(link, transport.SubSet{Entries: entriesToWire(entries)})
+	link.resyncs++
+	s.counters.AddPeerResyncs(1)
+	s.log.Info("peer link up", "peer", msg.ID, "addr", msg.Addr, "sync_entries", len(entries))
+	s.replayPeerSpool(link)
+}
+
+// ensurePeerLink returns the link for a peer ID, creating it (and its
+// spool cursor) on first contact.
+func (s *Server) ensurePeerLink(id string) *peerLink {
+	link := s.peerLinks[id]
+	if link != nil {
+		return link
+	}
+	link = &peerLink{id: id}
+	s.peerLinks[id] = link
+	s.fed.AddLink(peering.LinkID(id))
+	if s.store != nil {
+		if _, _, err := s.store.Register(spoolKey(id)); err != nil {
+			s.log.Warn("peer spool register failed", "peer", id, "err", err)
+		}
+	}
+	return link
+}
+
+func (s *Server) handleSubSet(pc *peerConn, msg transport.SubSet) {
+	if pc.link == nil {
+		return
+	}
+	ups := s.fed.Replace(peering.LinkID(pc.link.id), entriesFromWire(msg.Entries))
+	s.persistPeerState(pc.link)
+	s.fanUpdates(ups)
+}
+
+func (s *Server) handleSubUpdate(pc *peerConn, msg transport.SubUpdate) {
+	if pc.link == nil || msg.Entry.Filter == nil {
+		return
+	}
+	ups := s.fed.Apply(peering.LinkID(pc.link.id),
+		peering.Entry{Filter: msg.Entry.Filter, Hops: msg.Entry.Hops})
+	// Incremental updates only mark the persisted state dirty; the
+	// flusher rewrites it off the hot path (a subscription burst would
+	// otherwise stall the core behind one file rewrite per update).
+	s.markPeerDirty(pc.link)
+	s.fanUpdates(ups)
+}
+
+// fanUpdates sends incremental subscription updates to their links. Down
+// links are skipped — the SubSet resync on reconnect carries the full
+// current state, so nothing is lost.
+func (s *Server) fanUpdates(ups []peering.Update) {
+	for _, u := range ups {
+		link := s.peerLinks[string(u.Link)]
+		if link == nil || link.pc == nil {
+			continue
+		}
+		s.sendCtrl(link, transport.SubUpdate{Entry: transport.SubEntry{Hops: u.Hops, Filter: u.Filter}})
+	}
+}
+
+// sendCtrl enqueues a control frame (SubSet/SubUpdate) for a peer link.
+// Control traffic must not be silently lost — a dropped update would
+// under-deliver until the next resync — so a saturated queue tears the
+// connection down instead: the dialing side redials and the SubSet
+// resync repairs the state.
+func (s *Server) sendCtrl(link *peerLink, m transport.Message) {
+	if !s.trySend(link.pc, m) {
+		s.log.Warn("peer queue saturated on control frame; recycling link", "peer", link.id)
+		link.pc.close()
+	}
+}
+
+// fanPeers routes a batch of events to the federation links whose
+// interests match, excluding the arrival link (reverse-path forwarding).
+// Matching events bound for the same link leave as one ForwardBatch.
+func (s *Server) fanPeers(events []*event.Event, from peering.LinkID) {
+	if len(s.peerLinks) == 0 {
+		return
+	}
+	var order []peering.LinkID
+	var byLink map[peering.LinkID][]*event.Event
+	for _, ev := range events {
+		if ev == nil {
+			continue
+		}
+		for _, id := range s.fed.MatchLinks(ev, from) {
+			if byLink == nil {
+				byLink = make(map[peering.LinkID][]*event.Event)
+			}
+			if _, seen := byLink[id]; !seen {
+				order = append(order, id)
+			}
+			byLink[id] = append(byLink[id], ev)
+		}
+	}
+	for _, id := range order {
+		s.forwardToPeer(s.peerLinks[string(id)], byLink[id])
+	}
+}
+
+// forwardToPeer sends a run of events down one federation link,
+// preserving per-link FIFO: a down link spills to the durable spool, a
+// pending spool drains ahead of new events (or the new events queue
+// behind it), and a saturated queue spills rather than reorders. Without
+// a store the events are dropped and counted — parity with the
+// subscriber-queue drop accounting.
+func (s *Server) forwardToPeer(link *peerLink, evs []*event.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	if link.pc == nil {
+		s.spoolTo(link, evs)
+		return
+	}
+	// A pending spool (spilled during a saturation spell or a previous
+	// down period) must drain first or new events overtake it. Skip the
+	// replay attempt while the queue is still full.
+	if s.store != nil && s.store.Pending(spoolKey(link.id)) > 0 &&
+		(len(link.pc.out) == cap(link.pc.out) || s.replayPeerSpool(link) > 0) {
+		s.spoolTo(link, evs)
+		return
+	}
+	var m transport.Message
+	if len(evs) == 1 {
+		m = transport.Forward{Event: evs[0]}
+	} else {
+		m = transport.ForwardBatch{Events: evs}
+	}
+	if s.trySend(link.pc, m) {
+		link.forwards += uint64(len(evs))
+		s.counters.AddPeerForwarded(uint64(len(evs)))
+		return
+	}
+	s.spoolTo(link, evs)
+}
+
+// spoolTo persists events for a link the broker cannot reach right now;
+// with no store (or an append failure) they are dropped and counted.
+func (s *Server) spoolTo(link *peerLink, evs []*event.Event) {
+	if s.storeBatchFor(spoolKey(link.id), evs) {
+		link.spooled += uint64(len(evs))
+		return
+	}
+	link.dropped += uint64(len(evs))
+	s.counters.AddDropped(uint64(len(evs)))
+	s.log.Warn("peer link unreachable and no store; dropping", "peer", link.id, "events", len(evs))
+}
+
+// replayPeerSpool drains the link's durable spool as Forward frames, in
+// original order, returning the backlog still pending.
+func (s *Server) replayPeerSpool(link *peerLink) (remaining int) {
+	if link.pc == nil {
+		return 0
+	}
+	n := s.replayQueue(link.pc, spoolKey(link.id), func(ev *event.Event) transport.Message {
+		return transport.Forward{Event: ev}
+	})
+	return n
+}
+
+// entriesToWire converts peering entries to their wire form.
+func entriesToWire(in []peering.Entry) []transport.SubEntry {
+	out := make([]transport.SubEntry, len(in))
+	for i, e := range in {
+		out[i] = transport.SubEntry{Hops: e.Hops, Filter: e.Filter}
+	}
+	return out
+}
+
+// entriesFromWire converts wire entries to peering form, dropping any
+// nil filters a hostile peer might send.
+func entriesFromWire(in []transport.SubEntry) []peering.Entry {
+	out := make([]peering.Entry, 0, len(in))
+	for _, e := range in {
+		if e.Filter == nil {
+			continue
+		}
+		out = append(out, peering.Entry{Filter: e.Filter, Hops: e.Hops})
+	}
+	return out
+}
+
+// coreQuery runs fn inside the core goroutine and waits for it; it
+// reports false when the broker is shutting down.
+func (s *Server) coreQuery(fn func()) bool {
+	done := make(chan struct{})
+	select {
+	case s.coreCh <- coreEvent{call: func() { fn(); close(done) }}:
+	case <-s.ctx.Done():
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	case <-s.ctx.Done():
+		return false
+	}
+}
+
+// PeerStats snapshots every federation link (sorted by peer ID) via a
+// round-trip through the core goroutine.
+func (s *Server) PeerStats() []PeerLinkStats {
+	var out []PeerLinkStats
+	s.coreQuery(func() {
+		stats := make(map[string]*PeerLinkStats, len(s.peerLinks))
+		for id, link := range s.peerLinks {
+			st := &PeerLinkStats{
+				Peer:     id,
+				Addr:     link.addr,
+				Up:       link.pc != nil,
+				Forwards: link.forwards,
+				Spooled:  link.spooled,
+				Dropped:  link.dropped,
+				Resyncs:  link.resyncs,
+			}
+			if s.store != nil {
+				st.Pending = s.store.Pending(spoolKey(id))
+			}
+			stats[id] = st
+		}
+		for _, ls := range s.fed.LinkStats() {
+			if st, ok := stats[string(ls.Link)]; ok {
+				st.Interests = ls.Interests
+				st.Sent = ls.Sent
+				st.Propagated = ls.Propagated
+				st.Suppressed = ls.Suppressed
+			}
+		}
+		out = make([]PeerLinkStats, 0, len(stats))
+		for _, st := range stats {
+			out = append(out, *st)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	})
+	return out
+}
+
+// FederationFilters reports the broker's federation-plane filter count
+// (local originals plus per-link interests) — the mesh's StoredFilters
+// for one node.
+func (s *Server) FederationFilters() int {
+	n := 0
+	s.coreQuery(func() { n = s.fed.FilterCount() })
+	return n
+}
+
+// Advertised returns the event classes this broker has advertisements
+// for, sorted (advertisements arrive via publishers or dissemination).
+func (s *Server) Advertised() []string {
+	return s.ads.Classes()
+}

@@ -1,0 +1,154 @@
+package broker
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"eventsys/internal/peering"
+	"eventsys/internal/transport"
+)
+
+// Peer-link interest sets are persisted under DataDir/peers, one file
+// per link, so a restarted broker can route events replayed by a
+// reconnecting neighbor toward links that are not back up yet — without
+// this, a middle broker restarting in a chain would drop the replayed
+// backlog for want of the far side's interests, reopening the very gap
+// the durable spool closed. Each file holds two ordinary wire frames
+// (PeerHello carrying the peer's identity, then a SubSet with the
+// interests), written to a temp file and renamed into place.
+
+// peerStateDir returns the persistence directory ("" without a store).
+func (s *Server) peerStateDir() string {
+	if s.cfg.DataDir == "" {
+		return ""
+	}
+	return filepath.Join(s.cfg.DataDir, "peers")
+}
+
+// markPeerDirty schedules a rewrite of the link's persisted interest
+// set; the flusher (or shutdown) performs it. Core-owned.
+func (s *Server) markPeerDirty(link *peerLink) {
+	if s.peerStateDir() == "" {
+		return
+	}
+	s.peerDirty[link.id] = struct{}{}
+}
+
+// flushPeerState rewrites every dirty link's persisted interest set.
+// Runs in core context.
+func (s *Server) flushPeerState() {
+	for id := range s.peerDirty {
+		delete(s.peerDirty, id)
+		if link := s.peerLinks[id]; link != nil {
+			s.persistPeerState(link)
+		}
+	}
+}
+
+// peerStateFlusher periodically asks the core to flush dirty persisted
+// peer state — a crash loses at most one debounce window of learned
+// interests, which the next resync rewrites anyway.
+func (s *Server) peerStateFlusher() {
+	defer s.wg.Done()
+	t := time.NewTicker(500 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			s.post(coreEvent{call: s.flushPeerState})
+		}
+	}
+}
+
+// persistPeerState writes one link's current interest set; failures are
+// logged, not fatal (the link still works, only restart recovery
+// degrades).
+func (s *Server) persistPeerState(link *peerLink) {
+	dir := s.peerStateDir()
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		s.log.Warn("peer state dir", "err", err)
+		return
+	}
+	entries := s.fed.Entries(peering.LinkID(link.id))
+	path := filepath.Join(dir, hex.EncodeToString([]byte(link.id))+".subs")
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		s.log.Warn("peer state create", "peer", link.id, "err", err)
+		return
+	}
+	err = transport.WriteFrame(f, transport.PeerHello{ID: link.id, Addr: link.addr})
+	if err == nil {
+		err = transport.WriteFrame(f, transport.SubSet{Entries: entriesToWire(entries)})
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		s.log.Warn("peer state write", "peer", link.id, "err", err)
+	}
+}
+
+// loadPeerState rebuilds persisted peer links at startup: each link is
+// created in the down state with its interest set replayed into the
+// federation core, and its spool cursor re-registered. Corrupt files are
+// skipped (the next resync rewrites them).
+func (s *Server) loadPeerState() error {
+	dir := s.peerStateDir()
+	if dir == "" {
+		return nil
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*.subs"))
+	if err != nil {
+		return err
+	}
+	for _, path := range names {
+		id, addr, entries, err := readPeerState(path)
+		if err != nil {
+			s.log.Warn("skipping corrupt peer state", "path", path, "err", err)
+			continue
+		}
+		link := s.ensurePeerLink(id)
+		link.addr = addr
+		s.fed.Replace(peering.LinkID(id), entries)
+		s.log.Info("recovered peer link state", "peer", id, "interests", len(entries))
+	}
+	return nil
+}
+
+func readPeerState(path string) (id, addr string, entries []peering.Entry, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", "", nil, err
+	}
+	defer f.Close()
+	m1, err := transport.ReadFrame(f)
+	if err != nil {
+		return "", "", nil, err
+	}
+	hello, ok := m1.(transport.PeerHello)
+	if !ok || hello.ID == "" {
+		return "", "", nil, fmt.Errorf("broker: %s: not a peer state file", path)
+	}
+	m2, err := transport.ReadFrame(f)
+	if err != nil {
+		return "", "", nil, err
+	}
+	ss, ok := m2.(transport.SubSet)
+	if !ok {
+		return "", "", nil, fmt.Errorf("broker: %s: missing interest set", path)
+	}
+	return hello.ID, hello.Addr, entriesFromWire(ss.Entries), nil
+}

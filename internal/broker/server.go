@@ -5,6 +5,15 @@
 // the Figure 5 placement protocol by following join-At redirects from
 // broker to broker.
 //
+// Beyond the parent/child hierarchy, brokers federate as peers over an
+// acyclic mesh (ServerConfig.Peers): each link exchanges hop-weakened
+// subscription state with covering-based pruning (internal/peering, the
+// same core the in-process mesh runs), and events follow the reverse
+// paths as Forward/ForwardBatch frames. A lost peer link keeps its
+// learned interests; matching events spill to the durable store while
+// the link is down and replay in order on reconnect, after a SubSet
+// resync. See peer.go.
+//
 // Concurrency model mirrors the in-process overlay: one core goroutine
 // owns the routing state; a reader goroutine per connection feeds it; a
 // writer goroutine per connection drains a buffered outbound queue so a
@@ -24,6 +33,7 @@ import (
 	"log/slog"
 	"math/rand/v2"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -31,6 +41,7 @@ import (
 	"eventsys/internal/filter"
 	"eventsys/internal/index"
 	"eventsys/internal/metrics"
+	"eventsys/internal/peering"
 	"eventsys/internal/routing"
 	"eventsys/internal/store"
 	"eventsys/internal/transport"
@@ -82,6 +93,17 @@ type ServerConfig struct {
 	// StoreMaxBytes bounds the store's retained log; oldest segments are
 	// evicted beyond it (0 = unbounded).
 	StoreMaxBytes int64
+	// Peers lists peer broker addresses to dial and keep dialed (with
+	// reconnect) for mesh federation. The federation graph must be
+	// acyclic, and each edge must be configured on exactly one side —
+	// the other side only accepts. Inbound peers need no configuration.
+	Peers []string
+	// PeerMaxStage clamps hop-distance weakening of subscription state
+	// propagated to peers (the mesh's MaxStage): a filter h hops from
+	// its subscriber is stored in its stage-min(h, PeerMaxStage) form.
+	// 0 propagates full filters (no weakening) — always exact, most
+	// state.
+	PeerMaxStage int
 }
 
 // Server is a running broker node.
@@ -105,8 +127,14 @@ type Server struct {
 	conns map[*peerConn]struct{}
 
 	// core-owned state (no locking needed):
-	byID     map[routing.NodeID]*peerConn
-	counters *metrics.Counters
+	byID      map[routing.NodeID]*peerConn
+	counters  *metrics.Counters
+	fed       *peering.Core        // federation routing state
+	peerLinks map[string]*peerLink // by peer broker ID
+	// peerDirty marks links whose persisted interest set is stale; the
+	// flusher goroutine rewrites them in batches instead of on every
+	// incremental SubUpdate.
+	peerDirty map[string]struct{}
 }
 
 type coreEvent struct {
@@ -115,6 +143,7 @@ type coreEvent struct {
 	gone  bool
 	tick  tickKind
 	query chan int // ChildBrokers snapshot request
+	call  func()   // generic core-context query (PeerStats etc.)
 }
 
 type tickKind int
@@ -135,9 +164,24 @@ type peerConn struct {
 	id   string
 	addr string // child broker's advertised listen address
 
+	// dialed marks connections this broker initiated (parent dials, peer
+	// supervisors dial); link is the federation link once a PeerHello
+	// names the peer (core-owned).
+	dialed bool
+	link   *peerLink
+
 	c    net.Conn
 	out  chan transport.Message
-	once sync.Once
+	done chan struct{} // closed with the connection (supervisor redial cue)
+	// writerDone is closed when the write loop exits; after that,
+	// whatever remains in out was never written and can be salvaged.
+	writerDone chan struct{}
+	once       sync.Once
+}
+
+func newPeerConn(c net.Conn) *peerConn {
+	return &peerConn{c: c, out: make(chan transport.Message, 1024),
+		done: make(chan struct{}), writerDone: make(chan struct{})}
 }
 
 // Serve starts a broker and returns once it is listening.
@@ -157,14 +201,16 @@ func Serve(cfg ServerConfig) (*Server, error) {
 		logger = slog.New(slog.DiscardHandler)
 	}
 	s := &Server{
-		cfg:    cfg,
-		log:    logger.With("broker", cfg.ID, "stage", cfg.Stage),
-		ads:    &typing.AdvertisementSet{},
-		rng:    rand.New(rand.NewPCG(cfg.Seed, uint64(cfg.Stage))),
-		ln:     ln,
-		coreCh: make(chan coreEvent, 1024),
-		conns:  make(map[*peerConn]struct{}),
-		byID:   make(map[routing.NodeID]*peerConn),
+		cfg:       cfg,
+		log:       logger.With("broker", cfg.ID, "stage", cfg.Stage),
+		ads:       &typing.AdvertisementSet{},
+		rng:       rand.New(rand.NewPCG(cfg.Seed, uint64(cfg.Stage))),
+		ln:        ln,
+		coreCh:    make(chan coreEvent, 1024),
+		conns:     make(map[*peerConn]struct{}),
+		byID:      make(map[routing.NodeID]*peerConn),
+		peerLinks: make(map[string]*peerLink),
+		peerDirty: make(map[string]struct{}),
 	}
 	if s.cfg.MaxBatch <= 0 {
 		s.cfg.MaxBatch = DefaultMaxBatch
@@ -189,6 +235,12 @@ func Serve(cfg ServerConfig) (*Server, error) {
 		Counters: s.counters,
 		Engine:   index.Config{Kind: engine, Conf: conf, Shards: cfg.Shards},
 	})
+	s.fed = peering.New(peering.Config{
+		Conformance: conf,
+		Ads:         s.ads,
+		MaxStage:    cfg.PeerMaxStage,
+		Counters:    s.counters,
+	})
 	if cfg.DataDir != "" {
 		st, err := store.Open(cfg.DataDir, store.Options{SyncEvery: cfg.SyncEvery, MaxBytes: cfg.StoreMaxBytes})
 		if err != nil {
@@ -196,6 +248,12 @@ func Serve(cfg ServerConfig) (*Server, error) {
 			return nil, err
 		}
 		s.store = st
+		// Rebuild peer links (and their learned interests) persisted by a
+		// previous incarnation, so events replayed by reconnecting peers
+		// route onward even before every neighbor link is back up.
+		if err := s.loadPeerState(); err != nil {
+			s.log.Warn("peer state recovery failed", "err", err)
+		}
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 
@@ -214,6 +272,14 @@ func Serve(cfg ServerConfig) (*Server, error) {
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.core()
+	for _, addr := range cfg.Peers {
+		s.wg.Add(1)
+		go s.peerSupervisor(addr)
+	}
+	if s.store != nil {
+		s.wg.Add(1)
+		go s.peerStateFlusher()
+	}
 	if cfg.TTL > 0 {
 		s.wg.Add(1)
 		go s.ticker()
@@ -233,6 +299,9 @@ func (s *Server) Stats() metrics.NodeStats {
 // Close shuts the broker down and waits for all goroutines. The durable
 // store (if any) is flushed and closed last.
 func (s *Server) Close() {
+	// Final peer-state flush while the core still runs, so debounced
+	// interest updates reach disk before shutdown.
+	s.coreQuery(s.flushPeerState)
 	s.cancel()
 	s.ln.Close()
 	s.mu.Lock()
@@ -254,8 +323,8 @@ func (s *Server) dialParent() (*peerConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("broker: dial parent %s: %w", s.cfg.ParentAddr, err)
 	}
-	pc := &peerConn{kind: transport.PeerChildBroker, id: "parent", c: c,
-		out: make(chan transport.Message, 1024)}
+	pc := newPeerConn(c)
+	pc.kind, pc.id, pc.dialed = transport.PeerChildBroker, "parent", true
 	hello := transport.Hello{Kind: transport.PeerChildBroker, ID: s.cfg.ID, Addr: s.Addr()}
 	if err := transport.WriteFrame(c, hello); err != nil {
 		c.Close()
@@ -281,7 +350,7 @@ func (s *Server) acceptLoop() {
 			s.log.Warn("accept failed", "err", err)
 			continue
 		}
-		pc := &peerConn{c: c, out: make(chan transport.Message, 1024)}
+		pc := newPeerConn(c)
 		s.mu.Lock()
 		s.conns[pc] = struct{}{}
 		s.mu.Unlock()
@@ -305,9 +374,14 @@ func (s *Server) readLoop(pc *peerConn) {
 
 func (s *Server) writeLoop(pc *peerConn) {
 	defer s.wg.Done()
+	defer close(pc.writerDone)
 	for {
 		select {
 		case <-s.ctx.Done():
+			return
+		case <-pc.done:
+			// Connection torn down: stop draining so undelivered frames
+			// stay in the queue for dropPeer to salvage.
 			return
 		case m, ok := <-pc.out:
 			if !ok {
@@ -350,7 +424,10 @@ func (s *Server) trySend(pc *peerConn, m transport.Message) bool {
 }
 
 func (pc *peerConn) close() {
-	pc.once.Do(func() { pc.c.Close() })
+	pc.once.Do(func() {
+		pc.c.Close()
+		close(pc.done)
+	})
 }
 
 func (s *Server) ticker() {
@@ -394,7 +471,7 @@ func (s *Server) core() {
 func (s *Server) dispatchCore(ev coreEvent, batch []*event.Event) []*event.Event {
 	for {
 		collected := false
-		if !ev.gone && ev.query == nil && ev.tick == tickNone {
+		if !ev.gone && ev.query == nil && ev.call == nil && ev.tick == tickNone {
 			switch m := ev.msg.(type) {
 			case transport.Publish:
 				if m.Event != nil {
@@ -413,19 +490,22 @@ func (s *Server) dispatchCore(ev coreEvent, batch []*event.Event) []*event.Event
 		if !collected {
 			// A non-publish event interleaved with publishes: flush what
 			// was coalesced so far, then handle it — queue order holds.
-			s.flushPublishBatch(batch)
+			// (Peer Forward frames take this path too: they carry their
+			// own arrival link for echo suppression, so they never mix
+			// into a locally-published batch.)
+			s.flushPublishBatch(batch, "")
 			batch = batch[:0]
 			s.handleCore(ev)
 			return batch
 		}
 		if len(batch) >= s.cfg.MaxBatch {
-			s.flushPublishBatch(batch)
+			s.flushPublishBatch(batch, "")
 			batch = batch[:0]
 		}
 		select {
 		case ev = <-s.coreCh:
 		default:
-			s.flushPublishBatch(batch)
+			s.flushPublishBatch(batch, "")
 			return batch[:0]
 		}
 	}
@@ -433,6 +513,8 @@ func (s *Server) dispatchCore(ev coreEvent, batch []*event.Event) []*event.Event
 
 func (s *Server) handleCore(ev coreEvent) {
 	switch {
+	case ev.call != nil:
+		ev.call()
 	case ev.query != nil:
 		n := 0
 		for _, pc := range s.byID {
@@ -464,6 +546,13 @@ func (s *Server) handleCore(ev coreEvent) {
 					s.store.Forget(string(id))
 				}
 			}
+			// Expired subscribers also leave the federation plane (their
+			// propagated state stays until link resyncs, like the mesh).
+			for _, id := range removed {
+				if !s.node.Table().HasID(id) {
+					s.fed.Unsubscribe(string(id))
+				}
+			}
 		}
 	case ev.gone:
 		s.dropPeer(ev.pc)
@@ -474,11 +563,26 @@ func (s *Server) handleCore(ev coreEvent) {
 
 func (s *Server) dropPeer(pc *peerConn) {
 	pc.close()
+	// The write loop exits promptly once the connection is closed (an
+	// in-flight write errors out); after that, frames still queued in
+	// pc.out were never written and can be salvaged.
+	<-pc.writerDone
 	s.mu.Lock()
 	delete(s.conns, pc)
 	s.mu.Unlock()
 	if pc == s.parent {
 		s.log.Warn("parent link lost")
+		return
+	}
+	if pc.link != nil {
+		// A federation link went down: keep its learned interests so
+		// matching events keep spilling to the durable store; the
+		// dialing side's supervisor reconnects and resyncs.
+		if pc.link.pc == pc {
+			pc.link.pc = nil
+			s.log.Warn("peer link down", "peer", pc.link.id)
+		}
+		s.salvageQueued(pc, spoolKey(pc.link.id), pc.link)
 		return
 	}
 	if pc.id != "" {
@@ -487,6 +591,49 @@ func (s *Server) dropPeer(pc *peerConn) {
 			if pc.kind == transport.PeerChildBroker {
 				s.node.RemoveChild(routing.NodeID(pc.id))
 			}
+		}
+		if pc.kind == transport.PeerSubscriber {
+			s.salvageQueued(pc, pc.id, nil)
+		}
+	}
+}
+
+// salvageQueued rescues the events left in a dead connection's outbound
+// queue — enqueued (and, for replayed backlog, already consumed from the
+// durable cursor) but never written to the socket. They re-enter the
+// durable backlog when that preserves order, i.e. when no older backlog
+// is pending behind them; a non-durable target just loses its queue, as
+// before. For peer links an unsalvageable queue is counted as dropped —
+// never silently, never reordered.
+func (s *Server) salvageQueued(pc *peerConn, key string, link *peerLink) {
+	var evs []*event.Event
+	for {
+		var m transport.Message
+		select {
+		case m = <-pc.out:
+		default:
+			if len(evs) == 0 {
+				return
+			}
+			if s.store != nil && s.store.Pending(key) == 0 && s.storeBatchFor(key, evs) {
+				if link != nil {
+					link.spooled += uint64(len(evs))
+				}
+				s.log.Info("salvaged undelivered queue", "key", key, "events", len(evs))
+			} else if link != nil {
+				link.dropped += uint64(len(evs))
+				s.counters.AddDropped(uint64(len(evs)))
+				s.log.Warn("peer link queue lost", "peer", link.id, "events", len(evs))
+			}
+			return
+		}
+		switch f := m.(type) {
+		case transport.Forward:
+			evs = append(evs, f.Event)
+		case transport.ForwardBatch:
+			evs = append(evs, f.Events...)
+		case transport.Deliver:
+			evs = append(evs, f.Event)
 		}
 	}
 }
@@ -508,25 +655,40 @@ func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
 		if msg.Event == nil {
 			return
 		}
-		s.flushPublishBatch([]*event.Event{msg.Event})
+		s.flushPublishBatch([]*event.Event{msg.Event}, "")
 	case transport.PublishBatch:
-		s.flushPublishBatch(msg.Events)
+		s.flushPublishBatch(msg.Events, "")
+	case transport.PeerHello:
+		s.handlePeerHello(pc, msg)
+	case transport.SubSet:
+		s.handleSubSet(pc, msg)
+	case transport.SubUpdate:
+		s.handleSubUpdate(pc, msg)
+	case transport.Forward:
+		if pc.link == nil || msg.Event == nil {
+			return
+		}
+		s.flushPublishBatch([]*event.Event{msg.Event}, peering.LinkID(pc.link.id))
+	case transport.ForwardBatch:
+		if pc.link == nil {
+			return
+		}
+		s.flushPublishBatch(msg.Events, peering.LinkID(pc.link.id))
 	case transport.Subscribe:
 		if msg.Filter == nil {
 			return
 		}
+		if strings.HasPrefix(msg.SubscriberID, "@") {
+			// Reserved namespace: a subscriber must not alias a peer
+			// link's durable spool cursor ("@peer/…") or a child
+			// broker's federation aggregate ("@child/…").
+			s.log.Warn("rejecting reserved subscriber ID", "id", msg.SubscriberID)
+			s.sendTo(pc, transport.SubscribeReply{Accepted: false, TargetAddr: ""})
+			return
+		}
 		res := s.node.HandleSubscribe(msg.Filter, routing.NodeID(msg.SubscriberID), s.rng, time.Now())
 		if res.Action == routing.ActionAccept {
-			if s.store != nil {
-				if _, _, err := s.store.Register(msg.SubscriberID); err != nil {
-					s.log.Warn("store register failed", "subscriber", msg.SubscriberID, "err", err)
-				}
-			}
-			s.sendTo(pc, transport.SubscribeReply{Accepted: true, Stored: res.Stored})
-			// Replay any backlog stored while this subscriber was away —
-			// after the reply (the client discards frames until it), and
-			// before any live event (the core enqueues both in order).
-			s.replayStored(pc)
+			s.acceptLocalSub(pc, msg.SubscriberID, msg.Filter, res.Stored)
 			if res.Up != nil && s.parent != nil {
 				s.sendTo(s.parent, transport.ReqInsert{ChildID: s.cfg.ID, Filter: res.Up})
 			}
@@ -538,7 +700,7 @@ func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
 			// locally rather than strand the subscriber.
 			acc := s.node.HandleSubscribe(msg.Filter, routing.NodeID(msg.SubscriberID), s.rng, time.Now())
 			if acc.Action == routing.ActionAccept {
-				s.sendTo(pc, transport.SubscribeReply{Accepted: true, Stored: acc.Stored})
+				s.acceptLocalSub(pc, msg.SubscriberID, msg.Filter, acc.Stored)
 			} else {
 				s.sendTo(pc, transport.SubscribeReply{Accepted: false, TargetAddr: ""})
 			}
@@ -553,6 +715,14 @@ func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
 		if up != nil && s.parent != nil {
 			s.sendTo(s.parent, transport.ReqInsert{ChildID: s.cfg.ID, Filter: up})
 		}
+		// The subtree's interest joins the federation plane too:
+		// without this, events published at peer brokers would never
+		// route toward subscribers living below this broker's children.
+		// The core absorbs filters covered by ones already registered
+		// for the child, so repeated inserts stay bounded. (Peer links
+		// belong on hierarchy roots: events cross the federation at the
+		// top and fan down — see docs/ARCHITECTURE.md.)
+		s.fanUpdates(s.fed.Subscribe(childFedKey(msg.ChildID), msg.Filter))
 	case transport.Renew:
 		if msg.Filter == nil {
 			return
@@ -566,8 +736,11 @@ func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
 		// Drop the durable cursor only when this was the subscriber's
 		// last filter here — unsubscribing one of several must not
 		// destroy the backlog the others are still owed.
-		if s.store != nil && !s.node.Table().HasID(routing.NodeID(msg.ID)) {
-			s.store.Forget(msg.ID)
+		if !s.node.Table().HasID(routing.NodeID(msg.ID)) {
+			if s.store != nil {
+				s.store.Forget(msg.ID)
+			}
+			s.fed.Unsubscribe(msg.ID)
 		}
 	case transport.Advertise:
 		if msg.Ad == nil {
@@ -578,13 +751,38 @@ func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
 			return
 		}
 		// Disseminate down the tree (Section 4.1: advertisements reach
-		// every node).
+		// every node) and across the federation (acyclic, so excluding
+		// the arrival link terminates the flood).
 		for _, dst := range s.byID {
 			if dst.kind == transport.PeerChildBroker {
 				s.sendTo(dst, msg)
 			}
 		}
+		for _, link := range s.peerLinks {
+			if link.pc != nil && link.pc != pc {
+				s.sendTo(link.pc, msg)
+			}
+		}
 	}
+}
+
+// acceptLocalSub finishes an accepted subscription: durable cursor,
+// reply, stored-backlog replay, and federation-plane registration of the
+// subscriber's original filter.
+func (s *Server) acceptLocalSub(pc *peerConn, subID string, original, stored *filter.Filter) {
+	if s.store != nil {
+		if _, _, err := s.store.Register(subID); err != nil {
+			s.log.Warn("store register failed", "subscriber", subID, "err", err)
+		}
+	}
+	s.sendTo(pc, transport.SubscribeReply{Accepted: true, Stored: stored})
+	// Replay any backlog stored while this subscriber was away — after
+	// the reply (the client discards frames until it), and before any
+	// live event (the core enqueues both in order).
+	s.replayStored(pc)
+	// Propagate the original (stage-0) filter to peers: each hop stores
+	// a hop-weakened form, exactly as the in-process mesh does.
+	s.fanUpdates(s.fed.Subscribe(subID, original))
 }
 
 // flushPublishBatch matches a coalesced run of events in one table pass
@@ -594,11 +792,14 @@ func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
 // as one AppendBatch (amortizing locking and fsyncs). Connected
 // subscribers are routed in event order, so per-subscriber FIFO — and
 // the stored-backlog-first replay invariant — hold exactly as on the
-// per-event path.
-func (s *Server) flushPublishBatch(events []*event.Event) {
+// per-event path. Events also fan out to federation peer links with a
+// matching interest (reverse-path forwarding), excluding the link the
+// batch arrived on (fromPeer, "" for local publishes).
+func (s *Server) flushPublishBatch(events []*event.Event, fromPeer peering.LinkID) {
 	if len(events) == 0 {
 		return
 	}
+	s.fanPeers(events, fromPeer)
 	routes := s.node.HandleEventBatch(events)
 	var childOrder, storeOrder []routing.NodeID
 	var toChild, toStore map[routing.NodeID][]*event.Event
@@ -725,23 +926,32 @@ func (s *Server) storeFor(subID string, ev *event.Event) bool {
 // caller — until the next replay opportunity (another matching event, or
 // a reconnect).
 func (s *Server) replayStored(pc *peerConn) (remaining int) {
-	if s.store == nil || pc.id == "" {
+	if pc.id == "" {
 		return 0
 	}
-	if s.store.Pending(pc.id) == 0 {
+	return s.replayQueue(pc, pc.id, func(ev *event.Event) transport.Message {
+		return transport.Deliver{Event: ev}
+	})
+}
+
+// replayQueue drains the stored backlog under key into pc's outbound
+// queue, wrapping each event with wrap (Deliver for subscribers, Forward
+// for peer links). It returns the backlog still pending after the drain.
+func (s *Server) replayQueue(pc *peerConn, key string, wrap func(*event.Event) transport.Message) (remaining int) {
+	if s.store == nil || s.store.Pending(key) == 0 {
 		return 0
 	}
-	n, err := s.store.Replay(pc.id, func(ev *event.Event) bool {
-		return s.trySend(pc, transport.Deliver{Event: ev})
+	n, err := s.store.Replay(key, func(ev *event.Event) bool {
+		return s.trySend(pc, wrap(ev))
 	})
 	if err != nil {
-		s.log.Warn("store replay failed", "subscriber", pc.id, "err", err)
+		s.log.Warn("store replay failed", "key", key, "err", err)
 	}
 	if n > 0 {
 		s.counters.AddStoreReplayed(uint64(n))
-		s.log.Info("replayed stored backlog", "subscriber", pc.id, "events", n)
+		s.log.Info("replayed stored backlog", "key", key, "events", n)
 	}
-	return s.store.Pending(pc.id)
+	return s.store.Pending(key)
 }
 
 // ChildBrokers reports the currently connected child broker count via a

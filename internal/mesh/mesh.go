@@ -15,11 +15,17 @@
 // an arbitrary acyclic topology. Covering-based pruning suppresses
 // propagation of filters already covered by what a link carries.
 //
+// The routing and weakening state lives in internal/peering's
+// transport-agnostic Core (one per broker); this package supplies the
+// in-process transport — synchronous recursion — while internal/broker
+// carries the very same core state over TCP peer links.
+//
 // The implementation is deterministic and synchronous (like the
 // simulator): Publish walks the graph in the calling goroutine. A Mesh
 // is safe for concurrent use through a single mutex; throughput-oriented
 // deployments should shard by class or wrap brokers in actors as
-// internal/overlay does for the hierarchy.
+// internal/overlay does for the hierarchy — or run the networked broker
+// federation, which shares this package's semantics.
 package mesh
 
 import (
@@ -30,8 +36,8 @@ import (
 	"eventsys/internal/event"
 	"eventsys/internal/filter"
 	"eventsys/internal/metrics"
+	"eventsys/internal/peering"
 	"eventsys/internal/typing"
-	"eventsys/internal/weaken"
 )
 
 // BrokerID identifies a mesh broker.
@@ -39,11 +45,10 @@ type BrokerID string
 
 // Mesh is an acyclic graph of brokers.
 type Mesh struct {
-	mu       sync.Mutex
-	conf     filter.Conformance
-	weak     *weaken.Weakener
-	maxStage int
-	brokers  map[BrokerID]*broker
+	mu  sync.Mutex
+	cfg peering.Config
+
+	brokers map[BrokerID]*broker
 	// parentOf implements union-find for acyclicity checking.
 	parentOf  map[BrokerID]BrokerID
 	collector *metrics.Collector
@@ -54,16 +59,8 @@ type Mesh struct {
 type broker struct {
 	id        BrokerID
 	neighbors []BrokerID
-	// interests[n] holds the filters received from neighbor n: an event
-	// matching any of them is forwarded to n (reverse-path forwarding).
-	interests map[BrokerID][]*filter.Filter
-	// sent[n] holds the filters this broker has propagated to neighbor
-	// n, for covering-based pruning.
-	sent map[BrokerID][]*filter.Filter
-	// locals are this broker's own subscribers with their original
-	// (perfect) filters.
-	locals   map[string]*filter.Filter
-	counters *metrics.Counters
+	core      *peering.Core
+	counters  *metrics.Counters
 }
 
 // Config parameterizes a Mesh.
@@ -84,17 +81,16 @@ func New(cfg Config) *Mesh {
 	if conf == nil {
 		conf = filter.ExactTypes{}
 	}
-	m := &Mesh{
-		conf:      conf,
-		maxStage:  cfg.MaxStage,
+	return &Mesh{
+		cfg: peering.Config{
+			Conformance: conf,
+			Ads:         cfg.Ads,
+			MaxStage:    cfg.MaxStage,
+		},
 		brokers:   make(map[BrokerID]*broker),
 		parentOf:  make(map[BrokerID]BrokerID),
 		collector: &metrics.Collector{},
 	}
-	if cfg.Ads != nil {
-		m.weak = weaken.New(cfg.Ads, conf)
-	}
-	return m
 }
 
 // AddBroker registers a broker.
@@ -108,11 +104,9 @@ func (m *Mesh) AddBroker(id BrokerID) error {
 		return fmt.Errorf("mesh: broker %q already exists", id)
 	}
 	m.brokers[id] = &broker{
-		id:        id,
-		interests: make(map[BrokerID][]*filter.Filter),
-		sent:      make(map[BrokerID][]*filter.Filter),
-		locals:    make(map[string]*filter.Filter),
-		counters:  m.collector.Counters(string(id), 1),
+		id:       id,
+		core:     peering.New(m.cfg),
+		counters: m.collector.Counters(string(id), 1),
 	}
 	m.parentOf[id] = id
 	return nil
@@ -150,6 +144,8 @@ func (m *Mesh) Connect(a, b BrokerID) error {
 	m.parentOf[ra] = rb
 	ba.neighbors = append(ba.neighbors, b)
 	bb.neighbors = append(bb.neighbors, a)
+	ba.core.AddLink(peering.LinkID(b))
+	bb.core.AddLink(peering.LinkID(a))
 	return nil
 }
 
@@ -165,60 +161,23 @@ func (m *Mesh) Subscribe(at BrokerID, subscriberID string, f *filter.Filter) err
 	if f == nil {
 		return fmt.Errorf("mesh: nil filter")
 	}
-	if _, dup := home.locals[subscriberID]; dup {
+	if home.core.HasLocal(subscriberID) {
 		return fmt.Errorf("mesh: subscriber %q already attached at %q", subscriberID, at)
 	}
-	home.locals[subscriberID] = f.Clone()
-	home.counters.SetFilters(home.filterCount())
-	// Flood to every neighbor with hop distance 1.
-	for _, n := range home.neighbors {
-		m.propagate(home, n, f, 1)
-	}
+	m.carry(home, home.core.Subscribe(subscriberID, f))
+	home.counters.SetFilters(home.core.FilterCount())
 	return nil
 }
 
-// propagate sends filter f (weakened for hop distance h) from broker src
-// to its neighbor dst, recursing onward. Covering pruning: skip when a
-// filter already sent on that link covers the new one.
-func (m *Mesh) propagate(src *broker, dstID BrokerID, f *filter.Filter, hops int) {
-	wf := m.weakenFor(f, hops)
-	for _, g := range src.sent[dstID] {
-		if filter.Covers(g, wf, m.conf) {
-			return // link already carries a superset toward src
-		}
+// carry is the in-process transport: it delivers each update to the
+// neighbor's core and recurses on the onward updates the neighbor emits.
+func (m *Mesh) carry(src *broker, updates []peering.Update) {
+	for _, u := range updates {
+		dst := m.brokers[BrokerID(u.Link)]
+		onward := dst.core.Apply(peering.LinkID(src.id), u.Entry)
+		dst.counters.SetFilters(dst.core.FilterCount())
+		m.carry(dst, onward)
 	}
-	src.sent[dstID] = append(src.sent[dstID], wf)
-	dst := m.brokers[dstID]
-	dst.interests[src.id] = append(dst.interests[src.id], wf)
-	dst.counters.SetFilters(dst.filterCount())
-	for _, n := range dst.neighbors {
-		if n == src.id {
-			continue
-		}
-		m.propagate(dst, n, f, hops+1)
-	}
-}
-
-// weakenFor returns the filter weakened for hop distance h.
-func (m *Mesh) weakenFor(f *filter.Filter, hops int) *filter.Filter {
-	if m.weak == nil || m.maxStage <= 0 {
-		return f.Clone()
-	}
-	stage := hops
-	if stage > m.maxStage {
-		stage = m.maxStage
-	}
-	return m.weak.Filter(f, stage)
-}
-
-// filterCount reports the broker's total stored filters (local + per
-// link), the quantity LC counts.
-func (b *broker) filterCount() int {
-	n := len(b.locals)
-	for _, fs := range b.interests {
-		n += len(fs)
-	}
-	return n
 }
 
 // Publish injects an event at a broker and returns the IDs of
@@ -246,32 +205,17 @@ func (m *Mesh) walk(b *broker, from BrokerID, e *event.Event, delivered *[]strin
 	b.counters.AddReceived(1)
 	matchedAny := false
 	// Local subscribers: perfect filtering with original filters.
-	for id, f := range b.locals {
-		if f.Matches(e, m.conf) {
-			matchedAny = true
-			b.counters.AddDelivered(1)
-			*delivered = append(*delivered, id)
-		}
+	for _, id := range b.core.MatchLocals(e) {
+		matchedAny = true
+		b.counters.AddDelivered(1)
+		*delivered = append(*delivered, id)
 	}
 	// Reverse-path forwarding: neighbor n gets the event when any filter
 	// received from n matches.
-	for _, n := range b.neighbors {
-		if n == from {
-			continue
-		}
-		match := false
-		for _, f := range b.interests[n] {
-			if f.Matches(e, m.conf) {
-				match = true
-				break
-			}
-		}
-		if !match {
-			continue
-		}
+	for _, n := range b.core.MatchLinks(e, peering.LinkID(from)) {
 		matchedAny = true
 		b.counters.AddForwarded(1)
-		m.walk(m.brokers[n], b.id, e, delivered)
+		m.walk(m.brokers[BrokerID(n)], b.id, e, delivered)
 	}
 	if matchedAny {
 		b.counters.AddMatched(1)
@@ -290,9 +234,24 @@ func (m *Mesh) StoredFilters() int {
 	defer m.mu.Unlock()
 	total := 0
 	for _, b := range m.brokers {
-		total += b.filterCount()
+		total += b.core.FilterCount()
 	}
 	return total
+}
+
+// PropagationStats sums every broker's subscription-propagation counters:
+// entries carried over links versus entries suppressed by covering (the
+// federation plane's state economy).
+func (m *Mesh) PropagationStats() (propagated, suppressed uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, b := range m.brokers {
+		for _, ls := range b.core.LinkStats() {
+			propagated += ls.Propagated
+			suppressed += ls.Suppressed
+		}
+	}
+	return propagated, suppressed
 }
 
 // Brokers returns the broker IDs, sorted.

@@ -24,6 +24,11 @@ type Counters struct {
 
 	batchesMatched atomic.Uint64
 	batchSizeSum   atomic.Uint64
+
+	peerPropagated atomic.Uint64
+	peerSuppressed atomic.Uint64
+	peerForwarded  atomic.Uint64
+	peerResyncs    atomic.Uint64
 }
 
 // AddReceived records n events received for filtering.
@@ -64,6 +69,21 @@ func (c *Counters) AddBatchesMatched(n uint64) { c.batchesMatched.Add(n) }
 // AddBatchSizeSum records the number of events carried by matched batches.
 func (c *Counters) AddBatchSizeSum(n uint64) { c.batchSizeSum.Add(n) }
 
+// AddPeerPropagated records n subscription entries propagated to peer
+// links on the federation plane.
+func (c *Counters) AddPeerPropagated(n uint64) { c.peerPropagated.Add(n) }
+
+// AddPeerSuppressed records n subscription entries pruned by covering
+// instead of propagated (the federation plane's state economy).
+func (c *Counters) AddPeerSuppressed(n uint64) { c.peerSuppressed.Add(n) }
+
+// AddPeerForwarded records n events forwarded to peer links.
+func (c *Counters) AddPeerForwarded(n uint64) { c.peerForwarded.Add(n) }
+
+// AddPeerResyncs records n peer-link resyncs (SubSet exchanges after a
+// link is established or re-established).
+func (c *Counters) AddPeerResyncs(n uint64) { c.peerResyncs.Add(n) }
+
 // Received returns the events-received count.
 func (c *Counters) Received() uint64 { return c.received.Load() }
 
@@ -94,6 +114,18 @@ func (c *Counters) BatchesMatched() uint64 { return c.batchesMatched.Load() }
 // BatchSizeSum returns the total events carried by matched batches.
 func (c *Counters) BatchSizeSum() uint64 { return c.batchSizeSum.Load() }
 
+// PeerPropagated returns the peer-subscription-entries-propagated count.
+func (c *Counters) PeerPropagated() uint64 { return c.peerPropagated.Load() }
+
+// PeerSuppressed returns the covering-pruned peer-entry count.
+func (c *Counters) PeerSuppressed() uint64 { return c.peerSuppressed.Load() }
+
+// PeerForwarded returns the events-forwarded-to-peer-links count.
+func (c *Counters) PeerForwarded() uint64 { return c.peerForwarded.Load() }
+
+// PeerResyncs returns the peer-link-resync count.
+func (c *Counters) PeerResyncs() uint64 { return c.peerResyncs.Load() }
+
 // Filters returns the recorded stored-filter count.
 func (c *Counters) Filters() int { return int(c.filters.Load()) }
 
@@ -113,6 +145,10 @@ func (c *Counters) Stats(nodeID string, stage int) NodeStats {
 		StoredBytes:    c.StoredBytes(),
 		BatchesMatched: c.BatchesMatched(),
 		BatchSizeSum:   c.BatchSizeSum(),
+		PeerPropagated: c.PeerPropagated(),
+		PeerSuppressed: c.PeerSuppressed(),
+		PeerForwarded:  c.PeerForwarded(),
+		PeerResyncs:    c.PeerResyncs(),
 	}
 }
 
@@ -141,6 +177,14 @@ type NodeStats struct {
 	// of events coalesced per pass (1.0 means batching never kicked in).
 	BatchesMatched uint64
 	BatchSizeSum   uint64
+	// PeerPropagated, PeerSuppressed, PeerForwarded and PeerResyncs
+	// describe the node's federation plane: subscription entries sent to
+	// peer brokers, entries pruned by covering instead (state economy),
+	// events forwarded along peer links, and link resyncs performed.
+	PeerPropagated uint64
+	PeerSuppressed uint64
+	PeerForwarded  uint64
+	PeerResyncs    uint64
 }
 
 // LC returns the load complexity of the node (Section 5.1).

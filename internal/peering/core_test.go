@@ -1,0 +1,264 @@
+package peering
+
+import (
+	"fmt"
+	"testing"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/metrics"
+	"eventsys/internal/typing"
+)
+
+func biblioAds(t *testing.T) *typing.AdvertisementSet {
+	t.Helper()
+	var ads typing.AdvertisementSet
+	ad, err := typing.NewAdvertisement("Biblio", 4, "year", "conference", "author", "title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ads.Put(ad); err != nil {
+		t.Fatal(err)
+	}
+	return &ads
+}
+
+func TestSubscribePropagatesOncePerLink(t *testing.T) {
+	c := New(Config{})
+	c.AddLink("B")
+	c.AddLink("C")
+	ups := c.Subscribe("s1", filter.MustParseFilter(`x = 1`))
+	if len(ups) != 2 {
+		t.Fatalf("updates = %d, want 2", len(ups))
+	}
+	for i, want := range []LinkID{"B", "C"} {
+		if ups[i].Link != want || ups[i].Hops != 1 {
+			t.Errorf("update %d = %+v, want link %s hops 1", i, ups[i], want)
+		}
+	}
+	if !c.HasLocal("s1") || c.FilterCount() != 1 {
+		t.Errorf("locals not stored: count=%d", c.FilterCount())
+	}
+}
+
+func TestCoveringPrunesPropagation(t *testing.T) {
+	counters := &metrics.Counters{}
+	c := New(Config{Counters: counters})
+	c.AddLink("B")
+	if ups := c.Subscribe("broad", filter.MustParseFilter(`class = "Stock" && price < 100`)); len(ups) != 1 {
+		t.Fatalf("broad updates = %d, want 1", len(ups))
+	}
+	// A covered narrower filter must be suppressed.
+	if ups := c.Subscribe("narrow", filter.MustParseFilter(`class = "Stock" && price < 10`)); len(ups) != 0 {
+		t.Fatalf("narrow updates = %v, want none (covered)", ups)
+	}
+	// A disjoint filter still propagates.
+	if ups := c.Subscribe("other", filter.MustParseFilter(`class = "Bond"`)); len(ups) != 1 {
+		t.Fatalf("bond updates = %d, want 1", len(ups))
+	}
+	ls := c.LinkStats()
+	if len(ls) != 1 || ls[0].Propagated != 2 || ls[0].Suppressed != 1 {
+		t.Errorf("link stats = %+v, want propagated 2 suppressed 1", ls)
+	}
+	if counters.PeerPropagated() != 2 || counters.PeerSuppressed() != 1 {
+		t.Errorf("aggregate counters = %d/%d, want 2/1",
+			counters.PeerPropagated(), counters.PeerSuppressed())
+	}
+}
+
+func TestApplyStoresWeakenedAndForwardsOnward(t *testing.T) {
+	ads := biblioAds(t)
+	c := New(Config{Ads: ads, MaxStage: 3})
+	c.AddLink("A")
+	c.AddLink("C")
+	f := filter.MustParseFilter(
+		`class = "Biblio" && year = 2002 && conference = "X" && author = "Y" && title = "Z"`)
+	ups := c.Apply("A", Entry{Filter: f, Hops: 1})
+	if len(ups) != 1 || ups[0].Link != "C" || ups[0].Hops != 2 {
+		t.Fatalf("onward updates = %+v, want one toward C at hops 2", ups)
+	}
+	// Stage-1 weakening drops title: an event differing only in title
+	// still matches the stored interest.
+	e := event.NewBuilder("Biblio").Int("year", 2002).Str("conference", "X").
+		Str("author", "Y").Str("title", "Other").Build()
+	if links := c.MatchLinks(e, ""); len(links) != 1 || links[0] != "A" {
+		t.Errorf("MatchLinks = %v, want [A]", links)
+	}
+	// An event differing in author (kept at stage 1) does not match.
+	e2 := event.NewBuilder("Biblio").Int("year", 2002).Str("conference", "X").
+		Str("author", "Other").Str("title", "Z").Build()
+	if links := c.MatchLinks(e2, ""); len(links) != 0 {
+		t.Errorf("MatchLinks = %v, want none", links)
+	}
+	// The onward entry still carries the ORIGINAL filter so the next hop
+	// can weaken exactly.
+	if !ups[0].Filter.Equal(f) {
+		t.Errorf("onward filter = %s, want original", ups[0].Filter)
+	}
+}
+
+func TestMatchLinksExcludesArrival(t *testing.T) {
+	c := New(Config{})
+	c.AddLink("A")
+	c.AddLink("B")
+	f := filter.MustParseFilter(`x = 1`)
+	c.Apply("A", Entry{Filter: f, Hops: 1})
+	c.Apply("B", Entry{Filter: f, Hops: 1})
+	e := event.NewBuilder("T").Int("x", 1).Build()
+	if links := c.MatchLinks(e, "A"); fmt.Sprint(links) != "[B]" {
+		t.Errorf("MatchLinks from A = %v, want [B]", links)
+	}
+	if links := c.MatchLinks(e, ""); fmt.Sprint(links) != "[A B]" {
+		t.Errorf("MatchLinks = %v, want [A B]", links)
+	}
+}
+
+func TestReplaceResyncsInterestSet(t *testing.T) {
+	c := New(Config{})
+	c.AddLink("A")
+	c.Apply("A", Entry{Filter: filter.MustParseFilter(`x = 1`), Hops: 1})
+	c.Apply("A", Entry{Filter: filter.MustParseFilter(`x = 2`), Hops: 2})
+	if got := c.Entries("A"); len(got) != 2 {
+		t.Fatalf("entries = %d, want 2", len(got))
+	}
+	c.Replace("A", []Entry{{Filter: filter.MustParseFilter(`x = 3`), Hops: 1}})
+	got := c.Entries("A")
+	if len(got) != 1 || got[0].Hops != 1 {
+		t.Fatalf("entries after replace = %+v", got)
+	}
+	e := event.NewBuilder("T").Int("x", 1).Build()
+	if links := c.MatchLinks(e, ""); len(links) != 0 {
+		t.Errorf("stale interest survived replace: %v", links)
+	}
+	e3 := event.NewBuilder("T").Int("x", 3).Build()
+	if links := c.MatchLinks(e3, ""); len(links) != 1 {
+		t.Errorf("replaced interest not matching: %v", links)
+	}
+}
+
+func TestSyncSnapshotsFullState(t *testing.T) {
+	c := New(Config{})
+	c.AddLink("A")
+	c.Subscribe("s1", filter.MustParseFilter(`x = 1`))
+	c.Apply("A", Entry{Filter: filter.MustParseFilter(`y = 1`), Hops: 2})
+
+	// A new link C joins: its SubSet must carry the local at hops 1 and
+	// A's interest at hops 3.
+	entries := c.Sync("C")
+	if len(entries) != 2 {
+		t.Fatalf("sync entries = %+v, want 2", entries)
+	}
+	if entries[0].Hops != 1 || entries[1].Hops != 3 {
+		t.Errorf("hops = %d,%d, want 1,3", entries[0].Hops, entries[1].Hops)
+	}
+
+	// Re-sync after a reconnect resets sent state and re-offers the same
+	// snapshot (idempotent, not doubled).
+	again := c.Sync("C")
+	if len(again) != len(entries) {
+		t.Errorf("resync entries = %d, want %d", len(again), len(entries))
+	}
+	ls := c.LinkStats()
+	for _, l := range ls {
+		if l.Link == "C" && l.Sent != 2 {
+			t.Errorf("sent after resync = %d, want 2", l.Sent)
+		}
+	}
+}
+
+func TestSubscribeReplaceSameIDDoesNotError(t *testing.T) {
+	c := New(Config{})
+	c.AddLink("B")
+	c.Subscribe("s", filter.MustParseFilter(`x = 1`))
+	// Re-subscribing with the same filter is pruned by covering (the
+	// link already carries it) — the reconnect-with-same-ID path.
+	if ups := c.Subscribe("s", filter.MustParseFilter(`x = 1`)); len(ups) != 0 {
+		t.Errorf("re-subscribe updates = %v, want none", ups)
+	}
+	if c.FilterCount() != 1 {
+		t.Errorf("filter count = %d, want 1", c.FilterCount())
+	}
+}
+
+func TestUnsubscribeRemovesLocalOnly(t *testing.T) {
+	c := New(Config{})
+	c.AddLink("B")
+	c.Subscribe("s", filter.MustParseFilter(`x = 1`))
+	if !c.Unsubscribe("s") || c.Unsubscribe("s") {
+		t.Fatal("unsubscribe existence reporting wrong")
+	}
+	if c.HasLocal("s") {
+		t.Error("local survived unsubscribe")
+	}
+	e := event.NewBuilder("T").Int("x", 1).Build()
+	if got := c.MatchLocals(e); len(got) != 0 {
+		t.Errorf("MatchLocals = %v, want none", got)
+	}
+}
+
+// TestWeakeningClampsAtMaxStage: beyond MaxStage the stored filter stays
+// at the top weakening stage instead of vanishing.
+func TestWeakeningClampsAtMaxStage(t *testing.T) {
+	ads := biblioAds(t)
+	c := New(Config{Ads: ads, MaxStage: 2})
+	c.AddLink("FAR")
+	f := filter.MustParseFilter(
+		`class = "Biblio" && year = 2002 && conference = "X" && author = "Y" && title = "Z"`)
+	c.Apply("FAR", Entry{Filter: f, Hops: 9})
+	// Stage-2 keeps year and conference; an event matching those but not
+	// author/title must match the clamped interest.
+	e := event.NewBuilder("Biblio").Int("year", 2002).Str("conference", "X").
+		Str("author", "Q").Str("title", "Q").Build()
+	if links := c.MatchLinks(e, ""); len(links) != 1 {
+		t.Errorf("MatchLinks = %v, want [FAR]", links)
+	}
+	// Wrong year (kept at every stage) never matches.
+	e2 := event.NewBuilder("Biblio").Int("year", 1999).Str("conference", "X").
+		Str("author", "Y").Str("title", "Z").Build()
+	if links := c.MatchLinks(e2, ""); len(links) != 0 {
+		t.Errorf("MatchLinks = %v, want none", links)
+	}
+}
+
+func TestMultiFilterLocalSurvivesSync(t *testing.T) {
+	// One subscriber ID holding several filters (disjuncts, or a child
+	// broker's aggregate) must keep all of them: a later filter must not
+	// replace an earlier one, and a link (re)sync must carry every one.
+	c := New(Config{})
+	c.AddLink("B")
+	f1 := filter.MustParseFilter(`class = "Stock" && symbol = "ACME"`)
+	f2 := filter.MustParseFilter(`class = "Bond"`)
+	if ups := c.Subscribe("s", f1); len(ups) != 1 {
+		t.Fatalf("f1 updates = %d, want 1", len(ups))
+	}
+	if ups := c.Subscribe("s", f2); len(ups) != 1 {
+		t.Fatalf("f2 updates = %d, want 1", len(ups))
+	}
+	if c.FilterCount() != 2 {
+		t.Fatalf("filter count = %d, want 2 (both filters kept)", c.FilterCount())
+	}
+	// A resync recomputed from locals must still offer both.
+	if entries := c.Sync("B"); len(entries) != 2 {
+		t.Fatalf("sync entries = %d, want 2: %+v", len(entries), entries)
+	}
+	// Both filters match their respective events.
+	stock := event.NewBuilder("Stock").Str("symbol", "ACME").Build()
+	bond := event.NewBuilder("Bond").Build()
+	for _, e := range []*event.Event{stock, bond} {
+		if got := c.MatchLocals(e); len(got) != 1 || got[0] != "s" {
+			t.Errorf("MatchLocals(%s) = %v, want [s]", e, got)
+		}
+	}
+	// A filter covered by an existing one for the same ID is absorbed.
+	narrow := filter.MustParseFilter(`class = "Bond" && rate < 3`)
+	if ups := c.Subscribe("s", narrow); len(ups) != 0 {
+		t.Fatalf("covered filter propagated: %+v", ups)
+	}
+	if c.FilterCount() != 2 {
+		t.Fatalf("filter count after covered add = %d, want 2", c.FilterCount())
+	}
+	// Unsubscribe drops the whole ID.
+	if !c.Unsubscribe("s") || c.HasLocal("s") || c.FilterCount() != 0 {
+		t.Fatalf("unsubscribe did not clear all filters: count=%d", c.FilterCount())
+	}
+}

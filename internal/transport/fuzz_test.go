@@ -2,8 +2,10 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
+	"eventsys/internal/event"
 	"eventsys/internal/filter"
 )
 
@@ -18,6 +20,11 @@ func FuzzReadFrame(f *testing.F) {
 	buf.Reset()
 	_ = WriteFrame(&buf, Subscribe{SubscriberID: "s", Filter: mustFilter()})
 	f.Add(buf.Bytes())
+	for _, m := range peerSeedFrames() {
+		buf.Reset()
+		_ = WriteFrame(&buf, m)
+		f.Add(buf.Bytes())
+	}
 	f.Add([]byte{0, 0, 0, 1, 2, 0})
 	f.Add([]byte{255, 255, 255, 255, 1})
 
@@ -43,4 +50,67 @@ func FuzzReadFrame(f *testing.F) {
 
 func mustFilter() *filter.Filter {
 	return filter.MustParseFilter(`class = "Stock" && price < 10`)
+}
+
+// peerSeedFrames returns one valid instance of every federation frame.
+func peerSeedFrames() []Message {
+	ev := event.NewBuilder("Stock").Str("symbol", "ACME").Float("price", 9.5).ID(7).Build()
+	return []Message{
+		PeerHello{ID: "B1", Addr: "127.0.0.1:7001"},
+		SubUpdate{Entry: SubEntry{Hops: 2, Filter: mustFilter()}},
+		SubSet{Entries: []SubEntry{
+			{Hops: 1, Filter: mustFilter()},
+			{Hops: 3, Filter: filter.MustParseFilter(`class = "Bond"`)},
+		}},
+		Forward{Event: ev},
+		ForwardBatch{Events: []*event.Event{ev, ev}},
+	}
+}
+
+// FuzzPeerFrames hammers the federation-frame decoders specifically:
+// the fuzzer mutates valid PeerHello/SubSet/SubUpdate/Forward/
+// ForwardBatch frames (plus hand-made corruptions), and the decoder must
+// never panic, never over-allocate, and must re-encode whatever it
+// accepts into an equivalent frame.
+func FuzzPeerFrames(f *testing.F) {
+	var buf bytes.Buffer
+	for _, m := range peerSeedFrames() {
+		buf.Reset()
+		_ = WriteFrame(&buf, m)
+		f.Add(buf.Bytes())
+		// Truncated variant: header shortened to half the body.
+		b := append([]byte(nil), buf.Bytes()...)
+		if len(b) > 10 {
+			half := b[:5+(len(b)-5)/2]
+			binary.BigEndian.PutUint32(half[:4], uint32(len(half)-5))
+			f.Add(half)
+		}
+		// Corrupt variant: a flipped byte mid-body.
+		c := append([]byte(nil), buf.Bytes()...)
+		c[5+(len(c)-5)/2] ^= 0xff
+		f.Add(c)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		switch m.(type) {
+		case PeerHello, SubSet, SubUpdate, Forward, ForwardBatch:
+		default:
+			return // only peer frames are this target's concern
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, m); err != nil {
+			t.Fatalf("re-encode of decoded %T failed: %v", m, err)
+		}
+		m2, err := ReadFrame(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if m2.Type() != m.Type() {
+			t.Fatalf("type changed through round trip: %v vs %v", m.Type(), m2.Type())
+		}
+	})
 }

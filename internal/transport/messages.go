@@ -24,6 +24,11 @@ const (
 	TypeUnsubscribe
 	TypeAdvertise
 	TypePublishBatch
+	TypePeerHello
+	TypeSubSet
+	TypeSubUpdate
+	TypeForward
+	TypeForwardBatch
 )
 
 // PeerKind identifies what a connecting peer is.
@@ -35,6 +40,10 @@ const (
 	PeerPublisher
 	PeerSubscriber
 	PeerChildBroker
+	// PeerMeshBroker marks a federated peer broker connection. It never
+	// travels in a Hello frame (peers handshake with PeerHello instead);
+	// brokers use it to tag peer links internally.
+	PeerMeshBroker
 )
 
 // Message is one wire protocol message.
@@ -114,6 +123,55 @@ type Advertise struct {
 	Ad *typing.Advertisement
 }
 
+// PeerHello opens a broker-to-broker federation link (SIENA-style
+// server-to-server peering over an acyclic graph). The dialing broker
+// sends it first; the accepting broker replies with its own. Each side
+// then sends a SubSet resync of its subscription state for the link.
+type PeerHello struct {
+	// ID is the sender's broker identity.
+	ID string
+	// Addr is the sender's listen address (operational metadata).
+	Addr string
+}
+
+// SubEntry is one element of peer subscription state: a subscriber's
+// original (stage-0) filter together with the receiving broker's hop
+// distance from the subscriber's home broker. The receiver stores the
+// hop-weakened form for matching — carrying the original keeps onward
+// weakening exact at every distance — and propagates the entry to its
+// other links with Hops+1, pruned by covering.
+type SubEntry struct {
+	Hops   int
+	Filter *filter.Filter
+}
+
+// SubSet replaces the receiver's entire interest state for the sending
+// link: sent on link (re-)establishment so a reconnect resynchronizes
+// subscription state accumulated or lost while the link was down.
+type SubSet struct {
+	Entries []SubEntry
+}
+
+// SubUpdate propagates one new subscription filter across a peer link
+// (incremental; SubSet is the bulk form).
+type SubUpdate struct {
+	Entry SubEntry
+}
+
+// Forward carries an event across a peer link (reverse-path forwarding:
+// the receiver matches it locally and relays it to every other peer link
+// with a matching interest, never back to the sender).
+type Forward struct {
+	Event *event.Event
+}
+
+// ForwardBatch is Forward for a run of events in one frame, amortizing
+// framing and syscalls exactly as PublishBatch does on the publish path.
+// Slice order is the sender's forwarding order.
+type ForwardBatch struct {
+	Events []*event.Event
+}
+
 // Type implementations.
 func (Hello) Type() MsgType          { return TypeHello }
 func (Publish) Type() MsgType        { return TypePublish }
@@ -125,6 +183,11 @@ func (ReqInsert) Type() MsgType      { return TypeReqInsert }
 func (Renew) Type() MsgType          { return TypeRenew }
 func (Unsubscribe) Type() MsgType    { return TypeUnsubscribe }
 func (Advertise) Type() MsgType      { return TypeAdvertise }
+func (PeerHello) Type() MsgType      { return TypePeerHello }
+func (SubSet) Type() MsgType         { return TypeSubSet }
+func (SubUpdate) Type() MsgType      { return TypeSubUpdate }
+func (Forward) Type() MsgType        { return TypeForward }
+func (ForwardBatch) Type() MsgType   { return TypeForwardBatch }
 
 func (m Hello) encode(w *buffer) {
 	w.u8(uint8(m.Kind))
@@ -177,6 +240,34 @@ func (m Unsubscribe) encode(w *buffer) {
 	w.filter(m.Filter)
 }
 
+func (m PeerHello) encode(w *buffer) {
+	w.str(m.ID)
+	w.str(m.Addr)
+}
+
+func (e SubEntry) encode(w *buffer) {
+	w.uvarint(uint64(e.Hops))
+	w.filter(e.Filter)
+}
+
+func (m SubSet) encode(w *buffer) {
+	w.uvarint(uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		e.encode(w)
+	}
+}
+
+func (m SubUpdate) encode(w *buffer) { m.Entry.encode(w) }
+
+func (m Forward) encode(w *buffer) { w.event(m.Event) }
+
+func (m ForwardBatch) encode(w *buffer) {
+	w.uvarint(uint64(len(m.Events)))
+	for _, e := range m.Events {
+		w.event(e)
+	}
+}
+
 func (m Advertise) encode(w *buffer) {
 	w.str(m.Ad.Class)
 	w.uvarint(uint64(len(m.Ad.Attrs)))
@@ -187,6 +278,17 @@ func (m Advertise) encode(w *buffer) {
 	for _, n := range m.Ad.StageAttrs {
 		w.uvarint(uint64(n))
 	}
+}
+
+// subEntry decodes one SubEntry, bounding the hop count (an
+// attacker-controlled uvarint) to a sane distance.
+func (r *reader) subEntry() SubEntry {
+	hops := r.uvarint()
+	if hops > 1<<20 && r.err == nil {
+		r.fail("implausible hop count")
+		return SubEntry{}
+	}
+	return SubEntry{Hops: int(hops), Filter: r.filter()}
 }
 
 func decodeMessage(t MsgType, body []byte) (Message, error) {
@@ -216,6 +318,40 @@ func decodeMessage(t MsgType, body []byte) (Message, error) {
 		m = pb
 	case TypeDeliver:
 		m = Deliver{Event: r.event()}
+	case TypePeerHello:
+		m = PeerHello{ID: r.str(), Addr: r.str()}
+	case TypeSubSet:
+		n := r.uvarint()
+		if n > uint64(len(body)) {
+			return nil, fmt.Errorf("transport: subset entry count exceeds frame")
+		}
+		capHint := n
+		if capHint > 1024 {
+			capHint = 1024
+		}
+		ss := SubSet{Entries: make([]SubEntry, 0, capHint)}
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			ss.Entries = append(ss.Entries, r.subEntry())
+		}
+		m = ss
+	case TypeSubUpdate:
+		m = SubUpdate{Entry: r.subEntry()}
+	case TypeForward:
+		m = Forward{Event: r.event()}
+	case TypeForwardBatch:
+		n := r.uvarint()
+		if n > uint64(len(body)) {
+			return nil, fmt.Errorf("transport: forward batch event count exceeds frame")
+		}
+		capHint := n
+		if capHint > 1024 {
+			capHint = 1024
+		}
+		fb := ForwardBatch{Events: make([]*event.Event, 0, capHint)}
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			fb.Events = append(fb.Events, r.event())
+		}
+		m = fb
 	case TypeSubscribe:
 		m = Subscribe{SubscriberID: r.str(), Filter: r.filter()}
 	case TypeSubscribeReply:
