@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"eventsys/internal/broker"
+	"eventsys/internal/flow"
 	"eventsys/internal/index"
 )
 
@@ -58,6 +59,8 @@ func run(args []string) error {
 	dataDir := fs.String("data-dir", "", "durable event store directory (empty = no persistence)")
 	fsync := fs.String("fsync", "batched", "store fsync policy: batched, always, or never")
 	storeMax := fs.Int64("store-max-bytes", 0, "bound on the store's retained log (0 = unbounded)")
+	flowPolicy := fs.String("flow-policy", "block", "slow-consumer policy: block, drop-newest, drop-oldest, or spill")
+	flowWindow := fs.Int("flow-window", 0, "queue bound and sender credit window (0 = default 1024)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,6 +80,10 @@ func run(args []string) error {
 		return err
 	}
 	kind = index.KindFor(kind, *counting)
+	policy, err := flow.ParsePolicy(*flowPolicy)
+	if err != nil {
+		return err
+	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv, err := broker.Serve(broker.ServerConfig{
 		ID:            *id,
@@ -93,6 +100,8 @@ func run(args []string) error {
 		DataDir:       *dataDir,
 		SyncEvery:     syncEvery,
 		StoreMaxBytes: *storeMax,
+		FlowPolicy:    policy,
+		FlowWindow:    *flowWindow,
 	})
 	if err != nil {
 		return err

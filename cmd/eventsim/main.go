@@ -34,10 +34,11 @@ func run(args []string) error {
 	shards := fs.Int("shards", 0, "shard count for the engines experiment (0 = GOMAXPROCS)")
 	maxBatch := fs.Int("max-batch", 0, "matching batch size for the engines experiment (0 = 64)")
 	subs := fs.Int("subs", 0, "population size for the engines experiment (0 = 5000)")
+	flowWindow := fs.Int("flow-window", 0, "delivery-queue window for the flow experiment (0 = 64)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := sim.Options{Shards: *shards, MaxBatch: *maxBatch, Subscribers: *subs}
+	opts := sim.Options{Shards: *shards, MaxBatch: *maxBatch, Subscribers: *subs, FlowWindow: *flowWindow}
 	if *list {
 		for _, name := range sim.Experiments() {
 			fmt.Println(name)

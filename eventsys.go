@@ -38,6 +38,7 @@ import (
 
 	"eventsys/internal/event"
 	"eventsys/internal/filter"
+	"eventsys/internal/flow"
 	"eventsys/internal/index"
 	"eventsys/internal/metrics"
 	"eventsys/internal/object"
@@ -116,6 +117,23 @@ type Options struct {
 	// unconsumed, keeping an abandoned backlog from pinning the disk.
 	// 0 means unbounded.
 	StoreMaxBytes int64
+	// FlowPolicy selects the slow-consumer policy for event traffic at
+	// every bounded queue on the delivery path (broker mailboxes and
+	// subscriber delivery queues). FlowBlock, the default, is lossless
+	// end-to-end backpressure: a slow subscriber stalls its broker, and
+	// a saturated hierarchy stalls Publish itself. FlowDropNewest and
+	// FlowDropOldest shed events at the saturated queue (counted in
+	// NodeStats.Dropped). FlowSpillToStore diverts delivery-queue
+	// overflow to the subscriber's backlog — the durable store for
+	// durable subscriptions with a DataDir, the bounded in-memory
+	// backlog otherwise — and replays it in order once the subscriber
+	// catches up. Subscription, lease and barrier traffic is never
+	// dropped by any policy.
+	FlowPolicy FlowPolicy
+	// FlowWindow bounds every queue on the delivery path when > 0 (one
+	// knob replacing the per-queue defaults of 256 for mailboxes and 64
+	// for delivery queues).
+	FlowWindow int
 }
 
 // EngineKind selects a matching-engine implementation at brokers.
@@ -134,6 +152,40 @@ const (
 	// any shard count.
 	EngineSharded
 )
+
+// FlowPolicy selects what a saturated queue does with new events — the
+// system-wide slow-consumer policy (see Options.FlowPolicy).
+type FlowPolicy int
+
+const (
+	// FlowBlock makes producers wait for space: lossless end-to-end
+	// backpressure, the default.
+	FlowBlock FlowPolicy = FlowPolicy(flow.Block)
+	// FlowDropNewest discards the incoming event at a full queue.
+	FlowDropNewest FlowPolicy = FlowPolicy(flow.DropNewest)
+	// FlowDropOldest evicts the oldest queued event to admit the new
+	// one, converging on the freshest window of traffic.
+	FlowDropOldest FlowPolicy = FlowPolicy(flow.DropOldest)
+	// FlowSpillToStore diverts overflow to backlog storage for in-order
+	// replay (degrading to a counted drop where no backlog exists).
+	FlowSpillToStore FlowPolicy = FlowPolicy(flow.SpillToStore)
+)
+
+// String returns the policy's flag spelling (block, drop-newest,
+// drop-oldest, spill).
+func (p FlowPolicy) String() string { return flow.Policy(p).String() }
+
+// ParseFlowPolicy parses a policy name as spelled by String — the
+// -flow-policy flag surface of cmd/broker and cmd/eventsim.
+func ParseFlowPolicy(s string) (FlowPolicy, error) {
+	p, err := flow.ParsePolicy(s)
+	return FlowPolicy(p), err
+}
+
+// QueueStats is a point-in-time snapshot of one bounded queue's flow
+// gauges: depth, window, high-water mark, and the enqueue/drop/spill/
+// stall counts (see System.FlowStats and Broker.FlowStats).
+type QueueStats = flow.Snapshot
 
 // Durability is the fsync policy of the durable event store.
 type Durability int
@@ -200,6 +252,8 @@ func New(opts Options) (*System, error) {
 		UseCounting:  opts.UseCounting,
 		Shards:       opts.Shards,
 		MaxBatch:     opts.MaxBatch,
+		FlowPolicy:   flow.Policy(opts.FlowPolicy),
+		FlowWindow:   opts.FlowWindow,
 		Store:        st,
 		Seed:         opts.Seed,
 	})
@@ -414,10 +468,17 @@ func SubscribeObjectWhere[T any](s *System, id, subscription string, pred func(T
 }
 
 // Stats snapshots per-node metrics for every broker and subscriber:
-// stored filters, events received/matched/forwarded/delivered/dropped
-// and durable-store traffic. The paper's LC, RLC and MR metrics derive
-// from these via the methods on NodeStats.
+// stored filters, events received/matched/forwarded/delivered/dropped,
+// flow-control activity (stalls, spills, credit) and durable-store
+// traffic. The paper's LC, RLC and MR metrics derive from these via the
+// methods on NodeStats.
 func (s *System) Stats() []NodeStats { return s.ov.Stats() }
+
+// FlowStats snapshots every bounded queue on the delivery path — one
+// entry per broker mailbox and per subscriber delivery queue — exposing
+// depth, high-water mark, and the per-queue drop/spill/stall counts
+// that show which layer absorbed an overload.
+func (s *System) FlowStats() []QueueStats { return s.ov.FlowStats() }
 
 // StoreStats snapshots the durable event store's counters (segments,
 // bytes, appends, replays, evictions, pending backlog). ok is false when

@@ -6,6 +6,7 @@ import (
 
 	"eventsys/internal/broker"
 	"eventsys/internal/filter"
+	"eventsys/internal/flow"
 	"eventsys/internal/index"
 	"eventsys/internal/typing"
 )
@@ -58,6 +59,16 @@ type BrokerOptions struct {
 	DataDir       string
 	Durability    Durability
 	StoreMaxBytes int64
+	// FlowPolicy selects the slow-consumer policy for event traffic at
+	// the broker's queues (core inlet and per-connection outbound
+	// queues), exactly as on the in-process Options: FlowBlock (default)
+	// backpressures — credit grants carry the stall across TCP hops all
+	// the way to publishers — while the drop policies shed (counted) and
+	// FlowSpillToStore diverts overflow to the durable store for
+	// in-order replay. FlowWindow bounds each queue and sets the event
+	// credit window granted to senders (default 1024).
+	FlowPolicy FlowPolicy
+	FlowWindow int
 }
 
 // Broker is a running networked broker node.
@@ -103,6 +114,8 @@ func ServeBroker(opts BrokerOptions) (*Broker, error) {
 		DataDir:       opts.DataDir,
 		SyncEvery:     syncEvery,
 		StoreMaxBytes: opts.StoreMaxBytes,
+		FlowPolicy:    flow.Policy(opts.FlowPolicy),
+		FlowWindow:    opts.FlowWindow,
 	})
 	if err != nil {
 		return nil, err
@@ -124,6 +137,11 @@ func (b *Broker) Stats() NodeStats { return b.srv.Stats() }
 // and sent, covering-pruning economy, forwards, durable spool traffic
 // and resyncs.
 func (b *Broker) PeerStats() []PeerLinkStats { return b.srv.PeerStats() }
+
+// FlowStats snapshots the broker's bounded queues (core inlet plus
+// every connection's outbound event queue): depth, high-water mark and
+// per-queue drop/spill/stall counts.
+func (b *Broker) FlowStats() []QueueStats { return b.srv.FlowStats() }
 
 // FederationFilters reports the broker's federation-plane filter count
 // (its own subscribers' originals plus per-link interests) — the

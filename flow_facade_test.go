@@ -1,0 +1,75 @@
+package eventsys
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFlowPolicyThroughFacade: Options.FlowPolicy/FlowWindow reach the
+// runtime — a saturating burst against a slow subscriber under
+// FlowDropOldest sheds (counted, conserving events) and FlowStats
+// reports the configured windows.
+func TestFlowPolicyThroughFacade(t *testing.T) {
+	sys, err := New(Options{
+		Fanouts:    []int{1, 2},
+		FlowPolicy: FlowDropOldest,
+		FlowWindow: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.Advertise("Tick", "n"); err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	sub, err := sys.Subscribe("slow", `class = "Tick"`, func(*Event) {
+		time.Sleep(200 * time.Microsecond)
+		delivered++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Unsubscribe()
+
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := sys.Publish(NewEvent("Tick").Int("n", int64(i)).Build()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Flush()
+
+	var dropped uint64
+	for _, st := range sys.Stats() {
+		dropped += st.Dropped
+	}
+	if uint64(delivered)+dropped != n {
+		t.Fatalf("delivered %d + dropped %d != published %d", delivered, dropped, n)
+	}
+	if dropped == 0 {
+		t.Fatal("drop policy never engaged; facade plumbing untested")
+	}
+	qs := sys.FlowStats()
+	if len(qs) == 0 {
+		t.Fatal("FlowStats returned no queues")
+	}
+	for _, q := range qs {
+		if q.Window != 8 {
+			t.Fatalf("queue %s window %d, want the configured 8", q.Name, q.Window)
+		}
+	}
+}
+
+// TestParseFlowPolicy covers the public flag surface.
+func TestParseFlowPolicy(t *testing.T) {
+	for _, p := range []FlowPolicy{FlowBlock, FlowDropNewest, FlowDropOldest, FlowSpillToStore} {
+		got, err := ParseFlowPolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip %v: got %v, err %v", p, got, err)
+		}
+	}
+	if _, err := ParseFlowPolicy("nope"); err == nil {
+		t.Fatal("bogus policy parsed")
+	}
+}

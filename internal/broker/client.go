@@ -8,16 +8,29 @@ import (
 
 	"eventsys/internal/event"
 	"eventsys/internal/filter"
+	"eventsys/internal/flow"
 	"eventsys/internal/transport"
 	"eventsys/internal/typing"
 )
 
 // Publisher is a client that injects events (and advertisements) at a
 // broker, normally the root. Safe for concurrent use.
+//
+// Publishers participate in credit-based admission control: the broker
+// grants an event credit window on connect and replenishes it as its
+// core actually processes events, so Publish blocks — instead of
+// flooding a saturated hierarchy — once the window is exhausted. A
+// broker that never grants leaves the publisher ungoverned (legacy
+// behavior).
 type Publisher struct {
 	mu   sync.Mutex
 	conn net.Conn
 	seq  uint64
+
+	gate   *flow.Gate
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
 }
 
 // DialPublisher connects a publisher to the broker at addr.
@@ -30,14 +43,47 @@ func DialPublisher(addr, id string) (*Publisher, error) {
 		c.Close()
 		return nil, fmt.Errorf("broker: publisher handshake: %w", err)
 	}
-	return &Publisher{conn: c}, nil
+	p := &Publisher{conn: c, gate: flow.NewGate(), closed: make(chan struct{})}
+	p.wg.Add(1)
+	go p.readLoop()
+	return p, nil
 }
 
+// readLoop consumes the broker's credit grants, acknowledging the first
+// one so the broker knows this publisher honors admission control.
+func (p *Publisher) readLoop() {
+	defer p.wg.Done()
+	acked := false
+	for {
+		m, err := transport.ReadFrame(p.conn)
+		if err != nil {
+			return
+		}
+		if c, ok := m.(transport.Credit); ok {
+			p.gate.Grant(int(c.Grant))
+			if !acked {
+				acked = true
+				p.mu.Lock()
+				_ = transport.WriteFrame(p.conn, transport.CreditAck{Window: c.Grant})
+				p.mu.Unlock()
+			}
+		}
+	}
+}
+
+// CreditWaits reports how often Publish had to wait for broker credit —
+// the admission-control backpressure this publisher has experienced.
+func (p *Publisher) CreditWaits() uint64 { return p.gate.Waits() }
+
 // Publish sends one event. The event receives a publisher-local sequence
-// ID when it has none.
+// ID when it has none. Publish blocks while the broker's credit window
+// is exhausted (a saturated hierarchy throttles its publishers).
 func (p *Publisher) Publish(e *event.Event) error {
 	if e == nil {
 		return fmt.Errorf("broker: nil event")
+	}
+	if !p.gate.Acquire(1, p.closed, nil) {
+		return fmt.Errorf("broker: publisher closed")
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -52,9 +98,15 @@ func (p *Publisher) Publish(e *event.Event) error {
 // framing and syscall cost; the broker processes them in slice order, so
 // the batch is equivalent to (and faster than) publishing each event in
 // sequence. Events without an ID receive publisher-local sequence IDs.
+// Like Publish, it blocks while the broker's credit window is exhausted
+// (a batch may overshoot the remaining window once; the deficit repays
+// before the next send).
 func (p *Publisher) PublishBatch(events []*event.Event) error {
 	if len(events) == 0 {
 		return nil
+	}
+	if !p.gate.Acquire(len(events), p.closed, nil) {
+		return fmt.Errorf("broker: publisher closed")
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -81,11 +133,18 @@ func (p *Publisher) Advertise(ad *typing.Advertisement) error {
 	return transport.WriteFrame(p.conn, transport.Advertise{Ad: ad})
 }
 
-// Close terminates the connection.
+// Close terminates the connection, waking any Publish blocked on
+// credit.
 func (p *Publisher) Close() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.conn.Close()
+	var err error
+	p.once.Do(func() {
+		close(p.closed)
+		p.mu.Lock()
+		err = p.conn.Close()
+		p.mu.Unlock()
+		p.wg.Wait()
+	})
+	return err
 }
 
 // SubscriberOptions tune a subscriber client.
@@ -98,6 +157,13 @@ type SubscriberOptions struct {
 	Conformance filter.Conformance
 	// MaxRedirects bounds the join-At walk (default 8).
 	MaxRedirects int
+	// CreditWindow is the event credit window this subscriber grants its
+	// broker (0 = the flow default, 1024). The grant replenishes as the
+	// handler consumes events, so a slow handler throttles the broker's
+	// writer — which applies the broker's flow policy — instead of
+	// letting TCP buffers absorb unbounded backlog. Negative disables
+	// credit grants (legacy ungoverned delivery).
+	CreditWindow int
 }
 
 // Subscriber is a client subscription: it walks the placement protocol
@@ -114,6 +180,8 @@ type Subscriber struct {
 	closed  chan struct{}
 	once    sync.Once
 	writeMu sync.Mutex
+
+	meter *flow.Meter // nil when credit grants are disabled
 
 	mu        sync.Mutex
 	delivered uint64
@@ -157,6 +225,16 @@ func DialSubscriber(rootAddr, id string, f *filter.Filter, opts SubscriberOption
 		if reply.Accepted {
 			sub.conn = c
 			sub.stored = reply.Stored
+			if opts.CreditWindow >= 0 {
+				// Grant the broker its initial event window; the read
+				// loop replenishes it as the handler consumes, making a
+				// slow handler visible — and governable — at the broker.
+				sub.meter = flow.NewMeter(opts.CreditWindow)
+				if err := transport.WriteFrame(c, transport.Credit{Grant: uint32(sub.meter.Window())}); err != nil {
+					c.Close()
+					return nil, fmt.Errorf("broker: credit grant: %w", err)
+				}
+			}
 			sub.wg.Add(1)
 			go sub.readLoop(handler)
 			if opts.RenewEvery > 0 {
@@ -206,13 +284,26 @@ func (s *Subscriber) readLoop(handler func(*event.Event)) {
 		s.received++
 		s.mu.Unlock()
 		// Perfect end-to-end filtering with the original filter.
-		if !s.original.Matches(d.Event, s.opts.Conformance) {
-			continue
+		if s.original.Matches(d.Event, s.opts.Conformance) {
+			s.mu.Lock()
+			s.delivered++
+			s.mu.Unlock()
+			handler(d.Event)
 		}
-		s.mu.Lock()
-		s.delivered++
-		s.mu.Unlock()
-		handler(d.Event)
+		// Replenish the broker's credit only after the handler returns:
+		// delivery cost is the handler's cost, and a slow handler must
+		// slow the grants. Every transmitted event repays credit,
+		// whether or not it survived perfect filtering.
+		if s.meter != nil {
+			if g := s.meter.Consume(1); g > 0 {
+				s.writeMu.Lock()
+				err := transport.WriteFrame(s.conn, transport.Credit{Grant: uint32(g)})
+				s.writeMu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}
 	}
 }
 

@@ -1,29 +1,63 @@
 package broker
 
 import (
+	"context"
 	"log/slog"
 	"testing"
 
+	"eventsys/internal/event"
+	"eventsys/internal/flow"
 	"eventsys/internal/metrics"
 	"eventsys/internal/transport"
 )
 
-// TestSendToCountsDrops: a message for a saturated peer is dropped and
-// the drop lands in the broker's counters (surfacing through Stats()).
-func TestSendToCountsDrops(t *testing.T) {
+// TestDropPolicyCountsDrops: events pushed at a saturated outbound
+// queue under a drop policy land in the broker's counters (surfacing
+// through Stats()), exactly one count per event — batches included.
+func TestDropPolicyCountsDrops(t *testing.T) {
 	s := &Server{
-		cfg:      ServerConfig{ID: "b", Stage: 1},
+		cfg:      ServerConfig{ID: "b", Stage: 1, FlowPolicy: flow.DropNewest, FlowWindow: 1},
 		log:      slog.New(slog.DiscardHandler),
 		counters: &metrics.Counters{},
+		ctx:      context.Background(),
 	}
-	pc := &peerConn{id: "slow", out: make(chan transport.Message, 1)}
-	s.sendTo(pc, transport.Renew{ID: "a"}) // fills the queue
+	pc := s.newPeerConn(nil)
+	ev := event.NewBuilder("Stock").Str("symbol", "A").Build()
+	if out := pc.out.Push(transport.Deliver{Event: ev}); out != flow.Enqueued {
+		t.Fatalf("first push outcome %v, want enqueued", out)
+	}
 	if got := s.Stats().Dropped; got != 0 {
 		t.Fatalf("Dropped after successful send = %d, want 0", got)
 	}
-	s.sendTo(pc, transport.Renew{ID: "b"}) // queue full: dropped
-	s.sendTo(pc, transport.Renew{ID: "c"})
-	if got := s.Stats().Dropped; got != 2 {
-		t.Fatalf("Dropped = %d, want 2", got)
+	if out := pc.out.Push(transport.Deliver{Event: ev}); out != flow.Dropped {
+		t.Fatalf("saturated push outcome %v, want dropped", out)
+	}
+	// A dropped batch counts every event it carried.
+	pc.out.Push(transport.PublishBatch{Events: []*event.Event{ev, ev}})
+	if got := s.Stats().Dropped; got != 3 {
+		t.Fatalf("Dropped = %d, want 3", got)
+	}
+}
+
+// TestControlChannelNeverShedsByPolicy: control frames ride the
+// priority channel, untouched by the event policy; only a wedged writer
+// (full channel) drops them, counted.
+func TestControlChannelCountsOverflow(t *testing.T) {
+	s := &Server{
+		cfg:      ServerConfig{ID: "b", Stage: 1, FlowPolicy: flow.DropNewest, FlowWindow: 1},
+		log:      slog.New(slog.DiscardHandler),
+		counters: &metrics.Counters{},
+		ctx:      context.Background(),
+	}
+	pc := s.newPeerConn(nil)
+	for i := 0; i < ctlBuffer; i++ {
+		s.sendTo(pc, transport.Renew{ID: "a"})
+	}
+	if got := s.Stats().Dropped; got != 0 {
+		t.Fatalf("Dropped while channel had room = %d, want 0", got)
+	}
+	s.sendTo(pc, transport.Renew{ID: "b"})
+	if got := s.Stats().Dropped; got != 1 {
+		t.Fatalf("Dropped after overflow = %d, want 1", got)
 	}
 }

@@ -341,7 +341,9 @@ func TestPeerQueueSalvagedOnDrop(t *testing.T) {
 		pc.close()
 		<-pc.writerDone
 		for i := 1; i <= stranded; i++ {
-			pc.out <- transport.Forward{Event: event.NewBuilder("T").ID(uint64(i)).Build()}
+			if !pc.out.TryPush(transport.Forward{Event: event.NewBuilder("T").ID(uint64(i)).Build()}) {
+				t.Error("stranding push refused")
+			}
 		}
 		a.dropPeer(pc)
 	})

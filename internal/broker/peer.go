@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"eventsys/internal/event"
+	"eventsys/internal/flow"
 	"eventsys/internal/peering"
 	"eventsys/internal/transport"
 )
@@ -93,7 +94,7 @@ func (s *Server) peerSupervisor(addr string) {
 			continue
 		}
 		backoff = 50 * time.Millisecond
-		pc := newPeerConn(c)
+		pc := s.newPeerConn(c)
 		pc.kind, pc.dialed = transport.PeerMeshBroker, true
 		if err := transport.WriteFrame(c, transport.PeerHello{ID: s.cfg.ID, Addr: s.Addr()}); err != nil {
 			c.Close()
@@ -142,11 +143,16 @@ func (s *Server) handlePeerHello(pc *peerConn, msg transport.PeerHello) {
 	}
 	link.pc = pc
 	pc.link = link
-	pc.kind = transport.PeerMeshBroker
-	pc.id = msg.ID
+	s.setIdentity(pc, transport.PeerMeshBroker, msg.ID, pc.addr)
 	if !pc.dialed {
 		s.sendTo(pc, transport.PeerHello{ID: s.cfg.ID, Addr: s.Addr()})
 	}
+	// Events flow both ways on a federation link: grant the peer an
+	// initial credit window (replenished as the core processes its
+	// forwards); the peer's grants arrive symmetrically and gate this
+	// side's writer.
+	pc.meter.Store(flow.NewMeter(s.cfg.FlowWindow))
+	s.addGrant(pc, s.cfg.FlowWindow)
 	entries := s.fed.Sync(peering.LinkID(msg.ID))
 	s.sendCtrl(link, transport.SubSet{Entries: entriesToWire(entries)})
 	link.resyncs++
@@ -210,12 +216,13 @@ func (s *Server) fanUpdates(ups []peering.Update) {
 
 // sendCtrl enqueues a control frame (SubSet/SubUpdate) for a peer link.
 // Control traffic must not be silently lost — a dropped update would
-// under-deliver until the next resync — so a saturated queue tears the
-// connection down instead: the dialing side redials and the SubSet
+// under-deliver until the next resync — so a saturated control channel
+// (a wedged writer: the writer drains control ahead of events) tears
+// the connection down instead: the dialing side redials and the SubSet
 // resync repairs the state.
 func (s *Server) sendCtrl(link *peerLink, m transport.Message) {
-	if !s.trySend(link.pc, m) {
-		s.log.Warn("peer queue saturated on control frame; recycling link", "peer", link.id)
+	if !link.pc.tryCtl(m) {
+		s.log.Warn("peer control channel saturated; recycling link", "peer", link.id)
 		link.pc.close()
 	}
 }
@@ -251,9 +258,11 @@ func (s *Server) fanPeers(events []*event.Event, from peering.LinkID) {
 // forwardToPeer sends a run of events down one federation link,
 // preserving per-link FIFO: a down link spills to the durable spool, a
 // pending spool drains ahead of new events (or the new events queue
-// behind it), and a saturated queue spills rather than reorders. Without
-// a store the events are dropped and counted — parity with the
-// subscriber-queue drop accounting.
+// behind it), and a saturated queue applies the flow policy — Block
+// waits for the peer's credit to free the queue, SpillToStore spools,
+// the drop policies shed (counted) — but never reorders. Without a
+// store a spill degrades to a counted drop — parity with the
+// subscriber-queue accounting.
 func (s *Server) forwardToPeer(link *peerLink, evs []*event.Event) {
 	if len(evs) == 0 {
 		return
@@ -266,7 +275,7 @@ func (s *Server) forwardToPeer(link *peerLink, evs []*event.Event) {
 	// down period) must drain first or new events overtake it. Skip the
 	// replay attempt while the queue is still full.
 	if s.store != nil && s.store.Pending(spoolKey(link.id)) > 0 &&
-		(len(link.pc.out) == cap(link.pc.out) || s.replayPeerSpool(link) > 0) {
+		(link.pc.out.Full() || s.replayPeerSpool(link) > 0) {
 		s.spoolTo(link, evs)
 		return
 	}
@@ -276,12 +285,15 @@ func (s *Server) forwardToPeer(link *peerLink, evs []*event.Event) {
 	} else {
 		m = transport.ForwardBatch{Events: evs}
 	}
-	if s.trySend(link.pc, m) {
+	switch link.pc.out.Push(m) {
+	case flow.Enqueued:
 		link.forwards += uint64(len(evs))
 		s.counters.AddPeerForwarded(uint64(len(evs)))
-		return
+	case flow.Stopped:
+		// The link died mid-route: spool for the reconnect.
+		s.spoolTo(link, evs)
 	}
-	s.spoolTo(link, evs)
+	// Spilled and Dropped were accounted by the queue's hooks.
 }
 
 // spoolTo persists events for a link the broker cannot reach right now;
@@ -289,6 +301,7 @@ func (s *Server) forwardToPeer(link *peerLink, evs []*event.Event) {
 func (s *Server) spoolTo(link *peerLink, evs []*event.Event) {
 	if s.storeBatchFor(spoolKey(link.id), evs) {
 		link.spooled += uint64(len(evs))
+		s.counters.AddSpilled(uint64(len(evs)))
 		return
 	}
 	link.dropped += uint64(len(evs))
@@ -334,9 +347,7 @@ func entriesFromWire(in []transport.SubEntry) []peering.Entry {
 // reports false when the broker is shutting down.
 func (s *Server) coreQuery(fn func()) bool {
 	done := make(chan struct{})
-	select {
-	case s.coreCh <- coreEvent{call: func() { fn(); close(done) }}:
-	case <-s.ctx.Done():
+	if s.inlet.PushWait(coreEvent{call: func() { fn(); close(done) }}) != flow.Enqueued {
 		return false
 	}
 	select {

@@ -16,12 +16,23 @@
 //
 // Concurrency model mirrors the in-process overlay: one core goroutine
 // owns the routing state; a reader goroutine per connection feeds it; a
-// writer goroutine per connection drains a buffered outbound queue so a
-// slow peer cannot stall the core. Messages to a saturated peer are
-// dropped and counted in NodeStats.Dropped — TCP-level buffering makes
-// this rare, and lease renewal recovers subscriptions if it ever hits
-// control traffic. With a DataDir, events for a saturated or
-// disconnected subscriber are persisted to the durable store instead and
+// writer goroutine per connection drains the connection's outbound
+// queues. Each connection has two: a priority channel for control
+// frames (replies, subscription state, leases, credit grants) and a
+// flow.Queue for event frames governed by ServerConfig.FlowPolicy —
+// Block (lossless backpressure, the default), DropNewest, DropOldest,
+// or SpillToStore (persist overflow to the durable store and replay in
+// order). The core inlet is a flow.Queue under the same policy.
+//
+// Flow control propagates across TCP hops with Credit/CreditAck frames:
+// the broker grants event credits to publishers, parents and federation
+// peers as its core processes their events, and its own writers acquire
+// credit granted by children, subscribers and peers before transmitting
+// event frames. A saturated broker therefore stops granting, its
+// upstreams stop sending, and — under Block — the original publisher
+// itself stalls instead of anything being dropped. Control frames are
+// never gated or shed. With a DataDir, events for a saturated or
+// disconnected subscriber are persisted to the durable store and
 // replayed when the subscriber re-subscribes with the same ID — so a
 // leaf broker's undelivered backlog survives even its own restart.
 package broker
@@ -33,12 +44,15 @@ import (
 	"log/slog"
 	"math/rand/v2"
 	"net"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"eventsys/internal/event"
 	"eventsys/internal/filter"
+	"eventsys/internal/flow"
 	"eventsys/internal/index"
 	"eventsys/internal/metrics"
 	"eventsys/internal/peering"
@@ -104,6 +118,21 @@ type ServerConfig struct {
 	// 0 propagates full filters (no weakening) — always exact, most
 	// state.
 	PeerMaxStage int
+	// FlowPolicy selects the slow-consumer policy for event traffic at
+	// the broker's bounded queues: the core inlet and every connection's
+	// outbound event queue. flow.Block (the default) is lossless
+	// end-to-end backpressure — a saturated queue stalls its producer,
+	// and withheld credit grants carry the stall across TCP hops to the
+	// publisher. flow.DropNewest / flow.DropOldest shed events at the
+	// saturated queue (counted in NodeStats.Dropped). flow.SpillToStore
+	// diverts overflow to the durable store (subscriber queues and peer
+	// links with a DataDir; degrades to a counted drop without one, and
+	// to Block at the inlet) and replays it in order. Control frames are
+	// exempt from every policy.
+	FlowPolicy flow.Policy
+	// FlowWindow bounds each of those queues and sets the event credit
+	// window granted to senders (default 1024).
+	FlowWindow int
 }
 
 // Server is a running broker node.
@@ -120,7 +149,7 @@ type Server struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	coreCh chan coreEvent
+	inlet  *flow.Queue[coreEvent]
 	parent *peerConn
 
 	mu    sync.Mutex
@@ -144,6 +173,11 @@ type coreEvent struct {
 	tick  tickKind
 	query chan int // ChildBrokers snapshot request
 	call  func()   // generic core-context query (PeerStats etc.)
+	// replay asks the core to try draining the connection's stored
+	// backlog (posted when a credit grant frees the writer: without it,
+	// events spilled at the tail of a burst would strand in the spool
+	// until the next matching event or a reconnect).
+	replay bool
 }
 
 type tickKind int
@@ -154,11 +188,26 @@ const (
 	tickSweep
 )
 
+// evictableCoreEvent marks inlet items a drop policy may shed: inbound
+// event frames only — connection lifecycle, queries, ticks and
+// subscription control always survive saturation.
+func evictableCoreEvent(ev coreEvent) bool { return coreEventCount(ev) > 0 }
+
+// coreEventCount returns how many events an inlet item carries (the
+// frame switch is eventCount's; control items carry none).
+func coreEventCount(ev coreEvent) int {
+	if ev.gone || ev.query != nil || ev.call != nil || ev.tick != tickNone || ev.replay || ev.msg == nil {
+		return 0
+	}
+	return eventCount(ev.msg)
+}
+
 // DefaultMaxBatch is the default cap on events coalesced per matching
 // pass in the broker core.
 const DefaultMaxBatch = 64
 
-// peerConn is one TCP connection with its outbound queue.
+// peerConn is one TCP connection with its outbound queues and credit
+// state.
 type peerConn struct {
 	kind transport.PeerKind
 	id   string
@@ -170,8 +219,33 @@ type peerConn struct {
 	dialed bool
 	link   *peerLink
 
-	c    net.Conn
-	out  chan transport.Message
+	c net.Conn
+	// out carries event frames under the configured flow policy; ctl
+	// carries control frames, which the writer drains with priority and
+	// which no policy ever sheds.
+	out *flow.Queue[transport.Message]
+	ctl chan transport.Message
+	// gate holds event credit granted by the remote end; the writer
+	// acquires from it before transmitting event frames. Disabled (no
+	// gating) until the remote's first Credit arrives.
+	gate *flow.Gate
+	// meter paces the credit this broker grants the remote; set on
+	// connections the broker expects inbound events from (publishers,
+	// the parent, federation peers). Atomic: the core installs it, but
+	// repayment also happens from reader goroutines (inlet drops).
+	meter atomic.Pointer[flow.Meter]
+	// pendingGrant accumulates credit owed to the remote; the writer
+	// flushes it as a Credit frame when it next touches the socket, so
+	// granting never blocks the core — a remote that stops reading
+	// wedges only its own connection.
+	pendingGrant atomic.Int64
+	grantSig     chan struct{} // 1-token: pendingGrant became non-zero
+	// acked flips when the first Credit from the remote has been
+	// answered with a CreditAck (readLoop-owned).
+	acked bool
+	// peerAcked reports the remote acknowledged our grants (stats).
+	peerAcked atomic.Bool
+
 	done chan struct{} // closed with the connection (supervisor redial cue)
 	// writerDone is closed when the write loop exits; after that,
 	// whatever remains in out was never written and can be salvaged.
@@ -179,9 +253,142 @@ type peerConn struct {
 	once       sync.Once
 }
 
-func newPeerConn(c net.Conn) *peerConn {
-	return &peerConn{c: c, out: make(chan transport.Message, 1024),
-		done: make(chan struct{}), writerDone: make(chan struct{})}
+// ctlBuffer bounds each connection's control-frame channel. Control
+// traffic is low-volume; the writer drains it ahead of events.
+const ctlBuffer = 256
+
+func (s *Server) newPeerConn(c net.Conn) *peerConn {
+	pc := &peerConn{
+		c:        c,
+		ctl:      make(chan transport.Message, ctlBuffer),
+		gate:     flow.NewGate(),
+		grantSig: make(chan struct{}, 1),
+		done:     make(chan struct{}), writerDone: make(chan struct{}),
+	}
+	pc.out = flow.New(flow.Config[transport.Message]{
+		Window:  s.cfg.FlowWindow,
+		Policy:  s.cfg.FlowPolicy,
+		Spill:   func(m transport.Message) bool { return s.spillConn(pc, m) },
+		OnDrop:  func(m transport.Message) { s.dropConn(pc, m) },
+		OnStall: func() { s.counters.AddStalled(1) },
+		Stop:    pc.done,
+		AltStop: s.ctx.Done(),
+	})
+	return pc
+}
+
+// tryCtl enqueues a control frame without blocking; a full channel (a
+// wedged writer) refuses it — nothing on the broker ever blocks on one
+// connection's control plane.
+func (pc *peerConn) tryCtl(m transport.Message) bool {
+	select {
+	case pc.ctl <- m:
+		return true
+	default:
+		return false
+	}
+}
+
+// addGrant credits the remote with g events: the amount accumulates on
+// the connection and the writer flushes it as one Credit frame when it
+// next touches the socket. Never blocks, coalesces bursts, and loses
+// nothing a live connection could still use — a torn-down connection's
+// unsent grant dies with its sender state.
+func (s *Server) addGrant(pc *peerConn, g int) {
+	if g <= 0 {
+		return
+	}
+	pc.pendingGrant.Add(int64(g))
+	s.counters.AddCreditGranted(uint64(g))
+	select {
+	case pc.grantSig <- struct{}{}:
+	default:
+	}
+}
+
+// setIdentity records who a connection is. s.mu makes the identity
+// readable off-core (FlowStats); the core itself reads it lock-free, as
+// the single writer.
+func (s *Server) setIdentity(pc *peerConn, kind transport.PeerKind, id, addr string) {
+	s.mu.Lock()
+	pc.kind, pc.id, pc.addr = kind, id, addr
+	s.mu.Unlock()
+}
+
+// eventsOf returns the events an outbound frame carries (nil for
+// control frames).
+func eventsOf(m transport.Message) []*event.Event {
+	switch f := m.(type) {
+	case transport.Publish:
+		return []*event.Event{f.Event}
+	case transport.PublishBatch:
+		return f.Events
+	case transport.Deliver:
+		return []*event.Event{f.Event}
+	case transport.Forward:
+		return []*event.Event{f.Event}
+	case transport.ForwardBatch:
+		return f.Events
+	}
+	return nil
+}
+
+// eventCount returns how many event credits a frame costs.
+func eventCount(m transport.Message) int {
+	switch f := m.(type) {
+	case transport.Publish, transport.Deliver, transport.Forward:
+		return 1
+	case transport.PublishBatch:
+		return len(f.Events)
+	case transport.ForwardBatch:
+		return len(f.Events)
+	}
+	return 0
+}
+
+// spillConn is the outbound queue's SpillToStore hook: overflow for a
+// durable subscriber or a federation peer link goes to the durable
+// store under the connection's cursor, to replay in order later. It
+// reports false (degrading the push to a counted drop) when the broker
+// has no store or the connection has no durable identity. Runs in the
+// core goroutine (only the core pushes event frames), so touching
+// core-owned link state is safe.
+func (s *Server) spillConn(pc *peerConn, m transport.Message) bool {
+	evs := eventsOf(m)
+	if len(evs) == 0 {
+		return false
+	}
+	key := ""
+	switch {
+	case pc.link != nil:
+		key = spoolKey(pc.link.id)
+	case pc.kind == transport.PeerSubscriber && pc.id != "":
+		key = pc.id
+	default:
+		return false // child brokers have no cursor: drop, counted
+	}
+	if !s.storeBatchFor(key, evs) {
+		return false
+	}
+	s.counters.AddSpilled(uint64(len(evs)))
+	if pc.link != nil {
+		pc.link.spooled += uint64(len(evs))
+	}
+	return true
+}
+
+// dropConn counts the events a queue policy discarded — exactly once
+// per event, whatever frame carried them. Runs in the core goroutine.
+func (s *Server) dropConn(pc *peerConn, m transport.Message) {
+	n := uint64(eventCount(m))
+	if n == 0 {
+		return
+	}
+	s.counters.AddDropped(n)
+	if pc.link != nil {
+		pc.link.dropped += n
+	}
+	s.log.Warn("outbound queue full; dropping", "peer", pc.id, "events", n)
 }
 
 // Serve starts a broker and returns once it is listening.
@@ -206,7 +413,6 @@ func Serve(cfg ServerConfig) (*Server, error) {
 		ads:       &typing.AdvertisementSet{},
 		rng:       rand.New(rand.NewPCG(cfg.Seed, uint64(cfg.Stage))),
 		ln:        ln,
-		coreCh:    make(chan coreEvent, 1024),
 		conns:     make(map[*peerConn]struct{}),
 		byID:      make(map[routing.NodeID]*peerConn),
 		peerLinks: make(map[string]*peerLink),
@@ -214,6 +420,9 @@ func Serve(cfg ServerConfig) (*Server, error) {
 	}
 	if s.cfg.MaxBatch <= 0 {
 		s.cfg.MaxBatch = DefaultMaxBatch
+	}
+	if s.cfg.FlowWindow <= 0 {
+		s.cfg.FlowWindow = flow.DefaultCreditWindow
 	}
 	var conf filter.Conformance = filter.ExactTypes{}
 	if cfg.Registry != nil {
@@ -256,6 +465,30 @@ func Serve(cfg ServerConfig) (*Server, error) {
 		}
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
+	// The core inlet runs the configured policy on publish traffic, with
+	// SpillToStore degrading to Block: inlet events are not yet matched,
+	// so there is no per-subscriber cursor to spill them under. Control
+	// events (handshakes, queries, ticks) always enqueue.
+	inletPolicy := s.cfg.FlowPolicy
+	if inletPolicy == flow.SpillToStore {
+		inletPolicy = flow.Block
+	}
+	s.inlet = flow.New(flow.Config[coreEvent]{
+		Window:    s.cfg.FlowWindow,
+		Policy:    inletPolicy,
+		Evictable: evictableCoreEvent,
+		OnDrop: func(ev coreEvent) {
+			if n := coreEventCount(ev); n > 0 {
+				s.counters.AddDropped(uint64(n))
+				// A shed event is consumed all the same: repay its
+				// credit, or drops would bleed the sender's window dry
+				// and turn a shedding policy into a permanent stall.
+				s.grantTo(ev.pc, n)
+			}
+		},
+		OnStall: func() { s.counters.AddStalled(1) },
+		Stop:    s.ctx.Done(),
+	})
 
 	if cfg.ParentAddr != "" {
 		pc, err := s.dialParent()
@@ -323,13 +556,23 @@ func (s *Server) dialParent() (*peerConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("broker: dial parent %s: %w", s.cfg.ParentAddr, err)
 	}
-	pc := newPeerConn(c)
+	pc := s.newPeerConn(c)
 	pc.kind, pc.id, pc.dialed = transport.PeerChildBroker, "parent", true
 	hello := transport.Hello{Kind: transport.PeerChildBroker, ID: s.cfg.ID, Addr: s.Addr()}
 	if err := transport.WriteFrame(c, hello); err != nil {
 		c.Close()
 		return nil, fmt.Errorf("broker: parent handshake: %w", err)
 	}
+	// The parent will send events down this connection: grant it an
+	// initial credit window and meter out replenishments as the core
+	// processes what it sends. The write loop has not started, so the
+	// grant goes straight to the socket.
+	pc.meter.Store(flow.NewMeter(s.cfg.FlowWindow))
+	if err := transport.WriteFrame(c, transport.Credit{Grant: uint32(s.cfg.FlowWindow)}); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("broker: parent credit grant: %w", err)
+	}
+	s.counters.AddCreditGranted(uint64(s.cfg.FlowWindow))
 	s.wg.Add(2)
 	go s.readLoop(pc)
 	go s.writeLoop(pc)
@@ -350,7 +593,7 @@ func (s *Server) acceptLoop() {
 			s.log.Warn("accept failed", "err", err)
 			continue
 		}
-		pc := newPeerConn(c)
+		pc := s.newPeerConn(c)
 		s.mu.Lock()
 		s.conns[pc] = struct{}{}
 		s.mu.Unlock()
@@ -360,6 +603,10 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// readLoop feeds a connection's frames to the core — except credit
+// frames, which it applies to the writer's gate directly: a core
+// blocked on a saturated queue (Block policy) must still see grants, or
+// the very stall the grant would clear could never clear.
 func (s *Server) readLoop(pc *peerConn) {
 	defer s.wg.Done()
 	for {
@@ -368,59 +615,147 @@ func (s *Server) readLoop(pc *peerConn) {
 			s.post(coreEvent{pc: pc, gone: true})
 			return
 		}
+		switch cm := m.(type) {
+		case transport.Credit:
+			pc.gate.Grant(int(cm.Grant))
+			if !pc.acked {
+				pc.acked = true
+				_ = pc.tryCtl(transport.CreditAck{Window: cm.Grant}) // informational; droppable
+			}
+			if s.store != nil {
+				// Fresh credit may free a writer whose target has a
+				// stored backlog; let the core try a replay.
+				s.post(coreEvent{pc: pc, replay: true})
+			}
+			continue
+		case transport.CreditAck:
+			pc.peerAcked.Store(true)
+			continue
+		}
 		s.post(coreEvent{pc: pc, msg: m})
 	}
 }
 
+// writeLoop drains a connection's outbound queues: control frames
+// first, then event frames — each gated on credit granted by the
+// remote. While waiting for credit (or for work) control frames keep
+// flowing, so a throttled link still renews leases, exchanges
+// subscription state, and grants its own credits.
 func (s *Server) writeLoop(pc *peerConn) {
 	defer s.wg.Done()
 	defer close(pc.writerDone)
 	for {
+		// Owed credit first — a grant is what unwedges the remote.
+		if g := pc.pendingGrant.Swap(0); g > 0 {
+			if !s.writeFrame(pc, transport.Credit{Grant: uint32(g)}) {
+				return
+			}
+			continue
+		}
 		select {
-		case <-s.ctx.Done():
-			return
-		case <-pc.done:
-			// Connection torn down: stop draining so undelivered frames
-			// stay in the queue for dropPeer to salvage.
-			return
-		case m, ok := <-pc.out:
-			if !ok {
+		case m := <-pc.ctl:
+			if !s.writeFrame(pc, m) {
 				return
 			}
-			if err := transport.WriteFrame(pc.c, m); err != nil {
-				pc.close()
+			continue
+		default:
+		}
+		m, ok := pc.out.TryPop()
+		if !ok {
+			select {
+			case m2 := <-pc.ctl:
+				if !s.writeFrame(pc, m2) {
+					return
+				}
+			case <-pc.grantSig:
+			case <-pc.out.Ready():
+			case <-pc.done:
+				// Connection torn down: stop draining so undelivered
+				// frames stay in the queue for dropPeer to salvage.
+				return
+			case <-s.ctx.Done():
 				return
 			}
+			continue
+		}
+		waited := false
+		for n := eventCount(m); n > 0 && !pc.gate.TryAcquire(n); {
+			if !waited {
+				waited = true
+				s.counters.AddCreditWaits(1)
+			}
+			if g := pc.pendingGrant.Swap(0); g > 0 {
+				if !s.writeFrame(pc, transport.Credit{Grant: uint32(g)}) {
+					pc.out.Requeue(m)
+					return
+				}
+				continue
+			}
+			select {
+			case m2 := <-pc.ctl:
+				if !s.writeFrame(pc, m2) {
+					pc.out.Requeue(m)
+					return
+				}
+			case <-pc.grantSig:
+			case <-pc.gate.Avail():
+			case <-pc.done:
+				pc.out.Requeue(m) // salvage still sees it
+				return
+			case <-s.ctx.Done():
+				pc.out.Requeue(m)
+				return
+			}
+		}
+		if !s.writeFrame(pc, m) {
+			return
 		}
 	}
 }
 
-// post hands an event to the core, dropping it only on shutdown.
-func (s *Server) post(ev coreEvent) {
-	select {
-	case s.coreCh <- ev:
-	case <-s.ctx.Done():
-	}
-}
-
-// sendTo enqueues a message for a peer without blocking the core. A drop
-// (saturated peer) is counted in the broker's NodeStats.
-func (s *Server) sendTo(pc *peerConn, m transport.Message) {
-	if !s.trySend(pc, m) {
-		s.counters.AddDropped(1)
-		s.log.Warn("outbound queue full; dropping", "peer", pc.id, "type", fmt.Sprintf("%T", m))
-	}
-}
-
-// trySend enqueues without blocking and reports success, letting callers
-// with a fallback (the durable store) handle saturation themselves.
-func (s *Server) trySend(pc *peerConn, m transport.Message) bool {
-	select {
-	case pc.out <- m:
-		return true
-	default:
+// writeFrame writes one frame, tearing the connection down on error.
+func (s *Server) writeFrame(pc *peerConn, m transport.Message) bool {
+	if err := transport.WriteFrame(pc.c, m); err != nil {
+		pc.close()
 		return false
 	}
+	return true
+}
+
+// post hands an event to the core. Inbound event frames go through the
+// inlet's flow policy (Block stalls this reader — and, via withheld
+// grants, the remote sender); everything else always enqueues.
+func (s *Server) post(ev coreEvent) {
+	if coreEventCount(ev) > 0 {
+		s.inlet.Push(ev)
+		return
+	}
+	s.inlet.PushWait(ev)
+}
+
+// sendTo enqueues a control frame for a peer without blocking the core.
+// A saturated control channel (a wedged writer) drops the frame,
+// counted — lease renewal repairs subscription state if it ever hits.
+func (s *Server) sendTo(pc *peerConn, m transport.Message) {
+	if !pc.tryCtl(m) {
+		s.counters.AddDropped(1)
+		s.log.Warn("control channel full; dropping", "peer", pc.id, "type", fmt.Sprintf("%T", m))
+	}
+}
+
+// grantTo meters out credit to a sender whose events were consumed —
+// processed by the core, or terminally shed by the inlet's drop policy
+// (a dropped event must still repay its credit, or shedding would
+// slowly strangle the sender's window into a permanent stall).
+func (s *Server) grantTo(pc *peerConn, n int) {
+	if pc == nil {
+		return
+	}
+	m := pc.meter.Load()
+	if m == nil {
+		return
+	}
+	s.addGrant(pc, m.Consume(n))
 }
 
 func (pc *peerConn) close() {
@@ -449,26 +784,56 @@ func (s *Server) ticker() {
 }
 
 // core is the single goroutine owning routing state. Publish and
-// PublishBatch frames queued in coreCh are drained into batches (capped
-// at MaxBatch) and matched in one table pass; every other core event is
-// handled one at a time, in queue order.
+// PublishBatch frames queued in the inlet are drained into batches
+// (capped at MaxBatch) and matched in one table pass; every other core
+// event is handled one at a time, in queue order.
 func (s *Server) core() {
 	defer s.wg.Done()
 	var batch []*event.Event
+	var owed []pcDebt
 	for {
-		select {
-		case <-s.ctx.Done():
+		ev, ok := s.inlet.Pop() // aborts on shutdown
+		if !ok {
 			return
-		case ev := <-s.coreCh:
-			batch = s.dispatchCore(ev, batch[:0])
 		}
+		batch, owed = s.dispatchCore(ev, batch[:0], owed[:0])
 	}
+}
+
+// pcDebt tracks credit owed to one sender for events the core consumed
+// from its connection during the current coalescing run.
+type pcDebt struct {
+	pc *peerConn
+	n  int
+}
+
+// owe records credit debt, merging consecutive events from one sender.
+func owe(owed []pcDebt, pc *peerConn, n int) []pcDebt {
+	if pc == nil || pc.meter.Load() == nil || n == 0 {
+		return owed
+	}
+	if len(owed) > 0 && owed[len(owed)-1].pc == pc {
+		owed[len(owed)-1].n += n
+		return owed
+	}
+	return append(owed, pcDebt{pc: pc, n: n})
+}
+
+// settle grants the accumulated credit debts — called after the batch
+// they paid for has been flushed downstream, so under Block a slow
+// downstream delays the grants and the stall propagates upstream.
+func (s *Server) settle(owed []pcDebt) []pcDebt {
+	for _, d := range owed {
+		s.grantTo(d.pc, d.n)
+	}
+	return owed[:0]
 }
 
 // dispatchCore handles one dequeued core event, opportunistically
 // coalescing a run of queued publishes into one matching batch. It
-// returns the batch slice (emptied) so core can reuse its backing array.
-func (s *Server) dispatchCore(ev coreEvent, batch []*event.Event) []*event.Event {
+// returns the batch and debt slices (emptied) so core can reuse their
+// backing arrays.
+func (s *Server) dispatchCore(ev coreEvent, batch []*event.Event, owed []pcDebt) ([]*event.Event, []pcDebt) {
 	for {
 		collected := false
 		if !ev.gone && ev.query == nil && ev.call == nil && ev.tick == tickNone {
@@ -477,6 +842,7 @@ func (s *Server) dispatchCore(ev coreEvent, batch []*event.Event) []*event.Event
 				if m.Event != nil {
 					batch = append(batch, m.Event)
 				}
+				owed = owe(owed, ev.pc, 1)
 				collected = true
 			case transport.PublishBatch:
 				for _, e := range m.Events {
@@ -484,6 +850,7 @@ func (s *Server) dispatchCore(ev coreEvent, batch []*event.Event) []*event.Event
 						batch = append(batch, e)
 					}
 				}
+				owed = owe(owed, ev.pc, len(m.Events))
 				collected = true
 			}
 		}
@@ -495,18 +862,19 @@ func (s *Server) dispatchCore(ev coreEvent, batch []*event.Event) []*event.Event
 			// into a locally-published batch.)
 			s.flushPublishBatch(batch, "")
 			batch = batch[:0]
+			owed = s.settle(owed)
 			s.handleCore(ev)
-			return batch
+			return batch, owed
 		}
 		if len(batch) >= s.cfg.MaxBatch {
 			s.flushPublishBatch(batch, "")
 			batch = batch[:0]
+			owed = s.settle(owed)
 		}
-		select {
-		case ev = <-s.coreCh:
-		default:
+		var ok bool
+		if ev, ok = s.inlet.TryPop(); !ok {
 			s.flushPublishBatch(batch, "")
-			return batch[:0]
+			return batch[:0], s.settle(owed)
 		}
 	}
 }
@@ -554,10 +922,28 @@ func (s *Server) handleCore(ev coreEvent) {
 				}
 			}
 		}
+	case ev.replay:
+		s.handleReplayTick(ev.pc)
 	case ev.gone:
 		s.dropPeer(ev.pc)
 	default:
 		s.handleMessage(ev.pc, ev.msg)
+	}
+}
+
+// handleReplayTick drains a connection's stored backlog into its freed
+// outbound queue — the spool-to-socket handoff after a credit grant.
+func (s *Server) handleReplayTick(pc *peerConn) {
+	if s.store == nil {
+		return
+	}
+	switch {
+	case pc.link != nil:
+		if pc.link.pc == pc {
+			s.replayPeerSpool(pc.link)
+		}
+	case pc.kind == transport.PeerSubscriber && pc.id != "":
+		s.replayStored(pc)
 	}
 }
 
@@ -608,46 +994,44 @@ func (s *Server) dropPeer(pc *peerConn) {
 func (s *Server) salvageQueued(pc *peerConn, key string, link *peerLink) {
 	var evs []*event.Event
 	for {
-		var m transport.Message
-		select {
-		case m = <-pc.out:
-		default:
-			if len(evs) == 0 {
-				return
-			}
-			if s.store != nil && s.store.Pending(key) == 0 && s.storeBatchFor(key, evs) {
-				if link != nil {
-					link.spooled += uint64(len(evs))
-				}
-				s.log.Info("salvaged undelivered queue", "key", key, "events", len(evs))
-			} else if link != nil {
-				link.dropped += uint64(len(evs))
-				s.counters.AddDropped(uint64(len(evs)))
-				s.log.Warn("peer link queue lost", "peer", link.id, "events", len(evs))
-			}
-			return
+		m, ok := pc.out.TryPop()
+		if !ok {
+			break
 		}
-		switch f := m.(type) {
-		case transport.Forward:
-			evs = append(evs, f.Event)
-		case transport.ForwardBatch:
-			evs = append(evs, f.Events...)
-		case transport.Deliver:
-			evs = append(evs, f.Event)
+		evs = append(evs, eventsOf(m)...)
+	}
+	if len(evs) == 0 {
+		return
+	}
+	if s.store != nil && s.store.Pending(key) == 0 && s.storeBatchFor(key, evs) {
+		if link != nil {
+			link.spooled += uint64(len(evs))
 		}
+		s.log.Info("salvaged undelivered queue", "key", key, "events", len(evs))
+	} else if link != nil {
+		link.dropped += uint64(len(evs))
+		s.counters.AddDropped(uint64(len(evs)))
+		s.log.Warn("peer link queue lost", "peer", link.id, "events", len(evs))
 	}
 }
 
 func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
 	switch msg := m.(type) {
 	case transport.Hello:
-		pc.kind, pc.id, pc.addr = msg.Kind, msg.ID, msg.Addr
+		s.setIdentity(pc, msg.Kind, msg.ID, msg.Addr)
 		if msg.ID != "" {
 			s.byID[routing.NodeID(msg.ID)] = pc
 		}
 		if msg.Kind == transport.PeerChildBroker {
 			s.node.AddChild(routing.NodeID(msg.ID))
 			s.log.Info("child broker joined", "child", msg.ID, "addr", msg.Addr)
+		}
+		if msg.Kind == transport.PeerPublisher {
+			// Publishers inject events here: grant an initial credit
+			// window and meter replenishments to the core's actual
+			// processing rate — the admission-control contract.
+			pc.meter.Store(flow.NewMeter(s.cfg.FlowWindow))
+			s.addGrant(pc, s.cfg.FlowWindow)
 		}
 	case transport.Publish:
 		// Publishes normally coalesce in dispatchCore before reaching
@@ -669,11 +1053,13 @@ func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
 			return
 		}
 		s.flushPublishBatch([]*event.Event{msg.Event}, peering.LinkID(pc.link.id))
+		s.grantTo(pc, 1)
 	case transport.ForwardBatch:
 		if pc.link == nil {
 			return
 		}
 		s.flushPublishBatch(msg.Events, peering.LinkID(pc.link.id))
+		s.grantTo(pc, len(msg.Events))
 	case transport.Subscribe:
 		if msg.Filter == nil {
 			return
@@ -844,11 +1230,13 @@ func (s *Server) flushPublishBatch(events []*event.Event, fromPeer peering.LinkI
 		} else {
 			m = transport.PublishBatch{Events: evs}
 		}
-		// A dropped batch loses every event it carries; count them all,
-		// as the per-event path would.
-		if !s.trySend(dst, m) {
+		// The queue applies the flow policy: Block stalls the core (and,
+		// through withheld grants, this broker's own senders); the drop
+		// policies count every event the frame carried, exactly as the
+		// per-event path would. A Stopped push means the child vanished
+		// mid-route — its events are lost with the connection, counted.
+		if out := dst.out.Push(m); out == flow.Stopped {
 			s.counters.AddDropped(uint64(len(evs)))
-			s.log.Warn("outbound queue full; dropping", "peer", dst.id, "events", len(evs))
 		}
 	}
 	for _, id := range storeOrder {
@@ -856,9 +1244,8 @@ func (s *Server) flushPublishBatch(events []*event.Event, fromPeer peering.LinkI
 	}
 }
 
-// routeToSubscriber delivers one event to a connected subscriber,
-// spilling to the durable store on saturation or behind a pending stored
-// backlog.
+// routeToSubscriber delivers one event to a connected subscriber under
+// the flow policy, keeping any stored backlog ahead of live traffic.
 func (s *Server) routeToSubscriber(dst *peerConn, id routing.NodeID, ev *event.Event) {
 	// A connected subscriber with a stored backlog (persisted during a
 	// saturation spell) must drain it first, or later events overtake the
@@ -866,16 +1253,23 @@ func (s *Server) routeToSubscriber(dst *peerConn, id routing.NodeID, ev *event.E
 	// scanning segments that cannot drain anywhere would stall the core
 	// for nothing.
 	if s.store != nil && s.store.Pending(string(id)) > 0 &&
-		(len(dst.out) == cap(dst.out) || s.replayStored(dst) > 0) {
+		(dst.out.Full() || s.replayStored(dst) > 0) {
 		// Still saturated: keep FIFO by storing the new event behind the
-		// backlog.
-		s.storeFor(string(id), ev)
-	} else if !s.trySend(dst, transport.Deliver{Event: ev}) {
-		// Saturated subscriber: persist rather than drop when the store
-		// knows it; count the drop otherwise.
+		// backlog — whatever the policy, reordering is never an option.
+		if s.storeFor(string(id), ev) {
+			s.counters.AddSpilled(1)
+		} else {
+			s.counters.AddDropped(1)
+		}
+		return
+	}
+	// The queue applies the policy on saturation: Block stalls the core,
+	// DropNewest/DropOldest shed (counted), SpillToStore persists via
+	// the connection's spill hook. Stopped means the subscriber vanished
+	// mid-route: persist for its return when the store knows it.
+	if out := dst.out.Push(transport.Deliver{Event: ev}); out == flow.Stopped {
 		if !s.storeFor(string(id), ev) {
 			s.counters.AddDropped(1)
-			s.log.Warn("outbound queue full; dropping", "peer", dst.id, "type", "transport.Deliver")
 		}
 	}
 }
@@ -942,7 +1336,9 @@ func (s *Server) replayQueue(pc *peerConn, key string, wrap func(*event.Event) t
 		return 0
 	}
 	n, err := s.store.Replay(key, func(ev *event.Event) bool {
-		return s.trySend(pc, wrap(ev))
+		// Non-blocking, no policy: when the window fills the remainder
+		// stays pending in the store for the next replay opportunity.
+		return pc.out.TryPush(wrap(ev))
 	})
 	if err != nil {
 		s.log.Warn("store replay failed", "key", key, "err", err)
@@ -954,14 +1350,44 @@ func (s *Server) replayQueue(pc *peerConn, key string, wrap func(*event.Event) t
 	return s.store.Pending(key)
 }
 
+// FlowStats snapshots the broker's bounded queues — the core inlet
+// ("inlet") plus every connection's outbound event queue ("out/<id>",
+// with anonymous connections as "out/?") — ordered by name. It never
+// touches the core goroutine: queue gauges are atomic and identities
+// are read under s.mu, so the overload-diagnosis API stays responsive
+// precisely when a Block-policy stall has the core waiting.
+func (s *Server) FlowStats() []flow.Snapshot {
+	out := []flow.Snapshot{s.inlet.Snapshot("inlet")}
+	s.mu.Lock()
+	type namedQueue struct {
+		name string
+		q    *flow.Queue[transport.Message]
+	}
+	queues := make([]namedQueue, 0, len(s.conns)+1)
+	for pc := range s.conns {
+		name := pc.id
+		if name == "" {
+			name = "?"
+		}
+		queues = append(queues, namedQueue{name, pc.out})
+	}
+	s.mu.Unlock()
+	if s.parent != nil {
+		queues = append(queues, namedQueue{"parent", s.parent.out})
+	}
+	for _, nq := range queues {
+		out = append(out, nq.q.Snapshot("out/"+nq.name))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // ChildBrokers reports the currently connected child broker count via a
 // round-trip through the core goroutine (used by tests and orchestration
 // to await topology readiness).
 func (s *Server) ChildBrokers() int {
 	done := make(chan int, 1)
-	select {
-	case s.coreCh <- coreEvent{query: done}:
-	case <-s.ctx.Done():
+	if s.inlet.PushWait(coreEvent{query: done}) != flow.Enqueued {
 		return 0
 	}
 	select {

@@ -1,0 +1,160 @@
+package flow
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Gate is the sender half of credit-based flow control over a
+// connection: the remote receiver grants credit (one unit per event),
+// the local writer acquires credit before transmitting event-bearing
+// frames, and runs dry when the receiver stops granting — which is how
+// a saturated downstream broker throttles upstream publishers without
+// stalling control traffic.
+//
+// A Gate starts disabled (acquisitions succeed unconditionally) and
+// enables itself on the first Grant, so senders interoperate with
+// receivers that predate — or opt out of — credit flow control.
+//
+// Acquire semantics are deliberately TCP-like: a batch may overshoot
+// the remaining credit (credit goes negative) as long as any credit was
+// available, so an oversized batch can never wedge a link; the deficit
+// is repaid before the next acquisition succeeds.
+type Gate struct {
+	mu      sync.Mutex
+	enabled bool
+	credit  int64
+	avail   chan struct{} // 1-token signal: credit was granted
+
+	granted atomic.Uint64
+	waits   atomic.Uint64
+}
+
+// NewGate returns a disabled gate; the first Grant enables it.
+func NewGate() *Gate {
+	return &Gate{avail: make(chan struct{}, 1)}
+}
+
+// Grant adds n credits (a Credit frame arrived) and enables the gate.
+func (g *Gate) Grant(n int) {
+	if n <= 0 {
+		return
+	}
+	g.mu.Lock()
+	g.enabled = true
+	g.credit += int64(n)
+	g.mu.Unlock()
+	g.granted.Add(uint64(n))
+	signal(g.avail)
+}
+
+// TryAcquire takes n credits if any credit is available (the balance may
+// go negative — see the type comment); it reports false when the gate is
+// enabled and dry.
+func (g *Gate) TryAcquire(n int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.enabled || g.credit > 0 {
+		if g.enabled {
+			g.credit -= int64(n)
+		}
+		return true
+	}
+	return false
+}
+
+// Acquire blocks until n credits are taken or a stop channel fires
+// (returns false). stop2 may be nil.
+func (g *Gate) Acquire(n int, stop, stop2 <-chan struct{}) bool {
+	for {
+		if g.TryAcquire(n) {
+			return true
+		}
+		g.waits.Add(1)
+		select {
+		case <-g.avail:
+		case <-stop:
+			return false
+		case <-altStop(stop2):
+			return false
+		}
+	}
+}
+
+// Avail returns the grant signal channel for callers that select over
+// the gate alongside other channels; follow a receive with TryAcquire.
+func (g *Gate) Avail() <-chan struct{} { return g.avail }
+
+// Enabled reports whether a Grant has ever arrived.
+func (g *Gate) Enabled() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.enabled
+}
+
+// Balance reports the current credit (negative after an overshoot).
+func (g *Gate) Balance() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return int(g.credit)
+}
+
+// Granted reports total credits ever granted; Waits how often an
+// acquisition had to block.
+func (g *Gate) Granted() uint64 { return g.granted.Load() }
+
+// Waits reports how many times Acquire found the gate dry.
+func (g *Gate) Waits() uint64 { return g.waits.Load() }
+
+// Meter is the receiver half: it tracks how many events have been
+// consumed from a sender since the last grant and says when (and how
+// much) to re-grant. Grants are issued in half-window batches so one
+// Credit frame amortizes over many events, while the outstanding window
+// never exceeds Window.
+//
+// The receiver decides when "consumed" happens — the broker counts an
+// event at the moment its core has matched and routed it (with every
+// downstream enqueue subject to that broker's own queue policy), so
+// under Block a slow consumer slows the core, the meter stops
+// re-granting, and the stall propagates upstream.
+type Meter struct {
+	mu       sync.Mutex
+	window   int
+	consumed int
+}
+
+// NewMeter returns a meter for the given grant window.
+func NewMeter(window int) *Meter {
+	if window <= 0 {
+		window = DefaultCreditWindow
+	}
+	return &Meter{window: window}
+}
+
+// DefaultCreditWindow is the per-connection event credit window granted
+// to senders when none is configured.
+const DefaultCreditWindow = 1024
+
+// Window returns the meter's grant window (the initial grant).
+func (m *Meter) Window() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.window
+}
+
+// Consume records n events processed from the sender and returns the
+// credit to grant back now: 0 most of the time, a batch once the
+// consumed count crosses half the window.
+func (m *Meter) Consume(n int) (grant int) {
+	if n <= 0 {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.consumed += n
+	if m.consumed >= m.window/2 {
+		grant = m.consumed
+		m.consumed = 0
+	}
+	return grant
+}

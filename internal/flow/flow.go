@@ -1,0 +1,522 @@
+// Package flow is the system's unified flow-control core: one bounded
+// queue abstraction with pluggable slow-consumer policies, and a credit
+// gate/meter pair for propagating admission control across TCP hops.
+//
+// Before this package, the delivery path handled overload with three
+// disjoint mechanisms — overlay mailboxes that blocked, broker outbound
+// queues that dropped, and peer links that spilled to the durable store
+// — so behavior under heavy traffic depended on which layer saturated
+// first. Every queue in the path (actor mailboxes, subscriber delivery
+// queues, the broker's core inlet, per-connection outbound queues, and
+// federation peer links) is now a flow.Queue governed by one Policy:
+//
+//   - Block: producers wait for space. Saturation propagates upstream
+//     hop by hop — through in-process channels and, over TCP, through
+//     withheld credit grants — until the publisher itself stalls. No
+//     event is ever lost.
+//   - DropNewest: the incoming event is discarded when the queue is
+//     full. Cheapest; freshest backlog survives.
+//   - DropOldest: the oldest queued event is evicted to admit the new
+//     one. The queue converges to the most recent window of traffic.
+//   - SpillToStore: overflow is handed to a spill function (the durable
+//     store in the broker and overlay); events survive saturation and
+//     replay in order once the consumer catches up. Queues with no
+//     spill target treat a failed spill as a drop.
+//
+// Control messages (subscription state, leases, barriers, credit
+// grants) are never subject to a drop policy: they enqueue with
+// PushWait, which blocks for space regardless of the configured policy,
+// so overload degrades event delivery — per policy — without ever
+// corrupting routing state.
+package flow
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Policy selects what a saturated queue does with new events.
+type Policy uint8
+
+const (
+	// Block makes producers wait for space: lossless end-to-end
+	// backpressure. The default everywhere.
+	Block Policy = iota
+	// DropNewest discards the incoming event when the queue is full.
+	DropNewest
+	// DropOldest evicts the oldest queued event to admit the new one.
+	DropOldest
+	// SpillToStore hands overflow to the queue's Spill function —
+	// normally the durable store — falling back to a counted drop when
+	// spilling is impossible.
+	SpillToStore
+)
+
+// String returns the policy's canonical flag spelling.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropNewest:
+		return "drop-newest"
+	case DropOldest:
+		return "drop-oldest"
+	case SpillToStore:
+		return "spill"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// ParsePolicy parses a policy name as spelled by String (flag surface).
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "block":
+		return Block, nil
+	case "drop-newest", "dropnewest":
+		return DropNewest, nil
+	case "drop-oldest", "dropoldest":
+		return DropOldest, nil
+	case "spill", "spill-to-store", "spilltostore":
+		return SpillToStore, nil
+	}
+	return Block, fmt.Errorf("flow: unknown policy %q (want block, drop-newest, drop-oldest, or spill)", s)
+}
+
+// Outcome reports what Push did with an item.
+type Outcome uint8
+
+const (
+	// Enqueued: the item is in the queue. Under DropOldest an older
+	// evictable item may have been dropped to make room (OnDrop saw it).
+	Enqueued Outcome = iota
+	// Dropped: the item itself was discarded per policy (OnDrop saw it).
+	Dropped
+	// Spilled: the item was handed to the Spill function successfully.
+	Spilled
+	// Stopped: the queue was closed or a stop channel fired before the
+	// item could be placed; the caller still owns it.
+	Stopped
+)
+
+// Config parameterizes a Queue.
+type Config[T any] struct {
+	// Window bounds the queue depth (default 64). Non-evictable items
+	// pushed under a drop policy enqueue past it rather than drop:
+	// policies bound event backlog, never routing state.
+	Window int
+	// Policy selects the slow-consumer behavior on a full queue.
+	Policy Policy
+	// Evictable reports whether an item may be dropped by policy. Nil
+	// means every item is evictable. Items that are not evictable are
+	// enqueued past the window rather than lost (control traffic).
+	Evictable func(T) bool
+	// Spill receives overflow under SpillToStore and reports whether it
+	// was persisted; nil or false degrades the push to a drop.
+	Spill func(T) bool
+	// OnDrop observes every item the queue discards (policy drops and
+	// evictions), before Push returns. Queues carrying batches use it to
+	// count per-event drops exactly once.
+	OnDrop func(T)
+	// OnStall observes each time a Block push had to wait for space.
+	OnStall func()
+	// Stop and AltStop abort blocked pushes and pops when closed (e.g. a
+	// connection's done channel and the server's shutdown context).
+	Stop    <-chan struct{}
+	AltStop <-chan struct{}
+}
+
+// Queue is a bounded multi-producer multi-consumer queue with a
+// slow-consumer policy. The zero value is not usable; create with New.
+type Queue[T any] struct {
+	cfg Config[T]
+
+	mu     sync.Mutex
+	buf    []T // ring buffer
+	head   int
+	n      int
+	closed bool
+
+	avail chan struct{} // 1-token signal: an item was enqueued
+	space chan struct{} // 1-token signal: a slot was freed
+
+	// gauges (atomic: snapshots race with the core)
+	depthMax atomic.Int64
+	enqueued atomic.Uint64
+	dropped  atomic.Uint64
+	spilled  atomic.Uint64
+	stalls   atomic.Uint64
+}
+
+// New builds a queue from cfg.
+func New[T any](cfg Config[T]) *Queue[T] {
+	if cfg.Window <= 0 {
+		cfg.Window = 64
+	}
+	return &Queue[T]{
+		cfg:   cfg,
+		buf:   make([]T, nextPow2(cfg.Window+1)),
+		avail: make(chan struct{}, 1),
+		space: make(chan struct{}, 1),
+	}
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+func (q *Queue[T]) stopped() bool {
+	select {
+	case <-q.cfg.Stop:
+		return true
+	default:
+	}
+	if q.cfg.AltStop == nil {
+		return false
+	}
+	select {
+	case <-q.cfg.AltStop:
+		return true
+	default:
+		return false
+	}
+}
+
+// grow doubles the ring (PushWait admits control traffic past the
+// window; the ring must keep up). Caller holds q.mu.
+func (q *Queue[T]) growLocked() {
+	next := make([]T, len(q.buf)*2)
+	for i := 0; i < q.n; i++ {
+		next[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = next
+	q.head = 0
+}
+
+func (q *Queue[T]) enqueueLocked(item T) {
+	if q.n == len(q.buf) {
+		q.growLocked()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = item
+	q.n++
+	q.enqueued.Add(1)
+	if d := int64(q.n); d > q.depthMax.Load() {
+		q.depthMax.Store(d)
+	}
+}
+
+// Push places an event item under the configured policy. The returned
+// Outcome says what happened to it; OnDrop has already seen any victim.
+func (q *Queue[T]) Push(item T) Outcome {
+	for {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			signal(q.space) // cascade the close to other waiting producers
+			return Stopped
+		}
+		if q.n < q.cfg.Window {
+			q.enqueueLocked(item)
+			q.mu.Unlock()
+			signal(q.avail)
+			return Enqueued
+		}
+		switch q.cfg.Policy {
+		case DropNewest:
+			out := q.dropNewestLocked(item)
+			q.mu.Unlock()
+			if out == Enqueued {
+				signal(q.avail)
+			}
+			return out
+		case DropOldest:
+			out := q.dropOldestLocked(item)
+			q.mu.Unlock()
+			signal(q.avail)
+			return out
+		case SpillToStore:
+			// Spill under the lock: overflow ordering between concurrent
+			// producers must match their queue ordering, and the spill
+			// target (the durable store) serializes internally anyway.
+			out := q.spillLocked(item)
+			q.mu.Unlock()
+			if out == Enqueued {
+				signal(q.avail)
+			}
+			return out
+		default: // Block
+			q.stalls.Add(1)
+			if q.cfg.OnStall != nil {
+				q.cfg.OnStall()
+			}
+			q.mu.Unlock()
+			select {
+			case <-q.space:
+			case <-q.cfg.Stop:
+				return Stopped
+			case <-altStop(q.cfg.AltStop):
+				return Stopped
+			}
+		}
+	}
+}
+
+// altStop returns ch, or a never-firing channel when ch is nil (select
+// arms cannot be conditional).
+func altStop(ch <-chan struct{}) <-chan struct{} {
+	if ch == nil {
+		return neverCh
+	}
+	return ch
+}
+
+var neverCh = make(chan struct{})
+
+func (q *Queue[T]) dropNewestLocked(item T) Outcome {
+	if q.cfg.Evictable != nil && !q.cfg.Evictable(item) {
+		q.enqueueLocked(item) // control traffic exceeds the window rather than drop
+		return Enqueued
+	}
+	q.dropped.Add(1)
+	if q.cfg.OnDrop != nil {
+		q.cfg.OnDrop(item)
+	}
+	return Dropped
+}
+
+func (q *Queue[T]) dropOldestLocked(item T) Outcome {
+	// Evict the oldest evictable item; control items are skipped.
+	for i := 0; i < q.n; i++ {
+		idx := (q.head + i) & (len(q.buf) - 1)
+		if q.cfg.Evictable != nil && !q.cfg.Evictable(q.buf[idx]) {
+			continue
+		}
+		victim := q.buf[idx]
+		// Shift the prefix [head, head+i) forward one slot to close the
+		// gap; O(i) only on the saturated path.
+		for j := i; j > 0; j-- {
+			to := (q.head + j) & (len(q.buf) - 1)
+			from := (q.head + j - 1) & (len(q.buf) - 1)
+			q.buf[to] = q.buf[from]
+		}
+		var zero T
+		q.buf[q.head] = zero
+		q.head = (q.head + 1) & (len(q.buf) - 1)
+		q.n--
+		q.dropped.Add(1)
+		if q.cfg.OnDrop != nil {
+			q.cfg.OnDrop(victim)
+		}
+		q.enqueueLocked(item)
+		return Enqueued
+	}
+	// Nothing evictable queued: fall back to DropNewest semantics.
+	return q.dropNewestLocked(item)
+}
+
+func (q *Queue[T]) spillLocked(item T) Outcome {
+	if q.cfg.Evictable != nil && !q.cfg.Evictable(item) {
+		q.enqueueLocked(item)
+		return Enqueued
+	}
+	if q.cfg.Spill != nil && q.cfg.Spill(item) {
+		q.spilled.Add(1)
+		return Spilled
+	}
+	q.dropped.Add(1)
+	if q.cfg.OnDrop != nil {
+		q.cfg.OnDrop(item)
+	}
+	return Dropped
+}
+
+// PushWait enqueues regardless of policy, waiting for space when the
+// queue is full — the control-traffic path: a lease renewal or flush
+// barrier is never dropped, whatever the event policy is.
+func (q *Queue[T]) PushWait(item T) Outcome {
+	for {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			signal(q.space) // cascade the close to other waiting producers
+			return Stopped
+		}
+		if q.n < q.cfg.Window {
+			q.enqueueLocked(item)
+			q.mu.Unlock()
+			signal(q.avail)
+			return Enqueued
+		}
+		q.stalls.Add(1)
+		if q.cfg.OnStall != nil {
+			q.cfg.OnStall()
+		}
+		q.mu.Unlock()
+		select {
+		case <-q.space:
+		case <-q.cfg.Stop:
+			return Stopped
+		case <-altStop(q.cfg.AltStop):
+			return Stopped
+		}
+	}
+}
+
+// TryPush enqueues without blocking and without applying any policy; it
+// reports false when the queue is at its window (or closed).
+func (q *Queue[T]) TryPush(item T) bool {
+	q.mu.Lock()
+	if q.closed || q.n >= q.cfg.Window {
+		q.mu.Unlock()
+		return false
+	}
+	q.enqueueLocked(item)
+	q.mu.Unlock()
+	signal(q.avail)
+	return true
+}
+
+// Requeue pushes an item back to the front unconditionally (a writer
+// returning an in-flight item on teardown so salvage still sees it). It
+// never drops, never blocks, and bypasses gauges.
+func (q *Queue[T]) Requeue(item T) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	if q.n == len(q.buf) {
+		q.growLocked()
+	}
+	q.head = (q.head - 1 + len(q.buf)) & (len(q.buf) - 1)
+	q.buf[q.head] = item
+	q.n++
+	q.mu.Unlock()
+	signal(q.avail)
+}
+
+// Pop removes the oldest item, blocking until one is available or a
+// stop channel fires (ok=false; also after Close once drained).
+func (q *Queue[T]) Pop() (item T, ok bool) {
+	for {
+		if item, ok = q.TryPop(); ok {
+			return item, true
+		}
+		q.mu.Lock()
+		closed, n := q.closed, q.n
+		q.mu.Unlock()
+		if closed && n == 0 {
+			signal(q.avail) // cascade the close to other waiting consumers
+			return item, false
+		}
+		if n > 0 {
+			continue // raced another consumer; retry
+		}
+		select {
+		case <-q.avail:
+		case <-q.cfg.Stop:
+			return item, false
+		case <-altStop(q.cfg.AltStop):
+			return item, false
+		}
+	}
+}
+
+// TryPop removes the oldest item without blocking.
+func (q *Queue[T]) TryPop() (item T, ok bool) {
+	q.mu.Lock()
+	if q.n == 0 {
+		q.mu.Unlock()
+		return item, false
+	}
+	item = q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	n := q.n
+	q.mu.Unlock()
+	signal(q.space)
+	if n > 0 {
+		signal(q.avail) // cascade to other waiting consumers
+	}
+	return item, true
+}
+
+// Ready returns the item-available signal channel for callers that need
+// to select over the queue alongside other channels (the broker's write
+// loop). Receiving from it consumes at most one wake token; follow with
+// TryPop in a loop.
+func (q *Queue[T]) Ready() <-chan struct{} { return q.avail }
+
+// Len reports the current depth.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Full reports whether the queue is at (or past) its window.
+func (q *Queue[T]) Full() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n >= q.cfg.Window
+}
+
+// Close marks the queue closed: pushes return Stopped, pops drain what
+// remains and then report ok=false. Idempotent. Waiters cascade the
+// wake-up to each other, so every blocked producer and consumer exits.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	signal(q.avail)
+	signal(q.space)
+}
+
+// Snapshot is a point-in-time view of one queue's gauges.
+type Snapshot struct {
+	// Name identifies the queue (e.g. "mailbox/N1.2", "out/sub-7").
+	Name string
+	// Depth is the current occupancy; Window the policy bound; DepthMax
+	// the high-water mark.
+	Depth    int
+	Window   int
+	DepthMax int
+	// Enqueued, Dropped, Spilled and Stalls count items admitted, items
+	// discarded by policy, items handed to the spill target, and Block
+	// pushes that had to wait.
+	Enqueued uint64
+	Dropped  uint64
+	Spilled  uint64
+	Stalls   uint64
+}
+
+// Snapshot reads the queue's gauges.
+func (q *Queue[T]) Snapshot(name string) Snapshot {
+	q.mu.Lock()
+	depth := q.n
+	q.mu.Unlock()
+	return Snapshot{
+		Name:     name,
+		Depth:    depth,
+		Window:   q.cfg.Window,
+		DepthMax: int(q.depthMax.Load()),
+		Enqueued: q.enqueued.Load(),
+		Dropped:  q.dropped.Load(),
+		Spilled:  q.spilled.Load(),
+		Stalls:   q.stalls.Load(),
+	}
+}

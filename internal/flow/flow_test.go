@@ -1,0 +1,398 @@
+package flow
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type item struct {
+	seq  int
+	ctrl bool
+}
+
+func evictable(it item) bool { return !it.ctrl }
+
+func TestPushPopFIFO(t *testing.T) {
+	q := New(Config[item]{Window: 8})
+	for i := 0; i < 5; i++ {
+		if out := q.Push(item{seq: i}); out != Enqueued {
+			t.Fatalf("push %d: outcome %d", i, out)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		it, ok := q.Pop()
+		if !ok || it.seq != i {
+			t.Fatalf("pop %d: got %+v ok=%v", i, it, ok)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on empty queue succeeded")
+	}
+}
+
+func TestBlockPolicyBlocksAndResumes(t *testing.T) {
+	stop := make(chan struct{})
+	q := New(Config[item]{Window: 2, Policy: Block, Stop: stop})
+	q.Push(item{seq: 0})
+	q.Push(item{seq: 1})
+	done := make(chan Outcome, 1)
+	go func() { done <- q.Push(item{seq: 2}) }()
+	select {
+	case <-done:
+		t.Fatal("push into full Block queue returned early")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if it, ok := q.Pop(); !ok || it.seq != 0 {
+		t.Fatalf("pop: %+v %v", it, ok)
+	}
+	select {
+	case out := <-done:
+		if out != Enqueued {
+			t.Fatalf("unblocked push outcome %d", out)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("push did not unblock after pop")
+	}
+	snap := q.Snapshot("q")
+	if snap.Stalls == 0 {
+		t.Fatal("Block stall not counted")
+	}
+}
+
+func TestBlockPolicyStopAborts(t *testing.T) {
+	stop := make(chan struct{})
+	q := New(Config[item]{Window: 1, Policy: Block, Stop: stop})
+	q.Push(item{seq: 0})
+	done := make(chan Outcome, 1)
+	go func() { done <- q.Push(item{seq: 1}) }()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	if out := <-done; out != Stopped {
+		t.Fatalf("stop during blocked push: outcome %d", out)
+	}
+	// Pop also aborts on stop once empty.
+	q.TryPop()
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop after stop returned ok")
+	}
+}
+
+func TestDropNewest(t *testing.T) {
+	var drops []int
+	q := New(Config[item]{
+		Window: 2, Policy: DropNewest, Evictable: evictable,
+		OnDrop: func(it item) { drops = append(drops, it.seq) },
+	})
+	q.Push(item{seq: 0})
+	q.Push(item{seq: 1})
+	if out := q.Push(item{seq: 2}); out != Dropped {
+		t.Fatalf("outcome %d", out)
+	}
+	if len(drops) != 1 || drops[0] != 2 {
+		t.Fatalf("drops = %v", drops)
+	}
+	// Control items exceed the window instead of dropping.
+	if out := q.Push(item{seq: 3, ctrl: true}); out != Enqueued {
+		t.Fatalf("control push outcome %d", out)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}
+
+func TestDropOldestSkipsControl(t *testing.T) {
+	var drops []int
+	q := New(Config[item]{
+		Window: 3, Policy: DropOldest, Evictable: evictable,
+		OnDrop: func(it item) { drops = append(drops, it.seq) },
+	})
+	q.Push(item{seq: 0, ctrl: true})
+	q.Push(item{seq: 1})
+	q.Push(item{seq: 2})
+	if out := q.Push(item{seq: 3}); out != Enqueued {
+		t.Fatalf("outcome %d", out)
+	}
+	if len(drops) != 1 || drops[0] != 1 {
+		t.Fatalf("drops = %v (oldest evictable is 1, not the control 0)", drops)
+	}
+	want := []int{0, 2, 3}
+	for _, w := range want {
+		it, ok := q.Pop()
+		if !ok || it.seq != w {
+			t.Fatalf("pop got %+v, want seq %d", it, w)
+		}
+	}
+}
+
+func TestDropOldestAllControlFallsBack(t *testing.T) {
+	var drops []int
+	q := New(Config[item]{
+		Window: 2, Policy: DropOldest, Evictable: evictable,
+		OnDrop: func(it item) { drops = append(drops, it.seq) },
+	})
+	q.Push(item{seq: 0, ctrl: true})
+	q.Push(item{seq: 1, ctrl: true})
+	if out := q.Push(item{seq: 2}); out != Dropped {
+		t.Fatalf("outcome %d", out)
+	}
+	if len(drops) != 1 || drops[0] != 2 {
+		t.Fatalf("drops = %v", drops)
+	}
+}
+
+func TestSpillToStore(t *testing.T) {
+	var spilled []int
+	ok := true
+	q := New(Config[item]{
+		Window: 1, Policy: SpillToStore, Evictable: evictable,
+		Spill: func(it item) bool {
+			if !ok {
+				return false
+			}
+			spilled = append(spilled, it.seq)
+			return true
+		},
+	})
+	q.Push(item{seq: 0})
+	if out := q.Push(item{seq: 1}); out != Spilled {
+		t.Fatalf("outcome %d", out)
+	}
+	ok = false
+	if out := q.Push(item{seq: 2}); out != Dropped {
+		t.Fatalf("failed spill outcome %d", out)
+	}
+	if len(spilled) != 1 || spilled[0] != 1 {
+		t.Fatalf("spilled = %v", spilled)
+	}
+	snap := q.Snapshot("q")
+	if snap.Spilled != 1 || snap.Dropped != 1 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+}
+
+func TestPushWaitIgnoresPolicy(t *testing.T) {
+	q := New(Config[item]{Window: 1, Policy: DropNewest, Evictable: evictable})
+	q.Push(item{seq: 0})
+	done := make(chan Outcome, 1)
+	go func() { done <- q.PushWait(item{seq: 1}) }()
+	select {
+	case <-done:
+		t.Fatal("PushWait returned while full")
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.Pop()
+	if out := <-done; out != Enqueued {
+		t.Fatalf("outcome %d", out)
+	}
+}
+
+func TestRequeueFront(t *testing.T) {
+	q := New(Config[item]{Window: 2})
+	q.Push(item{seq: 1})
+	q.Requeue(item{seq: 0})
+	it, _ := q.Pop()
+	if it.seq != 0 {
+		t.Fatalf("front is %d, want requeued 0", it.seq)
+	}
+}
+
+func TestCloseDrainsAndCascades(t *testing.T) {
+	q := New(Config[item]{Window: 4})
+	q.Push(item{seq: 0})
+	q.Close()
+	if out := q.Push(item{seq: 1}); out != Stopped {
+		t.Fatalf("push after close: %d", out)
+	}
+	if it, ok := q.Pop(); !ok || it.seq != 0 {
+		t.Fatalf("drain after close: %+v %v", it, ok)
+	}
+	// Several consumers blocked on an empty closed queue all wake.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, ok := q.Pop(); ok {
+				t.Error("Pop on closed empty queue returned ok")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := New(Config[item]{Window: 64, Policy: Block, Stop: make(chan struct{})})
+	const producers, per = 8, 500
+	var got atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if q.Push(item{seq: p*per + i}) != Enqueued {
+					t.Error("push failed")
+					return
+				}
+			}
+		}(p)
+	}
+	var cg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				if _, ok := q.Pop(); !ok {
+					return
+				}
+				got.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cg.Wait()
+	if got.Load() != producers*per {
+		t.Fatalf("consumed %d, want %d", got.Load(), producers*per)
+	}
+}
+
+func TestPerProducerFIFOUnderContention(t *testing.T) {
+	q := New(Config[item]{Window: 16, Policy: Block, Stop: make(chan struct{})})
+	const producers, per = 4, 1000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Push(item{seq: p*per + i})
+			}
+		}(p)
+	}
+	last := make([]int, producers)
+	for i := range last {
+		last[i] = -1
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for n := 0; n < producers*per; n++ {
+			it, ok := q.Pop()
+			if !ok {
+				t.Error("queue closed early")
+				return
+			}
+			p, s := it.seq/per, it.seq%per
+			if s <= last[p] {
+				t.Errorf("producer %d out of order: %d after %d", p, s, last[p])
+				return
+			}
+			last[p] = s
+		}
+	}()
+	wg.Wait()
+	<-done
+}
+
+func TestGateDisabledUntilGrant(t *testing.T) {
+	g := NewGate()
+	if !g.TryAcquire(100) {
+		t.Fatal("disabled gate refused acquisition")
+	}
+	g.Grant(2)
+	if !g.Enabled() {
+		t.Fatal("gate not enabled after grant")
+	}
+	if !g.TryAcquire(1) || !g.TryAcquire(1) {
+		t.Fatal("granted credit refused")
+	}
+	if g.TryAcquire(1) {
+		t.Fatal("dry gate allowed acquisition")
+	}
+}
+
+func TestGateOvershoot(t *testing.T) {
+	g := NewGate()
+	g.Grant(1)
+	if !g.TryAcquire(10) {
+		t.Fatal("positive balance refused a batch")
+	}
+	if g.Balance() != -9 {
+		t.Fatalf("balance %d, want -9", g.Balance())
+	}
+	if g.TryAcquire(1) {
+		t.Fatal("negative balance allowed acquisition")
+	}
+	g.Grant(9)
+	if g.TryAcquire(1) {
+		t.Fatal("deficit not repaid before next acquisition")
+	}
+	g.Grant(1)
+	if !g.TryAcquire(1) {
+		t.Fatal("repaid gate refused acquisition")
+	}
+}
+
+func TestGateAcquireBlocksUntilGrant(t *testing.T) {
+	g := NewGate()
+	g.Grant(1)
+	g.TryAcquire(1)
+	stop := make(chan struct{})
+	got := make(chan bool, 1)
+	go func() { got <- g.Acquire(1, stop, nil) }()
+	select {
+	case <-got:
+		t.Fatal("Acquire returned while dry")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Grant(1)
+	if ok := <-got; !ok {
+		t.Fatal("Acquire failed after grant")
+	}
+	if g.Waits() == 0 {
+		t.Fatal("wait not counted")
+	}
+	// Stop aborts a dry wait.
+	go func() { got <- g.Acquire(1, stop, nil) }()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	if ok := <-got; ok {
+		t.Fatal("Acquire succeeded after stop")
+	}
+}
+
+func TestMeterGrantsHalfWindows(t *testing.T) {
+	m := NewMeter(100)
+	total := 0
+	for i := 0; i < 99; i++ {
+		total += m.Consume(1)
+	}
+	if total < 49 {
+		t.Fatalf("granted %d over 99 events, want >= 49", total)
+	}
+	if g := m.Consume(1); total+g != 100 {
+		t.Fatalf("granted %d over 100 events, want exactly 100", total+g)
+	}
+	if m.Consume(0) != 0 {
+		t.Fatal("zero consume granted credit")
+	}
+}
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, p := range []Policy{Block, DropNewest, DropOldest, SpillToStore} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip %v: got %v err %v", p, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("bogus policy parsed")
+	}
+	if p, err := ParsePolicy(""); err != nil || p != Block {
+		t.Fatal("empty policy should default to block")
+	}
+}

@@ -22,6 +22,11 @@ type Counters struct {
 	storeReplayed atomic.Uint64
 	storedBytes   atomic.Uint64
 
+	stalled       atomic.Uint64
+	spilled       atomic.Uint64
+	creditGranted atomic.Uint64
+	creditWaits   atomic.Uint64
+
 	batchesMatched atomic.Uint64
 	batchSizeSum   atomic.Uint64
 
@@ -60,6 +65,23 @@ func (c *Counters) AddStoreReplayed(n uint64) { c.storeReplayed.Add(n) }
 
 // AddStoredBytes records n bytes written to the durable store.
 func (c *Counters) AddStoredBytes(n uint64) { c.storedBytes.Add(n) }
+
+// AddStalled records n times a Block-policy queue made a producer wait
+// for space — the footprint of lossless backpressure in action.
+func (c *Counters) AddStalled(n uint64) { c.stalled.Add(n) }
+
+// AddSpilled records n events a saturated queue diverted to backlog
+// storage (the durable store or a bounded in-memory backlog) under the
+// SpillToStore policy, to be replayed in order later.
+func (c *Counters) AddSpilled(n uint64) { c.spilled.Add(n) }
+
+// AddCreditGranted records n event credits granted to senders on this
+// node's connections (credit-based flow control).
+func (c *Counters) AddCreditGranted(n uint64) { c.creditGranted.Add(n) }
+
+// AddCreditWaits records n times an outbound writer ran out of credit
+// and had to wait for a grant — upstream throttling in action.
+func (c *Counters) AddCreditWaits(n uint64) { c.creditWaits.Add(n) }
 
 // AddBatchesMatched records one batched matching pass over the node's
 // table (a batch of one still counts: BatchSizeSum/BatchesMatched is the
@@ -108,6 +130,18 @@ func (c *Counters) StoreReplayed() uint64 { return c.storeReplayed.Load() }
 // StoredBytes returns the bytes-written-to-store count.
 func (c *Counters) StoredBytes() uint64 { return c.storedBytes.Load() }
 
+// Stalled returns the blocked-producer count (Block-policy waits).
+func (c *Counters) Stalled() uint64 { return c.stalled.Load() }
+
+// Spilled returns the events-diverted-to-backlog count (SpillToStore).
+func (c *Counters) Spilled() uint64 { return c.spilled.Load() }
+
+// CreditGranted returns the event credits granted to senders.
+func (c *Counters) CreditGranted() uint64 { return c.creditGranted.Load() }
+
+// CreditWaits returns how often outbound writers waited for credit.
+func (c *Counters) CreditWaits() uint64 { return c.creditWaits.Load() }
+
 // BatchesMatched returns the batched-matching-pass count.
 func (c *Counters) BatchesMatched() uint64 { return c.batchesMatched.Load() }
 
@@ -143,6 +177,10 @@ func (c *Counters) Stats(nodeID string, stage int) NodeStats {
 		StoreAppended:  c.StoreAppended(),
 		StoreReplayed:  c.StoreReplayed(),
 		StoredBytes:    c.StoredBytes(),
+		Stalled:        c.Stalled(),
+		Spilled:        c.Spilled(),
+		CreditGranted:  c.CreditGranted(),
+		CreditWaits:    c.CreditWaits(),
 		BatchesMatched: c.BatchesMatched(),
 		BatchSizeSum:   c.BatchSizeSum(),
 		PeerPropagated: c.PeerPropagated(),
@@ -172,6 +210,16 @@ type NodeStats struct {
 	StoreAppended uint64
 	StoreReplayed uint64
 	StoredBytes   uint64
+	// Stalled, Spilled, CreditGranted and CreditWaits describe the
+	// node's flow control: producers made to wait by a Block-policy
+	// queue, events diverted to backlog storage by SpillToStore, event
+	// credits granted to senders, and outbound writers that ran dry and
+	// waited for a grant. Together with Dropped they tell which layer
+	// absorbed an overload and how.
+	Stalled       uint64
+	Spilled       uint64
+	CreditGranted uint64
+	CreditWaits   uint64
 	// BatchesMatched and BatchSizeSum describe the node's batched
 	// matching passes: BatchSizeSum/BatchesMatched is the average number
 	// of events coalesced per pass (1.0 means batching never kicked in).

@@ -9,9 +9,9 @@
 //
 // Concurrency and ownership invariants:
 //
-//   - One inbox channel per node, drained by exactly one goroutine, so
-//     the routing core needs no locks. Only that goroutine ever touches
-//     its routing.Node.
+//   - One inbox per node — a flow.Queue — drained by exactly one
+//     goroutine, so the routing core needs no locks. Only that
+//     goroutine ever touches its routing.Node.
 //   - Actors drain queued publishes into batches (capped at
 //     Config.MaxBatch) and match each batch in one table pass; batches
 //     forward to child actors as a unit, so coalescing survives each hop
@@ -23,9 +23,14 @@
 //     intra-batch order, and each subscriber's buffered channel is
 //     drained by one dedicated goroutine. This holds for every engine
 //     kind and shard count.
-//   - Inter-node sends select on the system context, making shutdown
-//     deadlock-free. A slow subscriber eventually exerts backpressure on
-//     its stage-1 broker rather than dropping events.
+//   - Inter-node sends abort on the system context, making shutdown
+//     deadlock-free. Saturation follows Config.FlowPolicy at every
+//     bounded queue (mailboxes, delivery queues): under flow.Block a
+//     slow subscriber backpressures its stage-1 broker — and
+//     transitively the publisher — rather than dropping events; the
+//     drop policies shed (counted), and flow.SpillToStore diverts
+//     delivery overflow to the subscriber's backlog for in-order
+//     replay. Control messages are exempt from every policy.
 //   - The durable store (Config.Store) is owned by the caller; the
 //     overlay only appends/replays through its own handle goroutines.
 package overlay

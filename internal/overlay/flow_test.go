@@ -1,0 +1,229 @@
+package overlay
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/flow"
+	"eventsys/internal/store"
+	"eventsys/internal/typing"
+)
+
+// flowFixture is a tiny hierarchy under one flow policy with one slow
+// subscriber recording delivered event IDs.
+type flowFixture struct {
+	sys     *System
+	h       *Handle
+	handler Handler
+
+	mu  sync.Mutex
+	got []uint64
+}
+
+func (f *flowFixture) ids() []uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]uint64(nil), f.got...)
+}
+
+// newFlowFixture builds the system, subscribes the slow consumer
+// (handler sleeps delay per event), and publishes n stock events.
+func newFlowFixture(t *testing.T, policy flow.Policy, window int, st *store.Store, durable bool, delay time.Duration, n int) *flowFixture {
+	t.Helper()
+	sys, err := New(Config{
+		Fanouts:    []int{1, 2},
+		Seed:       7,
+		FlowPolicy: policy,
+		FlowWindow: window,
+		Store:      st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	ad, err := typing.NewAdvertisement("Stock", 3, "symbol", "price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Advertise(ad); err != nil {
+		t.Fatal(err)
+	}
+	f := &flowFixture{sys: sys}
+	f.handler = func(e *event.Event) {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		f.mu.Lock()
+		f.got = append(f.got, e.ID)
+		f.mu.Unlock()
+	}
+	sub := filter.Subscription{filter.MustParseFilter(`class = "Stock"`)}
+	if durable {
+		f.h, err = sys.SubscribeDurable("slow", sub, f.handler)
+	} else {
+		f.h, err = sys.Subscribe("slow", sub, f.handler)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.publish(t, n)
+	return f
+}
+
+func (f *flowFixture) publish(t *testing.T, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := f.sys.Publish(stockEvent("ACME", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func ascending(t *testing.T, ids []uint64) {
+	t.Helper()
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("order violated at %d: %d after %d", i, ids[i], ids[i-1])
+		}
+	}
+}
+
+// TestOverlayFlowBlockLossless: under Block a slow subscriber stalls
+// the pipeline instead of losing anything; Flush sees every event
+// through, in order, with bounded queues.
+func TestOverlayFlowBlockLossless(t *testing.T) {
+	const n = 400
+	f := newFlowFixture(t, flow.Block, 16, nil, false, 100*time.Microsecond, n)
+	f.sys.Flush()
+	got := f.ids()
+	if len(got) != n {
+		t.Fatalf("delivered %d, want %d", len(got), n)
+	}
+	ascending(t, got)
+	if f.h.Dropped() != 0 {
+		t.Fatalf("Block dropped %d", f.h.Dropped())
+	}
+	for _, qs := range f.sys.FlowStats() {
+		if qs.Dropped != 0 || qs.Spilled != 0 {
+			t.Fatalf("queue %s shed under Block: %+v", qs.Name, qs)
+		}
+	}
+}
+
+// TestOverlayFlowDropPolicies: the drop policies shed at the saturated
+// queue, count every loss, and never reorder what survives.
+func TestOverlayFlowDropPolicies(t *testing.T) {
+	for _, policy := range []flow.Policy{flow.DropNewest, flow.DropOldest} {
+		t.Run(policy.String(), func(t *testing.T) {
+			const n = 400
+			f := newFlowFixture(t, policy, 8, nil, false, 200*time.Microsecond, n)
+			f.sys.Flush()
+			got := f.ids()
+			ascending(t, got)
+			var dropped uint64
+			for _, st := range f.sys.Stats() {
+				dropped += st.Dropped
+			}
+			if uint64(len(got))+dropped != n {
+				t.Fatalf("delivered %d + dropped %d != published %d", len(got), dropped, n)
+			}
+			if dropped == 0 {
+				t.Fatal("slow consumer never saturated the window; policy untested")
+			}
+			if f.h.Delivered() != uint64(len(got)) {
+				t.Fatalf("handle delivered %d, handler saw %d", f.h.Delivered(), len(got))
+			}
+		})
+	}
+}
+
+// TestOverlayFlowSpillMemory: SpillToStore without a store spills a
+// non-durable subscriber's overflow to the bounded in-memory backlog
+// and replays it in order — nothing lost while the backlog fits.
+func TestOverlayFlowSpillMemory(t *testing.T) {
+	const n = 400
+	f := newFlowFixture(t, flow.SpillToStore, 8, nil, false, 100*time.Microsecond, n)
+	f.sys.Flush()
+	got := f.ids()
+	if len(got) != n {
+		t.Fatalf("delivered %d, want %d (spilled events must replay)", len(got), n)
+	}
+	ascending(t, got)
+	if f.h.Dropped() != 0 {
+		t.Fatalf("spill dropped %d with room in the backlog", f.h.Dropped())
+	}
+	var spilled uint64
+	for _, st := range f.sys.Stats() {
+		spilled += st.Spilled
+	}
+	if spilled == 0 {
+		t.Fatal("no spill recorded; slow consumer never saturated the window")
+	}
+}
+
+// TestOverlayFlowSpillDurableStore: a durable subscriber under
+// SpillToStore spills overflow to the durable store and replays it in
+// order; the store drains back to empty once the consumer catches up.
+func TestOverlayFlowSpillDurableStore(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{SyncEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	const n = 400
+	f := newFlowFixture(t, flow.SpillToStore, 8, st, true, 100*time.Microsecond, n)
+	f.sys.Flush()
+	got := f.ids()
+	if len(got) != n {
+		t.Fatalf("delivered %d, want %d", len(got), n)
+	}
+	ascending(t, got)
+	var appended, replayed uint64
+	for _, ns := range f.sys.Stats() {
+		appended += ns.StoreAppended
+		replayed += ns.StoreReplayed
+	}
+	if appended == 0 || appended != replayed {
+		t.Fatalf("store traffic appended=%d replayed=%d: spill must round-trip the store", appended, replayed)
+	}
+	if p := st.Pending("slow"); p != 0 {
+		t.Fatalf("store still holds %d events after Flush", p)
+	}
+}
+
+// TestOverlayFlowSpillThenDetachResume: a spill backlog and a durable
+// detachment share the same drain; Detach mid-spill and Resume must
+// deliver everything exactly once, in order.
+func TestOverlayFlowSpillThenDetachResume(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{SyncEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	const before, after = 200, 100
+	f := newFlowFixture(t, flow.SpillToStore, 8, st, true, 100*time.Microsecond, before)
+	if err := f.h.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	f.publish(t, after)
+	f.sys.Flush()
+	if err := f.h.Resume(f.handler); err != nil {
+		t.Fatal(err)
+	}
+	f.sys.Flush()
+	// Everything published reached the handler exactly once — the spill
+	// backlog, the detached backlog, and live traffic, never reordered
+	// against each other.
+	if got := f.ids(); len(got) != before+after {
+		t.Fatalf("handler saw %d events, want %d", len(got), before+after)
+	}
+	if total := f.h.Received(); total != before+after {
+		t.Fatalf("handle received %d events, want %d", total, before+after)
+	}
+	if p := st.Pending("slow"); p != 0 {
+		t.Fatalf("store still holds %d events after Resume", p)
+	}
+}

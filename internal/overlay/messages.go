@@ -100,4 +100,9 @@ type delivery struct {
 	// durable backlog and go live again (FIFO order preserved: events
 	// queued between Detach and Resume sit in the backlog ahead of it).
 	resume bool
+	// drain, when true, is a best-effort wake-up after a SpillToStore
+	// overflow: the runtime checks for a pending spill backlog once the
+	// queued (older) events are delivered. Losing one is harmless — the
+	// runtime re-checks whenever its queue runs empty.
+	drain bool
 }

@@ -8,6 +8,7 @@ import (
 
 	"eventsys/internal/event"
 	"eventsys/internal/filter"
+	"eventsys/internal/flow"
 	"eventsys/internal/metrics"
 	"eventsys/internal/routing"
 )
@@ -53,14 +54,22 @@ type Handle struct {
 	// drain (store first, then memory) still delivers in publish order.
 	// Cleared by the next successful drain.
 	storeBroken bool
+	// spillPending marks a live handle whose delivery queue overflowed
+	// under flow.SpillToStore: overflow went to the backlog (store or
+	// memory), and — to preserve FIFO — every later event follows it
+	// there until the runtime drains the spill. Guarded by mu.
+	spillPending bool
 
-	ch       chan delivery
+	policy   flow.Policy
+	counters *metrics.Counters
+	q        *flow.Queue[delivery]
 	stopOnce sync.Once
 	done     chan struct{}
 
 	received  atomic.Uint64
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
+	drainTok  atomic.Bool // a drain token is already queued
 }
 
 // renewTarget returns the broker and filter to renew against.
@@ -112,9 +121,25 @@ func (s *System) subscribe(id string, sub filter.Subscription, handler Handler, 
 		durable:  durable,
 		handler:  handler,
 		backCap:  s.cfg.DurableBuffer,
-		ch:       make(chan delivery, s.cfg.DeliveryBuffer),
+		policy:   s.cfg.FlowPolicy,
+		counters: s.collector.Counters(id, 0),
 		done:     make(chan struct{}),
 	}
+	h.q = flow.New(flow.Config[delivery]{
+		Window: s.cfg.DeliveryBuffer,
+		Policy: s.cfg.FlowPolicy,
+		// Barrier, resume and drain tokens are control traffic; only
+		// event deliveries are subject to the policy.
+		Evictable: func(d delivery) bool { return d.ev != nil },
+		Spill:     h.spillFromQueue,
+		OnDrop: func(d delivery) {
+			h.dropped.Add(1)
+			h.counters.AddDropped(1)
+		},
+		OnStall: func() { h.counters.AddStalled(1) },
+		Stop:    h.done,
+		AltStop: s.ctx.Done(),
+	})
 	if durable && s.cfg.Store != nil {
 		pending, existed, err := s.cfg.Store.Register(id)
 		if err != nil {
@@ -211,23 +236,148 @@ func (s *System) propagateUp(from routing.NodeID, up *filter.Filter) error {
 // handler — or, while detached, buffer into the durable backlog.
 func (h *Handle) loop() {
 	defer h.sys.wg.Done()
-	counters := h.sys.collector.Counters(string(h.id), 0)
-	counters.SetFilters(len(h.original))
+	h.counters.SetFilters(len(h.original))
 	for {
-		select {
-		case <-h.done:
+		d, ok := h.q.Pop() // aborts on Unsubscribe or system shutdown
+		if !ok {
 			return
-		case <-h.sys.ctx.Done():
-			return
-		case d := <-h.ch:
-			switch {
-			case d.flush != nil:
-				close(d.flush)
-			case d.resume:
-				h.drainBacklog(counters)
-			default:
-				h.consume(d.ev, counters)
+		}
+		switch {
+		case d.flush != nil:
+			// The barrier promises every earlier event reached the
+			// handler — spilled overflow is older than the barrier, so
+			// it drains first, completely.
+			h.drainSpill(true)
+			close(d.flush)
+		case d.resume:
+			h.drainBacklog(h.counters)
+		case d.drain:
+			h.drainTok.Store(false)
+			h.drainSpill(false)
+		default:
+			h.consume(d.ev, h.counters)
+			// Queue ran dry: whatever spilled during the burst is next
+			// in FIFO order.
+			if h.policy == flow.SpillToStore && h.q.Len() == 0 {
+				h.drainSpill(false)
 			}
+		}
+	}
+}
+
+// send routes one event into the delivery pipeline under the handle's
+// flow policy. Once a spill has started, every later event follows the
+// backlog (never the queue) until the runtime drains it — per-subscriber
+// FIFO survives saturation.
+func (h *Handle) send(ev *event.Event) {
+	if h.policy == flow.SpillToStore {
+		h.mu.Lock()
+		if h.spillPending {
+			h.spillLocked(ev)
+			h.mu.Unlock()
+			h.wakeDrain()
+			return
+		}
+		h.mu.Unlock()
+	}
+	if h.q.Push(delivery{ev: ev}) == flow.Spilled {
+		h.wakeDrain()
+	}
+}
+
+// spillFromQueue is the delivery queue's SpillToStore hook: the queue is
+// full, so the event starts (or extends) the spill backlog. Called with
+// the queue lock held; takes h.mu (always in that order).
+func (h *Handle) spillFromQueue(d delivery) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.spillPending = true
+	h.spillLocked(d.ev)
+	return true
+}
+
+// spillLocked appends one overflow event to the spill backlog: the
+// durable store for durable subscriptions (falling back to memory when
+// the store fails, preserving store-then-memory drain order), the
+// bounded in-memory backlog otherwise. Caller holds h.mu.
+func (h *Handle) spillLocked(ev *event.Event) {
+	h.counters.AddSpilled(1)
+	if st := h.sys.cfg.Store; st != nil && h.durable && !h.storeBroken && st.Known(string(h.id)) {
+		if _, n, err := st.Append(string(h.id), ev); err == nil {
+			h.counters.AddStoreAppended(1)
+			h.counters.AddStoredBytes(uint64(n))
+			return
+		}
+		h.storeBroken = true
+	}
+	h.bufferLocked(ev, h.counters)
+}
+
+// wakeDrain nudges the runtime to drain the spill backlog with a
+// best-effort drain token. A full queue refuses it — harmless: the
+// runtime re-checks whenever its queue runs empty.
+func (h *Handle) wakeDrain() {
+	if h.drainTok.CompareAndSwap(false, true) {
+		if !h.q.TryPush(delivery{drain: true}) {
+			h.drainTok.Store(false)
+		}
+	}
+}
+
+// drainSpill replays the spill backlog — stored events first, then any
+// in-memory overflow — in FIFO order, then goes back to queue delivery.
+// With full=true (a flush barrier) it loops until the backlog is gone;
+// otherwise one pass, with producers re-waking it for anything that
+// raced in. No-op while detached: Resume owns that drain.
+func (h *Handle) drainSpill(full bool) {
+	for {
+		h.mu.Lock()
+		if h.detached {
+			h.mu.Unlock()
+			return
+		}
+		st := h.sys.cfg.Store
+		useStore := st != nil && h.durable
+		pending := h.spillPending || len(h.backlog) > 0 ||
+			(useStore && st.Pending(string(h.id)) > 0)
+		if !pending {
+			h.mu.Unlock()
+			return
+		}
+		backlog := h.backlog
+		h.backlog = nil
+		handler := h.handler
+		h.mu.Unlock()
+		if useStore {
+			n, err := st.Replay(string(h.id), func(ev *event.Event) bool {
+				h.deliverOne(ev, handler, h.counters)
+				return true
+			})
+			if n > 0 {
+				h.counters.AddStoreReplayed(uint64(n))
+			}
+			if err != nil {
+				// Leave the remainder pending and restore the memory
+				// overflow behind it, so the next drain still replays
+				// store-then-memory in publish order.
+				h.mu.Lock()
+				h.backlog = append(backlog, h.backlog...)
+				h.mu.Unlock()
+				return
+			}
+		}
+		for _, ev := range backlog {
+			h.deliverOne(ev, handler, h.counters)
+		}
+		h.mu.Lock()
+		done := len(h.backlog) == 0 && (!useStore || st.Pending(string(h.id)) == 0)
+		if done {
+			h.spillPending = false
+			h.storeBroken = false
+		}
+		h.mu.Unlock()
+		if done || !full {
+			return
 		}
 	}
 }
@@ -320,6 +470,7 @@ func (h *Handle) drainBacklog(counters *metrics.Counters) {
 	}
 	h.mu.Lock()
 	h.storeBroken = false
+	h.spillPending = false // a spill backlog drains with the rest
 	h.mu.Unlock()
 }
 
@@ -389,15 +540,12 @@ func (h *Handle) Resume(handler Handler) error {
 	h.mu.Unlock()
 	// The resume token travels through the delivery queue, so events
 	// enqueued before it land in the backlog and drain ahead of later
-	// live events — FIFO preserved end to end.
-	select {
-	case h.ch <- delivery{resume: true}:
-		return nil
-	case <-h.done:
-		return fmt.Errorf("overlay: subscriber %q stopped", h.id)
-	case <-h.sys.ctx.Done():
-		return fmt.Errorf("overlay: system closed")
+	// live events — FIFO preserved end to end. Control tokens wait for
+	// space; no flow policy ever drops them.
+	if h.q.PushWait(delivery{resume: true}) != flow.Enqueued {
+		return fmt.Errorf("overlay: subscriber %q stopped or system closed", h.id)
 	}
+	return nil
 }
 
 // Backlog reports the number of events currently stored for a detached

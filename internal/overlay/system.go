@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"math/rand/v2"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"eventsys/internal/event"
 	"eventsys/internal/filter"
+	"eventsys/internal/flow"
 	"eventsys/internal/index"
 	"eventsys/internal/metrics"
 	"eventsys/internal/routing"
@@ -52,6 +54,23 @@ type Config struct {
 	InboxSize int
 	// DeliveryBuffer buffers each subscriber's channel (default 64).
 	DeliveryBuffer int
+	// FlowPolicy selects the slow-consumer policy applied to event
+	// traffic at every bounded queue in the overlay: actor mailboxes and
+	// subscriber delivery queues. The default, flow.Block, is lossless
+	// end-to-end backpressure — a slow subscriber stalls its broker,
+	// full mailboxes stall their upstreams, and a saturated root stalls
+	// Publish itself. flow.DropNewest / flow.DropOldest shed events at
+	// the saturated queue (counted in NodeStats.Dropped). With
+	// flow.SpillToStore, a saturated delivery queue diverts overflow to
+	// the durable store (durable subscriptions with a Store) or the
+	// bounded in-memory backlog, replaying in order once the subscriber
+	// catches up; mailboxes — where events are not yet matched to a
+	// subscriber — treat SpillToStore as Block. Control messages
+	// (placement, leases, barriers) are never dropped by any policy.
+	FlowPolicy flow.Policy
+	// FlowWindow overrides both InboxSize and DeliveryBuffer when > 0:
+	// one knob bounding every queue on the delivery path.
+	FlowWindow int
 	// DurableBuffer bounds the per-subscriber backlog stored while a
 	// durable subscription is detached (default 4096; oldest events are
 	// evicted beyond it). Ignored when Store is set: the store's own
@@ -69,6 +88,10 @@ type Config struct {
 
 func (c *Config) withDefaults() Config {
 	out := *c
+	if out.FlowWindow > 0 {
+		out.InboxSize = out.FlowWindow
+		out.DeliveryBuffer = out.FlowWindow
+	}
 	if out.InboxSize <= 0 {
 		out.InboxSize = 256
 	}
@@ -115,8 +138,41 @@ type System struct {
 type actor struct {
 	sys   *System
 	node  *routing.Node
-	inbox chan message
+	inbox *flow.Queue[message]
 	rng   *rand.Rand
+}
+
+// mailboxPolicy maps the configured flow policy onto inlet queues:
+// mailboxes hold events that are not yet matched to a subscriber, so
+// SpillToStore (a per-subscriber concept) degrades to lossless Block.
+func mailboxPolicy(p flow.Policy) flow.Policy {
+	if p == flow.SpillToStore {
+		return flow.Block
+	}
+	return p
+}
+
+// evictableMessage marks the mailbox items a drop policy may discard:
+// published events only — placement, lease, and barrier traffic always
+// survives saturation.
+func evictableMessage(m message) bool {
+	switch m.(type) {
+	case pubMsg, pubBatchMsg:
+		return true
+	}
+	return false
+}
+
+// eventsIn counts the events a mailbox message carries (drop accounting
+// counts events, not envelopes).
+func eventsIn(m message) uint64 {
+	switch msg := m.(type) {
+	case pubMsg:
+		return 1
+	case pubBatchMsg:
+		return uint64(len(msg.evs))
+	}
+	return 0
 }
 
 // New builds and starts the overlay.
@@ -197,11 +253,19 @@ func (s *System) buildActors() {
 				},
 			})
 			seq++
+			counters := s.collector.Counters(string(id), stage)
 			a := &actor{
-				sys:   s,
-				node:  node,
-				inbox: make(chan message, s.cfg.InboxSize),
-				rng:   rand.New(rand.NewPCG(s.cfg.Seed, seq)),
+				sys:  s,
+				node: node,
+				inbox: flow.New(flow.Config[message]{
+					Window:    s.cfg.InboxSize,
+					Policy:    mailboxPolicy(s.cfg.FlowPolicy),
+					Evictable: evictableMessage,
+					OnDrop:    func(m message) { counters.AddDropped(eventsIn(m)) },
+					OnStall:   func() { counters.AddStalled(1) },
+					Stop:      s.ctx.Done(),
+				}),
+				rng: rand.New(rand.NewPCG(s.cfg.Seed, seq)),
 			}
 			s.actors[id] = a
 			if parent == "" && stage == stages {
@@ -212,6 +276,9 @@ func (s *System) buildActors() {
 }
 
 // send delivers a message to an actor, giving up when the system stops.
+// Event messages go through the mailbox's flow policy (Block waits,
+// drop policies shed — counted at the receiving node); control messages
+// always enqueue, waiting for space if they must.
 func (s *System) send(to routing.NodeID, m message) error {
 	a, ok := s.actors[to]
 	if !ok {
@@ -220,12 +287,17 @@ func (s *System) send(to routing.NodeID, m message) error {
 	if s.ctx.Err() != nil {
 		return fmt.Errorf("overlay: system closed")
 	}
-	select {
-	case a.inbox <- m:
-		return nil
-	case <-s.ctx.Done():
+	var out flow.Outcome
+	switch m.(type) {
+	case pubMsg, pubBatchMsg:
+		out = a.inbox.Push(m)
+	default:
+		out = a.inbox.PushWait(m)
+	}
+	if out == flow.Stopped {
 		return fmt.Errorf("overlay: system closed")
 	}
+	return nil
 }
 
 // run is the actor loop: serialize all access to the routing core.
@@ -237,12 +309,11 @@ func (a *actor) run() {
 	defer a.sys.wg.Done()
 	var batch []*event.Event
 	for {
-		select {
-		case <-a.sys.ctx.Done():
+		m, ok := a.inbox.Pop() // aborts on system shutdown
+		if !ok {
 			return
-		case m := <-a.inbox:
-			batch = a.dispatch(m, batch[:0])
 		}
+		batch = a.dispatch(m, batch[:0])
 	}
 }
 
@@ -268,9 +339,8 @@ func (a *actor) dispatch(m message, batch []*event.Event) []*event.Event {
 			a.flushBatch(batch)
 			batch = batch[:0]
 		}
-		select {
-		case m = <-a.inbox:
-		default:
+		var ok bool
+		if m, ok = a.inbox.TryPop(); !ok {
 			a.flushBatch(batch)
 			return batch[:0]
 		}
@@ -381,7 +451,10 @@ func (a *actor) handle(m message) {
 	}
 }
 
-// deliver hands an event to a subscriber runtime.
+// deliver hands an event to a subscriber runtime under its flow policy:
+// Block waits for queue space (lossless backpressure into the broker
+// actor), the drop policies shed, and SpillToStore diverts to the
+// subscriber's backlog for in-order replay.
 func (s *System) deliver(id routing.NodeID, ev *event.Event) {
 	s.mu.RLock()
 	h := s.subs[id]
@@ -389,11 +462,7 @@ func (s *System) deliver(id routing.NodeID, ev *event.Event) {
 	if h == nil {
 		return // unsubscribed; residual routing state will expire
 	}
-	select {
-	case h.ch <- delivery{ev: ev}:
-	case <-h.done: // subscriber stopped mid-flight
-	case <-s.ctx.Done():
-	}
+	h.send(ev)
 }
 
 // Advertise registers an event class advertisement system-wide. In this
@@ -443,12 +512,8 @@ func (s *System) Flush() {
 	s.mu.RUnlock()
 	for _, h := range handles {
 		done := make(chan struct{})
-		select {
-		case h.ch <- delivery{flush: done}:
-		case <-h.done:
-			continue
-		case <-s.ctx.Done():
-			return
+		if h.q.PushWait(delivery{flush: done}) != flow.Enqueued {
+			continue // subscriber stopped (or system closing)
 		}
 		select {
 		case <-done:
@@ -502,6 +567,23 @@ func (s *System) maintainLoop() {
 
 // Stats snapshots every broker's and subscriber's counters.
 func (s *System) Stats() []metrics.NodeStats { return s.collector.Snapshot() }
+
+// FlowStats snapshots every bounded queue on the delivery path — one
+// entry per actor mailbox ("mailbox/<node>") and one per subscriber
+// delivery queue ("delivery/<id>") — ordered by name.
+func (s *System) FlowStats() []flow.Snapshot {
+	out := make([]flow.Snapshot, 0, len(s.actors))
+	for id, a := range s.actors {
+		out = append(out, a.inbox.Snapshot("mailbox/"+string(id)))
+	}
+	s.mu.RLock()
+	for id, h := range s.subs {
+		out = append(out, h.q.Snapshot("delivery/"+string(id)))
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
 
 // Conformance exposes the system's type conformance (for subscriber-side
 // perfect filtering).

@@ -25,6 +25,13 @@
 // returns the Updates (entries to send on which links) for the caller's
 // transport to carry — synchronous recursion in the mesh, wire frames in
 // the networked broker. Callers own synchronization.
+//
+// The event plane's flow control likewise belongs to the transports:
+// the networked broker runs each link's outbound traffic through a
+// policy-governed flow.Queue with credit-based sender gating, spilling
+// to the durable store under the link's "@peer/" cursor when the policy
+// says so. The Core only decides where events and entries go — never
+// how fast, and never what saturation costs.
 package peering
 
 import (

@@ -1,0 +1,129 @@
+package store
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"eventsys/internal/event"
+)
+
+// TestSpillCompactReplayUnderSaturation models a sustained saturation
+// spell: a producer spills a long run of events into the store while a
+// consumer replays concurrently, with small segments so compaction of
+// fully-consumed segments runs throughout. Every event must come back
+// exactly once and in order — no gaps, no duplicates — however the
+// appends, replays and compactions interleave. Run under -race.
+func TestSpillCompactReplayUnderSaturation(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{
+		SegmentBytes: 2 << 10, // many segments: compaction stays busy
+		SyncEvery:    -1,      // saturation spills should not be fsync-bound
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, _, err := st.Register("slow"); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 5000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the saturated producer: spill everything
+		defer wg.Done()
+		for i := 1; i <= n; i++ {
+			ev := event.NewBuilder("T").Int("n", int64(i)).ID(uint64(i)).Build()
+			if _, _, err := st.Append("slow", ev); err != nil {
+				t.Errorf("append %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	// The concurrent consumer: replay whatever is pending, repeatedly,
+	// until every event has been seen. Each Replay advances the cursor
+	// and compacts fully-consumed segments behind it.
+	var got []uint64
+	deadline := time.Now().Add(30 * time.Second)
+	for len(got) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: replayed %d of %d", len(got), n)
+		}
+		if _, err := st.Replay("slow", func(ev *event.Event) bool {
+			got = append(got, ev.ID)
+			return true
+		}); err != nil {
+			t.Fatalf("replay after %d events: %v", len(got), err)
+		}
+	}
+	wg.Wait()
+
+	if len(got) != n {
+		t.Fatalf("replayed %d events, want %d", len(got), n)
+	}
+	for i, id := range got {
+		if id != uint64(i+1) {
+			t.Fatalf("replay position %d has id %d: gap or duplicate", i, id)
+		}
+	}
+	if p := st.Pending("slow"); p != 0 {
+		t.Fatalf("pending after full replay = %d, want 0", p)
+	}
+	// Compaction must have reclaimed the consumed prefix: with ~2 KiB
+	// segments and 5000 events the log would otherwise hold dozens.
+	if s := st.Stats(); s.Segments > 3 {
+		t.Fatalf("compaction left %d segments behind a fully-consumed log", s.Segments)
+	}
+}
+
+// TestRetentionEvictionAccountsExactlyOnce saturates a store bounded by
+// MaxBytes until retention evicts unconsumed records, then checks the
+// dead-letter ledger at the store layer: appended records are replayed,
+// still pending, or counted evicted — each exactly once.
+func TestRetentionEvictionAccountsExactlyOnce(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{
+		SegmentBytes: 1 << 10,
+		MaxBytes:     4 << 10, // a handful of segments, then eviction
+		SyncEvery:    -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, _, err := st.Register("slow"); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 2000
+	for i := 1; i <= n; i++ {
+		ev := event.NewBuilder("T").Int("n", int64(i)).ID(uint64(i)).Build()
+		if _, _, err := st.Append("slow", ev); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	var got []uint64
+	if _, err := st.Replay("slow", func(ev *event.Event) bool {
+		got = append(got, ev.ID)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := st.Stats()
+	if s.Evicted == 0 {
+		t.Fatal("retention never evicted despite MaxBytes pressure")
+	}
+	if total := uint64(len(got)) + s.Evicted + uint64(s.Pending); total != n {
+		t.Fatalf("replayed %d + evicted %d + pending %d = %d, want %d (each record exactly once)",
+			len(got), s.Evicted, s.Pending, total, n)
+	}
+	// Survivors are the newest suffix, in order, no duplicates.
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[i-1]+1 {
+			t.Fatalf("survivor sequence broken at %d: %d after %d", i, got[i], got[i-1])
+		}
+	}
+	if len(got) > 0 && got[len(got)-1] != n {
+		t.Fatalf("newest record %d missing from survivors (last replayed %d)", n, got[len(got)-1])
+	}
+}

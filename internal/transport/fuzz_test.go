@@ -114,3 +114,63 @@ func FuzzPeerFrames(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCreditFrames hammers the flow-control frame decoders: the fuzzer
+// mutates valid Credit/CreditAck frames plus hand-made corruptions
+// (oversized uvarints, truncated bodies, trailing bytes), and the
+// decoder must never panic and must re-encode whatever it accepts into
+// an identical frame — credit quantities steer sender admission, so a
+// mis-decoded grant would silently widen or wedge a link.
+func FuzzCreditFrames(f *testing.F) {
+	var buf bytes.Buffer
+	for _, m := range []Message{
+		Credit{Grant: 1}, Credit{Grant: 512}, Credit{Grant: 1<<32 - 1},
+		CreditAck{Window: 1024}, CreditAck{Window: 0},
+	} {
+		buf.Reset()
+		_ = WriteFrame(&buf, m)
+		f.Add(buf.Bytes())
+	}
+	// A uvarint exceeding uint32: must be rejected, not wrapped.
+	f.Add([]byte{0, 0, 0, 6, byte(TypeCredit), 0xff, 0xff, 0xff, 0xff, 0x7f})
+	// Trailing garbage after a valid grant.
+	f.Add([]byte{0, 0, 0, 3, byte(TypeCredit), 0x01, 0x00})
+	// Truncated: length promises more body than present.
+	f.Add([]byte{0, 0, 0, 2, byte(TypeCreditAck)})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var grant, window uint32
+		switch c := m.(type) {
+		case Credit:
+			grant = c.Grant
+		case CreditAck:
+			window = c.Window
+		default:
+			return // only flow-control frames are this target's concern
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, m); err != nil {
+			t.Fatalf("re-encode of decoded %T failed: %v", m, err)
+		}
+		m2, err := ReadFrame(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		switch c2 := m2.(type) {
+		case Credit:
+			if c2.Grant != grant {
+				t.Fatalf("grant changed through round trip: %d vs %d", c2.Grant, grant)
+			}
+		case CreditAck:
+			if c2.Window != window {
+				t.Fatalf("window changed through round trip: %d vs %d", c2.Window, window)
+			}
+		default:
+			t.Fatalf("type changed through round trip: %T vs %T", m2, m)
+		}
+	})
+}

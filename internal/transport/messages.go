@@ -29,6 +29,8 @@ const (
 	TypeSubUpdate
 	TypeForward
 	TypeForwardBatch
+	TypeCredit
+	TypeCreditAck
 )
 
 // PeerKind identifies what a connecting peer is.
@@ -172,6 +174,32 @@ type ForwardBatch struct {
 	Events []*event.Event
 }
 
+// Credit grants the recipient the right to transmit Grant more events
+// on this connection (credit-based flow control). The event-receiving
+// side sends an initial Credit after the handshake and replenishes in
+// batches as its core processes events; the sending side decrements one
+// credit per event in Publish/PublishBatch/Deliver/Forward/ForwardBatch
+// frames and stalls event transmission — never control frames — when it
+// runs dry. A saturated receiver simply stops granting, which cascades
+// hop by hop until the original publisher blocks. The scheme is
+// opt-in on the sender side: a receiver that never sends Credit leaves
+// the connection ungoverned (pre-credit behavior), and a sender that
+// never acks is simply never gated. Both ends must still speak this
+// protocol revision — a pre-credit decoder rejects the frame type and
+// drops the connection — so clients and brokers upgrade together.
+type Credit struct {
+	Grant uint32
+}
+
+// CreditAck is the sender's one-time response to the first Credit on a
+// connection: it confirms that the sender honors credit flow control
+// and echoes the window it observed. Granters use it to distinguish a
+// credit-governed peer from a legacy one (for stats and diagnostics);
+// it carries no flow-control state itself.
+type CreditAck struct {
+	Window uint32
+}
+
 // Type implementations.
 func (Hello) Type() MsgType          { return TypeHello }
 func (Publish) Type() MsgType        { return TypePublish }
@@ -188,6 +216,8 @@ func (SubSet) Type() MsgType         { return TypeSubSet }
 func (SubUpdate) Type() MsgType      { return TypeSubUpdate }
 func (Forward) Type() MsgType        { return TypeForward }
 func (ForwardBatch) Type() MsgType   { return TypeForwardBatch }
+func (Credit) Type() MsgType         { return TypeCredit }
+func (CreditAck) Type() MsgType      { return TypeCreditAck }
 
 func (m Hello) encode(w *buffer) {
 	w.u8(uint8(m.Kind))
@@ -268,6 +298,9 @@ func (m ForwardBatch) encode(w *buffer) {
 	}
 }
 
+func (m Credit) encode(w *buffer)    { w.uvarint(uint64(m.Grant)) }
+func (m CreditAck) encode(w *buffer) { w.uvarint(uint64(m.Window)) }
+
 func (m Advertise) encode(w *buffer) {
 	w.str(m.Ad.Class)
 	w.uvarint(uint64(len(m.Ad.Attrs)))
@@ -278,6 +311,17 @@ func (m Advertise) encode(w *buffer) {
 	for _, n := range m.Ad.StageAttrs {
 		w.uvarint(uint64(n))
 	}
+}
+
+// u32capped decodes a uvarint bounded to uint32 (credit quantities); an
+// implausible value fails the frame rather than wrapping.
+func (r *reader) u32capped() uint32 {
+	v := r.uvarint()
+	if v > 1<<32-1 && r.err == nil {
+		r.fail("implausible credit quantity")
+		return 0
+	}
+	return uint32(v)
 }
 
 // subEntry decodes one SubEntry, bounding the hop count (an
@@ -352,6 +396,10 @@ func decodeMessage(t MsgType, body []byte) (Message, error) {
 			fb.Events = append(fb.Events, r.event())
 		}
 		m = fb
+	case TypeCredit:
+		m = Credit{Grant: r.u32capped()}
+	case TypeCreditAck:
+		m = CreditAck{Window: r.u32capped()}
 	case TypeSubscribe:
 		m = Subscribe{SubscriberID: r.str(), Filter: r.filter()}
 	case TypeSubscribeReply:

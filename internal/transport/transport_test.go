@@ -301,3 +301,16 @@ func randomFilter(rng *rand.Rand) *filter.Filter {
 	}
 	return f
 }
+
+func TestCreditRoundTrip(t *testing.T) {
+	for _, grant := range []uint32{0, 1, 512, 1 << 31} {
+		got := roundTrip(t, Credit{Grant: grant}).(Credit)
+		if got.Grant != grant {
+			t.Errorf("credit grant %d round-tripped to %d", grant, got.Grant)
+		}
+	}
+	ack := roundTrip(t, CreditAck{Window: 1024}).(CreditAck)
+	if ack.Window != 1024 {
+		t.Errorf("credit ack window 1024 round-tripped to %d", ack.Window)
+	}
+}

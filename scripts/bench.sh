@@ -1,0 +1,69 @@
+#!/bin/sh
+# bench.sh — run the full benchmark suite and emit machine-readable
+# results, so the repo's perf trajectory is recorded run over run.
+#
+# Usage:
+#   sh scripts/bench.sh [count] [outdir]
+#
+#   count   how many BENCH_<n> result sets to produce (default 1;
+#           benchstat wants >= 10 for confidence intervals)
+#   outdir  where results land (default ./bench-out)
+#
+# Environment:
+#   BENCHTIME   passed to -benchtime (default 1x: a smoke pass; use
+#               e.g. 2s for real measurements)
+#   BENCH       passed to -bench (default ".": everything)
+#
+# Each run n produces:
+#   outdir/BENCH_<n>.txt   the classic `go test -bench` output — feed
+#                          any set of these straight to benchstat:
+#                            benchstat old/BENCH_*.txt new/BENCH_*.txt
+#   outdir/BENCH_<n>.json  the same text wrapped in a JSON envelope
+#                          (goos/goarch/commit/date + the verbatim
+#                          benchstat-compatible text in .benchstat_text)
+set -eu
+
+COUNT="${1:-1}"
+OUT="${2:-bench-out}"
+BENCHTIME="${BENCHTIME:-1x}"
+BENCH="${BENCH:-.}"
+
+mkdir -p "$OUT"
+
+# json_escape: stdin -> a JSON string body (no surrounding quotes).
+# Backslashes, quotes and tabs (go test output is tab-separated) are
+# escaped; newlines become \n.
+json_escape() {
+    tab="$(printf '\t')"
+    sed -e 's/\\/\\\\/g' -e 's/"/\\"/g' -e "s/${tab}/\\\\t/g" |
+        awk '{printf "%s\\n", $0}'
+}
+
+GOOS="$(go env GOOS)"
+GOARCH="$(go env GOARCH)"
+COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+n=1
+while [ "$n" -le "$COUNT" ]; do
+    txt="$OUT/BENCH_${n}.txt"
+    json="$OUT/BENCH_${n}.json"
+    echo "bench run $n/$COUNT (benchtime=$BENCHTIME) -> $txt, $json" >&2
+
+    go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" ./... > "$txt"
+
+    {
+        printf '{\n'
+        printf '  "run": %s,\n' "$n"
+        printf '  "goos": "%s",\n' "$GOOS"
+        printf '  "goarch": "%s",\n' "$GOARCH"
+        printf '  "commit": "%s",\n' "$COMMIT"
+        printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+        printf '  "benchtime": "%s",\n' "$BENCHTIME"
+        printf '  "benchstat_text": "%s"\n' "$(json_escape < "$txt")"
+        printf '}\n'
+    } > "$json"
+
+    n=$((n + 1))
+done
+
+echo "wrote $COUNT result set(s) to $OUT/" >&2
