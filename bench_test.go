@@ -21,6 +21,7 @@ package eventsys
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"testing"
 
@@ -204,7 +205,7 @@ func BenchmarkMatchingEngines(b *testing.B) {
 				for i := 0; i < filters; i++ {
 					eng.Insert(bib.Subscription(0.1, true), fmt.Sprintf("id%d", i))
 				}
-				events := make([]*event.Event, 512)
+				events := make([]event.View, 512)
 				for i := range events {
 					events[i] = bib.Event()
 				}
@@ -301,16 +302,80 @@ func BenchmarkObjectExtract(b *testing.B) {
 func BenchmarkTransportRoundTrip(b *testing.B) {
 	e := event.NewBuilder("Stock").Str("symbol", "Foo").Float("price", 9.5).
 		Int("volume", 100).Payload(make([]byte, 256)).ID(1).Build()
+	raw := event.EncodeRaw(e)
 	var buf bytes.Buffer
 	b.ReportAllocs()
 	for b.Loop() {
 		buf.Reset()
-		if err := transport.WriteFrame(&buf, transport.Publish{Event: e}); err != nil {
+		if err := transport.WriteFrame(&buf, transport.Publish{Event: raw}); err != nil {
 			b.Fatal(err)
 		}
 		if _, err := transport.ReadFrame(&buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkForwardPath measures one broker forward hop — read an
+// inbound Forward frame, match it against the subscription table, frame
+// it for the next peer — on the two event representations: "raw" is the
+// zero-copy path shipped here (match over wire bytes, relay the same
+// bytes), "decoded" is the old per-hop cost (materialize the event,
+// match the decoded form, re-encode for the next hop). The raw row's
+// allocs/op is the headline number of the zero-copy refactor; CI gates
+// on its throughput via scripts/bench_compare.sh.
+func BenchmarkForwardPath(b *testing.B) {
+	bib, err := workload.NewBiblio(7, workload.DefaultBiblio())
+	if err != nil {
+		b.Fatal(err)
+	}
+	table := index.NewCountingTable(nil)
+	for i := 0; i < 1000; i++ {
+		table.Insert(bib.Subscription(0.1, true), fmt.Sprintf("s%d", i))
+	}
+	// Pre-frame a ring of Forward frames, as they would arrive on a peer
+	// link.
+	const ring = 256
+	var stream bytes.Buffer
+	for i := 0; i < ring; i++ {
+		ev := bib.Event()
+		ev.ID = uint64(i + 1)
+		if err := transport.WriteFrame(&stream, transport.Forward{Event: event.EncodeRaw(ev)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	frames := stream.Bytes()
+	for _, mode := range []string{"raw", "decoded"} {
+		b.Run(mode, func(b *testing.B) {
+			rd := bytes.NewReader(frames)
+			fr := transport.NewFrameReader(rd)
+			b.ReportAllocs()
+			for b.Loop() {
+				if rd.Len() == 0 {
+					rd.Reset(frames)
+				}
+				m, err := fr.ReadFrame()
+				if err != nil {
+					b.Fatal(err)
+				}
+				fwd := m.(transport.Forward)
+				if mode == "raw" {
+					table.Match(fwd.Event)
+					if err := transport.WriteFrame(io.Discard, fwd); err != nil {
+						b.Fatal(err)
+					}
+					continue
+				}
+				// The pre-refactor hop: decode, match the decoded event,
+				// re-encode for the next peer.
+				ev := fwd.Event.Event()
+				table.Match(ev)
+				reframed := transport.Forward{Event: event.EncodeRaw(ev.Clone())}
+				if err := transport.WriteFrame(io.Discard, reframed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -332,8 +397,8 @@ func BenchmarkStoreAppend(b *testing.B) {
 			if _, _, err := st.Register("w"); err != nil {
 				b.Fatal(err)
 			}
-			e := event.NewBuilder("Stock").Str("symbol", "Foo").Float("price", 9.5).
-				Int("volume", 100).Payload(make([]byte, 256)).ID(1).Build()
+			e := event.EncodeRaw(event.NewBuilder("Stock").Str("symbol", "Foo").Float("price", 9.5).
+				Int("volume", 100).Payload(make([]byte, 256)).ID(1).Build())
 			b.ReportAllocs()
 			var bytes uint64
 			for b.Loop() {
@@ -362,8 +427,8 @@ func BenchmarkStoreReplay(b *testing.B) {
 	if _, _, err := st.Register("w"); err != nil {
 		b.Fatal(err)
 	}
-	e := event.NewBuilder("Stock").Str("symbol", "Foo").Float("price", 9.5).
-		Int("volume", 100).Payload(make([]byte, 256)).ID(1).Build()
+	e := event.EncodeRaw(event.NewBuilder("Stock").Str("symbol", "Foo").Float("price", 9.5).
+		Int("volume", 100).Payload(make([]byte, 256)).ID(1).Build())
 	b.ReportAllocs()
 	for b.Loop() {
 		b.StopTimer()
@@ -373,7 +438,7 @@ func BenchmarkStoreReplay(b *testing.B) {
 			}
 		}
 		b.StartTimer()
-		n, err := st.Replay("w", func(*event.Event) bool { return true })
+		n, err := st.Replay("w", func(*event.Raw) bool { return true })
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -91,7 +91,9 @@ func (p *Publisher) Publish(e *event.Event) error {
 		p.seq++
 		e.ID = p.seq
 	}
-	return transport.WriteFrame(p.conn, transport.Publish{Event: e})
+	// The one and only encode of this event's life: brokers match, batch,
+	// forward and persist these bytes without ever re-encoding them.
+	return transport.WriteFrame(p.conn, transport.Publish{Event: event.EncodeRaw(e)})
 }
 
 // PublishBatch sends a run of events in one wire frame, amortizing
@@ -110,7 +112,8 @@ func (p *Publisher) PublishBatch(events []*event.Event) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, e := range events {
+	raws := make([]*event.Raw, len(events))
+	for i, e := range events {
 		if e == nil {
 			return fmt.Errorf("broker: nil event in batch")
 		}
@@ -118,8 +121,9 @@ func (p *Publisher) PublishBatch(events []*event.Event) error {
 			p.seq++
 			e.ID = p.seq
 		}
+		raws[i] = event.EncodeRaw(e)
 	}
-	return transport.WriteFrame(p.conn, transport.PublishBatch{Events: events})
+	return transport.WriteFrame(p.conn, transport.PublishBatch{Events: raws})
 }
 
 // Advertise announces an event class schema; the broker disseminates it
@@ -271,8 +275,9 @@ func readReply(c net.Conn) (transport.SubscribeReply, error) {
 
 func (s *Subscriber) readLoop(handler func(*event.Event)) {
 	defer s.wg.Done()
+	fr := transport.NewFrameReader(s.conn)
 	for {
-		m, err := transport.ReadFrame(s.conn)
+		m, err := fr.ReadFrame()
 		if err != nil {
 			return
 		}
@@ -283,12 +288,14 @@ func (s *Subscriber) readLoop(handler func(*event.Event)) {
 		s.mu.Lock()
 		s.received++
 		s.mu.Unlock()
-		// Perfect end-to-end filtering with the original filter.
+		// Perfect end-to-end filtering with the original filter, evaluated
+		// over the raw wire view: an event that fails it is never decoded.
 		if s.original.Matches(d.Event, s.opts.Conformance) {
 			s.mu.Lock()
 			s.delivered++
 			s.mu.Unlock()
-			handler(d.Event)
+			// The process's only materialization of this event.
+			handler(d.Event.Event())
 		}
 		// Replenish the broker's credit only after the handler returns:
 		// delivery cost is the handler's cost, and a slow handler must

@@ -22,7 +22,7 @@ func TestDropPolicyCountsDrops(t *testing.T) {
 		ctx:      context.Background(),
 	}
 	pc := s.newPeerConn(nil)
-	ev := event.NewBuilder("Stock").Str("symbol", "A").Build()
+	ev := event.EncodeRaw(event.NewBuilder("Stock").Str("symbol", "A").Build())
 	if out := pc.out.Push(transport.Deliver{Event: ev}); out != flow.Enqueued {
 		t.Fatalf("first push outcome %v, want enqueued", out)
 	}
@@ -33,7 +33,7 @@ func TestDropPolicyCountsDrops(t *testing.T) {
 		t.Fatalf("saturated push outcome %v, want dropped", out)
 	}
 	// A dropped batch counts every event it carried.
-	pc.out.Push(transport.PublishBatch{Events: []*event.Event{ev, ev}})
+	pc.out.Push(transport.PublishBatch{Events: []*event.Raw{ev, ev}})
 	if got := s.Stats().Dropped; got != 3 {
 		t.Fatalf("Dropped = %d, want 3", got)
 	}

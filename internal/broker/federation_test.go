@@ -341,7 +341,7 @@ func TestPeerQueueSalvagedOnDrop(t *testing.T) {
 		pc.close()
 		<-pc.writerDone
 		for i := 1; i <= stranded; i++ {
-			if !pc.out.TryPush(transport.Forward{Event: event.NewBuilder("T").ID(uint64(i)).Build()}) {
+			if !pc.out.TryPush(transport.Forward{Event: event.EncodeRaw(event.NewBuilder("T").ID(uint64(i)).Build())}) {
 				t.Error("stranding push refused")
 			}
 		}

@@ -230,19 +230,19 @@ func (s *Server) sendCtrl(link *peerLink, m transport.Message) {
 // fanPeers routes a batch of events to the federation links whose
 // interests match, excluding the arrival link (reverse-path forwarding).
 // Matching events bound for the same link leave as one ForwardBatch.
-func (s *Server) fanPeers(events []*event.Event, from peering.LinkID) {
+func (s *Server) fanPeers(events []*event.Raw, from peering.LinkID) {
 	if len(s.peerLinks) == 0 {
 		return
 	}
 	var order []peering.LinkID
-	var byLink map[peering.LinkID][]*event.Event
+	var byLink map[peering.LinkID][]*event.Raw
 	for _, ev := range events {
 		if ev == nil {
 			continue
 		}
 		for _, id := range s.fed.MatchLinks(ev, from) {
 			if byLink == nil {
-				byLink = make(map[peering.LinkID][]*event.Event)
+				byLink = make(map[peering.LinkID][]*event.Raw)
 			}
 			if _, seen := byLink[id]; !seen {
 				order = append(order, id)
@@ -263,7 +263,7 @@ func (s *Server) fanPeers(events []*event.Event, from peering.LinkID) {
 // the drop policies shed (counted) — but never reorders. Without a
 // store a spill degrades to a counted drop — parity with the
 // subscriber-queue accounting.
-func (s *Server) forwardToPeer(link *peerLink, evs []*event.Event) {
+func (s *Server) forwardToPeer(link *peerLink, evs []*event.Raw) {
 	if len(evs) == 0 {
 		return
 	}
@@ -298,7 +298,7 @@ func (s *Server) forwardToPeer(link *peerLink, evs []*event.Event) {
 
 // spoolTo persists events for a link the broker cannot reach right now;
 // with no store (or an append failure) they are dropped and counted.
-func (s *Server) spoolTo(link *peerLink, evs []*event.Event) {
+func (s *Server) spoolTo(link *peerLink, evs []*event.Raw) {
 	if s.storeBatchFor(spoolKey(link.id), evs) {
 		link.spooled += uint64(len(evs))
 		s.counters.AddSpilled(uint64(len(evs)))
@@ -315,7 +315,7 @@ func (s *Server) replayPeerSpool(link *peerLink) (remaining int) {
 	if link.pc == nil {
 		return 0
 	}
-	n := s.replayQueue(link.pc, spoolKey(link.id), func(ev *event.Event) transport.Message {
+	n := s.replayQueue(link.pc, spoolKey(link.id), func(ev *event.Raw) transport.Message {
 		return transport.Forward{Event: ev}
 	})
 	return n

@@ -1,0 +1,124 @@
+package broker
+
+import (
+	"io"
+	"testing"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/transport"
+)
+
+// TestOneDecodePerProcessPipeline pins the zero-copy invariant across
+// the whole networked pipeline — publish → broker match/forward → peer
+// relay → store spill → replay → deliver: the only full event
+// materializations in this process are the ones the subscriber clients
+// perform on delivered events (one per delivered event, counted by the
+// event.DecodeCount test hook). Brokers match, forward, spill and
+// replay raw bytes without ever building an *event.Event.
+func TestOneDecodePerProcessPipeline(t *testing.T) {
+	dir := t.TempDir()
+	a := startPeer(t, "A", ServerConfig{})
+	b := startPeer(t, "B", ServerConfig{DataDir: dir, SyncEvery: 1}, a.Addr())
+	waitPeersUp(t, a, 1)
+	waitPeersUp(t, b, 1)
+
+	f := filter.MustParseFilter(`class = "Stock" && symbol = "X"`)
+	// Subscribe by hand so the connection can later be severed without
+	// unsubscribing (a crashing client keeps its durable cursor).
+	c := rawSubscribe(t, b.Addr(), "carol", f)
+	waitFor(t, "A to learn carol's interest", func() bool {
+		return a.FederationFilters() == 1
+	})
+
+	pub, err := DialPublisher(a.Addr(), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	base := event.DecodeCount()
+
+	// Phase 1: live path. Publish 3 events at A; 2 match carol's filter
+	// and cross the peer link to B; 1 does not match and dies at A
+	// without ever being decoded anywhere.
+	for i, sym := range []string{"X", "Y", "X"} {
+		ev := event.NewBuilder("Stock").Str("symbol", sym).ID(uint64(i + 1)).Build()
+		if err := pub.Publish(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := []uint64{readDeliver(t, c).ID, readDeliver(t, c).ID}
+	if ids[0] != 1 || ids[1] != 3 {
+		t.Fatalf("live deliveries = %v, want [1 3]", ids)
+	}
+	// Two delivered events were materialized by readDeliver above; the
+	// brokers and the non-matching event contributed zero.
+	if d := event.DecodeCount() - base; d != 2 {
+		t.Fatalf("live path decoded %d times, want 2 (one per delivered event)", d)
+	}
+
+	// Phase 2: spill path. Sever the connection; matching events now
+	// persist in B's durable store — straight from the wire bytes, no
+	// materialization.
+	c.Close()
+	waitFor(t, "B to drop carol's connection", func() bool {
+		gone := false
+		b.coreQuery(func() { _, ok := b.byID["carol"]; gone = !ok })
+		return gone
+	})
+	base = event.DecodeCount()
+	for i := 0; i < 3; i++ {
+		ev := event.NewBuilder("Stock").Str("symbol", "X").ID(uint64(10 + i)).Build()
+		if err := pub.Publish(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "spill to B's store", func() bool { return b.store.Pending("carol") == 3 })
+	if d := event.DecodeCount() - base; d != 0 {
+		t.Fatalf("spill path decoded %d times, want 0", d)
+	}
+
+	// Phase 3: replay path. Reconnect; the backlog replays — raw bytes
+	// from disk to the wire — and only the subscriber client decodes.
+	base = event.DecodeCount()
+	var replayed collector
+	sub2, err := DialSubscriber(b.Addr(), "carol", f, SubscriberOptions{}, replayed.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub2.Close()
+	waitFor(t, "replayed deliveries", func() bool { return replayed.len() == 3 })
+	if d := event.DecodeCount() - base; d != 3 {
+		t.Fatalf("replay path decoded %d times, want 3 (one per replayed event)", d)
+	}
+}
+
+// TestForwardPathAllocs bounds the per-event work of the raw forward
+// path: matching a raw event against a filter allocates nothing, and
+// framing it for the next hop runs from the pooled write buffer.
+func TestForwardPathAllocs(t *testing.T) {
+	ev := event.NewBuilder("Stock").Str("symbol", "X").Float("price", 9.5).ID(1).Build()
+	raw, err := event.ParseRaw(event.AppendEncoded(nil, ev), event.NewInterner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := filter.MustParseFilter(`class = "Stock" && symbol = "X" && price < 10`)
+	if avg := testing.AllocsPerRun(200, func() {
+		if !f.Matches(raw, nil) {
+			t.Fatal("must match")
+		}
+	}); avg > 0 {
+		t.Errorf("raw filter match allocates %.1f/op, want 0", avg)
+	}
+	// Pre-box the message: on the broker's write path the frame is
+	// already a Message by the time it reaches the writer.
+	var frame transport.Message = transport.Forward{Event: raw}
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := transport.WriteFrame(io.Discard, frame); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 0 {
+		t.Errorf("raw frame write allocates %.1f/op, want 0", avg)
+	}
+}

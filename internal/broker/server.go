@@ -156,6 +156,7 @@ type Server struct {
 	conns map[*peerConn]struct{}
 
 	// core-owned state (no locking needed):
+	views     []event.View // reusable batch-matching scratch
 	byID      map[routing.NodeID]*peerConn
 	counters  *metrics.Counters
 	fed       *peering.Core        // federation routing state
@@ -316,17 +317,17 @@ func (s *Server) setIdentity(pc *peerConn, kind transport.PeerKind, id, addr str
 }
 
 // eventsOf returns the events an outbound frame carries (nil for
-// control frames).
-func eventsOf(m transport.Message) []*event.Event {
+// control frames). Events stay in their raw wire form throughout.
+func eventsOf(m transport.Message) []*event.Raw {
 	switch f := m.(type) {
 	case transport.Publish:
-		return []*event.Event{f.Event}
+		return []*event.Raw{f.Event}
 	case transport.PublishBatch:
 		return f.Events
 	case transport.Deliver:
-		return []*event.Event{f.Event}
+		return []*event.Raw{f.Event}
 	case transport.Forward:
-		return []*event.Event{f.Event}
+		return []*event.Raw{f.Event}
 	case transport.ForwardBatch:
 		return f.Events
 	}
@@ -606,11 +607,15 @@ func (s *Server) acceptLoop() {
 // readLoop feeds a connection's frames to the core — except credit
 // frames, which it applies to the writer's gate directly: a core
 // blocked on a saturated queue (Block policy) must still see grants, or
-// the very stall the grant would clear could never clear.
+// the very stall the grant would clear could never clear. The
+// FrameReader interns attribute and class names per connection, so the
+// steady-state decode of repeated event shapes allocates only the Raw
+// views.
 func (s *Server) readLoop(pc *peerConn) {
 	defer s.wg.Done()
+	fr := transport.NewFrameReader(pc.c)
 	for {
-		m, err := transport.ReadFrame(pc.c)
+		m, err := fr.ReadFrame()
 		if err != nil {
 			s.post(coreEvent{pc: pc, gone: true})
 			return
@@ -789,7 +794,7 @@ func (s *Server) ticker() {
 // event is handled one at a time, in queue order.
 func (s *Server) core() {
 	defer s.wg.Done()
-	var batch []*event.Event
+	var batch []*event.Raw
 	var owed []pcDebt
 	for {
 		ev, ok := s.inlet.Pop() // aborts on shutdown
@@ -833,7 +838,7 @@ func (s *Server) settle(owed []pcDebt) []pcDebt {
 // coalescing a run of queued publishes into one matching batch. It
 // returns the batch and debt slices (emptied) so core can reuse their
 // backing arrays.
-func (s *Server) dispatchCore(ev coreEvent, batch []*event.Event, owed []pcDebt) ([]*event.Event, []pcDebt) {
+func (s *Server) dispatchCore(ev coreEvent, batch []*event.Raw, owed []pcDebt) ([]*event.Raw, []pcDebt) {
 	for {
 		collected := false
 		if !ev.gone && ev.query == nil && ev.call == nil && ev.tick == tickNone {
@@ -992,7 +997,7 @@ func (s *Server) dropPeer(pc *peerConn) {
 // before. For peer links an unsalvageable queue is counted as dropped —
 // never silently, never reordered.
 func (s *Server) salvageQueued(pc *peerConn, key string, link *peerLink) {
-	var evs []*event.Event
+	var evs []*event.Raw
 	for {
 		m, ok := pc.out.TryPop()
 		if !ok {
@@ -1039,7 +1044,7 @@ func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
 		if msg.Event == nil {
 			return
 		}
-		s.flushPublishBatch([]*event.Event{msg.Event}, "")
+		s.flushPublishBatch([]*event.Raw{msg.Event}, "")
 	case transport.PublishBatch:
 		s.flushPublishBatch(msg.Events, "")
 	case transport.PeerHello:
@@ -1052,7 +1057,7 @@ func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
 		if pc.link == nil || msg.Event == nil {
 			return
 		}
-		s.flushPublishBatch([]*event.Event{msg.Event}, peering.LinkID(pc.link.id))
+		s.flushPublishBatch([]*event.Raw{msg.Event}, peering.LinkID(pc.link.id))
 		s.grantTo(pc, 1)
 	case transport.ForwardBatch:
 		if pc.link == nil {
@@ -1181,14 +1186,18 @@ func (s *Server) acceptLocalSub(pc *peerConn, subID string, original, stored *fi
 // per-event path. Events also fan out to federation peer links with a
 // matching interest (reverse-path forwarding), excluding the link the
 // batch arrived on (fromPeer, "" for local publishes).
-func (s *Server) flushPublishBatch(events []*event.Event, fromPeer peering.LinkID) {
+func (s *Server) flushPublishBatch(events []*event.Raw, fromPeer peering.LinkID) {
 	if len(events) == 0 {
 		return
 	}
 	s.fanPeers(events, fromPeer)
-	routes := s.node.HandleEventBatch(events)
+	s.views = s.views[:0]
+	for _, ev := range events {
+		s.views = append(s.views, ev)
+	}
+	routes := s.node.HandleEventBatch(s.views)
 	var childOrder, storeOrder []routing.NodeID
-	var toChild, toStore map[routing.NodeID][]*event.Event
+	var toChild, toStore map[routing.NodeID][]*event.Raw
 	for i, ids := range routes {
 		ev := events[i]
 		if ev == nil {
@@ -1202,7 +1211,7 @@ func (s *Server) flushPublishBatch(events []*event.Event, fromPeer peering.LinkI
 				// persisted for redelivery on reconnect; anything else is
 				// left to lease expiry.
 				if toStore == nil {
-					toStore = make(map[routing.NodeID][]*event.Event)
+					toStore = make(map[routing.NodeID][]*event.Raw)
 				}
 				if _, seen := toStore[id]; !seen {
 					storeOrder = append(storeOrder, id)
@@ -1210,7 +1219,7 @@ func (s *Server) flushPublishBatch(events []*event.Event, fromPeer peering.LinkI
 				toStore[id] = append(toStore[id], ev)
 			case dst.kind == transport.PeerChildBroker:
 				if toChild == nil {
-					toChild = make(map[routing.NodeID][]*event.Event)
+					toChild = make(map[routing.NodeID][]*event.Raw)
 				}
 				if _, seen := toChild[id]; !seen {
 					childOrder = append(childOrder, id)
@@ -1246,7 +1255,7 @@ func (s *Server) flushPublishBatch(events []*event.Event, fromPeer peering.LinkI
 
 // routeToSubscriber delivers one event to a connected subscriber under
 // the flow policy, keeping any stored backlog ahead of live traffic.
-func (s *Server) routeToSubscriber(dst *peerConn, id routing.NodeID, ev *event.Event) {
+func (s *Server) routeToSubscriber(dst *peerConn, id routing.NodeID, ev *event.Raw) {
 	// A connected subscriber with a stored backlog (persisted during a
 	// saturation spell) must drain it first, or later events overtake the
 	// stored ones. Skip the replay attempt while the queue is still full —
@@ -1277,7 +1286,7 @@ func (s *Server) routeToSubscriber(dst *peerConn, id routing.NodeID, ev *event.E
 // storeBatchFor persists a run of events for one unreachable subscriber
 // in a single store batch; it reports whether the run was stored (false
 // when the broker runs without a store or the ID has no durable cursor).
-func (s *Server) storeBatchFor(subID string, evs []*event.Event) bool {
+func (s *Server) storeBatchFor(subID string, evs []*event.Raw) bool {
 	if s.store == nil || !s.store.Known(subID) {
 		return false
 	}
@@ -1298,7 +1307,7 @@ func (s *Server) storeBatchFor(subID string, evs []*event.Event) bool {
 // reports whether the event was stored: false when the broker runs
 // without a store or the ID has no durable cursor (e.g. a child broker's
 // ID, or a subscriber that never subscribed at this broker).
-func (s *Server) storeFor(subID string, ev *event.Event) bool {
+func (s *Server) storeFor(subID string, ev *event.Raw) bool {
 	if s.store == nil || !s.store.Known(subID) {
 		return false
 	}
@@ -1323,7 +1332,7 @@ func (s *Server) replayStored(pc *peerConn) (remaining int) {
 	if pc.id == "" {
 		return 0
 	}
-	return s.replayQueue(pc, pc.id, func(ev *event.Event) transport.Message {
+	return s.replayQueue(pc, pc.id, func(ev *event.Raw) transport.Message {
 		return transport.Deliver{Event: ev}
 	})
 }
@@ -1331,11 +1340,11 @@ func (s *Server) replayStored(pc *peerConn) (remaining int) {
 // replayQueue drains the stored backlog under key into pc's outbound
 // queue, wrapping each event with wrap (Deliver for subscribers, Forward
 // for peer links). It returns the backlog still pending after the drain.
-func (s *Server) replayQueue(pc *peerConn, key string, wrap func(*event.Event) transport.Message) (remaining int) {
+func (s *Server) replayQueue(pc *peerConn, key string, wrap func(*event.Raw) transport.Message) (remaining int) {
 	if s.store == nil || s.store.Pending(key) == 0 {
 		return 0
 	}
-	n, err := s.store.Replay(key, func(ev *event.Event) bool {
+	n, err := s.store.Replay(key, func(ev *event.Raw) bool {
 		// Non-blocking, no policy: when the window fills the remainder
 		// stays pending in the store for the next replay opportunity.
 		return pc.out.TryPush(wrap(ev))

@@ -56,7 +56,7 @@ func readDeliver(t *testing.T, c net.Conn) *event.Event {
 			t.Fatalf("awaiting Deliver: %v", err)
 		}
 		if d, ok := m.(transport.Deliver); ok {
-			return d.Event
+			return d.Event.Event()
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // TypeAttr is the reserved attribute carrying the event's type (class)
@@ -15,6 +16,26 @@ const TypeAttr = "class"
 type Attribute struct {
 	Name  string
 	Value Value
+}
+
+// View is the read interface filters and matching engines evaluate
+// against: the decoded *Event and the zero-copy *Raw wire view both
+// implement it, so the whole matching stack runs without forcing a
+// materialization.
+type View interface {
+	// Class returns the event class name.
+	Class() string
+	// Lookup returns the named attribute's value; TypeAttr resolves to
+	// the class as a string value.
+	Lookup(name string) (Value, bool)
+	// NumAttrs reports the number of exposed attributes.
+	NumAttrs() int
+	// AttrAt returns attribute i (0 ≤ i < NumAttrs) — the closure-free
+	// iteration hot matching loops prefer.
+	AttrAt(i int) (string, Value)
+	// Range iterates the attributes in event order; fn returning false
+	// stops the iteration.
+	Range(fn func(name string, v Value) bool)
 }
 
 // Event is the low-level property-set representation of an event: an event
@@ -35,6 +56,59 @@ type Event struct {
 	// ID is a publisher-assigned sequence identifier, used by the
 	// evaluation harness to track duplicate-free delivery.
 	ID uint64
+
+	// idx is the lazily-built attribute index for wide events, published
+	// atomically so concurrent Lookup calls (events are shared across
+	// subscribers and matching shards) stay race-free. Set invalidates
+	// it; Clone and Project drop it.
+	idx atomic.Pointer[map[string]int]
+	// raw is the at-most-once encoded form (see Raw): the spill and wire
+	// paths of one process share a single encoding of the event.
+	raw atomic.Pointer[Raw]
+}
+
+// Class returns the event class name (View).
+func (e *Event) Class() string { return e.Type }
+
+// NumAttrs reports the number of exposed attributes (View).
+func (e *Event) NumAttrs() int { return len(e.Attrs) }
+
+// AttrAt returns attribute i (View).
+func (e *Event) AttrAt(i int) (string, Value) {
+	return e.Attrs[i].Name, e.Attrs[i].Value
+}
+
+// Range iterates the attributes in event order (View); fn returning
+// false stops the iteration.
+func (e *Event) Range(fn func(name string, v Value) bool) {
+	for _, a := range e.Attrs {
+		if !fn(a.Name, a.Value) {
+			return
+		}
+	}
+}
+
+// Raw returns the event's canonical encoded form, encoding at most once:
+// every later call — from any goroutine — shares the same Raw, whose
+// decoded cache points straight back at e (a local round trip never
+// decodes). Mutating the event through Set invalidates the cache;
+// mutating fields directly after Raw has been called is a contract
+// violation (the encoding would go stale).
+func (e *Event) Raw() *Raw {
+	if r := e.raw.Load(); r != nil {
+		return r
+	}
+	r := EncodeRaw(e)
+	if !e.raw.CompareAndSwap(nil, r) {
+		return e.raw.Load()
+	}
+	return r
+}
+
+// invalidate drops the lazy caches after a mutation.
+func (e *Event) invalidate() {
+	e.idx.Store(nil)
+	e.raw.Store(nil)
 }
 
 // New constructs an event of the given type with a copy of the given
@@ -45,11 +119,36 @@ func New(eventType string, attrs ...Attribute) *Event {
 	return e
 }
 
+// lookupIndexMin is the attribute count past which Lookup builds (once)
+// a name→position index instead of scanning linearly; on wide events the
+// index is reused across every filter evaluation of the event.
+const lookupIndexMin = 8
+
 // Lookup returns the value of the named attribute. The reserved TypeAttr
-// name resolves to the event type as a string value.
+// name resolves to the event type as a string value. Wide events index
+// their attributes lazily, once, and the index is published atomically —
+// an event shared by many subscribers or matching shards is looked up
+// concurrently without races.
 func (e *Event) Lookup(name string) (Value, bool) {
 	if name == TypeAttr {
 		return String(e.Type), true
+	}
+	if len(e.Attrs) >= lookupIndexMin {
+		idx := e.idx.Load()
+		if idx == nil {
+			m := make(map[string]int, len(e.Attrs))
+			// Walk backwards so the first occurrence of a duplicated name
+			// wins, matching the linear scan.
+			for i := len(e.Attrs) - 1; i >= 0; i-- {
+				m[e.Attrs[i].Name] = i
+			}
+			e.idx.CompareAndSwap(nil, &m)
+			idx = &m
+		}
+		if i, ok := (*idx)[name]; ok {
+			return e.Attrs[i].Value, true
+		}
+		return Value{}, false
 	}
 	for _, a := range e.Attrs {
 		if a.Name == name {
@@ -66,8 +165,11 @@ func (e *Event) Has(name string) bool {
 }
 
 // Set replaces the named attribute value, appending it if absent. Setting
-// TypeAttr updates the event type.
+// TypeAttr updates the event type. Set drops the lazy lookup index and
+// cached encoding; events already handed to Publish are immutable by
+// convention and must not be Set concurrently with matching.
 func (e *Event) Set(name string, v Value) {
+	defer e.invalidate()
 	if name == TypeAttr {
 		e.Type = v.Str()
 		return
@@ -95,13 +197,14 @@ func (e *Event) Project(keep func(name string) bool) *Event {
 	return p
 }
 
-// Clone returns a deep copy of the event (the payload bytes are shared, as
-// they are immutable by convention).
+// Clone returns a deep copy of the event (the payload bytes are shared,
+// as they are immutable by convention; the lazy caches are not carried
+// over — the clone exists to be mutated).
 func (e *Event) Clone() *Event {
-	c := *e
+	c := &Event{Type: e.Type, Payload: e.Payload, ID: e.ID}
 	c.Attrs = make([]Attribute, len(e.Attrs))
 	copy(c.Attrs, e.Attrs)
-	return &c
+	return c
 }
 
 // Names returns the attribute names in event order.

@@ -1,0 +1,199 @@
+package event
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// This file owns the compact binary encoding of values and events — the
+// one representation an event has on the wire, in the durable store, and
+// inside a Raw view. transport frames and store records embed it
+// verbatim, so an event is encoded exactly once at publish and the same
+// bytes travel every hop and land on disk unchanged.
+//
+// Layout of one encoded event:
+//
+//	str(class) uvarint(id) uvarint(nattrs) { str(name) value }* bytes(payload)
+//
+// where str and bytes are uvarint-length-prefixed and value is a 1-byte
+// kind tag followed by the kind's payload.
+
+// decodeCount counts full materializations of events from wire bytes
+// (Raw.Event and Decode). It is a test hook: pipeline tests reset it,
+// drive events through publish → forward → spill → replay → deliver, and
+// assert the one-decode invariant. Never consulted by production code.
+var decodeCount atomic.Uint64
+
+// DecodeCount returns the number of full event materializations since
+// process start (test hook for the decode-once invariant).
+func DecodeCount() uint64 { return decodeCount.Load() }
+
+// attrCapHint caps attribute-slice preallocation during decode and
+// parse: attribute counts come off the wire, and a declared count must
+// not reserve memory the bytes cannot back.
+const attrCapHint = 1024
+
+// AppendValue appends the wire encoding of v to dst.
+func AppendValue(dst []byte, v Value) []byte {
+	dst = append(dst, uint8(v.kind))
+	switch v.kind {
+	case KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(v.str)))
+		dst = append(dst, v.str...)
+	case KindInt:
+		dst = binary.AppendVarint(dst, int64(v.num))
+	case KindFloat:
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v.num))
+	case KindBool:
+		if v.num != 0 {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+// DecodeValue decodes one wire value from the front of b, returning the
+// value and the number of bytes consumed.
+func DecodeValue(b []byte) (Value, int, error) {
+	if len(b) == 0 {
+		return Value{}, 0, fmt.Errorf("event: truncated value kind")
+	}
+	k := Kind(b[0])
+	off := 1
+	switch k {
+	case KindString:
+		n, w := binary.Uvarint(b[off:])
+		if w <= 0 || uint64(len(b)-off-w) < n {
+			return Value{}, 0, fmt.Errorf("event: truncated string value")
+		}
+		off += w
+		return String(string(b[off : off+int(n)])), off + int(n), nil
+	case KindInt:
+		v, w := binary.Varint(b[off:])
+		if w <= 0 {
+			return Value{}, 0, fmt.Errorf("event: bad int value")
+		}
+		return Int(v), off + w, nil
+	case KindFloat:
+		if len(b)-off < 8 {
+			return Value{}, 0, fmt.Errorf("event: truncated float value")
+		}
+		return Float(math.Float64frombits(binary.BigEndian.Uint64(b[off:]))), off + 8, nil
+	case KindBool:
+		if len(b)-off < 1 {
+			return Value{}, 0, fmt.Errorf("event: truncated bool value")
+		}
+		return Bool(b[off] == 1), off + 1, nil
+	default:
+		return Value{}, 0, fmt.Errorf("event: unknown value kind %d", k)
+	}
+}
+
+// AppendEncoded appends the wire encoding of e to dst and returns the
+// extended slice. This is the single canonical event encoding: transport
+// frames and store record bodies are byte-identical.
+func AppendEncoded(dst []byte, e *Event) []byte {
+	dst = appendString(dst, e.Type)
+	dst = binary.AppendUvarint(dst, e.ID)
+	dst = binary.AppendUvarint(dst, uint64(len(e.Attrs)))
+	for _, a := range e.Attrs {
+		dst = appendString(dst, a.Name)
+		dst = AppendValue(dst, a.Value)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(e.Payload)))
+	return append(dst, e.Payload...)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// Decode materializes one event from b, which must contain exactly one
+// encoded event with no trailing bytes.
+func Decode(b []byte) (*Event, error) {
+	e, n, err := decodeAt(b, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(b) {
+		return nil, fmt.Errorf("event: %d trailing bytes after event", len(b)-n)
+	}
+	return e, nil
+}
+
+// decodeAt materializes one event starting at off, interning attribute
+// names through in (nil decodes without interning). It returns the event
+// and the offset just past it.
+func decodeAt(b []byte, off int, in *Interner) (*Event, int, error) {
+	decodeCount.Add(1)
+	class, off, err := readString(b, off, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	id, w := binary.Uvarint(b[off:])
+	if w <= 0 {
+		return nil, 0, fmt.Errorf("event: bad id varint at offset %d", off)
+	}
+	off += w
+	n, w := binary.Uvarint(b[off:])
+	if w <= 0 {
+		return nil, 0, fmt.Errorf("event: bad attr count at offset %d", off)
+	}
+	off += w
+	if n > uint64(len(b)-off) {
+		return nil, 0, fmt.Errorf("event: attribute count %d exceeds buffer", n)
+	}
+	e := &Event{Type: class, ID: id}
+	if n > 0 {
+		capHint := n
+		if capHint > attrCapHint {
+			capHint = attrCapHint
+		}
+		e.Attrs = make([]Attribute, 0, capHint)
+	}
+	for i := uint64(0); i < n; i++ {
+		var name string
+		name, off, err = readString(b, off, in)
+		if err != nil {
+			return nil, 0, err
+		}
+		v, w, err := DecodeValue(b[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		off += w
+		e.Attrs = append(e.Attrs, Attribute{Name: name, Value: v})
+	}
+	pn, w := binary.Uvarint(b[off:])
+	if w <= 0 || pn > uint64(len(b)-off-w) {
+		return nil, 0, fmt.Errorf("event: truncated payload at offset %d", off)
+	}
+	off += w
+	if pn > 0 {
+		e.Payload = make([]byte, pn)
+		copy(e.Payload, b[off:off+int(pn)])
+	}
+	return e, off + int(pn), nil
+}
+
+// readString reads one length-prefixed string at off. With a non-nil
+// interner the string is deduplicated against the interner's pool
+// (attribute and class names repeat heavily across a connection's
+// events; interning makes their decode allocation-free in steady state).
+func readString(b []byte, off int, in *Interner) (string, int, error) {
+	n, w := binary.Uvarint(b[off:])
+	if w <= 0 || n > uint64(len(b)-off-w) {
+		return "", 0, fmt.Errorf("event: truncated string at offset %d", off)
+	}
+	off += w
+	raw := b[off : off+int(n)]
+	if in != nil {
+		return in.Intern(raw), off + int(n), nil
+	}
+	return string(raw), off + int(n), nil
+}

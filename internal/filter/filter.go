@@ -34,9 +34,9 @@ type Constraint struct {
 	Operand event.Value // unused for OpExists/OpAny
 }
 
-// Matches evaluates the constraint against an event: the attribute must be
-// present and the operator must hold.
-func (c Constraint) Matches(e *event.Event) bool {
+// Matches evaluates the constraint against an event view (decoded or
+// raw): the attribute must be present and the operator must hold.
+func (c Constraint) Matches(e event.View) bool {
 	v, ok := e.Lookup(c.Attr)
 	if !ok {
 		return false
@@ -90,8 +90,11 @@ func C(attr string, op Op, operand event.Value) Constraint {
 func Wild(attr string) Constraint { return Constraint{Attr: attr, Op: OpAny} }
 
 // Matches implements Definition 1: it reports whether the event satisfies
-// the class constraint (under conf) and every attribute constraint.
-func (f *Filter) Matches(e *event.Event, conf Conformance) bool {
+// the class constraint (under conf) and every attribute constraint. It
+// accepts any event view — the decoded *event.Event or the zero-copy
+// *event.Raw wire form — so brokers evaluate filters directly over wire
+// bytes without materializing events.
+func (f *Filter) Matches(e event.View, conf Conformance) bool {
 	if f == nil {
 		return true
 	}
@@ -99,7 +102,7 @@ func (f *Filter) Matches(e *event.Event, conf Conformance) bool {
 		if conf == nil {
 			conf = ExactTypes{}
 		}
-		if !conf.Conforms(e.Type, f.Class) {
+		if !conf.Conforms(e.Class(), f.Class) {
 			return false
 		}
 	}
@@ -216,7 +219,7 @@ func (f *Filter) String() string {
 type Subscription []*Filter
 
 // Matches reports whether any filter of the subscription matches.
-func (s Subscription) Matches(e *event.Event, conf Conformance) bool {
+func (s Subscription) Matches(e event.View, conf Conformance) bool {
 	for _, f := range s {
 		if f.Matches(e, conf) {
 			return true

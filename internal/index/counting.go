@@ -182,8 +182,10 @@ func (t *CountingTable) dropSlot(key string, slot int) {
 	t.free = append(t.free, slot)
 }
 
-// Match implements Engine using constraint counting.
-func (t *CountingTable) Match(e *event.Event) ([]string, int) {
+// Match implements Engine using constraint counting. It evaluates the
+// event view's attributes directly — a *event.Raw decodes each value on
+// demand from the wire bytes, nothing is materialized.
+func (t *CountingTable) Match(e event.View) ([]string, int) {
 	t.curStamp++
 	bump := func(slot, n int) {
 		if t.stamp[slot] != t.curStamp {
@@ -202,15 +204,16 @@ func (t *CountingTable) Match(e *event.Event) ([]string, int) {
 			}
 		}
 	}
-	for _, a := range e.Attrs {
-		if ai, ok := t.attrs[a.Name]; ok {
-			consider(a.Value, ai)
+	for i, n := 0, e.NumAttrs(); i < n; i++ {
+		name, v := e.AttrAt(i)
+		if ai, ok := t.attrs[name]; ok {
+			consider(v, ai)
 		}
 	}
 	// The synthetic class attribute can also carry constraints when a
 	// filter tests it as a plain string attribute.
 	if ai, ok := t.attrs[event.TypeAttr]; ok {
-		consider(event.String(e.Type), ai)
+		consider(event.String(e.Class()), ai)
 	}
 	var ids []string
 	matched := 0
@@ -238,14 +241,14 @@ func (t *CountingTable) Match(e *event.Event) ([]string, int) {
 	return dedupSorted(ids), matched
 }
 
-func classOK(f *filter.Filter, e *event.Event, conf filter.Conformance) bool {
+func classOK(f *filter.Filter, e event.View, conf filter.Conformance) bool {
 	if f.Class == "" || f.Class == filter.RootType {
 		return true
 	}
 	if conf == nil {
 		conf = filter.ExactTypes{}
 	}
-	return conf.Conforms(e.Type, f.Class)
+	return conf.Conforms(e.Class(), f.Class)
 }
 
 // Filters implements Engine.

@@ -22,7 +22,9 @@ type Engine interface {
 	RemoveID(id string)
 	// Match returns the IDs of all filters matching e, sorted and
 	// deduplicated, and the number of distinct filters evaluated to true.
-	Match(e *event.Event) (ids []string, matched int)
+	// Matching runs against the event view — the decoded *event.Event or
+	// the zero-copy *event.Raw — without materializing anything.
+	Match(e event.View) (ids []string, matched int)
 	// Filters returns the distinct stored filters.
 	Filters() []*filter.Filter
 	// Len reports the number of distinct stored filters.

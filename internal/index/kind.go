@@ -99,13 +99,13 @@ type MatchResult struct {
 // amortizes per-call overhead (and, for ShardedEngine, matches the whole
 // batch across shards in parallel).
 type BatchMatcher interface {
-	MatchBatch(events []*event.Event) []MatchResult
+	MatchBatch(events []event.View) []MatchResult
 }
 
 // MatchEach matches a batch of events through eng, using its native batch
 // path when it has one and falling back to per-event Match otherwise.
 // Results are positionally aligned with events.
-func MatchEach(eng Engine, events []*event.Event) []MatchResult {
+func MatchEach(eng Engine, events []event.View) []MatchResult {
 	if bm, ok := eng.(BatchMatcher); ok {
 		return bm.MatchBatch(events)
 	}

@@ -73,7 +73,7 @@ func (t *NaiveTable) drop(key string, e *naiveEntry) {
 
 // Match implements Engine: for each event, evaluate all filters in the
 // table and collect the IDs of those that match (Figure 6).
-func (t *NaiveTable) Match(e *event.Event) ([]string, int) {
+func (t *NaiveTable) Match(e event.View) ([]string, int) {
 	var ids []string
 	matched := 0
 	for _, entry := range t.entries {

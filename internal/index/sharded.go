@@ -92,8 +92,8 @@ func (t *ShardedEngine) RemoveID(id string) {
 }
 
 // Match implements Engine by matching a batch of one.
-func (t *ShardedEngine) Match(e *event.Event) ([]string, int) {
-	r := t.MatchBatch([]*event.Event{e})[0]
+func (t *ShardedEngine) Match(e event.View) ([]string, int) {
+	r := t.MatchBatch([]event.View{e})[0]
 	return r.IDs, r.Matched
 }
 
@@ -101,7 +101,7 @@ func (t *ShardedEngine) Match(e *event.Event) ([]string, int) {
 // on its own goroutine, then per-event results merge in shard order.
 // Shards hold disjoint ID sets, so the merged list is a plain sorted
 // union and the outcome is deterministic for any shard count.
-func (t *ShardedEngine) MatchBatch(events []*event.Event) []MatchResult {
+func (t *ShardedEngine) MatchBatch(events []event.View) []MatchResult {
 	out := make([]MatchResult, len(events))
 	if len(events) == 0 {
 		return out

@@ -13,7 +13,7 @@ import (
 )
 
 // population builds a reproducible subscription set and event stream.
-func population(t testing.TB, seed uint64, subs, events int) ([]*filter.Filter, []string, []*event.Event) {
+func population(t testing.TB, seed uint64, subs, events int) ([]*filter.Filter, []string, []event.View) {
 	t.Helper()
 	bib, err := workload.NewBiblio(seed, workload.DefaultBiblio())
 	if err != nil {
@@ -25,7 +25,7 @@ func population(t testing.TB, seed uint64, subs, events int) ([]*filter.Filter, 
 		filters[i] = bib.Subscription(0.1, true)
 		ids[i] = fmt.Sprintf("sub-%04d", i)
 	}
-	evs := make([]*event.Event, events)
+	evs := make([]event.View, events)
 	for i := range evs {
 		evs[i] = bib.Event()
 	}

@@ -16,6 +16,12 @@ import (
 // Handler consumes delivered events at a subscriber runtime. Handlers run
 // on the subscriber's own goroutine; a slow handler backpressures its
 // stage-1 broker but never loses events.
+//
+// The delivered event is shared: every local subscriber matching the
+// same publish receives the same immutable *event.Event (and a durable
+// replay materializes each stored record once, shared the same way) —
+// there is no per-subscriber clone on the delivery path. Handlers must
+// treat it as read-only.
 type Handler func(*event.Event)
 
 // Handle is a live subscription: the subscriber's identity, its original
@@ -303,7 +309,9 @@ func (h *Handle) spillFromQueue(d delivery) bool {
 func (h *Handle) spillLocked(ev *event.Event) {
 	h.counters.AddSpilled(1)
 	if st := h.sys.cfg.Store; st != nil && h.durable && !h.storeBroken && st.Known(string(h.id)) {
-		if _, n, err := st.Append(string(h.id), ev); err == nil {
+		// ev.Raw() encodes at most once per event: when one publish spills
+		// for several durable subscribers, they all share one encoding.
+		if _, n, err := st.Append(string(h.id), ev.Raw()); err == nil {
 			h.counters.AddStoreAppended(1)
 			h.counters.AddStoredBytes(uint64(n))
 			return
@@ -349,8 +357,8 @@ func (h *Handle) drainSpill(full bool) {
 		handler := h.handler
 		h.mu.Unlock()
 		if useStore {
-			n, err := st.Replay(string(h.id), func(ev *event.Event) bool {
-				h.deliverOne(ev, handler, h.counters)
+			n, err := st.Replay(string(h.id), func(ev *event.Raw) bool {
+				h.deliverOne(ev.Event(), handler, h.counters)
 				return true
 			})
 			if n > 0 {
@@ -393,7 +401,7 @@ func (h *Handle) consume(ev *event.Event, counters *metrics.Counters) {
 		// ever Forget again, pinning segments forever).
 		if st := h.sys.cfg.Store; st != nil && !h.storeBroken && st.Known(string(h.id)) {
 			h.mu.Unlock()
-			if _, n, err := st.Append(string(h.id), ev); err == nil {
+			if _, n, err := st.Append(string(h.id), ev.Raw()); err == nil {
 				counters.AddStoreAppended(1)
 				counters.AddStoredBytes(uint64(n))
 			} else {
@@ -444,8 +452,10 @@ func (h *Handle) drainBacklog(counters *metrics.Counters) {
 		// Replay the persisted backlog. Only this goroutine consumes for
 		// this handle, so no new events interleave until the drain ends;
 		// a failed replay leaves the rest pending for the next Resume.
-		n, err := st.Replay(string(h.id), func(ev *event.Event) bool {
-			h.deliverOne(ev, handler, counters)
+		// Each stored record materializes exactly once; the decoded event
+		// is shared by every later consumer of the same Raw.
+		n, err := st.Replay(string(h.id), func(ev *event.Raw) bool {
+			h.deliverOne(ev.Event(), handler, counters)
 			return true
 		})
 		if n > 0 {

@@ -140,6 +140,8 @@ type actor struct {
 	node  *routing.Node
 	inbox *flow.Queue[message]
 	rng   *rand.Rand
+	// views is the reusable batch-matching scratch (core-owned).
+	views []event.View
 }
 
 // mailboxPolicy maps the configured flow policy onto inlet queues:
@@ -355,7 +357,11 @@ func (a *actor) flushBatch(events []*event.Event) {
 	if len(events) == 0 {
 		return
 	}
-	routes := a.node.HandleEventBatch(events)
+	a.views = a.views[:0]
+	for _, ev := range events {
+		a.views = append(a.views, ev)
+	}
+	routes := a.node.HandleEventBatch(a.views)
 	if len(events) == 1 {
 		// Common un-coalesced case: skip the grouping allocations.
 		for _, id := range routes[0] {

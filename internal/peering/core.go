@@ -328,7 +328,7 @@ func (c *Core) Entries(from LinkID) []Entry {
 // MatchLocals returns the local subscriber IDs with at least one
 // original filter matching the event (perfect filtering at the home
 // broker), unsorted.
-func (c *Core) MatchLocals(e *event.Event) []string {
+func (c *Core) MatchLocals(e event.View) []string {
 	var out []string
 	for id, fs := range c.locals {
 		for _, f := range fs {
@@ -344,7 +344,7 @@ func (c *Core) MatchLocals(e *event.Event) []string {
 // MatchLinks returns the links (excluding from) with at least one
 // interest matching the event — the reverse paths the event must follow.
 // Order is link registration order.
-func (c *Core) MatchLinks(e *event.Event, from LinkID) []LinkID {
+func (c *Core) MatchLinks(e event.View, from LinkID) []LinkID {
 	var out []LinkID
 	for _, id := range c.order {
 		if id == from {

@@ -26,7 +26,7 @@ func TestTableMatchBatchEquivalence(t *testing.T) {
 				f := filter.MustParseFilter(fmt.Sprintf(`class = "Tick" && lane = %d`, i%5))
 				tab.Insert(f, NodeID(fmt.Sprintf("n%d", i)), exp)
 			}
-			evs := make([]*event.Event, 30)
+			evs := make([]event.View, 30)
 			for i := range evs {
 				evs[i] = event.NewBuilder("Tick").Int("lane", int64(i%7)).Build()
 			}
@@ -54,7 +54,7 @@ func TestHandleEventBatchCounters(t *testing.T) {
 	// which would store a class-only filter without an advertisement).
 	n.Table().Insert(filter.MustParseFilter(`class = "Tick" && lane = 1`),
 		"s1", time.Now().Add(time.Hour))
-	evs := []*event.Event{
+	evs := []event.View{
 		event.NewBuilder("Tick").Int("lane", 1).Build(),
 		event.NewBuilder("Tick").Int("lane", 2).Build(),
 		event.NewBuilder("Tick").Int("lane", 1).Build(),

@@ -302,7 +302,7 @@ func (n *Node) RenewalsDue() []*filter.Filter {
 // updated per Section 5.1: every received event counts, an event counts
 // as matched when at least one filter accepted it, and each forwarded
 // copy counts individually.
-func (n *Node) HandleEvent(e *event.Event) []NodeID {
+func (n *Node) HandleEvent(e event.View) []NodeID {
 	n.counters.AddReceived(1)
 	ids, matched := n.table.Match(e)
 	if matched > 0 {
@@ -319,7 +319,7 @@ func (n *Node) HandleEvent(e *event.Event) []NodeID {
 // (BatchesMatched, BatchSizeSum). Runtimes that coalesce queued publishes
 // call this instead of per-event HandleEvent so the matching engine can
 // amortize — and, with the sharded engine, parallelize — the batch.
-func (n *Node) HandleEventBatch(events []*event.Event) [][]NodeID {
+func (n *Node) HandleEventBatch(events []event.View) [][]NodeID {
 	if len(events) == 0 {
 		return nil
 	}

@@ -3,6 +3,7 @@ package routing
 import (
 	"sort"
 	"time"
+	"unsafe"
 
 	"eventsys/internal/event"
 	"eventsys/internal/filter"
@@ -101,14 +102,19 @@ func (t *Table) Sweep(now time.Time) []NodeID {
 }
 
 // Match returns the IDs to forward the event to (sorted, deduplicated)
-// and the number of distinct filters that matched.
-func (t *Table) Match(e *event.Event) ([]NodeID, int) {
+// and the number of distinct filters that matched. The event may be a
+// decoded *event.Event or a zero-copy *event.Raw wire view.
+func (t *Table) Match(e event.View) ([]NodeID, int) {
 	ids, matched := t.engine.Match(e)
-	out := make([]NodeID, len(ids))
-	for i, id := range ids {
-		out[i] = NodeID(id)
-	}
-	return out, matched
+	return idsAsNodeIDs(ids), matched
+}
+
+// idsAsNodeIDs reinterprets the engine's ID slice as []NodeID without
+// copying: NodeID's underlying type is string, so the layouts are
+// identical, and the engine hands each result slice over — nothing else
+// aliases it.
+func idsAsNodeIDs(ids []string) []NodeID {
+	return *(*[]NodeID)(unsafe.Pointer(&ids))
 }
 
 // MatchBatch matches a batch of events in one engine pass, using the
@@ -116,16 +122,12 @@ func (t *Table) Match(e *event.Event) ([]NodeID, int) {
 // the whole batch across shards in parallel). Results align positionally
 // with events; each ID list is sorted and deduplicated, so per-event
 // output is identical to calling Match event by event.
-func (t *Table) MatchBatch(events []*event.Event) (ids [][]NodeID, matched []int) {
+func (t *Table) MatchBatch(events []event.View) (ids [][]NodeID, matched []int) {
 	rs := index.MatchEach(t.engine, events)
 	ids = make([][]NodeID, len(rs))
 	matched = make([]int, len(rs))
 	for i, r := range rs {
-		out := make([]NodeID, len(r.IDs))
-		for j, id := range r.IDs {
-			out[j] = NodeID(id)
-		}
-		ids[i] = out
+		ids[i] = idsAsNodeIDs(r.IDs)
 		matched[i] = r.Matched
 	}
 	return ids, matched

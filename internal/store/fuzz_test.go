@@ -20,10 +20,10 @@ func FuzzDecodeRecord(f *testing.F) {
 		}
 		f.Add(b)
 	}
-	seed(Record{Seq: 1, SubID: "w", Event: event.NewBuilder("Job").Str("queue", "builds").Int("n", 7).Build()})
-	seed(Record{Seq: 1 << 40, SubID: "subscriber-with-long-name", Event: event.NewBuilder("X").
-		Float("f", 3.14).Bool("b", true).Payload([]byte("payload")).ID(9).Build()})
-	seed(Record{Event: event.NewBuilder("").Build()})
+	seed(Record{Seq: 1, SubID: "w", Event: event.EncodeRaw(event.NewBuilder("Job").Str("queue", "builds").Int("n", 7).Build())})
+	seed(Record{Seq: 1 << 40, SubID: "subscriber-with-long-name", Event: event.EncodeRaw(event.NewBuilder("X").
+		Float("f", 3.14).Bool("b", true).Payload([]byte("payload")).ID(9).Build())})
+	seed(Record{Event: event.EncodeRaw(event.NewBuilder("").Build())})
 	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 0, 0})
 	f.Add([]byte{255, 255, 255, 255, 1, 2, 3, 4})
 

@@ -22,20 +22,26 @@ const maxRecord = transport.MaxFrame
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Record is one stored entry: an event owned by a durable subscription,
-// stamped with the store-wide append sequence number.
+// stamped with the store-wide append sequence number. The event is kept
+// in its canonical encoded form — the Raw view the wire carries — so the
+// spill path persists the publisher's bytes verbatim (no decode, no
+// re-encode) and replay hands the same bytes back.
 type Record struct {
 	Seq   uint64
 	SubID string
-	Event *event.Event
+	Event *event.Raw
 }
 
 // AppendRecord appends the framed encoding of r to dst and returns the
-// extended slice.
+// extended slice. The event portion of the body is r.Event's existing
+// bytes, copied — never re-encoded.
 func AppendRecord(dst []byte, r Record) ([]byte, error) {
-	body := binary.AppendUvarint(nil, r.Seq)
+	evb := r.Event.Bytes()
+	body := make([]byte, 0, 2*binary.MaxVarintLen64+len(r.SubID)+len(evb))
+	body = binary.AppendUvarint(body, r.Seq)
 	body = binary.AppendUvarint(body, uint64(len(r.SubID)))
 	body = append(body, r.SubID...)
-	body = transport.AppendEvent(body, r.Event)
+	body = append(body, evb...)
 	if len(body) > maxRecord {
 		return nil, fmt.Errorf("store: record of %d bytes exceeds limit", len(body))
 	}
@@ -50,8 +56,17 @@ func AppendRecord(dst []byte, r Record) ([]byte, error) {
 // the record and the number of bytes consumed. Any framing violation —
 // truncated header, truncated body, oversized length, CRC mismatch,
 // malformed body — returns an error; callers treat an error at the tail
-// of the last segment as a torn append and truncate there.
+// of the last segment as a torn append and truncate there. The record's
+// event is validated but not materialized: it stays a Raw view over the
+// record bytes.
 func DecodeRecord(b []byte) (Record, int, error) {
+	return decodeRecord(b, nil)
+}
+
+// decodeRecord is DecodeRecord with name interning: segment scans hand
+// one interner to every record of the scan, so repeated attribute and
+// class names decode allocation-free.
+func decodeRecord(b []byte, in *event.Interner) (Record, int, error) {
 	if len(b) < recordHeader {
 		return Record{}, 0, fmt.Errorf("store: truncated record header (%d bytes)", len(b))
 	}
@@ -67,14 +82,14 @@ func DecodeRecord(b []byte) (Record, int, error) {
 	if got := crc32.Checksum(body, castagnoli); got != want {
 		return Record{}, 0, fmt.Errorf("store: CRC mismatch (%08x != %08x)", got, want)
 	}
-	rec, err := decodeBody(body)
+	rec, err := decodeBody(body, in)
 	if err != nil {
 		return Record{}, 0, err
 	}
 	return rec, recordHeader + int(n), nil
 }
 
-func decodeBody(body []byte) (Record, error) {
+func decodeBody(body []byte, in *event.Interner) (Record, error) {
 	seq, n := binary.Uvarint(body)
 	if n <= 0 {
 		return Record{}, fmt.Errorf("store: bad sequence varint")
@@ -85,9 +100,15 @@ func decodeBody(body []byte) (Record, error) {
 		return Record{}, fmt.Errorf("store: bad subscriber id length")
 	}
 	subID := string(body[n : n+int(idLen)])
-	ev, err := transport.DecodeEvent(body[n+int(idLen):])
+	// Copy the event bytes out of the scan buffer: segment scans read the
+	// whole file into one slice, and a replayed Raw that merely subsliced
+	// it would pin the entire segment in memory for as long as the event
+	// sits in an outbound queue. The copy keeps replay memory O(events
+	// queued); the bytes are still never decoded here.
+	evb := append([]byte(nil), body[n+int(idLen):]...)
+	raw, err := event.ParseRaw(evb, in)
 	if err != nil {
 		return Record{}, err
 	}
-	return Record{Seq: seq, SubID: subID, Event: ev}, nil
+	return Record{Seq: seq, SubID: subID, Event: raw}, nil
 }

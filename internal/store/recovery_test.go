@@ -47,7 +47,7 @@ func replayAll(t *testing.T, dir string) []int64 {
 	t.Helper()
 	s := openTest(t, dir, Options{})
 	var got []int64
-	if _, err := s.Replay("w", func(e *event.Event) bool {
+	if _, err := s.Replay("w", func(e *event.Raw) bool {
 		v, _ := e.Lookup("n")
 		got = append(got, v.IntVal())
 		return true
@@ -240,7 +240,7 @@ func TestCursorBeyondTruncatedLogIsClamped(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := s.Replay("w", func(*event.Event) bool { return true }); err != nil {
+	if _, err := s.Replay("w", func(*event.Raw) bool { return true }); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil { // cursor = 7 persisted
@@ -271,7 +271,7 @@ func TestCursorBeyondTruncatedLogIsClamped(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []int64
-	if _, err := re.Replay("w", func(e *event.Event) bool {
+	if _, err := re.Replay("w", func(e *event.Raw) bool {
 		v, _ := e.Lookup("n")
 		got = append(got, v.IntVal())
 		return true
@@ -302,7 +302,7 @@ func TestAppendsContinueAfterRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []int64
-	if _, err := s.Replay("w", func(e *event.Event) bool {
+	if _, err := s.Replay("w", func(e *event.Raw) bool {
 		v, _ := e.Lookup("n")
 		got = append(got, v.IntVal())
 		return true

@@ -33,7 +33,7 @@ func TestSpillCompactReplayUnderSaturation(t *testing.T) {
 	go func() { // the saturated producer: spill everything
 		defer wg.Done()
 		for i := 1; i <= n; i++ {
-			ev := event.NewBuilder("T").Int("n", int64(i)).ID(uint64(i)).Build()
+			ev := event.EncodeRaw(event.NewBuilder("T").Int("n", int64(i)).ID(uint64(i)).Build())
 			if _, _, err := st.Append("slow", ev); err != nil {
 				t.Errorf("append %d: %v", i, err)
 				return
@@ -50,8 +50,8 @@ func TestSpillCompactReplayUnderSaturation(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatalf("timed out: replayed %d of %d", len(got), n)
 		}
-		if _, err := st.Replay("slow", func(ev *event.Event) bool {
-			got = append(got, ev.ID)
+		if _, err := st.Replay("slow", func(ev *event.Raw) bool {
+			got = append(got, ev.EventID())
 			return true
 		}); err != nil {
 			t.Fatalf("replay after %d events: %v", len(got), err)
@@ -97,14 +97,14 @@ func TestRetentionEvictionAccountsExactlyOnce(t *testing.T) {
 
 	const n = 2000
 	for i := 1; i <= n; i++ {
-		ev := event.NewBuilder("T").Int("n", int64(i)).ID(uint64(i)).Build()
+		ev := event.EncodeRaw(event.NewBuilder("T").Int("n", int64(i)).ID(uint64(i)).Build())
 		if _, _, err := st.Append("slow", ev); err != nil {
 			t.Fatalf("append %d: %v", i, err)
 		}
 	}
 	var got []uint64
-	if _, err := st.Replay("slow", func(ev *event.Event) bool {
-		got = append(got, ev.ID)
+	if _, err := st.Replay("slow", func(ev *event.Raw) bool {
+		got = append(got, ev.EventID())
 		return true
 	}); err != nil {
 		t.Fatal(err)

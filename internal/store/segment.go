@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"eventsys/internal/event"
 )
 
 // segExt is the segment file extension.
@@ -59,9 +61,12 @@ func (s *segment) scan(fn func(Record)) (goodOff int64, err error) {
 	if err != nil {
 		return 0, fmt.Errorf("store: read segment: %w", err)
 	}
+	// One interner per scan: attribute and class names repeat across the
+	// segment's records, and the Raw views the scan yields intern them.
+	in := event.NewInterner()
 	off := 0
 	for off < len(data) {
-		rec, n, err := DecodeRecord(data[off:])
+		rec, n, err := decodeRecord(data[off:], in)
 		if err != nil {
 			return int64(off), nil
 		}

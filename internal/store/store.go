@@ -284,7 +284,7 @@ func (s *Store) Forget(subID string) {
 // the fsync policy: with SyncEvery=1 the record is on stable storage when
 // Append returns; batched modes bound the exposure window by SyncEvery
 // and SyncInterval.
-func (s *Store) Append(subID string, ev *event.Event) (seq uint64, n int, err error) {
+func (s *Store) Append(subID string, ev *event.Raw) (seq uint64, n int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -304,7 +304,7 @@ func (s *Store) Append(subID string, ev *event.Event) (seq uint64, n int, err er
 // when it pushes the unsynced count over the threshold. Events land in
 // slice order; on error the already-appended prefix stays stored (but
 // unsynced until the next sync trigger) and is reported in n.
-func (s *Store) AppendBatch(subID string, evs []*event.Event) (n int, bytes int, err error) {
+func (s *Store) AppendBatch(subID string, evs []*event.Raw) (n int, bytes int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -331,7 +331,7 @@ func (s *Store) AppendBatch(subID string, evs []*event.Event) (n int, bytes int,
 
 // appendLocked appends one record and applies the per-append fsync and
 // retention policies; the caller holds s.mu.
-func (s *Store) appendLocked(subID string, ev *event.Event) (seq uint64, n int, err error) {
+func (s *Store) appendLocked(subID string, ev *event.Raw) (seq uint64, n int, err error) {
 	seq, n, err = s.appendRecordLocked(subID, ev)
 	if err != nil {
 		return 0, 0, err
@@ -350,7 +350,7 @@ func (s *Store) appendLocked(subID string, ev *event.Event) (seq uint64, n int, 
 // appendRecordLocked writes one record to the active segment (rolling it
 // when full) without syncing or enforcing retention; the caller holds
 // s.mu.
-func (s *Store) appendRecordLocked(subID string, ev *event.Event) (seq uint64, n int, err error) {
+func (s *Store) appendRecordLocked(subID string, ev *event.Raw) (seq uint64, n int, err error) {
 	seq = s.nextSeq
 	buf, err := AppendRecord(nil, Record{Seq: seq, SubID: subID, Event: ev})
 	if err != nil {
@@ -397,7 +397,7 @@ func (s *Store) appendRecordLocked(subID string, ev *event.Event) (seq uint64, n
 // false the replay stops and the undelivered remainder stays pending for
 // the next Replay. It returns the number of events replayed. Appends
 // racing with a replay are not delivered; they too remain pending.
-func (s *Store) Replay(subID string, fn func(*event.Event) bool) (int, error) {
+func (s *Store) Replay(subID string, fn func(*event.Raw) bool) (int, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()

@@ -9,9 +9,9 @@ import (
 	"eventsys/internal/event"
 )
 
-func testEvent(i int) *event.Event {
-	return event.NewBuilder("Job").Str("queue", "builds").Int("n", int64(i)).
-		Payload([]byte(fmt.Sprintf("payload-%d", i))).ID(uint64(i + 1)).Build()
+func testEvent(i int) *event.Raw {
+	return event.EncodeRaw(event.NewBuilder("Job").Str("queue", "builds").Int("n", int64(i)).
+		Payload([]byte(fmt.Sprintf("payload-%d", i))).ID(uint64(i + 1)).Build())
 }
 
 func openTest(t *testing.T, dir string, opts Options) *Store {
@@ -38,8 +38,8 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 	if got := s.Pending("w"); got != n {
 		t.Fatalf("Pending = %d, want %d", got, n)
 	}
-	var got []*event.Event
-	count, err := s.Replay("w", func(e *event.Event) bool { got = append(got, e); return true })
+	var got []*event.Raw
+	count, err := s.Replay("w", func(e *event.Raw) bool { got = append(got, e); return true })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,15 +48,16 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 	}
 	for i, e := range got {
 		want := testEvent(i)
-		if !e.Equal(want) || string(e.Payload) != string(want.Payload) || e.ID != want.ID {
-			t.Fatalf("event %d = %v (payload %q), want %v", i, e, e.Payload, want)
+		if !e.Event().Equal(want.Event()) || string(e.Payload()) != string(want.Payload()) ||
+			e.EventID() != want.EventID() {
+			t.Fatalf("event %d = %v (payload %q), want %v", i, e.Event(), e.Payload(), want.Event())
 		}
 	}
 	if got := s.Pending("w"); got != 0 {
 		t.Fatalf("Pending after replay = %d, want 0", got)
 	}
 	// Replaying again delivers nothing: the cursor moved.
-	count, err = s.Replay("w", func(*event.Event) bool { return true })
+	count, err = s.Replay("w", func(*event.Raw) bool { return true })
 	if err != nil || count != 0 {
 		t.Fatalf("second replay = %d, %v; want 0, nil", count, err)
 	}
@@ -79,7 +80,7 @@ func TestPerSubscriptionCursorsAreIndependent(t *testing.T) {
 		}
 	}
 	var aGot []int64
-	if _, err := s.Replay("a", func(e *event.Event) bool {
+	if _, err := s.Replay("a", func(e *event.Raw) bool {
 		v, _ := e.Lookup("n")
 		aGot = append(aGot, v.IntVal())
 		return true
@@ -112,7 +113,7 @@ func TestReopenPreservesBacklogAndCursors(t *testing.T) {
 	}
 	// Consume the first half, then close cleanly.
 	half := 0
-	if _, err := s.Replay("w", func(*event.Event) bool { half++; return true }); err != nil {
+	if _, err := s.Replay("w", func(*event.Raw) bool { half++; return true }); err != nil {
 		t.Fatal(err)
 	}
 	if half != 8 {
@@ -136,7 +137,7 @@ func TestReopenPreservesBacklogAndCursors(t *testing.T) {
 		t.Fatalf("after reopen: existed %v pending %d, want true 4", existed, pending)
 	}
 	var got []int64
-	if _, err := re.Replay("w", func(e *event.Event) bool {
+	if _, err := re.Replay("w", func(e *event.Raw) bool {
 		v, _ := e.Lookup("n")
 		got = append(got, v.IntVal())
 		return true
@@ -169,7 +170,7 @@ func TestSegmentRollAndCompaction(t *testing.T) {
 	if st.Segments < 3 {
 		t.Fatalf("segments = %d, want several with 256-byte rolling", st.Segments)
 	}
-	if _, err := s.Replay("w", func(*event.Event) bool { return true }); err != nil {
+	if _, err := s.Replay("w", func(*event.Raw) bool { return true }); err != nil {
 		t.Fatal(err)
 	}
 	after := s.Stats()
@@ -226,7 +227,7 @@ func TestBoundedRetentionEvictsOldest(t *testing.T) {
 		t.Fatal("expected evictions under MaxBytes pressure")
 	}
 	var got []int64
-	if _, err := s.Replay("w", func(e *event.Event) bool {
+	if _, err := s.Replay("w", func(e *event.Raw) bool {
 		v, _ := e.Lookup("n")
 		got = append(got, v.IntVal())
 		return true
@@ -293,7 +294,7 @@ func TestCorruptCursorsFileDegradesToReplayAll(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := s.Replay("w", func(*event.Event) bool { return true }); err != nil {
+	if _, err := s.Replay("w", func(*event.Raw) bool { return true }); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
@@ -346,7 +347,7 @@ func TestStoreStats(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := s.Replay("w", func(*event.Event) bool { return true }); err != nil {
+	if _, err := s.Replay("w", func(*event.Raw) bool { return true }); err != nil {
 		t.Fatal(err)
 	}
 	st := s.Stats()

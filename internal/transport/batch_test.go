@@ -15,8 +15,12 @@ func TestPublishBatchRoundTrip(t *testing.T) {
 			Payload([]byte{1, 2, 3}).ID(2).Build(),
 		event.NewBuilder("Bond").Bool("junk", true).ID(3).Build(),
 	}
+	raws := make([]*event.Raw, len(evs))
+	for i, e := range evs {
+		raws[i] = event.EncodeRaw(e)
+	}
 	var buf bytes.Buffer
-	if err := WriteFrame(&buf, PublishBatch{Events: evs}); err != nil {
+	if err := WriteFrame(&buf, PublishBatch{Events: raws}); err != nil {
 		t.Fatal(err)
 	}
 	m, err := ReadFrame(&buf)
@@ -31,8 +35,10 @@ func TestPublishBatchRoundTrip(t *testing.T) {
 		t.Fatalf("decoded %d events, want %d", len(got.Events), len(evs))
 	}
 	for i := range evs {
-		if !reflect.DeepEqual(got.Events[i], evs[i]) {
-			t.Errorf("event %d = %+v, want %+v", i, got.Events[i], evs[i])
+		dec := got.Events[i].Event()
+		if !dec.Equal(evs[i]) || dec.ID != evs[i].ID ||
+			!reflect.DeepEqual(dec.Payload, evs[i].Payload) {
+			t.Errorf("event %d = %+v, want %+v", i, dec, evs[i])
 		}
 	}
 }
@@ -55,7 +61,7 @@ func TestPublishBatchEmpty(t *testing.T) {
 // exceeds what the body could possibly hold.
 func TestPublishBatchCountGuard(t *testing.T) {
 	body := []byte{0xff, 0xff, 0xff, 0xff, 0x7f} // uvarint far above len(body)
-	if _, err := decodeMessage(TypePublishBatch, body); err == nil {
+	if _, err := decodeMessage(TypePublishBatch, body, nil); err == nil {
 		t.Fatal("want error for oversized batch count")
 	}
 }

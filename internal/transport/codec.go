@@ -4,7 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
+	"sync"
 
 	"eventsys/internal/event"
 	"eventsys/internal/filter"
@@ -12,6 +12,10 @@ import (
 
 // MaxFrame bounds a single message body (16 MiB).
 const MaxFrame = 16 << 20
+
+// frameHeader is the per-frame framing overhead: 4-byte length plus the
+// 1-byte message type.
+const frameHeader = 5
 
 // buffer is a minimal append-based encoder.
 type buffer struct {
@@ -22,26 +26,32 @@ func (w *buffer) u8(v uint8) { w.b = append(w.b, v) }
 func (w *buffer) uvarint(v uint64) {
 	w.b = binary.AppendUvarint(w.b, v)
 }
-func (w *buffer) varint(v int64) {
-	w.b = binary.AppendVarint(w.b, v)
-}
-func (w *buffer) f64(v float64) {
-	w.b = binary.BigEndian.AppendUint64(w.b, math.Float64bits(v))
-}
 func (w *buffer) str(s string) {
 	w.uvarint(uint64(len(s)))
 	w.b = append(w.b, s...)
 }
+
 func (w *buffer) bytes(p []byte) {
 	w.uvarint(uint64(len(p)))
 	w.b = append(w.b, p...)
 }
 
+// value delegates to the canonical value encoding in package event.
+func (w *buffer) value(v event.Value) { w.b = event.AppendValue(w.b, v) }
+
+// raw appends an already-encoded event verbatim: event frames carry the
+// publisher's bytes untouched, so framing a Raw is a copy, never a
+// re-encode.
+func (w *buffer) raw(r *event.Raw) { w.b = append(w.b, r.Bytes()...) }
+
 // reader is the matching decoder; it fails sticky on malformed input.
+// Its interner (optional) deduplicates attribute and class names across
+// every event decoded through it — one interner per connection.
 type reader struct {
 	b   []byte
 	off int
 	err error
+	in  *event.Interner
 }
 
 func (r *reader) fail(msg string) {
@@ -76,32 +86,6 @@ func (r *reader) uvarint() uint64 {
 	return v
 }
 
-func (r *reader) varint() int64 {
-	if r.err != nil {
-		return 0
-	}
-	v, n := binary.Varint(r.b[r.off:])
-	if n <= 0 {
-		r.fail("bad varint")
-		return 0
-	}
-	r.off += n
-	return v
-}
-
-func (r *reader) f64() float64 {
-	if r.err != nil {
-		return 0
-	}
-	if r.off+8 > len(r.b) {
-		r.fail("truncated f64")
-		return 0
-	}
-	v := math.Float64frombits(binary.BigEndian.Uint64(r.b[r.off:]))
-	r.off += 8
-	return v
-}
-
 func (r *reader) str() string {
 	n := r.uvarint()
 	if r.err != nil {
@@ -116,93 +100,39 @@ func (r *reader) str() string {
 	return s
 }
 
-func (r *reader) bytesField() []byte {
-	n := r.uvarint()
-	if r.err != nil {
-		return nil
-	}
-	if uint64(len(r.b)-r.off) < n {
-		r.fail("truncated bytes")
-		return nil
-	}
-	if n == 0 {
-		return nil
-	}
-	p := make([]byte, n)
-	copy(p, r.b[r.off:r.off+int(n)])
-	r.off += int(n)
-	return p
-}
-
-// --- value, event, filter encodings ---
-
-func (w *buffer) value(v event.Value) {
-	w.u8(uint8(v.Kind()))
-	switch v.Kind() {
-	case event.KindString:
-		w.str(v.Str())
-	case event.KindInt:
-		w.varint(v.IntVal())
-	case event.KindFloat:
-		w.f64(v.Num())
-	case event.KindBool:
-		if v.BoolVal() {
-			w.u8(1)
-		} else {
-			w.u8(0)
-		}
-	}
-}
-
+// value delegates to the canonical value decoding in package event.
 func (r *reader) value() event.Value {
-	switch event.Kind(r.u8()) {
-	case event.KindString:
-		return event.String(r.str())
-	case event.KindInt:
-		return event.Int(r.varint())
-	case event.KindFloat:
-		return event.Float(r.f64())
-	case event.KindBool:
-		return event.Bool(r.u8() == 1)
-	default:
+	if r.err != nil {
+		return event.Value{}
+	}
+	v, n, err := event.DecodeValue(r.b[r.off:])
+	if err != nil {
 		if r.err == nil {
-			r.fail("unknown value kind")
+			r.err = fmt.Errorf("transport: %w (offset %d)", err, r.off)
 		}
 		return event.Value{}
 	}
+	r.off += n
+	return v
 }
 
-func (w *buffer) event(e *event.Event) {
-	w.str(e.Type)
-	w.uvarint(e.ID)
-	w.uvarint(uint64(len(e.Attrs)))
-	for _, a := range e.Attrs {
-		w.str(a.Name)
-		w.value(a.Value)
-	}
-	w.bytes(e.Payload)
-}
-
-func (r *reader) event() *event.Event {
-	e := &event.Event{Type: r.str(), ID: r.uvarint()}
-	n := r.uvarint()
+// rawEvent validates one embedded event and returns its zero-copy Raw
+// view (aliasing the frame body, which is owned by the frame's decoded
+// message from here on).
+func (r *reader) rawEvent() *event.Raw {
 	if r.err != nil {
 		return nil
 	}
-	if n > uint64(len(r.b)) {
-		r.fail("attribute count exceeds frame")
+	raw, off, err := event.ParseRawAt(r.b, r.off, r.in)
+	if err != nil {
+		r.err = fmt.Errorf("transport: %w", err)
 		return nil
 	}
-	e.Attrs = make([]event.Attribute, 0, n)
-	for i := uint64(0); i < n && r.err == nil; i++ {
-		e.Attrs = append(e.Attrs, event.Attribute{Name: r.str(), Value: r.value()})
-	}
-	e.Payload = r.bytesField()
-	if r.err != nil {
-		return nil
-	}
-	return e
+	r.off = off
+	return raw
 }
+
+// --- filter encoding ---
 
 func (w *buffer) filter(f *filter.Filter) {
 	w.str(f.Class)
@@ -239,28 +169,77 @@ func (r *reader) filter() *filter.Filter {
 	return f
 }
 
-// WriteFrame writes one framed message.
+// framePool recycles frame write buffers: WriteFrame encodes the header
+// and body into one pooled buffer and issues a single Write, so framing
+// costs no allocation in steady state and one syscall per frame.
+var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+// frameBuf embeds the encoder so WriteFrame passes a pointer into an
+// already-heap-allocated pooled object — the interface call to encode
+// then forces no per-frame escape allocation.
+type frameBuf struct{ w buffer }
+
+// framePoolMax caps the buffers returned to the pool; an occasional
+// giant frame must not pin its buffer for the process lifetime.
+const framePoolMax = 1 << 20
+
+// WriteFrame writes one framed message: header and body leave in a
+// single Write from a pooled buffer. Event frames embed the events'
+// existing encodings verbatim — the only per-frame work is the copy into
+// the write buffer.
 func WriteFrame(w io.Writer, m Message) error {
-	var body buffer
-	m.encode(&body)
-	if len(body.b) > MaxFrame {
-		return fmt.Errorf("transport: frame too large (%d bytes)", len(body.b))
+	fb := framePool.Get().(*frameBuf)
+	if cap(fb.w.b) < frameHeader {
+		fb.w.b = make([]byte, frameHeader, 512)
 	}
-	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body.b)))
-	hdr[4] = byte(m.Type())
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("transport: write header: %w", err)
+	fb.w.b = fb.w.b[:frameHeader] // header bytes are patched below
+	m.encode(&fb.w)
+	n := len(fb.w.b) - frameHeader
+	if n > MaxFrame {
+		if cap(fb.w.b) <= framePoolMax {
+			framePool.Put(fb)
+		}
+		return fmt.Errorf("transport: frame too large (%d bytes)", n)
 	}
-	if _, err := w.Write(body.b); err != nil {
-		return fmt.Errorf("transport: write body: %w", err)
+	binary.BigEndian.PutUint32(fb.w.b[:4], uint32(n))
+	fb.w.b[4] = byte(m.Type())
+	_, err := w.Write(fb.w.b)
+	if cap(fb.w.b) <= framePoolMax {
+		framePool.Put(fb)
+	}
+	if err != nil {
+		return fmt.Errorf("transport: write frame: %w", err)
 	}
 	return nil
 }
 
-// ReadFrame reads one framed message.
+// ReadFrame reads one framed message without cross-frame name interning
+// (one-shot readers, tests). Connection read loops should use a
+// FrameReader instead.
 func ReadFrame(rd io.Reader) (Message, error) {
-	var hdr [5]byte
+	return readFrame(rd, nil)
+}
+
+// FrameReader reads frames from one connection, interning attribute and
+// class names across the connection's lifetime so repeated event shapes
+// decode allocation-free. Not safe for concurrent use.
+type FrameReader struct {
+	r  io.Reader
+	in *event.Interner
+}
+
+// NewFrameReader wraps a connection's read side.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r, in: event.NewInterner()}
+}
+
+// ReadFrame reads one framed message.
+func (fr *FrameReader) ReadFrame() (Message, error) {
+	return readFrame(fr.r, fr.in)
+}
+
+func readFrame(rd io.Reader, in *event.Interner) (Message, error) {
+	var hdr [frameHeader]byte
 	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
 		return nil, err // io.EOF passes through for clean shutdown
 	}
@@ -268,11 +247,13 @@ func ReadFrame(rd io.Reader) (Message, error) {
 	if n > MaxFrame {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
 	}
+	// The body is deliberately not pooled: Raw views decoded from event
+	// frames alias it for their whole lifetime.
 	body := make([]byte, n)
 	if _, err := io.ReadFull(rd, body); err != nil {
 		return nil, fmt.Errorf("transport: read body: %w", err)
 	}
-	m, err := decodeMessage(MsgType(hdr[4]), body)
+	m, err := decodeMessage(MsgType(hdr[4]), body, in)
 	if err != nil {
 		return nil, err
 	}

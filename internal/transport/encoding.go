@@ -1,31 +1,20 @@
 package transport
 
 import (
-	"fmt"
-
 	"eventsys/internal/event"
 )
 
-// AppendEvent appends the compact binary encoding of e (the same encoding
-// Publish/Deliver frames carry on the wire) to dst and returns the
-// extended slice. The durable store reuses it for on-disk record bodies,
-// so a stored event and a wire event are byte-identical.
+// AppendEvent appends the compact binary encoding of e (the same
+// encoding Publish/Deliver frames carry on the wire) to dst and returns
+// the extended slice. The canonical encoding lives in package event;
+// this wrapper survives for callers that still speak in terms of the
+// transport.
 func AppendEvent(dst []byte, e *event.Event) []byte {
-	w := buffer{b: dst}
-	w.event(e)
-	return w.b
+	return event.AppendEncoded(dst, e)
 }
 
 // DecodeEvent decodes one event from b, which must contain exactly one
 // encoded event with no trailing bytes.
 func DecodeEvent(b []byte) (*event.Event, error) {
-	r := &reader{b: b}
-	e := r.event()
-	if r.err != nil {
-		return nil, r.err
-	}
-	if r.off != len(b) {
-		return nil, fmt.Errorf("transport: %d trailing bytes after event", len(b)-r.off)
-	}
-	return e, nil
+	return event.Decode(b)
 }

@@ -54,7 +54,7 @@ func mustFilter() *filter.Filter {
 
 // peerSeedFrames returns one valid instance of every federation frame.
 func peerSeedFrames() []Message {
-	ev := event.NewBuilder("Stock").Str("symbol", "ACME").Float("price", 9.5).ID(7).Build()
+	ev := event.EncodeRaw(event.NewBuilder("Stock").Str("symbol", "ACME").Float("price", 9.5).ID(7).Build())
 	return []Message{
 		PeerHello{ID: "B1", Addr: "127.0.0.1:7001"},
 		SubUpdate{Entry: SubEntry{Hops: 2, Filter: mustFilter()}},
@@ -63,7 +63,7 @@ func peerSeedFrames() []Message {
 			{Hops: 3, Filter: filter.MustParseFilter(`class = "Bond"`)},
 		}},
 		Forward{Event: ev},
-		ForwardBatch{Events: []*event.Event{ev, ev}},
+		ForwardBatch{Events: []*event.Raw{ev, ev}},
 	}
 }
 

@@ -63,9 +63,11 @@ type Hello struct {
 	Addr string
 }
 
-// Publish injects an event (publisher → broker, parent → child).
+// Publish injects an event (publisher → broker, parent → child). The
+// event travels as its canonical encoded form: the publisher encodes
+// once, and every broker hop matches and relays the same bytes.
 type Publish struct {
-	Event *event.Event
+	Event *event.Raw
 }
 
 // PublishBatch injects a batch of events in one frame (publisher →
@@ -74,12 +76,13 @@ type Publish struct {
 // preserves the publisher's ordering exactly as a sequence of Publish
 // frames would.
 type PublishBatch struct {
-	Events []*event.Event
+	Events []*event.Raw
 }
 
-// Deliver hands an event to a subscriber (broker → subscriber).
+// Deliver hands an event to a subscriber (broker → subscriber). The
+// subscriber runtime is the only place the raw event is materialized.
 type Deliver struct {
-	Event *event.Event
+	Event *event.Raw
 }
 
 // Subscribe runs one step of the Figure 5 placement protocol.
@@ -164,14 +167,14 @@ type SubUpdate struct {
 // the receiver matches it locally and relays it to every other peer link
 // with a matching interest, never back to the sender).
 type Forward struct {
-	Event *event.Event
+	Event *event.Raw
 }
 
 // ForwardBatch is Forward for a run of events in one frame, amortizing
 // framing and syscalls exactly as PublishBatch does on the publish path.
 // Slice order is the sender's forwarding order.
 type ForwardBatch struct {
-	Events []*event.Event
+	Events []*event.Raw
 }
 
 // Credit grants the recipient the right to transmit Grant more events
@@ -225,13 +228,13 @@ func (m Hello) encode(w *buffer) {
 	w.str(m.Addr)
 }
 
-func (m Publish) encode(w *buffer) { w.event(m.Event) }
-func (m Deliver) encode(w *buffer) { w.event(m.Event) }
+func (m Publish) encode(w *buffer) { w.raw(m.Event) }
+func (m Deliver) encode(w *buffer) { w.raw(m.Event) }
 
 func (m PublishBatch) encode(w *buffer) {
 	w.uvarint(uint64(len(m.Events)))
 	for _, e := range m.Events {
-		w.event(e)
+		w.raw(e)
 	}
 }
 
@@ -289,12 +292,12 @@ func (m SubSet) encode(w *buffer) {
 
 func (m SubUpdate) encode(w *buffer) { m.Entry.encode(w) }
 
-func (m Forward) encode(w *buffer) { w.event(m.Event) }
+func (m Forward) encode(w *buffer) { w.raw(m.Event) }
 
 func (m ForwardBatch) encode(w *buffer) {
 	w.uvarint(uint64(len(m.Events)))
 	for _, e := range m.Events {
-		w.event(e)
+		w.raw(e)
 	}
 }
 
@@ -335,14 +338,14 @@ func (r *reader) subEntry() SubEntry {
 	return SubEntry{Hops: int(hops), Filter: r.filter()}
 }
 
-func decodeMessage(t MsgType, body []byte) (Message, error) {
-	r := &reader{b: body}
+func decodeMessage(t MsgType, body []byte, in *event.Interner) (Message, error) {
+	r := &reader{b: body, in: in}
 	var m Message
 	switch t {
 	case TypeHello:
 		m = Hello{Kind: PeerKind(r.u8()), ID: r.str(), Addr: r.str()}
 	case TypePublish:
-		m = Publish{Event: r.event()}
+		m = Publish{Event: r.rawEvent()}
 	case TypePublishBatch:
 		n := r.uvarint()
 		if n > uint64(len(body)) {
@@ -355,13 +358,13 @@ func decodeMessage(t MsgType, body []byte) (Message, error) {
 		if capHint > 1024 {
 			capHint = 1024
 		}
-		pb := PublishBatch{Events: make([]*event.Event, 0, capHint)}
+		pb := PublishBatch{Events: make([]*event.Raw, 0, capHint)}
 		for i := uint64(0); i < n && r.err == nil; i++ {
-			pb.Events = append(pb.Events, r.event())
+			pb.Events = append(pb.Events, r.rawEvent())
 		}
 		m = pb
 	case TypeDeliver:
-		m = Deliver{Event: r.event()}
+		m = Deliver{Event: r.rawEvent()}
 	case TypePeerHello:
 		m = PeerHello{ID: r.str(), Addr: r.str()}
 	case TypeSubSet:
@@ -381,7 +384,7 @@ func decodeMessage(t MsgType, body []byte) (Message, error) {
 	case TypeSubUpdate:
 		m = SubUpdate{Entry: r.subEntry()}
 	case TypeForward:
-		m = Forward{Event: r.event()}
+		m = Forward{Event: r.rawEvent()}
 	case TypeForwardBatch:
 		n := r.uvarint()
 		if n > uint64(len(body)) {
@@ -391,9 +394,9 @@ func decodeMessage(t MsgType, body []byte) (Message, error) {
 		if capHint > 1024 {
 			capHint = 1024
 		}
-		fb := ForwardBatch{Events: make([]*event.Event, 0, capHint)}
+		fb := ForwardBatch{Events: make([]*event.Raw, 0, capHint)}
 		for i := uint64(0); i < n && r.err == nil; i++ {
-			fb.Events = append(fb.Events, r.event())
+			fb.Events = append(fb.Events, r.rawEvent())
 		}
 		m = fb
 	case TypeCredit:

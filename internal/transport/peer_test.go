@@ -53,9 +53,9 @@ func TestSubSetEmptyRoundTrip(t *testing.T) {
 
 func TestForwardRoundTrip(t *testing.T) {
 	e := event.NewBuilder("Stock").Str("symbol", "ACME").Float("price", 9.5).ID(42).Build()
-	got := roundTrip(t, Forward{Event: e}).(Forward)
-	if !got.Event.Equal(e) || got.Event.ID != 42 {
-		t.Errorf("event round trip: %s vs %s", got.Event, e)
+	got := roundTrip(t, Forward{Event: event.EncodeRaw(e)}).(Forward)
+	if !got.Event.Event().Equal(e) || got.Event.EventID() != 42 {
+		t.Errorf("event round trip: %s vs %s", got.Event.Event(), e)
 	}
 }
 
@@ -65,13 +65,17 @@ func TestForwardBatchRoundTrip(t *testing.T) {
 		event.NewBuilder("Stock").Str("symbol", "B").ID(2).Build(),
 		event.NewBuilder("Bond").Int("rate", 3).ID(3).Build(),
 	}
-	got := roundTrip(t, ForwardBatch{Events: events}).(ForwardBatch)
+	raws := make([]*event.Raw, len(events))
+	for i, e := range events {
+		raws[i] = event.EncodeRaw(e)
+	}
+	got := roundTrip(t, ForwardBatch{Events: raws}).(ForwardBatch)
 	if len(got.Events) != len(events) {
 		t.Fatalf("events = %d, want %d", len(got.Events), len(events))
 	}
 	for i := range events {
-		if !got.Events[i].Equal(events[i]) || got.Events[i].ID != events[i].ID {
-			t.Errorf("event %d mismatch: %s vs %s", i, got.Events[i], events[i])
+		if !got.Events[i].Event().Equal(events[i]) || got.Events[i].EventID() != events[i].ID {
+			t.Errorf("event %d mismatch: %s vs %s", i, got.Events[i].Event(), events[i])
 		}
 	}
 }
@@ -114,8 +118,8 @@ func TestPeerFramesTruncated(t *testing.T) {
 		PeerHello{ID: "B1", Addr: "h:1"},
 		SubUpdate{Entry: SubEntry{Hops: 2, Filter: filter.MustParseFilter(`class = "Stock" && price < 10`)}},
 		SubSet{Entries: []SubEntry{{Hops: 1, Filter: filter.MustParseFilter(`x = 1`)}}},
-		Forward{Event: event.NewBuilder("T").Int("x", 1).ID(9).Build()},
-		ForwardBatch{Events: []*event.Event{event.NewBuilder("T").Int("x", 1).ID(9).Build()}},
+		Forward{Event: event.EncodeRaw(event.NewBuilder("T").Int("x", 1).ID(9).Build())},
+		ForwardBatch{Events: []*event.Raw{event.EncodeRaw(event.NewBuilder("T").Int("x", 1).ID(9).Build())}},
 	}
 	for _, m := range frames {
 		var buf bytes.Buffer

@@ -47,26 +47,26 @@ func TestPublishDeliverRoundTrip(t *testing.T) {
 		Payload([]byte{0, 1, 2, 255}).
 		ID(77).
 		Build()
-	got := roundTrip(t, Publish{Event: e}).(Publish)
-	if !got.Event.Equal(e) || got.Event.ID != 77 || !bytes.Equal(got.Event.Payload, e.Payload) {
-		t.Errorf("event round trip: %s vs %s", got.Event, e)
+	got := roundTrip(t, Publish{Event: event.EncodeRaw(e)}).(Publish)
+	if !got.Event.Event().Equal(e) || got.Event.EventID() != 77 || !bytes.Equal(got.Event.Payload(), e.Payload) {
+		t.Errorf("event round trip: %s vs %s", got.Event.Event(), e)
 	}
-	// Kinds survive exactly.
+	// Kinds survive exactly — through the lazy raw view and the decode.
 	v, _ := got.Event.Lookup("volume")
 	if v.Kind() != event.KindInt {
 		t.Errorf("volume kind = %v", v.Kind())
 	}
-	d := roundTrip(t, Deliver{Event: e}).(Deliver)
-	if !d.Event.Equal(e) {
+	d := roundTrip(t, Deliver{Event: event.EncodeRaw(e)}).(Deliver)
+	if !d.Event.Event().Equal(e) {
 		t.Error("deliver round trip failed")
 	}
 }
 
 func TestEmptyEventRoundTrip(t *testing.T) {
 	e := event.New("X")
-	got := roundTrip(t, Publish{Event: e}).(Publish)
-	if !got.Event.Equal(e) || got.Event.Payload != nil {
-		t.Errorf("empty event round trip: %+v", got.Event)
+	got := roundTrip(t, Publish{Event: event.EncodeRaw(e)}).(Publish)
+	if !got.Event.Event().Equal(e) || got.Event.Payload() != nil {
+		t.Errorf("empty event round trip: %+v", got.Event.Event())
 	}
 }
 
@@ -143,7 +143,7 @@ func TestMultipleFramesSequential(t *testing.T) {
 	var buf bytes.Buffer
 	msgs := []Message{
 		Hello{Kind: PeerPublisher, ID: "p"},
-		Publish{Event: event.New("A")},
+		Publish{Event: event.EncodeRaw(event.New("A"))},
 		Renew{ID: "x", Filter: filter.MustParseFilter(`a = 1`)},
 	}
 	for _, m := range msgs {
@@ -240,9 +240,9 @@ func TestRandomEventFilterRoundTripProperty(t *testing.T) {
 	rng := rand.New(rand.NewPCG(77, 88))
 	for i := 0; i < 500; i++ {
 		e := randomEvent(rng)
-		got := roundTrip(t, Publish{Event: e}).(Publish)
-		if !got.Event.Equal(e) {
-			t.Fatalf("event diverged: %s vs %s", got.Event, e)
+		got := roundTrip(t, Publish{Event: event.EncodeRaw(e)}).(Publish)
+		if !got.Event.Event().Equal(e) {
+			t.Fatalf("event diverged: %s vs %s", got.Event.Event(), e)
 		}
 		f := randomFilter(rng)
 		gotF := roundTrip(t, Subscribe{SubscriberID: "s", Filter: f}).(Subscribe)

@@ -21,6 +21,10 @@
 #   outdir/BENCH_<n>.json  the same text wrapped in a JSON envelope
 #                          (goos/goarch/commit/date + the verbatim
 #                          benchstat-compatible text in .benchstat_text)
+#
+# To compare two runs — and gate on regressions of the forward/deliver
+# benchmarks, as CI does against the previous run's artifact — use:
+#   sh scripts/bench_compare.sh old/BENCH_1.txt new/BENCH_1.txt 20
 set -eu
 
 COUNT="${1:-1}"
