@@ -31,6 +31,7 @@ import (
 	"eventsys/internal/index"
 	"eventsys/internal/mesh"
 	"eventsys/internal/object"
+	"eventsys/internal/obs"
 	"eventsys/internal/sim"
 	"eventsys/internal/store"
 	"eventsys/internal/transport"
@@ -345,6 +346,10 @@ func BenchmarkForwardPath(b *testing.B) {
 		}
 	}
 	frames := stream.Bytes()
+	// The raw path carries the production tracing guards with a
+	// disabled tracer — the cost the bench gate pins at ~zero: one
+	// atomic load per frame, no stamps, no histogram writes.
+	tracer := obs.NewTracer()
 	for _, mode := range []string{"raw", "decoded"} {
 		b.Run(mode, func(b *testing.B) {
 			rd := bytes.NewReader(frames)
@@ -360,9 +365,15 @@ func BenchmarkForwardPath(b *testing.B) {
 				}
 				fwd := m.(transport.Forward)
 				if mode == "raw" {
+					if tracer.Enabled() {
+						fwd.Event.SetStamp(obs.Nanotime())
+					}
 					table.Match(fwd.Event)
 					if err := transport.WriteFrame(io.Discard, fwd); err != nil {
 						b.Fatal(err)
+					}
+					if tracer.Enabled() {
+						tracer.Observe(obs.HopForward, fwd.Event.Stamp())
 					}
 					continue
 				}
@@ -376,6 +387,62 @@ func BenchmarkForwardPath(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkForwardPathTraced is the raw forward hop of
+// BenchmarkForwardPath with hop-latency tracing ENABLED: each frame is
+// stamped on read and the match and forward stages record into the
+// tracer's histograms. Compare its ns/op and allocs/op against
+// BenchmarkForwardPath/raw to read the tracing overhead directly
+// (scripts/bench.sh emits the comparison as FORWARD_PATH.txt).
+func BenchmarkForwardPathTraced(b *testing.B) {
+	bib, err := workload.NewBiblio(7, workload.DefaultBiblio())
+	if err != nil {
+		b.Fatal(err)
+	}
+	table := index.NewCountingTable(nil)
+	for i := 0; i < 1000; i++ {
+		table.Insert(bib.Subscription(0.1, true), fmt.Sprintf("s%d", i))
+	}
+	const ring = 256
+	var stream bytes.Buffer
+	for i := 0; i < ring; i++ {
+		ev := bib.Event()
+		ev.ID = uint64(i + 1)
+		if err := transport.WriteFrame(&stream, transport.Forward{Event: event.EncodeRaw(ev)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	frames := stream.Bytes()
+	tracer := obs.NewTracer()
+	tracer.Enable(true)
+	rd := bytes.NewReader(frames)
+	fr := transport.NewFrameReader(rd)
+	b.ReportAllocs()
+	for b.Loop() {
+		if rd.Len() == 0 {
+			rd.Reset(frames)
+		}
+		m, err := fr.ReadFrame()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fwd := m.(transport.Forward)
+		if tracer.Enabled() {
+			fwd.Event.SetStamp(obs.Nanotime())
+		}
+		table.Match(fwd.Event)
+		tracer.Observe(obs.HopMatch, fwd.Event.Stamp())
+		if err := transport.WriteFrame(io.Discard, fwd); err != nil {
+			b.Fatal(err)
+		}
+		if tracer.Enabled() {
+			tracer.Observe(obs.HopForward, fwd.Event.Stamp())
+		}
+	}
+	if tracer.Hist(obs.HopForward).Count() == 0 {
+		b.Fatal("traced benchmark recorded nothing")
 	}
 }
 

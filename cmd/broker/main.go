@@ -30,6 +30,7 @@ import (
 	"eventsys/internal/broker"
 	"eventsys/internal/flow"
 	"eventsys/internal/index"
+	"eventsys/internal/obs"
 )
 
 func main() {
@@ -61,6 +62,9 @@ func run(args []string) error {
 	storeMax := fs.Int64("store-max-bytes", 0, "bound on the store's retained log (0 = unbounded)")
 	flowPolicy := fs.String("flow-policy", "block", "slow-consumer policy: block, drop-newest, drop-oldest, or spill")
 	flowWindow := fs.Int("flow-window", 0, "queue bound and sender credit window (0 = default 1024)")
+	obsAddr := fs.String("obs-addr", "", "observability HTTP listen address serving /metrics, /healthz, /readyz, /debug/status and /debug/pprof (empty = disabled)")
+	trace := fs.Bool("trace", false, "record hop-level latency histograms (match/forward/deliver) on /metrics")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,7 +88,12 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	level := new(slog.LevelVar)
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", *logLevel)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	reg := obs.NewRegistry()
 	srv, err := broker.Serve(broker.ServerConfig{
 		ID:            *id,
 		Stage:         *stage,
@@ -102,16 +111,33 @@ func run(args []string) error {
 		StoreMaxBytes: *storeMax,
 		FlowPolicy:    policy,
 		FlowWindow:    *flowWindow,
+		Obs:           reg,
+		Trace:         *trace,
 	})
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
+	var osrv *obs.Server
+	if *obsAddr != "" {
+		osrv, err = obs.Serve(*obsAddr, reg)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		fmt.Printf("observability on http://%s/metrics\n", osrv.Addr())
+	}
 	fmt.Printf("broker %s (stage %d) listening on %s\n", *id, *stage, srv.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+	// Flip /healthz first, then drain the broker while the listener
+	// still serves the 503, then stop the listener.
+	reg.SetHealthy(false)
+	srv.Close()
+	if osrv != nil {
+		_ = osrv.Close()
+	}
 	return nil
 }

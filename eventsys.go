@@ -42,6 +42,7 @@ import (
 	"eventsys/internal/index"
 	"eventsys/internal/metrics"
 	"eventsys/internal/object"
+	"eventsys/internal/obs"
 	"eventsys/internal/overlay"
 	"eventsys/internal/store"
 	"eventsys/internal/typing"
@@ -134,6 +135,18 @@ type Options struct {
 	// knob replacing the per-queue defaults of 256 for mailboxes and 64
 	// for delivery queues).
 	FlowWindow int
+	// ObsAddr, when non-empty, starts an observability HTTP listener
+	// ("127.0.0.1:0" for ephemeral — read it back with System.ObsAddr)
+	// serving /metrics in Prometheus text format, /healthz, /readyz,
+	// /debug/status (JSON introspection) and /debug/pprof. Empty runs
+	// without a listener.
+	ObsAddr string
+	// Trace enables hop-level latency tracing: each Publish stamps the
+	// event and the match/forward/deliver stages record
+	// elapsed-since-publish histograms, exposed as the
+	// eventsys_hop_latency_seconds family on /metrics. Off by default —
+	// the disabled path is a single atomic load per event.
+	Trace bool
 }
 
 // EngineKind selects a matching-engine implementation at brokers.
@@ -217,6 +230,10 @@ type System struct {
 	reg *typing.Registry
 	st  *store.Store
 
+	obsReg *obs.Registry
+	obsSrv *obs.Server // nil without Options.ObsAddr
+	tracer *obs.Tracer
+
 	mu     sync.Mutex
 	orders map[string][]string // class -> advertised attribute order
 	stages int
@@ -243,6 +260,8 @@ func New(opts Options) (*System, error) {
 		}
 	}
 	reg := typing.NewRegistry()
+	tracer := obs.NewTracer()
+	tracer.Enable(opts.Trace)
 	ov, err := overlay.New(overlay.Config{
 		Fanouts:      opts.Fanouts,
 		TTL:          opts.TTL,
@@ -256,6 +275,7 @@ func New(opts Options) (*System, error) {
 		FlowWindow:   opts.FlowWindow,
 		Store:        st,
 		Seed:         opts.Seed,
+		Tracer:       tracer,
 	})
 	if err != nil {
 		if st != nil {
@@ -263,22 +283,76 @@ func New(opts Options) (*System, error) {
 		}
 		return nil, err
 	}
-	return &System{
+	s := &System{
 		ov:     ov,
 		reg:    reg,
 		st:     st,
+		obsReg: obs.NewRegistry(),
+		tracer: tracer,
 		orders: make(map[string][]string),
 		stages: len(opts.Fanouts) + 1,
-	}, nil
+	}
+	s.obsReg.Register(func(w *obs.MetricWriter) {
+		obs.CollectNodeStats(w, s.ov.Stats()...)
+		obs.CollectFlow(w, "system", s.ov.FlowStats())
+		if s.st != nil {
+			obs.CollectStore(w, "system", s.st.Stats())
+		}
+		s.tracer.Collect(w, "node", "system")
+	})
+	s.obsReg.RegisterStatus("system", func() any {
+		status := map[string]any{
+			"stages":  s.stages,
+			"stats":   s.ov.Stats(),
+			"flow":    s.ov.FlowStats(),
+			"tracing": s.tracer.Enabled(),
+		}
+		if s.st != nil {
+			status["store"] = s.st.Stats()
+		}
+		return status
+	})
+	if opts.ObsAddr != "" {
+		srv, err := obs.Serve(opts.ObsAddr, s.obsReg)
+		if err != nil {
+			s.ov.Close()
+			if st != nil {
+				st.Close()
+			}
+			return nil, err
+		}
+		s.obsSrv = srv
+	}
+	return s, nil
 }
+
+// ObsAddr returns the bound address of the observability listener, or
+// "" when the System runs without one (Options.ObsAddr empty).
+func (s *System) ObsAddr() string {
+	if s.obsSrv == nil {
+		return ""
+	}
+	return s.obsSrv.Addr()
+}
+
+// ObsRegistry exposes the System's observability registry so embedding
+// applications can contribute their own metric and status sources, or
+// serve it from an existing HTTP mux instead of Options.ObsAddr.
+func (s *System) ObsRegistry() *obs.Registry { return s.obsReg }
 
 // Close shuts the system down and waits for all of its goroutines. With a
 // DataDir, the durable store is flushed (outstanding appends and cursors)
 // and closed last, so a clean Close loses nothing.
 func (s *System) Close() {
+	// Flip health first: scrapers and load balancers see the drain
+	// before the listener disappears.
+	s.obsReg.SetHealthy(false)
 	s.ov.Close()
 	if s.st != nil {
 		s.st.Close()
+	}
+	if s.obsSrv != nil {
+		_ = s.obsSrv.Close()
 	}
 }
 

@@ -2,12 +2,14 @@ package eventsys
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"eventsys/internal/broker"
 	"eventsys/internal/filter"
 	"eventsys/internal/flow"
 	"eventsys/internal/index"
+	"eventsys/internal/obs"
 	"eventsys/internal/typing"
 )
 
@@ -69,11 +71,26 @@ type BrokerOptions struct {
 	// credit window granted to senders (default 1024).
 	FlowPolicy FlowPolicy
 	FlowWindow int
+	// ObsAddr, when non-empty, starts an observability HTTP listener
+	// ("127.0.0.1:0" for ephemeral — read it back with Broker.ObsAddr)
+	// serving /metrics (Prometheus text format), /healthz, /readyz,
+	// /debug/status and /debug/pprof for this broker.
+	ObsAddr string
+	// Trace enables hop-level latency tracing: inbound events are
+	// stamped on arrival and the match/forward/deliver stages record
+	// elapsed-since-arrival histograms on /metrics. Off by default.
+	Trace bool
+	// Logger receives the broker's operational logs (peer link
+	// lifecycle, store recovery and compaction, flow stalls). Nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 // Broker is a running networked broker node.
 type Broker struct {
-	srv *broker.Server
+	srv    *broker.Server
+	obsReg *obs.Registry
+	obsSrv *obs.Server // nil without BrokerOptions.ObsAddr
 }
 
 // PeerLinkStats is a point-in-time snapshot of one federation link (see
@@ -99,6 +116,7 @@ func ServeBroker(opts BrokerOptions) (*Broker, error) {
 	case DurabilityOS:
 		syncEvery = -1
 	}
+	reg := obs.NewRegistry()
 	srv, err := broker.Serve(broker.ServerConfig{
 		ID:            opts.ID,
 		Stage:         opts.Stage,
@@ -111,23 +129,59 @@ func ServeBroker(opts BrokerOptions) (*Broker, error) {
 		Shards:        opts.Shards,
 		MaxBatch:      opts.MaxBatch,
 		Seed:          opts.Seed,
+		Logger:        opts.Logger,
 		DataDir:       opts.DataDir,
 		SyncEvery:     syncEvery,
 		StoreMaxBytes: opts.StoreMaxBytes,
 		FlowPolicy:    flow.Policy(opts.FlowPolicy),
 		FlowWindow:    opts.FlowWindow,
+		Obs:           reg,
+		Trace:         opts.Trace,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Broker{srv: srv}, nil
+	b := &Broker{srv: srv, obsReg: reg}
+	if opts.ObsAddr != "" {
+		osrv, err := obs.Serve(opts.ObsAddr, reg)
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		b.obsSrv = osrv
+	}
+	return b, nil
 }
+
+// ObsAddr returns the bound address of the broker's observability
+// listener, or "" when it runs without one (BrokerOptions.ObsAddr
+// empty).
+func (b *Broker) ObsAddr() string {
+	if b.obsSrv == nil {
+		return ""
+	}
+	return b.obsSrv.Addr()
+}
+
+// ObsRegistry exposes the broker's observability registry so embedding
+// applications can contribute their own sources or serve it from an
+// existing HTTP mux instead of BrokerOptions.ObsAddr.
+func (b *Broker) ObsRegistry() *obs.Registry { return b.obsReg }
 
 // Addr returns the broker's bound listen address.
 func (b *Broker) Addr() string { return b.srv.Addr() }
 
 // Close shuts the broker down, flushing and closing its durable store.
-func (b *Broker) Close() { b.srv.Close() }
+// The /healthz verdict flips to 503 first, then the broker drains, then
+// the observability listener (if any) stops — so scrapers can watch the
+// drain.
+func (b *Broker) Close() {
+	b.obsReg.SetHealthy(false)
+	b.srv.Close()
+	if b.obsSrv != nil {
+		_ = b.obsSrv.Close()
+	}
+}
 
 // Stats snapshots the broker's node metrics (LC/RLC/MR inputs plus the
 // federation-plane counters).

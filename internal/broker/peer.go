@@ -7,6 +7,8 @@ import (
 
 	"eventsys/internal/event"
 	"eventsys/internal/flow"
+	"eventsys/internal/metrics"
+	"eventsys/internal/obs"
 	"eventsys/internal/peering"
 	"eventsys/internal/transport"
 )
@@ -289,6 +291,11 @@ func (s *Server) forwardToPeer(link *peerLink, evs []*event.Raw) {
 	case flow.Enqueued:
 		link.forwards += uint64(len(evs))
 		s.counters.AddPeerForwarded(uint64(len(evs)))
+		if s.tracer.Enabled() {
+			for _, ev := range evs {
+				s.tracer.Observe(obs.HopForward, ev.Stamp())
+			}
+		}
 	case flow.Stopped:
 		// The link died mid-route: spool for the reconnect.
 		s.spoolTo(link, evs)
@@ -305,7 +312,7 @@ func (s *Server) spoolTo(link *peerLink, evs []*event.Raw) {
 		return
 	}
 	link.dropped += uint64(len(evs))
-	s.counters.AddDropped(uint64(len(evs)))
+	s.counters.AddDroppedFor(metrics.DropNoStore, uint64(len(evs)))
 	s.log.Warn("peer link unreachable and no store; dropping", "peer", link.id, "events", len(evs))
 }
 

@@ -55,6 +55,7 @@ import (
 	"eventsys/internal/flow"
 	"eventsys/internal/index"
 	"eventsys/internal/metrics"
+	"eventsys/internal/obs"
 	"eventsys/internal/peering"
 	"eventsys/internal/routing"
 	"eventsys/internal/store"
@@ -133,16 +134,28 @@ type ServerConfig struct {
 	// FlowWindow bounds each of those queues and sets the event credit
 	// window granted to senders (default 1024).
 	FlowWindow int
+	// Obs, when non-nil, receives the broker's observability surfaces:
+	// node counters (with reason-labeled drops), queue gauges, peer-link
+	// and store families, hop-latency histograms, and a /debug/status
+	// section. Several brokers may share one registry — every series
+	// carries a node label.
+	Obs *obs.Registry
+	// Trace enables hop-level latency tracing: inbound events are
+	// stamped on arrival and the match/forward/deliver stages record
+	// elapsed-since-arrival histograms. Off (the default), the stamp
+	// path is a single atomic load per frame.
+	Trace bool
 }
 
 // Server is a running broker node.
 type Server struct {
-	cfg   ServerConfig
-	log   *slog.Logger
-	node  *routing.Node
-	ads   *typing.AdvertisementSet
-	rng   *rand.Rand
-	store *store.Store // nil without DataDir
+	cfg    ServerConfig
+	log    *slog.Logger
+	node   *routing.Node
+	ads    *typing.AdvertisementSet
+	rng    *rand.Rand
+	store  *store.Store // nil without DataDir
+	tracer *obs.Tracer
 
 	ln     net.Listener
 	ctx    context.Context
@@ -154,6 +167,11 @@ type Server struct {
 
 	mu    sync.Mutex
 	conns map[*peerConn]struct{}
+
+	// stallLogNS rate-limits flow-stall logging: backpressure engaging
+	// is operator-relevant, but a sustained stall fires OnStall per
+	// push and must not flood the log.
+	stallLogNS atomic.Int64
 
 	// core-owned state (no locking needed):
 	views     []event.View // reusable batch-matching scratch
@@ -267,11 +285,14 @@ func (s *Server) newPeerConn(c net.Conn) *peerConn {
 		done:     make(chan struct{}), writerDone: make(chan struct{}),
 	}
 	pc.out = flow.New(flow.Config[transport.Message]{
-		Window:  s.cfg.FlowWindow,
-		Policy:  s.cfg.FlowPolicy,
-		Spill:   func(m transport.Message) bool { return s.spillConn(pc, m) },
-		OnDrop:  func(m transport.Message) { s.dropConn(pc, m) },
-		OnStall: func() { s.counters.AddStalled(1) },
+		Window: s.cfg.FlowWindow,
+		Policy: s.cfg.FlowPolicy,
+		Spill:  func(m transport.Message) bool { return s.spillConn(pc, m) },
+		OnDrop: func(m transport.Message) { s.dropConn(pc, m) },
+		OnStall: func() {
+			s.counters.AddStalled(1)
+			s.logStall("out/" + pc.id)
+		},
 		Stop:    pc.done,
 		AltStop: s.ctx.Done(),
 	})
@@ -288,6 +309,19 @@ func (pc *peerConn) tryCtl(m transport.Message) bool {
 	default:
 		return false
 	}
+}
+
+// logStall logs a Block-policy stall — the operator-visible trace of
+// end-to-end backpressure engaging — at most once per 5 seconds across
+// all of the broker's queues; the per-queue stall counters carry the
+// full picture.
+func (s *Server) logStall(queue string) {
+	now := obs.Nanotime()
+	last := s.stallLogNS.Load()
+	if now-last < int64(5*time.Second) || !s.stallLogNS.CompareAndSwap(last, now) {
+		return
+	}
+	s.log.Warn("flow stall: backpressure engaged", "queue", queue)
 }
 
 // addGrant credits the remote with g events: the amount accumulates on
@@ -385,7 +419,7 @@ func (s *Server) dropConn(pc *peerConn, m transport.Message) {
 	if n == 0 {
 		return
 	}
-	s.counters.AddDropped(n)
+	s.counters.AddDroppedFor(metrics.DropQueueFull, n)
 	if pc.link != nil {
 		pc.link.dropped += n
 	}
@@ -431,6 +465,8 @@ func Serve(cfg ServerConfig) (*Server, error) {
 	}
 	engine := index.KindFor(cfg.Engine, cfg.UseCounting)
 	s.counters = &metrics.Counters{}
+	s.tracer = obs.NewTracer()
+	s.tracer.Enable(cfg.Trace)
 	parentID := routing.NodeID("")
 	if cfg.ParentAddr != "" {
 		parentID = "parent" // real ID unknown until dial; only IsRoot matters
@@ -452,7 +488,7 @@ func Serve(cfg ServerConfig) (*Server, error) {
 		Counters:    s.counters,
 	})
 	if cfg.DataDir != "" {
-		st, err := store.Open(cfg.DataDir, store.Options{SyncEvery: cfg.SyncEvery, MaxBytes: cfg.StoreMaxBytes})
+		st, err := store.Open(cfg.DataDir, store.Options{SyncEvery: cfg.SyncEvery, MaxBytes: cfg.StoreMaxBytes, Logger: s.log})
 		if err != nil {
 			ln.Close()
 			return nil, err
@@ -480,15 +516,18 @@ func Serve(cfg ServerConfig) (*Server, error) {
 		Evictable: evictableCoreEvent,
 		OnDrop: func(ev coreEvent) {
 			if n := coreEventCount(ev); n > 0 {
-				s.counters.AddDropped(uint64(n))
+				s.counters.AddDroppedFor(metrics.DropInletShed, uint64(n))
 				// A shed event is consumed all the same: repay its
 				// credit, or drops would bleed the sender's window dry
 				// and turn a shedding policy into a permanent stall.
 				s.grantTo(ev.pc, n)
 			}
 		},
-		OnStall: func() { s.counters.AddStalled(1) },
-		Stop:    s.ctx.Done(),
+		OnStall: func() {
+			s.counters.AddStalled(1)
+			s.logStall("inlet")
+		},
+		Stop: s.ctx.Done(),
 	})
 
 	if cfg.ParentAddr != "" {
@@ -518,8 +557,95 @@ func Serve(cfg ServerConfig) (*Server, error) {
 		s.wg.Add(1)
 		go s.ticker()
 	}
+	if cfg.Obs != nil {
+		s.registerObs(cfg.Obs)
+	}
 	s.log.Info("broker listening", "addr", s.Addr())
 	return s, nil
+}
+
+// Tracer returns the broker's hop-latency tracer (never nil).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// StoreStats snapshots the durable store's counters; the zero value
+// without a DataDir.
+func (s *Server) StoreStats() store.Stats {
+	if s.store == nil {
+		return store.Stats{}
+	}
+	return s.store.Stats()
+}
+
+// registerObs contributes the broker's metric and status sources to
+// reg. Node, queue, store and hop-latency families read atomics and
+// never block. Peer-link stats live in core-owned state, so that
+// source snapshots through the core with a deadline and serves the
+// last good snapshot when the core is stalled — a Block-policy wedge
+// must not take /metrics down with it.
+func (s *Server) registerObs(reg *obs.Registry) {
+	var peerMu sync.Mutex
+	var peerLast []PeerLinkStats
+	peerSnap := func() []PeerLinkStats {
+		fresh := make(chan []PeerLinkStats, 1)
+		go func() { fresh <- s.PeerStats() }()
+		select {
+		case st := <-fresh:
+			peerMu.Lock()
+			peerLast = st
+			peerMu.Unlock()
+			return st
+		case <-time.After(200 * time.Millisecond):
+			peerMu.Lock()
+			defer peerMu.Unlock()
+			return peerLast
+		}
+	}
+	reg.Register(func(w *obs.MetricWriter) {
+		obs.CollectNodeStats(w, s.Stats())
+		obs.CollectFlow(w, s.cfg.ID, s.FlowStats())
+		if s.store != nil {
+			obs.CollectStore(w, s.cfg.ID, s.store.Stats())
+		}
+		s.tracer.Collect(w, "node", s.cfg.ID)
+		for _, st := range peerSnap() {
+			l := []string{"node", s.cfg.ID, "peer", st.Peer}
+			up := 0.0
+			if st.Up {
+				up = 1
+			}
+			w.Gauge("eventsys_peer_link_up",
+				"Whether the federation link is currently connected.", up, l...)
+			w.Gauge("eventsys_peer_link_interests",
+				"Interest filters learned from the peer.", float64(st.Interests), l...)
+			w.Counter("eventsys_peer_link_sent_updates_total",
+				"Subscription updates sent over the link.", float64(st.Sent), l...)
+			w.Counter("eventsys_peer_link_forwarded_events_total",
+				"Events forwarded to the peer.", float64(st.Forwards), l...)
+			w.Counter("eventsys_peer_link_spooled_events_total",
+				"Events spooled to the store while the link was down or saturated.",
+				float64(st.Spooled), l...)
+			w.Counter("eventsys_peer_link_dropped_events_total",
+				"Events for the peer dropped (no store to spool to).", float64(st.Dropped), l...)
+			w.Counter("eventsys_peer_link_resyncs_total",
+				"Full SubSet resyncs on reconnect.", float64(st.Resyncs), l...)
+			w.Gauge("eventsys_peer_link_pending_events",
+				"Spooled backlog awaiting replay to the peer.", float64(st.Pending), l...)
+		}
+	})
+	reg.RegisterStatus("broker/"+s.cfg.ID, func() any {
+		return map[string]any{
+			"id":         s.cfg.ID,
+			"stage":      s.cfg.Stage,
+			"addr":       s.Addr(),
+			"stats":      s.Stats(),
+			"flow":       s.FlowStats(),
+			"peers":      peerSnap(),
+			"store":      s.StoreStats(),
+			"tracing":    s.tracer.Enabled(),
+			"dataDir":    s.cfg.DataDir,
+			"flowPolicy": s.cfg.FlowPolicy.String(),
+		}
+	})
 }
 
 // Addr returns the broker's bound listen address.
@@ -637,6 +763,16 @@ func (s *Server) readLoop(pc *peerConn) {
 			pc.peerAcked.Store(true)
 			continue
 		}
+		// Stamp inbound events for hop tracing while this reader still
+		// owns the views exclusively (one atomic load when disabled).
+		if s.tracer.Enabled() {
+			if evs := eventsOf(m); len(evs) > 0 {
+				now := obs.Nanotime()
+				for _, ev := range evs {
+					ev.SetStamp(now)
+				}
+			}
+		}
 		s.post(coreEvent{pc: pc, msg: m})
 	}
 }
@@ -715,6 +851,11 @@ func (s *Server) writeLoop(pc *peerConn) {
 		if !s.writeFrame(pc, m) {
 			return
 		}
+		if s.tracer.Enabled() {
+			for _, ev := range eventsOf(m) {
+				s.tracer.Observe(obs.HopDeliver, ev.Stamp())
+			}
+		}
 	}
 }
 
@@ -743,7 +884,7 @@ func (s *Server) post(ev coreEvent) {
 // counted — lease renewal repairs subscription state if it ever hits.
 func (s *Server) sendTo(pc *peerConn, m transport.Message) {
 	if !pc.tryCtl(m) {
-		s.counters.AddDropped(1)
+		s.counters.AddDroppedFor(metrics.DropControlFull, 1)
 		s.log.Warn("control channel full; dropping", "peer", pc.id, "type", fmt.Sprintf("%T", m))
 	}
 }
@@ -1015,7 +1156,7 @@ func (s *Server) salvageQueued(pc *peerConn, key string, link *peerLink) {
 		s.log.Info("salvaged undelivered queue", "key", key, "events", len(evs))
 	} else if link != nil {
 		link.dropped += uint64(len(evs))
-		s.counters.AddDropped(uint64(len(evs)))
+		s.counters.AddDroppedFor(metrics.DropLinkLost, uint64(len(evs)))
 		s.log.Warn("peer link queue lost", "peer", link.id, "events", len(evs))
 	}
 }
@@ -1196,6 +1337,13 @@ func (s *Server) flushPublishBatch(events []*event.Raw, fromPeer peering.LinkID)
 		s.views = append(s.views, ev)
 	}
 	routes := s.node.HandleEventBatch(s.views)
+	if s.tracer.Enabled() {
+		for _, ev := range events {
+			if ev != nil {
+				s.tracer.Observe(obs.HopMatch, ev.Stamp())
+			}
+		}
+	}
 	var childOrder, storeOrder []routing.NodeID
 	var toChild, toStore map[routing.NodeID][]*event.Raw
 	for i, ids := range routes {
@@ -1245,7 +1393,11 @@ func (s *Server) flushPublishBatch(events []*event.Raw, fromPeer peering.LinkID)
 		// per-event path would. A Stopped push means the child vanished
 		// mid-route — its events are lost with the connection, counted.
 		if out := dst.out.Push(m); out == flow.Stopped {
-			s.counters.AddDropped(uint64(len(evs)))
+			s.counters.AddDroppedFor(metrics.DropConnClosed, uint64(len(evs)))
+		} else if s.tracer.Enabled() {
+			for _, ev := range evs {
+				s.tracer.Observe(obs.HopForward, ev.Stamp())
+			}
 		}
 	}
 	for _, id := range storeOrder {
@@ -1268,7 +1420,7 @@ func (s *Server) routeToSubscriber(dst *peerConn, id routing.NodeID, ev *event.R
 		if s.storeFor(string(id), ev) {
 			s.counters.AddSpilled(1)
 		} else {
-			s.counters.AddDropped(1)
+			s.counters.AddDroppedFor(metrics.DropNoStore, 1)
 		}
 		return
 	}
@@ -1278,8 +1430,10 @@ func (s *Server) routeToSubscriber(dst *peerConn, id routing.NodeID, ev *event.R
 	// mid-route: persist for its return when the store knows it.
 	if out := dst.out.Push(transport.Deliver{Event: ev}); out == flow.Stopped {
 		if !s.storeFor(string(id), ev) {
-			s.counters.AddDropped(1)
+			s.counters.AddDroppedFor(metrics.DropConnClosed, 1)
 		}
+	} else {
+		s.tracer.Observe(obs.HopForward, ev.Stamp())
 	}
 }
 
@@ -1293,7 +1447,7 @@ func (s *Server) storeBatchFor(subID string, evs []*event.Raw) bool {
 	n, bytes, err := s.store.AppendBatch(subID, evs)
 	if err != nil {
 		s.log.Warn("store append failed", "subscriber", subID, "err", err)
-		s.counters.AddDropped(uint64(len(evs) - n))
+		s.counters.AddDroppedFor(metrics.DropStoreError, uint64(len(evs)-n))
 	}
 	if n > 0 {
 		s.counters.AddStoreAppended(uint64(n))
@@ -1314,7 +1468,7 @@ func (s *Server) storeFor(subID string, ev *event.Raw) bool {
 	_, n, err := s.store.Append(subID, ev)
 	if err != nil {
 		s.log.Warn("store append failed", "subscriber", subID, "err", err)
-		s.counters.AddDropped(1)
+		s.counters.AddDroppedFor(metrics.DropStoreError, 1)
 		return true // accounted for; don't double-count as a queue drop
 	}
 	s.counters.AddStoreAppended(1)

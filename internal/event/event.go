@@ -65,7 +65,19 @@ type Event struct {
 	// raw is the at-most-once encoded form (see Raw): the spill and wire
 	// paths of one process share a single encoding of the event.
 	raw atomic.Pointer[Raw]
+
+	// stamp is the hop-tracing arrival timestamp (obs.Nanotime units),
+	// zero when tracing is off. Set before the event is shared.
+	stamp int64
 }
+
+// SetStamp records the hop-tracing arrival timestamp. Call it only
+// before the event is shared across goroutines.
+func (e *Event) SetStamp(ns int64) { e.stamp = ns }
+
+// Stamp returns the hop-tracing arrival timestamp, or zero when the
+// event was not stamped (tracing disabled).
+func (e *Event) Stamp() int64 { return e.stamp }
 
 // Class returns the event class name (View).
 func (e *Event) Class() string { return e.Type }

@@ -31,6 +31,11 @@ type Raw struct {
 	// Lookup); dec is the at-most-once materialized *Event.
 	idx atomic.Pointer[map[string]int]
 	dec atomic.Pointer[Event]
+
+	// stamp is the hop-tracing arrival timestamp (obs.Nanotime units),
+	// zero when tracing is off. It rides the in-process view only — never
+	// the wire bytes — and must be set before the Raw is shared.
+	stamp int64
 }
 
 // rawAttr locates one attribute inside the encoded bytes: its interned
@@ -78,7 +83,7 @@ func (in *Interner) Intern(b []byte) string {
 // (encode at publish, deliver in-process) never decodes at all.
 func EncodeRaw(e *Event) *Raw {
 	b := AppendEncoded(nil, e)
-	r := &Raw{b: b, class: e.Type, id: e.ID}
+	r := &Raw{b: b, class: e.Type, id: e.ID, stamp: e.stamp}
 	// Re-derive attribute offsets with a cheap skip-walk (names and value
 	// framing only; values are not decoded).
 	off := skipString(b, 0)
@@ -198,6 +203,14 @@ func ParseRawAt(b []byte, off int, in *Interner) (*Raw, int, error) {
 	return r, off, nil
 }
 
+// SetStamp records the hop-tracing arrival timestamp. Call it only on
+// the goroutine that constructed the Raw, before any concurrent sharing.
+func (r *Raw) SetStamp(ns int64) { r.stamp = ns }
+
+// Stamp returns the hop-tracing arrival timestamp, or zero when the
+// event was not stamped (tracing disabled).
+func (r *Raw) Stamp() int64 { return r.stamp }
+
 // Bytes returns the encoded event, exactly as it travels on the wire and
 // lands in the store. Callers must not mutate it.
 func (r *Raw) Bytes() []byte { return r.b }
@@ -310,6 +323,7 @@ func (r *Raw) Event() *Event {
 		// buffer was mutated, which the Raw contract forbids.
 		panic(fmt.Sprintf("event: validated raw failed to decode: %v", err))
 	}
+	e.stamp = r.stamp
 	if !r.dec.CompareAndSwap(nil, e) {
 		return r.dec.Load()
 	}

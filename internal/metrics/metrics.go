@@ -8,6 +8,62 @@ import (
 	"sync/atomic"
 )
 
+// DropReason classifies why an event was dropped, so every drop site in
+// the system maps to exactly one exported series
+// (eventsys_node_dropped_events_total{reason=...}). The reasons
+// partition NodeStats.Dropped: the per-reason counts always sum to it.
+type DropReason uint8
+
+const (
+	// DropQueueFull: a bounded queue's drop policy (DropNewest /
+	// DropOldest) shed the event at a saturated mailbox, delivery queue
+	// or outbound connection queue.
+	DropQueueFull DropReason = iota
+	// DropInletShed: the broker's core inlet shed an inbound event
+	// frame under a drop policy (its credit was repaid to the sender).
+	DropInletShed
+	// DropControlFull: a control frame was refused by a connection's
+	// saturated control channel (a wedged writer); lease renewal
+	// repairs any lost subscription state.
+	DropControlFull
+	// DropConnClosed: the destination connection vanished mid-route and
+	// the event had no durable cursor to land in.
+	DropConnClosed
+	// DropLinkLost: a federation peer link died with undeliverable
+	// events in its queue and no spool could absorb them in order.
+	DropLinkLost
+	// DropStoreError: the durable store failed to append an event that
+	// was bound for it.
+	DropStoreError
+	// DropNoStore: an event needed backlog storage (spill, detached
+	// durable subscriber, saturated peer link) but the node runs
+	// without a store or the target has no cursor.
+	DropNoStore
+	// NumDropReasons bounds the reason space (array sizing).
+	NumDropReasons
+)
+
+// String returns the reason's exported label value.
+func (r DropReason) String() string {
+	switch r {
+	case DropQueueFull:
+		return "queue_full"
+	case DropInletShed:
+		return "inlet_shed"
+	case DropControlFull:
+		return "control_full"
+	case DropConnClosed:
+		return "conn_closed"
+	case DropLinkLost:
+		return "link_lost"
+	case DropStoreError:
+		return "store_error"
+	case DropNoStore:
+		return "no_store"
+	}
+	return "unknown"
+}
+
 // Counters accumulates per-node event statistics. All methods are safe
 // for concurrent use.
 type Counters struct {
@@ -18,6 +74,7 @@ type Counters struct {
 	filters   atomic.Int64
 
 	dropped       atomic.Uint64
+	droppedBy     [NumDropReasons]atomic.Uint64
 	storeAppended atomic.Uint64
 	storeReplayed atomic.Uint64
 	storedBytes   atomic.Uint64
@@ -54,7 +111,21 @@ func (c *Counters) SetFilters(n int) { c.filters.Store(int64(n)) }
 
 // AddDropped records n messages dropped on the floor — e.g. events
 // enqueued for a saturated peer's outbound queue in the networked broker.
-func (c *Counters) AddDropped(n uint64) { c.dropped.Add(n) }
+//
+// Deprecated: use AddDroppedFor with an explicit reason; this records
+// under DropQueueFull, the historical meaning of most call sites.
+func (c *Counters) AddDropped(n uint64) { c.AddDroppedFor(DropQueueFull, n) }
+
+// AddDroppedFor records n messages dropped for the given reason. The
+// total (Dropped) and the per-reason count move together, so the
+// reason-labeled series always sum to the total.
+func (c *Counters) AddDroppedFor(r DropReason, n uint64) {
+	if r >= NumDropReasons {
+		r = DropQueueFull
+	}
+	c.dropped.Add(n)
+	c.droppedBy[r].Add(n)
+}
 
 // AddStoreAppended records n events appended to the durable store on
 // behalf of this node's subscription.
@@ -118,8 +189,16 @@ func (c *Counters) Forwarded() uint64 { return c.forwarded.Load() }
 // Delivered returns the delivered-events count.
 func (c *Counters) Delivered() uint64 { return c.delivered.Load() }
 
-// Dropped returns the dropped-messages count.
+// Dropped returns the dropped-messages count (all reasons).
 func (c *Counters) Dropped() uint64 { return c.dropped.Load() }
+
+// DroppedFor returns the dropped-messages count for one reason.
+func (c *Counters) DroppedFor(r DropReason) uint64 {
+	if r >= NumDropReasons {
+		return 0
+	}
+	return c.droppedBy[r].Load()
+}
 
 // StoreAppended returns the events-appended-to-store count.
 func (c *Counters) StoreAppended() uint64 { return c.storeAppended.Load() }
@@ -165,6 +244,10 @@ func (c *Counters) Filters() int { return int(c.filters.Load()) }
 
 // Stats assembles a snapshot of the counters under the given identity.
 func (c *Counters) Stats(nodeID string, stage int) NodeStats {
+	var by [NumDropReasons]uint64
+	for r := range by {
+		by[r] = c.droppedBy[r].Load()
+	}
 	return NodeStats{
 		NodeID:         nodeID,
 		Stage:          stage,
@@ -174,6 +257,7 @@ func (c *Counters) Stats(nodeID string, stage int) NodeStats {
 		Forwarded:      c.Forwarded(),
 		Delivered:      c.Delivered(),
 		Dropped:        c.Dropped(),
+		DroppedBy:      by,
 		StoreAppended:  c.StoreAppended(),
 		StoreReplayed:  c.StoreReplayed(),
 		StoredBytes:    c.StoredBytes(),
@@ -201,8 +285,12 @@ type NodeStats struct {
 	Delivered uint64
 	// Dropped counts messages lost at this node: events bound for a
 	// saturated peer's outbound queue in the networked broker, or events
-	// evicted from a bounded in-memory durable backlog.
-	Dropped uint64
+	// evicted from a bounded in-memory durable backlog. DroppedBy breaks
+	// the same total down by DropReason (indexed by reason; the entries
+	// always sum to Dropped), so the conservation identity published ==
+	// delivered + dropped + stored can be audited per cause.
+	Dropped   uint64
+	DroppedBy [NumDropReasons]uint64
 	// StoreAppended, StoreReplayed and StoredBytes describe the node's
 	// durable-store traffic: events persisted for detached durable
 	// subscriptions, events replayed from the store on Resume or after a

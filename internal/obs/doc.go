@@ -1,0 +1,42 @@
+// Package obs is the system's observability layer: it aggregates every
+// stats surface the system already produces — per-node metrics.NodeStats
+// counters (the inputs of the paper's LC/RLC/MR), flow.Snapshot queue
+// gauges, federation PeerLinkStats, durable-store store.Stats — into one
+// Registry and serves it in Prometheus text exposition format
+// (text/plain; version=0.0.4) over an opt-in HTTP listener, alongside
+// /healthz, /readyz, net/http/pprof, and a /debug/status JSON
+// introspection endpoint.
+//
+// The package is dependency-free by design: the exposition writer is
+// hand-rolled (no Prometheus client library), histograms are fixed-bucket
+// atomic counters, and the hop-latency Tracer has an atomic no-op fast
+// path so a broker built with tracing disabled pays one atomic load per
+// frame and nothing else (pinned by BenchmarkForwardPath and the CI
+// bench gate).
+//
+// # Exposition model
+//
+// Sources register with Registry.Register and are called at scrape time
+// with a MetricWriter. A source adds samples to named families; the
+// writer groups samples of one family together even when several sources
+// (e.g. two brokers in one test process) contribute to it, so the output
+// is always well-formed exposition. ValidateExposition is the in-repo
+// conformance checker used by tests and the CI endpoint smoke job.
+//
+// # Hop-level latency tracing
+//
+// When tracing is enabled, inbound events are stamped on arrival (the
+// publish stamp) and the stamp travels with the in-process event view
+// (event.Raw / event.Event) through the pipeline. Each stage then
+// records the elapsed time since arrival into a fixed-bucket histogram:
+//
+//	publish ──► match ──────► forward ─────► deliver
+//	 stamp      HopMatch      HopForward     HopDeliver
+//	            (matched in   (enqueued to   (written to the
+//	            a table pass) an outbound    socket / handed to
+//	                          queue)         the handler)
+//
+// The three series are cumulative-since-arrival, so per-stage deltas are
+// derivable by subtraction, and the deliver series is the broker's
+// residence time end to end.
+package obs

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets are the fixed upper bounds (seconds) of the
+// hop-latency histograms: 10µs to 10s, roughly ×2.5 per step. Fixed
+// buckets keep Observe allocation-free and branch-cheap — one linear
+// scan over 13 bounds — and make scrapes mergeable across brokers.
+var DefaultLatencyBuckets = []float64{
+	10e-6, 25e-6, 100e-6, 250e-6,
+	1e-3, 2.5e-3, 10e-3, 25e-3,
+	100e-3, 250e-3, 1, 2.5, 10,
+}
+
+// Histogram is a fixed-bucket cumulative histogram with atomic counters:
+// Observe is lock-free and safe from any goroutine (writer loops,
+// subscriber runtimes and the core all record into the same instance).
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []atomic.Uint64
+	sumNS  atomic.Int64 // total observed duration, nanoseconds
+	count  atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds
+// (seconds). Nil bounds use DefaultLatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	sec := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && sec > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot returns a point-in-time copy for exposition. Counts are
+// per-bucket (non-cumulative); MetricWriter.Histogram accumulates them
+// into the cumulative _bucket series the text format requires.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    time.Duration(h.sumNS.Load()).Seconds(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable snapshot of a Histogram: per-bucket
+// counts (Counts[len(Bounds)] is the overflow bucket) and the sum of
+// observations in seconds.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+}

@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// render drives a writer through fill and returns the exposition text,
+// failing the test on accumulation or render errors.
+func render(t *testing.T, fill func(w *MetricWriter)) string {
+	t.Helper()
+	mw := NewMetricWriter()
+	fill(mw)
+	var b strings.Builder
+	if err := mw.Render(&b); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	return b.String()
+}
+
+func TestWriterRendersSortedValidExposition(t *testing.T) {
+	out := render(t, func(w *MetricWriter) {
+		w.Counter("eventsys_z_total", "Last family.", 3, "node", "a")
+		w.Gauge("eventsys_a_depth", "First family.", 7, "node", "a", "queue", "inlet")
+		w.Counter("eventsys_z_total", "Last family.", 4, "node", "b")
+	})
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("own output fails own validator: %v\n%s", err, out)
+	}
+	// Families render in name order, samples from several calls merge
+	// under one TYPE header.
+	if !strings.Contains(out, "# TYPE eventsys_a_depth gauge") ||
+		!strings.Contains(out, "# TYPE eventsys_z_total counter") {
+		t.Fatalf("missing TYPE lines:\n%s", out)
+	}
+	if strings.Index(out, "eventsys_a_depth") > strings.Index(out, "eventsys_z_total") {
+		t.Fatalf("families not in name order:\n%s", out)
+	}
+	if got := strings.Count(out, "# TYPE eventsys_z_total"); got != 1 {
+		t.Fatalf("counter family split across %d TYPE headers:\n%s", got, out)
+	}
+	if !strings.Contains(out, `eventsys_z_total{node="a"} 3`) ||
+		!strings.Contains(out, `eventsys_z_total{node="b"} 4`) {
+		t.Fatalf("samples missing:\n%s", out)
+	}
+}
+
+func TestWriterEscapesLabelValuesAndHelp(t *testing.T) {
+	out := render(t, func(w *MetricWriter) {
+		w.Gauge("eventsys_esc", "help with \\ and\nnewline", 1,
+			"path", "a\\b\"c\nd")
+	})
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("escaped output invalid: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, `path="a\\b\"c\nd"`) {
+		t.Fatalf("label value not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `# HELP eventsys_esc help with \\ and\nnewline`) {
+		t.Fatalf("help not escaped:\n%s", out)
+	}
+}
+
+func TestWriterRejectsMalformedInput(t *testing.T) {
+	cases := []struct {
+		name string
+		fill func(w *MetricWriter)
+	}{
+		{"kind conflict", func(w *MetricWriter) {
+			w.Counter("eventsys_x", "h", 1)
+			w.Gauge("eventsys_x", "h", 1)
+		}},
+		{"odd labels", func(w *MetricWriter) {
+			w.Counter("eventsys_x", "h", 1, "node")
+		}},
+		{"bad metric name", func(w *MetricWriter) {
+			w.Counter("1bad", "h", 1)
+		}},
+		{"bad label name", func(w *MetricWriter) {
+			w.Counter("eventsys_x", "h", 1, "bad-label", "v")
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mw := NewMetricWriter()
+			tc.fill(mw)
+			if mw.Err() == nil {
+				t.Fatal("accumulation error not reported")
+			}
+			if err := mw.Render(io.Discard); err == nil {
+				t.Fatal("render succeeded on poisoned writer")
+			}
+		})
+	}
+}
+
+func TestHistogramBucketsAndSnapshot(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.1, 1})
+	h.Observe(500 * time.Microsecond) // bucket 0 (le 0.001)
+	h.Observe(50 * time.Millisecond)  // bucket 1 (le 0.1)
+	h.Observe(50 * time.Millisecond)  // bucket 1
+	h.Observe(5 * time.Second)        // overflow
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+	s := h.Snapshot()
+	want := []uint64{1, 2, 0, 1}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Fatalf("Counts = %v, want %v", s.Counts, want)
+		}
+	}
+	wantSum := (500*time.Microsecond + 100*time.Millisecond + 5*time.Second).Seconds()
+	if diff := s.Sum - wantSum; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("Sum = %v, want %v", s.Sum, wantSum)
+	}
+
+	// The rendered histogram must satisfy the validator's cumulative,
+	// le-ordered, +Inf-terminated contract.
+	out := render(t, func(w *MetricWriter) {
+		w.Histogram("eventsys_h_seconds", "h", s, "node", "n1")
+	})
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("histogram exposition invalid: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, `eventsys_h_seconds_bucket{node="n1",le="+Inf"} 4`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `eventsys_h_seconds_count{node="n1"} 4`) {
+		t.Fatalf("missing _count:\n%s", out)
+	}
+}
+
+func TestTracerDisabledAndNilAreNoOps(t *testing.T) {
+	var nilT *Tracer
+	if nilT.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	nilT.Enable(true) // must not panic
+	if nilT.Stamp() != 0 {
+		t.Fatal("nil tracer stamped")
+	}
+
+	tr := NewTracer()
+	if tr.Enabled() {
+		t.Fatal("new tracer starts enabled")
+	}
+	if s := tr.Stamp(); s != 0 {
+		t.Fatalf("disabled Stamp = %d, want 0", s)
+	}
+	tr.Observe(HopMatch, Nanotime()) // disabled: dropped
+	tr.Enable(true)
+	tr.Observe(HopMatch, 0) // zero stamp: dropped
+	if n := tr.Hist(HopMatch).Count(); n != 0 {
+		t.Fatalf("no-op paths recorded %d observations", n)
+	}
+
+	stamp := tr.Stamp()
+	if stamp == 0 {
+		t.Fatal("enabled Stamp returned 0")
+	}
+	tr.Observe(HopMatch, stamp)
+	tr.Observe(HopDeliver, stamp)
+	if tr.Hist(HopMatch).Count() != 1 || tr.Hist(HopDeliver).Count() != 1 {
+		t.Fatal("enabled observations not recorded")
+	}
+
+	out := render(t, func(w *MetricWriter) { tr.Collect(w, "node", "n1") })
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("tracer exposition invalid: %v\n%s", err, out)
+	}
+	for _, hop := range []string{"match", "forward", "deliver"} {
+		if !strings.Contains(out, fmt.Sprintf(`hop="%s"`, hop)) {
+			t.Fatalf("hop %s missing:\n%s", hop, out)
+		}
+	}
+}
+
+func TestValidatorCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"sample before TYPE",
+			"eventsys_x_total 1\n", "before its TYPE"},
+		{"duplicate series",
+			"# TYPE eventsys_x_total counter\neventsys_x_total{a=\"1\"} 1\neventsys_x_total{a=\"1\"} 2\n",
+			"duplicate series"},
+		{"interleaved families",
+			"# TYPE a_total counter\na_total 1\n# TYPE b_total counter\nb_total 1\na_total{x=\"1\"} 2\n",
+			"interleaved"},
+		{"negative counter",
+			"# TYPE eventsys_x_total counter\neventsys_x_total -1\n", "counter"},
+		{"missing +Inf",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"+Inf"},
+		{"non-cumulative buckets",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+			"cumulative"},
+		{"count mismatch",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n",
+			"_count"},
+		{"missing sum",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n",
+			"_sum"},
+		{"bad label quoting",
+			"# TYPE eventsys_x counter\neventsys_x{a=1} 1\n", "not quoted"},
+		{"duplicate TYPE",
+			"# TYPE a_total counter\n# TYPE a_total counter\na_total 1\n",
+			"duplicate TYPE"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateExposition(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("accepted invalid exposition:\n%s", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(func(w *MetricWriter) {
+		w.Counter("eventsys_test_total", "Test counter.", 42, "node", "n1")
+	})
+	reg.RegisterStatus("test", func() any { return map[string]any{"answer": 42} })
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if err := ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics invalid: %v", err)
+	}
+	if !strings.Contains(body, `eventsys_test_total{node="n1"} 42`) {
+		t.Fatalf("registered source missing:\n%s", body)
+	}
+
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz status %d while healthy", code)
+	}
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz status %d while ready", code)
+	}
+
+	code, body = get("/debug/status")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/status status %d", code)
+	}
+	var doc map[string]map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/debug/status not JSON: %v\n%s", err, body)
+	}
+	if doc["test"]["answer"] != float64(42) {
+		t.Fatalf("/debug/status section wrong: %v", doc)
+	}
+
+	// Health flips deterministically on SetHealthy — the same switch
+	// shutdown paths throw before draining.
+	reg.SetHealthy(false)
+	if code, _ := get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz status %d after SetHealthy(false), want 503", code)
+	}
+	reg.SetReady(false)
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz status %d after SetReady(false), want 503", code)
+	}
+	// Metrics keep serving through the drain window.
+	if code, _ := get("/metrics"); code != http.StatusOK {
+		t.Fatalf("/metrics status %d during drain", code)
+	}
+}

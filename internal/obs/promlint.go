@@ -1,0 +1,369 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks r for conformance with the Prometheus text
+// exposition format (version 0.0.4) plus the repo's own hygiene rules,
+// and returns the first violation found. It is the shared validator
+// behind the golden federation scrape test and the CI endpoint smoke
+// job (scripts/promcheck).
+//
+// Checked per family: valid metric and label names, TYPE known and
+// declared before any sample, one TYPE/HELP line each, all samples
+// contiguous (no family interleaving), no duplicate series, counter
+// values finite and non-negative. Histogram families must carry, per
+// label set, a le="+Inf" bucket, cumulative non-decreasing buckets in
+// ascending le order, and _sum/_count series with _count equal to the
+// +Inf bucket.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	type famState struct {
+		kind     Kind
+		hasType  bool
+		hasHelp  bool
+		closed   bool // a later family started; reappearing = interleaved
+		series   map[string]struct{}
+		hist     map[string][]bucket // histograms: base labels -> buckets
+		histSum  map[string]bool
+		histCnt  map[string]float64
+		histCntV map[string]bool
+	}
+	fams := make(map[string]*famState)
+	var current string
+	lineNo := 0
+
+	get := func(name string) *famState {
+		f, ok := fams[name]
+		if !ok {
+			f = &famState{
+				series:   make(map[string]struct{}),
+				hist:     make(map[string][]bucket),
+				histSum:  make(map[string]bool),
+				histCnt:  make(map[string]float64),
+				histCntV: make(map[string]bool),
+			}
+			fams[name] = f
+		}
+		return f
+	}
+	enter := func(name string) *famState {
+		f := get(name)
+		if current != name {
+			if cur, ok := fams[current]; ok && current != "" {
+				cur.closed = true
+			}
+			current = name
+		}
+		return f
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				name := fields[2]
+				if !validMetricName(name) {
+					return fmt.Errorf("line %d: invalid metric name %q in %s", lineNo, name, fields[1])
+				}
+				f := enter(name)
+				if f.closed {
+					return fmt.Errorf("line %d: family %s reappears after another family (interleaved)", lineNo, name)
+				}
+				if fields[1] == "TYPE" {
+					if f.hasType {
+						return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+					}
+					if len(f.series) > 0 {
+						return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+					}
+					if len(fields) < 4 {
+						return fmt.Errorf("line %d: TYPE line for %s missing type", lineNo, name)
+					}
+					switch Kind(fields[3]) {
+					case KindCounter, KindGauge, KindHistogram, "summary", "untyped":
+						f.kind = Kind(fields[3])
+					default:
+						return fmt.Errorf("line %d: unknown type %q for %s", lineNo, fields[3], name)
+					}
+					f.hasType = true
+				} else {
+					if f.hasHelp {
+						return fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+					}
+					f.hasHelp = true
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base, suffix := name, ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, sfx)
+			if trimmed != name {
+				if bf, ok := fams[trimmed]; ok && bf.kind == KindHistogram {
+					base, suffix = trimmed, sfx
+				}
+				break
+			}
+		}
+		f := enter(base)
+		if f.closed {
+			return fmt.Errorf("line %d: family %s reappears after another family (interleaved)", lineNo, base)
+		}
+		if !f.hasType {
+			return fmt.Errorf("line %d: sample for %s before its TYPE line", lineNo, base)
+		}
+		key := name + "|" + canonicalLabels(labels, "")
+		if _, dup := f.series[key]; dup {
+			return fmt.Errorf("line %d: duplicate series %s{%s}", lineNo, name, canonicalLabels(labels, ""))
+		}
+		f.series[key] = struct{}{}
+		if f.kind == KindCounter && (value < 0 || math.IsNaN(value) || math.IsInf(value, 0)) {
+			return fmt.Errorf("line %d: counter %s has non-monotonic-capable value %v", lineNo, name, value)
+		}
+		if f.kind == KindHistogram {
+			bk := canonicalLabels(labels, "le")
+			switch suffix {
+			case "_bucket":
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("line %d: histogram bucket %s missing le label", lineNo, name)
+				}
+				ub, err := parseLE(le)
+				if err != nil {
+					return fmt.Errorf("line %d: %w", lineNo, err)
+				}
+				f.hist[bk] = append(f.hist[bk], bucket{ub: ub, count: value})
+			case "_sum":
+				f.histSum[bk] = true
+			case "_count":
+				f.histCnt[bk] = value
+				f.histCntV[bk] = true
+			default:
+				return fmt.Errorf("line %d: histogram family %s has plain sample %s", lineNo, base, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	// Cross-series histogram coherence.
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		if f.kind != KindHistogram {
+			continue
+		}
+		for bk, buckets := range f.hist {
+			if !sort.SliceIsSorted(buckets, func(i, j int) bool { return buckets[i].ub < buckets[j].ub }) {
+				return fmt.Errorf("histogram %s{%s}: buckets out of le order", n, bk)
+			}
+			last := buckets[len(buckets)-1]
+			if !math.IsInf(last.ub, 1) {
+				return fmt.Errorf("histogram %s{%s}: missing le=\"+Inf\" bucket", n, bk)
+			}
+			for i := 1; i < len(buckets); i++ {
+				if buckets[i].count < buckets[i-1].count {
+					return fmt.Errorf("histogram %s{%s}: bucket counts not cumulative", n, bk)
+				}
+			}
+			if !f.histSum[bk] {
+				return fmt.Errorf("histogram %s{%s}: missing _sum", n, bk)
+			}
+			if !f.histCntV[bk] {
+				return fmt.Errorf("histogram %s{%s}: missing _count", n, bk)
+			}
+			if f.histCnt[bk] != last.count {
+				return fmt.Errorf("histogram %s{%s}: _count %v != +Inf bucket %v", n, bk, f.histCnt[bk], last.count)
+			}
+		}
+		for bk := range f.histCntV {
+			if _, ok := f.hist[bk]; !ok {
+				return fmt.Errorf("histogram %s{%s}: _count without buckets", n, bk)
+			}
+		}
+	}
+	return nil
+}
+
+type bucket struct {
+	ub    float64
+	count float64
+}
+
+// parseLE parses a le label value (+Inf allowed).
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le value %q", s)
+	}
+	return v, nil
+}
+
+// canonicalLabels renders a label map sorted by key, excluding skip —
+// the series-identity (and histogram base-labels) key.
+func canonicalLabels(labels map[string]string, skip string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == skip {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString("=")
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}
+
+// parseSample parses one sample line: name[{labels}] value [timestamp].
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = make(map[string]string)
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			for i < len(line) && line[i] == ',' {
+				i++
+			}
+			if i < len(line) && line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			if j >= len(line) {
+				return "", nil, 0, fmt.Errorf("unterminated label list")
+			}
+			lname := line[i:j]
+			if !validLabelName(lname) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", lname)
+			}
+			if j+1 >= len(line) || line[j+1] != '"' {
+				return "", nil, 0, fmt.Errorf("label %s: value not quoted", lname)
+			}
+			lval, rest, perr := parseQuoted(line[j+1:])
+			if perr != nil {
+				return "", nil, 0, fmt.Errorf("label %s: %w", lname, perr)
+			}
+			if _, dup := labels[lname]; dup {
+				return "", nil, 0, fmt.Errorf("duplicate label %s", lname)
+			}
+			labels[lname] = lval
+			i = len(line) - len(rest)
+		}
+	}
+	for i < len(line) && line[i] == ' ' {
+		i++
+	}
+	fields := strings.Fields(line[i:])
+	if len(fields) == 0 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("expected value (and optional timestamp), got %q", line[i:])
+	}
+	value, err = parsePromValue(fields[0])
+	if err != nil {
+		return "", nil, 0, err
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parsePromValue parses a sample value (Go float syntax plus +Inf/-Inf/
+// NaN spellings).
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return v, nil
+}
+
+// parseQuoted consumes a double-quoted, backslash-escaped string at the
+// start of s (s begins with the opening quote) and returns the decoded
+// value plus the remainder after the closing quote.
+func parseQuoted(s string) (string, string, error) {
+	if len(s) == 0 || s[0] != '"' {
+		return "", "", fmt.Errorf("missing opening quote")
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("bad escape \\%c", s[i+1])
+			}
+			i += 2
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+			i++
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}

@@ -1,0 +1,367 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is a Prometheus metric family type.
+type Kind string
+
+const (
+	// KindCounter is a monotonically increasing value.
+	KindCounter Kind = "counter"
+	// KindGauge is a value that can go up and down.
+	KindGauge Kind = "gauge"
+	// KindHistogram is a fixed-bucket cumulative distribution.
+	KindHistogram Kind = "histogram"
+)
+
+// Source contributes samples to a scrape. Sources run under the
+// registry's lock, once per scrape, and must be fast and non-blocking:
+// read atomic counters and gauges, never take a round-trip through a
+// core goroutine (a Block-policy stall must not wedge /metrics).
+type Source func(w *MetricWriter)
+
+// StatusSource contributes one named section to the /debug/status JSON
+// introspection document. The returned value is marshaled with
+// encoding/json.
+type StatusSource func() any
+
+// Registry aggregates metric sources and serves them as one coherent
+// exposition. The zero value is not ready; use NewRegistry. A Registry
+// is safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	sources []Source
+	status  []statusEntry
+
+	healthy atomic.Bool
+	ready   atomic.Bool
+}
+
+type statusEntry struct {
+	name string
+	fn   StatusSource
+}
+
+// NewRegistry returns an empty registry, healthy and ready.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.healthy.Store(true)
+	r.ready.Store(true)
+	return r
+}
+
+// Register adds a metric source. Sources are invoked in registration
+// order on every scrape.
+func (r *Registry) Register(src Source) {
+	r.mu.Lock()
+	r.sources = append(r.sources, src)
+	r.mu.Unlock()
+}
+
+// RegisterStatus adds a named section to the /debug/status document.
+// Registering the same name twice replaces the earlier section.
+func (r *Registry) RegisterStatus(name string, fn StatusSource) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.status {
+		if r.status[i].name == name {
+			r.status[i].fn = fn
+			return
+		}
+	}
+	r.status = append(r.status, statusEntry{name: name, fn: fn})
+}
+
+// SetHealthy flips the /healthz verdict: true serves 200, false 503.
+// Brokers flip it false first thing on shutdown so load balancers and
+// scrapers see the drain before the listener goes away.
+func (r *Registry) SetHealthy(ok bool) { r.healthy.Store(ok) }
+
+// Healthy reports the current /healthz verdict.
+func (r *Registry) Healthy() bool { return r.healthy.Load() }
+
+// SetReady flips the /readyz verdict.
+func (r *Registry) SetReady(ok bool) { r.ready.Store(ok) }
+
+// Ready reports the current /readyz verdict.
+func (r *Registry) Ready() bool { return r.ready.Load() }
+
+// WriteMetrics runs every source and writes the merged exposition to w.
+// Samples are grouped by family (several sources may contribute to one
+// family), families are emitted in name order, and the output conforms
+// to the Prometheus text format, version 0.0.4.
+func (r *Registry) WriteMetrics(w io.Writer) error {
+	mw := NewMetricWriter()
+	r.mu.Lock()
+	sources := append([]Source(nil), r.sources...)
+	r.mu.Unlock()
+	for _, src := range sources {
+		src(mw)
+	}
+	return mw.Render(w)
+}
+
+// statusSections snapshots the registered status sources (for the HTTP
+// handler).
+func (r *Registry) statusSections() []statusEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]statusEntry(nil), r.status...)
+}
+
+// family accumulates the samples of one metric family across sources.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	samples []sample
+}
+
+// sample is one exposition line: an optional suffix on the family name
+// (histograms use _bucket/_sum/_count), label pairs, and the value.
+type sample struct {
+	suffix string
+	labels []string // alternating key, value
+	value  float64
+}
+
+// MetricWriter accumulates samples into families and renders the merged
+// exposition. Not safe for concurrent use; each scrape builds its own.
+type MetricWriter struct {
+	families map[string]*family
+	err      error
+}
+
+// NewMetricWriter returns an empty writer. Registry scrapes build one
+// per scrape; tests may drive one directly.
+func NewMetricWriter() *MetricWriter {
+	return &MetricWriter{families: make(map[string]*family)}
+}
+
+// Err returns the first accumulation error (family redefined with a
+// different type, odd label list, invalid name). The registry surfaces
+// it as a scrape failure rather than emitting a malformed exposition.
+func (mw *MetricWriter) Err() error { return mw.err }
+
+func (mw *MetricWriter) fail(format string, args ...any) {
+	if mw.err == nil {
+		mw.err = fmt.Errorf(format, args...)
+	}
+}
+
+// fam returns (creating or checking) the named family.
+func (mw *MetricWriter) fam(name, help string, kind Kind) *family {
+	if !validMetricName(name) {
+		mw.fail("obs: invalid metric name %q", name)
+		return nil
+	}
+	f, ok := mw.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind}
+		mw.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		mw.fail("obs: family %s redefined as %s (was %s)", name, kind, f.kind)
+		return nil
+	}
+	return f
+}
+
+// checkLabels validates an alternating key/value label list.
+func (mw *MetricWriter) checkLabels(name string, labels []string) bool {
+	if len(labels)%2 != 0 {
+		mw.fail("obs: family %s: odd label list", name)
+		return false
+	}
+	for i := 0; i < len(labels); i += 2 {
+		if !validLabelName(labels[i]) {
+			mw.fail("obs: family %s: invalid label name %q", name, labels[i])
+			return false
+		}
+	}
+	return true
+}
+
+// Counter adds one sample to a counter family. labels alternate
+// key, value.
+func (mw *MetricWriter) Counter(name, help string, value float64, labels ...string) {
+	mw.add(name, help, KindCounter, value, labels)
+}
+
+// Gauge adds one sample to a gauge family.
+func (mw *MetricWriter) Gauge(name, help string, value float64, labels ...string) {
+	mw.add(name, help, KindGauge, value, labels)
+}
+
+func (mw *MetricWriter) add(name, help string, kind Kind, value float64, labels []string) {
+	f := mw.fam(name, help, kind)
+	if f == nil || !mw.checkLabels(name, labels) {
+		return
+	}
+	f.samples = append(f.samples, sample{labels: labels, value: value})
+}
+
+// Histogram adds one observation set to a histogram family: cumulative
+// _bucket series per upper bound plus +Inf, _sum and _count.
+func (mw *MetricWriter) Histogram(name, help string, h HistogramSnapshot, labels ...string) {
+	f := mw.fam(name, help, KindHistogram)
+	if f == nil || !mw.checkLabels(name, labels) {
+		return
+	}
+	cum := uint64(0)
+	for i, ub := range h.Bounds {
+		cum += h.Counts[i]
+		bl := append(append([]string(nil), labels...), "le", formatFloat(ub))
+		f.samples = append(f.samples, sample{suffix: "_bucket", labels: bl, value: float64(cum)})
+	}
+	cum += h.Counts[len(h.Bounds)]
+	bl := append(append([]string(nil), labels...), "le", "+Inf")
+	f.samples = append(f.samples, sample{suffix: "_bucket", labels: bl, value: float64(cum)})
+	f.samples = append(f.samples, sample{suffix: "_sum", labels: labels, value: h.Sum})
+	f.samples = append(f.samples, sample{suffix: "_count", labels: labels, value: float64(cum)})
+}
+
+// Render writes the accumulated families in name order.
+func (mw *MetricWriter) Render(w io.Writer) error {
+	if mw.err != nil {
+		return mw.err
+	}
+	names := make([]string, 0, len(mw.families))
+	for name := range mw.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := mw.families[name]
+		b.Reset()
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.help))
+		b.WriteString("\n# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(string(f.kind))
+		b.WriteByte('\n')
+		for _, s := range f.samples {
+			b.WriteString(f.name)
+			b.WriteString(s.suffix)
+			if len(s.labels) > 0 {
+				b.WriteByte('{')
+				for i := 0; i < len(s.labels); i += 2 {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					b.WriteString(s.labels[i])
+					b.WriteString(`="`)
+					b.WriteString(escapeLabelValue(s.labels[i+1]))
+					b.WriteByte('"')
+				}
+				b.WriteByte('}')
+			}
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(s.value))
+			b.WriteByte('\n')
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a sample value: integral values print without an
+// exponent or decimal point (counters stay grep-able), the rest use the
+// shortest round-trip form.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) && v >= -1e15 && v <= 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabelValue escapes backslash, double-quote and newline, as the
+// text format requires inside label values.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// validMetricName reports whether name matches the Prometheus metric
+// name grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server is a running observability HTTP listener. It serves:
+//
+//	/metrics       Prometheus text exposition of the Registry
+//	/healthz       200 while Registry.Healthy, 503 after shutdown flips it
+//	/readyz        200 while Registry.Ready
+//	/debug/status  JSON introspection: every registered status section
+//	/debug/pprof/  the standard runtime profiles
+//
+// One Server serves one Registry; several subsystems (broker, store,
+// tracer) register sources on the shared registry instead of each
+// binding a port.
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Serve binds addr (":0" for ephemeral — read it back with Addr) and
+// serves the registry's endpoints until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("obs: nil registry")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{reg: reg, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/debug/status", s.handleStatus)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener. It does not flip health — callers flip
+// Registry.SetHealthy(false) before tearing the system down, so the
+// drain is visible to scrapers while the broker still winds down.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.srv.Close() })
+	return s.closeErr
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WriteMetrics(w); err != nil {
+		// Headers are out; all we can do is abort the body so the
+		// scraper sees a broken response instead of a silently
+		// truncated exposition.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.reg.Healthy() {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	http.Error(w, "shutting down", http.StatusServiceUnavailable)
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.reg.Ready() {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	http.Error(w, "not ready", http.StatusServiceUnavailable)
+}
+
+// handleStatus renders every registered status section as one JSON
+// document — the runtime introspection endpoint (stats structs exactly
+// as the Go API reports them).
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	doc := make(map[string]any)
+	for _, e := range s.reg.statusSections() {
+		doc[e.name] = e.fn()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

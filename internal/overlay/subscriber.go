@@ -10,6 +10,7 @@ import (
 	"eventsys/internal/filter"
 	"eventsys/internal/flow"
 	"eventsys/internal/metrics"
+	"eventsys/internal/obs"
 	"eventsys/internal/routing"
 )
 
@@ -140,7 +141,7 @@ func (s *System) subscribe(id string, sub filter.Subscription, handler Handler, 
 		Spill:     h.spillFromQueue,
 		OnDrop: func(d delivery) {
 			h.dropped.Add(1)
-			h.counters.AddDropped(1)
+			h.counters.AddDroppedFor(metrics.DropQueueFull, 1)
 		},
 		OnStall: func() { h.counters.AddStalled(1) },
 		Stop:    h.done,
@@ -286,8 +287,11 @@ func (h *Handle) send(ev *event.Event) {
 		}
 		h.mu.Unlock()
 	}
-	if h.q.Push(delivery{ev: ev}) == flow.Spilled {
+	switch h.q.Push(delivery{ev: ev}) {
+	case flow.Spilled:
 		h.wakeDrain()
+	case flow.Enqueued:
+		h.sys.cfg.Tracer.Observe(obs.HopForward, ev.Stamp())
 	}
 }
 
@@ -434,7 +438,7 @@ func (h *Handle) bufferLocked(ev *event.Event, counters *metrics.Counters) {
 		// the durable store unbounded; production cannot).
 		h.backlog = h.backlog[1:]
 		h.dropped.Add(1)
-		counters.AddDropped(1)
+		counters.AddDroppedFor(metrics.DropQueueFull, 1)
 	}
 	h.backlog = append(h.backlog, ev)
 }
@@ -493,6 +497,7 @@ func (h *Handle) deliverOne(ev *event.Event, handler Handler, counters *metrics.
 	counters.AddMatched(1)
 	counters.AddDelivered(1)
 	h.delivered.Add(1)
+	h.sys.cfg.Tracer.Observe(obs.HopDeliver, ev.Stamp())
 	handler(ev)
 }
 

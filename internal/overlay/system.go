@@ -14,6 +14,7 @@ import (
 	"eventsys/internal/flow"
 	"eventsys/internal/index"
 	"eventsys/internal/metrics"
+	"eventsys/internal/obs"
 	"eventsys/internal/routing"
 	"eventsys/internal/store"
 	"eventsys/internal/typing"
@@ -84,6 +85,11 @@ type Config struct {
 	Store *store.Store
 	// Seed drives placement randomness deterministically.
 	Seed uint64
+	// Tracer, when non-nil and enabled, records hop-level latency:
+	// Publish stamps the event, and the match, delivery-queue and
+	// handler-handoff stages record elapsed-since-publish histograms.
+	// Nil is a no-op.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) withDefaults() Config {
@@ -263,7 +269,7 @@ func (s *System) buildActors() {
 					Window:    s.cfg.InboxSize,
 					Policy:    mailboxPolicy(s.cfg.FlowPolicy),
 					Evictable: evictableMessage,
-					OnDrop:    func(m message) { counters.AddDropped(eventsIn(m)) },
+					OnDrop:    func(m message) { counters.AddDroppedFor(metrics.DropQueueFull, eventsIn(m)) },
 					OnStall:   func() { counters.AddStalled(1) },
 					Stop:      s.ctx.Done(),
 				}),
@@ -362,6 +368,11 @@ func (a *actor) flushBatch(events []*event.Event) {
 		a.views = append(a.views, ev)
 	}
 	routes := a.node.HandleEventBatch(a.views)
+	if t := a.sys.cfg.Tracer; t.Enabled() {
+		for _, ev := range events {
+			t.Observe(obs.HopMatch, ev.Stamp())
+		}
+	}
 	if len(events) == 1 {
 		// Common un-coalesced case: skip the grouping allocations.
 		for _, id := range routes[0] {
@@ -491,6 +502,9 @@ func (s *System) Publish(e *event.Event) error {
 		return fmt.Errorf("overlay: nil event")
 	}
 	e.ID = s.pubSeq.Add(1)
+	if s.cfg.Tracer.Enabled() {
+		e.SetStamp(obs.Nanotime())
+	}
 	return s.send(s.root.node.ID(), pubMsg{ev: e})
 }
 

@@ -33,13 +33,14 @@ const (
 	ExpEngines     = "engines"     // A5: matching-engine scaling
 	ExpFlow        = "flow"        // A6: slow-consumer flow policies
 	ExpRawPath     = "rawpath"     // A7: raw vs decoded forwarding path
+	ExpObs         = "obs"         // A8: observability self-scrape
 )
 
 // Experiments lists all experiment identifiers in report order.
 func Experiments() []string {
 	return []string{ExpTable1, ExpFigure7, ExpGlobal, ExpCentralized,
 		ExpBroadcast, ExpPlacement, ExpPrefilter, ExpTopology, ExpEngines,
-		ExpFlow, ExpRawPath}
+		ExpFlow, ExpRawPath, ExpObs}
 }
 
 // Options tunes experiments from the command line; the zero value keeps
@@ -87,6 +88,8 @@ func RunExperimentOpts(name string, seed uint64, o Options) (string, error) {
 		return FlowExperiment(seed, o)
 	case ExpRawPath:
 		return RawPathExperiment(seed, o)
+	case ExpObs:
+		return ObsExperiment(seed, o)
 	default:
 		return "", fmt.Errorf("sim: unknown experiment %q (have %v)", name, Experiments())
 	}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"eventsys/internal/broker"
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/obs"
+	"eventsys/internal/typing"
+)
+
+// ObsExperiment (A8) exercises the observability layer end-to-end: a
+// networked broker with tracing enabled serves its own metrics over
+// HTTP, the experiment drives publish load through it, then scrapes
+// /metrics like a Prometheus server would — validating the exposition
+// with the repo's own linter, checking counter monotonicity across
+// scrapes, and confirming the hop-latency histograms populated.
+func ObsExperiment(seed uint64, o Options) (string, error) {
+	events := o.Subscribers // reuse the population knob as the load knob
+	if events <= 0 {
+		events = 500
+	}
+
+	reg := obs.NewRegistry()
+	srv, err := broker.Serve(broker.ServerConfig{
+		ID: "obs-root", Stage: 1, ListenAddr: "127.0.0.1:0",
+		Seed: seed, Obs: reg, Trace: true,
+	})
+	if err != nil {
+		return "", err
+	}
+	defer srv.Close()
+	osrv, err := obs.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		return "", err
+	}
+	defer osrv.Close()
+	base := "http://" + osrv.Addr()
+
+	pub, err := broker.DialPublisher(srv.Addr(), "obs-pub")
+	if err != nil {
+		return "", err
+	}
+	defer pub.Close()
+	ad, err := typing.NewAdvertisement("Stock", 2, "symbol", "price")
+	if err != nil {
+		return "", err
+	}
+	if err := pub.Advertise(ad); err != nil {
+		return "", err
+	}
+	time.Sleep(50 * time.Millisecond)
+	delivered := make(chan struct{}, events)
+	sub, err := broker.DialSubscriber(srv.Addr(), "obs-sub",
+		filter.MustParseFilter(`class = "Stock" && price < 1000000`),
+		broker.SubscriberOptions{}, func(e *event.Event) { delivered <- struct{}{} })
+	if err != nil {
+		return "", err
+	}
+	defer sub.Close()
+
+	publish := func(n int) error {
+		for i := 0; i < n; i++ {
+			e := event.NewBuilder("Stock").
+				Str("symbol", fmt.Sprintf("S%d", i%7)).
+				Float("price", float64(i)).Build()
+			if err := pub.Publish(e); err != nil {
+				return err
+			}
+		}
+		deadline := time.After(10 * time.Second)
+		for i := 0; i < n; i++ {
+			select {
+			case <-delivered:
+			case <-deadline:
+				return fmt.Errorf("obs: only %d/%d events delivered", i, n)
+			}
+		}
+		return nil
+	}
+
+	scrape := func() (string, error) {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("obs: /metrics status %d", resp.StatusCode)
+		}
+		if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+			return "", fmt.Errorf("obs: malformed exposition: %w", err)
+		}
+		return string(body), nil
+	}
+
+	if err := publish(events / 2); err != nil {
+		return "", err
+	}
+	first, err := scrape()
+	if err != nil {
+		return "", err
+	}
+	if err := publish(events - events/2); err != nil {
+		return "", err
+	}
+	second, err := scrape()
+	if err != nil {
+		return "", err
+	}
+
+	recv1 := seriesValue(first, "eventsys_node_received_events_total", `node="obs-root"`)
+	recv2 := seriesValue(second, "eventsys_node_received_events_total", `node="obs-root"`)
+	if recv2 < recv1 || recv2 < float64(events) {
+		return "", fmt.Errorf("obs: received counter not monotonic under load: %v then %v (published %d)",
+			recv1, recv2, events)
+	}
+	hops := seriesValue(second, "eventsys_hop_latency_seconds_count", `hop="match"`)
+	if hops <= 0 {
+		return "", fmt.Errorf("obs: hop-latency histogram empty with tracing on")
+	}
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		if err == nil {
+			resp.Body.Close()
+		}
+		return "", fmt.Errorf("obs: /healthz not healthy while serving")
+	} else {
+		resp.Body.Close()
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Experiment A8 — observability self-scrape (seed=%d, events=%d)\n\n", seed, events)
+	fmt.Fprintf(&b, "%-34s %12s %12s\n", "Series", "Scrape 1", "Scrape 2")
+	fmt.Fprintf(&b, "%-34s %12.0f %12.0f\n", "node_received_events_total", recv1, recv2)
+	fmt.Fprintf(&b, "%-34s %12.0f %12.0f\n", "node_forwarded_events_total",
+		seriesValue(first, "eventsys_node_forwarded_events_total", `node="obs-root"`),
+		seriesValue(second, "eventsys_node_forwarded_events_total", `node="obs-root"`))
+	fmt.Fprintf(&b, "%-34s %12.0f %12.0f\n", "hop_latency_seconds_count{match}",
+		seriesValue(first, "eventsys_hop_latency_seconds_count", `hop="match"`), hops)
+	fmt.Fprintf(&b, "\nExposition valid (both scrapes), counters monotonic, histograms\npopulated under load, /healthz 200. Families exported: %d.\n",
+		strings.Count(second, "# TYPE "))
+	return b.String(), nil
+}
+
+// seriesValue extracts the first sample of name whose label block
+// contains labelFrag, summing across matching lines (histogram counts
+// and reason-labeled counters aggregate naturally). Missing series
+// read 0.
+func seriesValue(exposition, name, labelFrag string) float64 {
+	total := 0.0
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, name+"{") {
+			continue
+		}
+		if !strings.Contains(line, labelFrag) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err == nil {
+			total += v
+		}
+	}
+	return total
+}

@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"sync"
@@ -32,6 +33,10 @@ type Options struct {
 	// consumed; affected cursors skip forward and the skipped records
 	// count as Evicted. 0 means unbounded.
 	MaxBytes int64
+	// Logger receives the store's operational logs: the recovery summary
+	// on Open, compaction passes, and retention evictions (the only
+	// deliberate data loss the store ever inflicts). Nil discards them.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +72,7 @@ type Stats struct {
 type Store struct {
 	dir  string
 	opts Options
+	log  *slog.Logger
 
 	mu         sync.Mutex
 	segs       []*segment // ascending base; last is active
@@ -109,9 +115,14 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	cursors, haveSnapshot := loadCursors(dir)
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Store{
 		dir:            dir,
 		opts:           opts,
+		log:            logger,
 		cursors:        cursors,
 		recoverUnknown: !haveSnapshot,
 		pending:        map[string]int{},
@@ -128,6 +139,9 @@ func Open(dir string, opts Options) (*Store, error) {
 		s.wg.Add(1)
 		go s.flushLoop()
 	}
+	s.log.Info("store recovered",
+		"dir", dir, "segments", len(s.segs), "bytes", s.totalBytes,
+		"cursors", len(s.cursors), "snapshot", haveSnapshot)
 	return s, nil
 }
 
@@ -499,7 +513,7 @@ func (s *Store) compactLocked() {
 			min = cur
 		}
 	}
-	removed := false
+	removed := 0
 	for len(s.segs) > 1 {
 		seg := s.segs[0]
 		if seg.count > 0 && seg.last >= min {
@@ -508,16 +522,19 @@ func (s *Store) compactLocked() {
 		_ = os.Remove(seg.path)
 		s.totalBytes -= seg.size
 		s.segs = s.segs[1:]
-		removed = true
+		removed++
 	}
-	if removed {
+	if removed > 0 {
 		syncDir(s.dir)
+		s.log.Debug("store compacted",
+			"segments_removed", removed, "segments", len(s.segs), "bytes", s.totalBytes)
 	}
 }
 
 // enforceRetentionLocked evicts the oldest segments until the log fits
 // MaxBytes, skipping affected cursors forward over the records they lose.
 func (s *Store) enforceRetentionLocked() {
+	evictedBefore, segsBefore := s.evicted, len(s.segs)
 	for len(s.segs) > 1 && s.totalBytes > s.opts.MaxBytes {
 		seg := s.segs[0]
 		_, _ = seg.scan(func(r Record) {
@@ -535,6 +552,10 @@ func (s *Store) enforceRetentionLocked() {
 		s.segs = s.segs[1:]
 	}
 	syncDir(s.dir)
+	if n := s.evicted - evictedBefore; n > 0 {
+		s.log.Warn("retention evicted unconsumed records",
+			"records", n, "segments_removed", segsBefore-len(s.segs), "bytes", s.totalBytes)
+	}
 }
 
 // syncLocked flushes the active segment (per policy) and persists dirty

@@ -70,4 +70,17 @@ while [ "$n" -le "$COUNT" ]; do
     n=$((n + 1))
 done
 
+# Forward-path tracing overhead: run the untraced and traced variants
+# side by side with allocation accounting, so every bench run records
+# whether hop tracing stays allocation-free on the hot path. The raw
+# numbers land in FORWARD_PATH.txt next to the BENCH_<n> sets.
+fp="$OUT/FORWARD_PATH.txt"
+echo "forward-path traced-vs-untraced (benchtime=$BENCHTIME) -> $fp" >&2
+{
+    echo "# Forward-path hop-tracing overhead (ns/op, B/op, allocs/op)"
+    echo "# BenchmarkForwardPath/raw = tracer constructed but disabled;"
+    echo "# BenchmarkForwardPathTraced = tracer enabled, all three hops observed."
+    go test -run '^$' -bench 'BenchmarkForwardPath' -benchmem -benchtime "$BENCHTIME" .
+} > "$fp"
+
 echo "wrote $COUNT result set(s) to $OUT/" >&2

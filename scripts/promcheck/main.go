@@ -1,0 +1,60 @@
+// Command promcheck validates a Prometheus text exposition (format
+// 0.0.4) against the repo's conformance rules — the same validator the
+// golden scrape tests use (internal/obs.ValidateExposition). CI's
+// endpoint smoke job pipes a live broker's /metrics through it.
+//
+// Usage:
+//
+//	curl -s localhost:9090/metrics | go run ./scripts/promcheck
+//	go run ./scripts/promcheck http://localhost:9090/metrics
+//
+// Exit status 0 means the exposition is well-formed; 1 reports the
+// first violation on stderr.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"eventsys/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Println("exposition ok")
+}
+
+func run(args []string) error {
+	var in io.Reader = os.Stdin
+	if len(args) > 1 {
+		return fmt.Errorf("usage: promcheck [metrics-url] (or pipe an exposition on stdin)")
+	}
+	if len(args) == 1 {
+		resp, err := http.Get(args[0])
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: status %d", args[0], resp.StatusCode)
+		}
+		in = resp.Body
+	}
+	body, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+	// An empty exposition is trivially "valid" but always wrong here: it
+	// means the scrape itself failed (dead endpoint, broken pipe), and a
+	// smoke check must not pass vacuously.
+	if !bytes.Contains(body, []byte("# TYPE ")) {
+		return fmt.Errorf("no metric families in input (%d bytes) — scrape failed?", len(body))
+	}
+	return obs.ValidateExposition(bytes.NewReader(body))
+}
