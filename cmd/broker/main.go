@@ -48,7 +48,6 @@ func run(args []string) error {
 	parent := fs.String("parent", "", "parent broker address (empty = root)")
 	ttl := fs.Duration("ttl", time.Minute, "subscription lease TTL (0 = never expire)")
 	engine := fs.String("engine", "naive", "matching engine: naive, counting, or sharded")
-	counting := fs.Bool("counting", false, "use the counting matching engine (deprecated: use -engine counting)")
 	shards := fs.Int("shards", 0, "shard count for -engine sharded (0 = GOMAXPROCS)")
 	maxBatch := fs.Int("max-batch", 0, "events coalesced per matching pass (0 = default 64, 1 = no batching)")
 	var peers []string
@@ -83,7 +82,6 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	kind = index.KindFor(kind, *counting)
 	policy, err := flow.ParsePolicy(*flowPolicy)
 	if err != nil {
 		return err

@@ -87,12 +87,6 @@ type Options struct {
 	// parallel — the choice for large subscription populations on
 	// multi-core machines).
 	Engine EngineKind
-	// UseCounting selects the counting matching engine at brokers
-	// instead of the naive table of the paper's Figure 6.
-	//
-	// Deprecated: set Engine to EngineCounting instead. Honored only
-	// when Engine is left at its zero value.
-	UseCounting bool
 	// Shards is the shard count of the sharded engine (EngineSharded
 	// only); 0 means GOMAXPROCS.
 	Shards int
@@ -165,6 +159,10 @@ const (
 	// any shard count.
 	EngineSharded
 )
+
+// String returns the flag-friendly engine name ("naive", "counting",
+// "sharded").
+func (k EngineKind) String() string { return index.Kind(k).String() }
 
 // FlowPolicy selects what a saturated queue does with new events — the
 // system-wide slow-consumer policy (see Options.FlowPolicy).
@@ -268,7 +266,6 @@ func New(opts Options) (*System, error) {
 		AutoMaintain: opts.AutoMaintain,
 		Registry:     reg,
 		Engine:       index.Kind(opts.Engine),
-		UseCounting:  opts.UseCounting,
 		Shards:       opts.Shards,
 		MaxBatch:     opts.MaxBatch,
 		FlowPolicy:   flow.Policy(opts.FlowPolicy),

@@ -1,10 +1,10 @@
 package eventsys
 
 import (
+	"eventsys/internal/testutil"
 	"fmt"
 	"sync"
 	"testing"
-	"time"
 )
 
 // TestFederationFacade drives the networked facade end to end: three
@@ -129,11 +129,5 @@ func TestFederationFacade(t *testing.T) {
 // waitForCond polls cond until it holds or a deadline passes.
 func waitForCond(t *testing.T, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatalf("timed out waiting for %s", what)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	testutil.WaitUntil(t, what, cond)
 }

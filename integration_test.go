@@ -16,12 +16,12 @@ import (
 // mid-stream, and both matching engines — cross-checked against direct
 // filter evaluation.
 func TestSystemIntegration(t *testing.T) {
-	for _, engine := range []string{"naive", "counting"} {
-		t.Run(engine, func(t *testing.T) {
+	for _, engine := range []EngineKind{EngineNaive, EngineCounting} {
+		t.Run(engine.String(), func(t *testing.T) {
 			sys := newSystem(t, Options{
-				Fanouts:     []int{1, 3, 9},
-				Seed:        77,
-				UseCounting: engine == "counting",
+				Fanouts: []int{1, 3, 9},
+				Seed:    77,
+				Engine:  engine,
 			})
 			// Type hierarchy: TechStock <: Stock.
 			for _, reg := range [][2]string{{"Stock", ""}, {"TechStock", "Stock"}, {"Auction", ""}} {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sync"
 	"testing"
-	"time"
 
 	"eventsys/internal/event"
 	"eventsys/internal/filter"
@@ -58,7 +57,7 @@ func TestPublishBatchFrame(t *testing.T) {
 	if err := pub.Advertise(stockAd(t)); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(50 * time.Millisecond)
+	waitAds(t, cl, "Stock")
 
 	var mu sync.Mutex
 	var got []uint64
@@ -142,9 +141,11 @@ func TestBatchStoreSpill(t *testing.T) {
 	// (TTL 0) keeps routing to the ID, and the durable cursor survives.
 	conn := rawSubscribe(t, root.Addr(), "worker", f)
 	conn.Close()
-	// Give the broker's reader a moment to drop the peer, so the batch
+	// Wait for the broker's reader to drop the peer, so the batch
 	// misses the live path and spills to the store.
-	time.Sleep(100 * time.Millisecond)
+	waitFor(t, "broker to drop the dead subscriber", func() bool {
+		return root.ConnectedClients() == 1 // just the publisher left
+	})
 
 	evs := make([]*event.Event, 12)
 	for i := range evs {

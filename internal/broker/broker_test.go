@@ -9,6 +9,7 @@ import (
 
 	"eventsys/internal/event"
 	"eventsys/internal/filter"
+	"eventsys/internal/testutil"
 	"eventsys/internal/typing"
 )
 
@@ -69,13 +70,24 @@ func stockAd(t *testing.T) *typing.Advertisement {
 // waitFor polls until cond holds or the deadline passes.
 func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatalf("timed out waiting for %s", what)
+	testutil.WaitUntil(t, what, cond)
+}
+
+// waitAds polls until every broker in the cluster has seen the class
+// advertisement — the precondition for subscribing anywhere.
+func waitAds(t *testing.T, cl *cluster, class string) {
+	t.Helper()
+	waitFor(t, "advertisement to reach every broker", func() bool {
+		if !cl.root.HasAdvertisement(class) {
+			return false
 		}
-		time.Sleep(5 * time.Millisecond)
-	}
+		for _, b := range cl.brokers {
+			if !b.HasAdvertisement(class) {
+				return false
+			}
+		}
+		return true
+	})
 }
 
 func TestNetworkedPublishSubscribe(t *testing.T) {
@@ -90,7 +102,7 @@ func TestNetworkedPublishSubscribe(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Let the advertisement reach the leaves before subscribing.
-	time.Sleep(50 * time.Millisecond)
+	waitAds(t, cl, "Stock")
 
 	var count atomic.Uint64
 	sub, err := DialSubscriber(cl.root.Addr(), "s1",
@@ -133,7 +145,7 @@ func TestSubscriberRedirectedToLeaf(t *testing.T) {
 	if err := pub.Advertise(stockAd(t)); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(50 * time.Millisecond)
+	waitAds(t, cl, "Stock")
 
 	sub, err := DialSubscriber(cl.root.Addr(), "s1",
 		filter.MustParseFilter(`class = "Stock" && symbol = "A" && price < 5`),
@@ -167,7 +179,7 @@ func TestSimilarSubscriptionsShareLeaf(t *testing.T) {
 	if err := pub.Advertise(stockAd(t)); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(50 * time.Millisecond)
+	waitAds(t, cl, "Stock")
 
 	mk := func(id, src string) *Subscriber {
 		s, err := DialSubscriber(cl.root.Addr(), id, filter.MustParseFilter(src),

@@ -9,6 +9,7 @@ import (
 	"eventsys/internal/event"
 	"eventsys/internal/filter"
 	"eventsys/internal/flow"
+	"eventsys/internal/testutil"
 )
 
 // slowCollector is a collector whose add sleeps per event, modeling a
@@ -26,13 +27,7 @@ func (c *slowCollector) add(e *event.Event) {
 // waitForLong is waitFor with a soak-scale deadline.
 func waitForLong(t *testing.T, d time.Duration, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(d)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatalf("timed out waiting for %s", what)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	testutil.WaitUntilFor(t, d, what, cond)
 }
 
 // assertAscending verifies the publisher's order survived end to end:

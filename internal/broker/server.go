@@ -81,11 +81,6 @@ type ServerConfig struct {
 	// Engine selects the matching engine (naive, counting, or sharded).
 	// The zero value is the naive Figure 6 table.
 	Engine index.Kind
-	// UseCounting selects the counting matching engine.
-	//
-	// Deprecated: set Engine to index.KindCounting instead. Honored only
-	// when Engine is left at its zero value.
-	UseCounting bool
 	// Shards is the shard count of the sharded engine (Engine ==
 	// index.KindSharded); 0 means GOMAXPROCS.
 	Shards int
@@ -463,7 +458,7 @@ func Serve(cfg ServerConfig) (*Server, error) {
 	if cfg.Registry != nil {
 		conf = cfg.Registry
 	}
-	engine := index.KindFor(cfg.Engine, cfg.UseCounting)
+	engine := cfg.Engine
 	s.counters = &metrics.Counters{}
 	s.tracer = obs.NewTracer()
 	s.tracer.Enable(cfg.Trace)
@@ -654,6 +649,29 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Stats snapshots the broker's counters.
 func (s *Server) Stats() metrics.NodeStats {
 	return s.counters.Stats(s.cfg.ID, s.cfg.Stage)
+}
+
+// HasAdvertisement reports whether this broker has seen an advertisement
+// for the class — the observable signal that dissemination reached it
+// (Section 4.1 floods advertisements to every node).
+func (s *Server) HasAdvertisement(class string) bool {
+	var ok bool
+	s.coreQuery(func() { _, ok = s.ads.Get(class) })
+	return ok
+}
+
+// ConnectedClients counts currently connected local publisher and
+// subscriber connections (child brokers and federation peers excluded).
+func (s *Server) ConnectedClients() int {
+	var n int
+	s.coreQuery(func() {
+		for _, pc := range s.byID {
+			if pc.kind == transport.PeerPublisher || pc.kind == transport.PeerSubscriber {
+				n++
+			}
+		}
+	})
+	return n
 }
 
 // Close shuts the broker down and waits for all goroutines. The durable
@@ -1170,6 +1188,14 @@ func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
 		}
 		if msg.Kind == transport.PeerChildBroker {
 			s.node.AddChild(routing.NodeID(msg.ID))
+			// Replay known advertisements: a (re)joining child missed
+			// any dissemination that happened before it connected
+			// (Section 4.1: advertisements reach every node).
+			for _, class := range s.ads.Classes() {
+				if ad, ok := s.ads.Get(class); ok {
+					s.sendTo(pc, transport.Advertise{Ad: ad})
+				}
+			}
 			s.log.Info("child broker joined", "child", msg.ID, "addr", msg.Addr)
 		}
 		if msg.Kind == transport.PeerPublisher {

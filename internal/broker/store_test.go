@@ -91,7 +91,9 @@ func TestBrokerStoreSurvivesSubscriberDisconnectAndBrokerRestart(t *testing.T) {
 	if err := pub.Advertise(stockAd(t)); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(50 * time.Millisecond)
+	waitFor(t, "advertisement to reach the leaf", func() bool {
+		return root.HasAdvertisement("Stock") && leaf.HasAdvertisement("Stock")
+	})
 
 	// A filter specific enough that the root's placement walk redirects
 	// it down to the leaf (wildcard-ish filters stay high, Section 4.4).
@@ -112,9 +114,11 @@ func TestBrokerStoreSurvivesSubscriberDisconnectAndBrokerRestart(t *testing.T) {
 		t.Fatal("no live delivery")
 	}
 	conn.Close()
-	// Loopback EOF detection is immediate; give the leaf's reader a
-	// moment to drop the peer so the next events miss the live path.
-	time.Sleep(100 * time.Millisecond)
+	// Wait for the leaf's reader to drop the peer so the next events
+	// miss the live path.
+	waitFor(t, "leaf to drop the dead subscriber", func() bool {
+		return leaf.ConnectedClients() == 0
+	})
 	// The leaf still routes for s1 (lease alive) but cannot reach it:
 	// events go to the store.
 	pubE(2)
@@ -130,7 +134,9 @@ func TestBrokerStoreSurvivesSubscriberDisconnectAndBrokerRestart(t *testing.T) {
 	}
 	defer leaf2.Close()
 	waitFor(t, "restarted leaf rejoins", func() bool { return root.ChildBrokers() == 1 })
-	time.Sleep(50 * time.Millisecond) // let the advert re-dissemination settle
+	waitFor(t, "advert re-dissemination to settle", func() bool {
+		return leaf2.HasAdvertisement("Stock")
+	})
 
 	// Phase 3: the subscriber comes back with the same ID and
 	// re-subscribes: the stored events replay first, then live delivery.

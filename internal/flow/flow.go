@@ -98,6 +98,10 @@ const (
 	// Stopped: the queue was closed or a stop channel fired before the
 	// item could be placed; the caller still owns it.
 	Stopped
+	// WouldBlock: Offer found the queue full under the Block policy; the
+	// caller still owns the item and should retry after the next Pop.
+	// Push never returns this — only the non-blocking Offer does.
+	WouldBlock
 )
 
 // Config parameterizes a Queue.
@@ -270,6 +274,57 @@ func (q *Queue[T]) Push(item T) Outcome {
 				return Stopped
 			}
 		}
+	}
+}
+
+// Offer places an event item under the configured policy without ever
+// parking the calling goroutine. It behaves exactly like Push for the
+// drop and spill policies; under Block a full queue returns WouldBlock
+// instead of waiting, leaving the item with the caller. This is the
+// discrete-event-simulation seam: a simulated broker single-steps every
+// queue on a virtual clock, so "producer waits for space" must surface
+// as a schedulable fact (WouldBlock → retry after the next drain tick)
+// rather than a blocked goroutine.
+func (q *Queue[T]) Offer(item T) Outcome {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		signal(q.space)
+		return Stopped
+	}
+	if q.n < q.cfg.Window {
+		q.enqueueLocked(item)
+		q.mu.Unlock()
+		signal(q.avail)
+		return Enqueued
+	}
+	switch q.cfg.Policy {
+	case DropNewest:
+		out := q.dropNewestLocked(item)
+		q.mu.Unlock()
+		if out == Enqueued {
+			signal(q.avail)
+		}
+		return out
+	case DropOldest:
+		out := q.dropOldestLocked(item)
+		q.mu.Unlock()
+		signal(q.avail)
+		return out
+	case SpillToStore:
+		out := q.spillLocked(item)
+		q.mu.Unlock()
+		if out == Enqueued {
+			signal(q.avail)
+		}
+		return out
+	default: // Block
+		q.stalls.Add(1)
+		if q.cfg.OnStall != nil {
+			q.cfg.OnStall()
+		}
+		q.mu.Unlock()
+		return WouldBlock
 	}
 }
 

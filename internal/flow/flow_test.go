@@ -396,3 +396,68 @@ func TestParsePolicyRoundTrip(t *testing.T) {
 		t.Fatal("empty policy should default to block")
 	}
 }
+
+func TestOfferNeverBlocks(t *testing.T) {
+	// Block policy: a full queue returns WouldBlock immediately and the
+	// caller keeps the item.
+	q := New(Config[item]{Window: 2, Policy: Block})
+	q.Push(item{seq: 0})
+	q.Push(item{seq: 1})
+	if out := q.Offer(item{seq: 2}); out != WouldBlock {
+		t.Fatalf("Offer on full Block queue: outcome %d, want WouldBlock", out)
+	}
+	if snap := q.Snapshot("q"); snap.Stalls != 1 {
+		t.Fatalf("WouldBlock stall not counted: %d", snap.Stalls)
+	}
+	// After a Pop there is space again.
+	q.Pop()
+	if out := q.Offer(item{seq: 2}); out != Enqueued {
+		t.Fatalf("Offer after drain: outcome %d, want Enqueued", out)
+	}
+	if it, ok := q.Pop(); !ok || it.seq != 1 {
+		t.Fatalf("pop after offer: %+v %v", it, ok)
+	}
+	if it, ok := q.Pop(); !ok || it.seq != 2 {
+		t.Fatalf("offered item lost: %+v %v", it, ok)
+	}
+}
+
+func TestOfferAppliesDropAndSpillPolicies(t *testing.T) {
+	// DropNewest: the offered item is the victim.
+	q := New(Config[item]{Window: 1, Policy: DropNewest, Evictable: evictable})
+	q.Offer(item{seq: 0})
+	if out := q.Offer(item{seq: 1}); out != Dropped {
+		t.Fatalf("DropNewest Offer: outcome %d, want Dropped", out)
+	}
+	// DropOldest: the queued item is evicted, the offered one admitted.
+	q = New(Config[item]{Window: 1, Policy: DropOldest, Evictable: evictable})
+	q.Offer(item{seq: 0})
+	if out := q.Offer(item{seq: 1}); out != Enqueued {
+		t.Fatalf("DropOldest Offer: outcome %d, want Enqueued", out)
+	}
+	if it, _ := q.Pop(); it.seq != 1 {
+		t.Fatalf("DropOldest kept the wrong item: %+v", it)
+	}
+	// SpillToStore: overflow goes to the spill function.
+	var spilled []int
+	q = New(Config[item]{
+		Window: 1, Policy: SpillToStore, Evictable: evictable,
+		Spill: func(it item) bool { spilled = append(spilled, it.seq); return true },
+	})
+	q.Offer(item{seq: 0})
+	if out := q.Offer(item{seq: 1}); out != Spilled {
+		t.Fatalf("SpillToStore Offer: outcome %d, want Spilled", out)
+	}
+	if len(spilled) != 1 || spilled[0] != 1 {
+		t.Fatalf("spill saw %v, want [1]", spilled)
+	}
+	// Control traffic enqueues past the window under every policy.
+	if out := q.Offer(item{seq: 2, ctrl: true}); out != Enqueued {
+		t.Fatalf("control Offer: outcome %d, want Enqueued", out)
+	}
+	// Closed queue: Stopped.
+	q.Close()
+	if out := q.Offer(item{seq: 3}); out != Stopped {
+		t.Fatalf("Offer on closed queue: outcome %d, want Stopped", out)
+	}
+}

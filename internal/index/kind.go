@@ -34,18 +34,6 @@ func (k Kind) String() string {
 	}
 }
 
-// KindFor resolves an engine choice expressed through a Kind plus the
-// deprecated use-counting boolean the runtimes still accept: the boolean
-// upgrades the default (naive) choice to counting and never overrides an
-// explicit Kind. This is the single home of the compatibility shim —
-// delete it together with the deprecated fields.
-func KindFor(kind Kind, useCounting bool) Kind {
-	if useCounting && kind == KindNaive {
-		return KindCounting
-	}
-	return kind
-}
-
 // ParseKind maps a flag value ("naive", "counting", "sharded") to a Kind.
 func ParseKind(s string) (Kind, error) {
 	switch s {

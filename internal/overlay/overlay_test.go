@@ -9,6 +9,7 @@ import (
 
 	"eventsys/internal/event"
 	"eventsys/internal/filter"
+	"eventsys/internal/index"
 	"eventsys/internal/typing"
 	"eventsys/internal/workload"
 )
@@ -402,7 +403,7 @@ func TestAutoMaintainLoop(t *testing.T) {
 }
 
 func TestCountingEngineOverlay(t *testing.T) {
-	sys := newStockSystem(t, Config{Seed: 13, UseCounting: true})
+	sys := newStockSystem(t, Config{Seed: 13, Engine: index.KindCounting})
 	var count atomic.Uint64
 	_, err := sys.Subscribe("s1",
 		filter.Subscription{filter.MustParseFilter(`class = "Stock" && symbol = "A" && price < 5`)},

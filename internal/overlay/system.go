@@ -37,11 +37,6 @@ type Config struct {
 	// Engine selects the matching engine at brokers (naive, counting, or
 	// sharded). The zero value is the naive Figure 6 table.
 	Engine index.Kind
-	// UseCounting selects the counting matching engine at brokers.
-	//
-	// Deprecated: set Engine to index.KindCounting instead. Honored only
-	// when Engine is left at its zero value.
-	UseCounting bool
 	// Shards is the shard count of the sharded engine (Engine ==
 	// index.KindSharded); 0 means GOMAXPROCS.
 	Shards int
@@ -110,7 +105,6 @@ func (c *Config) withDefaults() Config {
 	if out.MaxBatch <= 0 {
 		out.MaxBatch = DefaultMaxBatch
 	}
-	out.Engine = index.KindFor(out.Engine, out.UseCounting)
 	return out
 }
 

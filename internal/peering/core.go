@@ -327,7 +327,9 @@ func (c *Core) Entries(from LinkID) []Entry {
 
 // MatchLocals returns the local subscriber IDs with at least one
 // original filter matching the event (perfect filtering at the home
-// broker), unsorted.
+// broker), sorted so the result is independent of map iteration order —
+// a requirement of the deterministic simulator, and cheap enough for
+// the live path.
 func (c *Core) MatchLocals(e event.View) []string {
 	var out []string
 	for id, fs := range c.locals {
@@ -338,6 +340,7 @@ func (c *Core) MatchLocals(e event.View) []string {
 			}
 		}
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -262,3 +262,27 @@ func TestMultiFilterLocalSurvivesSync(t *testing.T) {
 		t.Fatalf("unsubscribe did not clear all filters: count=%d", c.FilterCount())
 	}
 }
+
+func TestMatchLocalsSorted(t *testing.T) {
+	// The simulator hashes delivery traces, so local match order must not
+	// depend on map iteration. Many matching IDs exercise the sort.
+	c := New(Config{})
+	var want []string
+	for i := 0; i < 40; i++ {
+		id := fmt.Sprintf("sub-%02d", i)
+		c.Subscribe(id, filter.MustParseFilter(`x = 1`))
+		want = append(want, id)
+	}
+	e := event.NewBuilder("T").Int("x", 1).Build()
+	for trial := 0; trial < 5; trial++ {
+		got := c.MatchLocals(e)
+		if len(got) != len(want) {
+			t.Fatalf("MatchLocals len = %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("MatchLocals[%d] = %s, want %s (unsorted result)", i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package sim
+
+import "container/heap"
+
+// evKind orders simultaneous scheduler events. At equal timestamps,
+// faults fire before control frames, control before event frames (a
+// resync completing "now" is visible to a frame arriving "now"), frames
+// before queue drains, and workload injection last. Within a kind, the
+// scheduling sequence number breaks the tie — the full (timestamp,
+// kind, seq) key is total, so pop order is unique.
+type evKind uint8
+
+const (
+	kindFault evKind = iota
+	kindControl
+	kindFrame
+	kindDrain
+	kindOp
+)
+
+type schedEvent struct {
+	at   int64 // virtual microseconds
+	kind evKind
+	seq  uint64
+	run  func()
+}
+
+type eventHeap []*schedEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*schedEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// scheduler is the discrete-event core: a virtual clock advanced by
+// popping the earliest scheduled event. Strictly single-threaded — the
+// simulation's determinism rests on every state change happening inside
+// a popped event's run function, in heap order.
+type scheduler struct {
+	heap eventHeap
+	now  int64
+	seq  uint64
+	ran  uint64
+}
+
+// schedule enqueues run at virtual time at (clamped to now: the past is
+// not addressable).
+func (s *scheduler) schedule(at int64, kind evKind, run func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.heap, &schedEvent{at: at, kind: kind, seq: s.seq, run: run})
+}
+
+// step pops and runs the next event; it reports whether one existed.
+func (s *scheduler) step() bool {
+	if len(s.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.heap).(*schedEvent)
+	s.now = ev.at
+	s.ran++
+	ev.run()
+	return true
+}

@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"eventsys/internal/flow"
+	"eventsys/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/cluster_digests.txt from the current behavior")
+
+const goldenSeed = 1
+
+// TestScenarioDeterminism is the core regression gate: every scenario,
+// run twice with the same seed, must produce byte-identical digests —
+// the full ordered delivery trace, ledger, and per-broker stats hash.
+func TestScenarioDeterminism(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			a, err := RunScenario(sc.Name, goldenSeed)
+			if err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			b, err := RunScenario(sc.Name, goldenSeed)
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			if a.Digest != b.Digest {
+				t.Fatalf("same seed, different digests:\n  %s\n  %s", a.Digest, b.Digest)
+			}
+			if a.DigestLines != b.DigestLines {
+				t.Fatalf("same seed, different trace lengths: %d vs %d", a.DigestLines, b.DigestLines)
+			}
+			if a.Ledger != b.Ledger {
+				t.Fatalf("same seed, different ledgers:\n  %+v\n  %+v", a.Ledger, b.Ledger)
+			}
+		})
+	}
+}
+
+// TestScenarioSeedsDiffer guards digest coverage: a different seed must
+// change the trace (if it didn't, the digest would not be pinning the
+// behavior it claims to pin).
+func TestScenarioSeedsDiffer(t *testing.T) {
+	a, err := RunScenario("steady-tree", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario("steady-tree", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest == b.Digest {
+		t.Fatalf("seeds 1 and 2 produced the same digest %s", a.Digest)
+	}
+}
+
+func goldenPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join("testdata", "cluster_digests.txt")
+}
+
+// TestScenarioGoldenDigests pins every scenario's digest. An intentional
+// behavior change regenerates the file with `go test ./internal/sim
+// -run TestScenarioGoldenDigests -update`; an unintentional change fails
+// here (and in the CI sim-determinism job via scripts/sim_digests.sh).
+func TestScenarioGoldenDigests(t *testing.T) {
+	if *updateGolden {
+		var sb strings.Builder
+		sb.WriteString("# scenario seed digest — regenerate with: go test ./internal/sim -run TestScenarioGoldenDigests -update\n")
+		for _, sc := range Scenarios() {
+			res, err := RunScenario(sc.Name, goldenSeed)
+			if err != nil {
+				t.Fatalf("%s: %v", sc.Name, err)
+			}
+			fmt.Fprintf(&sb, "%s %d %s\n", sc.Name, goldenSeed, res.Digest)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(t), []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	f, err := os.Open(goldenPath(t))
+	if err != nil {
+		t.Fatalf("golden digests missing (run with -update to create): %v", err)
+	}
+	defer f.Close()
+	want := make(map[string]string)
+	scan := bufio.NewScanner(f)
+	for scan.Scan() {
+		line := strings.TrimSpace(scan.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		want[fields[0]+" "+fields[1]] = fields[2]
+	}
+	if err := scan.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range Scenarios() {
+		key := fmt.Sprintf("%s %d", sc.Name, goldenSeed)
+		exp, ok := want[key]
+		if !ok {
+			t.Errorf("%s: no golden digest (regenerate with -update)", sc.Name)
+			continue
+		}
+		res, err := RunScenario(sc.Name, goldenSeed)
+		if err != nil {
+			t.Errorf("%s: %v", sc.Name, err)
+			continue
+		}
+		if got := res.Digest.String(); got != exp {
+			t.Errorf("%s: digest drifted\n  golden:  %s\n  current: %s\n(an intentional behavior change regenerates with -update)",
+				sc.Name, exp, got)
+		}
+	}
+}
+
+// TestCrashRecoveryMatchesLiveChaos is the acceptance gate mirroring the
+// live federation chaos restart test: a relay broker crashes mid-stream
+// and restarts, and every subscriber still sees a duplicate-free,
+// in-order, gap-free stream — reproduced in virtual time in well under a
+// second of wall clock.
+func TestCrashRecoveryMatchesLiveChaos(t *testing.T) {
+	start := time.Now()
+	res, err := RunScenario("crash-recovery-chain", goldenSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(start); wall > time.Second {
+		t.Errorf("crash-recovery scenario took %v wall clock; the point of simulation is < 1s", wall)
+	}
+	if res.Ledger.Delivered == 0 {
+		t.Fatal("no deliveries")
+	}
+	// The relay went down and came back: its stats prove the outage.
+	relay := res.Brokers[1]
+	if !relay.Up {
+		t.Fatal("relay broker did not restart")
+	}
+	if res.Ledger.DeferredOps != 0 {
+		t.Errorf("no client is homed at the relay, yet %d ops were deferred", res.Ledger.DeferredOps)
+	}
+	if res.Ledger.FrameSpooled == 0 {
+		t.Error("the outage should have spooled frames at the chain ends")
+	}
+	if res.Ledger.Stored != 0 || res.Ledger.FramePending != 0 {
+		t.Errorf("undrained state at end of run: stored=%d framePending=%d", res.Ledger.Stored, res.Ledger.FramePending)
+	}
+}
+
+// TestConservationUnderPolicyFaultGrid sweeps every flow policy against
+// crash, partition, and stall schedules and asserts the copy ledger
+// balances: published copies are delivered, edge-filtered, dropped, or
+// still stored — never silently vanished or double-counted.
+func TestConservationUnderPolicyFaultGrid(t *testing.T) {
+	policies := map[string]flow.Policy{
+		"block":      flow.Block,
+		"dropnew":    flow.DropNewest,
+		"dropold":    flow.DropOldest,
+		"spillstore": flow.SpillToStore,
+	}
+	schedules := map[string][]Fault{
+		"none":      nil,
+		"crash":     {{At: 9_000, Duration: 6_000, Kind: FaultCrash, Broker: 1}},
+		"crashperm": {{At: 9_000, Duration: 0, Kind: FaultCrash, Broker: 1}},
+		"partition": {{At: 9_000, Duration: 6_000, Kind: FaultPartition, Link: [2]int{1, 2}}},
+		"stall":     {{At: 9_000, Duration: 8_000, Kind: FaultStall, Sub: -1}},
+		"pile-up": {
+			{At: 8_000, Duration: 4_000, Kind: FaultPartition, Link: [2]int{0, 1}},
+			{At: 10_000, Duration: 5_000, Kind: FaultCrash, Broker: 3},
+			{At: 12_000, Duration: 6_000, Kind: FaultStall, Sub: -1},
+		},
+	}
+	w := workload.DefaultCluster(2_000)
+	w.Subs, w.Publishes, w.ChurnOps = 40, 300, 30
+	w.FlashCrowds, w.ChurnStorms = 1, 1
+	w.CrowdSubs, w.CrowdPubs, w.StormSize = 20, 80, 20
+	for pname, policy := range policies {
+		for sname, faults := range schedules {
+			t.Run(pname+"/"+sname, func(t *testing.T) {
+				res, err := RunCluster(ClusterConfig{
+					Seed:      7,
+					Topology:  Chain(4),
+					Workload:  w,
+					Policy:    policy,
+					Window:    8,
+					Faults:    faults,
+					PublishAt: -1, SubscribeAt: -1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Ledger.Conserved() {
+					t.Fatalf("copy ledger does not balance: %+v", res.Ledger)
+				}
+				l := res.Ledger
+				if got := l.FrameArrived + l.FrameDropped + l.FrameLost + l.FramePending; got != l.Frames {
+					t.Fatalf("frame ledger does not balance: sent=%d accounted=%d (%+v)", l.Frames, got, l)
+				}
+				if l.Delivered == 0 {
+					t.Fatal("nothing delivered")
+				}
+			})
+		}
+	}
+}
+
+// TestDeferredClientOps pins the client-retry path: crashing a broker
+// that homes clients defers their ops to the restart instead of losing
+// them, and the stream stays conserved.
+func TestDeferredClientOps(t *testing.T) {
+	w := workload.DefaultCluster(1_000)
+	w.Subs, w.Publishes = 30, 200
+	w.ChurnOps, w.FlashCrowds, w.ChurnStorms = 0, 0, 0
+	res, err := RunCluster(ClusterConfig{
+		Seed:      3,
+		Topology:  Chain(3),
+		Workload:  w,
+		Policy:    flow.Block,
+		Faults:    []Fault{{At: 6_000, Duration: 8_000, Kind: FaultCrash, Broker: 0}},
+		PublishAt: -1, SubscribeAt: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ledger.DeferredOps == 0 {
+		t.Fatal("broker 0 homes a third of all clients; its outage must defer ops")
+	}
+	if !res.Ledger.Conserved() {
+		t.Fatalf("ledger does not balance: %+v", res.Ledger)
+	}
+	if res.Ledger.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+// TestTopologyValidation rejects malformed broker graphs.
+func TestTopologyValidation(t *testing.T) {
+	bad := []Topology{
+		{Brokers: 0},
+		{Brokers: 3, Edges: [][2]int{{0, 1}}}, // disconnected
+		{Brokers: 3, Edges: [][2]int{{0, 1}, {1, 2}, {2, 0}}}, // cycle
+		{Brokers: 2, Edges: [][2]int{{0, 0}}},                 // self-loop
+		{Brokers: 2, Edges: [][2]int{{0, 5}}},                 // out of range
+	}
+	for i, topo := range bad {
+		cfg := ClusterConfig{Seed: 1, Topology: topo, Workload: workload.DefaultCluster(100),
+			PublishAt: -1, SubscribeAt: -1}
+		if _, err := RunCluster(cfg); err == nil {
+			t.Errorf("case %d: topology %+v accepted", i, topo)
+		}
+	}
+	for _, topo := range []Topology{Chain(5), Star(5), Tree(9, 2), RandomTree(6, NewStreams(11))} {
+		if err := topo.validate(); err != nil {
+			t.Errorf("topology %+v rejected: %v", topo, err)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+)
+
+// Digest is the unit of simulation regression testing: a SHA-256 over
+// the ordered delivery trace plus the final conservation counters and
+// per-broker statistics. Two runs of the same scenario with the same
+// seed must produce byte-identical digests; a digest change is a
+// behavior change — an intentional one updates the golden file, an
+// unintentional one fails CI.
+//
+// Everything hashed is integer-valued or drawn from fixed string pools
+// (the cluster workload never fabricates floats), so digests are stable
+// across architectures and Go releases.
+type Digest [sha256.Size]byte
+
+// String returns the digest as lowercase hex.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// digestWriter accumulates the hashed trace incrementally so million-op
+// runs never materialize the trace in memory.
+type digestWriter struct {
+	h     hash.Hash
+	lines uint64
+}
+
+func newDigestWriter() *digestWriter {
+	return &digestWriter{h: sha256.New()}
+}
+
+// delivery records one delivered event copy: virtual time, subscriber,
+// event ID.
+func (w *digestWriter) delivery(at int64, subID string, evID uint64) {
+	fmt.Fprintf(w.h, "d %d %s %d\n", at, subID, evID)
+	w.lines++
+}
+
+// line appends one pre-formatted summary line (ledger counters,
+// per-broker stats).
+func (w *digestWriter) line(format string, args ...interface{}) {
+	fmt.Fprintf(w.h, format, args...)
+	fmt.Fprint(w.h, "\n")
+	w.lines++
+}
+
+// sum finalizes the digest.
+func (w *digestWriter) sum() Digest {
+	var d Digest
+	copy(d[:], w.h.Sum(nil))
+	return d
+}

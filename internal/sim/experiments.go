@@ -34,13 +34,14 @@ const (
 	ExpFlow        = "flow"        // A6: slow-consumer flow policies
 	ExpRawPath     = "rawpath"     // A7: raw vs decoded forwarding path
 	ExpObs         = "obs"         // A8: observability self-scrape
+	ExpCluster     = "cluster"     // A9: cluster simulation scenario suite
 )
 
 // Experiments lists all experiment identifiers in report order.
 func Experiments() []string {
 	return []string{ExpTable1, ExpFigure7, ExpGlobal, ExpCentralized,
 		ExpBroadcast, ExpPlacement, ExpPrefilter, ExpTopology, ExpEngines,
-		ExpFlow, ExpRawPath, ExpObs}
+		ExpFlow, ExpRawPath, ExpObs, ExpCluster}
 }
 
 // Options tunes experiments from the command line; the zero value keeps
@@ -90,6 +91,8 @@ func RunExperimentOpts(name string, seed uint64, o Options) (string, error) {
 		return RawPathExperiment(seed, o)
 	case ExpObs:
 		return ObsExperiment(seed, o)
+	case ExpCluster:
+		return ClusterExperiment(seed)
 	default:
 		return "", fmt.Errorf("sim: unknown experiment %q (have %v)", name, Experiments())
 	}

@@ -1,0 +1,68 @@
+package sim
+
+import "fmt"
+
+// FaultKind names a failure-injector action.
+type FaultKind uint8
+
+const (
+	// FaultCrash kills a broker at At and restarts it after Duration:
+	// RAM state (queued deliveries, routing and federation tables) is
+	// lost, the durable link spool and local subscription registry
+	// survive, and neighbors resync on restart.
+	FaultCrash FaultKind = iota
+	// FaultPartition takes a link down in both directions at At and
+	// heals it after Duration; traffic spools at the senders and
+	// replays, behind a control resync, on heal.
+	FaultPartition
+	// FaultStall freezes one subscriber's consumption for Duration —
+	// the slow-consumer case the flow policies exist for.
+	FaultStall
+)
+
+// String returns the fault-kind name.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultPartition:
+		return "partition"
+	default:
+		return "stall"
+	}
+}
+
+// Fault is one scheduled failure.
+type Fault struct {
+	// At is the injection time (virtual microseconds).
+	At int64
+	// Duration is the time to recovery; 0 means the fault never heals.
+	Duration int64
+	// Kind selects the action.
+	Kind FaultKind
+	// Broker targets FaultCrash.
+	Broker int
+	// Link targets FaultPartition (an edge of the topology).
+	Link [2]int
+	// Sub targets FaultStall: the index into the sorted live
+	// subscription IDs at injection time, or -1 to draw one from the
+	// fault RNG stream.
+	Sub int
+}
+
+func (f Fault) validate(brokers int, edges [][2]int) error {
+	switch f.Kind {
+	case FaultCrash:
+		if f.Broker < 0 || f.Broker >= brokers {
+			return fmt.Errorf("sim: crash fault targets broker %d of %d", f.Broker, brokers)
+		}
+	case FaultPartition:
+		for _, e := range edges {
+			if e == f.Link || (e[0] == f.Link[1] && e[1] == f.Link[0]) {
+				return nil
+			}
+		}
+		return fmt.Errorf("sim: partition fault targets non-edge %v", f.Link)
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package sim
+
+import "math/rand/v2"
+
+// Streams partitions the cluster simulation's randomness per subsystem,
+// following the inference-sim determinism plan: each concern draws from
+// its own seeded PCG stream, so adding a fault to a scenario cannot
+// perturb workload content, and reordering link construction cannot
+// perturb fault schedules. rand/v2's PCG is stable across Go versions
+// and platforms, which is what lets golden digests pin behavior.
+type Streams struct {
+	// WorkloadSeed seeds the workload generator, which owns its RNG.
+	WorkloadSeed uint64
+	// Topology drives random topology construction (unused by fixed
+	// scenario topologies, reserved for generated meshes).
+	Topology *rand.Rand
+	// Faults drives fault-schedule draws (random fault targets).
+	Faults *rand.Rand
+	// Network drives per-frame loss/retransmission draws.
+	Network *rand.Rand
+	// Placement drives the routing protocol's random descent (unused at
+	// stage-1 brokers, supplied for API completeness).
+	Placement *rand.Rand
+}
+
+// NewStreams derives the per-subsystem streams from one scenario seed.
+func NewStreams(seed uint64) *Streams {
+	return &Streams{
+		WorkloadSeed: seed ^ 0x776f726b6c6f6164, // "workload"
+		Topology:     rand.New(rand.NewPCG(seed, 0x746f706f6c6f6779)),
+		Faults:       rand.New(rand.NewPCG(seed, 0x6661756c74730000)),
+		Network:      rand.New(rand.NewPCG(seed, 0x6e6574776f726b00)),
+		Placement:    rand.New(rand.NewPCG(seed, 0x706c6163656d656e)),
+	}
+}

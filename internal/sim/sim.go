@@ -7,6 +7,15 @@
 // The simulator drives the same routing.Node core as the concurrent
 // overlay and the TCP brokers, single-threaded and fully seeded, so every
 // number in EXPERIMENTS.md is reproducible.
+//
+// Beyond the paper's hierarchy harness, the package holds a
+// discrete-event cluster simulator (cluster.go): federated brokers built
+// from the real routing, peering, and flow code, run under a virtual
+// clock (clock.go) with simulated links, fault injection (fault.go), and
+// RNG partitioned per subsystem (rng.go) so one seed reproduces a run
+// bit for bit. Delivery traces hash into a digest (digest.go); the
+// scenario suite (scenario.go) pins those digests as golden files and CI
+// re-checks them on every push — see docs/ARCHITECTURE.md, "Simulation".
 package sim
 
 import (
@@ -56,12 +65,6 @@ type Config struct {
 	Engine index.Kind
 	// Shards is the shard count of the sharded engine; 0 = GOMAXPROCS.
 	Shards int
-	// UseCounting selects the counting matching engine at brokers
-	// instead of the naive Figure 6 table (identical results).
-	//
-	// Deprecated: set Engine to index.KindCounting instead. Honored only
-	// when Engine is left at its zero value.
-	UseCounting bool
 	// RandomPlacement disables the covering-search clustering of the
 	// Figure 5 protocol: subscribers descend randomly to a stage-1 node.
 	// Used by the placement ablation (A1).
@@ -233,7 +236,7 @@ func (s *simulator) buildHierarchy() {
 				}
 			}
 			ecfg := index.Config{
-				Kind:   index.KindFor(s.cfg.Engine, s.cfg.UseCounting),
+				Kind:   s.cfg.Engine,
 				Shards: s.cfg.Shards,
 			}
 			n := routing.NewNode(routing.Config{

@@ -3,6 +3,8 @@ package sim
 import (
 	"strings"
 	"testing"
+
+	"eventsys/internal/index"
 )
 
 func smallConfig(seed uint64) Config {
@@ -62,7 +64,7 @@ func TestCountingEngineEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg.UseCounting = true
+	cfg.Engine = index.KindCounting
 	counting, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,34 @@
+// Package testutil holds shared helpers for the repository's tests.
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// WaitTimeout is the default WaitUntil deadline: generous enough for a
+// loaded CI runner, short enough that a hung condition fails the test
+// rather than the suite.
+const WaitTimeout = 5 * time.Second
+
+// WaitUntil polls cond until it holds, failing the test after the
+// default deadline. It replaces bare time.Sleep synchronization: sleeps
+// are either too short (flaky under load) or too long (slow suites),
+// while polling an observable condition is neither.
+func WaitUntil(t testing.TB, what string, cond func() bool) {
+	t.Helper()
+	WaitUntilFor(t, WaitTimeout, what, cond)
+}
+
+// WaitUntilFor is WaitUntil with an explicit deadline, for soak-scale
+// waits.
+func WaitUntilFor(t testing.TB, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,356 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/typing"
+)
+
+// TickClass is the event class of the cluster scenario workload.
+const TickClass = "Tick"
+
+// OpKind identifies one operation in a cluster op stream.
+type OpKind uint8
+
+const (
+	// OpSubscribe installs a new subscription for a client.
+	OpSubscribe OpKind = iota
+	// OpUnsubscribe removes a previously installed subscription.
+	OpUnsubscribe
+	// OpPublish publishes one event.
+	OpPublish
+)
+
+// String returns the op-kind name.
+func (k OpKind) String() string {
+	switch k {
+	case OpSubscribe:
+		return "sub"
+	case OpUnsubscribe:
+		return "unsub"
+	default:
+		return "pub"
+	}
+}
+
+// Op is one timestamped operation of a cluster scenario: who does what,
+// when, on the virtual clock.
+type Op struct {
+	// Time is the operation's virtual timestamp in microseconds.
+	Time int64
+	// Kind says what the client does.
+	Kind OpKind
+	// Client identifies the acting client in [0, ClusterConfig.Clients).
+	// The identity space can be a million clients wide; memory scales
+	// with emitted ops and live subscriptions, never with Clients.
+	Client uint64
+	// SubID names the subscription (OpSubscribe/OpUnsubscribe).
+	SubID string
+	// Filter is the subscription filter (OpSubscribe only).
+	Filter *filter.Filter
+	// Event is the published event (OpPublish only).
+	Event *event.Event
+}
+
+// Window is a time interval during which a scheduled disturbance (flash
+// crowd, churn storm) is active — exported so fault schedules can be
+// correlated with workload surges.
+type Window struct {
+	// Start and End bound the window on the virtual clock (microseconds).
+	Start, End int64
+	// Topic is the hot topic rank for flash crowds (-1 for churn storms).
+	Topic int
+}
+
+// ClusterConfig parameterizes a cluster scenario: a heavy-tailed
+// population of clients subscribing to Zipf-skewed topics and publishing
+// integer-valued tick events, with optional flash crowds and churn
+// storms layered on the steady state.
+//
+// All generated attribute values are integers or pool strings — never
+// fresh floats — so traces hash identically on every platform.
+type ClusterConfig struct {
+	// Clients is the client identity space (up to millions).
+	Clients int
+	// Topics is the topic pool size; TopicSkew the Zipf exponent over it
+	// (<= 1 uniform).
+	Topics    int
+	TopicSkew float64
+	// ValueRange bounds the integer "value" attribute: draws are uniform
+	// in [0, ValueRange).
+	ValueRange int64
+	// Subs is the number of warmup subscriptions installed before
+	// publishing starts.
+	Subs int
+	// ValueBoundProb is the probability a subscription constrains value
+	// ("value < k") in addition to its topic equality.
+	ValueBoundProb float64
+	// Publishes is the steady-state publish count (crowd publishes are
+	// extra).
+	Publishes int
+	// ChurnOps sprinkles this many unsubscribe+resubscribe pairs through
+	// the steady state — background subscription churn.
+	ChurnOps int
+	// FlashCrowds schedules this many surge windows: CrowdSubs clients
+	// stampede onto one hot topic, then CrowdPubs events burst on it.
+	FlashCrowds, CrowdSubs, CrowdPubs int
+	// ChurnStorms schedules this many windows in which StormSize
+	// subscriptions are torn down and immediately replaced — correlated
+	// churn, not background noise.
+	ChurnStorms, StormSize int
+	// SubGap, PubGap space warmup subscriptions and steady publishes on
+	// the virtual clock (microseconds; defaults 100 and 50).
+	SubGap, PubGap int64
+}
+
+// DefaultCluster returns a small but fully featured scenario
+// configuration: every disturbance kind present, sized to simulate in
+// well under a second.
+func DefaultCluster(clients int) ClusterConfig {
+	return ClusterConfig{
+		Clients:        clients,
+		Topics:         64,
+		TopicSkew:      1.4,
+		ValueRange:     1000,
+		Subs:           200,
+		ValueBoundProb: 0.3,
+		Publishes:      2000,
+		ChurnOps:       100,
+		FlashCrowds:    2,
+		CrowdSubs:      50,
+		CrowdPubs:      200,
+		ChurnStorms:    1,
+		StormSize:      60,
+	}
+}
+
+// slotKind orders op generation; slots carry scheduling only — random
+// content (clients, topics, values) is drawn when the slot is emitted,
+// in emission order, so the stream is a pure function of (config, seed).
+type slotKind uint8
+
+const (
+	slotSub slotKind = iota
+	slotUnsub
+	slotResub
+	slotPub
+	slotCrowdSub
+	slotCrowdPub
+	slotStormUnsub
+	slotStormResub
+)
+
+type slot struct {
+	time  int64
+	kind  slotKind
+	crowd int // crowd/storm index for hot-topic slots
+}
+
+type activeSub struct {
+	id     string
+	client uint64
+}
+
+// Cluster streams the op sequence of one cluster scenario. It is
+// deterministic for a given (config, seed) and not safe for concurrent
+// use. Construction cost is O(total ops) slots; filters and events are
+// built lazily per emitted op.
+type Cluster struct {
+	cfg    ClusterConfig
+	rng    *rand.Rand
+	topics *Zipf
+	pool   []event.Value // topic value pool
+	slots  []slot
+	pos    int
+	crowds []Window
+	storms []Window
+	active []activeSub
+	subSeq uint64
+	evSeq  uint64
+}
+
+// NewCluster builds the scenario op stream for cfg.
+func NewCluster(seed uint64, cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Clients <= 0 || cfg.Topics <= 0 {
+		return nil, fmt.Errorf("workload: cluster needs Clients and Topics > 0: %+v", cfg)
+	}
+	if cfg.ValueRange <= 0 {
+		cfg.ValueRange = 1000
+	}
+	if cfg.SubGap <= 0 {
+		cfg.SubGap = 100
+	}
+	if cfg.PubGap <= 0 {
+		cfg.PubGap = 50
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewPCG(seed, seed^0x5bf03635)),
+		topics: NewZipf(cfg.Topics, cfg.TopicSkew),
+		pool:   strPool("topic-%04d", cfg.Topics),
+	}
+	c.schedule()
+	return c, nil
+}
+
+// schedule lays out every slot on the virtual clock. Warmup
+// subscriptions come first; the steady phase interleaves publishes with
+// background churn; crowd and storm windows are carved out of the steady
+// phase at deterministic fractions. Hot topics are drawn here, before
+// any content draws, so window placement never perturbs content RNG.
+func (c *Cluster) schedule() {
+	cfg := c.cfg
+	for i := 0; i < cfg.Subs; i++ {
+		c.slots = append(c.slots, slot{time: int64(i) * cfg.SubGap, kind: slotSub})
+	}
+	warmup := int64(cfg.Subs)*cfg.SubGap + cfg.SubGap
+	steady := int64(cfg.Publishes) * cfg.PubGap
+	for i := 0; i < cfg.Publishes; i++ {
+		c.slots = append(c.slots, slot{time: warmup + int64(i)*cfg.PubGap, kind: slotPub})
+	}
+	for j := 0; j < cfg.ChurnOps; j++ {
+		// Spread churn pairs evenly; +1/+2 offsets order them after the
+		// publish sharing the slot time.
+		t := warmup + int64(j+1)*steady/int64(cfg.ChurnOps+1)
+		c.slots = append(c.slots,
+			slot{time: t + 1, kind: slotUnsub},
+			slot{time: t + 2, kind: slotResub})
+	}
+	for w := 0; w < cfg.FlashCrowds; w++ {
+		// Window w centered at fraction (w+1)/(crowds+1) of the steady phase.
+		start := warmup + int64(w+1)*steady/int64(cfg.FlashCrowds+1)
+		t := start
+		for i := 0; i < cfg.CrowdSubs; i++ {
+			c.slots = append(c.slots, slot{time: t, kind: slotCrowdSub, crowd: w})
+			t += 2
+		}
+		for i := 0; i < cfg.CrowdPubs; i++ {
+			c.slots = append(c.slots, slot{time: t, kind: slotCrowdPub, crowd: w})
+			t += 2
+		}
+		c.crowds = append(c.crowds, Window{Start: start, End: t, Topic: c.topics.Draw(c.rng)})
+	}
+	for s := 0; s < cfg.ChurnStorms; s++ {
+		// Storms sit at odd thirds so they don't coincide with crowds.
+		start := warmup + int64(2*s+1)*steady/int64(2*cfg.ChurnStorms+1) + 5
+		t := start
+		for i := 0; i < cfg.StormSize; i++ {
+			c.slots = append(c.slots, slot{time: t, kind: slotStormUnsub, crowd: s})
+			t++
+		}
+		for i := 0; i < cfg.StormSize; i++ {
+			c.slots = append(c.slots, slot{time: t, kind: slotStormResub, crowd: s})
+			t++
+		}
+		c.storms = append(c.storms, Window{Start: start, End: t, Topic: -1})
+	}
+	// Order by (time, creation sequence) — a total key, so the sort
+	// result is unique regardless of algorithm stability.
+	type keyed struct {
+		s   slot
+		seq int
+	}
+	ordered := make([]keyed, len(c.slots))
+	for i, s := range c.slots {
+		ordered[i] = keyed{s: s, seq: i}
+	}
+	sort.Slice(ordered, func(a, b int) bool {
+		if ordered[a].s.time != ordered[b].s.time {
+			return ordered[a].s.time < ordered[b].s.time
+		}
+		return ordered[a].seq < ordered[b].seq
+	})
+	for i, k := range ordered {
+		c.slots[i] = k.s
+	}
+}
+
+// Advertisement returns the Tick class advertisement with the given
+// stage count under the canonical association: stage 0 keeps both
+// attributes, stage 1 drops "value" (brokers match on topic alone and
+// the subscriber edge re-applies value bounds), the top stage keeps only
+// the class.
+func (c *Cluster) Advertisement(stages int) (*typing.Advertisement, error) {
+	return typing.NewAdvertisement(TickClass, stages, "topic", "value")
+}
+
+// Crowds returns the flash-crowd windows (hot topic per window), and
+// Storms the churn-storm windows — the hooks for correlating fault
+// schedules with workload surges.
+func (c *Cluster) Crowds() []Window { return c.crowds }
+
+// Storms returns the churn-storm windows.
+func (c *Cluster) Storms() []Window { return c.storms }
+
+// Ops returns the total number of operations the stream will emit.
+func (c *Cluster) Ops() int { return len(c.slots) }
+
+// ActiveSubs returns the number of currently live subscriptions at the
+// stream position.
+func (c *Cluster) ActiveSubs() int { return len(c.active) }
+
+// Next emits the next operation, or ok=false at the end of the stream.
+func (c *Cluster) Next() (Op, bool) {
+	for c.pos < len(c.slots) {
+		s := c.slots[c.pos]
+		c.pos++
+		switch s.kind {
+		case slotSub:
+			return c.subscribe(s.time, c.topics.Draw(c.rng)), true
+		case slotCrowdSub:
+			return c.subscribe(s.time, c.crowds[s.crowd].Topic), true
+		case slotPub:
+			return c.publish(s.time, c.topics.Draw(c.rng)), true
+		case slotCrowdPub:
+			return c.publish(s.time, c.crowds[s.crowd].Topic), true
+		case slotUnsub, slotStormUnsub:
+			if len(c.active) == 0 {
+				continue // nothing to churn yet; skip the slot
+			}
+			return c.unsubscribe(s.time), true
+		case slotResub, slotStormResub:
+			return c.subscribe(s.time, c.topics.Draw(c.rng)), true
+		}
+	}
+	return Op{}, false
+}
+
+// subscribe creates a subscription op on the given topic rank.
+func (c *Cluster) subscribe(t int64, topic int) Op {
+	client := c.rng.Uint64N(uint64(c.cfg.Clients))
+	c.subSeq++
+	id := fmt.Sprintf("c%d-s%d", client, c.subSeq)
+	f := &filter.Filter{Class: TickClass, Constraints: []filter.Constraint{
+		filter.C("topic", filter.OpEq, c.pool[topic]),
+	}}
+	if c.cfg.ValueBoundProb > 0 && c.rng.Float64() < c.cfg.ValueBoundProb {
+		bound := 1 + c.rng.Int64N(c.cfg.ValueRange)
+		f.Constraints = append(f.Constraints, filter.C("value", filter.OpLt, event.Int(bound)))
+	}
+	c.active = append(c.active, activeSub{id: id, client: client})
+	return Op{Time: t, Kind: OpSubscribe, Client: client, SubID: id, Filter: f}
+}
+
+// unsubscribe removes a uniformly chosen live subscription.
+func (c *Cluster) unsubscribe(t int64) Op {
+	i := c.rng.IntN(len(c.active))
+	sub := c.active[i]
+	c.active[i] = c.active[len(c.active)-1]
+	c.active = c.active[:len(c.active)-1]
+	return Op{Time: t, Kind: OpUnsubscribe, Client: sub.client, SubID: sub.id}
+}
+
+// publish creates a publish op on the given topic rank.
+func (c *Cluster) publish(t int64, topic int) Op {
+	client := c.rng.Uint64N(uint64(c.cfg.Clients))
+	c.evSeq++
+	e := event.NewBuilder(TickClass).
+		Val("topic", c.pool[topic]).
+		Int("value", c.rng.Int64N(c.cfg.ValueRange)).
+		ID(c.evSeq).Build()
+	return Op{Time: t, Kind: OpPublish, Client: client, Event: e}
+}

@@ -1,0 +1,255 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+// TestZipfRankFrequencyShape checks the sampler actually produces the
+// configured power law: frequencies decrease with rank and the head/tail
+// ratio is in the band the exponent predicts.
+func TestZipfRankFrequencyShape(t *testing.T) {
+	const n, s, draws = 50, 1.4, 200000
+	z := NewZipf(n, s)
+	rng := rand.New(rand.NewPCG(42, 43))
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Draw(rng)]++
+	}
+	// Coarse monotonicity: averaged over rank bands to tolerate noise.
+	band := func(lo, hi int) float64 {
+		total := 0
+		for i := lo; i < hi; i++ {
+			total += counts[i]
+		}
+		return float64(total) / float64(hi-lo)
+	}
+	if !(band(0, 5) > band(5, 15) && band(5, 15) > band(15, 50)) {
+		t.Fatalf("rank-frequency not decreasing: bands %.0f %.0f %.0f",
+			band(0, 5), band(5, 15), band(15, 50))
+	}
+	// p(rank 1)/p(rank 10) = 10^s ≈ 25 for s=1.4; accept a wide band.
+	ratio := float64(counts[0]) / float64(counts[9])
+	if ratio < 10 || ratio > 60 {
+		t.Fatalf("head/tail ratio %.1f outside [10, 60] for s=%v", ratio, s)
+	}
+	// Uniform sampler (s <= 1) spreads evenly.
+	u := NewZipf(n, 1.0)
+	counts = make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[u.Draw(rng)]++
+	}
+	if r := float64(counts[0]) / float64(counts[n-1]); r > 1.3 || r < 0.7 {
+		t.Fatalf("uniform sampler skewed: first/last ratio %.2f", r)
+	}
+}
+
+// TestAnchoredSubscriptionsMatchEvents pins the anchoring property: a
+// subscription generated FromEvent always matches its anchor.
+func TestAnchoredSubscriptionsMatchEvents(t *testing.T) {
+	g := MustNew("Stock", 7,
+		AttrSpec{Name: "symbol", Values: strPool("SYM%02d", 20), Skew: 1.3},
+		AttrSpec{Name: "price", Min: 1, Max: 100},
+	)
+	for i := 0; i < 500; i++ {
+		e := g.Event()
+		f := g.Subscription(SubscriptionOptions{FromEvent: e})
+		if !f.Matches(e, nil) {
+			t.Fatalf("anchored subscription %s does not match its anchor %s", f, e)
+		}
+	}
+	// Biblio's derived-title anchoring must hold too.
+	b, err := NewBiblio(11, DefaultBiblio())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		e := b.Event()
+		f := b.Generator().Subscription(SubscriptionOptions{FromEvent: e})
+		if !f.Matches(e, nil) {
+			t.Fatalf("anchored biblio subscription %s does not match %s", f, e)
+		}
+	}
+}
+
+// renderOp flattens an op to a comparable string, including full filter
+// and event content.
+func renderOp(op Op) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d %s c%d %s", op.Time, op.Kind, op.Client, op.SubID)
+	if op.Filter != nil {
+		fmt.Fprintf(&sb, " f=%s", op.Filter)
+	}
+	if op.Event != nil {
+		fmt.Fprintf(&sb, " e=%s", op.Event)
+	}
+	return sb.String()
+}
+
+// TestClusterSameSeedBitIdentical runs the same scenario twice and
+// requires byte-identical op streams.
+func TestClusterSameSeedBitIdentical(t *testing.T) {
+	cfg := DefaultCluster(100000)
+	a, err := NewCluster(99, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCluster(99, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		opA, okA := a.Next()
+		opB, okB := b.Next()
+		if okA != okB {
+			t.Fatalf("streams diverge in length at op %d", n)
+		}
+		if !okA {
+			break
+		}
+		ra, rb := renderOp(opA), renderOp(opB)
+		if ra != rb {
+			t.Fatalf("op %d differs:\n  %s\n  %s", n, ra, rb)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("empty op stream")
+	}
+	// A different seed must actually change the stream.
+	c, _ := NewCluster(100, cfg)
+	a, _ = NewCluster(99, cfg)
+	same := true
+	for {
+		opA, okA := a.Next()
+		opC, okC := c.Next()
+		if !okA || !okC {
+			break
+		}
+		if renderOp(opA) != renderOp(opC) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestClusterMillionClients drains a scenario over a million-client
+// identity space: op count matches the schedule, timestamps are
+// monotone, client IDs stay in range, and memory scales with live
+// subscriptions rather than population (implicitly: this test completes
+// in milliseconds).
+func TestClusterMillionClients(t *testing.T) {
+	cfg := DefaultCluster(1_000_000)
+	c, err := NewCluster(5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		n        int
+		last     int64 = -1
+		pubs     int
+		subs     int
+		unsubs   int
+		clients  = map[uint64]bool{}
+		maxAlive int
+	)
+	for {
+		op, ok := c.Next()
+		if !ok {
+			break
+		}
+		n++
+		if op.Time < last {
+			t.Fatalf("timestamps not monotone: %d after %d", op.Time, last)
+		}
+		last = op.Time
+		if op.Client >= uint64(cfg.Clients) {
+			t.Fatalf("client %d outside population %d", op.Client, cfg.Clients)
+		}
+		clients[op.Client] = true
+		switch op.Kind {
+		case OpPublish:
+			pubs++
+			if op.Event == nil || op.Filter != nil {
+				t.Fatalf("malformed publish op %+v", op)
+			}
+		case OpSubscribe:
+			subs++
+			if op.Filter == nil || op.Event != nil || op.SubID == "" {
+				t.Fatalf("malformed subscribe op %+v", op)
+			}
+		case OpUnsubscribe:
+			unsubs++
+			if op.SubID == "" {
+				t.Fatalf("malformed unsubscribe op %+v", op)
+			}
+		}
+		if a := c.ActiveSubs(); a > maxAlive {
+			maxAlive = a
+		}
+	}
+	if n > c.Ops() {
+		t.Fatalf("emitted %d ops, scheduled %d", n, c.Ops())
+	}
+	wantPubs := cfg.Publishes + cfg.FlashCrowds*cfg.CrowdPubs
+	if pubs != wantPubs {
+		t.Fatalf("publishes = %d, want %d", pubs, wantPubs)
+	}
+	if subs <= cfg.Subs || unsubs == 0 {
+		t.Fatalf("churn missing: subs=%d unsubs=%d", subs, unsubs)
+	}
+	if len(clients) < 1000 {
+		t.Fatalf("only %d distinct clients across %d ops", len(clients), n)
+	}
+	// Live subscriptions stay bounded by the schedule, not the population.
+	bound := cfg.Subs + cfg.ChurnOps + cfg.FlashCrowds*cfg.CrowdSubs + cfg.ChurnStorms*cfg.StormSize
+	if maxAlive > bound {
+		t.Fatalf("active subs peaked at %d, schedule bound %d", maxAlive, bound)
+	}
+}
+
+// TestClusterCrowdsConcentrateOnHotTopic checks flash-crowd windows
+// flood their hot topic: within a window, publishes on the hot topic
+// dominate.
+func TestClusterCrowdsConcentrateOnHotTopic(t *testing.T) {
+	cfg := DefaultCluster(10000)
+	c, err := NewCluster(21, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowds := c.Crowds()
+	if len(crowds) != cfg.FlashCrowds {
+		t.Fatalf("crowds = %d, want %d", len(crowds), cfg.FlashCrowds)
+	}
+	hot := make([]int, len(crowds))
+	total := make([]int, len(crowds))
+	for {
+		op, ok := c.Next()
+		if !ok {
+			break
+		}
+		if op.Kind != OpPublish {
+			continue
+		}
+		topic, _ := op.Event.Lookup("topic")
+		for i, w := range crowds {
+			if op.Time >= w.Start && op.Time < w.End {
+				total[i]++
+				if topic.Str() == fmt.Sprintf("topic-%04d", w.Topic) {
+					hot[i]++
+				}
+			}
+		}
+	}
+	for i := range crowds {
+		if total[i] == 0 || float64(hot[i])/float64(total[i]) < 0.8 {
+			t.Fatalf("crowd %d: %d/%d publishes on hot topic", i, hot[i], total[i])
+		}
+	}
+}

@@ -10,9 +10,7 @@ package workload
 
 import (
 	"fmt"
-	"math"
 	"math/rand/v2"
-	"sort"
 
 	"eventsys/internal/event"
 	"eventsys/internal/filter"
@@ -42,7 +40,7 @@ type Generator struct {
 	class string
 	specs []AttrSpec
 	rng   *rand.Rand
-	cums  [][]float64 // per-spec cumulative weights for skewed draws
+	zipfs []*Zipf // per-spec samplers for skewed draws (nil = uniform)
 	seq   uint64
 }
 
@@ -57,7 +55,7 @@ func New(class string, seed uint64, specs ...AttrSpec) (*Generator, error) {
 		class: class,
 		specs: append([]AttrSpec(nil), specs...),
 		rng:   rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
-		cums:  make([][]float64, len(specs)),
+		zipfs: make([]*Zipf, len(specs)),
 	}
 	for i, s := range specs {
 		if s.Name == "" {
@@ -73,13 +71,7 @@ func New(class string, seed uint64, specs ...AttrSpec) (*Generator, error) {
 			return nil, fmt.Errorf("workload: attribute %q has an empty pool", s.Name)
 		}
 		if s.Skew > 1 {
-			cum := make([]float64, len(s.Values))
-			total := 0.0
-			for j := range s.Values {
-				total += 1 / math.Pow(float64(j+1), s.Skew)
-				cum[j] = total
-			}
-			g.cums[i] = cum
+			g.zipfs[i] = NewZipf(len(s.Values), s.Skew)
 		}
 	}
 	return g, nil
@@ -115,12 +107,10 @@ func (g *Generator) Advertisement(stages int) (*typing.Advertisement, error) {
 
 // drawIndex picks a pool index for spec i, honoring skew.
 func (g *Generator) drawIndex(i int) int {
-	s := g.specs[i]
-	if cum := g.cums[i]; cum != nil {
-		u := g.rng.Float64() * cum[len(cum)-1]
-		return sort.SearchFloat64s(cum, u)
+	if z := g.zipfs[i]; z != nil {
+		return z.Draw(g.rng)
 	}
-	return g.rng.IntN(len(s.Values))
+	return g.rng.IntN(len(g.specs[i].Values))
 }
 
 // drawValue samples a value for spec i.

@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Zipf draws ranks 0..n-1 with probability proportional to 1/(rank+1)^s
+// — the heavy-tailed popularity law behind skewed fan-out: a few hot
+// topics attract most of the traffic while a long tail stays cold.
+//
+// rand/v2 has no Zipf generator, so this one samples by binary search
+// over a precomputed cumulative weight table: O(n) memory once, O(log n)
+// per draw, and — unlike rejection samplers — exactly one RNG consumption
+// per draw, which keeps op streams bit-identical across runs regardless
+// of how draws interleave. s <= 1 degrades to uniform. The sampler is
+// stateless between draws and safe to share across callers that
+// serialize access to the supplied rng.
+type Zipf struct {
+	cum []float64 // cum[k] = sum_{j<=k} 1/(j+1)^s; nil means uniform
+	n   int
+}
+
+// NewZipf builds a sampler over n ranks with exponent s.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		n = 1
+	}
+	z := &Zipf{n: n}
+	if s > 1 {
+		z.cum = make([]float64, n)
+		total := 0.0
+		for k := 0; k < n; k++ {
+			total += 1 / math.Pow(float64(k+1), s)
+			z.cum[k] = total
+		}
+	}
+	return z
+}
+
+// N returns the rank-space size.
+func (z *Zipf) N() int { return z.n }
+
+// Draw samples a rank in [0, N) using exactly one rng value.
+func (z *Zipf) Draw(rng *rand.Rand) int {
+	if z.cum == nil {
+		return rng.IntN(z.n)
+	}
+	u := rng.Float64() * z.cum[len(z.cum)-1]
+	return sort.SearchFloat64s(z.cum, u)
+}

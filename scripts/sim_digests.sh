@@ -1,0 +1,52 @@
+#!/bin/sh
+# sim_digests.sh — the simulator determinism gate.
+#
+# Runs every cluster scenario TWICE in separate eventsim processes and
+# diffs the "name seed digest" lines: any divergence means a
+# nondeterminism leak (map iteration, unpartitioned RNG, wall-clock
+# dependence) crept into the simulator or the production code it wraps.
+# Then compares the first run against the pinned golden file, so a
+# behavior change cannot land without regenerating the goldens — a
+# deliberate, reviewable act.
+#
+# Usage:
+#   sh scripts/sim_digests.sh           check (CI mode)
+#   sh scripts/sim_digests.sh -update   regenerate the golden file
+#
+# Environment:
+#   SEED   scenario seed (default 1, must match the golden file)
+set -eu
+
+SEED="${SEED:-1}"
+GOLDEN="internal/sim/testdata/cluster_digests.txt"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+go build -o "$OUT/eventsim" ./cmd/eventsim
+
+"$OUT/eventsim" -digests -seed "$SEED" >"$OUT/run1.txt"
+
+if [ "${1:-}" = "-update" ]; then
+    {
+        echo "# scenario seed digest — regenerate with: go test ./internal/sim -run TestScenarioGoldenDigests -update"
+        cat "$OUT/run1.txt"
+    } >"$GOLDEN"
+    echo "regenerated $GOLDEN"
+    exit 0
+fi
+
+"$OUT/eventsim" -digests -seed "$SEED" >"$OUT/run2.txt"
+
+if ! diff -u "$OUT/run1.txt" "$OUT/run2.txt"; then
+    echo "DETERMINISM FAILURE: two runs of the same seed diverged" >&2
+    exit 1
+fi
+echo "determinism: ${SEED}-seeded double run is digest-identical"
+
+grep -v '^#' "$GOLDEN" >"$OUT/golden.txt"
+if ! diff -u "$OUT/golden.txt" "$OUT/run1.txt"; then
+    echo "GOLDEN MISMATCH: behavior changed; if intended, regenerate with" >&2
+    echo "  sh scripts/sim_digests.sh -update" >&2
+    exit 1
+fi
+echo "golden: digests match $GOLDEN"
