@@ -9,13 +9,21 @@
 //
 // Publishers and subscribers connect with the pubsub command.
 //
-// Brokers can also federate as peers over an acyclic mesh instead of
-// (or in addition to) the hierarchy — each -peer edge is configured on
-// exactly one side, the other side only accepts:
+// Brokers can also federate as peers over a mesh instead of (or in
+// addition to) the hierarchy — each -peer edge is configured on exactly
+// one side, the other side only accepts. The mesh may contain cycles: a
+// deterministic spanning-tree election picks the links that carry
+// traffic and holds redundant links as standby failover paths, so a
+// ring survives any single broker death without operator action:
 //
 //	broker -id geneva -listen 127.0.0.1:7001
 //	broker -id zurich -listen 127.0.0.1:7002 -peer 127.0.0.1:7001
-//	broker -id basel  -listen 127.0.0.1:7003 -peer 127.0.0.1:7002 -peer-max-stage 2
+//	broker -id basel  -listen 127.0.0.1:7003 -peer 127.0.0.1:7002 -peer 127.0.0.1:7001
+//
+// The peer set is runtime-mutable: list addresses (one per line, #
+// comments) in a file passed as -peers-file and send SIGHUP to re-read
+// it — added addresses are dialed, removed ones hung up, and the
+// election re-runs, all without restarting the broker.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -38,6 +47,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "broker:", err)
 		os.Exit(1)
 	}
+}
+
+// readPeersFile parses a peers file: one address per line, blank lines
+// and #-comments ignored.
+func readPeersFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("peers file: %w", err)
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		if line = strings.TrimSpace(line); line != "" {
+			out = append(out, line)
+		}
+	}
+	return out, nil
 }
 
 func run(args []string) error {
@@ -56,6 +84,9 @@ func run(args []string) error {
 		return nil
 	})
 	peerMaxStage := fs.Int("peer-max-stage", 0, "clamp on hop-distance weakening of peer subscription state (0 = full filters)")
+	peersFile := fs.String("peers-file", "", "file of peer addresses (one per line, # comments) re-read on SIGHUP for runtime re-peering")
+	heartbeat := fs.Duration("peer-heartbeat", 0, "PeerPing interval on federation links (0 = default 2s, negative = disabled)")
+	deadTimeout := fs.Duration("peer-dead-timeout", 0, "silence after which a federation link is declared dead (0 = 4x heartbeat)")
 	dataDir := fs.String("data-dir", "", "durable event store directory (empty = no persistence)")
 	fsync := fs.String("fsync", "batched", "store fsync policy: batched, always, or never")
 	storeMax := fs.Int64("store-max-bytes", 0, "bound on the store's retained log (0 = unbounded)")
@@ -91,26 +122,36 @@ func run(args []string) error {
 		return fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", *logLevel)
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	staticPeers := append([]string(nil), peers...) // -peer flags: intended across re-reads
+	if *peersFile != "" {
+		fromFile, err := readPeersFile(*peersFile)
+		if err != nil {
+			return err
+		}
+		peers = append(peers, fromFile...)
+	}
 	reg := obs.NewRegistry()
 	srv, err := broker.Serve(broker.ServerConfig{
-		ID:            *id,
-		Stage:         *stage,
-		ListenAddr:    *listen,
-		ParentAddr:    *parent,
-		Peers:         peers,
-		PeerMaxStage:  *peerMaxStage,
-		TTL:           *ttl,
-		Engine:        kind,
-		Shards:        *shards,
-		MaxBatch:      *maxBatch,
-		Logger:        logger,
-		DataDir:       *dataDir,
-		SyncEvery:     syncEvery,
-		StoreMaxBytes: *storeMax,
-		FlowPolicy:    policy,
-		FlowWindow:    *flowWindow,
-		Obs:           reg,
-		Trace:         *trace,
+		ID:                *id,
+		Stage:             *stage,
+		ListenAddr:        *listen,
+		ParentAddr:        *parent,
+		Peers:             peers,
+		HeartbeatInterval: *heartbeat,
+		DeadLinkTimeout:   *deadTimeout,
+		PeerMaxStage:      *peerMaxStage,
+		TTL:               *ttl,
+		Engine:            kind,
+		Shards:            *shards,
+		MaxBatch:          *maxBatch,
+		Logger:            logger,
+		DataDir:           *dataDir,
+		SyncEvery:         syncEvery,
+		StoreMaxBytes:     *storeMax,
+		FlowPolicy:        policy,
+		FlowWindow:        *flowWindow,
+		Obs:               reg,
+		Trace:             *trace,
 	})
 	if err != nil {
 		return err
@@ -125,6 +166,24 @@ func run(args []string) error {
 		fmt.Printf("observability on http://%s/metrics\n", osrv.Addr())
 	}
 	fmt.Printf("broker %s (stage %d) listening on %s\n", *id, *stage, srv.Addr())
+
+	if *peersFile != "" {
+		// SIGHUP re-reads the peers file and re-peers at runtime: -peer
+		// flags stay intended, file addresses come and go with the file.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				fromFile, err := readPeersFile(*peersFile)
+				if err != nil {
+					logger.Warn("peers file re-read failed", "path", *peersFile, "err", err)
+					continue
+				}
+				srv.SetPeers(append(append([]string(nil), staticPeers...), fromFile...))
+				logger.Info("re-peered from file", "path", *peersFile, "peers", len(fromFile))
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

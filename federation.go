@@ -15,10 +15,12 @@ import (
 
 // This file is the networked-deployment facade: where New builds an
 // in-process hierarchy, ServeBroker runs one TCP broker node that can
-// join a parent/child hierarchy, federate with peer brokers over an
-// acyclic mesh (BrokerOptions.Peers), or both. DialPublisher and
-// DialSubscriber are the matching clients. The cmd/broker and cmd/pubsub
-// commands are thin wrappers over the same configuration surface.
+// join a parent/child hierarchy, federate with peer brokers over a mesh
+// (BrokerOptions.Peers — cycles allowed: a deterministic spanning-tree
+// election keeps routing loop-free and holds redundant links as standby
+// failover paths), or both. DialPublisher and DialSubscriber are the
+// matching clients. The cmd/broker and cmd/pubsub commands are thin
+// wrappers over the same configuration surface.
 
 // BrokerOptions configure one networked broker node.
 type BrokerOptions struct {
@@ -35,10 +37,21 @@ type BrokerOptions struct {
 	// multi-stage hierarchy.
 	Parent string
 	// Peers lists peer broker addresses to dial and keep dialed (with
-	// reconnect) for SIENA-style mesh federation. The federation graph
-	// must be acyclic, and each edge is configured on exactly one side —
-	// the other side only accepts.
+	// reconnect) for SIENA-style mesh federation. Each edge is
+	// configured on exactly one side — the other side only accepts. The
+	// graph may contain cycles: a deterministic spanning-tree election
+	// picks the links that carry traffic and holds the rest as connected
+	// standby edges that take over when an elected link's broker dies.
+	// The set is runtime-mutable: see Broker.AddPeer, RemovePeer and
+	// SetPeers.
 	Peers []string
+	// HeartbeatInterval paces PeerPing liveness probes on federation
+	// links (0 = default 2s, negative = disabled); DeadLinkTimeout is
+	// how long a link may stay silent before it is declared dead and
+	// closed (0 = 4× the heartbeat interval). Dead links feed the same
+	// re-election and failover path as clean disconnects.
+	HeartbeatInterval time.Duration
+	DeadLinkTimeout   time.Duration
 	// PeerMaxStage clamps hop-distance weakening of subscription state
 	// propagated to peers: a filter h hops from its home broker is
 	// stored in its stage-min(h, PeerMaxStage) weakened form. 0
@@ -97,6 +110,12 @@ type Broker struct {
 // Broker.PeerStats).
 type PeerLinkStats = broker.PeerLinkStats
 
+// TopologyStats is a point-in-time snapshot of the broker's federation
+// control plane: the link-state database, the elected spanning tree,
+// failover progress, and the runtime-intended peer set (see
+// Broker.TopologyStats).
+type TopologyStats = broker.TopologyStats
+
 // ServeBroker starts a networked broker node and returns once it is
 // listening.
 func ServeBroker(opts BrokerOptions) (*Broker, error) {
@@ -118,25 +137,27 @@ func ServeBroker(opts BrokerOptions) (*Broker, error) {
 	}
 	reg := obs.NewRegistry()
 	srv, err := broker.Serve(broker.ServerConfig{
-		ID:            opts.ID,
-		Stage:         opts.Stage,
-		ListenAddr:    opts.Listen,
-		ParentAddr:    opts.Parent,
-		Peers:         opts.Peers,
-		PeerMaxStage:  opts.PeerMaxStage,
-		TTL:           opts.TTL,
-		Engine:        index.Kind(opts.Engine),
-		Shards:        opts.Shards,
-		MaxBatch:      opts.MaxBatch,
-		Seed:          opts.Seed,
-		Logger:        opts.Logger,
-		DataDir:       opts.DataDir,
-		SyncEvery:     syncEvery,
-		StoreMaxBytes: opts.StoreMaxBytes,
-		FlowPolicy:    flow.Policy(opts.FlowPolicy),
-		FlowWindow:    opts.FlowWindow,
-		Obs:           reg,
-		Trace:         opts.Trace,
+		ID:                opts.ID,
+		Stage:             opts.Stage,
+		ListenAddr:        opts.Listen,
+		ParentAddr:        opts.Parent,
+		Peers:             opts.Peers,
+		HeartbeatInterval: opts.HeartbeatInterval,
+		DeadLinkTimeout:   opts.DeadLinkTimeout,
+		PeerMaxStage:      opts.PeerMaxStage,
+		TTL:               opts.TTL,
+		Engine:            index.Kind(opts.Engine),
+		Shards:            opts.Shards,
+		MaxBatch:          opts.MaxBatch,
+		Seed:              opts.Seed,
+		Logger:            opts.Logger,
+		DataDir:           opts.DataDir,
+		SyncEvery:         syncEvery,
+		StoreMaxBytes:     opts.StoreMaxBytes,
+		FlowPolicy:        flow.Policy(opts.FlowPolicy),
+		FlowWindow:        opts.FlowWindow,
+		Obs:               reg,
+		Trace:             opts.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -201,6 +222,28 @@ func (b *Broker) FlowStats() []QueueStats { return b.srv.FlowStats() }
 // (its own subscribers' originals plus per-link interests) — the
 // quantity the paper's LC counts for one mesh node.
 func (b *Broker) FederationFilters() int { return b.srv.FederationFilters() }
+
+// AddPeer adds a peer broker address to the intended dial set at
+// runtime; the control plane dials it, keeps it dialed, and the
+// spanning-tree election decides whether the new link carries traffic
+// or stands by. Adding an address already intended is a no-op.
+func (b *Broker) AddPeer(addr string) { b.srv.AddPeer(addr) }
+
+// RemovePeer removes a peer broker address from the intended dial set
+// at runtime, closing any live connection to it; the election routes
+// around the edge if the remaining topology allows. Only this side's
+// dial intent is removed — a peer that dials us stays accepted.
+func (b *Broker) RemovePeer(addr string) { b.srv.RemovePeer(addr) }
+
+// SetPeers replaces the whole intended peer dial set at runtime
+// (re-peering after a config reload: cmd/broker wires SIGHUP here).
+func (b *Broker) SetPeers(addrs []string) { b.srv.SetPeers(addrs) }
+
+// TopologyStats snapshots the federation control plane: brokers and
+// agreed edges in the link-state database, elected active and standby
+// links, failovers and re-routed events, reconciler and heartbeat
+// activity, and the intended peer set.
+func (b *Broker) TopologyStats() TopologyStats { return b.srv.TopologyStats() }
 
 // Advertised returns the event classes the broker holds advertisements
 // for (advertisements disseminate from publishers through the hierarchy

@@ -1,0 +1,293 @@
+package broker
+
+import (
+	"context"
+	"hash/fnv"
+	"math/rand/v2"
+	"net"
+	"sort"
+	"time"
+
+	"eventsys/internal/obs"
+	"eventsys/internal/transport"
+)
+
+// The federation control plane: the intended peer set (which addresses
+// this broker should keep dialed) is a runtime-mutable object, and a
+// reconciler loop continuously compares it against the running dial
+// workers, starting one per missing address and cancelling one per
+// removed address. Each worker owns a single peer address: dial,
+// handshake, hand the connection to the core, wait for it to die, back
+// off with seeded jitter, redial — until its context is cancelled.
+//
+// Liveness beyond TCP resets comes from the heartbeat loop: every
+// federation connection carries periodic PeerPing frames, every inbound
+// frame refreshes the connection's lastRecv stamp, and a connection
+// silent past the dead-link timeout is closed — which feeds the same
+// link-down / re-elect / failover path as any other disconnect.
+
+// reconcileEvery is the reconciler's periodic safety-net scan; mutations
+// wake it immediately via reconcileCh.
+const reconcileEvery = 2 * time.Second
+
+// defaultHeartbeat paces PeerPing frames when HeartbeatInterval is 0.
+const defaultHeartbeat = 2 * time.Second
+
+// peerWorker is one cancellable dial loop for one intended peer address.
+type peerWorker struct {
+	addr   string
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// AddPeer adds a peer address to the intended set; the reconciler starts
+// a dial worker for it. Adding an address already intended is a no-op.
+func (s *Server) AddPeer(addr string) {
+	s.intentMu.Lock()
+	s.intent[addr] = struct{}{}
+	s.intentMu.Unlock()
+	s.kickReconcile()
+}
+
+// RemovePeer removes a peer address from the intended set; the
+// reconciler cancels its dial worker, closing any live connection (the
+// usual link-down election then routes around the edge if the remaining
+// topology allows). Only this side's dial intent is removed — a peer
+// that dials us stays accepted.
+func (s *Server) RemovePeer(addr string) {
+	s.intentMu.Lock()
+	delete(s.intent, addr)
+	s.intentMu.Unlock()
+	s.kickReconcile()
+}
+
+// SetPeers replaces the whole intended peer set (runtime re-peering:
+// SIGHUP config re-reads land here).
+func (s *Server) SetPeers(addrs []string) {
+	s.intentMu.Lock()
+	s.intent = make(map[string]struct{}, len(addrs))
+	for _, a := range addrs {
+		if a != "" {
+			s.intent[a] = struct{}{}
+		}
+	}
+	s.intentMu.Unlock()
+	s.kickReconcile()
+}
+
+// IntendedPeers returns the intended peer addresses, sorted.
+func (s *Server) IntendedPeers() []string {
+	s.intentMu.Lock()
+	out := make([]string, 0, len(s.intent))
+	for a := range s.intent {
+		out = append(out, a)
+	}
+	s.intentMu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// kickReconcile wakes the reconciler without blocking (the 1-buffered
+// channel coalesces bursts of mutations into one pass).
+func (s *Server) kickReconcile() {
+	select {
+	case s.reconcileCh <- struct{}{}:
+	default:
+	}
+}
+
+// reconciler drives intended state to current state: one pass per wake
+// or periodic tick, each pass diffing the intent map against the worker
+// map.
+func (s *Server) reconciler() {
+	defer s.wg.Done()
+	t := time.NewTicker(reconcileEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-s.reconcileCh:
+		case <-t.C:
+		}
+		s.reconcile()
+	}
+}
+
+// reconcile runs one diff pass. Cancelled workers close their live
+// connection on the way out; the core observes the disconnect and
+// re-elects as for any link death.
+func (s *Server) reconcile() {
+	s.intentMu.Lock()
+	var stop []*peerWorker
+	for addr, w := range s.workers {
+		if _, ok := s.intent[addr]; !ok {
+			delete(s.workers, addr)
+			stop = append(stop, w)
+		}
+	}
+	var start []*peerWorker
+	for addr := range s.intent {
+		if _, ok := s.workers[addr]; ok {
+			continue
+		}
+		ctx, cancel := context.WithCancel(s.ctx)
+		w := &peerWorker{addr: addr, cancel: cancel, done: make(chan struct{})}
+		s.workers[addr] = w
+		start = append(start, w)
+		s.wg.Add(1)
+		go s.runPeerWorker(ctx, w)
+	}
+	s.intentMu.Unlock()
+	if len(stop)+len(start) > 0 {
+		s.reconciles.Add(1)
+		for _, w := range stop {
+			s.log.Info("peer worker cancelled", "addr", w.addr)
+			w.cancel()
+		}
+		for _, w := range start {
+			s.log.Info("peer worker started", "addr", w.addr)
+		}
+	}
+}
+
+// runPeerWorker dials one peer address and keeps it dialed: on
+// connection loss it backs off (with seeded jitter, so a fleet of
+// brokers redialing a restarted hub spreads out instead of stampeding)
+// and redials, until its context is cancelled. The PeerHello handshake
+// and all link state changes happen in the core goroutine; the worker
+// only owns the dial loop.
+func (s *Server) runPeerWorker(ctx context.Context, w *peerWorker) {
+	defer s.wg.Done()
+	defer close(w.done)
+	const maxBackoff = 2 * time.Second
+	backoff := 50 * time.Millisecond
+	rng := rand.New(rand.NewPCG(s.cfg.Seed, addrSeed(w.addr)))
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		d := net.Dialer{Timeout: 3 * time.Second}
+		c, err := d.DialContext(ctx, "tcp", w.addr)
+		if err != nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(jitterBackoff(rng, backoff)):
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			continue
+		}
+		backoff = 50 * time.Millisecond
+		pc := s.newPeerConn(c)
+		pc.kind, pc.dialed = transport.PeerMeshBroker, true
+		if err := transport.WriteFrame(c, transport.PeerHello{ID: s.cfg.ID, Addr: s.Addr()}); err != nil {
+			c.Close()
+			continue
+		}
+		s.mu.Lock()
+		s.conns[pc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(2)
+		go s.readLoop(pc)
+		go s.writeLoop(pc)
+		select {
+		case <-pc.done:
+		case <-ctx.Done():
+			pc.close()
+			return
+		}
+		// Brief jittered pause before redial so a crashed peer's port can
+		// rebind — and so downstream brokers don't redial in lockstep.
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(jitterBackoff(rng, 50*time.Millisecond)):
+		}
+	}
+}
+
+// jitterBackoff spreads a delay uniformly over [d/2, d): full pauses
+// synchronize a fleet, zero-floor jitter can busy-dial.
+func jitterBackoff(rng *rand.Rand, d time.Duration) time.Duration {
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rng.Int64N(int64(half)))
+}
+
+// addrSeed folds a peer address into a per-worker RNG stream seed, so
+// every worker's jitter sequence differs even under one process seed.
+func addrSeed(addr string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	return h.Sum64()
+}
+
+// heartbeatEvery resolves the configured heartbeat interval (0 =
+// default, negative = disabled).
+func (s *Server) heartbeatEvery() time.Duration {
+	switch {
+	case s.cfg.HeartbeatInterval < 0:
+		return 0
+	case s.cfg.HeartbeatInterval == 0:
+		return defaultHeartbeat
+	default:
+		return s.cfg.HeartbeatInterval
+	}
+}
+
+// deadLinkAfter resolves the dead-link timeout (default 4× heartbeat).
+func (s *Server) deadLinkAfter() time.Duration {
+	if s.cfg.DeadLinkTimeout > 0 {
+		return s.cfg.DeadLinkTimeout
+	}
+	return 4 * s.heartbeatEvery()
+}
+
+// heartbeatLoop pings every federation connection each interval and
+// closes the ones that have been silent past the dead-link timeout. A
+// ping needs no reply: both sides ping, so any healthy link sees
+// inbound frames at least this often, and lastRecv (refreshed by every
+// inbound frame) going stale means the peer — or the path to it — is
+// gone even if the socket looks open.
+func (s *Server) heartbeatLoop(every time.Duration) {
+	defer s.wg.Done()
+	dead := s.deadLinkAfter()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+		}
+		now := obs.Nanotime()
+		type target struct {
+			pc *peerConn
+			id string
+		}
+		var peers []target
+		s.mu.Lock()
+		for pc := range s.conns {
+			if pc.kind == transport.PeerMeshBroker {
+				peers = append(peers, target{pc, pc.id})
+			}
+		}
+		s.mu.Unlock()
+		for _, p := range peers {
+			if now-p.pc.lastRecv.Load() > int64(dead) {
+				s.log.Warn("peer link silent past dead-link timeout; closing", "peer", p.id)
+				s.deadLinks.Add(1)
+				p.pc.close()
+				continue
+			}
+			// Best-effort: a full control channel means the writer is
+			// wedged — the timeout will catch it.
+			p.pc.tryCtl(transport.PeerPing{})
+		}
+	}
+}

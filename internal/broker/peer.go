@@ -1,9 +1,7 @@
 package broker
 
 import (
-	"net"
 	"sort"
-	"time"
 
 	"eventsys/internal/event"
 	"eventsys/internal/flow"
@@ -37,6 +35,20 @@ type peerLink struct {
 	addr string    // last advertised listen address (metadata)
 	pc   *peerConn // nil while the link is down
 
+	// active mirrors the peering.Core activation flag: the spanning-tree
+	// election promoted this link to carry traffic. A dead active link
+	// (pc == nil, active) keeps its interests and spools matching events
+	// — either until the peer reconnects, or until failover hands the
+	// spool to a promoted standby edge.
+	active bool
+	// synced records that the current connection received its SubSet;
+	// cleared whenever a connection attaches or detaches so the election
+	// knows a (re-)promoted link needs a fresh resync.
+	synced bool
+	// failover marks a dead link whose traffic is being handed over to
+	// freshly promoted edges; cleared when the orphaned spool drains.
+	failover bool
+
 	forwards uint64 // events enqueued to this link
 	spooled  uint64 // events spilled to the durable store for this link
 	dropped  uint64 // events lost (saturated queue, no store)
@@ -48,8 +60,11 @@ type PeerLinkStats struct {
 	// Peer is the remote broker's ID; Addr its last advertised address.
 	Peer string
 	Addr string
-	// Up reports whether a connection is currently attached.
-	Up bool
+	// Up reports whether a connection is currently attached; Active
+	// whether the spanning-tree election selected the link to carry
+	// traffic (a connected non-active link is a standby failover edge).
+	Up     bool
+	Active bool
 	// Interests is the number of filters learned from the peer; Sent the
 	// number propagated to it (after covering pruning).
 	Interests int
@@ -70,63 +85,13 @@ type PeerLinkStats struct {
 	Pending int
 }
 
-// peerSupervisor dials one configured peer address and keeps it dialed:
-// on connection loss it backs off and redials. The PeerHello handshake
-// and all link state changes happen in the core goroutine; the
-// supervisor only owns the dial loop.
-func (s *Server) peerSupervisor(addr string) {
-	defer s.wg.Done()
-	const maxBackoff = 2 * time.Second
-	backoff := 50 * time.Millisecond
-	for {
-		if s.ctx.Err() != nil {
-			return
-		}
-		d := net.Dialer{Timeout: 3 * time.Second}
-		c, err := d.DialContext(s.ctx, "tcp", addr)
-		if err != nil {
-			select {
-			case <-s.ctx.Done():
-				return
-			case <-time.After(backoff):
-			}
-			if backoff *= 2; backoff > maxBackoff {
-				backoff = maxBackoff
-			}
-			continue
-		}
-		backoff = 50 * time.Millisecond
-		pc := s.newPeerConn(c)
-		pc.kind, pc.dialed = transport.PeerMeshBroker, true
-		if err := transport.WriteFrame(c, transport.PeerHello{ID: s.cfg.ID, Addr: s.Addr()}); err != nil {
-			c.Close()
-			continue
-		}
-		s.mu.Lock()
-		s.conns[pc] = struct{}{}
-		s.mu.Unlock()
-		s.wg.Add(2)
-		go s.readLoop(pc)
-		go s.writeLoop(pc)
-		select {
-		case <-pc.done:
-		case <-s.ctx.Done():
-			return
-		}
-		// Brief pause before redial so a crashed peer's port can rebind.
-		select {
-		case <-s.ctx.Done():
-			return
-		case <-time.After(50 * time.Millisecond):
-		}
-	}
-}
-
 // handlePeerHello attaches a connection to its federation link (creating
 // the link on first contact), replies with this broker's own PeerHello
-// when the peer dialed us, resynchronizes subscription state with a full
-// SubSet, and replays any durable spool accumulated while the link was
-// down.
+// when the peer dialed us, and runs the topology handshake: ship the
+// link-state database, announce the new adjacency, and re-run the
+// election. The SubSet resync and spool replay ride the promotion — a
+// link that connects as a standby failover edge carries nothing until
+// elected.
 func (s *Server) handlePeerHello(pc *peerConn, msg transport.PeerHello) {
 	if msg.ID == "" || msg.ID == s.cfg.ID {
 		s.log.Warn("rejecting peer hello", "peer", msg.ID)
@@ -138,12 +103,15 @@ func (s *Server) handlePeerHello(pc *peerConn, msg transport.PeerHello) {
 	if link.pc != nil && link.pc != pc {
 		// Latest handshake wins: a reconnecting peer may race its own
 		// half-dead previous connection, which would otherwise shadow
-		// the live one until a TCP timeout.
+		// the live one until a TCP timeout. The old connection keeps its
+		// link reference so dropPeer salvages whatever its writer never
+		// transmitted into the durable spool; it no longer owns the link
+		// (link.pc != old pc), so the live link is not marked down.
 		s.log.Warn("replacing duplicate peer connection", "peer", msg.ID)
-		link.pc.link = nil
 		link.pc.close()
 	}
 	link.pc = pc
+	link.synced = false
 	pc.link = link
 	s.setIdentity(pc, transport.PeerMeshBroker, msg.ID, pc.addr)
 	if !pc.dialed {
@@ -155,12 +123,15 @@ func (s *Server) handlePeerHello(pc *peerConn, msg transport.PeerHello) {
 	// side's writer.
 	pc.meter.Store(flow.NewMeter(s.cfg.FlowWindow))
 	s.addGrant(pc, s.cfg.FlowWindow)
-	entries := s.fed.Sync(peering.LinkID(msg.ID))
-	s.sendCtrl(link, transport.SubSet{Entries: entriesToWire(entries)})
-	link.resyncs++
-	s.counters.AddPeerResyncs(1)
-	s.log.Info("peer link up", "peer", msg.ID, "addr", msg.Addr, "sync_entries", len(entries))
-	s.replayPeerSpool(link)
+	s.log.Info("peer link connected", "peer", msg.ID, "addr", msg.Addr)
+	// Topology handshake: announce the grown adjacency everywhere, give
+	// the new peer the whole database (it may be fresh from a restart),
+	// and re-elect — promotion sends the SubSet and replays the spool.
+	s.announceTopology()
+	for _, r := range s.topo.Records() {
+		s.sendCtrl(link, transport.LinkState{Origin: r.Origin, Seq: r.Seq, Peers: r.Peers})
+	}
+	s.recomputeTopology()
 }
 
 // ensurePeerLink returns the link for a peer ID, creating it (and its
@@ -172,7 +143,12 @@ func (s *Server) ensurePeerLink(id string) *peerLink {
 	}
 	link = &peerLink{id: id}
 	s.peerLinks[id] = link
+	// New links start as standby edges: the election promotes them (and
+	// only then do they receive or match subscription state). Links
+	// recovered from a previous incarnation's persisted state override
+	// this in loadPeerState — they must keep routing spooled traffic.
 	s.fed.AddLink(peering.LinkID(id))
+	s.fed.SetActive(peering.LinkID(id), false)
 	if s.store != nil {
 		if _, _, err := s.store.Register(spoolKey(id)); err != nil {
 			s.log.Warn("peer spool register failed", "peer", id, "err", err)
@@ -188,6 +164,13 @@ func (s *Server) handleSubSet(pc *peerConn, msg transport.SubSet) {
 	ups := s.fed.Replace(peering.LinkID(pc.link.id), entriesFromWire(msg.Entries))
 	s.persistPeerState(pc.link)
 	s.fanUpdates(ups)
+	// A promoted link's resync just landed: once every promotion from
+	// the in-progress election has synced, failed-over spools can be
+	// re-routed with full knowledge of the new paths' interests.
+	if _, ok := s.pendingResync[pc.link.id]; ok {
+		delete(s.pendingResync, pc.link.id)
+		s.maybeCompleteFailover()
+	}
 }
 
 func (s *Server) handleSubUpdate(pc *peerConn, msg transport.SubUpdate) {
@@ -216,16 +199,27 @@ func (s *Server) fanUpdates(ups []peering.Update) {
 	}
 }
 
-// sendCtrl enqueues a control frame (SubSet/SubUpdate) for a peer link.
-// Control traffic must not be silently lost — a dropped update would
-// under-deliver until the next resync — so a saturated control channel
-// (a wedged writer: the writer drains control ahead of events) tears
-// the connection down instead: the dialing side redials and the SubSet
-// resync repairs the state.
+// sendCtrl enqueues a control frame (SubSet/SubUpdate/LinkState) for a
+// peer link. Control traffic must not be silently lost — a dropped
+// update would under-deliver until the next resync — so a saturated
+// control channel (a wedged writer: the writer drains control ahead of
+// events) tears the connection down instead: the dialing side redials
+// and the SubSet resync repairs the state. The link detaches from the
+// dying connection immediately — close() only signals the read/write
+// loops, so leaving link.pc set would let later sends in the same core
+// batch feed a doomed queue instead of taking the down-link spool path.
+// The connection keeps its link reference for dropPeer's salvage, and
+// dropPeer runs the topology reaction when the gone event lands.
 func (s *Server) sendCtrl(link *peerLink, m transport.Message) {
+	if link.pc == nil {
+		return
+	}
 	if !link.pc.tryCtl(m) {
 		s.log.Warn("peer control channel saturated; recycling link", "peer", link.id)
-		link.pc.close()
+		pc := link.pc
+		link.pc = nil
+		link.synced = false
+		pc.close()
 	}
 }
 
@@ -376,6 +370,7 @@ func (s *Server) PeerStats() []PeerLinkStats {
 				Peer:     id,
 				Addr:     link.addr,
 				Up:       link.pc != nil,
+				Active:   link.active,
 				Forwards: link.forwards,
 				Spooled:  link.spooled,
 				Dropped:  link.dropped,

@@ -123,6 +123,13 @@ func (s *Server) loadPeerState() error {
 		link := s.ensurePeerLink(id)
 		link.addr = addr
 		s.fed.Replace(peering.LinkID(id), entries)
+		// Recovered links start active (overriding ensurePeerLink's
+		// standby default): the previous incarnation routed traffic over
+		// them, so replayed events must keep matching their interests
+		// before the neighbors reconnect. synced stays false — the
+		// election resyncs on reconnect as usual.
+		link.active = true
+		s.fed.SetActive(peering.LinkID(id), true)
 		s.log.Info("recovered peer link state", "peer", id, "interests", len(entries))
 	}
 	return nil

@@ -104,10 +104,23 @@ type ServerConfig struct {
 	// evicted beyond it (0 = unbounded).
 	StoreMaxBytes int64
 	// Peers lists peer broker addresses to dial and keep dialed (with
-	// reconnect) for mesh federation. The federation graph must be
-	// acyclic, and each edge must be configured on exactly one side —
-	// the other side only accepts. Inbound peers need no configuration.
+	// reconnect) for mesh federation. Each edge is configured on exactly
+	// one side — the other side only accepts — and the set is mutable at
+	// runtime via AddPeer/RemovePeer/SetPeers. Cycles are allowed and
+	// useful: the brokers elect a spanning tree over the links that are
+	// up, and redundant edges stand by as failover paths that activate
+	// when a broker or link dies.
 	Peers []string
+	// HeartbeatInterval paces PeerPing frames on federation links and the
+	// dead-link scan (default 2s; negative disables heartbeats). TCP
+	// resets already tear links down; the heartbeat catches the silent
+	// failures — frozen processes, black-holed routes — that leave a
+	// socket open but dead.
+	HeartbeatInterval time.Duration
+	// DeadLinkTimeout closes a federation link that has received no
+	// frame for this long (default 4× HeartbeatInterval). Closing it
+	// triggers the same reconnect-and-reelect path as a TCP reset.
+	DeadLinkTimeout time.Duration
 	// PeerMaxStage clamps hop-distance weakening of subscription state
 	// propagated to peers (the mesh's MaxStage): a filter h hops from
 	// its subscriber is stored in its stage-min(h, PeerMaxStage) form.
@@ -163,6 +176,17 @@ type Server struct {
 	mu    sync.Mutex
 	conns map[*peerConn]struct{}
 
+	// Control plane: the reconciler compares the intended peer set with
+	// the running dial workers and starts/cancels workers to close the
+	// gap (see control.go). intentMu guards both maps; reconcileCh (1-
+	// buffered) wakes the reconciler after a mutation.
+	intentMu    sync.Mutex
+	intent      map[string]struct{}
+	workers     map[string]*peerWorker
+	reconcileCh chan struct{}
+	reconciles  atomic.Uint64
+	deadLinks   atomic.Uint64
+
 	// stallLogNS rate-limits flow-stall logging: backpressure engaging
 	// is operator-relevant, but a sustained stall fires OnStall per
 	// push and must not flood the log.
@@ -178,6 +202,16 @@ type Server struct {
 	// flusher goroutine rewrites them in batches instead of on every
 	// incremental SubUpdate.
 	peerDirty map[string]struct{}
+	// topo is the link-state database driving the spanning-tree election
+	// (see topology.go); pendingResync tracks promoted links whose
+	// SubSet exchange is still in flight, and promoted the links
+	// activated by the in-progress failover — the only legal re-routing
+	// targets for a dead link's orphaned spool.
+	topo          *peering.TopologyView
+	pendingResync map[string]struct{}
+	promoted      map[string]struct{}
+	failovers     uint64
+	reroutes      uint64
 }
 
 type coreEvent struct {
@@ -260,6 +294,11 @@ type peerConn struct {
 	// peerAcked reports the remote acknowledged our grants (stats).
 	peerAcked atomic.Bool
 
+	// lastRecv is the Nanotime of the most recent inbound frame; the
+	// heartbeat loop closes federation links whose silence exceeds the
+	// dead-link timeout.
+	lastRecv atomic.Int64
+
 	done chan struct{} // closed with the connection (supervisor redial cue)
 	// writerDone is closed when the write loop exits; after that,
 	// whatever remains in out was never written and can be salvaged.
@@ -279,6 +318,7 @@ func (s *Server) newPeerConn(c net.Conn) *peerConn {
 		grantSig: make(chan struct{}, 1),
 		done:     make(chan struct{}), writerDone: make(chan struct{}),
 	}
+	pc.lastRecv.Store(obs.Nanotime())
 	pc.out = flow.New(flow.Config[transport.Message]{
 		Window: s.cfg.FlowWindow,
 		Policy: s.cfg.FlowPolicy,
@@ -447,6 +487,13 @@ func Serve(cfg ServerConfig) (*Server, error) {
 		byID:      make(map[routing.NodeID]*peerConn),
 		peerLinks: make(map[string]*peerLink),
 		peerDirty: make(map[string]struct{}),
+
+		intent:        make(map[string]struct{}),
+		workers:       make(map[string]*peerWorker),
+		reconcileCh:   make(chan struct{}, 1),
+		topo:          peering.NewTopologyView(cfg.ID),
+		pendingResync: make(map[string]struct{}),
+		promoted:      make(map[string]struct{}),
 	}
 	if s.cfg.MaxBatch <= 0 {
 		s.cfg.MaxBatch = DefaultMaxBatch
@@ -540,9 +587,17 @@ func Serve(cfg ServerConfig) (*Server, error) {
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.core()
+	// The control plane owns the peer set from here on: cfg.Peers is just
+	// the initial intent, mutable at runtime via AddPeer/RemovePeer.
 	for _, addr := range cfg.Peers {
+		s.intent[addr] = struct{}{}
+	}
+	s.wg.Add(1)
+	go s.reconciler()
+	s.kickReconcile()
+	if hb := s.heartbeatEvery(); hb > 0 {
 		s.wg.Add(1)
-		go s.peerSupervisor(addr)
+		go s.heartbeatLoop(hb)
 	}
 	if s.store != nil {
 		s.wg.Add(1)
@@ -625,7 +680,34 @@ func (s *Server) registerObs(reg *obs.Registry) {
 				"Full SubSet resyncs on reconnect.", float64(st.Resyncs), l...)
 			w.Gauge("eventsys_peer_link_pending_events",
 				"Spooled backlog awaiting replay to the peer.", float64(st.Pending), l...)
+			active := 0.0
+			if st.Active {
+				active = 1
+			}
+			w.Gauge("eventsys_peer_link_active",
+				"Whether the spanning-tree election selected the link to carry traffic.",
+				active, l...)
 		}
+		ts := s.TopologyStats()
+		tl := []string{"node", s.cfg.ID}
+		w.Gauge("eventsys_topology_brokers",
+			"Brokers in the link-state database.", float64(ts.Brokers), tl...)
+		w.Gauge("eventsys_topology_edges",
+			"Agreed undirected federation edges.", float64(ts.Edges), tl...)
+		w.Gauge("eventsys_topology_active_links",
+			"Links elected into the spanning tree.", float64(len(ts.ActivePeers)), tl...)
+		w.Gauge("eventsys_topology_standby_links",
+			"Connected links held as failover paths.", float64(len(ts.StandbyPeers)), tl...)
+		w.Counter("eventsys_topology_failovers_total",
+			"Dead-link handoffs to promoted standby paths.", float64(ts.Failovers), tl...)
+		w.Counter("eventsys_topology_rerouted_events_total",
+			"Events re-routed from dead links' spools onto promoted paths.",
+			float64(ts.Reroutes), tl...)
+		w.Counter("eventsys_topology_reconciles_total",
+			"Control-plane passes that changed the dial-worker set.",
+			float64(ts.Reconciles), tl...)
+		w.Counter("eventsys_topology_dead_link_closes_total",
+			"Connections closed by the heartbeat monitor.", float64(ts.DeadLinkCloses), tl...)
 	})
 	reg.RegisterStatus("broker/"+s.cfg.ID, func() any {
 		return map[string]any{
@@ -635,6 +717,7 @@ func (s *Server) registerObs(reg *obs.Registry) {
 			"stats":      s.Stats(),
 			"flow":       s.FlowStats(),
 			"peers":      peerSnap(),
+			"topology":   s.TopologyStats(),
 			"store":      s.StoreStats(),
 			"tracing":    s.tracer.Enabled(),
 			"dataDir":    s.cfg.DataDir,
@@ -764,7 +847,13 @@ func (s *Server) readLoop(pc *peerConn) {
 			s.post(coreEvent{pc: pc, gone: true})
 			return
 		}
+		// Any inbound frame proves the link alive; the heartbeat loop
+		// closes connections whose stamp goes stale.
+		pc.lastRecv.Store(obs.Nanotime())
 		switch cm := m.(type) {
+		case transport.PeerPing:
+			// Liveness only — the lastRecv stamp above was the payload.
+			continue
 		case transport.Credit:
 			pc.gate.Grant(int(cm.Grant))
 			if !pc.acked {
@@ -1126,13 +1215,20 @@ func (s *Server) dropPeer(pc *peerConn) {
 	}
 	if pc.link != nil {
 		// A federation link went down: keep its learned interests so
-		// matching events keep spilling to the durable store; the
-		// dialing side's supervisor reconnects and resyncs.
+		// matching events keep spilling to the durable store; the dial
+		// worker reconnects and the election resyncs on promotion.
 		if pc.link.pc == pc {
 			pc.link.pc = nil
+			pc.link.synced = false
 			s.log.Warn("peer link down", "peer", pc.link.id)
 		}
 		s.salvageQueued(pc, spoolKey(pc.link.id), pc.link)
+		// Re-announce and re-elect once the link is ownerless (covers
+		// connections sendCtrl already detached); a replaced duplicate
+		// connection leaves the live link alone.
+		if pc.link.pc == nil {
+			s.topologyLinkDown()
+		}
 		return
 	}
 	if pc.id != "" {
@@ -1220,6 +1316,8 @@ func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
 		s.handleSubSet(pc, msg)
 	case transport.SubUpdate:
 		s.handleSubUpdate(pc, msg)
+	case transport.LinkState:
+		s.handleLinkState(pc, msg)
 	case transport.Forward:
 		if pc.link == nil || msg.Event == nil {
 			return
@@ -1309,15 +1407,18 @@ func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
 			return
 		}
 		// Disseminate down the tree (Section 4.1: advertisements reach
-		// every node) and across the federation (acyclic, so excluding
-		// the arrival link terminates the flood).
+		// every node) and across the federation — spanning-tree edges
+		// only: the elected forest is acyclic, so excluding the arrival
+		// link terminates the flood even when the configured links form
+		// cycles. Standby links catch up on promotion (recomputeTopology
+		// replays the advertisement set).
 		for _, dst := range s.byID {
 			if dst.kind == transport.PeerChildBroker {
 				s.sendTo(dst, msg)
 			}
 		}
 		for _, link := range s.peerLinks {
-			if link.pc != nil && link.pc != pc {
+			if link.active && link.pc != nil && link.pc != pc {
 				s.sendTo(link.pc, msg)
 			}
 		}

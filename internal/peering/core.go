@@ -105,6 +105,12 @@ type link struct {
 	id        LinkID
 	interests []interest
 	sent      []*filter.Filter
+	// standby inverts the activation flag so the zero value is an active
+	// link (the mesh and pre-election transports never touch it). A
+	// standby link is a registered failover edge: it receives no
+	// propagated subscription state and matches no events until the
+	// spanning-tree election activates it.
+	standby bool
 
 	propagated uint64
 	suppressed uint64
@@ -152,6 +158,22 @@ func (c *Core) AddLink(id LinkID) bool {
 	c.links[id] = &link{id: id}
 	c.order = append(c.order, id)
 	return true
+}
+
+// SetActive switches a link between active (participating in routing
+// and subscription propagation — the default) and standby (a registered
+// failover edge that carries nothing until promoted). Unknown links are
+// ignored.
+func (c *Core) SetActive(id LinkID, active bool) {
+	if l, ok := c.links[id]; ok {
+		l.standby = !active
+	}
+}
+
+// Active reports whether the link is registered and active.
+func (c *Core) Active(id LinkID) bool {
+	l, ok := c.links[id]
+	return ok && !l.standby
 }
 
 // HasLink reports whether the link is registered.
@@ -220,6 +242,9 @@ func (c *Core) Subscribe(subID string, f *filter.Filter) []Update {
 	c.locals[subID] = append(c.locals[subID], f.Clone())
 	var out []Update
 	for _, id := range c.order {
+		if c.links[id].standby {
+			continue
+		}
 		if u := c.offer(c.links[id], Entry{Filter: f, Hops: 1}); u != nil {
 			out = append(out, *u)
 		}
@@ -253,7 +278,7 @@ func (c *Core) Apply(from LinkID, e Entry) []Update {
 	})
 	var out []Update
 	for _, id := range c.order {
-		if id == from {
+		if id == from || c.links[id].standby {
 			continue
 		}
 		if u := c.offer(c.links[id], Entry{Filter: e.Filter, Hops: e.Hops + 1}); u != nil {
@@ -344,13 +369,16 @@ func (c *Core) MatchLocals(e event.View) []string {
 	return out
 }
 
-// MatchLinks returns the links (excluding from) with at least one
-// interest matching the event — the reverse paths the event must follow.
+// MatchLinks returns the active links (excluding from) with at least
+// one interest matching the event — the reverse paths the event must
+// follow. Standby links hold no interests in steady state, but during a
+// failover handoff a dead link keeps its interests while demoted edges
+// must not double-route, so the activation flag gates matching too.
 // Order is link registration order.
 func (c *Core) MatchLinks(e event.View, from LinkID) []LinkID {
 	var out []LinkID
 	for _, id := range c.order {
-		if id == from {
+		if id == from || c.links[id].standby {
 			continue
 		}
 		for _, in := range c.links[id].interests {
@@ -361,6 +389,23 @@ func (c *Core) MatchLinks(e event.View, from LinkID) []LinkID {
 		}
 	}
 	return out
+}
+
+// MatchLink reports whether the given link holds an interest matching
+// the event, regardless of activation — the re-routing probe failover
+// uses to re-home a dead link's orphaned spool onto freshly promoted
+// edges.
+func (c *Core) MatchLink(e event.View, id LinkID) bool {
+	l, ok := c.links[id]
+	if !ok {
+		return false
+	}
+	for _, in := range l.interests {
+		if in.stored.Matches(e, c.conf) {
+			return true
+		}
+	}
+	return false
 }
 
 // FilterCount reports the broker's total stored filters (locals plus

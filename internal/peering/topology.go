@@ -1,0 +1,184 @@
+package peering
+
+import "sort"
+
+// TopologyView is one broker's link-state database over the federation's
+// configured link set. Every broker floods a link-state advertisement
+// (LSA) — its own ID, a monotonically increasing sequence number, and
+// the set of neighbors it currently holds live links to — whenever that
+// set changes. Receivers keep the newest record per origin and re-flood
+// only records that advanced the database, so floods terminate even when
+// the configured links form cycles.
+//
+// From the converged database every broker derives the same undirected
+// edge set (an edge exists only when both endpoints advertise each
+// other) and runs the same deterministic spanning-forest election:
+// Kruskal over the edges sorted lexicographically by (min, max) broker
+// ID with union-find. Identical views therefore elect identical forests
+// everywhere with no coordination rounds — redundant configured links
+// become standby failover paths, and routing stays loop-free because
+// traffic only crosses forest edges.
+//
+// A TopologyView is owned by its broker's core goroutine; it is not safe
+// for concurrent use.
+type TopologyView struct {
+	self string
+	seq  uint64
+	recs map[string]lsaRecord
+}
+
+type lsaRecord struct {
+	seq   uint64
+	peers []string // sorted
+}
+
+// LSA is one database record, the wire-shaped (origin, seq, peers)
+// tuple a broker ships to a newly connected peer.
+type LSA struct {
+	Origin string
+	Seq    uint64
+	Peers  []string
+}
+
+// NewTopologyView creates an empty database for the given broker ID.
+func NewTopologyView(self string) *TopologyView {
+	return &TopologyView{self: self, recs: make(map[string]lsaRecord)}
+}
+
+// Announce records the broker's own adjacency under a freshly bumped
+// sequence number and returns that number — the caller floods the
+// resulting LSA to every connected link.
+func (t *TopologyView) Announce(peers []string) uint64 {
+	t.seq++
+	ps := append([]string(nil), peers...)
+	sort.Strings(ps)
+	t.recs[t.self] = lsaRecord{seq: t.seq, peers: ps}
+	return t.seq
+}
+
+// Merge folds a received LSA into the database. newer reports that the
+// record advanced the database (the caller re-floods it); selfEcho
+// reports that a peer replayed this broker's own record from before a
+// restart with a sequence number at or above the current one — the
+// caller must re-announce, which Merge guarantees will win by lifting
+// the local sequence past the echo.
+func (t *TopologyView) Merge(origin string, seq uint64, peers []string) (newer, selfEcho bool) {
+	if origin == t.self {
+		if seq >= t.seq {
+			t.seq = seq
+			return false, true
+		}
+		return false, false
+	}
+	if r, ok := t.recs[origin]; ok && r.seq >= seq {
+		return false, false
+	}
+	ps := append([]string(nil), peers...)
+	sort.Strings(ps)
+	t.recs[origin] = lsaRecord{seq: seq, peers: ps}
+	return true, false
+}
+
+// Records returns the whole database sorted by origin — what a broker
+// sends to a newly connected peer so it inherits the mesh view without
+// waiting for every origin to re-announce.
+func (t *TopologyView) Records() []LSA {
+	out := make([]LSA, 0, len(t.recs))
+	for origin, r := range t.recs {
+		out = append(out, LSA{Origin: origin, Seq: r.seq, Peers: append([]string(nil), r.peers...)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Origin < out[j].Origin })
+	return out
+}
+
+// Brokers returns the number of brokers the database has records for.
+func (t *TopologyView) Brokers() int { return len(t.recs) }
+
+// Known reports whether the database holds a record for the broker. The
+// election must not demote or fail over links whose peer it knows
+// nothing about — absence of a record (a fresh database after restart,
+// a first-ever connect before the peer's LSA lands) is ignorance, not
+// evidence of death.
+func (t *TopologyView) Known(origin string) bool {
+	_, ok := t.recs[origin]
+	return ok
+}
+
+// Edges returns the agreed undirected edges — pairs where both
+// endpoints' records list each other — sorted lexicographically by
+// (min, max) broker ID. A one-sided claim (one broker's conn died, the
+// other hasn't noticed yet) is not an edge: the election only trusts
+// links both ends can use.
+func (t *TopologyView) Edges() [][2]string {
+	var out [][2]string
+	for origin, r := range t.recs {
+		for _, p := range r.peers {
+			if origin >= p {
+				continue // count each pair once, from its low endpoint
+			}
+			if back, ok := t.recs[p]; ok && contains(back.peers, origin) {
+				out = append(out, [2]string{origin, p})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Forest returns the elected spanning forest: Kruskal over Edges() in
+// its deterministic order, union-find keyed by broker ID. Every broker
+// with the same database computes the same forest.
+func (t *TopologyView) Forest() [][2]string {
+	parent := make(map[string]string)
+	var find func(string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	var forest [][2]string
+	for _, e := range t.Edges() {
+		a, b := find(e[0]), find(e[1])
+		if a == b {
+			continue // cycle edge: stays a standby failover path
+		}
+		parent[a] = b
+		forest = append(forest, e)
+	}
+	return forest
+}
+
+// ActiveNeighbors returns the set of neighbors this broker's forest
+// edges connect it to — the links the election says should carry
+// traffic.
+func (t *TopologyView) ActiveNeighbors() map[string]bool {
+	out := make(map[string]bool)
+	for _, e := range t.Forest() {
+		switch t.self {
+		case e[0]:
+			out[e[1]] = true
+		case e[1]:
+			out[e[0]] = true
+		}
+	}
+	return out
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,167 @@
+package peering
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTopologyAnnounceBumpsSeq(t *testing.T) {
+	v := NewTopologyView("A")
+	if s := v.Announce([]string{"C", "B"}); s != 1 {
+		t.Fatalf("first announce seq = %d, want 1", s)
+	}
+	if s := v.Announce([]string{"B"}); s != 2 {
+		t.Fatalf("second announce seq = %d, want 2", s)
+	}
+	recs := v.Records()
+	if len(recs) != 1 || recs[0].Origin != "A" || recs[0].Seq != 2 {
+		t.Fatalf("records = %+v", recs)
+	}
+	if fmt.Sprint(recs[0].Peers) != "[B]" {
+		t.Fatalf("latest announce must replace the peer set, got %v", recs[0].Peers)
+	}
+}
+
+func TestTopologyMergeOrdering(t *testing.T) {
+	v := NewTopologyView("A")
+	if newer, _ := v.Merge("B", 3, []string{"A", "C"}); !newer {
+		t.Fatal("first record for an origin must be newer")
+	}
+	if newer, _ := v.Merge("B", 3, []string{"A"}); newer {
+		t.Fatal("same seq must not advance the database")
+	}
+	if newer, _ := v.Merge("B", 2, []string{"A"}); newer {
+		t.Fatal("stale seq must not advance the database")
+	}
+	if newer, _ := v.Merge("B", 4, []string{"A"}); !newer {
+		t.Fatal("higher seq must advance the database")
+	}
+	recs := v.Records()
+	if len(recs) != 1 || recs[0].Seq != 4 || fmt.Sprint(recs[0].Peers) != "[A]" {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+// TestTopologySelfEcho pins the restart rule: a peer replaying this
+// broker's own pre-restart record at or above the local sequence must
+// report selfEcho so the caller re-announces, and Merge must lift the
+// local counter so that re-announce wins the flood.
+func TestTopologySelfEcho(t *testing.T) {
+	v := NewTopologyView("A")
+	v.Announce([]string{"B"}) // seq 1
+	newer, echo := v.Merge("A", 7, []string{"B", "C"})
+	if newer || !echo {
+		t.Fatalf("merge of own echoed record: newer=%v selfEcho=%v, want false/true", newer, echo)
+	}
+	if s := v.Announce([]string{"B"}); s != 8 {
+		t.Fatalf("re-announce seq = %d, want 8 (past the echo)", s)
+	}
+	// A genuinely stale echo is ignored outright.
+	if newer, echo := v.Merge("A", 2, nil); newer || echo {
+		t.Fatalf("stale self echo: newer=%v selfEcho=%v, want false/false", newer, echo)
+	}
+}
+
+func TestTopologyKnown(t *testing.T) {
+	v := NewTopologyView("A")
+	if v.Known("B") {
+		t.Fatal("empty database must report ignorance")
+	}
+	v.Merge("B", 1, []string{"A"})
+	if !v.Known("B") {
+		t.Fatal("merged origin must be known")
+	}
+	if v.Known("A") {
+		t.Fatal("self is unknown until the first announce")
+	}
+	v.Announce([]string{"B"})
+	if !v.Known("A") {
+		t.Fatal("self must be known after announcing")
+	}
+}
+
+// TestTopologyEdgesRequireAgreement: a one-sided claim (one conn died,
+// the other end hasn't noticed) is not an edge.
+func TestTopologyEdgesRequireAgreement(t *testing.T) {
+	v := NewTopologyView("A")
+	v.Announce([]string{"B", "C"})
+	v.Merge("B", 1, []string{"A"})
+	v.Merge("C", 1, nil) // C does not list A back
+	if got := fmt.Sprint(v.Edges()); got != "[[A B]]" {
+		t.Fatalf("edges = %s, want [[A B]]", got)
+	}
+	// C's next LSA restores agreement.
+	v.Merge("C", 2, []string{"A"})
+	if got := fmt.Sprint(v.Edges()); got != "[[A B] [A C]]" {
+		t.Fatalf("edges = %s, want [[A B] [A C]]", got)
+	}
+}
+
+// TestTopologyForestDeterminism: Kruskal over (min, max)-sorted edges on
+// a triangle keeps the two lexicographically lowest edges and leaves the
+// (B, C) edge out as a standby, from every broker's point of view.
+func TestTopologyForestDeterminism(t *testing.T) {
+	for _, self := range []string{"A", "B", "C"} {
+		v := NewTopologyView(self)
+		ring := map[string][]string{"A": {"B", "C"}, "B": {"A", "C"}, "C": {"A", "B"}}
+		v.Announce(ring[self])
+		for origin, peers := range ring {
+			if origin != self {
+				v.Merge(origin, 1, peers)
+			}
+		}
+		if got := fmt.Sprint(v.Forest()); got != "[[A B] [A C]]" {
+			t.Errorf("%s elects %s, want [[A B] [A C]]", self, got)
+		}
+		active := v.ActiveNeighbors()
+		switch self {
+		case "A":
+			if !active["B"] || !active["C"] {
+				t.Errorf("A active = %v, want B and C", active)
+			}
+		case "B":
+			if !active["A"] || active["C"] {
+				t.Errorf("B active = %v, want A only (B-C is standby)", active)
+			}
+		case "C":
+			if !active["A"] || active["B"] {
+				t.Errorf("C active = %v, want A only (B-C is standby)", active)
+			}
+		}
+	}
+}
+
+// TestTopologyForestAfterDeath: removing the hub's record from the
+// agreed edge set promotes the former standby edge — the ring heals.
+func TestTopologyForestAfterDeath(t *testing.T) {
+	v := NewTopologyView("B")
+	v.Announce([]string{"A", "C"})
+	v.Merge("A", 1, []string{"B", "C"})
+	v.Merge("C", 1, []string{"A", "B"})
+	if got := fmt.Sprint(v.ActiveNeighbors()); got != "map[A:true]" {
+		t.Fatalf("before death: active = %s", got)
+	}
+	// A dies: B and C drop it from their adjacency and re-announce.
+	v.Announce([]string{"C"})
+	v.Merge("C", 2, []string{"B"})
+	if got := fmt.Sprint(v.Forest()); got != "[[B C]]" {
+		t.Fatalf("after death: forest = %s, want [[B C]]", got)
+	}
+	if got := v.ActiveNeighbors(); !got["C"] || got["A"] {
+		t.Fatalf("after death: active = %v, want C only", got)
+	}
+}
+
+func TestTopologyRecordsSorted(t *testing.T) {
+	v := NewTopologyView("M")
+	v.Merge("Z", 1, nil)
+	v.Merge("A", 5, []string{"M"})
+	v.Announce([]string{"A"})
+	recs := v.Records()
+	if len(recs) != 3 || recs[0].Origin != "A" || recs[1].Origin != "M" || recs[2].Origin != "Z" {
+		t.Fatalf("records not sorted by origin: %+v", recs)
+	}
+	if v.Brokers() != 3 {
+		t.Fatalf("brokers = %d, want 3", v.Brokers())
+	}
+}

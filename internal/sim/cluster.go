@@ -24,8 +24,11 @@ import (
 // virtual-clock scheduler in clock.go. The same seed yields bit-identical
 // delivery traces and digests; see docs/ARCHITECTURE.md ("Simulation").
 
-// Topology is an acyclic broker graph (the federation plane requires
-// acyclicity, like the live mesh).
+// Topology is a connected broker graph. Cycles are allowed: like the
+// live mesh, the simulator elects a deterministic spanning forest over
+// the configured edges (Kruskal over (min, max)-sorted edges), routes
+// only across elected edges, and holds the redundant edges as standby
+// failover paths that promote when an elected link dies.
 type Topology struct {
 	// Brokers is the broker count; brokers are numbered 0..Brokers-1.
 	Brokers int
@@ -60,6 +63,17 @@ func Tree(n, fanout int) Topology {
 	return t
 }
 
+// Ring returns a cycle topology 0–1–…–n-1–0 (n ≥ 3): the minimal
+// redundant mesh. The election holds one edge standby, so any single
+// broker death leaves a path between every surviving pair.
+func Ring(n int) Topology {
+	t := Chain(n)
+	if n >= 3 {
+		t.Edges = append(t.Edges, [2]int{0, n - 1})
+	}
+	return t
+}
+
 // RandomTree draws a uniform random recursive tree over n brokers from
 // the topology RNG stream: broker i attaches to a uniform earlier broker.
 // Arbitrary acyclic meshes, not just the paper hierarchy.
@@ -75,11 +89,10 @@ func (t Topology) validate() error {
 	if t.Brokers <= 0 {
 		return fmt.Errorf("sim: topology needs brokers, got %d", t.Brokers)
 	}
-	if len(t.Edges) != t.Brokers-1 {
-		return fmt.Errorf("sim: acyclic connected topology over %d brokers needs %d edges, got %d",
-			t.Brokers, t.Brokers-1, len(t.Edges))
-	}
-	// Union-find connectivity; n-1 edges + connected ⇒ acyclic.
+	// Union-find connectivity. Cycles are fine — redundant edges become
+	// standby failover paths — but the graph must be connected, edges
+	// must be real pairs, and no pair may be configured twice (a double
+	// edge would alias one link's queues and spool).
 	parent := make([]int, t.Brokers)
 	for i := range parent {
 		parent[i] = i
@@ -92,15 +105,22 @@ func (t Topology) validate() error {
 		}
 		return x
 	}
+	seen := make(map[[2]int]bool, len(t.Edges))
 	for _, e := range t.Edges {
 		if e[0] < 0 || e[0] >= t.Brokers || e[1] < 0 || e[1] >= t.Brokers || e[0] == e[1] {
 			return fmt.Errorf("sim: bad edge %v", e)
 		}
-		a, b := find(e[0]), find(e[1])
-		if a == b {
-			return fmt.Errorf("sim: topology has a cycle through edge %v", e)
+		k := [2]int{min(e[0], e[1]), max(e[0], e[1])}
+		if seen[k] {
+			return fmt.Errorf("sim: duplicate edge %v", e)
 		}
-		parent[a] = b
+		seen[k] = true
+		parent[find(e[0])] = find(e[1])
+	}
+	for i := 1; i < t.Brokers; i++ {
+		if find(i) != find(0) {
+			return fmt.Errorf("sim: topology is disconnected (broker %d unreachable from 0)", i)
+		}
 	}
 	return nil
 }
@@ -254,6 +274,13 @@ type ClusterResult struct {
 	// should have received but did not, copies it should not have
 	// received, duplicate deliveries, and out-of-order deliveries.
 	OracleMissing, OracleExtra, Duplicates, OrderViolations int
+	// Failovers counts election-driven dead-link handoffs; Rerouted the
+	// orphaned spool frames re-routed onto promoted standby links; HealUS
+	// the virtual time from the first failover mark to the last completed
+	// handoff (0 when no failover ran).
+	Failovers uint64
+	Rerouted  uint64
+	HealUS    int64
 }
 
 // --- simulated broker and link state ---
@@ -315,6 +342,19 @@ type simBroker struct {
 	locals  map[string]*simSub // durable registry: clients re-attach on restart
 	persist map[peering.LinkID][]peering.Entry
 
+	// Control-plane state mirroring the live broker's election. active
+	// marks elected (traffic-carrying) links and, like the persisted peer
+	// state on disk, survives a crash — a restarted broker routes replayed
+	// traffic over its pre-crash elected links until the next election.
+	// pending marks promoted links whose resync has not landed; promoted
+	// the standby→active transitions of the in-progress election round;
+	// failover dead links awaiting the make-before-break spool handoff.
+	// The last three are RAM: a crash clears them.
+	active   map[int]bool
+	pending  map[int]bool
+	promoted map[int]bool
+	failover map[int]bool
+
 	counters *metrics.Counters
 	deferred []workload.Op
 
@@ -330,6 +370,13 @@ type clusterSim struct {
 	subs    map[string]*simSub
 	dw      *digestWriter
 	ledger  Ledger
+	// failover accounting: election-driven dead-link handoffs, frames
+	// re-routed from orphaned spools onto promoted links, and the virtual
+	// time from the first failover mark to the last completed handoff.
+	failovers uint64
+	rerouted  uint64
+	healStart int64
+	healUS    int64
 	// oracle state
 	expected map[string][]uint64
 	got      map[string][]uint64
@@ -383,12 +430,13 @@ func buildCluster(cfg ClusterConfig) (*clusterSim, *workload.Cluster, error) {
 		return nil, nil, err
 	}
 	s := &clusterSim{
-		cfg:     cfg,
-		streams: streams,
-		ads:     ads,
-		subs:    make(map[string]*simSub),
-		dw:      newDigestWriter(),
-		base:    time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC),
+		cfg:       cfg,
+		streams:   streams,
+		ads:       ads,
+		subs:      make(map[string]*simSub),
+		dw:        newDigestWriter(),
+		healStart: -1,
+		base:      time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC),
 	}
 	if cfg.Oracle {
 		s.expected = make(map[string][]uint64)
@@ -402,12 +450,16 @@ func buildCluster(cfg ClusterConfig) (*clusterSim, *workload.Cluster, error) {
 	for i := 0; i < cfg.Topology.Brokers; i++ {
 		sort.Ints(neighbors[i])
 		b := &simBroker{
-			id:      i,
-			up:      true,
-			peers:   neighbors[i],
-			out:     make(map[int]*outLink),
-			locals:  make(map[string]*simSub),
-			persist: make(map[peering.LinkID][]peering.Entry),
+			id:       i,
+			up:       true,
+			peers:    neighbors[i],
+			out:      make(map[int]*outLink),
+			locals:   make(map[string]*simSub),
+			persist:  make(map[peering.LinkID][]peering.Entry),
+			active:   make(map[int]bool),
+			pending:  make(map[int]bool),
+			promoted: make(map[int]bool),
+			failover: make(map[int]bool),
 		}
 		b.counters = &metrics.Counters{}
 		s.initBrokerState(b)
@@ -415,6 +467,16 @@ func buildCluster(cfg ClusterConfig) (*clusterSim, *workload.Cluster, error) {
 			b.out[n] = s.newOutLink(i, n)
 		}
 		s.brokers = append(s.brokers, b)
+	}
+	// Initial election: flags only, no frames — the elected links start
+	// active, cycle edges start standby. On a tree every edge is elected,
+	// which is exactly the pre-election default.
+	want := s.electForest()
+	for _, b := range s.brokers {
+		for _, n := range b.peers {
+			b.active[n] = want[b.id][n]
+			b.fed.SetActive(linkID(n), want[b.id][n])
+		}
 	}
 	return s, gen, nil
 }
@@ -590,9 +652,10 @@ func (s *clusterSim) publish(b *simBroker, e *event.Event) {
 	s.processEvent(b, e, "")
 }
 
-// processEvent is a broker's event plane: forward on matching federation
-// links (reverse-path, acyclic), match locals through the routing node,
-// and enqueue subscriber copies under the flow policy.
+// processEvent is a broker's event plane: forward on matching active
+// federation links (reverse-path over the elected forest, so loop-free
+// even when the configured mesh has cycles), match locals through the
+// routing node, and enqueue subscriber copies under the flow policy.
 func (s *clusterSim) processEvent(b *simBroker, e *event.Event, from peering.LinkID) {
 	b.received++
 	for _, lid := range b.fed.MatchLinks(e, from) {
@@ -715,6 +778,181 @@ func brokerOf(id peering.LinkID) int {
 	return n
 }
 
+// --- spanning-forest election ---
+//
+// The live broker runs the election per node over a flooded link-state
+// database; the simulator models the converged view — every broker sees
+// the same live-edge set, so the global recompute below is what each
+// broker's local recompute converges to, without simulating LSA frames.
+
+// electForest returns, per broker, the set of neighbors its elected
+// forest edges connect it to: Kruskal with union-find over the live
+// edges (both endpoints up, neither direction severed) sorted by
+// (min, max) broker id — the deterministic order every live broker uses.
+func (s *clusterSim) electForest() []map[int]bool {
+	edges := make([][2]int, 0, len(s.cfg.Topology.Edges))
+	for _, e := range s.cfg.Topology.Edges {
+		a, b := min(e[0], e[1]), max(e[0], e[1])
+		if s.linkUp(a, b) {
+			edges = append(edges, [2]int{a, b})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	parent := make([]int, len(s.brokers))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	want := make([]map[int]bool, len(s.brokers))
+	for i := range want {
+		want[i] = make(map[int]bool)
+	}
+	for _, e := range edges {
+		a, b := find(e[0]), find(e[1])
+		if a == b {
+			continue // cycle edge: stays a standby failover path
+		}
+		parent[a] = b
+		want[e[0]][e[1]] = true
+		want[e[1]][e[0]] = true
+	}
+	return want
+}
+
+// recompute reconciles every up broker's links against the elected
+// forest, mirroring the live recomputeTopology two-pass structure: a
+// live link the forest wants promotes (activate, resync, make-before-
+// break bookkeeping); a live active link the forest dropped demotes to
+// standby (interests withdrawn); then — only after every promotion of
+// the round is known — a dead active link the forest dropped enters
+// failover when a promoted replacement exists. With no replacement it
+// stays active and spooling, awaiting reconnect: the original durable-
+// link semantics, which keeps every tree topology's behavior (and
+// digest) untouched.
+func (s *clusterSim) recompute() {
+	want := s.electForest()
+	for _, b := range s.brokers {
+		if !b.up {
+			continue
+		}
+		// A pending resync whose link died can never land: drop it so
+		// failover completion is not gated on it.
+		for n := range b.pending {
+			if !s.linkUp(b.id, n) {
+				delete(b.pending, n)
+			}
+		}
+		for _, n := range b.peers {
+			switch {
+			case want[b.id][n] && !b.active[n] && s.linkUp(b.id, n):
+				// Promotion: activate, then resync so the peer learns the
+				// interests this link now carries. Reconnect resyncs of
+				// already-active links ride bringUp instead, so promotion
+				// here is always a genuine standby→active transition.
+				b.active[n] = true
+				b.fed.SetActive(linkID(n), true)
+				entries := b.fed.Sync(linkID(n))
+				s.sendCtrl(b.out[n], linkFrame{kind: frResync, entries: entries})
+				b.pending[n] = true
+				b.promoted[n] = true
+			case b.active[n] && !want[b.id][n] && s.linkUp(b.id, n):
+				// Healthy demotion: withdraw the interests so no new
+				// traffic matches; frames already queued or spooled still
+				// drain over the live connection.
+				s.fanUpdates(b, b.fed.Replace(linkID(n), nil))
+				b.fed.SetActive(linkID(n), false)
+				b.active[n] = false
+			}
+		}
+		for _, n := range b.peers {
+			if b.active[n] && !want[b.id][n] && !s.linkUp(b.id, n) &&
+				!b.failover[n] && len(b.promoted) > 0 {
+				b.failover[n] = true
+				s.failovers++
+				if s.healStart < 0 {
+					s.healStart = s.sched.now
+				}
+			}
+		}
+		s.maybeCompleteFailover(b)
+	}
+}
+
+// maybeCompleteFailover finishes a broker's failover once every promoted
+// link's resync has landed: each dead link's orphaned spool drains in
+// order, every event re-matching against the promoted links only — they
+// carried no interests before their resync, so nothing was double-routed
+// — and events no promoted path wants stay spooled awaiting the original
+// peer's return. Atomic with the resync arrival (one scheduler event),
+// so no window exists where both the dead and the promoted link match.
+func (s *clusterSim) maybeCompleteFailover(b *simBroker) {
+	for n := range b.promoted {
+		if b.pending[n] {
+			return
+		}
+	}
+	var failed, targets []int
+	for _, n := range b.peers {
+		if b.failover[n] {
+			failed = append(failed, n)
+		}
+		if b.promoted[n] && b.active[n] && s.linkUp(b.id, n) {
+			targets = append(targets, n)
+		}
+	}
+	if len(failed) == 0 {
+		clear(b.promoted)
+		return
+	}
+	for _, n := range failed {
+		l := b.out[n]
+		var keep []linkFrame
+		for _, fr := range l.spool {
+			if fr.kind != frEvent {
+				keep = append(keep, fr)
+				continue
+			}
+			routed := false
+			for _, t := range targets {
+				if b.fed.MatchLink(fr.ev, linkID(t)) {
+					if routed {
+						// Fan-out beyond the first target is a fresh frame;
+						// the first reuses the orphan's original accounting.
+						s.ledger.Frames++
+						b.sent++
+					}
+					s.enqueueFrame(b, t, fr)
+					routed = true
+				}
+			}
+			if routed {
+				s.rerouted++
+			} else {
+				keep = append(keep, fr)
+			}
+		}
+		l.spool = keep
+		b.failover[n] = false
+		s.fanUpdates(b, b.fed.Replace(linkID(n), nil))
+		b.fed.SetActive(linkID(n), false)
+		b.active[n] = false
+	}
+	s.healUS = s.sched.now - s.healStart
+	clear(b.promoted)
+}
+
 // --- link transmission ---
 
 // linkUp reports whether the connection between two brokers is
@@ -729,9 +967,16 @@ func (s *clusterSim) linkUp(a, b int) bool {
 // frame durably (FIFO); an up link offers it to the bounded queue.
 func (s *clusterSim) sendFrame(b *simBroker, lid peering.LinkID, fr linkFrame) {
 	to := brokerOf(lid)
-	l := b.out[to]
 	s.ledger.Frames++
 	b.sent++
+	s.enqueueFrame(b, to, fr)
+}
+
+// enqueueFrame admits a frame to a directed link without the send
+// accounting — the failover reroute path uses it directly, because a
+// rerouted orphan was already counted when it was first sent.
+func (s *clusterSim) enqueueFrame(b *simBroker, to int, fr linkFrame) {
+	l := b.out[to]
 	if !s.linkUp(b.id, to) || len(l.spool) > 0 {
 		l.spool = append(l.spool, fr)
 		b.spooled++
@@ -822,6 +1067,13 @@ func (s *clusterSim) arrive(l *outLink, epoch uint64) {
 		s.fanUpdates(b, b.fed.Apply(from, fr.entry))
 	case frResync:
 		s.fanUpdates(b, b.fed.Replace(from, fr.entries))
+		// A promoted link's resync landing is what failover completion
+		// waits for: the re-routing below this point sees the promoted
+		// path's real interests, installed by the Replace above.
+		if b.pending[l.from] {
+			delete(b.pending, l.from)
+			s.maybeCompleteFailover(b)
+		}
 	}
 }
 
@@ -841,9 +1093,11 @@ func (s *clusterSim) inject(f Fault) {
 	switch f.Kind {
 	case FaultCrash:
 		s.crash(s.brokers[f.Broker])
+		s.recompute()
 	case FaultPartition:
 		s.takeDown(f.Link[0], f.Link[1])
 		s.takeDown(f.Link[1], f.Link[0])
+		s.recompute()
 	case FaultStall:
 		s.stall(f)
 	}
@@ -856,6 +1110,7 @@ func (s *clusterSim) heal(f Fault) {
 	case FaultPartition:
 		s.bringUp(f.Link[0], f.Link[1])
 		s.bringUp(f.Link[1], f.Link[0])
+		s.recompute()
 	}
 }
 
@@ -930,6 +1185,11 @@ func (s *clusterSim) crash(b *simBroker) {
 	for _, id := range ids {
 		s.ledger.Dropped += s.drainSub(b.locals[id])
 	}
+	// Election RAM dies with the process; the active map survives like
+	// the persisted peer state it mirrors.
+	b.pending = make(map[int]bool)
+	b.promoted = make(map[int]bool)
+	b.failover = make(map[int]bool)
 }
 
 // restart brings a broker back: RAM state is rebuilt, persisted interests
@@ -943,6 +1203,11 @@ func (s *clusterSim) restart(b *simBroker) {
 	b.up = true
 	s.initBrokerState(b)
 	for _, n := range b.peers {
+		// Restore the persisted activation mirror: links the pre-crash
+		// election held standby must not match replayed traffic.
+		if !b.active[n] {
+			b.fed.SetActive(linkID(n), false)
+		}
 		if ent := b.persist[linkID(n)]; len(ent) > 0 {
 			// Recovered interests route events; onward propagation is the
 			// resyncs' job, so the returned updates are discarded.
@@ -963,6 +1228,10 @@ func (s *clusterSim) restart(b *simBroker) {
 		s.bringUp(b.id, n)
 		s.bringUp(n, b.id)
 	}
+	// Re-elect now that the broker is back: on a tree this is a no-op;
+	// on a redundant mesh it restores the canonical forest, promoting the
+	// returned links and demoting the failover paths back to standby.
+	s.recompute()
 	ops := b.deferred
 	b.deferred = nil
 	for _, op := range ops {
@@ -1024,8 +1293,13 @@ func (s *clusterSim) bringUp(from, to int) {
 	if l.busyUntil < s.sched.now {
 		l.busyUntil = s.sched.now
 	}
-	entries := b.fed.Sync(linkID(to))
-	l.ctrl = append(l.ctrl, linkFrame{kind: frResync, entries: entries})
+	// Only an active link resyncs on reconnect; a standby (or demoted-
+	// during-failover) link carries nothing until the election promotes
+	// it, and the promotion sends its own resync.
+	if b.active[to] {
+		entries := b.fed.Sync(linkID(to))
+		l.ctrl = append(l.ctrl, linkFrame{kind: frResync, entries: entries})
+	}
 	// The connection is established once both directions come up;
 	// bringUp runs in pairs, so the second call starts both pumps.
 	if s.linkUp(from, to) {
@@ -1041,6 +1315,9 @@ func (s *clusterSim) finish(start time.Time) *ClusterResult {
 		Ledger:    s.ledger,
 		VirtualUS: s.sched.now,
 		Events:    s.sched.ran,
+		Failovers: s.failovers,
+		Rerouted:  s.rerouted,
+		HealUS:    s.healUS,
 	}
 	// Residuals: copies and frames still parked when the run ends.
 	subIDs := make([]string, 0, len(s.subs))
@@ -1087,6 +1364,11 @@ func (s *clusterSim) finish(start time.Time) *ClusterResult {
 	for _, bs := range res.Brokers {
 		s.dw.line("broker %d up=%t recv=%d sent=%d lost=%d spooled=%d pending=%d filters=%d",
 			bs.ID, bs.Up, bs.Received, bs.Sent, bs.Lost, bs.Spooled, bs.Pending, bs.Filters)
+	}
+	// Failover accounting joins the digest only when a failover ran, so
+	// every pre-existing scenario's digest stays byte-identical.
+	if s.failovers > 0 {
+		s.dw.line("failover count=%d rerouted=%d heal_us=%d", s.failovers, s.rerouted, s.healUS)
 	}
 	res.Digest = s.dw.sum()
 	res.DigestLines = s.dw.lines

@@ -250,14 +250,15 @@ func TestDeferredClientOps(t *testing.T) {
 	}
 }
 
-// TestTopologyValidation rejects malformed broker graphs.
+// TestTopologyValidation rejects malformed broker graphs and accepts
+// redundant (cyclic) meshes, which the election handles.
 func TestTopologyValidation(t *testing.T) {
 	bad := []Topology{
 		{Brokers: 0},
-		{Brokers: 3, Edges: [][2]int{{0, 1}}}, // disconnected
-		{Brokers: 3, Edges: [][2]int{{0, 1}, {1, 2}, {2, 0}}}, // cycle
+		{Brokers: 3, Edges: [][2]int{{0, 1}}},                 // disconnected
 		{Brokers: 2, Edges: [][2]int{{0, 0}}},                 // self-loop
 		{Brokers: 2, Edges: [][2]int{{0, 5}}},                 // out of range
+		{Brokers: 3, Edges: [][2]int{{0, 1}, {1, 0}, {1, 2}}}, // duplicate edge
 	}
 	for i, topo := range bad {
 		cfg := ClusterConfig{Seed: 1, Topology: topo, Workload: workload.DefaultCluster(100),
@@ -266,9 +267,35 @@ func TestTopologyValidation(t *testing.T) {
 			t.Errorf("case %d: topology %+v accepted", i, topo)
 		}
 	}
-	for _, topo := range []Topology{Chain(5), Star(5), Tree(9, 2), RandomTree(6, NewStreams(11))} {
+	good := []Topology{
+		Chain(5), Star(5), Tree(9, 2), RandomTree(6, NewStreams(11)),
+		Ring(3), Ring(6),
+		{Brokers: 4, Edges: [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {2, 3}}}, // redundant mesh
+	}
+	for _, topo := range good {
 		if err := topo.validate(); err != nil {
 			t.Errorf("topology %+v rejected: %v", topo, err)
 		}
+	}
+}
+
+// TestRingElection pins the initial election on a redundant mesh: the
+// Kruskal order keeps the two lowest edges of a triangle active and
+// holds (1,2) standby, with no frames spent — flags only.
+func TestRingElection(t *testing.T) {
+	w := workload.DefaultCluster(100)
+	w.Subs, w.Publishes, w.ChurnOps, w.FlashCrowds, w.ChurnStorms = 5, 20, 0, 0, 0
+	res, err := RunCluster(ClusterConfig{
+		Seed: 1, Topology: Ring(3), Workload: w,
+		PublishAt: -1, SubscribeAt: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ledger.Conserved() {
+		t.Fatalf("ledger does not balance: %+v", res.Ledger)
+	}
+	if res.Failovers != 0 {
+		t.Fatalf("no fault was injected, yet %d failovers ran", res.Failovers)
 	}
 }

@@ -20,7 +20,8 @@ import (
 	"eventsys/internal/workload"
 )
 
-// Experiment identifiers, matching the per-experiment index in DESIGN.md.
+// Experiment identifiers; the A-numbers index the ablations in report
+// order (see the eventsim table in docs/TUNING.md).
 const (
 	ExpTable1      = "table1"      // §5.3 RLC table
 	ExpFigure7     = "fig7"        // Fig. 7 matching-rate series
@@ -35,13 +36,14 @@ const (
 	ExpRawPath     = "rawpath"     // A7: raw vs decoded forwarding path
 	ExpObs         = "obs"         // A8: observability self-scrape
 	ExpCluster     = "cluster"     // A9: cluster simulation scenario suite
+	ExpHeal        = "heal"        // A10: broker-death failover and self-healing
 )
 
 // Experiments lists all experiment identifiers in report order.
 func Experiments() []string {
 	return []string{ExpTable1, ExpFigure7, ExpGlobal, ExpCentralized,
 		ExpBroadcast, ExpPlacement, ExpPrefilter, ExpTopology, ExpEngines,
-		ExpFlow, ExpRawPath, ExpObs, ExpCluster}
+		ExpFlow, ExpRawPath, ExpObs, ExpCluster, ExpHeal}
 }
 
 // Options tunes experiments from the command line; the zero value keeps
@@ -93,6 +95,8 @@ func RunExperimentOpts(name string, seed uint64, o Options) (string, error) {
 		return ObsExperiment(seed, o)
 	case ExpCluster:
 		return ClusterExperiment(seed)
+	case ExpHeal:
+		return HealExperiment(seed)
 	default:
 		return "", fmt.Errorf("sim: unknown experiment %q (have %v)", name, Experiments())
 	}

@@ -31,6 +31,8 @@ const (
 	TypeForwardBatch
 	TypeCredit
 	TypeCreditAck
+	TypeLinkState
+	TypePeerPing
 )
 
 // PeerKind identifies what a connecting peer is.
@@ -203,6 +205,28 @@ type CreditAck struct {
 	Window uint32
 }
 
+// LinkState floods one broker's adjacency record through the federation
+// (a link-state advertisement). Every broker keeps the latest record per
+// origin, keyed by Seq, and all brokers therefore converge on the same
+// view of which configured links are up — the input to the deterministic
+// spanning-tree election that picks which redundant links carry traffic.
+// A record with a Seq not newer than the stored one is dropped without
+// re-flooding, so floods terminate even on cyclic link sets.
+type LinkState struct {
+	// Origin is the broker whose adjacency this record describes.
+	Origin string
+	// Seq orders records from the same origin; higher wins.
+	Seq uint64
+	// Peers are the broker IDs Origin currently holds live links to.
+	Peers []string
+}
+
+// PeerPing is the peer-link heartbeat: an empty frame on the control
+// lane whose only job is to be received. Liveness is inferred from frame
+// arrival of any kind, so a ping needs no reply — both sides ping, both
+// sides observe traffic, and a silent peer trips the dead-link timeout.
+type PeerPing struct{}
+
 // Type implementations.
 func (Hello) Type() MsgType          { return TypeHello }
 func (Publish) Type() MsgType        { return TypePublish }
@@ -221,6 +245,8 @@ func (Forward) Type() MsgType        { return TypeForward }
 func (ForwardBatch) Type() MsgType   { return TypeForwardBatch }
 func (Credit) Type() MsgType         { return TypeCredit }
 func (CreditAck) Type() MsgType      { return TypeCreditAck }
+func (LinkState) Type() MsgType      { return TypeLinkState }
+func (PeerPing) Type() MsgType       { return TypePeerPing }
 
 func (m Hello) encode(w *buffer) {
 	w.u8(uint8(m.Kind))
@@ -303,6 +329,17 @@ func (m ForwardBatch) encode(w *buffer) {
 
 func (m Credit) encode(w *buffer)    { w.uvarint(uint64(m.Grant)) }
 func (m CreditAck) encode(w *buffer) { w.uvarint(uint64(m.Window)) }
+
+func (m LinkState) encode(w *buffer) {
+	w.str(m.Origin)
+	w.uvarint(m.Seq)
+	w.uvarint(uint64(len(m.Peers)))
+	for _, p := range m.Peers {
+		w.str(p)
+	}
+}
+
+func (PeerPing) encode(*buffer) {}
 
 func (m Advertise) encode(w *buffer) {
 	w.str(m.Ad.Class)
@@ -403,6 +440,23 @@ func decodeMessage(t MsgType, body []byte, in *event.Interner) (Message, error) 
 		m = Credit{Grant: r.u32capped()}
 	case TypeCreditAck:
 		m = CreditAck{Window: r.u32capped()}
+	case TypeLinkState:
+		ls := LinkState{Origin: r.str(), Seq: r.uvarint()}
+		n := r.uvarint()
+		if n > uint64(len(body)) {
+			return nil, fmt.Errorf("transport: link state peer count exceeds frame")
+		}
+		capHint := n
+		if capHint > 1024 {
+			capHint = 1024
+		}
+		ls.Peers = make([]string, 0, capHint)
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			ls.Peers = append(ls.Peers, r.str())
+		}
+		m = ls
+	case TypePeerPing:
+		m = PeerPing{}
 	case TypeSubscribe:
 		m = Subscribe{SubscriberID: r.str(), Filter: r.filter()}
 	case TypeSubscribeReply:

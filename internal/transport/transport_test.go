@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand/v2"
 	"reflect"
+	"slices"
 	"strings"
 	"testing"
 
@@ -130,6 +131,22 @@ func TestAdvertiseRoundTrip(t *testing.T) {
 	if err := got.Ad.Validate(); err != nil {
 		t.Errorf("decoded advert invalid: %v", err)
 	}
+}
+
+func TestLinkStateRoundTrip(t *testing.T) {
+	for _, m := range []LinkState{
+		{Origin: "geneva", Seq: 42, Peers: []string{"basel", "zurich"}},
+		{Origin: "island", Seq: 1}, // no peers: a broker whose last link just died
+	} {
+		got := roundTrip(t, m).(LinkState)
+		if got.Origin != m.Origin || got.Seq != m.Seq || !slices.Equal(got.Peers, m.Peers) {
+			t.Errorf("got %+v, want %+v", got, m)
+		}
+	}
+}
+
+func TestPeerPingRoundTrip(t *testing.T) {
+	roundTrip(t, PeerPing{}) // body-less frame: type tag alone must survive
 }
 
 func TestZeroFilterRoundTrip(t *testing.T) {
