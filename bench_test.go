@@ -181,14 +181,16 @@ func BenchmarkPrefilterAblation(b *testing.B) {
 }
 
 // BenchmarkMatchingEngines contrasts the naive Figure 6 table with the
-// counting index and the sharded parallel engine across subscription
-// populations (A3): matching cost per event. The sharded engine is
+// counting index, the sharded parallel engine, and the predicate-indexed
+// engine across subscription populations (A3): matching cost per event.
+// BenchmarkIndexedMatch in internal/index carries the large-population
+// (10k–1M) indexed-engine curve. The sharded engine is
 // measured on its batch path (batches of 64, its deployment shape; see
 // BenchmarkShardedMatch in internal/index for the shard-scaling curve).
 func BenchmarkMatchingEngines(b *testing.B) {
 	const batch = 64
 	for _, filters := range []int{100, 1000, 5000} {
-		for _, engineName := range []string{"naive", "counting", "sharded"} {
+		for _, engineName := range []string{"naive", "counting", "sharded", "indexed"} {
 			b.Run(fmt.Sprintf("%s/filters=%d", engineName, filters), func(b *testing.B) {
 				bib, err := workload.NewBiblio(7, workload.DefaultBiblio())
 				if err != nil {
@@ -200,6 +202,8 @@ func BenchmarkMatchingEngines(b *testing.B) {
 					eng = index.NewNaiveTable(nil)
 				case "counting":
 					eng = index.NewCountingTable(nil)
+				case "indexed":
+					eng = index.NewIndexedTable(nil)
 				default:
 					eng = index.NewSharded(nil, 0)
 				}

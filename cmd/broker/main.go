@@ -75,7 +75,7 @@ func run(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:7001", "TCP listen address")
 	parent := fs.String("parent", "", "parent broker address (empty = root)")
 	ttl := fs.Duration("ttl", time.Minute, "subscription lease TTL (0 = never expire)")
-	engine := fs.String("engine", "naive", "matching engine: naive, counting, or sharded")
+	engine := fs.String("engine", "naive", "matching engine: naive, counting, sharded, or indexed")
 	shards := fs.Int("shards", 0, "shard count for -engine sharded (0 = GOMAXPROCS)")
 	maxBatch := fs.Int("max-batch", 0, "events coalesced per matching pass (0 = default 64, 1 = no batching)")
 	var peers []string

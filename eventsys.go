@@ -83,9 +83,12 @@ type Options struct {
 	AutoMaintain bool
 	// Engine selects the matching engine at brokers: EngineNaive (the
 	// paper's Figure 6 table, the default), EngineCounting (inverted
-	// constraint indexes), or EngineSharded (counting shards matched in
-	// parallel — the choice for large subscription populations on
-	// multi-core machines).
+	// constraint indexes), EngineIndexed (per-operator predicate indexes
+	// — sorted threshold cores, per-length prefix/suffix postings, paired
+	// access∧threshold groups — sub-microsecond matching at million-scale
+	// subscription populations), or EngineSharded (shards matched in
+	// parallel — combine with Shards; Indexed single-threaded is usually
+	// faster than sharded counting on any core count).
 	Engine EngineKind
 	// Shards is the shard count of the sharded engine (EngineSharded
 	// only); 0 means GOMAXPROCS.
@@ -158,10 +161,19 @@ const (
 	// deterministically — per-subscriber delivery order is identical for
 	// any shard count.
 	EngineSharded
+	// EngineIndexed is the predicate-indexed counting engine: every
+	// operator class gets a dedicated index (hash postings for equality,
+	// grouped sorted threshold cores with churn-absorbing delta buffers
+	// for ordering, per-length postings for prefix/suffix, presence
+	// lists), and two-constraint access∧threshold filters collapse into
+	// paired groups consulted only on an access hit. Match cost tracks
+	// satisfied constraints, staying sub-microsecond at a million
+	// subscriptions.
+	EngineIndexed
 )
 
 // String returns the flag-friendly engine name ("naive", "counting",
-// "sharded").
+// "sharded", "indexed").
 func (k EngineKind) String() string { return index.Kind(k).String() }
 
 // FlowPolicy selects what a saturated queue does with new events — the

@@ -78,7 +78,7 @@ type ServerConfig struct {
 	TTL time.Duration
 	// Registry resolves type conformance; nil = exact names.
 	Registry *typing.Registry
-	// Engine selects the matching engine (naive, counting, or sharded).
+	// Engine selects the matching engine (naive, counting, sharded, or indexed).
 	// The zero value is the naive Figure 6 table.
 	Engine index.Kind
 	// Shards is the shard count of the sharded engine (Engine ==

@@ -112,12 +112,18 @@ func (v Value) Comparable(o Value) bool {
 
 // Compare orders v against o. It returns -1, 0 or +1 and ok=true when the
 // two values are comparable; ok=false otherwise. Booleans order false<true.
+// NaN is incomparable (IEEE semantics): every ordered comparison and
+// equality test against it reports ok=false, so no relational constraint
+// is ever satisfied by a NaN value.
 func (v Value) Compare(o Value) (cmp int, ok bool) {
 	if !v.Comparable(o) {
 		return 0, false
 	}
 	if v.kind == KindString {
 		return strings.Compare(v.str, o.str), true
+	}
+	if v.kind != KindBool && (math.IsNaN(v.num) || math.IsNaN(o.num)) {
+		return 0, false
 	}
 	switch {
 	case v.num < o.num:

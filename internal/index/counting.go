@@ -17,6 +17,10 @@ type CountingTable struct {
 	slots []*countSlot
 	free  []int
 	byKey map[string]int // filter key -> slot
+	// byID is the reverse index id -> occupied slots: a disconnecting
+	// subscriber with k filters costs O(k) to remove instead of a walk
+	// over the whole table.
+	byID  map[string]map[int]struct{}
 	attrs map[string]*attrIndex
 	// classOnly holds slots whose filters have zero attribute
 	// constraints; they are candidates for every event.
@@ -28,6 +32,7 @@ type CountingTable struct {
 
 type countSlot struct {
 	f     *filter.Filter
+	key   string
 	need  int // number of attribute constraints
 	ids   map[string]struct{}
 	alive bool
@@ -40,11 +45,19 @@ type attrIndex struct {
 	eq map[string][]slotCount
 	// other holds non-equality constraints for linear evaluation.
 	other []otherConstraint
+	// seen stamps the Match round that already considered this
+	// attribute: the first occurrence of a duplicated attribute name
+	// wins, matching Lookup semantics.
+	seen int
 }
 
+// slotCount is one posting entry: a slot plus the constraint
+// multiplicity it earns per hit. int32 keeps the entry at 8 bytes —
+// posting walks are bandwidth-bound at large populations, and 2^31
+// slots is far beyond what a single table addresses.
 type slotCount struct {
-	slot int
-	n    int
+	slot int32
+	n    int32
 }
 
 type otherConstraint struct {
@@ -60,8 +73,29 @@ func NewCountingTable(conf filter.Conformance) *CountingTable {
 	return &CountingTable{
 		conf:      conf,
 		byKey:     make(map[string]int),
+		byID:      make(map[string]map[int]struct{}),
 		attrs:     make(map[string]*attrIndex),
 		classOnly: make(map[int]struct{}),
+	}
+}
+
+// linkID records id -> slot in the reverse index.
+func (t *CountingTable) linkID(id string, slot int) {
+	set, ok := t.byID[id]
+	if !ok {
+		set = make(map[int]struct{})
+		t.byID[id] = set
+	}
+	set[slot] = struct{}{}
+}
+
+// unlinkID removes id -> slot from the reverse index.
+func (t *CountingTable) unlinkID(id string, slot int) {
+	if set, ok := t.byID[id]; ok {
+		delete(set, slot)
+		if len(set) == 0 {
+			delete(t.byID, id)
+		}
 	}
 }
 
@@ -70,6 +104,7 @@ func (t *CountingTable) Insert(f *filter.Filter, id string) {
 	key := f.Key()
 	if slot, ok := t.byKey[key]; ok {
 		t.slots[slot].ids[id] = struct{}{}
+		t.linkID(id, slot)
 		return
 	}
 	var slot int
@@ -85,10 +120,12 @@ func (t *CountingTable) Insert(f *filter.Filter, id string) {
 	}
 	s := t.slots[slot]
 	s.f = f.Clone()
+	s.key = key
 	s.need = len(f.Constraints)
 	s.ids = map[string]struct{}{id: {}}
 	s.alive = true
 	t.byKey[key] = slot
+	t.linkID(id, slot)
 	if s.need == 0 {
 		t.classOnly[slot] = struct{}{}
 	}
@@ -98,18 +135,18 @@ func (t *CountingTable) Insert(f *filter.Filter, id string) {
 			ai = &attrIndex{eq: make(map[string][]slotCount)}
 			t.attrs[c.Attr] = ai
 		}
-		if c.Op == filter.OpEq {
+		if hashableEq(c) {
 			k := valueKey(c.Operand)
 			found := false
 			for i := range ai.eq[k] {
-				if ai.eq[k][i].slot == slot {
+				if ai.eq[k][i].slot == int32(slot) {
 					ai.eq[k][i].n++
 					found = true
 					break
 				}
 			}
 			if !found {
-				ai.eq[k] = append(ai.eq[k], slotCount{slot: slot, n: 1})
+				ai.eq[k] = append(ai.eq[k], slotCount{slot: int32(slot), n: 1})
 			}
 		} else {
 			ai.other = append(ai.other, otherConstraint{c: c, slot: slot})
@@ -119,46 +156,53 @@ func (t *CountingTable) Insert(f *filter.Filter, id string) {
 
 // Remove implements Engine.
 func (t *CountingTable) Remove(f *filter.Filter, id string) {
-	key := f.Key()
-	slot, ok := t.byKey[key]
+	slot, ok := t.byKey[f.Key()]
 	if !ok {
 		return
 	}
 	s := t.slots[slot]
+	if _, ok := s.ids[id]; !ok {
+		return
+	}
 	delete(s.ids, id)
+	t.unlinkID(id, slot)
 	if len(s.ids) == 0 {
-		t.dropSlot(key, slot)
+		t.dropSlot(slot)
 	}
 }
 
-// RemoveID implements Engine.
+// RemoveID implements Engine in O(filters held by id): the reverse
+// index names exactly the slots to visit, so a disconnecting subscriber
+// never walks the whole table.
 func (t *CountingTable) RemoveID(id string) {
-	for key, slot := range t.byKey {
+	set := t.byID[id]
+	delete(t.byID, id)
+	for slot := range set {
 		s := t.slots[slot]
 		delete(s.ids, id)
 		if len(s.ids) == 0 {
-			t.dropSlot(key, slot)
+			t.dropSlot(slot)
 		}
 	}
 }
 
 // dropSlot tombstones a slot. Constraint entries pointing at it are
 // filtered lazily during Match; the slot is recycled for the next insert.
-func (t *CountingTable) dropSlot(key string, slot int) {
+func (t *CountingTable) dropSlot(slot int) {
 	s := t.slots[slot]
 	s.alive = false
-	delete(t.byKey, key)
+	delete(t.byKey, s.key)
 	delete(t.classOnly, slot)
 	for _, c := range s.f.Constraints {
 		ai := t.attrs[c.Attr]
 		if ai == nil {
 			continue
 		}
-		if c.Op == filter.OpEq {
+		if hashableEq(c) {
 			k := valueKey(c.Operand)
 			scs := ai.eq[k]
 			for i := 0; i < len(scs); i++ {
-				if scs[i].slot == slot {
+				if scs[i].slot == int32(slot) {
 					scs[i] = scs[len(scs)-1]
 					scs = scs[:len(scs)-1]
 					break
@@ -196,7 +240,7 @@ func (t *CountingTable) Match(e event.View) ([]string, int) {
 	}
 	consider := func(v event.Value, ai *attrIndex) {
 		for _, sc := range ai.eq[valueKey(v)] {
-			bump(sc.slot, sc.n)
+			bump(int(sc.slot), int(sc.n))
 		}
 		for _, oc := range ai.other {
 			if oc.c.MatchesValue(v) {
@@ -204,16 +248,19 @@ func (t *CountingTable) Match(e event.View) ([]string, int) {
 			}
 		}
 	}
+	// The synthetic class attribute can also carry constraints when a
+	// filter tests it as a plain string attribute; Lookup resolves it
+	// before any explicit attribute of the same name, so it goes first.
+	if ai, ok := t.attrs[event.TypeAttr]; ok {
+		ai.seen = t.curStamp
+		consider(event.String(e.Class()), ai)
+	}
 	for i, n := 0, e.NumAttrs(); i < n; i++ {
 		name, v := e.AttrAt(i)
-		if ai, ok := t.attrs[name]; ok {
+		if ai, ok := t.attrs[name]; ok && ai.seen != t.curStamp {
+			ai.seen = t.curStamp
 			consider(v, ai)
 		}
-	}
-	// The synthetic class attribute can also carry constraints when a
-	// filter tests it as a plain string attribute.
-	if ai, ok := t.attrs[event.TypeAttr]; ok {
-		consider(event.String(e.Class()), ai)
 	}
 	var ids []string
 	matched := 0

@@ -2,7 +2,7 @@
 // broker nodes — the filtering data structures behind the paper's
 // Section 4 filtering and forwarding tables.
 //
-// Three engines implement the Engine interface:
+// Four engines implement the Engine interface:
 //
 //   - NaiveTable is the algorithm of Figure 6: a table of <filter,
 //     id-list> entries scanned linearly per event.
@@ -11,19 +11,28 @@
 //     used"): per-attribute inverted indexes with hash lookup for
 //     equality constraints, so matching cost scales with the number of
 //     satisfied constraints instead of the number of filters.
+//   - IndexedTable extends the counting scheme with a dedicated index
+//     per operator class — grouped sorted threshold cores with
+//     churn-absorbing delta buffers for ordering constraints,
+//     per-operand-length hash postings for prefix/suffix, presence
+//     lists, and paired access∧threshold groups for the dominant
+//     two-constraint alarm shape — keeping per-event match cost near
+//     constant (sub-microsecond medians) at million-subscription
+//     populations.
 //   - ShardedEngine partitions associations across N shards by
 //     subscription-ID hash and matches shards in parallel, merging
-//     results deterministically — the scalability lever for multi-core
-//     brokers with very large subscription populations.
+//     results deterministically; Config.Shards composes it with any
+//     inner kind for multi-core brokers.
 //
 // Engine selection is explicit: construct through New with a Config
 // naming the Kind (the zero Config selects the naive table), so runtimes
 // share one selection path instead of duplicating engine-picking logic.
 //
-// Concurrency and ownership: NaiveTable and CountingTable are NOT safe
-// for concurrent use — each instance is owned by exactly one goroutine
-// (the broker core or actor that created it), and CountingTable
-// additionally mutates per-call scratch state during Match. ShardedEngine
+// Concurrency and ownership: NaiveTable, CountingTable and IndexedTable
+// are NOT safe for concurrent use — each instance is owned by exactly
+// one goroutine (the broker core or actor that created it), and the
+// counting engines additionally mutate per-call scratch state during
+// Match. ShardedEngine
 // IS safe for concurrent use: every shard carries its own mutex, mutating
 // calls lock only the owning shard, and Match/MatchBatch lock each shard
 // from its own worker goroutine. All engines return Match results sorted

@@ -1,0 +1,176 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+)
+
+// FuzzEngineEquivalence drives all four engine kinds with the same
+// byte-derived script of inserts, removes, whole-ID removes and match
+// probes; every probe must yield identical ID sets, and the naive result
+// must agree with direct filter evaluation. The script bytes decode to a
+// small op stream, so the fuzzer can reach delta merges, tombstone
+// purges, NaN values and prefix/suffix collisions.
+func FuzzEngineEquivalence(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x90, 0x17, 0x30, 0x88, 0x21, 0xfe, 0x05})
+	f.Add([]byte("insert-remove-match-churn-seed"))
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0x80, 0x7f, 0x33, 0xcc, 0x55, 0xaa, 0x12, 0x34})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fz := fuzzScript{data: data}
+		naive := NewNaiveTable(nil)
+		others := map[string]Engine{
+			"counting": NewCountingTable(nil),
+			"indexed":  NewIndexedTable(nil),
+			"sharded":  NewSharded(nil, 2),
+		}
+		type assoc struct {
+			f  *filter.Filter
+			id string
+		}
+		var live []assoc
+		for step := 0; !fz.done() && step < 200; step++ {
+			switch fz.byte() % 8 {
+			case 0, 1, 2, 3:
+				flt := fz.filter()
+				id := fmt.Sprintf("id%d", fz.byte()%8)
+				naive.Insert(flt, id)
+				for _, eng := range others {
+					eng.Insert(flt, id)
+				}
+				live = append(live, assoc{flt, id})
+			case 4:
+				if len(live) == 0 {
+					continue
+				}
+				i := int(fz.byte()) % len(live)
+				naive.Remove(live[i].f, live[i].id)
+				for _, eng := range others {
+					eng.Remove(live[i].f, live[i].id)
+				}
+				live = append(live[:i], live[i+1:]...)
+			case 5:
+				id := fmt.Sprintf("id%d", fz.byte()%8)
+				naive.RemoveID(id)
+				for _, eng := range others {
+					eng.RemoveID(id)
+				}
+				kept := live[:0]
+				for _, a := range live {
+					if a.id != id {
+						kept = append(kept, a)
+					}
+				}
+				live = kept
+			default:
+				e := fz.event()
+				nids, nm := naive.Match(e)
+				want := 0
+				for _, ff := range naive.Filters() {
+					if ff.Matches(e, nil) {
+						want++
+					}
+				}
+				if nm != want {
+					t.Fatalf("step %d: naive matched=%d, direct evaluation=%d on %s", step, nm, want, e)
+				}
+				for name, eng := range others {
+					ids, _ := eng.Match(e)
+					if fmt.Sprint(ids) != fmt.Sprint(nids) {
+						t.Fatalf("step %d: %s diverges on %s:\n naive %v\n %s %v",
+							step, name, e, nids, name, ids)
+					}
+					if eng.Len() != naive.Len() {
+						t.Fatalf("step %d: Len diverged naive=%d %s=%d", step, naive.Len(), name, eng.Len())
+					}
+				}
+			}
+		}
+	})
+}
+
+// fuzzScript decodes fuzz bytes into filters, events and choices.
+type fuzzScript struct {
+	data []byte
+	pos  int
+}
+
+func (f *fuzzScript) done() bool { return f.pos >= len(f.data) }
+
+func (f *fuzzScript) byte() byte {
+	if f.done() {
+		return 0
+	}
+	b := f.data[f.pos]
+	f.pos++
+	return b
+}
+
+// value derives an event value; a few byte codes map to adversarial
+// numerics (NaN, ±0, infinities), the rest to small ints and strings.
+func (f *fuzzScript) value() event.Value {
+	b := f.byte()
+	switch b {
+	case 0xff:
+		return event.Float(math.NaN())
+	case 0xfe:
+		return event.Float(math.Copysign(0, -1))
+	case 0xfd:
+		return event.Float(math.Inf(1))
+	case 0xfc:
+		return event.Float(math.Inf(-1))
+	case 0xfb:
+		return event.Bool(f.byte()%2 == 0)
+	}
+	if b%2 == 0 {
+		return event.Int(int64(b % 16))
+	}
+	return event.String(f.str())
+}
+
+// str derives a short string over a 3-letter alphabet (length 0-3), so
+// prefix/suffix/contains hits and misses are both common.
+func (f *fuzzScript) str() string {
+	n := int(f.byte() % 4)
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = 'a' + f.byte()%3
+	}
+	return string(s)
+}
+
+var fuzzOps = []filter.Op{
+	filter.OpEq, filter.OpNe, filter.OpLt, filter.OpLe, filter.OpGt,
+	filter.OpGe, filter.OpPrefix, filter.OpSuffix, filter.OpContains,
+	filter.OpExists, filter.OpAny,
+}
+
+func (f *fuzzScript) filter() *filter.Filter {
+	flt := &filter.Filter{}
+	if f.byte()%2 == 0 {
+		flt.Class = string(rune('A' + f.byte()%2))
+	}
+	for range 1 + f.byte()%3 {
+		op := fuzzOps[int(f.byte())%len(fuzzOps)]
+		c := filter.Constraint{
+			Attr: string(rune('w' + f.byte()%4)),
+			Op:   op,
+		}
+		if op.NeedsOperand() {
+			c.Operand = f.value()
+		}
+		flt.Constraints = append(flt.Constraints, c)
+	}
+	return flt
+}
+
+func (f *fuzzScript) event() *event.Event {
+	b := event.NewBuilder(string(rune('A' + f.byte()%3)))
+	for range f.byte() % 4 {
+		b.Val(string(rune('w'+f.byte()%4)), f.value())
+	}
+	return b.Build()
+}

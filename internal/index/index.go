@@ -1,6 +1,7 @@
 package index
 
 import (
+	"math"
 	"sort"
 	"strconv"
 
@@ -46,6 +47,14 @@ func dedupSorted(ids []string) []string {
 	return out
 }
 
+// hashableEq reports whether an equality constraint can live in a hash
+// posting. A NaN operand equals nothing (Compare reports it
+// incomparable), but its hash key would wrongly match NaN event values,
+// so it must be evaluated directly.
+func hashableEq(c filter.Constraint) bool {
+	return c.Op == filter.OpEq && !(c.Operand.IsNumeric() && math.IsNaN(c.Operand.Num()))
+}
+
 // valueKey returns a hashable identity for a value such that Equal values
 // (including Int/Float cross-kind equality) share a key.
 func valueKey(v event.Value) string {
@@ -58,7 +67,11 @@ func valueKey(v event.Value) string {
 		}
 		return "b:0"
 	case event.KindInt, event.KindFloat:
-		return "n:" + strconv.FormatFloat(v.Num(), 'g', -1, 64)
+		n := v.Num()
+		if n == 0 {
+			n = 0 // collapse -0 onto +0; they compare equal
+		}
+		return "n:" + strconv.FormatFloat(n, 'g', -1, 64)
 	default:
 		return "?"
 	}

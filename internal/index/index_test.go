@@ -2,18 +2,26 @@ package index
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
+	"strings"
 	"testing"
 
 	"eventsys/internal/event"
 	"eventsys/internal/filter"
 )
 
-// engines returns fresh instances of every Engine implementation.
+// engines returns fresh instances of every Engine implementation,
+// including a sharded wrapper per inner kind (the generic engine tests
+// must hold for any shard count).
 func engines(conf filter.Conformance) map[string]Engine {
 	return map[string]Engine{
-		"naive":    NewNaiveTable(conf),
-		"counting": NewCountingTable(conf),
+		"naive":           NewNaiveTable(conf),
+		"counting":        NewCountingTable(conf),
+		"indexed":         NewIndexedTable(conf),
+		"sharded":         NewSharded(conf, 4),
+		"sharded-indexed": New(Config{Kind: KindIndexed, Conf: conf, Shards: 4}),
+		"sharded-naive":   New(Config{Kind: KindNaive, Conf: conf, Shards: 2}),
 	}
 }
 
@@ -60,8 +68,13 @@ func TestEngineMultiIDAndDedup(t *testing.T) {
 			}
 			e := event.NewBuilder("T").Int("x", 1).Build()
 			ids, matched := eng.Match(e)
-			if matched != 1 || fmt.Sprint(ids) != "[a b]" {
-				t.Errorf("Match = %v (%d), want [a b] (1)", ids, matched)
+			if fmt.Sprint(ids) != "[a b]" {
+				t.Errorf("Match = %v, want [a b]", ids)
+			}
+			// Sharded engines count a filter once per shard holding one
+			// of its IDs; single-table engines count it exactly once.
+			if sharded := strings.HasPrefix(name, "sharded"); matched < 1 || (!sharded && matched != 1) {
+				t.Errorf("matched = %d, want 1", matched)
 			}
 		})
 	}
@@ -206,40 +219,70 @@ func TestEngineDuplicateEqConstraint(t *testing.T) {
 	}
 }
 
-// TestEnginesAgreeProperty cross-validates both engines against direct
-// filter evaluation on random workloads, including inserts and removes.
+// TestEnginesAgreeProperty cross-validates every engine kind against
+// direct filter evaluation on random workloads, including inserts,
+// per-association removes, and whole-ID removes (which exercise the
+// indexed engine's tombstone/rebuild lifecycle).
 func TestEnginesAgreeProperty(t *testing.T) {
 	rng := rand.New(rand.NewPCG(41, 43))
 	naive := NewNaiveTable(nil)
-	counting := NewCountingTable(nil)
+	others := map[string]Engine{
+		"counting": NewCountingTable(nil),
+		"indexed":  NewIndexedTable(nil),
+		"sharded":  NewSharded(nil, 3),
+	}
 	type assoc struct {
 		f  *filter.Filter
 		id string
 	}
 	var live []assoc
-	for round := 0; round < 2000; round++ {
-		switch {
-		case len(live) == 0 || rng.IntN(3) > 0:
+	for round := 0; round < 2500; round++ {
+		switch r := rng.IntN(10); {
+		case len(live) == 0 || r < 6:
 			f := randomIdxFilter(rng)
 			id := fmt.Sprintf("id%d", rng.IntN(10))
 			naive.Insert(f, id)
-			counting.Insert(f, id)
+			for _, eng := range others {
+				eng.Insert(f, id)
+			}
 			live = append(live, assoc{f, id})
-		default:
+		case r < 9:
 			i := rng.IntN(len(live))
 			naive.Remove(live[i].f, live[i].id)
-			counting.Remove(live[i].f, live[i].id)
+			for _, eng := range others {
+				eng.Remove(live[i].f, live[i].id)
+			}
 			live = append(live[:i], live[i+1:]...)
-		}
-		if naive.Len() != counting.Len() {
-			t.Fatalf("round %d: Len diverged naive=%d counting=%d", round, naive.Len(), counting.Len())
+		default:
+			id := fmt.Sprintf("id%d", rng.IntN(10))
+			naive.RemoveID(id)
+			for _, eng := range others {
+				eng.RemoveID(id)
+			}
+			kept := live[:0]
+			for _, a := range live {
+				if a.id != id {
+					kept = append(kept, a)
+				}
+			}
+			live = kept
 		}
 		e := randomIdxEvent(rng)
 		nids, nm := naive.Match(e)
-		cids, cm := counting.Match(e)
-		if nm != cm || fmt.Sprint(nids) != fmt.Sprint(cids) {
-			t.Fatalf("round %d: engines diverge on %s:\n naive    %v (%d)\n counting %v (%d)",
-				round, e, nids, nm, cids, cm)
+		for name, eng := range others {
+			if eng.Len() != naive.Len() {
+				t.Fatalf("round %d: Len diverged naive=%d %s=%d", round, naive.Len(), name, eng.Len())
+			}
+			ids, m := eng.Match(e)
+			if fmt.Sprint(nids) != fmt.Sprint(ids) {
+				t.Fatalf("round %d: engines diverge on %s:\n naive %v (%d)\n %s %v (%d)",
+					round, e, nids, nm, name, ids, m)
+			}
+			// The sharded engine's matched count legitimately differs
+			// (per-shard sums); for single-table engines it must agree.
+			if name != "sharded" && m != nm {
+				t.Fatalf("round %d: matched count diverged naive=%d %s=%d", round, nm, name, m)
+			}
 		}
 		// Spot-check against direct evaluation.
 		want := 0
@@ -259,23 +302,40 @@ func randomIdxFilter(rng *rand.Rand) *filter.Filter {
 	if rng.IntN(2) == 0 {
 		f.Class = []string{"A", "B"}[rng.IntN(2)]
 	}
-	ops := []filter.Op{filter.OpEq, filter.OpEq, filter.OpNe, filter.OpLt, filter.OpGe, filter.OpPrefix, filter.OpAny}
+	ops := []filter.Op{
+		filter.OpEq, filter.OpEq, filter.OpNe,
+		filter.OpLt, filter.OpLe, filter.OpGt, filter.OpGe,
+		filter.OpPrefix, filter.OpSuffix, filter.OpContains,
+		filter.OpExists, filter.OpAny,
+	}
 	for range 1 + rng.IntN(3) {
 		op := ops[rng.IntN(len(ops))]
 		attr := []string{"w", "x", "y", "z"}[rng.IntN(4)]
 		c := filter.Constraint{Attr: attr, Op: op}
 		if op.NeedsOperand() {
-			if op == filter.OpPrefix {
-				c.Operand = event.String(string(rune('a' + rng.IntN(3))))
-			} else if rng.IntN(2) == 0 {
+			switch {
+			case op == filter.OpPrefix || op == filter.OpSuffix || op == filter.OpContains:
+				c.Operand = event.String(randomIdxStr(rng))
+			case rng.IntN(2) == 0:
 				c.Operand = event.Int(int64(rng.IntN(5)))
-			} else {
-				c.Operand = event.String(string(rune('a' + rng.IntN(3))))
+			default:
+				c.Operand = event.String(randomIdxStr(rng))
 			}
 		}
 		f.Constraints = append(f.Constraints, c)
 	}
 	return f
+}
+
+// randomIdxStr returns "", "a".."c", or a two-rune string; short strings
+// make prefix/suffix/contains collisions (and misses) likely.
+func randomIdxStr(rng *rand.Rand) string {
+	n := rng.IntN(3)
+	s := make([]rune, n)
+	for i := range s {
+		s[i] = rune('a' + rng.IntN(3))
+	}
+	return string(s)
 }
 
 func randomIdxEvent(rng *rand.Rand) *event.Event {
@@ -284,10 +344,13 @@ func randomIdxEvent(rng *rand.Rand) *event.Event {
 		if rng.IntN(3) == 0 {
 			continue
 		}
-		if rng.IntN(2) == 0 {
+		switch rng.IntN(5) {
+		case 0, 1:
 			b.Int(attr, int64(rng.IntN(5)))
-		} else {
-			b.Str(attr, string(rune('a'+rng.IntN(3))))
+		case 2:
+			b.Float(attr, []float64{0, math.Copysign(0, -1), 2.5, math.NaN()}[rng.IntN(4)])
+		default:
+			b.Str(attr, randomIdxStr(rng))
 		}
 	}
 	return b.Build()

@@ -20,6 +20,11 @@ const (
 	// KindSharded selects the sharded parallel engine: counting shards
 	// partitioned by subscription ID, matched concurrently.
 	KindSharded
+	// KindIndexed selects the predicate-indexed counting engine: sorted
+	// threshold arrays, prefix/suffix postings and presence lists keep
+	// matching logarithmic for the expressive (non-equality) predicates
+	// too.
+	KindIndexed
 )
 
 // String returns the flag-friendly engine name.
@@ -29,12 +34,15 @@ func (k Kind) String() string {
 		return "counting"
 	case KindSharded:
 		return "sharded"
+	case KindIndexed:
+		return "indexed"
 	default:
 		return "naive"
 	}
 }
 
-// ParseKind maps a flag value ("naive", "counting", "sharded") to a Kind.
+// ParseKind maps a flag value ("naive", "counting", "sharded",
+// "indexed") to a Kind.
 func ParseKind(s string) (Kind, error) {
 	switch s {
 	case "naive", "":
@@ -43,8 +51,10 @@ func ParseKind(s string) (Kind, error) {
 		return KindCounting, nil
 	case "sharded":
 		return KindSharded, nil
+	case "indexed":
+		return KindIndexed, nil
 	default:
-		return 0, fmt.Errorf("index: unknown engine %q (want naive, counting, or sharded)", s)
+		return 0, fmt.Errorf("index: unknown engine %q (want naive, counting, sharded, or indexed)", s)
 	}
 }
 
@@ -57,8 +67,12 @@ type Config struct {
 	// Conf resolves event class conformance (type-based subscribing);
 	// nil means exact type names.
 	Conf filter.Conformance
-	// Shards is the shard count for KindSharded; 0 means GOMAXPROCS.
-	// Ignored by the other kinds.
+	// Shards is a modifier composable with Kind: any value above 1
+	// partitions the selected engine into that many concurrently
+	// matched shards (shards of counting tables, indexed tables, even
+	// naive tables). For KindSharded — whose single-kind meaning is
+	// "sharded counting" — 0 means GOMAXPROCS; for every other kind 0
+	// and 1 select the unsharded engine.
 	Shards int
 }
 
@@ -66,14 +80,20 @@ type Config struct {
 // selection point shared by the overlay, the networked broker and the
 // simulator.
 func New(cfg Config) Engine {
-	switch cfg.Kind {
-	case KindCounting:
-		return NewCountingTable(cfg.Conf)
-	case KindSharded:
-		return NewSharded(cfg.Conf, cfg.Shards)
-	default:
-		return NewNaiveTable(cfg.Conf)
+	inner := func() Engine {
+		switch cfg.Kind {
+		case KindCounting, KindSharded:
+			return NewCountingTable(cfg.Conf)
+		case KindIndexed:
+			return NewIndexedTable(cfg.Conf)
+		default:
+			return NewNaiveTable(cfg.Conf)
+		}
 	}
+	if cfg.Kind == KindSharded || cfg.Shards > 1 {
+		return NewShardedEngine(cfg.Shards, inner)
+	}
+	return inner()
 }
 
 // MatchResult is one event's matching outcome: the associated IDs (sorted

@@ -10,7 +10,8 @@ import (
 )
 
 // ShardedEngine partitions filter associations across N shards by a hash
-// of the subscription ID; each shard is an independent CountingTable
+// of the subscription ID; each shard is an independent inner engine (a
+// counting table by default — any Engine kind via NewShardedEngine)
 // guarded by its own mutex. Match and MatchBatch evaluate every shard in
 // parallel — one goroutine per shard — and merge the per-shard results
 // into one sorted, deduplicated ID list per event, so the output is
@@ -32,7 +33,7 @@ type ShardedEngine struct {
 
 type engineShard struct {
 	mu  sync.Mutex
-	eng *CountingTable
+	eng Engine
 }
 
 var (
@@ -40,15 +41,25 @@ var (
 	_ BatchMatcher = (*ShardedEngine)(nil)
 )
 
-// NewSharded returns a sharded engine with the given shard count (0 or
-// negative means GOMAXPROCS) using conf for class conformance.
+// NewSharded returns a sharded engine over counting tables with the
+// given shard count (0 or negative means GOMAXPROCS) using conf for
+// class conformance.
 func NewSharded(conf filter.Conformance, shards int) *ShardedEngine {
+	return NewShardedEngine(shards, func() Engine { return NewCountingTable(conf) })
+}
+
+// NewShardedEngine returns a sharded engine whose shards are built by
+// mk — any Engine kind composes (counting, indexed, even naive). A
+// shard count of 0 or below means GOMAXPROCS. Each inner engine is
+// only ever driven under its shard's mutex, so single-goroutine inner
+// implementations are safe.
+func NewShardedEngine(shards int, mk func() Engine) *ShardedEngine {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
 	t := &ShardedEngine{shards: make([]*engineShard, shards)}
 	for i := range t.shards {
-		t.shards[i] = &engineShard{eng: NewCountingTable(conf)}
+		t.shards[i] = &engineShard{eng: mk()}
 	}
 	return t
 }

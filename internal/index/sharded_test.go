@@ -33,41 +33,52 @@ func population(t testing.TB, seed uint64, subs, events int) ([]*filter.Filter, 
 }
 
 // TestShardedDeterministicMerge is the ordering contract of the batched
-// pipeline: the same subscription population and event set must yield
-// identical per-event (and therefore per-subscriber) results for 1, 2,
-// and 8 shards — and for the single-threaded counting engine.
+// pipeline: for every engine kind, the same subscription population and
+// event set must yield identical per-event (and therefore
+// per-subscriber) results for 1, 2, and 8 shards — and for the
+// unsharded single-threaded engine of that kind.
 func TestShardedDeterministicMerge(t *testing.T) {
 	filters, ids, evs := population(t, 7, 500, 200)
-	want := NewCountingTable(nil)
-	for i, f := range filters {
-		want.Insert(f, ids[i])
-	}
-	wantRes := MatchEach(want, evs)
-	for _, shards := range []int{1, 2, 8} {
-		eng := NewSharded(nil, shards)
-		if eng.Shards() != shards {
-			t.Fatalf("Shards() = %d, want %d", eng.Shards(), shards)
-		}
-		for i, f := range filters {
-			eng.Insert(f, ids[i])
-		}
-		got := eng.MatchBatch(evs)
-		for i := range evs {
-			if !reflect.DeepEqual(got[i].IDs, wantRes[i].IDs) {
-				t.Fatalf("shards=%d event %d: IDs = %v, want %v", shards, i, got[i].IDs, wantRes[i].IDs)
+	for _, kind := range []Kind{KindNaive, KindCounting, KindIndexed} {
+		t.Run(kind.String(), func(t *testing.T) {
+			want := New(Config{Kind: kind})
+			for i, f := range filters {
+				want.Insert(f, ids[i])
 			}
-			if (got[i].Matched > 0) != (wantRes[i].Matched > 0) {
-				t.Fatalf("shards=%d event %d: matched = %d, counting says %d",
-					shards, i, got[i].Matched, wantRes[i].Matched)
+			wantRes := MatchEach(want, evs)
+			for _, shards := range []int{1, 2, 8} {
+				eng, ok := New(Config{Kind: kind, Shards: shards}).(*ShardedEngine)
+				if shards == 1 {
+					// Shards=1 composes to the unsharded engine.
+					if ok {
+						t.Fatalf("Shards=1 built a ShardedEngine")
+					}
+					eng = NewShardedEngine(1, func() Engine { return New(Config{Kind: kind}) })
+				} else if !ok || eng.Shards() != shards {
+					t.Fatalf("Config{%v, Shards: %d} built %T", kind, shards, eng)
+				}
+				for i, f := range filters {
+					eng.Insert(f, ids[i])
+				}
+				got := eng.MatchBatch(evs)
+				for i := range evs {
+					if !reflect.DeepEqual(got[i].IDs, wantRes[i].IDs) {
+						t.Fatalf("shards=%d event %d: IDs = %v, want %v", shards, i, got[i].IDs, wantRes[i].IDs)
+					}
+					if (got[i].Matched > 0) != (wantRes[i].Matched > 0) {
+						t.Fatalf("shards=%d event %d: matched = %d, unsharded says %d",
+							shards, i, got[i].Matched, wantRes[i].Matched)
+					}
+				}
+				// Per-event Match must agree with the batch path.
+				for i := 0; i < len(evs); i += 37 {
+					single, _ := eng.Match(evs[i])
+					if !reflect.DeepEqual(single, got[i].IDs) {
+						t.Fatalf("shards=%d event %d: Match = %v, MatchBatch = %v", shards, i, single, got[i].IDs)
+					}
+				}
 			}
-		}
-		// Per-event Match must agree with the batch path.
-		for i := 0; i < len(evs); i += 37 {
-			single, _ := eng.Match(evs[i])
-			if !reflect.DeepEqual(single, got[i].IDs) {
-				t.Fatalf("shards=%d event %d: Match = %v, MatchBatch = %v", shards, i, single, got[i].IDs)
-			}
-		}
+		})
 	}
 }
 
@@ -186,6 +197,15 @@ func TestKindSelection(t *testing.T) {
 	if !ok || eng.Shards() != 3 {
 		t.Errorf("KindSharded/3 selected %T with %d shards", eng, eng.Shards())
 	}
+	if _, ok := New(Config{Kind: KindIndexed}).(*IndexedTable); !ok {
+		t.Error("KindIndexed should select the indexed table")
+	}
+	if eng, ok := New(Config{Kind: KindIndexed, Shards: 2}).(*ShardedEngine); !ok || eng.Shards() != 2 {
+		t.Error("KindIndexed with Shards: 2 should compose into a sharded engine")
+	}
+	if _, ok := New(Config{Kind: KindCounting, Shards: 1}).(*CountingTable); !ok {
+		t.Error("Shards: 1 should stay unsharded")
+	}
 	for _, tc := range []struct {
 		in   string
 		want Kind
@@ -195,6 +215,7 @@ func TestKindSelection(t *testing.T) {
 		{"", KindNaive, false},
 		{"counting", KindCounting, false},
 		{"sharded", KindSharded, false},
+		{"indexed", KindIndexed, false},
 		{"quantum", 0, true},
 	} {
 		got, err := ParseKind(tc.in)

@@ -34,8 +34,8 @@ type Config struct {
 	// Registry resolves event type conformance (type-based subscribing);
 	// nil means exact type names.
 	Registry *typing.Registry
-	// Engine selects the matching engine at brokers (naive, counting, or
-	// sharded). The zero value is the naive Figure 6 table.
+	// Engine selects the matching engine at brokers (naive, counting,
+	// sharded, or indexed). The zero value is the naive Figure 6 table.
 	Engine index.Kind
 	// Shards is the shard count of the sharded engine (Engine ==
 	// index.KindSharded); 0 means GOMAXPROCS.

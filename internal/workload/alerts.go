@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+)
+
+// AlertsConfig parameterizes the monitoring-alert workload: the
+// ordering- and prefix-heavy population used to evaluate the
+// predicate-indexed matching engine at large subscription counts.
+type AlertsConfig struct {
+	// Metrics is the metric-name pool size; subscriptions pick metrics
+	// Zipf-skewed (hot metrics attract most alarms), events uniformly.
+	Metrics int
+	// Regions, Zones, Hosts shape the topic hierarchy
+	// m/r<region>/z<zone>/h<host>; Zones and Hosts are per parent level.
+	Regions, Zones, Hosts int
+	// Levels is the number of distinct alarm thresholds per side. Level k
+	// puts a ceiling alarm at 99.95 - 0.025k (or a floor alarm at
+	// 0.05 + 0.025k), so all thresholds crowd the extremes of the [0,100)
+	// value range: the median event crosses none of them, which is what
+	// real alarm populations look like — alarms that fire on half the
+	// stream would be noise, not alerts.
+	Levels int
+	// Skew is the Zipf exponent for metric popularity and threshold
+	// levels (values <= 1 degrade to uniform).
+	Skew float64
+}
+
+// DefaultAlerts returns the evaluation scale: 20k metrics, 100k hosts,
+// thresholds packed into the outer 1% of the value range.
+func DefaultAlerts() AlertsConfig {
+	return AlertsConfig{Metrics: 20000, Regions: 25, Zones: 40, Hosts: 100, Levels: 40, Skew: 1.4}
+}
+
+// Alerts generates monitoring events (metric, value, topic, and a sparse
+// note) and alarm subscriptions over them. Every subscription pairs a
+// selector — metric equality, a topic prefix at host/zone/region
+// granularity, or a note presence/contains test — with a value threshold
+// (value >= ceiling or value <= floor), exercising the eq postings,
+// sorted threshold arrays, per-length prefix postings, presence lists
+// and scan residue of the indexed engine in realistic proportions.
+// Deterministic for a seed; not safe for concurrent use.
+type Alerts struct {
+	cfg     AlertsConfig
+	rng     *rand.Rand
+	metricZ *Zipf
+	levelZ  *Zipf
+	seq     uint64
+}
+
+// alertNotes is the sparse free-text note pool (1% of events carry one).
+var alertNotes = []string{
+	"disk almost full", "oom killer invoked", "link flapping",
+	"clock drift detected", "raid degraded", "certificate expiring",
+}
+
+// NewAlerts constructs the alert workload.
+func NewAlerts(seed uint64, cfg AlertsConfig) (*Alerts, error) {
+	if cfg.Metrics <= 0 || cfg.Regions <= 0 || cfg.Zones <= 0 || cfg.Hosts <= 0 {
+		return nil, fmt.Errorf("workload: alerts pools must be positive: %+v", cfg)
+	}
+	if cfg.Levels <= 0 || float64(cfg.Levels)*0.025 > 50 {
+		return nil, fmt.Errorf("workload: alerts Levels must be in (0, 2000]: %d", cfg.Levels)
+	}
+	return &Alerts{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewPCG(seed, seed^0x51ee7ed1ca7e5)),
+		metricZ: NewZipf(cfg.Metrics, cfg.Skew),
+		levelZ:  NewZipf(cfg.Levels, cfg.Skew),
+	}, nil
+}
+
+func metricName(i int) string { return fmt.Sprintf("metric-%05d", i) }
+
+// topic renders the fixed-width hierarchical topic, so every hierarchy
+// level corresponds to exactly one prefix length in the index.
+func (a *Alerts) topic(region, zone, host int) string {
+	return fmt.Sprintf("m/r%02d/z%02d/h%03d", region, zone, host)
+}
+
+// Event draws a monitoring event: uniform metric, uniform value in
+// [0, 100), uniform topic, and a note on 1% of events.
+func (a *Alerts) Event() *event.Event {
+	b := event.NewBuilder("Alert").
+		Str("metric", metricName(a.rng.IntN(a.cfg.Metrics))).
+		Float("value", a.rng.Float64()*100).
+		Str("topic", a.topic(a.rng.IntN(a.cfg.Regions), a.rng.IntN(a.cfg.Zones), a.rng.IntN(a.cfg.Hosts)))
+	if a.rng.Float64() < 0.01 {
+		b.Str("note", alertNotes[a.rng.IntN(len(alertNotes))])
+	}
+	a.seq++
+	return b.ID(a.seq).Build()
+}
+
+// ceiling and floor draw Zipf-concentrated alarm thresholds: level 0
+// (the most popular) almost never fires.
+func (a *Alerts) ceiling() float64 { return 99.95 - 0.025*float64(a.levelZ.Draw(a.rng)) }
+func (a *Alerts) floor() float64   { return 0.05 + 0.025*float64(a.levelZ.Draw(a.rng)) }
+
+// Subscription draws one alarm filter. The mix (metric ceilings 50%,
+// metric floors 20%, topic alarms 28% — overwhelmingly host-granular,
+// since broad region alarms are operationally rare — and note alarms 2%)
+// keeps the per-event satisfied-constraint count small at the median, as
+// a production alarm population does.
+func (a *Alerts) Subscription() *filter.Filter {
+	f := &filter.Filter{Class: "Alert"}
+	u := a.rng.Float64()
+	switch {
+	case u < 0.50:
+		f.Constraints = append(f.Constraints,
+			filter.C("metric", filter.OpEq, event.String(metricName(a.metricZ.Draw(a.rng)))),
+			filter.C("value", filter.OpGe, event.Float(a.ceiling())))
+	case u < 0.70:
+		f.Constraints = append(f.Constraints,
+			filter.C("metric", filter.OpEq, event.String(metricName(a.metricZ.Draw(a.rng)))),
+			filter.C("value", filter.OpLe, event.Float(a.floor())))
+	case u < 0.98:
+		region := a.rng.IntN(a.cfg.Regions)
+		zone := a.rng.IntN(a.cfg.Zones)
+		host := a.rng.IntN(a.cfg.Hosts)
+		full := a.topic(region, zone, host)
+		var prefix string
+		switch w := a.rng.Float64(); {
+		case w < 0.001:
+			prefix = full[:6] // m/rXX/ — a whole region
+		case w < 0.037:
+			prefix = full[:10] // m/rXX/zYY/ — one zone
+		default:
+			prefix = full // one host
+		}
+		f.Constraints = append(f.Constraints,
+			filter.C("topic", filter.OpPrefix, event.String(prefix)),
+			filter.C("value", filter.OpGe, event.Float(a.ceiling())))
+	case u < 0.995:
+		f.Constraints = append(f.Constraints,
+			filter.C("note", filter.OpExists, event.Value{}),
+			filter.C("value", filter.OpGe, event.Float(a.ceiling())))
+	default:
+		note := alertNotes[a.rng.IntN(len(alertNotes))]
+		half := note[:len(note)/2]
+		f.Constraints = append(f.Constraints,
+			filter.C("note", filter.OpContains, event.String(half)),
+			filter.C("value", filter.OpGe, event.Float(a.ceiling())))
+	}
+	return f
+}

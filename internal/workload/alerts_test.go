@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"eventsys/internal/filter"
+)
+
+func TestAlertsDeterminism(t *testing.T) {
+	a1, err := NewAlerts(5, DefaultAlerts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := NewAlerts(5, DefaultAlerts())
+	for i := 0; i < 200; i++ {
+		if e1, e2 := a1.Event(), a2.Event(); e1.String() != e2.String() {
+			t.Fatalf("event %d diverged:\n %s\n %s", i, e1, e2)
+		}
+		if f1, f2 := a1.Subscription(), a2.Subscription(); f1.Key() != f2.Key() {
+			t.Fatalf("subscription %d diverged:\n %s\n %s", i, f1, f2)
+		}
+	}
+}
+
+func TestAlertsShape(t *testing.T) {
+	a, err := NewAlerts(9, DefaultAlerts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Region-granular topic alarms are deliberately rare (~0.03% of
+	// subscriptions), so observing all three prefix lengths needs a
+	// large (seeded, deterministic) draw.
+	prefixLens := map[int]bool{}
+	for i := 0; i < 30000; i++ {
+		f := a.Subscription()
+		if f.Class != "Alert" || len(f.Constraints) != 2 {
+			t.Fatalf("subscription shape: %s", f)
+		}
+		var hasThreshold bool
+		for _, c := range f.Constraints {
+			switch c.Op {
+			case filter.OpGe, filter.OpLe:
+				v := c.Operand.Num()
+				if !(v >= 0 && v < 100) {
+					t.Fatalf("threshold %v outside value range", v)
+				}
+				if v >= 1.05 && v <= 98.95 {
+					t.Fatalf("threshold %v outside the alarm bands", v)
+				}
+				hasThreshold = true
+			case filter.OpPrefix:
+				prefixLens[len(c.Operand.Str())] = true
+			}
+		}
+		if !hasThreshold {
+			t.Fatalf("subscription without threshold: %s", f)
+		}
+	}
+	if len(prefixLens) != 3 {
+		t.Fatalf("prefix operand lengths = %v, want region/zone/host (3)", prefixLens)
+	}
+
+	notes := 0
+	for i := 0; i < 5000; i++ {
+		e := a.Event()
+		topic, _ := e.Lookup("topic")
+		if !strings.HasPrefix(topic.Str(), "m/r") || len(topic.Str()) != 14 {
+			t.Fatalf("topic %q not fixed-width hierarchical", topic.Str())
+		}
+		if _, ok := e.Lookup("note"); ok {
+			notes++
+		}
+	}
+	if notes == 0 || notes > 250 {
+		t.Fatalf("notes on %d/5000 events, want sparse but nonzero", notes)
+	}
+}
+
+func TestAlertsConfigValidation(t *testing.T) {
+	if _, err := NewAlerts(1, AlertsConfig{}); err == nil {
+		t.Error("zero config should fail")
+	}
+	bad := DefaultAlerts()
+	bad.Levels = 4000
+	if _, err := NewAlerts(1, bad); err == nil {
+		t.Error("Levels beyond the band should fail")
+	}
+}
+
+func TestAlertsMatchRateIsSparse(t *testing.T) {
+	// Shrunk pools: at the default 20k-metric/100k-host scale, a 2000x2000
+	// population has well under one expected match in total.
+	a, err := NewAlerts(13, AlertsConfig{Metrics: 50, Regions: 2, Zones: 2, Hosts: 5, Levels: 40, Skew: 1.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := make([]*filter.Filter, 2000)
+	for i := range subs {
+		subs[i] = a.Subscription()
+	}
+	matchedEvents, hits := 0, 0
+	const events = 2000
+	for i := 0; i < events; i++ {
+		e := a.Event()
+		n := 0
+		for _, f := range subs {
+			if f.Matches(e, nil) {
+				n++
+			}
+		}
+		hits += n
+		if n > 0 {
+			matchedEvents++
+		}
+	}
+	// Alarms are rare by construction: a small fraction of events fire
+	// any alarm at all, and the average satisfied-filter count stays
+	// far below the population size.
+	if matchedEvents == 0 {
+		t.Error("no event fired any alarm; thresholds degenerate")
+	}
+	if frac := float64(matchedEvents) / events; frac > 0.25 {
+		t.Errorf("%.0f%% of events fire alarms; workload not sparse", frac*100)
+	}
+	if avg := float64(hits) / events; avg > float64(len(subs))/100 {
+		t.Errorf("average %.1f matches/event over %d subs; too dense", avg, len(subs))
+	}
+}

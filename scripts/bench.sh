@@ -83,4 +83,18 @@ echo "forward-path traced-vs-untraced (benchtime=$BENCHTIME) -> $fp" >&2
     go test -run '^$' -bench 'BenchmarkForwardPath' -benchmem -benchtime "$BENCHTIME" .
 } > "$fp"
 
+# Matching-engine scaling curve: the predicate-indexed engine against
+# the counting baseline across population sizes, with p50/p99 per-event
+# latency extras. This is the headline number for broker matching; the
+# raw curve lands in INDEXED_MATCH.txt next to the BENCH_<n> sets.
+im="$OUT/INDEXED_MATCH.txt"
+echo "indexed-match scaling curve (benchtime=$BENCHTIME) -> $im" >&2
+{
+    echo "# Match cost per event (ns/op, plus p50-ns/p99-ns sampled per event)"
+    echo "# counting = per-attribute counting index; indexed = predicate-indexed"
+    echo "# engine (sorted threshold cores, per-length prefix/suffix postings,"
+    echo "# paired access-threshold groups)."
+    go test -run '^$' -bench 'BenchmarkIndexedMatch' -benchmem -benchtime "$BENCHTIME" ./internal/index/
+} > "$im"
+
 echo "wrote $COUNT result set(s) to $OUT/" >&2
