@@ -32,6 +32,7 @@ import (
 	"eventsys/internal/mesh"
 	"eventsys/internal/object"
 	"eventsys/internal/obs"
+	"eventsys/internal/partition"
 	"eventsys/internal/sim"
 	"eventsys/internal/store"
 	"eventsys/internal/transport"
@@ -391,6 +392,47 @@ func BenchmarkForwardPath(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkPartitionedFanIn measures the publisher-side partition
+// decision — hash the event's key fields (class + leading attribute),
+// map the key onto a partition, look up the owning replica in the
+// rendezvous table — over pre-encoded wire events. This is the per-
+// publish cost sharding adds ahead of the forward path, paid once per
+// event by every partition-aware publisher fanning in to the owning
+// replica; CI gates on its throughput via scripts/bench_compare.sh and
+// the headline is allocs/op = 0.
+func BenchmarkPartitionedFanIn(b *testing.B) {
+	bib, err := workload.NewBiblio(7, workload.DefaultBiblio())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const ring = 256
+	events := make([]*event.Raw, ring)
+	for i := range events {
+		ev := bib.Event()
+		ev.ID = uint64(i + 1)
+		events[i] = event.EncodeRaw(ev)
+	}
+	reps := make([]partition.Replica, 8)
+	for i := range reps {
+		reps[i] = partition.Replica{
+			ID:   fmt.Sprintf("broker-%d", i),
+			Addr: fmt.Sprintf("10.0.0.%d:7070", i+1),
+		}
+	}
+	m := partition.New(64, reps)
+	b.ReportAllocs()
+	var sink uint64
+	i := 0
+	for b.Loop() {
+		r := m.Owner(m.PartitionOf(partition.KeyOf(events[i&(ring-1)])))
+		sink += uint64(len(r.Addr))
+		i++
+	}
+	if sink == 0 {
+		b.Fatal("partition decision resolved no owners")
 	}
 }
 

@@ -84,6 +84,8 @@ func run(args []string) error {
 		return nil
 	})
 	peerMaxStage := fs.Int("peer-max-stage", 0, "clamp on hop-distance weakening of peer subscription state (0 = full filters)")
+	replicaOf := fs.String("replica-of", "", "replica group to join for partitioned scale-out (empty = unpartitioned; members must also be federated via -peer)")
+	partitions := fs.Int("partitions", 0, "partition count for the -replica-of group (0 = default 64; must match across the group)")
 	peersFile := fs.String("peers-file", "", "file of peer addresses (one per line, # comments) re-read on SIGHUP for runtime re-peering")
 	heartbeat := fs.Duration("peer-heartbeat", 0, "PeerPing interval on federation links (0 = default 2s, negative = disabled)")
 	deadTimeout := fs.Duration("peer-dead-timeout", 0, "silence after which a federation link is declared dead (0 = 4x heartbeat)")
@@ -140,6 +142,8 @@ func run(args []string) error {
 		HeartbeatInterval: *heartbeat,
 		DeadLinkTimeout:   *deadTimeout,
 		PeerMaxStage:      *peerMaxStage,
+		ReplicaOf:         *replicaOf,
+		Partitions:        *partitions,
 		TTL:               *ttl,
 		Engine:            kind,
 		Shards:            *shards,

@@ -78,6 +78,7 @@ func run(args []string) error {
 		fmt.Printf("scenario  %s (seed %d)\n", *scenario, *seed)
 		fmt.Printf("digest    %s (%d lines)\n", res.Digest, res.DigestLines)
 		fmt.Printf("ledger    %+v\n", res.Ledger)
+		fmt.Printf("latency   p50=%dus p99=%dus (publish to delivery)\n", res.LatencyP50US, res.LatencyP99US)
 		fmt.Printf("time      %v virtual, %d events, %v wall\n",
 			time.Duration(res.VirtualUS)*time.Microsecond, res.Events, res.Wall)
 		for _, b := range res.Brokers {

@@ -59,6 +59,7 @@ func runSub(args []string) error {
 	root := fs.String("root", "127.0.0.1:7001", "root broker address")
 	id := fs.String("id", "subscriber", "subscriber identity")
 	filterText := fs.String("filter", "", "subscription filter (required)")
+	group := fs.String("group", "", "consumer group to join (competing delivery: each event goes to exactly one member)")
 	renew := fs.Duration("renew", 20*time.Second, "lease renewal period (0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,7 +72,7 @@ func runSub(args []string) error {
 		return err
 	}
 	sub, err := broker.DialSubscriber(*root, *id, f,
-		broker.SubscriberOptions{RenewEvery: *renew},
+		broker.SubscriberOptions{RenewEvery: *renew, Group: *group},
 		func(e *event.Event) { fmt.Println(e) })
 	if err != nil {
 		return err

@@ -57,6 +57,17 @@ type BrokerOptions struct {
 	// stored in its stage-min(h, PeerMaxStage) weakened form. 0
 	// propagates full filters — always exact, most state.
 	PeerMaxStage int
+	// ReplicaOf, when non-empty, names the replica group this broker
+	// joins for partitioned scale-out: brokers sharing the name divide
+	// the event key space (rendezvous-hashed partitions derived from the
+	// link-state database, so all replicas agree without coordination)
+	// and partition-aware publishers fan each event directly to its
+	// owning replica. Replicas must still be federated via Peers — the
+	// group only assigns load placement on top of the mesh.
+	ReplicaOf string
+	// Partitions is the partition count for the ReplicaOf group (0 =
+	// default 64). Every member of a group must use the same count.
+	Partitions int
 	// TTL is the subscription lease period; 0 disables expiry.
 	TTL time.Duration
 	// Engine, Shards and MaxBatch select the matching engine and the
@@ -116,6 +127,11 @@ type PeerLinkStats = broker.PeerLinkStats
 // Broker.TopologyStats).
 type TopologyStats = broker.TopologyStats
 
+// PartitionStats is a point-in-time snapshot of the broker's partition
+// plane: replica-group membership, the agreed partition map epoch,
+// owned partitions and redirect traffic (see Broker.PartitionStats).
+type PartitionStats = broker.PartitionStats
+
 // ServeBroker starts a networked broker node and returns once it is
 // listening.
 func ServeBroker(opts BrokerOptions) (*Broker, error) {
@@ -145,6 +161,8 @@ func ServeBroker(opts BrokerOptions) (*Broker, error) {
 		HeartbeatInterval: opts.HeartbeatInterval,
 		DeadLinkTimeout:   opts.DeadLinkTimeout,
 		PeerMaxStage:      opts.PeerMaxStage,
+		ReplicaOf:         opts.ReplicaOf,
+		Partitions:        opts.Partitions,
 		TTL:               opts.TTL,
 		Engine:            index.Kind(opts.Engine),
 		Shards:            opts.Shards,
@@ -250,6 +268,12 @@ func (b *Broker) TopologyStats() TopologyStats { return b.srv.TopologyStats() }
 // and across the federation).
 func (b *Broker) Advertised() []string { return b.srv.Advertised() }
 
+// PartitionStats snapshots the broker's partition plane: the replica
+// group, the agreed map epoch, partitions owned here, publisher
+// redirects issued and off-owner publishes absorbed, and consumer-group
+// membership. Zero-valued outside a replica group.
+func (b *Broker) PartitionStats() PartitionStats { return b.srv.PartitionStats() }
+
 // RemotePublisher is a publisher client connected to a networked broker.
 type RemotePublisher struct {
 	pub    *broker.Publisher
@@ -287,6 +311,11 @@ func (p *RemotePublisher) Advertise(class string, attrs ...string) error {
 	return p.pub.Advertise(ad)
 }
 
+// PartitionEpoch reports the epoch of the partition map the publisher
+// is routing by, or 0 while it is unpartitioned (no broker has
+// redirected it yet, or the deployment has no replica group).
+func (p *RemotePublisher) PartitionEpoch() uint64 { return p.pub.PartitionEpoch() }
+
 // Close tears the publisher connection down.
 func (p *RemotePublisher) Close() error { return p.pub.Close() }
 
@@ -309,6 +338,28 @@ func DialSubscriber(addr, id, subscription string, handler func(*Event)) (*Remot
 		return nil, err
 	}
 	s, err := broker.DialSubscriber(addr, id, f, broker.SubscriberOptions{}, handler)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteSubscription{sub: s}, nil
+}
+
+// DialGroupSubscriber joins the named consumer group at the broker at
+// addr: every member dialing the same broker with the same group name
+// shares one logical subscription, and each matching event is delivered
+// to exactly one member (competing consumers), so adding members
+// divides the stream instead of copying it. The group holds one durable
+// cursor — events arriving while no member can take them spill there
+// and replay to the next member — and each delivery is leased: a member
+// that disconnects or stalls without acknowledging forfeits its
+// in-flight events to the survivors (at-least-once, unordered across
+// members). All members of one group must dial the same broker.
+func DialGroupSubscriber(addr, id, group, subscription string, handler func(*Event)) (*RemoteSubscription, error) {
+	f, err := filter.ParseFilter(subscription)
+	if err != nil {
+		return nil, err
+	}
+	s, err := broker.DialSubscriber(addr, id, f, broker.SubscriberOptions{Group: group}, handler)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,308 @@
+package broker
+
+import (
+	"strings"
+	"time"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+	"eventsys/internal/flow"
+	"eventsys/internal/metrics"
+	"eventsys/internal/obs"
+	"eventsys/internal/routing"
+	"eventsys/internal/store"
+	"eventsys/internal/transport"
+)
+
+// Consumer groups — all state here is core-owned.
+//
+// A consumer group is N subscribers sharing one logical subscription:
+// each matching event goes to exactly one member (round-robin) instead
+// of every member, so adding members divides the stream. The group
+// subscribes under a reserved routing ID ("@group/<name>") via
+// routing.Node.SubscribeLocal — bypassing the Figure 5 placement walk,
+// because a group split across brokers would be two groups — and owns
+// one durable cursor under that ID: events arriving with no member
+// connected (or none with queue space) spill there and replay, oldest
+// first, when a member returns.
+//
+// Delivery is at-least-once. Every live delivery claims a lease
+// (store.LeaseTable): the member acknowledges the delivery's sequence
+// after its handler runs, and an unacknowledged lease redelivers to a
+// surviving member when the holder disconnects — immediately — or when
+// its deadline lapses (GroupLeaseTTL, swept on the TTL tick). A
+// redelivered event may land behind younger traffic; groups trade
+// per-source ordering for shared throughput, exactly like competing
+// consumers everywhere else.
+
+// groupSubPrefix namespaces group routing IDs inside the reserved "@"
+// space (alongside "@peer/" spools and "@child/" aggregates), so a plain
+// subscriber can never collide with a group's cursor.
+const groupSubPrefix = "@group/"
+
+// DefaultGroupLeaseTTL is the redelivery deadline for unacknowledged
+// group deliveries when GroupLeaseTTL is unset.
+const DefaultGroupLeaseTTL = 10 * time.Second
+
+type consumerGroup struct {
+	name string
+	gid  string // groupSubPrefix + name: routing ID and durable cursor
+	// members in join order; next is the round-robin cursor.
+	members []*peerConn
+	next    int
+	// filters refcounts the stored filters the members registered, so
+	// the subscription survives until the last member holding a filter
+	// leaves gracefully.
+	filters map[string]*groupFilter
+	// leases tracks in-flight deliveries; pending maps each open lease's
+	// sequence to the event awaiting acknowledgment.
+	leases  *store.LeaseTable
+	pending map[uint64]*event.Raw
+
+	delivered   uint64
+	redelivered uint64
+}
+
+type groupFilter struct {
+	stored *filter.Filter
+	refs   int
+}
+
+func (s *Server) groupLeaseDeadline() time.Time {
+	return time.Now().Add(s.cfg.GroupLeaseTTL)
+}
+
+// handleGroupSubscribe admits a connection as a member of the named
+// group, creating the group on first join.
+func (s *Server) handleGroupSubscribe(pc *peerConn, msg transport.Subscribe) {
+	if msg.SubscriberID == "" || strings.HasPrefix(msg.SubscriberID, "@") ||
+		strings.HasPrefix(msg.Group, "@") {
+		s.log.Warn("rejecting group subscribe",
+			"group", msg.Group, "member", msg.SubscriberID)
+		s.sendTo(pc, transport.SubscribeReply{Accepted: false})
+		return
+	}
+	gid := groupSubPrefix + msg.Group
+	g := s.groups[gid]
+	if g == nil {
+		g = &consumerGroup{
+			name:    msg.Group,
+			gid:     gid,
+			filters: make(map[string]*groupFilter),
+			leases:  store.NewLeaseTable(),
+			pending: make(map[uint64]*event.Raw),
+		}
+		s.groups[gid] = g
+	}
+	res := s.node.SubscribeLocal(msg.Filter, routing.NodeID(gid), time.Now())
+	if gf := g.filters[res.Stored.Key()]; gf != nil {
+		gf.refs++
+	} else {
+		g.filters[res.Stored.Key()] = &groupFilter{stored: res.Stored, refs: 1}
+	}
+	if s.store != nil {
+		if _, _, err := s.store.Register(gid); err != nil {
+			s.log.Warn("store register failed", "group", g.name, "err", err)
+		}
+	}
+	g.members = append(g.members, pc)
+	s.groupOf[pc] = g
+	s.sendTo(pc, transport.SubscribeReply{Accepted: true, Stored: res.Stored})
+	if res.Up != nil && s.parent != nil {
+		s.sendTo(s.parent, transport.ReqInsert{ChildID: s.cfg.ID, Filter: res.Up})
+	}
+	// The group's interest joins the federation plane under its own ID,
+	// so events published at peer brokers route here too.
+	s.fanUpdates(s.fed.Subscribe(gid, msg.Filter))
+	s.log.Info("consumer group member joined",
+		"group", g.name, "member", msg.SubscriberID, "members", len(g.members))
+	// Backlog accrued while the group had no (free) member drains to the
+	// newcomer and its peers — after the reply, before any live event.
+	s.replayGroup(g)
+}
+
+// routeToGroup hands one matched event to the group: durable backlog
+// first (FIFO against the group's cursor, exactly as routeToSubscriber
+// keeps it for individuals), then competing delivery to a live member,
+// spilling to the cursor when no member can take it.
+func (s *Server) routeToGroup(g *consumerGroup, ev *event.Raw) {
+	if s.store != nil && s.store.Pending(g.gid) > 0 && s.replayGroup(g) > 0 {
+		if s.storeFor(g.gid, ev) {
+			s.counters.AddSpilled(1)
+		} else {
+			s.counters.AddDroppedFor(metrics.DropNoStore, 1)
+		}
+		return
+	}
+	if s.deliverToGroup(g, ev, false) {
+		return
+	}
+	if !s.storeFor(g.gid, ev) {
+		s.counters.AddDroppedFor(metrics.DropConnClosed, 1)
+	}
+}
+
+// deliverToGroup claims a lease and pushes ev to the next member. The
+// first pass is non-blocking for every member — a saturated member must
+// not starve a free one, which is the point of competing consumers.
+// Only when every member is full does the blocking fallback engage, and
+// only without a durable cursor to spill to (try suppresses it too:
+// replay must never stall the core). An attempt whose push failed
+// completes its lease — the event is re-claimed under a fresh sequence
+// wherever it lands next.
+func (s *Server) deliverToGroup(g *consumerGroup, ev *event.Raw, try bool) bool {
+	if s.pushToMember(g, ev, true) {
+		return true
+	}
+	if try || (s.store != nil && s.store.Known(g.gid)) {
+		return false // caller spills to the durable cursor
+	}
+	return s.pushToMember(g, ev, false)
+}
+
+// pushToMember tries each live member once, round-robin, leasing the
+// delivery on success.
+func (s *Server) pushToMember(g *consumerGroup, ev *event.Raw, try bool) bool {
+	for range g.members {
+		pc := g.members[g.next%len(g.members)]
+		g.next++
+		seq := g.leases.Claim(pc.id, s.groupLeaseDeadline())
+		ok := false
+		if try {
+			ok = pc.out.TryPush(transport.Deliver{Seq: seq, Event: ev})
+		} else {
+			ok = pc.out.Push(transport.Deliver{Seq: seq, Event: ev}) != flow.Stopped
+		}
+		if ok {
+			g.pending[seq] = ev
+			g.delivered++
+			s.tracer.Observe(obs.HopForward, ev.Stamp())
+			return true
+		}
+		g.leases.Complete(seq)
+	}
+	return false
+}
+
+// replayGroup drains the group's stored backlog into its members'
+// queues (round-robin, leased like live traffic, non-blocking) and
+// returns the backlog still pending.
+func (s *Server) replayGroup(g *consumerGroup) (remaining int) {
+	if s.store == nil {
+		return 0
+	}
+	if len(g.members) == 0 || s.store.Pending(g.gid) == 0 {
+		return s.store.Pending(g.gid)
+	}
+	n, err := s.store.Replay(g.gid, func(ev *event.Raw) bool {
+		return s.deliverToGroup(g, ev, true)
+	})
+	if err != nil {
+		s.log.Warn("group replay failed", "group", g.name, "err", err)
+	}
+	if n > 0 {
+		s.counters.AddStoreReplayed(uint64(n))
+		s.log.Info("replayed group backlog", "group", g.name, "events", n)
+	}
+	return s.store.Pending(g.gid)
+}
+
+// ackGroupDelivery completes a member's acknowledged lease. Unknown or
+// duplicate sequences (a slow member acknowledging after its lease
+// expired and redelivered) are ignored — acknowledgment is idempotent.
+func (s *Server) ackGroupDelivery(g *consumerGroup, seq uint64) {
+	if g.leases.Complete(seq) {
+		delete(g.pending, seq)
+	}
+}
+
+// redeliverGroupLeases re-routes the events behind a batch of forfeited
+// leases (an expired deadline, or a dead member's outstanding claims):
+// to a surviving member when one can take them, else to the durable
+// cursor.
+func (s *Server) redeliverGroupLeases(g *consumerGroup, leases []store.Lease) {
+	for _, l := range leases {
+		ev := g.pending[l.Seq]
+		delete(g.pending, l.Seq)
+		if ev == nil {
+			continue
+		}
+		g.redelivered++
+		if s.deliverToGroup(g, ev, false) {
+			continue
+		}
+		if !s.storeFor(g.gid, ev) {
+			s.counters.AddDroppedFor(metrics.DropConnClosed, 1)
+		}
+	}
+}
+
+// sweepGroupLeases redelivers every group delivery whose lease deadline
+// passed without an acknowledgment — the silent-stall safety net behind
+// the immediate disconnect path.
+func (s *Server) sweepGroupLeases(now time.Time) {
+	for _, g := range s.groups {
+		exp := g.leases.Expired(now)
+		if len(exp) == 0 {
+			continue
+		}
+		s.log.Warn("group leases expired; redelivering",
+			"group", g.name, "count", len(exp))
+		s.redeliverGroupLeases(g, exp)
+	}
+}
+
+// removeGroupMember detaches a connection from its group. Death
+// (graceful=false) redelivers the member's in-flight events and keeps
+// the subscription — backlog accrues durably for the survivors or a
+// rejoin. A graceful leave also releases the member's filter reference;
+// when the last reference goes, the group unsubscribes and its cursor
+// is forgotten.
+func (s *Server) removeGroupMember(pc *peerConn, g *consumerGroup, graceful bool, f *filter.Filter) {
+	delete(s.groupOf, pc)
+	for i, m := range g.members {
+		if m == pc {
+			g.members = append(g.members[:i], g.members[i+1:]...)
+			break
+		}
+	}
+	s.redeliverGroupLeases(g, g.leases.OwnedBy(pc.id))
+	if !graceful {
+		s.log.Warn("consumer group member lost",
+			"group", g.name, "member", pc.id, "members", len(g.members))
+		return
+	}
+	if f != nil {
+		if gf := g.filters[f.Key()]; gf != nil {
+			gf.refs--
+			if gf.refs <= 0 {
+				delete(g.filters, f.Key())
+				s.node.HandleUnsubscribe(gf.stored, routing.NodeID(g.gid))
+			}
+		}
+	}
+	if len(g.members) == 0 && len(g.filters) == 0 {
+		delete(s.groups, g.gid)
+		if s.store != nil {
+			s.store.Forget(g.gid)
+		}
+		s.fed.Unsubscribe(g.gid)
+		s.log.Info("consumer group dissolved", "group", g.name)
+	}
+}
+
+// dropGroup discards a group whose routing lease lapsed (tickSweep
+// found its table entry expired): detach any lingering members and drop
+// the delivery state. The generic sweep path already forgot the cursor
+// and left the federation plane. No-op for non-group IDs.
+func (s *Server) dropGroup(id string) {
+	g := s.groups[id]
+	if g == nil {
+		return
+	}
+	delete(s.groups, id)
+	for _, pc := range g.members {
+		delete(s.groupOf, pc)
+	}
+	s.log.Info("consumer group lapsed", "group", g.name)
+}

@@ -1,0 +1,142 @@
+package broker
+
+import (
+	"sort"
+
+	"eventsys/internal/partition"
+	"eventsys/internal/transport"
+)
+
+// Partitioned scale-out — all map mutation runs on the core goroutine.
+//
+// Brokers configured with the same ReplicaOf group split the event space
+// into Partitions consistent-hash partitions, each owned by exactly one
+// replica (rendezvous hashing, internal/partition). Ownership steers
+// load, not correctness: interests are flooded to every broker, so any
+// ingress broker delivers completely — an event arriving at the wrong
+// replica is absorbed and processed in full. What ownership buys is the
+// redirect: the absorbing replica answers with a PartitionRedirect
+// carrying the whole current map, after which the publisher fans each
+// event directly to its owner and the replicas share the matching and
+// fan-out work instead of every broker doing all of it.
+//
+// The map needs no coordination round. Every replica's LSA already
+// floods its listen address and group through the link-state database,
+// and partition.New is a pure function of (partition count, replica
+// set) — converged databases yield identical maps and identical epochs,
+// the same way the spanning-tree election agrees without messages. The
+// epoch travels on every Publish frame; a mismatch means the publisher
+// holds a stale map and earns one redirect per epoch. Known limitation:
+// link-state records have no age-out, so a permanently dead replica
+// keeps its partitions until operators remove it from the peer set and
+// the survivors re-announce.
+
+// DefaultPartitions is the event-space partition count used when
+// ReplicaOf is set without an explicit Partitions.
+const DefaultPartitions = 64
+
+// recomputePartitionMap re-derives the partition map from the link-state
+// database: this broker plus every broker announcing the same replica
+// group. Runs whenever the database changes (and once at startup); a map
+// with an unchanged epoch is not reinstalled.
+func (s *Server) recomputePartitionMap() {
+	if s.cfg.ReplicaOf == "" {
+		return
+	}
+	reps := []partition.Replica{{ID: s.cfg.ID, Addr: s.Addr()}}
+	for _, r := range s.topo.GroupMembers(s.cfg.ReplicaOf) {
+		if r.Origin != s.cfg.ID {
+			reps = append(reps, partition.Replica{ID: r.Origin, Addr: r.Addr})
+		}
+	}
+	m := partition.New(s.cfg.Partitions, reps)
+	if old := s.pmap.Map(); old != nil && old.Epoch == m.Epoch {
+		return
+	}
+	s.pmap.Install(m)
+	s.log.Info("partition map installed", "epoch", m.Epoch,
+		"replicas", len(m.Replicas), "partitions", m.Partitions)
+}
+
+// checkPublishEpoch compares a publisher's frame epoch against the
+// current map. The events themselves are always absorbed — rejecting
+// would lose them, and this broker delivers completely regardless — but
+// a stale (or absent) epoch earns the publisher one PartitionRedirect
+// per epoch carrying the full map, so its next publishes fan in to the
+// owning replicas directly.
+func (s *Server) checkPublishEpoch(pc *peerConn, epoch uint64) {
+	if pc == nil || pc.kind != transport.PeerPublisher {
+		return // broker-to-broker traffic carries no epoch contract
+	}
+	m := s.pmap.Map()
+	if m == nil || epoch == m.Epoch {
+		return
+	}
+	s.partAbsorbed++
+	if pc.redirEpoch == m.Epoch {
+		return
+	}
+	pc.redirEpoch = m.Epoch
+	s.partRedirects++
+	reps := make([]transport.ReplicaInfo, len(m.Replicas))
+	for i, r := range m.Replicas {
+		reps[i] = transport.ReplicaInfo{ID: r.ID, Addr: r.Addr}
+	}
+	s.sendTo(pc, transport.PartitionRedirect{
+		Epoch:      m.Epoch,
+		Partitions: uint32(m.Partitions),
+		Replicas:   reps,
+	})
+	s.log.Info("publisher on stale partition epoch; redirecting",
+		"publisher", pc.id, "had", epoch, "epoch", m.Epoch)
+}
+
+// PartitionStats is a point-in-time snapshot of the partition layer.
+type PartitionStats struct {
+	// Group is the configured replica group ("" = partitioning off);
+	// Epoch the installed map's epoch; Partitions its partition count.
+	Group      string
+	Epoch      uint64
+	Partitions int
+	// Replicas lists the replica IDs in the map; Owned counts the
+	// partitions this broker owns under it.
+	Replicas []string
+	Owned    int
+	// Redirects counts PartitionRedirect frames sent; Absorbed counts
+	// publish frames accepted despite a stale or missing epoch.
+	Redirects uint64
+	Absorbed  uint64
+	// Groups counts consumer groups anchored at this broker; Members
+	// their connected members.
+	Groups  int
+	Members int
+}
+
+// PartitionStats snapshots the partition layer via the core goroutine.
+func (s *Server) PartitionStats() PartitionStats {
+	st := PartitionStats{Group: s.cfg.ReplicaOf}
+	s.coreQuery(func() {
+		st.Redirects = s.partRedirects
+		st.Absorbed = s.partAbsorbed
+		st.Groups = len(s.groups)
+		for _, g := range s.groups {
+			st.Members += len(g.members)
+		}
+		m := s.pmap.Map()
+		if m == nil {
+			return
+		}
+		st.Epoch = m.Epoch
+		st.Partitions = m.Partitions
+		for _, r := range m.Replicas {
+			st.Replicas = append(st.Replicas, r.ID)
+		}
+		sort.Strings(st.Replicas)
+		for p := 0; p < m.Partitions; p++ {
+			if m.Owns(s.cfg.ID, p) {
+				st.Owned++
+			}
+		}
+	})
+	return st
+}

@@ -1,0 +1,232 @@
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"eventsys/internal/event"
+	"eventsys/internal/filter"
+)
+
+// Partitioned scale-out tests: epoch agreement and publisher redirects,
+// and the equivalence property — the same workload through one
+// unpartitioned broker and through a partitioned replica group must
+// reach every subscriber identically, with per-source order holding
+// within each partition.
+
+// startReplicas wires n federated brokers sharing the replica group
+// "rg" in a chain and waits until every one has converged on the same
+// partition map epoch.
+func startReplicas(t *testing.T, n, partitions int) []*Server {
+	t.Helper()
+	reps := make([]*Server, n)
+	for i := range reps {
+		cfg := ServerConfig{ReplicaOf: "rg", Partitions: partitions}
+		var peers []string
+		if i > 0 {
+			peers = []string{reps[i-1].Addr()}
+		}
+		reps[i] = startPeer(t, fmt.Sprintf("R%d", i), cfg, peers...)
+	}
+	waitFor(t, "replicas to agree on a partition epoch", func() bool {
+		epoch := reps[0].PartitionStats().Epoch
+		if epoch == 0 {
+			return false
+		}
+		for _, r := range reps[1:] {
+			st := r.PartitionStats()
+			if st.Epoch != epoch || len(st.Replicas) != n {
+				return false
+			}
+		}
+		return true
+	})
+	return reps
+}
+
+func TestPartitionMapAgreementAndOwnership(t *testing.T) {
+	reps := startReplicas(t, 3, 12)
+	owned := 0
+	for _, r := range reps {
+		st := r.PartitionStats()
+		if st.Group != "rg" || st.Partitions != 12 {
+			t.Fatalf("%s stats = %+v", r.cfg.ID, st)
+		}
+		if st.Owned == 0 {
+			t.Errorf("%s owns no partitions", r.cfg.ID)
+		}
+		owned += st.Owned
+	}
+	if owned != 12 {
+		t.Fatalf("partitions owned across replicas = %d, want 12 (each exactly once)", owned)
+	}
+}
+
+// TestPartitionRedirect drives the redirect-and-absorb contract: a
+// publisher's first (epoch-0) publish is absorbed and fully delivered,
+// earns exactly one PartitionRedirect, and flips the publisher onto the
+// replica group's epoch for subsequent publishes.
+func TestPartitionRedirect(t *testing.T) {
+	reps := startReplicas(t, 2, 8)
+	var got collector
+	sub, err := DialSubscriber(reps[0].Addr(), "sub1",
+		filter.MustParseFilter(`topic = "alpha"`), SubscriberOptions{}, got.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	waitFor(t, "interest to reach both replicas", func() bool {
+		return reps[1].FederationFilters() >= 1
+	})
+
+	pub, err := DialPublisher(reps[0].Addr(), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if pub.PartitionEpoch() != 0 {
+		t.Fatalf("publisher has an epoch before any publish")
+	}
+	if err := pub.Publish(event.NewBuilder("Tick").Str("topic", "alpha").Build()); err != nil {
+		t.Fatal(err)
+	}
+	// The absorbed publish still delivers, and the redirect installs the
+	// group's map at the publisher.
+	waitFor(t, "absorbed publish to deliver", func() bool { return got.len() == 1 })
+	epoch := reps[0].PartitionStats().Epoch
+	waitFor(t, "publisher to install the partition map", func() bool {
+		return pub.PartitionEpoch() == epoch
+	})
+	st := reps[0].PartitionStats()
+	if st.Absorbed == 0 || st.Redirects != 1 {
+		t.Fatalf("absorbed=%d redirects=%d, want absorbed>=1 redirects=1", st.Absorbed, st.Redirects)
+	}
+	// On-epoch publishes earn no further redirect.
+	for i := 0; i < 5; i++ {
+		if err := pub.Publish(event.NewBuilder("Tick").Str("topic", "alpha").Build()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "remaining deliveries", func() bool { return got.len() == 6 })
+	for _, r := range reps {
+		if n := r.PartitionStats().Redirects; n > 1 {
+			t.Fatalf("%s sent %d redirects, want at most 1 total", r.cfg.ID, n)
+		}
+	}
+}
+
+// runTopicWorkload publishes total events round-robin over topics
+// t0..t(topics-1) with ascending IDs. With wantFanIn it first publishes
+// a warm-up event and waits for the redirect to install the partition
+// map, so the measured stream takes stable partition-owner paths.
+func runTopicWorkload(t *testing.T, addr string, topics, total int, wantFanIn bool) {
+	t.Helper()
+	pub, err := DialPublisher(addr, "loadgen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if wantFanIn {
+		if err := pub.Publish(event.NewBuilder("Tick").Str("topic", "warmup").ID(9999).Build()); err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, "publisher to go partition-aware", func() bool {
+			return pub.PartitionEpoch() != 0
+		})
+	}
+	var events []*event.Event
+	for i := 0; i < total; i++ {
+		events = append(events, event.NewBuilder("Tick").
+			Str("topic", fmt.Sprintf("t%d", i%topics)).ID(uint64(i+1)).Build())
+	}
+	if err := pub.PublishBatch(events); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartitionEquivalence is the property test: one workload, two
+// deployments — a single unpartitioned broker versus four partitioned
+// replicas — must produce identical per-subscriber delivered sets, and
+// within each topic (= partition key) the per-source publish order must
+// survive the fan-in.
+func TestPartitionEquivalence(t *testing.T) {
+	const topics, total = 4, 200
+
+	deliveredSets := func(servers []*Server, pubAddr string, wantFanIn bool) map[string][]uint64 {
+		cols := make(map[string]*collector)
+		for i := 0; i < topics; i++ {
+			name := fmt.Sprintf("sub-t%d", i)
+			col := &collector{}
+			sub, err := DialSubscriber(servers[i%len(servers)].Addr(), name,
+				filter.MustParseFilter(fmt.Sprintf(`topic = "t%d"`, i)),
+				SubscriberOptions{}, col.add)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { sub.Close() })
+			cols[name] = col
+		}
+		// Every interest must be everywhere before publishing, or early
+		// events legitimately miss not-yet-flooded subscribers.
+		for _, srv := range servers {
+			s := srv
+			waitFor(t, s.cfg.ID+" to hold every interest", func() bool {
+				return s.FederationFilters() >= topics
+			})
+		}
+		runTopicWorkload(t, pubAddr, topics, total, wantFanIn)
+		perTopic := total / topics
+		out := make(map[string][]uint64)
+		for name, col := range cols {
+			c := col
+			waitFor(t, name+" to receive its topic", func() bool { return c.len() == perTopic })
+			out[name] = c.ids()
+		}
+		return out
+	}
+
+	// Partitioned deployment: four replicas, one subscriber per replica.
+	reps := startReplicas(t, 4, 16)
+	partitioned := deliveredSets(reps, reps[0].Addr(), true)
+
+	// Baseline: one unpartitioned broker hosting everything.
+	base := startPeer(t, "BASE", ServerConfig{})
+	baseline := deliveredSets([]*Server{base}, base.Addr(), false)
+
+	sortedCopy := func(a []uint64) []uint64 {
+		c := append([]uint64(nil), a...)
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		return c
+	}
+	for name, want := range baseline {
+		got := partitioned[name]
+		if fmt.Sprint(sortedCopy(got)) != fmt.Sprint(sortedCopy(want)) {
+			t.Fatalf("%s delivered sets differ:\npartitioned %v\nbaseline    %v", name, got, want)
+		}
+		// Per-source order within the partition: each subscriber's topic
+		// is one partition key, so its IDs must arrive ascending.
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Fatalf("%s out of order at %d: %v", name, i, got)
+			}
+		}
+	}
+}
+
+// TestPartitionEpochChangesOnMembership pins the epoch contract: a
+// replica joining the group moves every survivor to one agreed new
+// epoch.
+func TestPartitionEpochChangesOnMembership(t *testing.T) {
+	reps := startReplicas(t, 2, 8)
+	before := reps[0].PartitionStats().Epoch
+	r2 := startPeer(t, "R9", ServerConfig{ReplicaOf: "rg", Partitions: 8}, reps[1].Addr())
+	waitFor(t, "three replicas on one new epoch", func() bool {
+		e := r2.PartitionStats().Epoch
+		if e == 0 || e == before {
+			return false
+		}
+		return reps[0].PartitionStats().Epoch == e && reps[1].PartitionStats().Epoch == e &&
+			len(r2.PartitionStats().Replicas) == 3
+	})
+}

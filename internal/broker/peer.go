@@ -129,7 +129,8 @@ func (s *Server) handlePeerHello(pc *peerConn, msg transport.PeerHello) {
 	// and re-elect — promotion sends the SubSet and replays the spool.
 	s.announceTopology()
 	for _, r := range s.topo.Records() {
-		s.sendCtrl(link, transport.LinkState{Origin: r.Origin, Seq: r.Seq, Peers: r.Peers})
+		s.sendCtrl(link, transport.LinkState{Origin: r.Origin, Seq: r.Seq, Peers: r.Peers,
+			Addr: r.Addr, Part: r.Group})
 	}
 	s.recomputeTopology()
 }

@@ -153,6 +153,24 @@ type ServerConfig struct {
 	// elapsed-since-arrival histograms. Off (the default), the stamp
 	// path is a single atomic load per frame.
 	Trace bool
+	// ReplicaOf names the replica group this broker belongs to for
+	// partitioned scale-out. Brokers sharing a group (normally federated
+	// as peers) derive a common partition map from the link-state
+	// database — no coordination round — and redirect publishers toward
+	// each event partition's owner. Empty disables partitioning.
+	ReplicaOf string
+	// Partitions is the partition count of the replica group's event
+	// space (default 64 when ReplicaOf is set). Every replica in a group
+	// must configure the same count: the map epoch hashes it, so a
+	// mismatch shows up as disagreeing epochs rather than silent
+	// misrouting.
+	Partitions int
+	// GroupLeaseTTL bounds how long a consumer-group member may hold an
+	// unacknowledged delivery before the broker redelivers it to another
+	// member (default 10s). Expiry runs on the TTL sweep tick, so it
+	// needs cfg.TTL > 0; member disconnects redeliver immediately either
+	// way.
+	GroupLeaseTTL time.Duration
 }
 
 // Server is a running broker node.
@@ -212,6 +230,17 @@ type Server struct {
 	promoted      map[string]struct{}
 	failovers     uint64
 	reroutes      uint64
+	// pmap is the partition-aware routing filter (see partition.go). The
+	// core installs recomputed maps; stats and tests read it atomically.
+	// With ReplicaOf unset it stays empty and every event is owned.
+	pmap          *routing.PartitionFilter
+	partRedirects uint64
+	partAbsorbed  uint64
+	// groups holds the consumer groups anchored at this broker, keyed by
+	// their reserved routing ID ("@group/<name>"); groupOf maps each
+	// member connection to its group (see group.go).
+	groups  map[string]*consumerGroup
+	groupOf map[*peerConn]*consumerGroup
 }
 
 type coreEvent struct {
@@ -298,6 +327,11 @@ type peerConn struct {
 	// heartbeat loop closes federation links whose silence exceeds the
 	// dead-link timeout.
 	lastRecv atomic.Int64
+
+	// redirEpoch is the partition-map epoch this connection was last sent
+	// a PartitionRedirect for (core-owned): one redirect per epoch per
+	// publisher, however many stale publishes it sends meanwhile.
+	redirEpoch uint64
 
 	done chan struct{} // closed with the connection (supervisor redial cue)
 	// writerDone is closed when the write loop exits; after that,
@@ -494,9 +528,26 @@ func Serve(cfg ServerConfig) (*Server, error) {
 		topo:          peering.NewTopologyView(cfg.ID),
 		pendingResync: make(map[string]struct{}),
 		promoted:      make(map[string]struct{}),
+		pmap:          routing.NewPartitionFilter(cfg.ID),
+		groups:        make(map[string]*consumerGroup),
+		groupOf:       make(map[*peerConn]*consumerGroup),
 	}
 	if s.cfg.MaxBatch <= 0 {
 		s.cfg.MaxBatch = DefaultMaxBatch
+	}
+	if s.cfg.GroupLeaseTTL <= 0 {
+		s.cfg.GroupLeaseTTL = DefaultGroupLeaseTTL
+	}
+	if s.cfg.ReplicaOf != "" {
+		if s.cfg.Partitions <= 0 {
+			s.cfg.Partitions = DefaultPartitions
+		}
+		// The LSAs this broker floods carry its listen address and replica
+		// group, so every converged broker derives the same map (see
+		// partition.go). Seed the single-replica map before the core
+		// starts: a lone replica owns everything under a real epoch.
+		s.topo.SetSelf(s.Addr(), s.cfg.ReplicaOf)
+		s.recomputePartitionMap()
 	}
 	if s.cfg.FlowWindow <= 0 {
 		s.cfg.FlowWindow = flow.DefaultCreditWindow
@@ -521,7 +572,10 @@ func Serve(cfg ServerConfig) (*Server, error) {
 		Conf:     conf,
 		Weakener: weaken.New(s.ads, conf),
 		Counters: s.counters,
-		Engine:   index.Config{Kind: engine, Conf: conf, Shards: cfg.Shards},
+		Engine: index.Config{
+			Kind: engine, Conf: conf, Shards: cfg.Shards,
+			Warn: func(msg string) { s.log.Warn(msg) },
+		},
 	})
 	s.fed = peering.New(peering.Config{
 		Conformance: conf,
@@ -688,6 +742,11 @@ func (s *Server) registerObs(reg *obs.Registry) {
 				"Whether the spanning-tree election selected the link to carry traffic.",
 				active, l...)
 		}
+		for i, n := range s.ShardLoads() {
+			w.Gauge("eventsys_engine_shard_subscriptions",
+				"Live subscriptions held by each matching-engine shard.",
+				float64(n), "node", s.cfg.ID, "shard", fmt.Sprint(i))
+		}
 		ts := s.TopologyStats()
 		tl := []string{"node", s.cfg.ID}
 		w.Gauge("eventsys_topology_brokers",
@@ -715,6 +774,7 @@ func (s *Server) registerObs(reg *obs.Registry) {
 			"stage":      s.cfg.Stage,
 			"addr":       s.Addr(),
 			"stats":      s.Stats(),
+			"shardLoads": s.ShardLoads(),
 			"flow":       s.FlowStats(),
 			"peers":      peerSnap(),
 			"topology":   s.TopologyStats(),
@@ -732,6 +792,13 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Stats snapshots the broker's counters.
 func (s *Server) Stats() metrics.NodeStats {
 	return s.counters.Stats(s.cfg.ID, s.cfg.Stage)
+}
+
+// ShardLoads reports per-shard live-subscription counts when the broker
+// runs a sharded matching engine, nil otherwise. Safe to call from any
+// goroutine: it bypasses the core and locks each shard briefly.
+func (s *Server) ShardLoads() []int {
+	return s.node.Table().ShardLoads()
 }
 
 // HasAdvertisement reports whether this broker has seen an advertisement
@@ -1095,6 +1162,7 @@ func (s *Server) dispatchCore(ev coreEvent, batch []*event.Raw, owed []pcDebt) (
 				if m.Event != nil {
 					batch = append(batch, m.Event)
 				}
+				s.checkPublishEpoch(ev.pc, m.Epoch)
 				owed = owe(owed, ev.pc, 1)
 				collected = true
 			case transport.PublishBatch:
@@ -1103,6 +1171,7 @@ func (s *Server) dispatchCore(ev coreEvent, batch []*event.Raw, owed []pcDebt) (
 						batch = append(batch, e)
 					}
 				}
+				s.checkPublishEpoch(ev.pc, m.Epoch)
 				owed = owe(owed, ev.pc, len(m.Events))
 				collected = true
 			}
@@ -1151,6 +1220,7 @@ func (s *Server) handleCore(ev coreEvent) {
 			}
 		}
 	case ev.tick == tickSweep:
+		s.sweepGroupLeases(time.Now())
 		if removed := s.node.Sweep(time.Now()); len(removed) > 0 {
 			s.log.Info("leases expired", "removed", len(removed))
 			// An expired lease is the system's signal that the
@@ -1169,9 +1239,12 @@ func (s *Server) handleCore(ev coreEvent) {
 			}
 			// Expired subscribers also leave the federation plane (their
 			// propagated state stays until link resyncs, like the mesh).
+			// A consumer group whose members all stopped renewing lapses
+			// the same way: its broker-side state goes with the lease.
 			for _, id := range removed {
 				if !s.node.Table().HasID(id) {
 					s.fed.Unsubscribe(string(id))
+					s.dropGroup(string(id))
 				}
 			}
 		}
@@ -1196,7 +1269,11 @@ func (s *Server) handleReplayTick(pc *peerConn) {
 			s.replayPeerSpool(pc.link)
 		}
 	case pc.kind == transport.PeerSubscriber && pc.id != "":
-		s.replayStored(pc)
+		if g := s.groupOf[pc]; g != nil {
+			s.replayGroup(g)
+		} else {
+			s.replayStored(pc)
+		}
 	}
 }
 
@@ -1239,7 +1316,15 @@ func (s *Server) dropPeer(pc *peerConn) {
 			}
 		}
 		if pc.kind == transport.PeerSubscriber {
-			s.salvageQueued(pc, pc.id, nil)
+			if g := s.groupOf[pc]; g != nil {
+				// A dead member's in-flight deliveries redeliver to the
+				// survivors (or spill to the group's durable cursor); its
+				// queued-but-unwritten frames are covered by the same
+				// leases, so no separate salvage.
+				s.removeGroupMember(pc, g, false, nil)
+			} else {
+				s.salvageQueued(pc, pc.id, nil)
+			}
 		}
 	}
 }
@@ -1307,8 +1392,10 @@ func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
 		if msg.Event == nil {
 			return
 		}
+		s.checkPublishEpoch(pc, msg.Epoch)
 		s.flushPublishBatch([]*event.Raw{msg.Event}, "")
 	case transport.PublishBatch:
+		s.checkPublishEpoch(pc, msg.Epoch)
 		s.flushPublishBatch(msg.Events, "")
 	case transport.PeerHello:
 		s.handlePeerHello(pc, msg)
@@ -1332,6 +1419,10 @@ func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
 		s.grantTo(pc, len(msg.Events))
 	case transport.Subscribe:
 		if msg.Filter == nil {
+			return
+		}
+		if msg.Group != "" {
+			s.handleGroupSubscribe(pc, msg)
 			return
 		}
 		if strings.HasPrefix(msg.SubscriberID, "@") {
@@ -1383,9 +1474,24 @@ func (s *Server) handleMessage(pc *peerConn, m transport.Message) {
 		if msg.Filter == nil {
 			return
 		}
+		// A group member renews on behalf of the whole group: the
+		// subscription lives under the group's routing ID, not the
+		// member's.
+		if g := s.groupOf[pc]; g != nil {
+			s.node.HandleRenew(msg.Filter, routing.NodeID(g.gid), time.Now())
+			return
+		}
 		s.node.HandleRenew(msg.Filter, routing.NodeID(msg.ID), time.Now())
+	case transport.GroupAck:
+		if g := s.groupOf[pc]; g != nil {
+			s.ackGroupDelivery(g, msg.Seq)
+		}
 	case transport.Unsubscribe:
 		if msg.Filter == nil {
+			return
+		}
+		if g := s.groupOf[pc]; g != nil {
+			s.removeGroupMember(pc, g, true, msg.Filter)
 			return
 		}
 		s.node.HandleUnsubscribe(msg.Filter, routing.NodeID(msg.ID))
@@ -1479,6 +1585,12 @@ func (s *Server) flushPublishBatch(events []*event.Raw, fromPeer peering.LinkID)
 			continue
 		}
 		for _, id := range ids {
+			if g, isGroup := s.groups[string(id)]; isGroup {
+				// A consumer group's events compete among its members
+				// instead of fanning to each; see group.go.
+				s.routeToGroup(g, ev)
+				continue
+			}
 			dst, ok := s.byID[id]
 			switch {
 			case !ok:

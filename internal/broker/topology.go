@@ -30,7 +30,9 @@ func (s *Server) announceTopology() {
 	}
 	sort.Strings(peers)
 	seq := s.topo.Announce(peers)
-	s.floodLinkState(transport.LinkState{Origin: s.cfg.ID, Seq: seq, Peers: peers}, nil)
+	s.floodLinkState(transport.LinkState{Origin: s.cfg.ID, Seq: seq, Peers: peers,
+		Addr: s.Addr(), Part: s.cfg.ReplicaOf}, nil)
+	s.recomputePartitionMap()
 }
 
 // floodLinkState sends an LSA to every connected federation link except
@@ -59,7 +61,7 @@ func (s *Server) handleLinkState(pc *peerConn, msg transport.LinkState) {
 	if pc.link == nil || msg.Origin == "" {
 		return
 	}
-	newer, selfEcho := s.topo.Merge(msg.Origin, msg.Seq, msg.Peers)
+	newer, selfEcho := s.topo.Merge(msg.Origin, msg.Seq, msg.Peers, msg.Addr, msg.Part)
 	if selfEcho {
 		s.announceTopology()
 		s.recomputeTopology()
@@ -68,6 +70,7 @@ func (s *Server) handleLinkState(pc *peerConn, msg transport.LinkState) {
 	if newer {
 		s.floodLinkState(msg, pc)
 		s.recomputeTopology()
+		s.recomputePartitionMap()
 	}
 }
 

@@ -74,6 +74,10 @@ type Config struct {
 	// "sharded counting" — 0 means GOMAXPROCS; for every other kind 0
 	// and 1 select the unsharded engine.
 	Shards int
+	// Warn, when non-nil and the engine is sharded, receives the
+	// rate-limited shard-skew diagnostic (ShardedEngine.SetWarn).
+	// Ignored by unsharded engines.
+	Warn func(msg string)
 }
 
 // New constructs the engine cfg selects. This is the single engine
@@ -91,7 +95,9 @@ func New(cfg Config) Engine {
 		}
 	}
 	if cfg.Kind == KindSharded || cfg.Shards > 1 {
-		return NewShardedEngine(cfg.Shards, inner)
+		se := NewShardedEngine(cfg.Shards, inner)
+		se.SetWarn(cfg.Warn)
+		return se
 	}
 	return inner()
 }

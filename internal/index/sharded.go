@@ -1,9 +1,12 @@
 package index
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"eventsys/internal/event"
 	"eventsys/internal/filter"
@@ -29,11 +32,23 @@ import (
 // property the routing layer relies on.
 type ShardedEngine struct {
 	shards []*engineShard
+
+	// warn, when set, receives the rate-limited shard-skew diagnostic
+	// (see checkSkew); lastSkew is the unix-nano time of the last check.
+	warn     func(string)
+	lastSkew atomic.Int64
 }
 
 type engineShard struct {
 	mu  sync.Mutex
 	eng Engine
+	// ids tracks live filter associations per subscription ID (ID →
+	// filter keys), so the shard's load — len(ids), its distinct live
+	// subscribers — is readable without an engine scan. It mirrors the
+	// inner engines' set semantics: re-inserting an existing (filter,
+	// id) association (a lease refresh) is idempotent, and removing one
+	// never inserted is a no-op.
+	ids map[string]map[string]struct{}
 }
 
 var (
@@ -59,9 +74,72 @@ func NewShardedEngine(shards int, mk func() Engine) *ShardedEngine {
 	}
 	t := &ShardedEngine{shards: make([]*engineShard, shards)}
 	for i := range t.shards {
-		t.shards[i] = &engineShard{eng: mk()}
+		t.shards[i] = &engineShard{eng: mk(), ids: make(map[string]map[string]struct{})}
 	}
 	return t
+}
+
+// SetWarn installs the destination for the shard-skew diagnostic (nil
+// disables it). The hook is called from whichever goroutine trips the
+// check, at most once per skewWarnEvery, and must not call back into
+// the engine.
+func (t *ShardedEngine) SetWarn(fn func(string)) { t.warn = fn }
+
+// ShardLoads reports the number of distinct live subscription IDs per
+// shard, indexed by shard. The sum over shards is the engine's total
+// live subscriptions (IDs are hashed to exactly one shard).
+func (t *ShardedEngine) ShardLoads() []int {
+	loads := make([]int, len(t.shards))
+	for i, sh := range t.shards {
+		sh.mu.Lock()
+		loads[i] = len(sh.ids)
+		sh.mu.Unlock()
+	}
+	return loads
+}
+
+const (
+	// skewWarnEvery rate-limits the skew diagnostic: the full-sweep
+	// check (and at most one warning) runs once per interval, however
+	// hot the Insert path is.
+	skewWarnEvery = time.Minute
+	// skewFactor and skewFloor define reportable skew: the busiest
+	// shard holds more than skewFactor times the quietest AND at least
+	// skewFloor subscriptions — the floor keeps a near-empty engine
+	// (where one early subscriber trivially "skews" an idle shard)
+	// quiet.
+	skewFactor = 4
+	skewFloor  = 8
+)
+
+// checkSkew warns — at most once per skewWarnEvery — when shard loads
+// are skewed enough that the parallel matching fan-out is effectively
+// serialized onto a few hot shards (subscription IDs hashing unevenly,
+// e.g. a shared prefix colliding). Called on Insert, where skew grows.
+func (t *ShardedEngine) checkSkew() {
+	if t.warn == nil || len(t.shards) < 2 {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := t.lastSkew.Load()
+	if now-last < int64(skewWarnEvery) || !t.lastSkew.CompareAndSwap(last, now) {
+		return
+	}
+	loads := t.ShardLoads()
+	minLoad, maxLoad := loads[0], loads[0]
+	for _, n := range loads[1:] {
+		if n < minLoad {
+			minLoad = n
+		}
+		if n > maxLoad {
+			maxLoad = n
+		}
+	}
+	if maxLoad >= skewFloor && maxLoad > skewFactor*minLoad {
+		t.warn(fmt.Sprintf(
+			"index: shard load skew: busiest shard holds %d live subscriptions, quietest %d (>%dx across %d shards); subscription IDs are hashing unevenly",
+			maxLoad, minLoad, skewFactor, len(loads)))
+	}
 }
 
 // Shards reports the shard count.
@@ -83,7 +161,14 @@ func (t *ShardedEngine) Insert(f *filter.Filter, id string) {
 	sh := t.shardFor(id)
 	sh.mu.Lock()
 	sh.eng.Insert(f, id)
+	keys, ok := sh.ids[id]
+	if !ok {
+		keys = make(map[string]struct{}, 1)
+		sh.ids[id] = keys
+	}
+	keys[f.Key()] = struct{}{}
 	sh.mu.Unlock()
+	t.checkSkew()
 }
 
 // Remove implements Engine.
@@ -91,6 +176,12 @@ func (t *ShardedEngine) Remove(f *filter.Filter, id string) {
 	sh := t.shardFor(id)
 	sh.mu.Lock()
 	sh.eng.Remove(f, id)
+	if keys, ok := sh.ids[id]; ok {
+		delete(keys, f.Key())
+		if len(keys) == 0 {
+			delete(sh.ids, id)
+		}
+	}
 	sh.mu.Unlock()
 }
 
@@ -99,6 +190,7 @@ func (t *ShardedEngine) RemoveID(id string) {
 	sh := t.shardFor(id)
 	sh.mu.Lock()
 	sh.eng.RemoveID(id)
+	delete(sh.ids, id)
 	sh.mu.Unlock()
 }
 

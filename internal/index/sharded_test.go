@@ -227,3 +227,113 @@ func TestKindSelection(t *testing.T) {
 		}
 	}
 }
+
+// TestShardLoads pins the per-shard load accounting: loads sum to the
+// distinct live subscription count, re-inserting an existing (filter,
+// id) association (a lease refresh) is idempotent, and Remove/RemoveID
+// retire IDs exactly when their last association goes.
+func TestShardLoads(t *testing.T) {
+	eng := NewSharded(nil, 4)
+	f := filter.MustParseFilter(`class = "Stock" && symbol = "A"`)
+	g := filter.MustParseFilter(`class = "Stock" && price < 10`)
+	sum := func() int {
+		total := 0
+		for _, n := range eng.ShardLoads() {
+			total += n
+		}
+		return total
+	}
+	if got := eng.ShardLoads(); len(got) != 4 || sum() != 0 {
+		t.Fatalf("empty engine: ShardLoads() = %v", got)
+	}
+	for i := 0; i < 32; i++ {
+		eng.Insert(f, fmt.Sprintf("sub-%02d", i))
+	}
+	if sum() != 32 {
+		t.Fatalf("after 32 inserts: loads %v sum to %d, want 32", eng.ShardLoads(), sum())
+	}
+	// A lease refresh re-inserts the same association; a second filter
+	// under the same ID adds an association but not a subscriber.
+	eng.Insert(f, "sub-00")
+	eng.Insert(g, "sub-00")
+	if sum() != 32 {
+		t.Fatalf("after refresh + second filter: loads sum to %d, want 32", sum())
+	}
+	// The first Remove leaves sub-00 live under g; the second retires it.
+	eng.Remove(f, "sub-00")
+	if sum() != 32 {
+		t.Fatalf("after removing one of two filters: loads sum to %d, want 32", sum())
+	}
+	eng.Remove(g, "sub-00")
+	if sum() != 31 {
+		t.Fatalf("after removing last filter: loads sum to %d, want 31", sum())
+	}
+	// Removing an association that was never inserted is a no-op.
+	eng.Remove(g, "sub-01")
+	if sum() != 31 {
+		t.Fatalf("after spurious remove: loads sum to %d, want 31", sum())
+	}
+	eng.RemoveID("sub-02")
+	if sum() != 30 {
+		t.Fatalf("after RemoveID: loads sum to %d, want 30", sum())
+	}
+}
+
+// TestShardSkewWarning drives the rate-limited skew diagnostic: a
+// population hashed onto one hot shard warns once, the rate limiter
+// suppresses the immediate repeat, and a balanced population (or a
+// near-empty engine, via the floor) stays quiet.
+func TestShardSkewWarning(t *testing.T) {
+	var warnings []string
+	eng := NewSharded(nil, 4)
+	eng.SetWarn(func(msg string) { warnings = append(warnings, msg) })
+	f := filter.MustParseFilter(`class = "Stock"`)
+
+	// Collect IDs that all hash to the same shard.
+	hot := eng.shardFor("seed")
+	var hotIDs []string
+	for i := 0; len(hotIDs) < skewFloor+4; i++ {
+		id := fmt.Sprintf("sub-%05d", i)
+		if eng.shardFor(id) == hot {
+			hotIDs = append(hotIDs, id)
+		}
+	}
+
+	// Below the floor no skew is reported, however lopsided.
+	for _, id := range hotIDs[:skewFloor-1] {
+		eng.Insert(f, id)
+		eng.lastSkew.Store(0) // re-arm the rate limiter for each check
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("warned below the floor: %q", warnings)
+	}
+
+	// Crossing the floor with every other shard empty reports skew.
+	for _, id := range hotIDs[skewFloor-1:] {
+		eng.Insert(f, id)
+		eng.lastSkew.Store(0)
+	}
+	if len(warnings) == 0 {
+		t.Fatal("no warning for a fully skewed population above the floor")
+	}
+
+	// Without re-arming, the rate limiter swallows repeats. The loop
+	// above left the limiter armed, so the first insert may warn once
+	// more; the ones after it must not.
+	eng.Insert(f, hotIDs[0])
+	n := len(warnings)
+	eng.Insert(f, hotIDs[1])
+	eng.Insert(f, hotIDs[2])
+	if len(warnings) != n {
+		t.Fatalf("rate limiter let a repeat through: %d warnings, had %d", len(warnings), n)
+	}
+
+	// A balanced population stays quiet: spread enough IDs across all
+	// shards that max <= 4x min.
+	eng2 := NewSharded(nil, 4)
+	eng2.SetWarn(func(msg string) { t.Fatalf("balanced population warned: %s", msg) })
+	for i := 0; i < 400; i++ {
+		eng2.Insert(f, fmt.Sprintf("even-%04d", i))
+		eng2.lastSkew.Store(0)
+	}
+}

@@ -1,0 +1,207 @@
+// Package partition divides the event space across broker replicas.
+//
+// The event space is hashed into a fixed number of partitions keyed on
+// the event class plus the event's first (most general) attribute — the
+// class alone is too coarse when one advertised class carries the whole
+// workload, and the first attribute is the one advertisements list
+// first, i.e. the most selective routing attribute the publisher
+// declared. Each partition is assigned an owning replica by rendezvous
+// (highest-random-weight) hashing over the participating replica set:
+// adding or removing one replica moves only the partitions it gains or
+// loses, never reshuffles the survivors.
+//
+// A Map is a pure function of (partition count, replica set), so every
+// broker that has converged on the same link-state database derives the
+// same Map without coordination — exactly like the spanning-forest
+// election. The Epoch condenses that agreement into one comparable
+// number carried on publish frames: publishers holding a different
+// epoch are redirected with the current Map.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"eventsys/internal/event"
+)
+
+// Replica identifies one participating broker replica.
+type Replica struct {
+	// ID is the broker identity (ServerConfig.ID).
+	ID string
+	// Addr is the broker's client listen address, carried so a redirect
+	// can tell publishers where to dial.
+	Addr string
+}
+
+// Map is an immutable partition→owner assignment. Build with New; the
+// zero value means "unpartitioned" (every broker owns everything).
+type Map struct {
+	// Partitions is the fixed partition count (≥ 1).
+	Partitions int
+	// Replicas is the participating replica set, sorted by ID.
+	Replicas []Replica
+	// Epoch identifies this assignment: equal inputs yield equal
+	// epochs on every broker, and any change to the partition count or
+	// replica set changes it. Never zero (zero on the wire means "no
+	// epoch": an unpartitioned or not-yet-redirected publisher).
+	Epoch uint64
+	// owners[p] indexes Replicas with partition p's owner.
+	owners []int
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// New builds the assignment of partitions to the given replicas.
+// Replicas are deduplicated by ID and sorted; a partition count below 1
+// is raised to 1. With no replicas the Map is still valid but owns
+// nothing (Owner returns the zero Replica).
+func New(partitions int, replicas []Replica) *Map {
+	if partitions < 1 {
+		partitions = 1
+	}
+	byID := make(map[string]Replica, len(replicas))
+	for _, r := range replicas {
+		if r.ID == "" {
+			continue
+		}
+		byID[r.ID] = r
+	}
+	sorted := make([]Replica, 0, len(byID))
+	for _, r := range byID {
+		sorted = append(sorted, r)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+
+	m := &Map{Partitions: partitions, Replicas: sorted, owners: make([]int, partitions)}
+	for p := 0; p < partitions; p++ {
+		best, bestScore := -1, uint64(0)
+		for i, r := range sorted {
+			score := fnvString(fnvUint64(fnvOffset64, uint64(p)), r.ID)
+			if best < 0 || score > bestScore || (score == bestScore && r.ID < sorted[best].ID) {
+				best, bestScore = i, score
+			}
+		}
+		m.owners[p] = best
+	}
+
+	h := fnvUint64(fnvOffset64, uint64(partitions))
+	for _, r := range sorted {
+		h = fnvString(h, r.ID)
+		h = fnvString(h, "\x00")
+		h = fnvString(h, r.Addr)
+		h = fnvString(h, "\x01")
+	}
+	if h == 0 {
+		h = 1
+	}
+	m.Epoch = h
+	return m
+}
+
+// KeyOf hashes an event into the partition key space: the class plus
+// the first attribute's name and value. Events of one class that differ
+// only in later attributes land in the same partition, preserving
+// per-source order for any subscription keyed on the leading attribute.
+// The value is hashed as (kind, payload) rather than its rendered
+// literal, keeping the per-publish partition decision allocation-free
+// (BenchmarkPartitionedFanIn gates this).
+func KeyOf(e event.View) uint64 {
+	h := fnvString(fnvOffset64, e.Class())
+	if e.NumAttrs() > 0 {
+		name, v := e.AttrAt(0)
+		h = fnvString(h, "\x00")
+		h = fnvString(h, name)
+		h = fnvString(h, "\x00")
+		h = fnvUint64(h, uint64(v.Kind()))
+		if v.Kind() == event.KindString {
+			h = fnvString(h, v.Str())
+		} else {
+			h = fnvUint64(h, math.Float64bits(v.Num()))
+		}
+	}
+	return h
+}
+
+// PartitionOf maps a key to its partition index.
+func (m *Map) PartitionOf(key uint64) int {
+	if m == nil || m.Partitions <= 1 {
+		return 0
+	}
+	return int(key % uint64(m.Partitions))
+}
+
+// Owner returns partition p's owning replica; the zero Replica when the
+// map has no replicas or p is out of range.
+func (m *Map) Owner(p int) Replica {
+	if m == nil || p < 0 || p >= len(m.owners) || m.owners[p] < 0 {
+		return Replica{}
+	}
+	return m.Replicas[m.owners[p]]
+}
+
+// OwnerOf returns the replica owning an event's partition.
+func (m *Map) OwnerOf(e event.View) Replica {
+	return m.Owner(m.PartitionOf(KeyOf(e)))
+}
+
+// Owns reports whether the replica with the given ID owns partition p.
+// An empty map (no replicas) owns nothing; callers treat that as
+// "unpartitioned" and accept everything.
+func (m *Map) Owns(id string, p int) bool {
+	return m.Owner(p).ID == id
+}
+
+// Counts returns the number of partitions owned per replica, in
+// Replicas order — the load-skew view.
+func (m *Map) Counts() []int {
+	if m == nil {
+		return nil
+	}
+	counts := make([]int, len(m.Replicas))
+	for _, o := range m.owners {
+		if o >= 0 {
+			counts[o]++
+		}
+	}
+	return counts
+}
+
+// String renders the map for logs: epoch, partition count, owners.
+func (m *Map) String() string {
+	if m == nil {
+		return "partition.Map(nil)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "epoch=%x partitions=%d replicas=[", m.Epoch, m.Partitions)
+	for i, r := range m.Replicas {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(r.ID)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"eventsys/internal/event"
+)
+
+func replicas(n int) []Replica {
+	out := make([]Replica, n)
+	for i := range out {
+		out[i] = Replica{ID: fmt.Sprintf("r%d", i), Addr: fmt.Sprintf("127.0.0.1:%d", 7001+i)}
+	}
+	return out
+}
+
+func TestMapDeterministicAndOrderIndependent(t *testing.T) {
+	a := New(64, replicas(4))
+	shuffled := []Replica{
+		{ID: "r2", Addr: "127.0.0.1:7003"}, {ID: "r0", Addr: "127.0.0.1:7001"},
+		{ID: "r3", Addr: "127.0.0.1:7004"}, {ID: "r1", Addr: "127.0.0.1:7002"},
+	}
+	b := New(64, shuffled)
+	if a.Epoch != b.Epoch {
+		t.Fatalf("epoch depends on input order: %x vs %x", a.Epoch, b.Epoch)
+	}
+	for p := 0; p < 64; p++ {
+		if a.Owner(p) != b.Owner(p) {
+			t.Fatalf("partition %d owner differs: %v vs %v", p, a.Owner(p), b.Owner(p))
+		}
+	}
+}
+
+func TestEpochChangesWithMembershipAndCount(t *testing.T) {
+	base := New(64, replicas(4))
+	if e := New(64, replicas(3)).Epoch; e == base.Epoch {
+		t.Fatal("epoch unchanged after replica removal")
+	}
+	if e := New(32, replicas(4)).Epoch; e == base.Epoch {
+		t.Fatal("epoch unchanged after partition-count change")
+	}
+	if base.Epoch == 0 {
+		t.Fatal("epoch must never be zero")
+	}
+}
+
+func TestRendezvousMinimalMovement(t *testing.T) {
+	before := New(128, replicas(4))
+	after := New(128, replicas(3)) // r3 removed
+	moved := 0
+	for p := 0; p < 128; p++ {
+		ob, oa := before.Owner(p), after.Owner(p)
+		if ob.ID != "r3" && ob != oa {
+			t.Fatalf("partition %d moved from surviving replica %s to %s", p, ob.ID, oa.ID)
+		}
+		if ob.ID == "r3" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed replica owned nothing; distribution degenerate")
+	}
+}
+
+func TestDistributionRoughlyBalanced(t *testing.T) {
+	m := New(256, replicas(4))
+	min, max := 256, 0
+	for _, c := range m.Counts() {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if min == 0 || max > 4*min {
+		t.Fatalf("partition ownership badly skewed: min=%d max=%d", min, max)
+	}
+}
+
+func TestKeyOfUsesClassAndFirstAttr(t *testing.T) {
+	a := event.NewBuilder("Tick").Str("topic", "alpha").Int("value", 1).Build()
+	b := event.NewBuilder("Tick").Str("topic", "alpha").Int("value", 99).Build()
+	c := event.NewBuilder("Tick").Str("topic", "beta").Int("value", 1).Build()
+	if KeyOf(a) != KeyOf(b) {
+		t.Fatal("events differing only in later attributes must share a key")
+	}
+	if KeyOf(a) == KeyOf(c) {
+		t.Fatal("events with different leading attributes should (here) differ")
+	}
+	// The raw wire view must hash identically to the decoded event.
+	if KeyOf(event.EncodeRaw(a)) != KeyOf(a) {
+		t.Fatal("raw view and decoded event disagree on the key")
+	}
+}
+
+func TestEmptyMapOwnsNothing(t *testing.T) {
+	m := New(16, nil)
+	if got := m.Owner(3); got != (Replica{}) {
+		t.Fatalf("empty map returned owner %v", got)
+	}
+	if m.Owns("r0", 3) {
+		t.Fatal("empty map claims ownership")
+	}
+}

@@ -22,27 +22,41 @@ import "sort"
 // A TopologyView is owned by its broker's core goroutine; it is not safe
 // for concurrent use.
 type TopologyView struct {
-	self string
-	seq  uint64
-	recs map[string]lsaRecord
+	self      string
+	selfAddr  string
+	selfGroup string
+	seq       uint64
+	recs      map[string]lsaRecord
 }
 
 type lsaRecord struct {
 	seq   uint64
 	peers []string // sorted
+	addr  string   // client listen address, for partition redirects
+	group string   // partition replica group ("" = unpartitioned)
 }
 
-// LSA is one database record, the wire-shaped (origin, seq, peers)
-// tuple a broker ships to a newly connected peer.
+// LSA is one database record, the wire-shaped (origin, seq, peers,
+// addr, group) tuple a broker ships to a newly connected peer. Addr and
+// Group ride the same flood the adjacency does: the partition map is
+// derived from the converged database, never separately gossiped.
 type LSA struct {
 	Origin string
 	Seq    uint64
 	Peers  []string
+	Addr   string
+	Group  string
 }
 
 // NewTopologyView creates an empty database for the given broker ID.
 func NewTopologyView(self string) *TopologyView {
 	return &TopologyView{self: self, recs: make(map[string]lsaRecord)}
+}
+
+// SetSelf records the broker's own client listen address and partition
+// replica group, included in every subsequent Announce.
+func (t *TopologyView) SetSelf(addr, group string) {
+	t.selfAddr, t.selfGroup = addr, group
 }
 
 // Announce records the broker's own adjacency under a freshly bumped
@@ -52,7 +66,7 @@ func (t *TopologyView) Announce(peers []string) uint64 {
 	t.seq++
 	ps := append([]string(nil), peers...)
 	sort.Strings(ps)
-	t.recs[t.self] = lsaRecord{seq: t.seq, peers: ps}
+	t.recs[t.self] = lsaRecord{seq: t.seq, peers: ps, addr: t.selfAddr, group: t.selfGroup}
 	return t.seq
 }
 
@@ -62,7 +76,7 @@ func (t *TopologyView) Announce(peers []string) uint64 {
 // restart with a sequence number at or above the current one — the
 // caller must re-announce, which Merge guarantees will win by lifting
 // the local sequence past the echo.
-func (t *TopologyView) Merge(origin string, seq uint64, peers []string) (newer, selfEcho bool) {
+func (t *TopologyView) Merge(origin string, seq uint64, peers []string, addr, group string) (newer, selfEcho bool) {
 	if origin == t.self {
 		if seq >= t.seq {
 			t.seq = seq
@@ -75,7 +89,7 @@ func (t *TopologyView) Merge(origin string, seq uint64, peers []string) (newer, 
 	}
 	ps := append([]string(nil), peers...)
 	sort.Strings(ps)
-	t.recs[origin] = lsaRecord{seq: seq, peers: ps}
+	t.recs[origin] = lsaRecord{seq: seq, peers: ps, addr: addr, group: group}
 	return true, false
 }
 
@@ -85,7 +99,28 @@ func (t *TopologyView) Merge(origin string, seq uint64, peers []string) (newer, 
 func (t *TopologyView) Records() []LSA {
 	out := make([]LSA, 0, len(t.recs))
 	for origin, r := range t.recs {
-		out = append(out, LSA{Origin: origin, Seq: r.seq, Peers: append([]string(nil), r.peers...)})
+		out = append(out, LSA{Origin: origin, Seq: r.seq,
+			Peers: append([]string(nil), r.peers...), Addr: r.addr, Group: r.group})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Origin < out[j].Origin })
+	return out
+}
+
+// GroupMembers returns the database records whose origin advertises the
+// given non-empty partition replica group, sorted by origin — the
+// replica set a partition map is derived from. Every broker converged
+// on the same database computes the same member list, so the derived
+// maps (and their epochs) agree without a coordination round.
+func (t *TopologyView) GroupMembers(group string) []LSA {
+	if group == "" {
+		return nil
+	}
+	var out []LSA
+	for origin, r := range t.recs {
+		if r.group == group {
+			out = append(out, LSA{Origin: origin, Seq: r.seq,
+				Peers: append([]string(nil), r.peers...), Addr: r.addr, Group: r.group})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Origin < out[j].Origin })
 	return out

@@ -24,16 +24,16 @@ func TestTopologyAnnounceBumpsSeq(t *testing.T) {
 
 func TestTopologyMergeOrdering(t *testing.T) {
 	v := NewTopologyView("A")
-	if newer, _ := v.Merge("B", 3, []string{"A", "C"}); !newer {
+	if newer, _ := v.Merge("B", 3, []string{"A", "C"}, "", ""); !newer {
 		t.Fatal("first record for an origin must be newer")
 	}
-	if newer, _ := v.Merge("B", 3, []string{"A"}); newer {
+	if newer, _ := v.Merge("B", 3, []string{"A"}, "", ""); newer {
 		t.Fatal("same seq must not advance the database")
 	}
-	if newer, _ := v.Merge("B", 2, []string{"A"}); newer {
+	if newer, _ := v.Merge("B", 2, []string{"A"}, "", ""); newer {
 		t.Fatal("stale seq must not advance the database")
 	}
-	if newer, _ := v.Merge("B", 4, []string{"A"}); !newer {
+	if newer, _ := v.Merge("B", 4, []string{"A"}, "", ""); !newer {
 		t.Fatal("higher seq must advance the database")
 	}
 	recs := v.Records()
@@ -49,7 +49,7 @@ func TestTopologyMergeOrdering(t *testing.T) {
 func TestTopologySelfEcho(t *testing.T) {
 	v := NewTopologyView("A")
 	v.Announce([]string{"B"}) // seq 1
-	newer, echo := v.Merge("A", 7, []string{"B", "C"})
+	newer, echo := v.Merge("A", 7, []string{"B", "C"}, "", "")
 	if newer || !echo {
 		t.Fatalf("merge of own echoed record: newer=%v selfEcho=%v, want false/true", newer, echo)
 	}
@@ -57,7 +57,7 @@ func TestTopologySelfEcho(t *testing.T) {
 		t.Fatalf("re-announce seq = %d, want 8 (past the echo)", s)
 	}
 	// A genuinely stale echo is ignored outright.
-	if newer, echo := v.Merge("A", 2, nil); newer || echo {
+	if newer, echo := v.Merge("A", 2, nil, "", ""); newer || echo {
 		t.Fatalf("stale self echo: newer=%v selfEcho=%v, want false/false", newer, echo)
 	}
 }
@@ -67,7 +67,7 @@ func TestTopologyKnown(t *testing.T) {
 	if v.Known("B") {
 		t.Fatal("empty database must report ignorance")
 	}
-	v.Merge("B", 1, []string{"A"})
+	v.Merge("B", 1, []string{"A"}, "", "")
 	if !v.Known("B") {
 		t.Fatal("merged origin must be known")
 	}
@@ -85,13 +85,13 @@ func TestTopologyKnown(t *testing.T) {
 func TestTopologyEdgesRequireAgreement(t *testing.T) {
 	v := NewTopologyView("A")
 	v.Announce([]string{"B", "C"})
-	v.Merge("B", 1, []string{"A"})
-	v.Merge("C", 1, nil) // C does not list A back
+	v.Merge("B", 1, []string{"A"}, "", "")
+	v.Merge("C", 1, nil, "", "") // C does not list A back
 	if got := fmt.Sprint(v.Edges()); got != "[[A B]]" {
 		t.Fatalf("edges = %s, want [[A B]]", got)
 	}
 	// C's next LSA restores agreement.
-	v.Merge("C", 2, []string{"A"})
+	v.Merge("C", 2, []string{"A"}, "", "")
 	if got := fmt.Sprint(v.Edges()); got != "[[A B] [A C]]" {
 		t.Fatalf("edges = %s, want [[A B] [A C]]", got)
 	}
@@ -107,7 +107,7 @@ func TestTopologyForestDeterminism(t *testing.T) {
 		v.Announce(ring[self])
 		for origin, peers := range ring {
 			if origin != self {
-				v.Merge(origin, 1, peers)
+				v.Merge(origin, 1, peers, "", "")
 			}
 		}
 		if got := fmt.Sprint(v.Forest()); got != "[[A B] [A C]]" {
@@ -136,14 +136,14 @@ func TestTopologyForestDeterminism(t *testing.T) {
 func TestTopologyForestAfterDeath(t *testing.T) {
 	v := NewTopologyView("B")
 	v.Announce([]string{"A", "C"})
-	v.Merge("A", 1, []string{"B", "C"})
-	v.Merge("C", 1, []string{"A", "B"})
+	v.Merge("A", 1, []string{"B", "C"}, "", "")
+	v.Merge("C", 1, []string{"A", "B"}, "", "")
 	if got := fmt.Sprint(v.ActiveNeighbors()); got != "map[A:true]" {
 		t.Fatalf("before death: active = %s", got)
 	}
 	// A dies: B and C drop it from their adjacency and re-announce.
 	v.Announce([]string{"C"})
-	v.Merge("C", 2, []string{"B"})
+	v.Merge("C", 2, []string{"B"}, "", "")
 	if got := fmt.Sprint(v.Forest()); got != "[[B C]]" {
 		t.Fatalf("after death: forest = %s, want [[B C]]", got)
 	}
@@ -154,8 +154,8 @@ func TestTopologyForestAfterDeath(t *testing.T) {
 
 func TestTopologyRecordsSorted(t *testing.T) {
 	v := NewTopologyView("M")
-	v.Merge("Z", 1, nil)
-	v.Merge("A", 5, []string{"M"})
+	v.Merge("Z", 1, nil, "", "")
+	v.Merge("A", 5, []string{"M"}, "", "")
 	v.Announce([]string{"A"})
 	recs := v.Records()
 	if len(recs) != 3 || recs[0].Origin != "A" || recs[1].Origin != "M" || recs[2].Origin != "Z" {

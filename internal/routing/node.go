@@ -175,6 +175,14 @@ func (n *Node) HandleSubscribe(fsub *filter.Filter, sid NodeID, rng *rand.Rand, 
 	return n.insertSubscriber(fstd, sid, now)
 }
 
+// SubscribeLocal accepts a subscription at this node unconditionally,
+// bypassing the Figure 5 placement walk. Consumer groups need this:
+// every member must land at the broker it dialed, or one group would
+// split across brokers into independently-consuming halves.
+func (n *Node) SubscribeLocal(fsub *filter.Filter, sid NodeID, now time.Time) SubscribeResult {
+	return n.insertSubscriber(n.standardize(fsub), sid, now)
+}
+
 // standardize converts fsub to the standard subscription filter format
 // (Section 4.4) when the class is advertised.
 func (n *Node) standardize(fsub *filter.Filter) *filter.Filter {

@@ -1,0 +1,65 @@
+package routing
+
+import (
+	"sync/atomic"
+
+	"eventsys/internal/event"
+	"eventsys/internal/partition"
+)
+
+// PartitionFilter makes the routing layer partition-aware: it holds the
+// current partition map and answers, per event, whether this replica
+// owns the event's partition and who does. The broker's core installs a
+// new map whenever the link-state database changes the replica set;
+// readers (the publish path, stats) load it atomically, so the filter
+// is safe for concurrent use.
+//
+// Ownership is load placement, not a correctness gate: interests are
+// flooded to every broker, so any ingress broker delivers completely.
+// A broker receiving an event it does not own still processes it — the
+// filter only drives the redirect that steers future publishes to the
+// owner.
+type PartitionFilter struct {
+	self string
+	m    atomic.Pointer[partition.Map]
+}
+
+// NewPartitionFilter creates a filter for the replica with the given
+// broker ID, initially holding no map (unpartitioned: owns everything).
+func NewPartitionFilter(self string) *PartitionFilter {
+	return &PartitionFilter{self: self}
+}
+
+// Install publishes a new partition map (nil reverts to unpartitioned).
+func (p *PartitionFilter) Install(m *partition.Map) { p.m.Store(m) }
+
+// Map returns the current partition map, nil when unpartitioned.
+func (p *PartitionFilter) Map() *partition.Map { return p.m.Load() }
+
+// Epoch returns the current map's epoch, 0 when unpartitioned.
+func (p *PartitionFilter) Epoch() uint64 {
+	if m := p.m.Load(); m != nil {
+		return m.Epoch
+	}
+	return 0
+}
+
+// Owns reports whether this replica owns the event's partition. With no
+// map installed every event is owned (unpartitioned behavior).
+func (p *PartitionFilter) Owns(e event.View) bool {
+	m := p.m.Load()
+	if m == nil || len(m.Replicas) == 0 {
+		return true
+	}
+	return m.Owns(p.self, m.PartitionOf(partition.KeyOf(e)))
+}
+
+// OwnerOf returns the replica owning the event's partition; the zero
+// Replica when unpartitioned.
+func (p *PartitionFilter) OwnerOf(e event.View) partition.Replica {
+	m := p.m.Load()
+	if m == nil {
+		return partition.Replica{}
+	}
+	return m.OwnerOf(e)
+}

@@ -36,6 +36,18 @@ func NewTable(cfg index.Config) *Table {
 	}
 }
 
+// ShardLoads reports per-shard live-subscription counts when the table
+// is backed by the sharded parallel engine, nil otherwise. Unlike the
+// rest of Table, it is safe to call concurrently with core access: it
+// reads only the engine (immutable after construction), and the sharded
+// engine locks per shard.
+func (t *Table) ShardLoads() []int {
+	if se, ok := t.engine.(*index.ShardedEngine); ok {
+		return se.ShardLoads()
+	}
+	return nil
+}
+
 // Insert associates id with f under a lease expiring at expiry. Inserting
 // an existing association refreshes its lease.
 func (t *Table) Insert(f *filter.Filter, id NodeID, expiry time.Time) {

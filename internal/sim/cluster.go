@@ -10,6 +10,7 @@ import (
 	"eventsys/internal/flow"
 	"eventsys/internal/index"
 	"eventsys/internal/metrics"
+	"eventsys/internal/partition"
 	"eventsys/internal/peering"
 	"eventsys/internal/routing"
 	"eventsys/internal/typing"
@@ -175,6 +176,20 @@ type ClusterConfig struct {
 	Window int
 	// ConsumeUS is a subscriber's per-event consumption time (default 20).
 	ConsumeUS int64
+	// ProcUS is a broker's per-event service time: each broker processes
+	// one event (local publish or arriving frame) per ProcUS of virtual
+	// time, serialized — the CPU model that makes a single broker a
+	// bottleneck and a partitioned replica group scale. 0 processes
+	// inline with no service time (every pre-existing scenario), leaving
+	// those digests untouched.
+	ProcUS int64
+	// Partitions, when > 0, shards the event key space: the brokers form
+	// one replica group under a rendezvous-hashed partition map (the same
+	// internal/partition map live brokers derive from the link-state
+	// database) and every publish executes at its partition's owner —
+	// the simulator's mirror of partition-aware publisher fan-in. 0 keeps
+	// the PublishAt/Home placement.
+	Partitions int
 	// Engine selects the local matching engine at brokers.
 	Engine index.Kind
 	// MaxStage clamps hop-distance weakening of federation interests
@@ -281,6 +296,28 @@ type ClusterResult struct {
 	Failovers uint64
 	Rerouted  uint64
 	HealUS    int64
+	// LatencyP50US and LatencyP99US are delivery-latency percentiles in
+	// virtual microseconds: publish to handler consumption, over every
+	// delivered copy. Reported, never hashed into the digest — the trace
+	// already pins delivery times line by line.
+	LatencyP50US int64
+	LatencyP99US int64
+}
+
+// AggregateRate returns the cluster's aggregate processing rate in
+// events per virtual second: every event a broker processed (local
+// publishes plus arriving forwarded frames, summed across brokers)
+// divided by the run's virtual duration — the scaling metric of the
+// partitioned-scale scenario.
+func (r *ClusterResult) AggregateRate() float64 {
+	if r.VirtualUS <= 0 {
+		return 0
+	}
+	var n uint64
+	for _, b := range r.Brokers {
+		n += b.Received
+	}
+	return float64(n) * 1e6 / float64(r.VirtualUS)
 }
 
 // --- simulated broker and link state ---
@@ -358,6 +395,10 @@ type simBroker struct {
 	counters *metrics.Counters
 	deferred []workload.Op
 
+	// procBusy is the broker's CPU horizon under the ProcUS service-time
+	// model: the next admitted event starts processing no earlier.
+	procBusy int64
+
 	received, sent, lost, spooled uint64
 }
 
@@ -377,6 +418,14 @@ type clusterSim struct {
 	rerouted  uint64
 	healStart int64
 	healUS    int64
+	// partition placement (Partitions > 0): the rendezvous map over the
+	// broker set and the partition → broker-index table derived from it.
+	pmap      *partition.Map
+	partOwner []int
+	// delivery-latency accounting: publish time per event ID, and one
+	// latency sample per delivered copy.
+	pubAt map[uint64]int64
+	lats  []int64
 	// oracle state
 	expected map[string][]uint64
 	got      map[string][]uint64
@@ -435,8 +484,25 @@ func buildCluster(cfg ClusterConfig) (*clusterSim, *workload.Cluster, error) {
 		ads:       ads,
 		subs:      make(map[string]*simSub),
 		dw:        newDigestWriter(),
+		pubAt:     make(map[uint64]int64),
 		healStart: -1,
 		base:      time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC),
+	}
+	if cfg.Partitions > 0 {
+		// The replica group is the whole broker set, under the same
+		// rendezvous map the live brokers derive from their link-state
+		// database — so the simulated placement is the placement the live
+		// partition-aware publisher computes.
+		reps := make([]partition.Replica, cfg.Topology.Brokers)
+		for i := range reps {
+			id := fmt.Sprintf("B%d", i)
+			reps[i] = partition.Replica{ID: id, Addr: id}
+		}
+		s.pmap = partition.New(cfg.Partitions, reps)
+		s.partOwner = make([]int, cfg.Partitions)
+		for p := range s.partOwner {
+			s.partOwner[p] = brokerOf(peering.LinkID(s.pmap.Owner(p).ID))
+		}
 	}
 	if cfg.Oracle {
 		s.expected = make(map[string][]uint64)
@@ -557,6 +623,11 @@ func (s *clusterSim) applyOp(op workload.Op) {
 		pin = s.cfg.PublishAt
 	}
 	b := s.brokers[s.brokerFor(op.Client, pin)]
+	if op.Kind == workload.OpPublish && s.pmap != nil {
+		// Partitioned deployment: the publisher fans the event directly to
+		// its partition's owner, whatever broker the client is homed at.
+		b = s.brokers[s.partOwner[s.pmap.PartitionOf(partition.KeyOf(op.Event))]]
+	}
 	if !b.up {
 		// The client's home broker is down: the client retries after the
 		// restart (deterministically, in arrival order).
@@ -649,7 +720,32 @@ func (s *clusterSim) publish(b *simBroker, e *event.Event) {
 			s.expected[id] = append(s.expected[id], e.ID)
 		}
 	}
-	s.processEvent(b, e, "")
+	s.pubAt[e.ID] = s.sched.now
+	s.ingest(b, e, "")
+}
+
+// ingest admits one event to a broker's CPU. Without a service-time
+// model it processes inline (the pre-existing behavior, digest-
+// identical); with ProcUS > 0 the broker serializes: each event occupies
+// the CPU for ProcUS of virtual time and later arrivals queue behind
+// the horizon. An event queued at a broker that crashes before its
+// service slot is simply not processed — its copies were never offered,
+// so the ledgers stay balanced.
+func (s *clusterSim) ingest(b *simBroker, e *event.Event, from peering.LinkID) {
+	if s.cfg.ProcUS <= 0 {
+		s.processEvent(b, e, from)
+		return
+	}
+	at := s.sched.now
+	if b.procBusy > at {
+		at = b.procBusy
+	}
+	b.procBusy = at + s.cfg.ProcUS
+	s.sched.schedule(b.procBusy, kindDrain, func() {
+		if b.up {
+			s.processEvent(b, e, from)
+		}
+	})
 }
 
 // processEvent is a broker's event plane: forward on matching active
@@ -740,6 +836,9 @@ func (s *clusterSim) consumeTick(sub *simSub) {
 	if sub.orig.Matches(e, nil) {
 		s.ledger.Delivered++
 		s.dw.delivery(s.sched.now, sub.id, e.ID)
+		if at, ok := s.pubAt[e.ID]; ok {
+			s.lats = append(s.lats, s.sched.now-at)
+		}
 		if s.got != nil {
 			s.got[sub.id] = append(s.got[sub.id], e.ID)
 		}
@@ -1062,7 +1161,7 @@ func (s *clusterSim) arrive(l *outLink, epoch uint64) {
 	switch fr.kind {
 	case frEvent:
 		s.ledger.FrameArrived++
-		s.processEvent(b, fr.ev, from)
+		s.ingest(b, fr.ev, from)
 	case frUpdate:
 		s.fanUpdates(b, b.fed.Apply(from, fr.entry))
 	case frResync:
@@ -1353,6 +1452,13 @@ func (s *clusterSim) finish(start time.Time) *ClusterResult {
 	}
 	if s.expected != nil {
 		s.verifyOracle(res)
+	}
+	// Delivery-latency percentiles: reported beside the digest, never part
+	// of it — the hashed trace pins each delivery's time already.
+	if len(s.lats) > 0 {
+		sort.Slice(s.lats, func(i, j int) bool { return s.lats[i] < s.lats[j] })
+		res.LatencyP50US = s.lats[len(s.lats)*50/100]
+		res.LatencyP99US = s.lats[len(s.lats)*99/100]
 	}
 	// Hash the summary behind the delivery trace: the ledger and the
 	// per-broker counters are part of the regression surface.

@@ -38,13 +38,14 @@ const (
 	ExpObs         = "obs"         // A8: observability self-scrape
 	ExpCluster     = "cluster"     // A9: cluster simulation scenario suite
 	ExpHeal        = "heal"        // A10: broker-death failover and self-healing
+	ExpPartition   = "partition"   // A11: partitioned scale-out across replicas
 )
 
 // Experiments lists all experiment identifiers in report order.
 func Experiments() []string {
 	return []string{ExpTable1, ExpFigure7, ExpGlobal, ExpCentralized,
 		ExpBroadcast, ExpPlacement, ExpPrefilter, ExpTopology, ExpEngines,
-		ExpFlow, ExpRawPath, ExpObs, ExpCluster, ExpHeal}
+		ExpFlow, ExpRawPath, ExpObs, ExpCluster, ExpHeal, ExpPartition}
 }
 
 // Options tunes experiments from the command line; the zero value keeps
@@ -98,6 +99,8 @@ func RunExperimentOpts(name string, seed uint64, o Options) (string, error) {
 		return ClusterExperiment(seed)
 	case ExpHeal:
 		return HealExperiment(seed)
+	case ExpPartition:
+		return PartitionExperiment(seed)
 	default:
 		return "", fmt.Errorf("sim: unknown experiment %q (have %v)", name, Experiments())
 	}

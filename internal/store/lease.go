@@ -1,0 +1,131 @@
+package store
+
+import (
+	"sort"
+	"time"
+)
+
+// LeaseTable tracks in-flight consumer-group deliveries. Each delivery
+// attempt claims a lease: a monotonically increasing sequence number
+// bound to the member it was handed to and a redelivery deadline. The
+// member acknowledges the sequence after processing; a lease whose
+// deadline passes without an acknowledgment is surfaced by Expired so
+// the broker can redeliver the event to a surviving member. Sequence
+// numbers identify delivery attempts, not events — a redelivered event
+// gets a fresh claim — which keeps acknowledgment handling trivially
+// idempotent.
+//
+// The table also maintains the group's low watermark: the highest
+// sequence below which every claim has completed. The broker advances
+// the durable cursor for the group's stored backlog only at replay
+// time, so the watermark is a liveness signal (and test observable),
+// not a persistence trigger.
+//
+// LeaseTable is not safe for concurrent use; the broker confines each
+// table to its core goroutine.
+type LeaseTable struct {
+	next      uint64
+	low       uint64 // all seqs <= low are complete
+	open      map[uint64]Lease
+	completed map[uint64]struct{} // completed seqs above low
+}
+
+// Lease is one outstanding delivery attempt.
+type Lease struct {
+	Seq      uint64
+	Owner    string
+	Deadline time.Time
+}
+
+// NewLeaseTable returns an empty table; the first claim is sequence 1.
+func NewLeaseTable() *LeaseTable {
+	return &LeaseTable{
+		open:      make(map[uint64]Lease),
+		completed: make(map[uint64]struct{}),
+	}
+}
+
+// Claim records a delivery attempt to owner and returns its sequence.
+func (t *LeaseTable) Claim(owner string, deadline time.Time) uint64 {
+	t.next++
+	t.open[t.next] = Lease{Seq: t.next, Owner: owner, Deadline: deadline}
+	return t.next
+}
+
+// Complete marks a sequence done (acknowledged, or abandoned because
+// the attempt was superseded by a redelivery). Unknown or already
+// completed sequences are ignored; returns whether the call closed an
+// open lease.
+func (t *LeaseTable) Complete(seq uint64) bool {
+	if _, ok := t.open[seq]; !ok {
+		return false
+	}
+	delete(t.open, seq)
+	t.completed[seq] = struct{}{}
+	for {
+		if _, ok := t.completed[t.low+1]; !ok {
+			break
+		}
+		t.low++
+		delete(t.completed, t.low)
+	}
+	return true
+}
+
+// Expired removes and returns every open lease whose deadline is at or
+// before now, sorted by sequence. The caller owns redelivery: each
+// returned lease's event must be re-claimed or spilled to the store.
+func (t *LeaseTable) Expired(now time.Time) []Lease {
+	var out []Lease
+	for seq, l := range t.open {
+		if !l.Deadline.After(now) {
+			out = append(out, l)
+			delete(t.open, seq)
+			t.completed[seq] = struct{}{}
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	for {
+		if _, ok := t.completed[t.low+1]; !ok {
+			break
+		}
+		t.low++
+		delete(t.completed, t.low)
+	}
+	return out
+}
+
+// OwnedBy removes and returns every open lease held by owner, sorted by
+// sequence — the dead-member path, mirroring Expired.
+func (t *LeaseTable) OwnedBy(owner string) []Lease {
+	var out []Lease
+	for seq, l := range t.open {
+		if l.Owner == owner {
+			out = append(out, l)
+			delete(t.open, seq)
+			t.completed[seq] = struct{}{}
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	for {
+		if _, ok := t.completed[t.low+1]; !ok {
+			break
+		}
+		t.low++
+		delete(t.completed, t.low)
+	}
+	return out
+}
+
+// Outstanding returns the number of open leases.
+func (t *LeaseTable) Outstanding() int { return len(t.open) }
+
+// LowWatermark returns the highest sequence with no open lease at or
+// below it.
+func (t *LeaseTable) LowWatermark() uint64 { return t.low }

@@ -1,0 +1,89 @@
+package store
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLeaseClaimCompleteWatermark(t *testing.T) {
+	lt := NewLeaseTable()
+	var base time.Time
+	dl := base.Add(time.Second)
+	s1 := lt.Claim("a", dl)
+	s2 := lt.Claim("b", dl)
+	s3 := lt.Claim("a", dl)
+	if s1 != 1 || s2 != 2 || s3 != 3 {
+		t.Fatalf("seqs = %d,%d,%d; want 1,2,3", s1, s2, s3)
+	}
+	if lt.Outstanding() != 3 || lt.LowWatermark() != 0 {
+		t.Fatalf("outstanding=%d low=%d", lt.Outstanding(), lt.LowWatermark())
+	}
+	// Out-of-order completion: watermark waits for the gap.
+	if !lt.Complete(s2) {
+		t.Fatal("Complete(s2) = false")
+	}
+	if lt.LowWatermark() != 0 {
+		t.Fatalf("low=%d; want 0 (s1 still open)", lt.LowWatermark())
+	}
+	if !lt.Complete(s1) {
+		t.Fatal("Complete(s1) = false")
+	}
+	if lt.LowWatermark() != 2 {
+		t.Fatalf("low=%d; want 2", lt.LowWatermark())
+	}
+	if lt.Complete(s1) {
+		t.Fatal("double Complete reported an open lease")
+	}
+	if !lt.Complete(s3) || lt.LowWatermark() != 3 || lt.Outstanding() != 0 {
+		t.Fatalf("after all complete: low=%d outstanding=%d", lt.LowWatermark(), lt.Outstanding())
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	lt := NewLeaseTable()
+	var base time.Time
+	lt.Claim("a", base.Add(10*time.Millisecond))
+	s2 := lt.Claim("b", base.Add(10*time.Second))
+	lt.Claim("a", base.Add(20*time.Millisecond))
+	exp := lt.Expired(base.Add(time.Second))
+	if len(exp) != 2 || exp[0].Seq != 1 || exp[1].Seq != 3 {
+		t.Fatalf("Expired = %+v; want seqs 1,3", exp)
+	}
+	if lt.Outstanding() != 1 {
+		t.Fatalf("outstanding=%d; want 1", lt.Outstanding())
+	}
+	// Expired leases count as complete for the watermark: only s2 gates.
+	if lt.LowWatermark() != 1 {
+		t.Fatalf("low=%d; want 1", lt.LowWatermark())
+	}
+	lt.Complete(s2)
+	if lt.LowWatermark() != 3 {
+		t.Fatalf("low=%d; want 3", lt.LowWatermark())
+	}
+	if lt.Expired(base.Add(time.Hour)) != nil {
+		t.Fatal("second Expired sweep returned leases")
+	}
+}
+
+func TestLeaseOwnedBy(t *testing.T) {
+	lt := NewLeaseTable()
+	var base time.Time
+	dl := base.Add(time.Minute)
+	lt.Claim("dead", dl)
+	s2 := lt.Claim("live", dl)
+	lt.Claim("dead", dl)
+	got := lt.OwnedBy("dead")
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 3 {
+		t.Fatalf("OwnedBy = %+v; want seqs 1,3", got)
+	}
+	if lt.OwnedBy("dead") != nil {
+		t.Fatal("OwnedBy drained twice")
+	}
+	if lt.Outstanding() != 1 {
+		t.Fatalf("outstanding=%d; want 1", lt.Outstanding())
+	}
+	lt.Complete(s2)
+	if lt.LowWatermark() != 3 {
+		t.Fatalf("low=%d; want 3", lt.LowWatermark())
+	}
+}

@@ -33,6 +33,8 @@ const (
 	TypeCreditAck
 	TypeLinkState
 	TypePeerPing
+	TypePartitionRedirect
+	TypeGroupAck
 )
 
 // PeerKind identifies what a connecting peer is.
@@ -70,6 +72,14 @@ type Hello struct {
 // once, and every broker hop matches and relays the same bytes.
 type Publish struct {
 	Event *event.Raw
+	// Epoch is the partition-map epoch the publisher routed this event
+	// under; zero means "no epoch" (an unpartitioned publisher, or one
+	// that has not yet received a PartitionRedirect). A broker holding a
+	// different epoch still processes the event — interests are flooded
+	// everywhere, so any ingress broker delivers completely — but
+	// answers with a PartitionRedirect so future publishes fan in to
+	// the owning replica.
+	Epoch uint64
 }
 
 // PublishBatch injects a batch of events in one frame (publisher →
@@ -79,18 +89,30 @@ type Publish struct {
 // frames would.
 type PublishBatch struct {
 	Events []*event.Raw
+	// Epoch is the partition-map epoch, exactly as on Publish.
+	Epoch uint64
 }
 
 // Deliver hands an event to a subscriber (broker → subscriber). The
 // subscriber runtime is the only place the raw event is materialized.
 type Deliver struct {
 	Event *event.Raw
+	// Seq identifies this delivery within a consumer group: nonzero on
+	// deliveries to group members, who acknowledge it with GroupAck so
+	// the broker can advance the group cursor or redeliver on failure.
+	// Zero for ordinary (non-group) subscribers — no ack expected.
+	Seq uint64
 }
 
 // Subscribe runs one step of the Figure 5 placement protocol.
 type Subscribe struct {
 	SubscriberID string
 	Filter       *filter.Filter
+	// Group, when nonempty, joins a consumer group: N subscribers
+	// naming the same group share one durable subscription, events are
+	// divided among the live members, and a member's unacked deliveries
+	// are redelivered to the survivors when it fails.
+	Group string
 }
 
 // SubscribeReply answers Subscribe: join-At(Target) or accepted-At.
@@ -219,6 +241,42 @@ type LinkState struct {
 	Seq uint64
 	// Peers are the broker IDs Origin currently holds live links to.
 	Peers []string
+	// Addr is Origin's client listen address, carried so partition
+	// redirects can name where publishers should dial.
+	Addr string
+	// Part is Origin's partition replica group ("" = unpartitioned).
+	// Brokers advertising the same group divide the event space among
+	// themselves; the partition map is derived from the converged
+	// link-state database, never separately gossiped.
+	Part string
+}
+
+// ReplicaInfo names one replica in a PartitionRedirect.
+type ReplicaInfo struct {
+	ID   string
+	Addr string
+}
+
+// PartitionRedirect answers a Publish/PublishBatch whose Epoch differs
+// from the broker's current partition map. The in-flight events were
+// still processed (any ingress broker delivers completely — ownership
+// is load placement, not correctness), but the publisher should adopt
+// the carried map and fan subsequent events in to the owning replicas.
+type PartitionRedirect struct {
+	// Epoch is the current partition-map epoch.
+	Epoch uint64
+	// Partitions is the fixed partition count.
+	Partitions uint32
+	// Replicas is the participating replica set, sorted by ID.
+	Replicas []ReplicaInfo
+}
+
+// GroupAck acknowledges one consumer-group delivery (subscriber →
+// broker): the member finished handling the delivery with this Seq.
+// The broker releases its lease and advances the group's durable
+// cursor past every contiguously acked event.
+type GroupAck struct {
+	Seq uint64
 }
 
 // PeerPing is the peer-link heartbeat: an empty frame on the control
@@ -228,25 +286,27 @@ type LinkState struct {
 type PeerPing struct{}
 
 // Type implementations.
-func (Hello) Type() MsgType          { return TypeHello }
-func (Publish) Type() MsgType        { return TypePublish }
-func (PublishBatch) Type() MsgType   { return TypePublishBatch }
-func (Deliver) Type() MsgType        { return TypeDeliver }
-func (Subscribe) Type() MsgType      { return TypeSubscribe }
-func (SubscribeReply) Type() MsgType { return TypeSubscribeReply }
-func (ReqInsert) Type() MsgType      { return TypeReqInsert }
-func (Renew) Type() MsgType          { return TypeRenew }
-func (Unsubscribe) Type() MsgType    { return TypeUnsubscribe }
-func (Advertise) Type() MsgType      { return TypeAdvertise }
-func (PeerHello) Type() MsgType      { return TypePeerHello }
-func (SubSet) Type() MsgType         { return TypeSubSet }
-func (SubUpdate) Type() MsgType      { return TypeSubUpdate }
-func (Forward) Type() MsgType        { return TypeForward }
-func (ForwardBatch) Type() MsgType   { return TypeForwardBatch }
-func (Credit) Type() MsgType         { return TypeCredit }
-func (CreditAck) Type() MsgType      { return TypeCreditAck }
-func (LinkState) Type() MsgType      { return TypeLinkState }
-func (PeerPing) Type() MsgType       { return TypePeerPing }
+func (Hello) Type() MsgType             { return TypeHello }
+func (Publish) Type() MsgType           { return TypePublish }
+func (PublishBatch) Type() MsgType      { return TypePublishBatch }
+func (Deliver) Type() MsgType           { return TypeDeliver }
+func (Subscribe) Type() MsgType         { return TypeSubscribe }
+func (SubscribeReply) Type() MsgType    { return TypeSubscribeReply }
+func (ReqInsert) Type() MsgType         { return TypeReqInsert }
+func (Renew) Type() MsgType             { return TypeRenew }
+func (Unsubscribe) Type() MsgType       { return TypeUnsubscribe }
+func (Advertise) Type() MsgType         { return TypeAdvertise }
+func (PeerHello) Type() MsgType         { return TypePeerHello }
+func (SubSet) Type() MsgType            { return TypeSubSet }
+func (SubUpdate) Type() MsgType         { return TypeSubUpdate }
+func (Forward) Type() MsgType           { return TypeForward }
+func (ForwardBatch) Type() MsgType      { return TypeForwardBatch }
+func (Credit) Type() MsgType            { return TypeCredit }
+func (CreditAck) Type() MsgType         { return TypeCreditAck }
+func (LinkState) Type() MsgType         { return TypeLinkState }
+func (PeerPing) Type() MsgType          { return TypePeerPing }
+func (PartitionRedirect) Type() MsgType { return TypePartitionRedirect }
+func (GroupAck) Type() MsgType          { return TypeGroupAck }
 
 func (m Hello) encode(w *buffer) {
 	w.u8(uint8(m.Kind))
@@ -254,10 +314,18 @@ func (m Hello) encode(w *buffer) {
 	w.str(m.Addr)
 }
 
-func (m Publish) encode(w *buffer) { w.raw(m.Event) }
-func (m Deliver) encode(w *buffer) { w.raw(m.Event) }
+func (m Publish) encode(w *buffer) {
+	w.uvarint(m.Epoch)
+	w.raw(m.Event)
+}
+
+func (m Deliver) encode(w *buffer) {
+	w.uvarint(m.Seq)
+	w.raw(m.Event)
+}
 
 func (m PublishBatch) encode(w *buffer) {
+	w.uvarint(m.Epoch)
 	w.uvarint(uint64(len(m.Events)))
 	for _, e := range m.Events {
 		w.raw(e)
@@ -267,6 +335,7 @@ func (m PublishBatch) encode(w *buffer) {
 func (m Subscribe) encode(w *buffer) {
 	w.str(m.SubscriberID)
 	w.filter(m.Filter)
+	w.str(m.Group)
 }
 
 func (m SubscribeReply) encode(w *buffer) {
@@ -337,9 +406,23 @@ func (m LinkState) encode(w *buffer) {
 	for _, p := range m.Peers {
 		w.str(p)
 	}
+	w.str(m.Addr)
+	w.str(m.Part)
 }
 
 func (PeerPing) encode(*buffer) {}
+
+func (m PartitionRedirect) encode(w *buffer) {
+	w.uvarint(m.Epoch)
+	w.uvarint(uint64(m.Partitions))
+	w.uvarint(uint64(len(m.Replicas)))
+	for _, r := range m.Replicas {
+		w.str(r.ID)
+		w.str(r.Addr)
+	}
+}
+
+func (m GroupAck) encode(w *buffer) { w.uvarint(m.Seq) }
 
 func (m Advertise) encode(w *buffer) {
 	w.str(m.Ad.Class)
@@ -382,8 +465,9 @@ func decodeMessage(t MsgType, body []byte, in *event.Interner) (Message, error) 
 	case TypeHello:
 		m = Hello{Kind: PeerKind(r.u8()), ID: r.str(), Addr: r.str()}
 	case TypePublish:
-		m = Publish{Event: r.rawEvent()}
+		m = Publish{Epoch: r.uvarint(), Event: r.rawEvent()}
 	case TypePublishBatch:
+		epoch := r.uvarint()
 		n := r.uvarint()
 		if n > uint64(len(body)) {
 			return nil, fmt.Errorf("transport: batch event count exceeds frame")
@@ -395,13 +479,13 @@ func decodeMessage(t MsgType, body []byte, in *event.Interner) (Message, error) 
 		if capHint > 1024 {
 			capHint = 1024
 		}
-		pb := PublishBatch{Events: make([]*event.Raw, 0, capHint)}
+		pb := PublishBatch{Epoch: epoch, Events: make([]*event.Raw, 0, capHint)}
 		for i := uint64(0); i < n && r.err == nil; i++ {
 			pb.Events = append(pb.Events, r.rawEvent())
 		}
 		m = pb
 	case TypeDeliver:
-		m = Deliver{Event: r.rawEvent()}
+		m = Deliver{Seq: r.uvarint(), Event: r.rawEvent()}
 	case TypePeerHello:
 		m = PeerHello{ID: r.str(), Addr: r.str()}
 	case TypeSubSet:
@@ -454,11 +538,30 @@ func decodeMessage(t MsgType, body []byte, in *event.Interner) (Message, error) 
 		for i := uint64(0); i < n && r.err == nil; i++ {
 			ls.Peers = append(ls.Peers, r.str())
 		}
+		ls.Addr = r.str()
+		ls.Part = r.str()
 		m = ls
 	case TypePeerPing:
 		m = PeerPing{}
+	case TypePartitionRedirect:
+		pr := PartitionRedirect{Epoch: r.uvarint(), Partitions: r.u32capped()}
+		n := r.uvarint()
+		if n > uint64(len(body)) {
+			return nil, fmt.Errorf("transport: redirect replica count exceeds frame")
+		}
+		capHint := n
+		if capHint > 1024 {
+			capHint = 1024
+		}
+		pr.Replicas = make([]ReplicaInfo, 0, capHint)
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			pr.Replicas = append(pr.Replicas, ReplicaInfo{ID: r.str(), Addr: r.str()})
+		}
+		m = pr
+	case TypeGroupAck:
+		m = GroupAck{Seq: r.uvarint()}
 	case TypeSubscribe:
-		m = Subscribe{SubscriberID: r.str(), Filter: r.filter()}
+		m = Subscribe{SubscriberID: r.str(), Filter: r.filter(), Group: r.str()}
 	case TypeSubscribeReply:
 		rep := SubscribeReply{Accepted: r.u8() == 1, TargetAddr: r.str()}
 		if r.u8() == 1 {

@@ -137,11 +137,74 @@ func TestLinkStateRoundTrip(t *testing.T) {
 	for _, m := range []LinkState{
 		{Origin: "geneva", Seq: 42, Peers: []string{"basel", "zurich"}},
 		{Origin: "island", Seq: 1}, // no peers: a broker whose last link just died
+		// A partitioned replica: listen address and replica group ride
+		// on the LSA (the partition map is derived, never gossiped).
+		{Origin: "lyon", Seq: 7, Peers: []string{"geneva"}, Addr: "10.1.2.3:7070", Part: "shard-a"},
 	} {
 		got := roundTrip(t, m).(LinkState)
-		if got.Origin != m.Origin || got.Seq != m.Seq || !slices.Equal(got.Peers, m.Peers) {
+		if got.Origin != m.Origin || got.Seq != m.Seq || !slices.Equal(got.Peers, m.Peers) ||
+			got.Addr != m.Addr || got.Part != m.Part {
 			t.Errorf("got %+v, want %+v", got, m)
 		}
+	}
+}
+
+func TestPartitionRedirectRoundTrip(t *testing.T) {
+	for _, m := range []PartitionRedirect{
+		{
+			Epoch:      0xdeadbeefcafe0001,
+			Partitions: 64,
+			Replicas: []ReplicaInfo{
+				{ID: "b1", Addr: "10.0.0.1:7070"},
+				{ID: "b2", Addr: "10.0.0.2:7070"},
+				{ID: "b3", Addr: "10.0.0.3:7070"},
+			},
+		},
+		// A lone replica still redirects (its map has a real epoch).
+		{Epoch: 1, Partitions: 1, Replicas: []ReplicaInfo{{ID: "only", Addr: "[::1]:9"}}},
+	} {
+		got := roundTrip(t, m).(PartitionRedirect)
+		if got.Epoch != m.Epoch || got.Partitions != m.Partitions ||
+			!slices.Equal(got.Replicas, m.Replicas) {
+			t.Errorf("got %+v, want %+v", got, m)
+		}
+	}
+}
+
+func TestPublishEpochRoundTrip(t *testing.T) {
+	e := event.NewBuilder("Stock").Str("symbol", "Foo").ID(3).Build()
+	p := roundTrip(t, Publish{Event: event.EncodeRaw(e), Epoch: 0x0102030405060708}).(Publish)
+	if p.Epoch != 0x0102030405060708 || !p.Event.Event().Equal(e) {
+		t.Errorf("publish epoch round trip: epoch=%#x event=%s", p.Epoch, p.Event.Event())
+	}
+	// Zero epoch — an unpartitioned publisher — survives too.
+	p = roundTrip(t, Publish{Event: event.EncodeRaw(e)}).(Publish)
+	if p.Epoch != 0 {
+		t.Errorf("zero epoch round trip: %#x", p.Epoch)
+	}
+	b := roundTrip(t, PublishBatch{
+		Events: []*event.Raw{event.EncodeRaw(e)},
+		Epoch:  42,
+	}).(PublishBatch)
+	if b.Epoch != 42 || len(b.Events) != 1 || !b.Events[0].Event().Equal(e) {
+		t.Errorf("batch epoch round trip: %+v", b)
+	}
+}
+
+func TestGroupDeliveryRoundTrip(t *testing.T) {
+	f := filter.MustParseFilter(`class = "Stock"`)
+	s := roundTrip(t, Subscribe{SubscriberID: "w1", Filter: f, Group: "billing"}).(Subscribe)
+	if s.Group != "billing" || s.SubscriberID != "w1" {
+		t.Errorf("group subscribe round trip: %+v", s)
+	}
+	e := event.NewBuilder("Stock").Int("volume", 9).ID(11).Build()
+	d := roundTrip(t, Deliver{Event: event.EncodeRaw(e), Seq: 1 << 40}).(Deliver)
+	if d.Seq != 1<<40 || !d.Event.Event().Equal(e) {
+		t.Errorf("group deliver round trip: seq=%d", d.Seq)
+	}
+	a := roundTrip(t, GroupAck{Seq: 1 << 40}).(GroupAck)
+	if a.Seq != 1<<40 {
+		t.Errorf("group ack round trip: %+v", a)
 	}
 }
 

@@ -97,4 +97,17 @@ echo "indexed-match scaling curve (benchtime=$BENCHTIME) -> $im" >&2
     go test -run '^$' -bench 'BenchmarkIndexedMatch' -benchmem -benchtime "$BENCHTIME" ./internal/index/
 } > "$im"
 
+# Partition fan-in decision: the per-publish cost sharding adds ahead
+# of the forward path (hash key fields, map to a partition, look up the
+# owning replica). Gate headline is allocs/op = 0; the raw numbers land
+# in PARTITION_FANIN.txt next to the BENCH_<n> sets.
+pf="$OUT/PARTITION_FANIN.txt"
+echo "partition fan-in decision (benchtime=$BENCHTIME) -> $pf" >&2
+{
+    echo "# Publisher-side partition decision (ns/op, B/op, allocs/op)"
+    echo "# KeyOf -> PartitionOf -> Owner over pre-encoded wire events,"
+    echo "# 64 partitions rendezvous-hashed across 8 replicas."
+    go test -run '^$' -bench 'BenchmarkPartitionedFanIn' -benchmem -benchtime "$BENCHTIME" .
+} > "$pf"
+
 echo "wrote $COUNT result set(s) to $OUT/" >&2
